@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks of the collectives layer: schedule
+//! construction and simulated execution per algorithm, plus the real
+//! threaded allreduce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use collectives::{exec_thread, simulate_dense, Algorithm, LeaderAlgo, ReduceOp, UniformCost};
+use summit_sim::{Machine, MachineConfig};
+
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Ring,
+        Algorithm::RecursiveDoubling,
+        Algorithm::Rabenseifner,
+        Algorithm::Hierarchical { per_node: 6, leader: LeaderAlgo::Rabenseifner },
+    ]
+}
+
+fn bench_schedule_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_build_132ranks_16M");
+    g.sample_size(20);
+    for algo in algorithms() {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, algo| {
+            b.iter(|| black_box(algo.build(132, 4 << 20)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulated_allreduce(c: &mut Criterion) {
+    let machine = Machine::new(MachineConfig::summit_for_gpus(48));
+    let cost = UniformCost::default();
+    let mut g = c.benchmark_group("simulate_allreduce_48ranks_4MiB");
+    g.sample_size(10);
+    for algo in algorithms() {
+        let sched = algo.build(48, 1 << 20);
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &sched, |b, s| {
+            b.iter(|| black_box(simulate_dense(s, &machine, &cost)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_threaded_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_allreduce_8ranks");
+    g.sample_size(10);
+    for elems in [1usize << 12, 1 << 16, 1 << 20] {
+        let sched = Algorithm::Ring.build(8, elems);
+        g.bench_with_input(BenchmarkId::from_parameter(elems * 4), &sched, |b, s| {
+            b.iter(|| {
+                let mut bufs: Vec<Vec<f32>> = (0..8).map(|r| vec![r as f32; elems]).collect();
+                exec_thread::allreduce(s, &mut bufs, ReduceOp::Sum);
+                black_box(bufs)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_build,
+    bench_simulated_allreduce,
+    bench_threaded_allreduce
+);
+criterion_main!(benches);

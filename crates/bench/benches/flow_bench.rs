@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the discrete-event core: flow churn and the
+//! rank-program executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use summit_sim::{DataPath, Executor, FlowNet, GpuId, Machine, MachineConfig, Op, Program, SimTime};
+
+fn bench_flow_churn(c: &mut Criterion) {
+    let machine = Machine::new(MachineConfig::summit(4));
+    c.bench_function("flownet_1000_flow_churn", |b| {
+        b.iter(|| {
+            let mut net: FlowNet<u32> = FlowNet::new(&machine);
+            for i in 0..1000u32 {
+                let src = GpuId((i as usize) % 24);
+                let dst = GpuId((i as usize + 7) % 24);
+                let r = machine.route(src, dst, DataPath::Gdr);
+                let f = net.start(r.links, 1e6, f64::INFINITY, i);
+                if i % 2 == 0 {
+                    let (t, fid) = net.next_completion().expect("flow");
+                    net.advance_to(t);
+                    net.finish(fid);
+                    black_box(fid);
+                } else {
+                    black_box(f);
+                }
+            }
+            black_box(net.n_active())
+        });
+    });
+}
+
+fn bench_executor_ring_round(c: &mut Criterion) {
+    let machine = Machine::new(MachineConfig::summit(8));
+    c.bench_function("executor_48rank_ring_round", |b| {
+        b.iter(|| {
+            let exec = Executor::dense(&machine, 48);
+            let mut p = vec![Program::new(); 48];
+            for step in 0..4u64 {
+                for (r, prog) in p.iter_mut().enumerate() {
+                    prog.step(vec![
+                        Op::send(
+                            (r + 1) % 48,
+                            1 << 20,
+                            step * 48 + r as u64,
+                            DataPath::Gdr,
+                            SimTime::ZERO,
+                        ),
+                        Op::recv((r + 47) % 48, step * 48 + ((r + 47) % 48) as u64),
+                    ]);
+                }
+            }
+            black_box(exec.run(p))
+        });
+    });
+}
+
+criterion_group!(benches, bench_flow_churn, bench_executor_ring_round);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the real numerical training path: forward,
+//! forward+backward, and a full data-parallel step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use collectives::Algorithm;
+use trainer::real::{generate, train, DataConfig, NetConfig, SegNet, TrainConfig};
+
+fn bench_net(c: &mut Criterion) {
+    let data = DataConfig::default();
+    let cfg = NetConfig {
+        height: data.height,
+        width: data.width,
+        cin: data.channels,
+        n_classes: data.n_classes,
+        ..NetConfig::default()
+    };
+    let net = SegNet::new(cfg, 42);
+    let sample = generate(&data, 42, 0);
+    c.bench_function("segnet_forward_24x24", |b| {
+        b.iter(|| black_box(net.forward_logits(&sample.pixels)));
+    });
+    c.bench_function("segnet_loss_grad_24x24", |b| {
+        b.iter(|| black_box(net.loss_grad(&sample)));
+    });
+}
+
+fn bench_parallel_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataparallel_train");
+    g.sample_size(10);
+    for workers in [1usize, 4] {
+        g.bench_function(format!("{workers}workers_5steps"), |b| {
+            b.iter(|| {
+                let mut cfg = TrainConfig::quick(workers);
+                cfg.steps = 5;
+                cfg.algo = Algorithm::Ring;
+                black_box(train(&cfg))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_net, bench_parallel_step);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the Horovod step simulation — the inner loop
+//! of every scaling sweep and tuning run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dlmodels::{deeplab_paper, GpuModel};
+use horovod::{HorovodConfig, StepSim};
+use mpi_profiles::Backend;
+use summit_sim::{Machine, MachineConfig};
+
+fn bench_step_by_backend(c: &mut Criterion) {
+    let machine = Machine::new(MachineConfig::summit_for_gpus(96));
+    let model = deeplab_paper();
+    let gpu = GpuModel::v100();
+    let mut g = c.benchmark_group("stepsim_96gpus");
+    g.sample_size(10);
+    for backend in Backend::all() {
+        let sim = StepSim::new(
+            &machine,
+            backend.profile(),
+            HorovodConfig::default(),
+            &model,
+            &gpu,
+            1,
+            96,
+            42,
+        );
+        // Warm the allreduce-oracle cache so the bench measures the
+        // steady-state sweep cost.
+        sim.simulate_step(0, None);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{backend:?}")),
+            &sim,
+            |b, sim| {
+                b.iter(|| black_box(sim.simulate_step(1, None)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_emission_schedule(c: &mut Criterion) {
+    let model = deeplab_paper();
+    let gpu = GpuModel::v100();
+    c.bench_function("emission_schedule_dlv3plus", |b| {
+        b.iter(|| black_box(dlmodels::EmissionSchedule::build(&model, &gpu, 8)));
+    });
+}
+
+criterion_group!(benches, bench_step_by_backend, bench_emission_schedule);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! F3 — default-configuration scaling of DLv3+ (claim C2).
+//!
+//! Horovod's default knobs (64 MB fusion, 5 ms cycle) over each MPI
+//! backend, 6–132 GPUs: the paper's "poor default scaling" observation.
+
+use bench::{header, paper_machine, paper_model, v100, BATCH_PER_GPU, SEED, SIM_STEPS};
+use horovod::HorovodConfig;
+use mpi_profiles::Backend;
+use summit_metrics::Table;
+use trainer::{paper_gpu_counts, SweepSpec};
+
+fn main() {
+    header("F3", "DLv3+ scaling with default Horovod knobs", "abstract claim C2");
+    let machine = paper_machine();
+    let model = paper_model();
+    let gpu = v100();
+
+    let mut table = Table::new(
+        "images/second (weak scaling, batch 1/GPU) — default knobs",
+        &["GPUs", "Spectrum (default)", "eff", "MVAPICH2-GDR", "eff", "NCCL-like", "eff"],
+    );
+    let counts = paper_gpu_counts();
+    let mut rows: Vec<Vec<String>> = counts.iter().map(|n| vec![n.to_string()]).collect();
+    for backend in Backend::all() {
+        let spec = SweepSpec {
+            machine: &machine,
+            profile: backend.profile(),
+            config: HorovodConfig::default(),
+            model: &model,
+            gpu: &gpu,
+            batch_per_gpu: BATCH_PER_GPU,
+            steps: SIM_STEPS,
+            seed: SEED,
+        };
+        let series = spec.sweep(backend.profile().name, &counts);
+        for (i, (n, eff)) in series.efficiencies().iter().enumerate() {
+            let thr = series.throughput_at(*n).expect("measured");
+            rows[i].push(format!("{thr:.1}"));
+            rows[i].push(format!("{:.1}%", eff * 100.0));
+        }
+    }
+    for r in rows {
+        table.row(&r);
+    }
+    table.print();
+    println!(
+        "The default-MPI curve flattens past ~48 GPUs — the paper's \"poor default\n\
+         scaling performance of DLv3+ on Summit\" (exact default efficiency is\n\
+         compared against the paper's 68.1% in F6)."
+    );
+}

@@ -1,0 +1,127 @@
+//! Algorithm selection: a closed enum of the allreduce algorithms this
+//! crate implements, plus size-based selection helpers mirroring how MPI
+//! libraries pick algorithms from tuning tables.
+
+use crate::hierarchical::{self, LeaderAlgo, NodeGroups};
+use crate::sched::Schedule;
+use crate::{pipeline, rabenseifner, rd, ring, tree};
+
+/// An allreduce algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    Ring,
+    RecursiveDoubling,
+    Rabenseifner,
+    /// Binomial reduce + broadcast.
+    Tree,
+    /// Two-level: intra-node tree, inter-node `leader` among node leaders
+    /// over groups of `per_node` ranks.
+    Hierarchical { per_node: usize, leader: LeaderAlgo },
+    /// Ring with the buffer split into `chunks` interleaved pipelines
+    /// (NCCL-style transfer/reduction overlap).
+    ChunkedRing { chunks: usize },
+    /// Two-level reduce-scatter/allgather (multi-leader hierarchy);
+    /// falls back to `Hierarchical` when ranks don't divide into uniform
+    /// nodes of `per_node`.
+    HierarchicalRsag { per_node: usize },
+}
+
+impl Algorithm {
+    /// Compile the algorithm to a schedule.
+    pub fn build(&self, n_ranks: usize, n_elems: usize) -> Schedule {
+        match *self {
+            Algorithm::Ring => ring::allreduce(n_ranks, n_elems),
+            Algorithm::RecursiveDoubling => rd::allreduce(n_ranks, n_elems),
+            Algorithm::Rabenseifner => rabenseifner::allreduce(n_ranks, n_elems),
+            Algorithm::Tree => tree::allreduce(n_ranks, n_elems),
+            Algorithm::Hierarchical { per_node, leader } => {
+                let groups = NodeGroups::dense(n_ranks, per_node);
+                hierarchical::allreduce(n_ranks, n_elems, &groups, leader)
+            }
+            Algorithm::ChunkedRing { chunks } => pipeline::allreduce(n_ranks, n_elems, chunks),
+            Algorithm::HierarchicalRsag { per_node } => {
+                if n_ranks.is_multiple_of(per_node) {
+                    hierarchical::allreduce_rsag(n_ranks, n_elems, per_node)
+                } else {
+                    let groups = NodeGroups::dense(n_ranks, per_node);
+                    hierarchical::allreduce(n_ranks, n_elems, &groups, LeaderAlgo::Rabenseifner)
+                }
+            }
+        }
+    }
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Ring => "ring",
+            Algorithm::RecursiveDoubling => "recursive-doubling",
+            Algorithm::Rabenseifner => "rabenseifner",
+            Algorithm::Tree => "binomial-tree",
+            Algorithm::Hierarchical { .. } => "hierarchical",
+            Algorithm::ChunkedRing { .. } => "chunked-ring",
+            Algorithm::HierarchicalRsag { .. } => "hierarchical-rsag",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Hierarchical { per_node, leader } => {
+                write!(f, "hierarchical({per_node}/node, {leader:?})")
+            }
+            Algorithm::ChunkedRing { chunks } => write!(f, "chunked-ring({chunks})"),
+            Algorithm::HierarchicalRsag { per_node } => {
+                write!(f, "hierarchical-rsag({per_node}/node)")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReduceOp;
+    use crate::reference::{apply_allreduce, assert_allreduce_result};
+
+    pub fn all_algorithms() -> Vec<Algorithm> {
+        vec![
+            Algorithm::Ring,
+            Algorithm::RecursiveDoubling,
+            Algorithm::Rabenseifner,
+            Algorithm::Tree,
+            Algorithm::Hierarchical { per_node: 6, leader: LeaderAlgo::Ring },
+            Algorithm::Hierarchical { per_node: 6, leader: LeaderAlgo::Rabenseifner },
+            Algorithm::Hierarchical { per_node: 4, leader: LeaderAlgo::Tree },
+            Algorithm::ChunkedRing { chunks: 4 },
+            Algorithm::HierarchicalRsag { per_node: 6 },
+            Algorithm::HierarchicalRsag { per_node: 4 },
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_is_a_correct_allreduce() {
+        for algo in all_algorithms() {
+            for &(n, e) in &[(1usize, 5usize), (2, 9), (6, 20), (12, 7), (13, 64)] {
+                let s = algo.build(n, e);
+                s.validate().unwrap_or_else(|err| panic!("{algo} n={n} e={e}: {err:?}"));
+                let ins: Vec<Vec<f32>> = (0..n)
+                    .map(|r| (0..e).map(|i| ((r * 7 + i) % 5) as f32 - 2.0).collect())
+                    .collect();
+                let mut bufs = ins.clone();
+                apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+                assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algorithm::Ring.to_string(), "ring");
+        assert_eq!(
+            Algorithm::Hierarchical { per_node: 6, leader: LeaderAlgo::Ring }.to_string(),
+            "hierarchical(6/node, Ring)"
+        );
+    }
+}

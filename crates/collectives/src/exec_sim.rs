@@ -1,0 +1,353 @@
+//! Timing execution: lower a [`Schedule`] onto the Summit simulator.
+//!
+//! Each schedule round becomes one executor step per rank (its sends and
+//! receives in parallel), followed by a compute step accounting for the
+//! local reduction of received bytes. Message parameters — data path,
+//! per-message software overhead, staging rate caps, eager protocol — come
+//! from a [`CostModel`], which is where the MPI library personalities
+//! plug in.
+
+use summit_sim::{DataPath, ExecReport, Executor, GpuId, Machine, Op, Program, SimTime};
+
+use crate::sched::{Action, Schedule};
+
+/// Per-message parameters chosen by a cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgParams {
+    pub path: DataPath,
+    /// Software overhead before the payload starts moving.
+    pub overhead: SimTime,
+    /// Flow-rate cap (bytes/s), e.g. a staging pipeline's efficiency.
+    pub rate_cap: f64,
+    /// Whether the sender completes locally (eager protocol).
+    pub eager: bool,
+}
+
+/// Chooses per-message parameters and local costs — implemented by the
+/// MPI library personalities in `mpi-profiles`.
+pub trait CostModel {
+    fn msg(&self, machine: &Machine, src: GpuId, dst: GpuId, bytes: u64) -> MsgParams;
+
+    /// Local element-wise reduction bandwidth in bytes/s (GPU kernels
+    /// reducing received segments). V100 HBM2 sustains ~800 GB/s read +
+    /// write; a fused multiply-add reduction streams ~3 accesses/element.
+    fn reduce_bw(&self) -> f64 {
+        250e9
+    }
+}
+
+/// A flat cost model for tests and baselines: fixed overhead and path.
+#[derive(Debug, Clone)]
+pub struct UniformCost {
+    pub path: DataPath,
+    pub overhead: SimTime,
+    pub rate_cap: f64,
+    pub eager_threshold: u64,
+}
+
+impl Default for UniformCost {
+    fn default() -> Self {
+        UniformCost {
+            path: DataPath::Gdr,
+            overhead: SimTime::from_secs_f64(2e-6),
+            rate_cap: f64::INFINITY,
+            eager_threshold: 8 << 10,
+        }
+    }
+}
+
+impl CostModel for UniformCost {
+    fn msg(&self, _machine: &Machine, _src: GpuId, _dst: GpuId, bytes: u64) -> MsgParams {
+        MsgParams {
+            path: self.path,
+            overhead: self.overhead,
+            rate_cap: self.rate_cap,
+            eager: bytes <= self.eager_threshold,
+        }
+    }
+}
+
+/// Bytes per buffer element (f32 gradients).
+pub const ELEM_BYTES: u64 = 4;
+
+/// Two element ranges overlap?
+fn segs_overlap(a: &[crate::sched::Seg], b: &[crate::sched::Seg]) -> bool {
+    a.iter().any(|x| {
+        b.iter().any(|y| x.offset < y.end() && y.offset < x.end() && !x.is_empty() && !y.is_empty())
+    })
+}
+
+/// Lower `schedule` to rank programs under `cost` and run it on
+/// `machine`. `placement[r]` is rank `r`'s GPU.
+///
+/// Local reductions are dependency-scheduled: a round's reduction runs
+/// *in parallel* with the rank's next round when their element ranges
+/// are disjoint (chunked-ring pipelining), and serializes before it when
+/// the next round touches the just-reduced data (plain ring, recursive
+/// doubling, trees).
+pub fn simulate(
+    schedule: &Schedule,
+    machine: &Machine,
+    placement: &[GpuId],
+    cost: &dyn CostModel,
+) -> ExecReport {
+    assert_eq!(placement.len(), schedule.n_ranks, "one GPU per rank");
+    debug_assert_eq!(schedule.validate(), Ok(()));
+    let mut programs = vec![Program::new(); schedule.n_ranks];
+    // Per rank: reduction work (bytes, segments) from its previous
+    // active round, not yet issued.
+    let mut pending: Vec<(u64, Vec<crate::sched::Seg>)> =
+        vec![(0, Vec::new()); schedule.n_ranks];
+    for (round_idx, round) in schedule.rounds.iter().enumerate() {
+        for (rank, actions) in round.per_rank.iter().enumerate() {
+            if actions.is_empty() {
+                continue;
+            }
+            let mut ops = Vec::with_capacity(actions.len() + 1);
+            let mut reduce_bytes: u64 = 0;
+            let mut reduce_segs: Vec<crate::sched::Seg> = Vec::new();
+            let mut touched: Vec<crate::sched::Seg> = Vec::with_capacity(actions.len());
+            for a in actions {
+                touched.push(a.seg());
+                match *a {
+                    Action::Send { peer, seg } => {
+                        let bytes = seg.len as u64 * ELEM_BYTES;
+                        let p = cost.msg(machine, placement[rank], placement[peer], bytes);
+                        ops.push(Op::Send {
+                            peer,
+                            bytes,
+                            tag: round_idx as u64,
+                            path: p.path,
+                            overhead: p.overhead,
+                            rate_cap: p.rate_cap,
+                            eager: p.eager,
+                        });
+                    }
+                    Action::RecvReduce { peer, seg } => {
+                        reduce_bytes += seg.len as u64 * ELEM_BYTES;
+                        reduce_segs.push(seg);
+                        ops.push(Op::recv(peer, round_idx as u64));
+                    }
+                    Action::RecvReplace { peer, .. } => {
+                        ops.push(Op::recv(peer, round_idx as u64));
+                    }
+                }
+            }
+            // Place the previous round's reduction.
+            let (pbytes, psegs) = std::mem::take(&mut pending[rank]);
+            if pbytes > 0 {
+                let dur = SimTime::from_secs_f64(pbytes as f64 / cost.reduce_bw());
+                if segs_overlap(&psegs, &touched) {
+                    // Dependency: must finish reducing before this round.
+                    programs[rank].step(vec![Op::compute(dur)]);
+                } else {
+                    // Independent data: overlap with this round's wires.
+                    ops.push(Op::compute(dur));
+                }
+            }
+            programs[rank].step(ops);
+            pending[rank] = (reduce_bytes, reduce_segs);
+        }
+    }
+    for (rank, (pbytes, _)) in pending.into_iter().enumerate() {
+        if pbytes > 0 {
+            let dur = SimTime::from_secs_f64(pbytes as f64 / cost.reduce_bw());
+            programs[rank].step(vec![Op::compute(dur)]);
+        }
+    }
+    let exec = Executor::new(machine, placement.to_vec());
+    exec.run(programs)
+}
+
+/// Simulate with the dense rank-r-on-GPU-r placement.
+pub fn simulate_dense(schedule: &Schedule, machine: &Machine, cost: &dyn CostModel) -> ExecReport {
+    let placement: Vec<GpuId> = (0..schedule.n_ranks).map(GpuId).collect();
+    simulate(schedule, machine, &placement, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::{self, LeaderAlgo, NodeGroups};
+    use crate::{rabenseifner, rd, ring};
+    use summit_sim::MachineConfig;
+
+    fn machine_for(ranks: usize) -> Machine {
+        Machine::new(MachineConfig::summit_for_gpus(ranks))
+    }
+
+    #[test]
+    fn ring_allreduce_simulates_and_scales_with_size() {
+        let m = machine_for(12);
+        let cost = UniformCost::default();
+        let small = simulate_dense(&ring::allreduce(12, 1 << 18), &m, &cost);
+        let large = simulate_dense(&ring::allreduce(12, 1 << 22), &m, &cost);
+        assert!(large.makespan > small.makespan);
+    }
+
+    #[test]
+    fn ring_beats_recursive_doubling_for_large_messages() {
+        let m = machine_for(24);
+        let cost = UniformCost::default();
+        let elems = 16 << 20; // 64 MiB
+        let ring_t = simulate_dense(&ring::allreduce(24, elems), &m, &cost).makespan;
+        let rd_t = simulate_dense(&rd::allreduce(24, elems), &m, &cost).makespan;
+        assert!(
+            ring_t < rd_t,
+            "ring {} should beat RD {} at 64 MiB",
+            ring_t.as_secs_f64(),
+            rd_t.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn recursive_doubling_beats_ring_for_tiny_messages() {
+        let m = machine_for(24);
+        let cost = UniformCost::default();
+        let elems = 256; // 1 KiB: latency-dominated
+        let ring_t = simulate_dense(&ring::allreduce(24, elems), &m, &cost).makespan;
+        let rd_t = simulate_dense(&rd::allreduce(24, elems), &m, &cost).makespan;
+        assert!(
+            rd_t < ring_t,
+            "RD {} should beat ring {} at 1 KiB",
+            rd_t.as_secs_f64(),
+            ring_t.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn hierarchical_wins_the_mid_size_regime() {
+        // At moderate message sizes (here 1 MiB) across many nodes, the
+        // two-level algorithm beats both the flat ring (too many latency
+        // rounds) and flat Rabenseifner (whole-message exchanges cross
+        // the NICs log p times): this is the regime Horovod's fused
+        // buffers live in and why MV2's hierarchical selection matters.
+        let ranks = 48; // 8 nodes
+        let m = machine_for(ranks);
+        let cost = UniformCost::default();
+        let elems = (1 << 20) / 4; // 1 MiB of f32
+        let flat_ring = simulate_dense(&ring::allreduce(ranks, elems), &m, &cost).makespan;
+        let flat_rab =
+            simulate_dense(&rabenseifner::allreduce(ranks, elems), &m, &cost).makespan;
+        let groups = NodeGroups::dense(ranks, 6);
+        let hier =
+            hierarchical::allreduce(ranks, elems, &groups, LeaderAlgo::Rabenseifner);
+        let hier_t = simulate_dense(&hier, &m, &cost).makespan;
+        assert!(hier_t < flat_ring, "hier {hier_t} vs flat ring {flat_ring}");
+        assert!(hier_t < flat_rab, "hier {hier_t} vs flat rabenseifner {flat_rab}");
+    }
+
+    #[test]
+    fn topology_ring_wins_the_huge_message_regime() {
+        // At 64 MiB the topology-ordered flat ring crosses each NIC only
+        // once per direction and pipelines perfectly — hierarchical's
+        // whole-buffer intra-node phases lose.
+        let ranks = 48;
+        let m = machine_for(ranks);
+        let cost = UniformCost::default();
+        let elems = 16 << 20; // 64 MiB of f32
+        let flat = simulate_dense(&ring::allreduce(ranks, elems), &m, &cost).makespan;
+        let groups = NodeGroups::dense(ranks, 6);
+        let hier = hierarchical::allreduce(ranks, elems, &groups, LeaderAlgo::Ring);
+        let hier_t = simulate_dense(&hier, &m, &cost).makespan;
+        assert!(flat < hier_t, "flat ring {flat} vs hier {hier_t}");
+    }
+
+    #[test]
+    fn staged_path_slower_than_gdr() {
+        let m = machine_for(12);
+        let gdr = UniformCost { path: DataPath::Gdr, ..UniformCost::default() };
+        let staged = UniformCost {
+            path: DataPath::HostStaged,
+            rate_cap: 8e9,
+            ..UniformCost::default()
+        };
+        let sched = ring::allreduce(12, 4 << 20);
+        let t_gdr = simulate_dense(&sched, &m, &gdr).makespan;
+        let t_staged = simulate_dense(&sched, &m, &staged).makespan;
+        assert!(t_staged.as_secs_f64() > t_gdr.as_secs_f64() * 1.3);
+    }
+
+    #[test]
+    fn rabenseifner_latency_advantage_at_scale_small_message() {
+        let ranks = 128;
+        let m = machine_for(ranks);
+        let cost = UniformCost::default();
+        let elems = 4096; // 16 KiB
+        let ring_t = simulate_dense(&ring::allreduce(ranks, elems), &m, &cost).makespan;
+        let rab_t = simulate_dense(&rabenseifner::allreduce(ranks, elems), &m, &cost).makespan;
+        assert!(rab_t < ring_t, "2 log p rounds beat 2(p-1) rounds when latency-bound");
+    }
+
+    #[test]
+    fn single_rank_schedule_is_instant() {
+        let m = machine_for(6);
+        let rep = simulate_dense(&ring::allreduce(1, 1000), &m, &UniformCost::default());
+        assert_eq!(rep.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn round_robin_placement_wrecks_the_ring() {
+        // With ranks scattered one-per-node, every ring edge crosses the
+        // fabric instead of NVLink — the placement ablation's point.
+        use summit_sim::Placement;
+        let m = machine_for(24);
+        let cost = UniformCost::default();
+        let sched = ring::allreduce(24, 4 << 20);
+        let dense = Placement::Dense.assign(&m, 24);
+        let spread = Placement::RoundRobinNodes.assign(&m, 24);
+        let t_dense = simulate(&sched, &m, &dense, &cost).makespan;
+        let t_spread = simulate(&sched, &m, &spread, &cost).makespan;
+        assert!(
+            t_spread.as_secs_f64() > t_dense.as_secs_f64() * 2.0,
+            "spread {t_spread} should be much slower than dense {t_dense}"
+        );
+    }
+
+    #[test]
+    fn hot_links_are_the_nic_for_inter_node_rings() {
+        let m = machine_for(12);
+        let cost = UniformCost::default();
+        let rep = simulate_dense(&ring::allreduce(12, 4 << 20), &m, &cost);
+        let hot = rep.hot_links(&m, 4);
+        assert!(!hot.is_empty());
+        // A dense 12-rank ring crosses each node boundary once per
+        // direction; those fabric links carry as much as any NVLink hop.
+        assert!(hot[0].1 > 0.0);
+        let util = rep.utilization(&m, summit_sim::LinkId(0));
+        assert!((0.0..=1.0).contains(&util));
+    }
+
+    #[test]
+    fn pcie_only_machine_is_slower_intra_node() {
+        let nv = Machine::new(MachineConfig::summit(1));
+        let pcie = Machine::new(MachineConfig::summit_pcie_only(1));
+        let cost = UniformCost::default();
+        let sched = ring::allreduce(6, 8 << 20);
+        let t_nv = simulate_dense(&sched, &nv, &cost).makespan;
+        let t_pcie = simulate_dense(&sched, &pcie, &cost).makespan;
+        assert!(t_pcie.as_secs_f64() > t_nv.as_secs_f64() * 2.0);
+    }
+
+    #[test]
+    fn single_rail_nic_halves_inter_node_bandwidth() {
+        let full = Machine::new(MachineConfig::summit(4));
+        let half = Machine::new(MachineConfig::summit(4).with_nic_scale(0.5));
+        let cost = UniformCost::default();
+        let sched = ring::allreduce(24, 16 << 20);
+        let t_full = simulate_dense(&sched, &full, &cost).makespan.as_secs_f64();
+        let t_half = simulate_dense(&sched, &half, &cost).makespan.as_secs_f64();
+        assert!(t_half > t_full, "halving the NIC must cost time");
+    }
+
+    #[test]
+    fn determinism() {
+        let m = machine_for(12);
+        let cost = UniformCost::default();
+        let s = ring::allreduce(12, 1 << 16);
+        let a = simulate_dense(&s, &m, &cost);
+        let b = simulate_dense(&s, &m, &cost);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.rank_finish, b.rank_finish);
+    }
+}

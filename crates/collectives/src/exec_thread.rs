@@ -1,0 +1,228 @@
+//! Real execution: run a [`Schedule`] across OS threads with actual data.
+//!
+//! One thread per rank; messages travel over crossbeam channels (one
+//! channel per ordered rank pair, so FIFO order within a pair gives us
+//! free round sequencing). Because the schedule is round-structured and a
+//! rank materializes all its outgoing payloads before blocking on
+//! receives, unbounded channels make the execution deadlock-free for any
+//! schedule that passes [`Schedule::validate`].
+//!
+//! This is the executor the accuracy experiment trains with — the same
+//! algorithm schedules the simulator times are the ones the real
+//! gradients travel through.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::reduce::{combine, finalize, ReduceOp};
+use crate::sched::{Action, Schedule};
+
+/// A message: `(round, offset, payload)` — enough to assert the receiver
+/// got what the schedule says it should.
+type Msg = (usize, usize, Vec<f32>);
+
+/// Execute `schedule` on real buffers, one thread per rank.
+///
+/// Buffers are modified in place; no finalization (callers apply
+/// [`finalize`] for Average — or use [`allreduce`]).
+pub fn run(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
+    assert_eq!(buffers.len(), schedule.n_ranks, "one buffer per rank");
+    for b in buffers.iter() {
+        assert_eq!(b.len(), schedule.n_elems, "buffer length mismatch");
+    }
+    schedule.validate().expect("invalid schedule");
+    let n = schedule.n_ranks;
+    if n == 1 || schedule.rounds.is_empty() {
+        return;
+    }
+
+    // tx[src][dst] / rx[dst][src]
+    let mut tx: Vec<Vec<Option<Sender<Msg>>>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut rx: Vec<Vec<Option<Receiver<Msg>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                let (t, r) = unbounded();
+                tx[s][d] = Some(t);
+                rx[d][s] = Some(r);
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for (rank, buf) in buffers.iter_mut().enumerate() {
+            let tx_row = std::mem::take(&mut tx[rank]);
+            let rx_row = std::mem::take(&mut rx[rank]);
+            let sched = &*schedule;
+            scope.spawn(move || {
+                rank_main(rank, buf, sched, op, tx_row, rx_row);
+            });
+        }
+    });
+}
+
+fn rank_main(
+    rank: usize,
+    buf: &mut [f32],
+    schedule: &Schedule,
+    op: ReduceOp,
+    tx: Vec<Option<Sender<Msg>>>,
+    rx: Vec<Option<Receiver<Msg>>>,
+) {
+    for (round_idx, round) in schedule.rounds.iter().enumerate() {
+        let actions = &round.per_rank[rank];
+        // Phase A: materialize and push all outgoing payloads. Payloads
+        // are copied before any receive mutates the buffer, giving the
+        // pre-round snapshot semantics exchanges rely on.
+        for a in actions {
+            if let Action::Send { peer, seg } = *a {
+                let payload = buf[seg.offset..seg.end()].to_vec();
+                tx[peer]
+                    .as_ref()
+                    .expect("send to self is rejected by validate")
+                    .send((round_idx, seg.offset, payload))
+                    .expect("receiver thread hung up");
+            }
+        }
+        // Phase B: block on receives in action order.
+        for a in actions {
+            match *a {
+                Action::Send { .. } => {}
+                Action::RecvReduce { peer, seg } | Action::RecvReplace { peer, seg } => {
+                    let (r, off, payload) = rx[peer]
+                        .as_ref()
+                        .expect("recv from self is rejected by validate")
+                        .recv()
+                        .expect("sender thread hung up");
+                    assert_eq!(r, round_idx, "rank {rank}: out-of-round message from {peer}");
+                    assert_eq!(off, seg.offset, "rank {rank}: segment mismatch from {peer}");
+                    assert_eq!(payload.len(), seg.len, "rank {rank}: length mismatch from {peer}");
+                    match a {
+                        Action::RecvReduce { .. } => {
+                            combine(op, &mut buf[seg.offset..seg.end()], &payload)
+                        }
+                        Action::RecvReplace { .. } => {
+                            buf[seg.offset..seg.end()].copy_from_slice(&payload)
+                        }
+                        Action::Send { .. } => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full threaded allreduce: run the schedule and finalize the op.
+pub fn allreduce(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
+    run(schedule, buffers, op);
+    for b in buffers.iter_mut() {
+        finalize(op, b, schedule.n_ranks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::{self, LeaderAlgo, NodeGroups};
+    use crate::reference::{assert_allreduce_result, expected_allreduce};
+    use crate::{rabenseifner, rd, ring, tree};
+
+    fn inputs(n_ranks: usize, n_elems: usize) -> Vec<Vec<f32>> {
+        (0..n_ranks)
+            .map(|r| (0..n_elems).map(|i| ((r * 29 + i * 5) % 17) as f32 * 0.5 - 4.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn threaded_ring_matches_reference() {
+        for &(n, e) in &[(2usize, 16usize), (4, 100), (6, 17), (7, 33)] {
+            let ins = inputs(n, e);
+            let mut bufs = ins.clone();
+            allreduce(&ring::allreduce(n, e), &mut bufs, ReduceOp::Sum);
+            assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+        }
+    }
+
+    #[test]
+    fn threaded_rd_matches_reference() {
+        for &n in &[2usize, 5, 8, 9] {
+            let ins = inputs(n, 24);
+            let mut bufs = ins.clone();
+            allreduce(&rd::allreduce(n, 24), &mut bufs, ReduceOp::Sum);
+            assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+        }
+    }
+
+    #[test]
+    fn threaded_rabenseifner_matches_reference() {
+        for &n in &[2usize, 4, 6, 8, 11] {
+            let ins = inputs(n, 37);
+            let mut bufs = ins.clone();
+            allreduce(&rabenseifner::allreduce(n, 37), &mut bufs, ReduceOp::Sum);
+            assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+        }
+    }
+
+    #[test]
+    fn threaded_tree_matches_reference() {
+        let ins = inputs(9, 12);
+        let mut bufs = ins.clone();
+        allreduce(&tree::allreduce(9, 12), &mut bufs, ReduceOp::Sum);
+        assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+    }
+
+    #[test]
+    fn threaded_hierarchical_matches_reference() {
+        let (n, e) = (12usize, 50usize);
+        let groups = NodeGroups::dense(n, 4);
+        let s = hierarchical::allreduce(n, e, &groups, LeaderAlgo::Rabenseifner);
+        let ins = inputs(n, e);
+        let mut bufs = ins.clone();
+        allreduce(&s, &mut bufs, ReduceOp::Sum);
+        assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+    }
+
+    #[test]
+    fn average_matches_expected() {
+        let (n, e) = (4usize, 1000usize);
+        let ins = inputs(n, e);
+        let mut bufs = ins.clone();
+        allreduce(&ring::allreduce(n, e), &mut bufs, ReduceOp::Average);
+        let want = expected_allreduce(&ins, ReduceOp::Average);
+        for b in &bufs {
+            for (g, w) in b.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn large_buffer_exercises_parallel_reduce() {
+        let (n, e) = (4usize, 1 << 16);
+        let ins: Vec<Vec<f32>> = (0..n).map(|r| vec![r as f32 + 1.0; e]).collect();
+        let mut bufs = ins.clone();
+        allreduce(&ring::allreduce(n, e), &mut bufs, ReduceOp::Sum);
+        assert!(bufs.iter().all(|b| b.iter().all(|&x| (x - 10.0).abs() < 1e-4)));
+    }
+
+    #[test]
+    fn single_rank_noop() {
+        let mut bufs = vec![vec![1.0, 2.0]];
+        allreduce(&ring::allreduce(1, 2), &mut bufs, ReduceOp::Sum);
+        assert_eq!(bufs[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn deterministic_bitwise_across_runs() {
+        // Same schedule + same inputs must give bit-identical results
+        // (each rank's combine order is fixed by the schedule).
+        let (n, e) = (6usize, 511usize);
+        let ins = inputs(n, e);
+        let mut a = ins.clone();
+        let mut b = ins.clone();
+        let s = ring::allreduce(n, e);
+        allreduce(&s, &mut a, ReduceOp::Sum);
+        allreduce(&s, &mut b, ReduceOp::Sum);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Rabenseifner's allreduce: recursive-halving reduce-scatter followed by
+//! recursive-doubling allgather. Moves `2 (p-1)/p` of the buffer per rank
+//! (bandwidth-optimal, like ring) in only `2 log2(p)` rounds (latency
+//! close to recursive doubling) — the algorithm tuned MPI libraries pick
+//! for large messages at moderate rank counts.
+//!
+//! Non-power-of-two rank counts reuse the fold/unfold phases from
+//! [`crate::rd`].
+
+use crate::rd::{post_unfold, pre_fold, Pof2};
+use crate::sched::{Action, Round, Schedule, Seg};
+
+/// Rabenseifner (halving-doubling) allreduce.
+pub fn allreduce(n_ranks: usize, n_elems: usize) -> Schedule {
+    let mut s = Schedule::new(n_ranks, n_elems);
+    if n_ranks == 1 {
+        return s;
+    }
+    let pof2 = Pof2::of(n_ranks);
+    pre_fold(&mut s, &pof2);
+
+    let p = pof2.p;
+    let k = p.trailing_zeros() as usize;
+    if k == 0 {
+        post_unfold(&mut s, &pof2);
+        return s;
+    }
+
+    // Per-core-rank segment stack: seg[j] is the segment a rank holds
+    // *entering* halving round j. seg[0] is the whole buffer.
+    let mut seg_stack: Vec<Vec<Seg>> = vec![vec![Seg::whole(n_elems)]; p];
+
+    // Reduce-scatter by recursive halving. Round j pairs rank c with
+    // c ^ half where half = p >> (j+1); the pair splits the current
+    // segment, low-bit side keeping the first half.
+    for j in 0..k {
+        let half = p >> (j + 1);
+        let mut round = Round::empty(n_ranks);
+        #[allow(clippy::needless_range_loop)] // c is a rank id, not just an index
+        for c in 0..p {
+            let partner = c ^ half;
+            let cur = seg_stack[c][j];
+            let (first, second) = cur.halves();
+            let (keep, give) = if c & half == 0 { (first, second) } else { (second, first) };
+            seg_stack[c].push(keep);
+            let g = pof2.core_to_global(c);
+            let pg = pof2.core_to_global(partner);
+            if !give.is_empty() {
+                round.per_rank[g].push(Action::Send { peer: pg, seg: give });
+            }
+            if !keep.is_empty() {
+                round.per_rank[g].push(Action::RecvReduce { peer: pg, seg: keep });
+            }
+        }
+        s.rounds.push(round);
+    }
+
+    // Allgather by recursive doubling: unwind the halving in reverse,
+    // each rank sending everything it has fully reduced so far.
+    for j in (0..k).rev() {
+        let half = p >> (j + 1);
+        let mut round = Round::empty(n_ranks);
+        for c in 0..p {
+            let partner = c ^ half;
+            let mine = seg_stack[c][j + 1];
+            let theirs = seg_stack[partner][j + 1];
+            let g = pof2.core_to_global(c);
+            let pg = pof2.core_to_global(partner);
+            if !mine.is_empty() {
+                round.per_rank[g].push(Action::Send { peer: pg, seg: mine });
+            }
+            if !theirs.is_empty() {
+                round.per_rank[g].push(Action::RecvReplace { peer: pg, seg: theirs });
+            }
+        }
+        s.rounds.push(round);
+    }
+
+    post_unfold(&mut s, &pof2);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReduceOp;
+    use crate::reference::{apply_allreduce, assert_allreduce_result};
+
+    fn inputs(n_ranks: usize, n_elems: usize) -> Vec<Vec<f32>> {
+        (0..n_ranks)
+            .map(|r| (0..n_elems).map(|i| ((r * 17 + i * 3) % 11) as f32 * 0.25 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn correct_on_powers_of_two() {
+        for &n in &[2usize, 4, 8, 16] {
+            for &e in &[1usize, 7, 16, 33, 100] {
+                let s = allreduce(n, e);
+                s.validate().unwrap_or_else(|err| panic!("n={n} e={e}: {err:?}"));
+                let ins = inputs(n, e);
+                let mut bufs = ins.clone();
+                apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+                assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn correct_on_non_powers_of_two() {
+        for &n in &[3usize, 5, 6, 7, 11, 12] {
+            for &e in &[1usize, 8, 29] {
+                let s = allreduce(n, e);
+                s.validate().unwrap_or_else(|err| panic!("n={n} e={e}: {err:?}"));
+                let ins = inputs(n, e);
+                let mut bufs = ins.clone();
+                apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+                assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_is_2_log_p_for_pof2() {
+        assert_eq!(allreduce(8, 64).n_rounds(), 6);
+        assert_eq!(allreduce(16, 64).n_rounds(), 8);
+    }
+
+    #[test]
+    fn bandwidth_matches_ring_asymptotics() {
+        // Per-rank traffic = 2*(p-1)/p * e for power-of-two p with evenly
+        // divisible e.
+        let (n, e) = (8usize, 64usize);
+        let s = allreduce(n, e);
+        assert_eq!(s.max_rank_sent_elems(), 2 * (n - 1) * e / n);
+    }
+
+    #[test]
+    fn fewer_rounds_than_ring_at_scale() {
+        let ring = crate::ring::allreduce(32, 1024);
+        let rab = allreduce(32, 1024);
+        assert!(rab.n_rounds() < ring.n_rounds());
+    }
+
+    #[test]
+    fn tiny_buffers() {
+        for &n in &[4usize, 8] {
+            let e = 2; // fewer elements than ranks: deep halving hits empties
+            let s = allreduce(n, e);
+            s.validate().unwrap();
+            let ins = inputs(n, e);
+            let mut bufs = ins.clone();
+            apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+            assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-4);
+        }
+    }
+
+    #[test]
+    fn two_ranks_degenerates_to_exchange() {
+        let s = allreduce(2, 10);
+        assert_eq!(s.n_rounds(), 2); // halve + double
+        let ins = inputs(2, 10);
+        let mut bufs = ins.clone();
+        apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+        assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-4);
+    }
+}

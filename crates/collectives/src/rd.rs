@@ -1,0 +1,200 @@
+//! Recursive-doubling allreduce: `log2(p)` rounds of whole-buffer
+//! pairwise exchanges. Latency-optimal for small messages, but each rank
+//! moves `log2(p) ×` the buffer, so it loses badly to ring/Rabenseifner
+//! at large sizes — the crossover the MPI personalities encode.
+//!
+//! Non-power-of-two rank counts use the standard MPICH pre/post phases:
+//! the first `2·rem` ranks fold pairwise onto the even members, the
+//! power-of-two core runs recursive doubling, and the folded ranks get
+//! the result back at the end.
+
+use crate::sched::{Action, Round, Schedule, Seg};
+
+/// Decomposition of a possibly non-power-of-two rank count.
+#[derive(Debug, Clone)]
+pub(crate) struct Pof2 {
+    /// Largest power of two `<= n`.
+    pub p: usize,
+    /// `n - p`: the number of ranks folded away in the pre-phase.
+    pub rem: usize,
+}
+
+impl Pof2 {
+    pub fn of(n: usize) -> Self {
+        assert!(n >= 1);
+        let p = if n.is_power_of_two() { n } else { n.next_power_of_two() / 2 };
+        Pof2 { p, rem: n - p }
+    }
+
+    /// Global rank of core member `c` (0 <= c < p).
+    pub fn core_to_global(&self, c: usize) -> usize {
+        if c < self.rem {
+            2 * c // even members of the folded prefix
+        } else {
+            c + self.rem
+        }
+    }
+
+    /// Core index of global rank `g`, or `None` if `g` folds away.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn global_to_core(&self, g: usize) -> Option<usize> {
+        if g < 2 * self.rem {
+            if g.is_multiple_of(2) {
+                Some(g / 2)
+            } else {
+                None
+            }
+        } else {
+            Some(g - self.rem)
+        }
+    }
+}
+
+/// Emit the fold-in pre-phase: odd ranks of the `2·rem` prefix send their
+/// whole buffer to their even neighbour, which reduces.
+pub(crate) fn pre_fold(s: &mut Schedule, pof2: &Pof2) {
+    if pof2.rem == 0 {
+        return;
+    }
+    let seg = Seg::whole(s.n_elems);
+    let mut round = Round::empty(s.n_ranks);
+    for i in 0..pof2.rem {
+        let odd = 2 * i + 1;
+        let even = 2 * i;
+        round.per_rank[odd].push(Action::Send { peer: even, seg });
+        round.per_rank[even].push(Action::RecvReduce { peer: odd, seg });
+    }
+    s.rounds.push(round);
+}
+
+/// Emit the fan-out post-phase: even prefix ranks return the final result
+/// to their folded odd neighbours.
+pub(crate) fn post_unfold(s: &mut Schedule, pof2: &Pof2) {
+    if pof2.rem == 0 {
+        return;
+    }
+    let seg = Seg::whole(s.n_elems);
+    let mut round = Round::empty(s.n_ranks);
+    for i in 0..pof2.rem {
+        let odd = 2 * i + 1;
+        let even = 2 * i;
+        round.per_rank[even].push(Action::Send { peer: odd, seg });
+        round.per_rank[odd].push(Action::RecvReplace { peer: even, seg });
+    }
+    s.rounds.push(round);
+}
+
+/// Recursive-doubling allreduce over `n_ranks` ranks.
+pub fn allreduce(n_ranks: usize, n_elems: usize) -> Schedule {
+    let mut s = Schedule::new(n_ranks, n_elems);
+    if n_ranks == 1 {
+        return s;
+    }
+    let pof2 = Pof2::of(n_ranks);
+    pre_fold(&mut s, &pof2);
+    let seg = Seg::whole(n_elems);
+    let mut mask = 1;
+    while mask < pof2.p {
+        let mut round = Round::empty(n_ranks);
+        for c in 0..pof2.p {
+            let partner = c ^ mask;
+            let g = pof2.core_to_global(c);
+            let pg = pof2.core_to_global(partner);
+            round.per_rank[g].push(Action::Send { peer: pg, seg });
+            round.per_rank[g].push(Action::RecvReduce { peer: pg, seg });
+        }
+        s.rounds.push(round);
+        mask <<= 1;
+    }
+    post_unfold(&mut s, &pof2);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReduceOp;
+    use crate::reference::{apply_allreduce, assert_allreduce_result};
+
+    fn inputs(n_ranks: usize, n_elems: usize) -> Vec<Vec<f32>> {
+        (0..n_ranks)
+            .map(|r| (0..n_elems).map(|i| ((r * 31 + i * 7) % 13) as f32 - 6.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn pof2_decomposition() {
+        let d = Pof2::of(6);
+        assert_eq!((d.p, d.rem), (4, 2));
+        let d = Pof2::of(8);
+        assert_eq!((d.p, d.rem), (8, 0));
+        let d = Pof2::of(1);
+        assert_eq!((d.p, d.rem), (1, 0));
+        let d = Pof2::of(132);
+        assert_eq!((d.p, d.rem), (128, 4));
+    }
+
+    #[test]
+    fn core_mapping_roundtrips() {
+        let d = Pof2::of(11); // p=8, rem=3
+        let mut cores = Vec::new();
+        for g in 0..11 {
+            if let Some(c) = d.global_to_core(g) {
+                assert_eq!(d.core_to_global(c), g);
+                cores.push(c);
+            }
+        }
+        cores.sort_unstable();
+        assert_eq!(cores, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn allreduce_power_of_two() {
+        for &n in &[2usize, 4, 8, 16] {
+            let s = allreduce(n, 10);
+            s.validate().unwrap();
+            assert_eq!(s.n_rounds(), n.trailing_zeros() as usize);
+            let ins = inputs(n, 10);
+            let mut bufs = ins.clone();
+            apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+            assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+        }
+    }
+
+    #[test]
+    fn allreduce_non_power_of_two() {
+        for &n in &[3usize, 5, 6, 7, 11, 12, 13] {
+            let s = allreduce(n, 9);
+            s.validate().unwrap_or_else(|e| panic!("n={n}: {e:?}"));
+            let ins = inputs(n, 9);
+            let mut bufs = ins.clone();
+            apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+            assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+        }
+    }
+
+    #[test]
+    fn traffic_is_log_p_whole_buffers() {
+        let (n, e) = (8usize, 100usize);
+        let s = allreduce(n, e);
+        assert_eq!(s.max_rank_sent_elems(), 3 * e, "log2(8) whole-buffer sends per rank");
+    }
+
+    #[test]
+    fn non_pof2_adds_two_rounds() {
+        assert_eq!(allreduce(6, 5).n_rounds(), 2 + 2); // fold + log2(4) + unfold
+    }
+
+    #[test]
+    fn single_rank_empty() {
+        assert_eq!(allreduce(1, 5).n_rounds(), 0);
+    }
+
+    #[test]
+    fn average_through_rd() {
+        let ins = inputs(6, 4);
+        let mut bufs = ins.clone();
+        apply_allreduce(&allreduce(6, 4), &mut bufs, ReduceOp::Average);
+        assert_allreduce_result(&ins, &bufs, ReduceOp::Average, 1e-4);
+    }
+}

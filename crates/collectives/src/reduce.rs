@@ -1,0 +1,122 @@
+//! Element-wise reduction kernels.
+//!
+//! Large segments go through rayon so the real threaded executor's
+//! reduction step parallelizes inside a rank, mirroring how a GPU
+//! library reduces fused buffers with many threads.
+
+use rayon::prelude::*;
+
+/// Reduction applied by an allreduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    /// Sum followed by division by the rank count (what Horovod's
+    /// gradient averaging does).
+    Average,
+    Max,
+}
+
+/// Below this many elements the serial loop beats rayon's dispatch cost.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// `dst[i] = dst[i] + src[i]`.
+pub fn combine_sum(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "segment length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, s)| *d += *s);
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += *s;
+        }
+    }
+}
+
+/// `dst[i] = max(dst[i], src[i])`.
+pub fn combine_max(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "segment length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, s)| *d = d.max(*s));
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = d.max(*s);
+        }
+    }
+}
+
+/// Combine according to `op`'s accumulation step (Average accumulates as
+/// Sum; the final scale is applied by [`finalize`]).
+pub fn combine(op: ReduceOp, dst: &mut [f32], src: &[f32]) {
+    match op {
+        ReduceOp::Sum | ReduceOp::Average => combine_sum(dst, src),
+        ReduceOp::Max => combine_max(dst, src),
+    }
+}
+
+/// Post-process a fully reduced buffer (scales by 1/n for Average).
+pub fn finalize(op: ReduceOp, buf: &mut [f32], n_ranks: usize) {
+    if op == ReduceOp::Average {
+        let inv = 1.0 / n_ranks as f32;
+        if buf.len() >= PAR_THRESHOLD {
+            buf.par_iter_mut().for_each(|x| *x *= inv);
+        } else {
+            for x in buf.iter_mut() {
+                *x *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_small() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        combine_sum(&mut a, &[10.0, 20.0, 30.0]);
+        assert_eq!(a, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn sum_large_uses_parallel_path() {
+        let n = PAR_THRESHOLD + 17;
+        let mut a = vec![1.0f32; n];
+        let b = vec![2.0f32; n];
+        combine_sum(&mut a, &b);
+        assert!(a.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn max_combines() {
+        let mut a = vec![1.0, 5.0, -2.0];
+        combine_max(&mut a, &[3.0, 4.0, -1.0]);
+        assert_eq!(a, vec![3.0, 5.0, -1.0]);
+    }
+
+    #[test]
+    fn average_finalizes() {
+        let mut a = vec![8.0, 4.0];
+        finalize(ReduceOp::Average, &mut a, 4);
+        assert_eq!(a, vec![2.0, 1.0]);
+        let mut b = vec![8.0];
+        finalize(ReduceOp::Sum, &mut b, 4);
+        assert_eq!(b, vec![8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut a = vec![1.0];
+        combine_sum(&mut a, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn combine_dispatches_by_op() {
+        let mut a = vec![1.0];
+        combine(ReduceOp::Average, &mut a, &[2.0]);
+        assert_eq!(a, vec![3.0]); // accumulation step is a plain sum
+        let mut b = vec![1.0];
+        combine(ReduceOp::Max, &mut b, &[2.0]);
+        assert_eq!(b, vec![2.0]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Sequential reference executor — the correctness oracle.
+//!
+//! Applies a [`Schedule`] to per-rank buffers in round order, with
+//! start-of-round snapshot semantics for send payloads (so pairwise
+//! exchanges behave like real MPI, where both sides send their pre-round
+//! data). Every algorithm's unit and property tests compare against the
+//! mathematically expected collective result through this executor.
+
+use crate::reduce::{combine, finalize, ReduceOp};
+use crate::sched::{Action, Schedule};
+
+/// Run `schedule` on `buffers` (one per rank) in place.
+///
+/// Panics on structurally invalid schedules (callers should `validate`
+/// first; this executor re-checks what it needs via slice indexing).
+pub fn apply(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
+    assert_eq!(buffers.len(), schedule.n_ranks, "one buffer per rank");
+    for b in buffers.iter() {
+        assert_eq!(b.len(), schedule.n_elems, "buffer length mismatch");
+    }
+    for round in &schedule.rounds {
+        // Snapshot all payloads leaving any rank this round.
+        // Key: (sender, receiver) — validation guarantees uniqueness.
+        let mut in_flight: Vec<((usize, usize), Vec<f32>)> = Vec::new();
+        for (rank, actions) in round.per_rank.iter().enumerate() {
+            for a in actions {
+                if let Action::Send { peer, seg } = *a {
+                    let payload = buffers[rank][seg.offset..seg.end()].to_vec();
+                    in_flight.push(((rank, peer), payload));
+                }
+            }
+        }
+        // Deliver.
+        for (rank, actions) in round.per_rank.iter().enumerate() {
+            for a in actions {
+                match *a {
+                    Action::Send { .. } => {}
+                    Action::RecvReduce { peer, seg } => {
+                        let payload = take(&mut in_flight, peer, rank);
+                        combine(op, &mut buffers[rank][seg.offset..seg.end()], &payload);
+                    }
+                    Action::RecvReplace { peer, seg } => {
+                        let payload = take(&mut in_flight, peer, rank);
+                        buffers[rank][seg.offset..seg.end()].copy_from_slice(&payload);
+                    }
+                }
+            }
+        }
+        assert!(
+            in_flight.is_empty(),
+            "sends without receives in reference execution: {:?}",
+            in_flight.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn take(in_flight: &mut Vec<((usize, usize), Vec<f32>)>, from: usize, to: usize) -> Vec<f32> {
+    let pos = in_flight
+        .iter()
+        .position(|((s, r), _)| *s == from && *r == to)
+        .unwrap_or_else(|| panic!("receive from {from} at {to} has no matching send"));
+    in_flight.swap_remove(pos).1
+}
+
+/// Run an allreduce schedule and finalize (for Average).
+pub fn apply_allreduce(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
+    apply(schedule, buffers, op);
+    for b in buffers.iter_mut() {
+        finalize(op, b, schedule.n_ranks);
+    }
+}
+
+/// The mathematically expected allreduce result for `inputs`.
+pub fn expected_allreduce(inputs: &[Vec<f32>], op: ReduceOp) -> Vec<f32> {
+    assert!(!inputs.is_empty());
+    let n = inputs[0].len();
+    let mut out = vec![
+        match op {
+            ReduceOp::Sum | ReduceOp::Average => 0.0,
+            ReduceOp::Max => f32::NEG_INFINITY,
+        };
+        n
+    ];
+    for inp in inputs {
+        assert_eq!(inp.len(), n);
+        combine(op, &mut out, inp);
+    }
+    finalize(op, &mut out, inputs.len());
+    out
+}
+
+/// Assert that every rank's buffer equals the expected allreduce of the
+/// original `inputs`, within `tol` absolute error per element.
+pub fn assert_allreduce_result(inputs: &[Vec<f32>], results: &[Vec<f32>], op: ReduceOp, tol: f32) {
+    let want = expected_allreduce(inputs, op);
+    for (r, got) in results.iter().enumerate() {
+        assert_eq!(got.len(), want.len(), "rank {r} buffer length");
+        for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (g - w).abs() <= tol,
+                "rank {r} element {i}: got {g}, want {w} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Round, Seg};
+
+    fn exchange_schedule(n_elems: usize) -> Schedule {
+        let mut s = Schedule::new(2, n_elems);
+        let seg = Seg::whole(n_elems);
+        let mut r = Round::empty(2);
+        r.per_rank[0] = vec![Action::Send { peer: 1, seg }, Action::RecvReduce { peer: 1, seg }];
+        r.per_rank[1] = vec![Action::Send { peer: 0, seg }, Action::RecvReduce { peer: 0, seg }];
+        s.rounds.push(r);
+        s
+    }
+
+    #[test]
+    fn exchange_uses_pre_round_values() {
+        // If snapshot semantics were wrong, one side would double-add.
+        let s = exchange_schedule(3);
+        let mut bufs = vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]];
+        apply(&s, &mut bufs, ReduceOp::Sum);
+        assert_eq!(bufs[0], vec![11.0, 22.0, 33.0]);
+        assert_eq!(bufs[1], vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut s = Schedule::new(2, 2);
+        let seg = Seg::whole(2);
+        let mut r = Round::empty(2);
+        r.per_rank[0] = vec![Action::Send { peer: 1, seg }];
+        r.per_rank[1] = vec![Action::RecvReplace { peer: 0, seg }];
+        s.rounds.push(r);
+        let mut bufs = vec![vec![7.0, 8.0], vec![0.0, 0.0]];
+        apply(&s, &mut bufs, ReduceOp::Sum);
+        assert_eq!(bufs[1], vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn average_divides_at_finalize() {
+        let s = exchange_schedule(1);
+        let mut bufs = vec![vec![2.0], vec![4.0]];
+        apply_allreduce(&s, &mut bufs, ReduceOp::Average);
+        assert_eq!(bufs[0], vec![3.0]);
+        assert_eq!(bufs[1], vec![3.0]);
+    }
+
+    #[test]
+    fn expected_allreduce_ops() {
+        let inputs = vec![vec![1.0, -5.0], vec![3.0, 2.0]];
+        assert_eq!(expected_allreduce(&inputs, ReduceOp::Sum), vec![4.0, -3.0]);
+        assert_eq!(expected_allreduce(&inputs, ReduceOp::Average), vec![2.0, -1.5]);
+        assert_eq!(expected_allreduce(&inputs, ReduceOp::Max), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no matching send")]
+    fn orphan_receive_panics() {
+        let mut s = Schedule::new(2, 1);
+        let mut r = Round::empty(2);
+        r.per_rank[1] = vec![Action::RecvReduce { peer: 0, seg: Seg::whole(1) }];
+        s.rounds.push(r);
+        let mut bufs = vec![vec![0.0], vec![0.0]];
+        apply(&s, &mut bufs, ReduceOp::Sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "sends without receives")]
+    fn orphan_send_panics() {
+        let mut s = Schedule::new(2, 1);
+        let mut r = Round::empty(2);
+        r.per_rank[0] = vec![Action::Send { peer: 1, seg: Seg::whole(1) }];
+        s.rounds.push(r);
+        let mut bufs = vec![vec![0.0], vec![0.0]];
+        apply(&s, &mut bufs, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn assert_helper_accepts_within_tol() {
+        let inputs = vec![vec![1.0], vec![2.0]];
+        let results = vec![vec![3.0000001], vec![2.9999999]];
+        assert_allreduce_result(&inputs, &results, ReduceOp::Sum, 1e-3);
+    }
+}

@@ -1,0 +1,200 @@
+//! Ring collectives: the bandwidth-optimal allreduce (reduce-scatter ring
+//! followed by allgather ring), plus standalone ring reduce-scatter and
+//! allgather. This is the algorithm NCCL and Horovod's default large-
+//! message path use: each rank sends `2 (n-1)/n` of the buffer in total,
+//! at the cost of `2 (n-1)` latency terms.
+
+use crate::sched::{Action, Round, Schedule, Seg};
+
+/// Ring allreduce over `n_ranks` ranks and `n_elems` elements.
+///
+/// `n_ranks == 1` yields an empty schedule (allreduce is the identity).
+pub fn allreduce(n_ranks: usize, n_elems: usize) -> Schedule {
+    let mut s = Schedule::new(n_ranks, n_elems);
+    if n_ranks == 1 {
+        return s;
+    }
+    let segs = Seg::whole(n_elems).partition(n_ranks);
+    reduce_scatter_rounds(&mut s, &segs);
+    allgather_rounds(&mut s, &segs);
+    s
+}
+
+/// Ring reduce-scatter: after it, rank `r` holds the fully reduced
+/// segment `(r + 1) % n` of the canonical n-way partition.
+pub fn reduce_scatter(n_ranks: usize, n_elems: usize) -> Schedule {
+    let mut s = Schedule::new(n_ranks, n_elems);
+    if n_ranks == 1 {
+        return s;
+    }
+    let segs = Seg::whole(n_elems).partition(n_ranks);
+    reduce_scatter_rounds(&mut s, &segs);
+    s
+}
+
+/// Ring allgather assuming rank `r` holds valid data in segment
+/// `(r + 1) % n` of the canonical partition (the reduce-scatter output).
+pub fn allgather(n_ranks: usize, n_elems: usize) -> Schedule {
+    let mut s = Schedule::new(n_ranks, n_elems);
+    if n_ranks == 1 {
+        return s;
+    }
+    let segs = Seg::whole(n_elems).partition(n_ranks);
+    allgather_rounds(&mut s, &segs);
+    s
+}
+
+/// The canonical segment owned by rank `r` after ring reduce-scatter.
+pub fn owned_segment(n_ranks: usize, n_elems: usize, rank: usize) -> Seg {
+    Seg::whole(n_elems).partition(n_ranks)[(rank + 1) % n_ranks]
+}
+
+fn reduce_scatter_rounds(s: &mut Schedule, segs: &[Seg]) {
+    let n = s.n_ranks;
+    for step in 0..n - 1 {
+        let mut round = Round::empty(n);
+        for r in 0..n {
+            let right = (r + 1) % n;
+            let left = (r + n - 1) % n;
+            let send_seg = segs[(r + n - step) % n];
+            let recv_seg = segs[(r + 2 * n - step - 1) % n];
+            if !send_seg.is_empty() {
+                round.per_rank[r].push(Action::Send { peer: right, seg: send_seg });
+            }
+            if !recv_seg.is_empty() {
+                round.per_rank[r].push(Action::RecvReduce { peer: left, seg: recv_seg });
+            }
+        }
+        s.rounds.push(round);
+    }
+}
+
+fn allgather_rounds(s: &mut Schedule, segs: &[Seg]) {
+    let n = s.n_ranks;
+    for step in 0..n - 1 {
+        let mut round = Round::empty(n);
+        for r in 0..n {
+            let right = (r + 1) % n;
+            let left = (r + n - 1) % n;
+            let send_seg = segs[(r + 1 + n - step) % n];
+            let recv_seg = segs[(r + n - step) % n];
+            if !send_seg.is_empty() {
+                round.per_rank[r].push(Action::Send { peer: right, seg: send_seg });
+            }
+            if !recv_seg.is_empty() {
+                round.per_rank[r].push(Action::RecvReplace { peer: left, seg: recv_seg });
+            }
+        }
+        s.rounds.push(round);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReduceOp;
+    use crate::reference::{apply, apply_allreduce, assert_allreduce_result};
+
+    fn inputs(n_ranks: usize, n_elems: usize) -> Vec<Vec<f32>> {
+        (0..n_ranks)
+            .map(|r| (0..n_elems).map(|i| (r * n_elems + i) as f32 * 0.5 - 3.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn allreduce_is_correct_various_sizes() {
+        for &n in &[2usize, 3, 4, 6, 7, 12] {
+            for &e in &[1usize, 2, 5, 12, 13, 100] {
+                let s = allreduce(n, e);
+                s.validate().unwrap_or_else(|err| panic!("n={n} e={e}: {err:?}"));
+                let ins = inputs(n, e);
+                let mut bufs = ins.clone();
+                apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+                assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_empty() {
+        assert_eq!(allreduce(1, 100).n_rounds(), 0);
+    }
+
+    #[test]
+    fn round_count_is_2n_minus_2() {
+        assert_eq!(allreduce(6, 600).n_rounds(), 10);
+        assert_eq!(reduce_scatter(6, 600).n_rounds(), 5);
+        assert_eq!(allgather(6, 600).n_rounds(), 5);
+    }
+
+    #[test]
+    fn per_rank_traffic_is_bandwidth_optimal() {
+        // Each rank sends 2*(n-1)/n of the buffer.
+        let (n, e) = (8usize, 800usize);
+        let s = allreduce(n, e);
+        let per_rank = s.total_sent_elems() / n;
+        let optimal = 2 * (n - 1) * e / n;
+        assert_eq!(per_rank, optimal);
+        assert_eq!(s.max_rank_sent_elems(), optimal);
+    }
+
+    #[test]
+    fn reduce_scatter_owner_has_full_sum() {
+        let (n, e) = (4usize, 8usize);
+        let s = reduce_scatter(n, e);
+        s.validate().unwrap();
+        let ins = inputs(n, e);
+        let mut bufs = ins.clone();
+        apply(&s, &mut bufs, ReduceOp::Sum);
+        #[allow(clippy::needless_range_loop)] // r is the rank id
+        for r in 0..n {
+            let seg = owned_segment(n, e, r);
+            for i in seg.offset..seg.end() {
+                let want: f32 = ins.iter().map(|b| b[i]).sum();
+                assert!(
+                    (bufs[r][i] - want).abs() < 1e-4,
+                    "rank {r} elem {i}: {} vs {want}",
+                    bufs[r][i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_allgather_equals_allreduce() {
+        let (n, e) = (5usize, 23usize);
+        let ins = inputs(n, e);
+        let mut bufs = ins.clone();
+        apply(&reduce_scatter(n, e), &mut bufs, ReduceOp::Sum);
+        apply(&allgather(n, e), &mut bufs, ReduceOp::Sum);
+        assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+    }
+
+    #[test]
+    fn tiny_buffer_fewer_elems_than_ranks() {
+        let (n, e) = (6usize, 3usize);
+        let s = allreduce(n, e);
+        s.validate().unwrap();
+        let ins = inputs(n, e);
+        let mut bufs = ins.clone();
+        apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+        assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-4);
+    }
+
+    #[test]
+    fn zero_elems_is_legal() {
+        let s = allreduce(4, 0);
+        s.validate().unwrap();
+        let mut bufs = vec![Vec::new(); 4];
+        apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn average_op_through_ring() {
+        let (n, e) = (3usize, 7usize);
+        let ins = inputs(n, e);
+        let mut bufs = ins.clone();
+        apply_allreduce(&allreduce(n, e), &mut bufs, ReduceOp::Average);
+        assert_allreduce_result(&ins, &bufs, ReduceOp::Average, 1e-4);
+    }
+}

@@ -1,0 +1,389 @@
+//! Round-structured collective schedules.
+//!
+//! Every collective algorithm in this crate compiles to a [`Schedule`]: a
+//! list of rounds, each holding the actions every rank issues in that
+//! round. A rank's round `i + 1` actions begin when its own round `i`
+//! actions complete — there is no global barrier, which matches both how
+//! MPI collectives actually execute and how the simulator models them.
+//!
+//! The same schedule drives three executors:
+//!
+//! * [`crate::reference`] — sequential, for correctness oracles;
+//! * [`crate::exec_sim`] — timing over the Summit simulator;
+//! * [`crate::exec_thread`] — real data movement across OS threads.
+
+/// A contiguous range of buffer *elements* (f32 words, not bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Seg {
+    pub offset: usize,
+    pub len: usize,
+}
+
+impl Seg {
+    pub fn new(offset: usize, len: usize) -> Self {
+        Seg { offset, len }
+    }
+
+    pub fn whole(n_elems: usize) -> Self {
+        Seg { offset: 0, len: n_elems }
+    }
+
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Split into `(first, second)` halves; the first half gets the extra
+    /// element of an odd length (both partners must agree on this rule).
+    pub fn halves(&self) -> (Seg, Seg) {
+        let first = self.len - self.len / 2;
+        (Seg::new(self.offset, first), Seg::new(self.offset + first, self.len - first))
+    }
+
+    /// Near-equal partition into `k` consecutive pieces; the first
+    /// `len % k` pieces get one extra element.
+    pub fn partition(&self, k: usize) -> Vec<Seg> {
+        assert!(k >= 1, "cannot partition into zero pieces");
+        let base = self.len / k;
+        let extra = self.len % k;
+        let mut segs = Vec::with_capacity(k);
+        let mut off = self.offset;
+        for i in 0..k {
+            let l = base + usize::from(i < extra);
+            segs.push(Seg::new(off, l));
+            off += l;
+        }
+        segs
+    }
+}
+
+/// One communication action by one rank within a round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Send `seg` of the local buffer to `peer`. The payload is the
+    /// buffer content *at the start of the round* (exchanges are safe).
+    Send { peer: usize, seg: Seg },
+    /// Receive `seg` from `peer` and combine element-wise (reduction).
+    RecvReduce { peer: usize, seg: Seg },
+    /// Receive `seg` from `peer` and overwrite.
+    RecvReplace { peer: usize, seg: Seg },
+}
+
+impl Action {
+    pub fn seg(&self) -> Seg {
+        match *self {
+            Action::Send { seg, .. }
+            | Action::RecvReduce { seg, .. }
+            | Action::RecvReplace { seg, .. } => seg,
+        }
+    }
+
+    pub fn peer(&self) -> usize {
+        match *self {
+            Action::Send { peer, .. }
+            | Action::RecvReduce { peer, .. }
+            | Action::RecvReplace { peer, .. } => peer,
+        }
+    }
+
+    pub fn is_send(&self) -> bool {
+        matches!(self, Action::Send { .. })
+    }
+}
+
+/// One round: `per_rank[r]` is what rank `r` issues.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Round {
+    pub per_rank: Vec<Vec<Action>>,
+}
+
+impl Round {
+    pub fn empty(n_ranks: usize) -> Self {
+        Round { per_rank: vec![Vec::new(); n_ranks] }
+    }
+}
+
+/// A complete collective schedule over `n_ranks` ranks and a buffer of
+/// `n_elems` f32 elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    pub n_ranks: usize,
+    pub n_elems: usize,
+    pub rounds: Vec<Round>,
+}
+
+/// A structural problem found by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    RankOutOfRange { round: usize, rank: usize, peer: usize },
+    SegOutOfRange { round: usize, rank: usize, seg: Seg },
+    SelfMessage { round: usize, rank: usize },
+    /// A send with no matching receive (or vice versa) in the same round.
+    Unmatched { round: usize, sender: usize, receiver: usize },
+    /// Sender and receiver disagree about the segment.
+    SegMismatch { round: usize, sender: usize, receiver: usize },
+    /// More than one message between the same ordered pair in one round
+    /// (the executors use the round index as the message tag).
+    DuplicatePair { round: usize, sender: usize, receiver: usize },
+    WrongRankCount { round: usize, got: usize },
+}
+
+impl Schedule {
+    pub fn new(n_ranks: usize, n_elems: usize) -> Self {
+        assert!(n_ranks >= 1);
+        Schedule { n_ranks, n_elems, rounds: Vec::new() }
+    }
+
+    pub fn n_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total payload elements sent across all ranks and rounds.
+    pub fn total_sent_elems(&self) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.per_rank.iter().flatten())
+            .filter(|a| a.is_send())
+            .map(|a| a.seg().len)
+            .sum()
+    }
+
+    /// The largest number of elements any single rank sends in total —
+    /// a proxy for the per-rank bandwidth term of the α–β cost model.
+    pub fn max_rank_sent_elems(&self) -> usize {
+        (0..self.n_ranks)
+            .map(|r| {
+                self.rounds
+                    .iter()
+                    .flat_map(|round| round.per_rank[r].iter())
+                    .filter(|a| a.is_send())
+                    .map(|a| a.seg().len)
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Check structural sanity: peers in range, segments in bounds, every
+    /// send matched by exactly one receive of the same segment in the
+    /// same round, at most one message per ordered pair per round.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        use std::collections::HashMap;
+        for (ri, round) in self.rounds.iter().enumerate() {
+            if round.per_rank.len() != self.n_ranks {
+                return Err(ScheduleError::WrongRankCount { round: ri, got: round.per_rank.len() });
+            }
+            // (sender, receiver) -> (send seg, recv seg)
+            let mut pairs: HashMap<(usize, usize), (Option<Seg>, Option<Seg>)> = HashMap::new();
+            for (rank, actions) in round.per_rank.iter().enumerate() {
+                for a in actions {
+                    let peer = a.peer();
+                    if peer >= self.n_ranks {
+                        return Err(ScheduleError::RankOutOfRange { round: ri, rank, peer });
+                    }
+                    if peer == rank {
+                        return Err(ScheduleError::SelfMessage { round: ri, rank });
+                    }
+                    let seg = a.seg();
+                    if seg.end() > self.n_elems {
+                        return Err(ScheduleError::SegOutOfRange { round: ri, rank, seg });
+                    }
+                    let key = if a.is_send() { (rank, peer) } else { (peer, rank) };
+                    let entry = pairs.entry(key).or_insert((None, None));
+                    let slot = if a.is_send() { &mut entry.0 } else { &mut entry.1 };
+                    if slot.is_some() {
+                        return Err(ScheduleError::DuplicatePair {
+                            round: ri,
+                            sender: key.0,
+                            receiver: key.1,
+                        });
+                    }
+                    *slot = Some(seg);
+                }
+            }
+            for ((s, r), (send, recv)) in pairs {
+                match (send, recv) {
+                    (Some(a), Some(b)) if a == b => {}
+                    (Some(_), Some(_)) => {
+                        return Err(ScheduleError::SegMismatch { round: ri, sender: s, receiver: r })
+                    }
+                    _ => return Err(ScheduleError::Unmatched { round: ri, sender: s, receiver: r }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A copy of this schedule with every segment shifted by `offset`
+    /// into a larger element space of `n_elems` — how sub-range
+    /// collectives (chunk pipelines, shard-wise phases) are composed.
+    pub fn shifted(&self, offset: usize, n_elems: usize) -> Schedule {
+        let mut out = Schedule::new(self.n_ranks, n_elems);
+        for round in &self.rounds {
+            let mut new_round = Round::empty(self.n_ranks);
+            for (rank, actions) in round.per_rank.iter().enumerate() {
+                for a in actions {
+                    let seg = a.seg();
+                    assert!(seg.end() + offset <= n_elems, "shift out of range");
+                    let s = Seg::new(seg.offset + offset, seg.len);
+                    let na = match *a {
+                        Action::Send { peer, .. } => Action::Send { peer, seg: s },
+                        Action::RecvReduce { peer, .. } => Action::RecvReduce { peer, seg: s },
+                        Action::RecvReplace { peer, .. } => Action::RecvReplace { peer, seg: s },
+                    };
+                    new_round.per_rank[rank].push(na);
+                }
+            }
+            out.rounds.push(new_round);
+        }
+        out
+    }
+
+    /// Embed `sub` (a schedule over a subgroup) into this schedule:
+    /// `map[sub_rank]` is the global rank. Sub-round `i` lands in global
+    /// round `round_offset + i`, extending `rounds` as needed. Disjoint
+    /// subgroups may be embedded at the same offset to run concurrently.
+    pub fn embed(&mut self, sub: &Schedule, map: &[usize], round_offset: usize) {
+        assert_eq!(map.len(), sub.n_ranks, "map must cover the subgroup");
+        assert_eq!(sub.n_elems, self.n_elems, "element spaces must agree");
+        for &g in map {
+            assert!(g < self.n_ranks, "mapped rank {g} out of range");
+        }
+        while self.rounds.len() < round_offset + sub.rounds.len() {
+            self.rounds.push(Round::empty(self.n_ranks));
+        }
+        for (i, round) in sub.rounds.iter().enumerate() {
+            let dst = &mut self.rounds[round_offset + i];
+            for (sr, actions) in round.per_rank.iter().enumerate() {
+                let g = map[sr];
+                for a in actions {
+                    let remapped = match *a {
+                        Action::Send { peer, seg } => Action::Send { peer: map[peer], seg },
+                        Action::RecvReduce { peer, seg } => {
+                            Action::RecvReduce { peer: map[peer], seg }
+                        }
+                        Action::RecvReplace { peer, seg } => {
+                            Action::RecvReplace { peer: map[peer], seg }
+                        }
+                    };
+                    dst.per_rank[g].push(remapped);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seg_halves_cover() {
+        let s = Seg::new(3, 7);
+        let (a, b) = s.halves();
+        assert_eq!(a, Seg::new(3, 4));
+        assert_eq!(b, Seg::new(7, 3));
+        assert_eq!(a.len + b.len, s.len);
+        assert_eq!(b.end(), s.end());
+    }
+
+    #[test]
+    fn seg_partition_covers_and_balances() {
+        let s = Seg::new(0, 10);
+        let parts = s.partition(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.len).sum::<usize>(), 10);
+        assert_eq!(parts[0], Seg::new(0, 3));
+        assert_eq!(parts[1], Seg::new(3, 3));
+        assert_eq!(parts[2], Seg::new(6, 2));
+        assert_eq!(parts[3], Seg::new(8, 2));
+        // contiguity
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end(), w[1].offset);
+        }
+    }
+
+    #[test]
+    fn seg_partition_more_pieces_than_elems() {
+        let parts = Seg::new(0, 2).partition(5);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+        assert_eq!(parts.iter().map(|p| p.len).sum::<usize>(), 2);
+    }
+
+    fn exchange(n_elems: usize) -> Schedule {
+        let mut s = Schedule::new(2, n_elems);
+        let seg = Seg::whole(n_elems);
+        let mut r = Round::empty(2);
+        r.per_rank[0] = vec![Action::Send { peer: 1, seg }, Action::RecvReduce { peer: 1, seg }];
+        r.per_rank[1] = vec![Action::Send { peer: 0, seg }, Action::RecvReduce { peer: 0, seg }];
+        s.rounds.push(r);
+        s
+    }
+
+    #[test]
+    fn validate_accepts_exchange() {
+        assert_eq!(exchange(8).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_unmatched_send() {
+        let mut s = exchange(8);
+        s.rounds[0].per_rank[1].clear();
+        assert!(matches!(s.validate(), Err(ScheduleError::Unmatched { .. })));
+    }
+
+    #[test]
+    fn validate_catches_seg_mismatch() {
+        let mut s = exchange(8);
+        s.rounds[0].per_rank[1][1] = Action::RecvReduce { peer: 0, seg: Seg::new(0, 4) };
+        assert!(matches!(s.validate(), Err(ScheduleError::SegMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_catches_self_message() {
+        let mut s = exchange(8);
+        s.rounds[0].per_rank[0][0] = Action::Send { peer: 0, seg: Seg::whole(8) };
+        assert!(matches!(s.validate(), Err(ScheduleError::SelfMessage { .. })));
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_seg() {
+        let mut s = exchange(8);
+        s.rounds[0].per_rank[0][0] = Action::Send { peer: 1, seg: Seg::new(4, 8) };
+        assert!(matches!(s.validate(), Err(ScheduleError::SegOutOfRange { .. })));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_pair() {
+        let mut s = exchange(8);
+        s.rounds[0].per_rank[0].push(Action::Send { peer: 1, seg: Seg::new(0, 1) });
+        assert!(matches!(s.validate(), Err(ScheduleError::DuplicatePair { .. })));
+    }
+
+    #[test]
+    fn total_and_max_sent() {
+        let s = exchange(8);
+        assert_eq!(s.total_sent_elems(), 16);
+        assert_eq!(s.max_rank_sent_elems(), 8);
+    }
+
+    #[test]
+    fn embed_remaps_and_extends() {
+        let sub = exchange(8); // 2-rank exchange
+        let mut global = Schedule::new(6, 8);
+        global.embed(&sub, &[2, 5], 0);
+        global.embed(&sub, &[0, 3], 0); // disjoint group, same round
+        assert_eq!(global.n_rounds(), 1);
+        assert_eq!(global.validate(), Ok(()));
+        assert_eq!(global.rounds[0].per_rank[2][0].peer(), 5);
+        assert_eq!(global.rounds[0].per_rank[1].len(), 0);
+        // embedding at a later offset pads with empty rounds
+        global.embed(&sub, &[1, 4], 3);
+        assert_eq!(global.n_rounds(), 4);
+        assert_eq!(global.validate(), Ok(()));
+        assert!(global.rounds[1].per_rank.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,162 @@
+//! Binomial-tree broadcast and reduce, and the reduce+broadcast
+//! allreduce composition. `log2(n)` rounds with whole-buffer payloads;
+//! the workhorse of small-message collectives and of the intra-node
+//! phases of the hierarchical allreduce.
+
+use crate::sched::{Action, Round, Schedule, Seg};
+
+fn ceil_log2(n: usize) -> usize {
+    assert!(n >= 1);
+    usize::BITS as usize - (n - 1).leading_zeros() as usize
+}
+
+/// Binomial broadcast from `root`. Internally computed for root 0 over
+/// relative ranks `(r - root) mod n`.
+pub fn broadcast(n_ranks: usize, n_elems: usize, root: usize) -> Schedule {
+    assert!(root < n_ranks, "root out of range");
+    let mut s = Schedule::new(n_ranks, n_elems);
+    if n_ranks == 1 {
+        return s;
+    }
+    let seg = Seg::whole(n_elems);
+    let to_abs = |rel: usize| (rel + root) % n_ranks;
+    for j in 0..ceil_log2(n_ranks) {
+        let stride = 1 << j;
+        let mut round = Round::empty(n_ranks);
+        for rel in 0..stride.min(n_ranks) {
+            let dst = rel + stride;
+            if dst < n_ranks {
+                round.per_rank[to_abs(rel)].push(Action::Send { peer: to_abs(dst), seg });
+                round.per_rank[to_abs(dst)].push(Action::RecvReplace { peer: to_abs(rel), seg });
+            }
+        }
+        s.rounds.push(round);
+    }
+    s
+}
+
+/// Binomial reduce to `root`: after it, `root` holds the element-wise
+/// reduction of all ranks' buffers (other ranks' buffers are clobbered
+/// with partial sums).
+pub fn reduce(n_ranks: usize, n_elems: usize, root: usize) -> Schedule {
+    assert!(root < n_ranks, "root out of range");
+    let mut s = Schedule::new(n_ranks, n_elems);
+    if n_ranks == 1 {
+        return s;
+    }
+    let seg = Seg::whole(n_elems);
+    let to_abs = |rel: usize| (rel + root) % n_ranks;
+    for j in (0..ceil_log2(n_ranks)).rev() {
+        let stride = 1 << j;
+        let mut round = Round::empty(n_ranks);
+        for rel in 0..stride.min(n_ranks) {
+            let src = rel + stride;
+            if src < n_ranks {
+                round.per_rank[to_abs(src)].push(Action::Send { peer: to_abs(rel), seg });
+                round.per_rank[to_abs(rel)].push(Action::RecvReduce { peer: to_abs(src), seg });
+            }
+        }
+        s.rounds.push(round);
+    }
+    s
+}
+
+/// Allreduce as binomial reduce-to-0 followed by binomial broadcast-from-0.
+/// Latency `2 log2(n)`, but the root moves `log2(n)` whole buffers —
+/// only sensible for small messages.
+pub fn allreduce(n_ranks: usize, n_elems: usize) -> Schedule {
+    let mut s = reduce(n_ranks, n_elems, 0);
+    let b = broadcast(n_ranks, n_elems, 0);
+    let offset = s.n_rounds();
+    let map: Vec<usize> = (0..n_ranks).collect();
+    s.embed(&b, &map, offset);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReduceOp;
+    use crate::reference::{apply, apply_allreduce, assert_allreduce_result};
+
+    fn inputs(n_ranks: usize, n_elems: usize) -> Vec<Vec<f32>> {
+        (0..n_ranks)
+            .map(|r| (0..n_elems).map(|i| (r + 1) as f32 * 10.0 + i as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        for &n in &[2usize, 3, 5, 6, 8, 13] {
+            for root in [0, n - 1, n / 2] {
+                let s = broadcast(n, 4, root);
+                s.validate().unwrap_or_else(|e| panic!("n={n} root={root}: {e:?}"));
+                let mut bufs = vec![vec![0.0; 4]; n];
+                bufs[root] = vec![1.0, 2.0, 3.0, 4.0];
+                apply(&s, &mut bufs, ReduceOp::Sum);
+                for (r, b) in bufs.iter().enumerate() {
+                    assert_eq!(b, &vec![1.0, 2.0, 3.0, 4.0], "rank {r} (n={n}, root={root})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_round_count_is_ceil_log2() {
+        assert_eq!(broadcast(6, 4, 0).n_rounds(), 3);
+        assert_eq!(broadcast(8, 4, 0).n_rounds(), 3);
+        assert_eq!(broadcast(9, 4, 0).n_rounds(), 4);
+    }
+
+    #[test]
+    fn reduce_collects_full_sum_at_root() {
+        for &n in &[2usize, 3, 6, 7, 8] {
+            for root in [0, n - 1] {
+                let ins = inputs(n, 5);
+                let mut bufs = ins.clone();
+                let s = reduce(n, 5, root);
+                s.validate().unwrap();
+                apply(&s, &mut bufs, ReduceOp::Sum);
+                for i in 0..5 {
+                    let want: f32 = ins.iter().map(|b| b[i]).sum();
+                    assert!((bufs[root][i] - want).abs() < 1e-3, "n={n} root={root} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_via_tree() {
+        for &n in &[2usize, 4, 6, 9] {
+            let ins = inputs(n, 6);
+            let mut bufs = ins.clone();
+            let s = allreduce(n, 6);
+            s.validate().unwrap();
+            apply_allreduce(&s, &mut bufs, ReduceOp::Sum);
+            assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
+        }
+    }
+
+    #[test]
+    fn single_rank_trees_are_empty() {
+        assert_eq!(broadcast(1, 9, 0).n_rounds(), 0);
+        assert_eq!(reduce(1, 9, 0).n_rounds(), 0);
+        assert_eq!(allreduce(1, 9).n_rounds(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of range")]
+    fn bad_root_panics() {
+        broadcast(4, 1, 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! DeepLab-v3+ (Chen et al. 2018) with the modified aligned Xception-65
+//! backbone at output stride 16 — the paper's training workload
+//! (513×513 crops, 21 Pascal-VOC classes).
+//!
+//! Structure: Xception-65 entry/middle/exit flows built from
+//! depthwise-separable convolutions; ASPP with one 1×1, three dilated
+//! 3×3 branches and image-level pooling; and the v3+ decoder that fuses
+//! 4×-upsampled ASPP features with low-level entry-flow features.
+//!
+//! Dilated (atrous) convolutions cost the same FLOPs as dense ones at
+//! equal kernel size, so the builder does not track dilation.
+
+use crate::layer::{GraphBuilder, ModelGraph};
+
+/// An Xception block: three separable convs with a residual connection;
+/// `stride` applies to the last separable conv. A 1×1 projection carries
+/// the skip when shape changes.
+fn xception_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    channels: [usize; 3],
+    stride: usize,
+    skip_conv: bool,
+) {
+    let (h, w, in_c) = b.shape();
+    b.sep_conv(&format!("{name}.sep1"), 3, 1, channels[0]);
+    b.sep_conv(&format!("{name}.sep2"), 3, 1, channels[1]);
+    b.sep_conv(&format!("{name}.sep3"), 3, stride, channels[2]);
+    if skip_conv {
+        let (ho, wo, _) = b.shape();
+        b.set_shape(h, w, in_c);
+        b.conv(&format!("{name}.skip"), 1, stride, channels[2]);
+        b.bn(&format!("{name}.skip_bn"));
+        b.set_shape(ho, wo, channels[2]);
+    }
+    b.add(&format!("{name}.add"));
+}
+
+/// Modified aligned Xception-65 backbone at output stride 16. Returns the
+/// builder positioned at the encoder output plus the shape of the
+/// low-level feature tap (end of entry-flow block 1) the decoder uses.
+fn xception65(b: &mut GraphBuilder) -> (usize, usize, usize) {
+    // Entry flow.
+    b.conv("entry.conv1", 3, 2, 32);
+    b.bn("entry.bn1");
+    b.relu("entry.relu1");
+    b.conv("entry.conv2", 3, 1, 64);
+    b.bn("entry.bn2");
+    b.relu("entry.relu2");
+    xception_block(b, "entry.block1", [128, 128, 128], 2, true);
+    let low_level = b.shape(); // stride-4 features for the decoder
+    xception_block(b, "entry.block2", [256, 256, 256], 2, true);
+    xception_block(b, "entry.block3", [728, 728, 728], 2, true);
+    // Middle flow: 16 identity blocks at 728 channels.
+    for i in 0..16 {
+        xception_block(b, &format!("middle.block{i}"), [728, 728, 728], 1, false);
+    }
+    // Exit flow (stride 1 at OS16; the 3×3s are atrous instead).
+    xception_block(b, "exit.block1", [728, 1024, 1024], 1, true);
+    b.sep_conv("exit.sep1", 3, 1, 1536);
+    b.sep_conv("exit.sep2", 3, 1, 1536);
+    b.sep_conv("exit.sep3", 3, 1, 2048);
+    low_level
+}
+
+/// Atrous Spatial Pyramid Pooling at 256 channels: 1×1 + three dilated
+/// 3×3 (rates 6/12/18) + global pooling branch, concatenated and
+/// projected.
+fn aspp(b: &mut GraphBuilder) {
+    let (h, w, c) = b.shape();
+    // Branch costs are sequential in the cost model; shapes are restored
+    // between branches.
+    b.conv("aspp.b0", 1, 1, 256);
+    b.bn("aspp.b0_bn");
+    b.relu("aspp.b0_relu");
+    for (i, rate) in [6usize, 12, 18].iter().enumerate() {
+        b.set_shape(h, w, c);
+        b.conv(&format!("aspp.b{}_r{rate}", i + 1), 3, 1, 256);
+        b.bn(&format!("aspp.b{}_bn", i + 1));
+        b.relu(&format!("aspp.b{}_relu", i + 1));
+    }
+    // Image-level pooling branch.
+    b.set_shape(h, w, c);
+    b.global_pool("aspp.pool");
+    b.conv("aspp.pool_conv", 1, 1, 256);
+    b.bn("aspp.pool_bn");
+    b.relu("aspp.pool_relu");
+    b.interp("aspp.pool_up", h, w);
+    // Concat of 5 × 256 branches, then 1×1 projection to 256.
+    b.set_shape(h, w, 256);
+    b.concat("aspp.concat", 4 * 256);
+    b.conv("aspp.proj", 1, 1, 256);
+    b.bn("aspp.proj_bn");
+    b.relu("aspp.proj_relu");
+}
+
+/// The v3+ decoder: upsample ×4, fuse with 48-channel-projected
+/// low-level features, refine with two 3×3 convs, classify, upsample to
+/// input resolution.
+fn decoder(b: &mut GraphBuilder, low_level: (usize, usize, usize), input: usize, classes: usize) {
+    let (llh, llw, llc) = low_level;
+    let (h, w, c) = b.shape();
+    // Low-level 1×1 projection to 48 channels.
+    b.set_shape(llh, llw, llc);
+    b.conv("decoder.low_proj", 1, 1, 48);
+    b.bn("decoder.low_bn");
+    b.relu("decoder.low_relu");
+    // Back to the encoder output, upsample to low-level resolution.
+    b.set_shape(h, w, c);
+    b.interp("decoder.up4", llh, llw);
+    b.concat("decoder.concat", 48);
+    b.conv("decoder.refine1", 3, 1, 256);
+    b.bn("decoder.refine1_bn");
+    b.relu("decoder.refine1_relu");
+    b.conv("decoder.refine2", 3, 1, 256);
+    b.bn("decoder.refine2_bn");
+    b.relu("decoder.refine2_relu");
+    b.conv("decoder.classifier", 1, 1, classes);
+    b.interp("decoder.up_final", input, input);
+    b.softmax("decoder.softmax");
+}
+
+/// Build DeepLab-v3+ for `input`×`input` crops (paper: 513) and
+/// `classes` classes (Pascal VOC: 21).
+pub fn deeplab_v3plus(input: usize, classes: usize) -> ModelGraph {
+    assert!(input >= 65, "input too small for OS16");
+    let mut b = GraphBuilder::new("DeepLab-v3+ (Xception-65)", input, input, 3);
+    let low_level = xception65(&mut b);
+    aspp(&mut b);
+    decoder(&mut b, low_level, input, classes);
+    b.finish()
+}
+
+/// The paper's configuration: 513×513, 21 classes.
+pub fn deeplab_paper() -> ModelGraph {
+    deeplab_v3plus(513, 21)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn parameter_count_in_published_range() {
+        let g = deeplab_paper();
+        let m = g.total_params() as f64 / 1e6;
+        // Xception-65 backbone ≈ 38 M + ASPP ≈ 15 M + decoder ≈ 1.5 M.
+        assert!((40.0..60.0).contains(&m), "DLv3+ params = {m} M");
+    }
+
+    #[test]
+    fn gradient_payload_is_160_to_230_mib() {
+        let g = deeplab_paper();
+        let mib = g.gradient_bytes() as f64 / (1 << 20) as f64;
+        assert!((160.0..230.0).contains(&mib), "gradient payload = {mib} MiB");
+    }
+
+    #[test]
+    fn flops_dwarf_resnet50() {
+        let dl = deeplab_paper();
+        let rn = crate::resnet::resnet50(224);
+        let ratio = dl.total_fwd_flops() as f64 / rn.total_fwd_flops() as f64;
+        // 6.7 vs 300 img/s is a 45× step-time gap; FLOPs alone should
+        // already show an order of magnitude.
+        assert!(ratio > 10.0, "DLv3+/ResNet-50 fwd FLOP ratio = {ratio}");
+    }
+
+    #[test]
+    fn many_gradient_tensors() {
+        let g = deeplab_paper();
+        // Horovod sees one tensor per trainable layer: > 150 for DLv3+.
+        assert!(g.n_grad_tensors() > 150, "{} tensors", g.n_grad_tensors());
+    }
+
+    #[test]
+    fn depthwise_heavy_architecture() {
+        let g = deeplab_paper();
+        let dw = g.layers.iter().filter(|l| l.kind == LayerKind::DepthwiseConv).count();
+        assert!(dw >= 60, "{dw} depthwise convs"); // 20 blocks × 3 + exit
+    }
+
+    #[test]
+    fn output_stride_16_feature_map() {
+        // 513 -> 257 -> 129 -> 65 -> 33: the ASPP sees 33×33.
+        let g = deeplab_paper();
+        let aspp_proj = g.layers.iter().find(|l| l.name.contains("aspp.proj")).unwrap();
+        // 1×1 conv on 33×33×1280 -> 256.
+        assert_eq!(aspp_proj.params, 1280 * 256);
+        assert_eq!(aspp_proj.fwd_flops, 2 * 33 * 33 * 1280 * 256);
+    }
+
+    #[test]
+    fn classifier_emits_21_channels() {
+        let g = deeplab_paper();
+        let cls = g.layers.iter().find(|l| l.name.contains("classifier")).unwrap();
+        assert_eq!(cls.params, 256 * 21);
+    }
+
+    #[test]
+    fn custom_resolution_scales_flops_quadratically() {
+        let small = deeplab_v3plus(257, 21);
+        let big = deeplab_v3plus(513, 21);
+        let ratio = big.total_fwd_flops() as f64 / small.total_fwd_flops() as f64;
+        assert!((3.0..5.0).contains(&ratio), "flop ratio {ratio}");
+        // Params barely change with resolution.
+        let p_ratio = big.total_params() as f64 / small.total_params() as f64;
+        assert!((0.99..1.01).contains(&p_ratio));
+    }
+}

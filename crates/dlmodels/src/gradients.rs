@@ -1,0 +1,147 @@
+//! Backward gradient-emission schedules: what Horovod actually observes.
+//!
+//! During backprop, gradients become available in reverse layer order;
+//! Horovod's cycle loop picks up whatever is ready each cycle. The
+//! emission schedule — tensor sizes and ready times relative to the start
+//! of the backward pass — is the interface between the model cost layer
+//! and the runtime simulation, and is what makes fusion-threshold and
+//! cycle-time tuning behave realistically.
+
+use crate::layer::ModelGraph;
+use crate::perf::GpuModel;
+
+/// One gradient tensor as the runtime sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradTensor {
+    pub name: String,
+    pub bytes: u64,
+    /// Seconds after the backward pass begins at which this tensor is
+    /// ready for reduction.
+    pub ready_at: f64,
+}
+
+/// The full per-step emission picture.
+#[derive(Debug, Clone)]
+pub struct EmissionSchedule {
+    /// Tensors in ready order (reverse layer order).
+    pub tensors: Vec<GradTensor>,
+    /// Duration of the forward pass, seconds.
+    pub forward_time: f64,
+    /// Duration of the backward pass, seconds.
+    pub backward_time: f64,
+    /// Optimizer update duration, seconds.
+    pub optimizer_time: f64,
+}
+
+impl EmissionSchedule {
+    /// Build the schedule for `model` at `batch` images on `gpu`.
+    pub fn build(model: &ModelGraph, gpu: &GpuModel, batch: usize) -> Self {
+        let forward_time: f64 = model.layers.iter().map(|l| gpu.layer_fwd_time(l, batch)).sum();
+        let mut tensors = Vec::with_capacity(model.n_grad_tensors());
+        let mut t = 0.0;
+        for l in model.layers.iter().rev() {
+            t += gpu.layer_bwd_time(l, batch);
+            if l.params > 0 {
+                tensors.push(GradTensor { name: l.name.clone(), bytes: l.grad_bytes(), ready_at: t });
+            }
+        }
+        EmissionSchedule {
+            tensors,
+            forward_time,
+            backward_time: t,
+            optimizer_time: gpu.optimizer_time(model),
+        }
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.tensors.iter().map(|t| t.bytes).sum()
+    }
+
+    /// Bytes ready at or before `t` seconds into the backward pass.
+    pub fn bytes_ready_by(&self, t: f64) -> u64 {
+        self.tensors.iter().filter(|g| g.ready_at <= t).map(|g| g.bytes).sum()
+    }
+
+    /// Pure compute time of the step (forward + backward + optimizer).
+    pub fn compute_time(&self) -> f64 {
+        self.forward_time + self.backward_time + self.optimizer_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{deeplab::deeplab_paper, perf::GpuModel, resnet::resnet50};
+
+    fn sched() -> EmissionSchedule {
+        EmissionSchedule::build(&deeplab_paper(), &GpuModel::v100(), 8)
+    }
+
+    #[test]
+    fn tensors_are_in_nondecreasing_ready_order() {
+        let s = sched();
+        assert!(!s.tensors.is_empty());
+        for w in s.tensors.windows(2) {
+            assert!(w[0].ready_at <= w[1].ready_at);
+        }
+    }
+
+    #[test]
+    fn totals_match_model() {
+        let s = sched();
+        let model = deeplab_paper();
+        assert_eq!(s.total_bytes(), model.gradient_bytes());
+        assert_eq!(s.tensors.len(), model.n_grad_tensors());
+    }
+
+    #[test]
+    fn first_ready_tensor_is_a_decoder_layer() {
+        // Backward starts at the output: the classifier's gradient lands
+        // before any backbone gradient.
+        let s = sched();
+        assert!(
+            s.tensors[0].name.contains("decoder") || s.tensors[0].name.contains("classifier"),
+            "first tensor = {}",
+            s.tensors[0].name
+        );
+        assert!(s.tensors.last().unwrap().name.contains("entry"));
+    }
+
+    #[test]
+    fn all_bytes_ready_by_backward_end() {
+        let s = sched();
+        assert_eq!(s.bytes_ready_by(s.backward_time), s.total_bytes());
+        assert!(s.bytes_ready_by(0.0) < s.total_bytes());
+    }
+
+    #[test]
+    fn bytes_ready_is_monotone() {
+        let s = sched();
+        let mut last = 0;
+        for i in 0..=10 {
+            let t = s.backward_time * i as f64 / 10.0;
+            let b = s.bytes_ready_by(t);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn emission_spread_is_a_large_fraction_of_backward() {
+        // Gradients trickle out across the whole backward pass — the
+        // overlap opportunity Horovod exploits.
+        let s = sched();
+        let first = s.tensors.first().unwrap().ready_at;
+        let last = s.tensors.last().unwrap().ready_at;
+        assert!((last - first) / s.backward_time > 0.5);
+    }
+
+    #[test]
+    fn resnet_emits_faster_than_deeplab() {
+        let v100 = GpuModel::v100();
+        let rn = EmissionSchedule::build(&resnet50(224), &v100, 32);
+        let dl = sched();
+        assert!(rn.backward_time < dl.backward_time);
+        assert!(rn.compute_time() < dl.compute_time());
+    }
+}

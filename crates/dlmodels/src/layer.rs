@@ -1,0 +1,347 @@
+//! Layer-level cost accounting: FLOPs, parameters and activation bytes
+//! per layer, tracked by a shape-aware graph builder.
+//!
+//! The distributed-training simulation needs exactly three things from a
+//! model: how long each training step computes, how many gradient bytes
+//! each trainable layer produces, and in what order those gradients
+//! become ready during the backward pass. All three derive from the
+//! per-layer records built here.
+
+/// What kind of computation a layer performs — drives the efficiency
+/// factor of the execution model (dense convs run near peak; depthwise
+/// convs and element-wise ops are memory-bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    Conv,
+    DepthwiseConv,
+    Dense,
+    BatchNorm,
+    Activation,
+    Pool,
+    /// Bilinear up/down-sampling.
+    Interp,
+    /// Element-wise residual add / concat bookkeeping.
+    Elementwise,
+    Softmax,
+}
+
+/// One layer's static cost record (per image, batch applied later).
+#[derive(Debug, Clone)]
+pub struct Layer {
+    pub name: String,
+    pub kind: LayerKind,
+    /// Trainable parameter count (0 for activations/pools/interp).
+    pub params: u64,
+    /// Forward FLOPs per image (multiply and add counted separately).
+    pub fwd_flops: u64,
+    /// Bytes touched in the forward pass per image: input read + output
+    /// write + parameter read. Feeds the roofline's bandwidth term.
+    pub fwd_bytes: u64,
+}
+
+impl Layer {
+    /// Backward FLOPs: parameterized layers compute both data and weight
+    /// gradients (≈ 2× forward); others just propagate (≈ 1× forward).
+    pub fn bwd_flops(&self) -> u64 {
+        if self.params > 0 {
+            2 * self.fwd_flops
+        } else {
+            self.fwd_flops
+        }
+    }
+
+    /// Backward bytes: roughly forward traffic plus gradient writes.
+    pub fn bwd_bytes(&self) -> u64 {
+        2 * self.fwd_bytes
+    }
+
+    /// Gradient tensor size in bytes (fp32).
+    pub fn grad_bytes(&self) -> u64 {
+        self.params * 4
+    }
+}
+
+/// A complete model: ordered layers (forward order) plus metadata.
+#[derive(Debug, Clone)]
+pub struct ModelGraph {
+    pub name: String,
+    /// Input `(height, width, channels)`.
+    pub input: (usize, usize, usize),
+    pub layers: Vec<Layer>,
+}
+
+impl ModelGraph {
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    pub fn total_fwd_flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.fwd_flops).sum()
+    }
+
+    pub fn total_bwd_flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.bwd_flops()).sum()
+    }
+
+    /// Total gradient payload per step (what Horovod allreduces), bytes.
+    pub fn gradient_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.grad_bytes()).sum()
+    }
+
+    /// Number of distinct gradient tensors (trainable layers).
+    pub fn n_grad_tensors(&self) -> usize {
+        self.layers.iter().filter(|l| l.params > 0).count()
+    }
+}
+
+/// Shape-tracking builder. All `conv`-family methods use "same" padding:
+/// `out = ceil(in / stride)`.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: String,
+    input: (usize, usize, usize),
+    h: usize,
+    w: usize,
+    c: usize,
+    layers: Vec<Layer>,
+}
+
+const F32: u64 = 4;
+
+impl GraphBuilder {
+    pub fn new(name: impl Into<String>, h: usize, w: usize, c: usize) -> Self {
+        assert!(h > 0 && w > 0 && c > 0);
+        GraphBuilder { name: name.into(), input: (h, w, c), h, w, c, layers: Vec::new() }
+    }
+
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.h, self.w, self.c)
+    }
+
+    fn act_bytes(h: usize, w: usize, c: usize) -> u64 {
+        (h * w * c) as u64 * F32
+    }
+
+    fn push(&mut self, name: &str, kind: LayerKind, params: u64, flops: u64, bytes: u64) {
+        self.layers.push(Layer {
+            name: format!("{}/{}", self.layers.len(), name),
+            kind,
+            params,
+            fwd_flops: flops,
+            fwd_bytes: bytes,
+        });
+    }
+
+    /// `k×k` convolution, stride `s`, `out_c` filters, no bias (BN
+    /// follows in the architectures here). Optional dilation changes
+    /// receptive field but not cost.
+    pub fn conv(&mut self, name: &str, k: usize, s: usize, out_c: usize) -> &mut Self {
+        let in_bytes = Self::act_bytes(self.h, self.w, self.c);
+        let (ho, wo) = (self.h.div_ceil(s), self.w.div_ceil(s));
+        let params = (k * k * self.c * out_c) as u64;
+        let flops = 2 * (ho * wo) as u64 * params;
+        let bytes = in_bytes + Self::act_bytes(ho, wo, out_c) + params * F32;
+        self.push(name, LayerKind::Conv, params, flops, bytes);
+        self.h = ho;
+        self.w = wo;
+        self.c = out_c;
+        self
+    }
+
+    /// Depthwise `k×k` convolution, stride `s` (channels preserved).
+    pub fn depthwise(&mut self, name: &str, k: usize, s: usize) -> &mut Self {
+        let in_bytes = Self::act_bytes(self.h, self.w, self.c);
+        let (ho, wo) = (self.h.div_ceil(s), self.w.div_ceil(s));
+        let params = (k * k * self.c) as u64;
+        let flops = 2 * (ho * wo) as u64 * params;
+        let bytes = in_bytes + Self::act_bytes(ho, wo, self.c) + params * F32;
+        self.push(name, LayerKind::DepthwiseConv, params, flops, bytes);
+        self.h = ho;
+        self.w = wo;
+        self
+    }
+
+    /// Depthwise-separable conv: depthwise k×k (stride s) + BN + ReLU +
+    /// pointwise 1×1 to `out_c` + BN + ReLU — the Xception building unit.
+    pub fn sep_conv(&mut self, name: &str, k: usize, s: usize, out_c: usize) -> &mut Self {
+        self.depthwise(&format!("{name}.dw"), k, s);
+        self.bn(&format!("{name}.dw_bn"));
+        self.relu(&format!("{name}.dw_relu"));
+        self.conv(&format!("{name}.pw"), 1, 1, out_c);
+        self.bn(&format!("{name}.pw_bn"));
+        self.relu(&format!("{name}.pw_relu"))
+    }
+
+    pub fn bn(&mut self, name: &str) -> &mut Self {
+        let n = (self.h * self.w * self.c) as u64;
+        let params = 2 * self.c as u64; // scale + shift
+        self.push(name, LayerKind::BatchNorm, params, 4 * n, 2 * n * F32 + params * F32);
+        self
+    }
+
+    pub fn relu(&mut self, name: &str) -> &mut Self {
+        let n = (self.h * self.w * self.c) as u64;
+        self.push(name, LayerKind::Activation, 0, n, 2 * n * F32);
+        self
+    }
+
+    /// `k×k` max pool with stride `s`.
+    pub fn maxpool(&mut self, name: &str, k: usize, s: usize) -> &mut Self {
+        let in_bytes = Self::act_bytes(self.h, self.w, self.c);
+        let (ho, wo) = (self.h.div_ceil(s), self.w.div_ceil(s));
+        let flops = (k * k * ho * wo * self.c) as u64;
+        self.push(name, LayerKind::Pool, 0, flops, in_bytes + Self::act_bytes(ho, wo, self.c));
+        self.h = ho;
+        self.w = wo;
+        self
+    }
+
+    /// Global average pool to 1×1.
+    pub fn global_pool(&mut self, name: &str) -> &mut Self {
+        let n = (self.h * self.w * self.c) as u64;
+        self.push(name, LayerKind::Pool, 0, n, n * F32 + Self::act_bytes(1, 1, self.c));
+        self.h = 1;
+        self.w = 1;
+        self
+    }
+
+    /// Bilinear resize to `(h, w)`.
+    pub fn interp(&mut self, name: &str, h: usize, w: usize) -> &mut Self {
+        let out = (h * w * self.c) as u64;
+        self.push(
+            name,
+            LayerKind::Interp,
+            0,
+            8 * out,
+            Self::act_bytes(self.h, self.w, self.c) + out * F32,
+        );
+        self.h = h;
+        self.w = w;
+        self
+    }
+
+    /// Element-wise residual add (shape unchanged).
+    pub fn add(&mut self, name: &str) -> &mut Self {
+        let n = (self.h * self.w * self.c) as u64;
+        self.push(name, LayerKind::Elementwise, 0, n, 3 * n * F32);
+        self
+    }
+
+    /// Channel concatenation with a side input of `extra_c` channels at
+    /// the current spatial size (costed as a copy).
+    pub fn concat(&mut self, name: &str, extra_c: usize) -> &mut Self {
+        let out_c = self.c + extra_c;
+        let n = (self.h * self.w * out_c) as u64;
+        self.push(name, LayerKind::Elementwise, 0, n, 2 * n * F32);
+        self.c = out_c;
+        self
+    }
+
+    /// Fully connected layer (expects 1×1 spatial).
+    pub fn dense(&mut self, name: &str, out: usize) -> &mut Self {
+        assert_eq!((self.h, self.w), (1, 1), "dense expects pooled input");
+        let params = (self.c * out + out) as u64;
+        let flops = 2 * (self.c * out) as u64;
+        self.push(name, LayerKind::Dense, params, flops, (self.c + out) as u64 * F32 + params * F32);
+        self.c = out;
+        self
+    }
+
+    /// Per-pixel softmax over the channel dim.
+    pub fn softmax(&mut self, name: &str) -> &mut Self {
+        let n = (self.h * self.w * self.c) as u64;
+        self.push(name, LayerKind::Softmax, 0, 5 * n, 2 * n * F32);
+        self
+    }
+
+    /// Override the tracked channel count (e.g. to branch back to a
+    /// stashed feature map). Spatial dims may be set too.
+    pub fn set_shape(&mut self, h: usize, w: usize, c: usize) -> &mut Self {
+        self.h = h;
+        self.w = w;
+        self.c = c;
+        self
+    }
+
+    pub fn finish(self) -> ModelGraph {
+        ModelGraph { name: self.name, input: self.input, layers: self.layers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_and_cost() {
+        let mut b = GraphBuilder::new("t", 224, 224, 3);
+        b.conv("c1", 7, 2, 64);
+        assert_eq!(b.shape(), (112, 112, 64));
+        let g = b.finish();
+        assert_eq!(g.layers[0].params, 7 * 7 * 3 * 64);
+        assert_eq!(g.layers[0].fwd_flops, 2 * 112 * 112 * 7 * 7 * 3 * 64);
+    }
+
+    #[test]
+    fn same_padding_ceil_division() {
+        let mut b = GraphBuilder::new("t", 513, 513, 3);
+        b.conv("c", 3, 2, 8);
+        assert_eq!(b.shape(), (257, 257, 8));
+    }
+
+    #[test]
+    fn depthwise_is_cheap() {
+        let mut b = GraphBuilder::new("t", 64, 64, 128);
+        b.depthwise("dw", 3, 1).conv("pw", 1, 1, 128);
+        let g = b.finish();
+        assert!(g.layers[0].fwd_flops * 10 < g.layers[1].fwd_flops);
+    }
+
+    #[test]
+    fn sep_conv_adds_six_layers() {
+        let mut b = GraphBuilder::new("t", 32, 32, 64);
+        b.sep_conv("s", 3, 1, 128);
+        assert_eq!(b.shape(), (32, 32, 128));
+        assert_eq!(b.finish().layers.len(), 6);
+    }
+
+    #[test]
+    fn dense_requires_pooled() {
+        let mut b = GraphBuilder::new("t", 7, 7, 512);
+        b.global_pool("gap").dense("fc", 1000);
+        let g = b.finish();
+        assert_eq!(g.total_params(), (512 * 1000 + 1000) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "pooled input")]
+    fn dense_on_spatial_panics() {
+        let mut b = GraphBuilder::new("t", 7, 7, 512);
+        b.dense("fc", 10);
+    }
+
+    #[test]
+    fn interp_and_concat_track_shape() {
+        let mut b = GraphBuilder::new("t", 33, 33, 256);
+        b.interp("up", 129, 129).concat("cat", 48);
+        assert_eq!(b.shape(), (129, 129, 304));
+    }
+
+    #[test]
+    fn backward_flop_convention() {
+        let mut b = GraphBuilder::new("t", 8, 8, 4);
+        b.conv("c", 3, 1, 4).relu("r");
+        let g = b.finish();
+        assert_eq!(g.layers[0].bwd_flops(), 2 * g.layers[0].fwd_flops);
+        assert_eq!(g.layers[1].bwd_flops(), g.layers[1].fwd_flops);
+    }
+
+    #[test]
+    fn gradient_accounting() {
+        let mut b = GraphBuilder::new("t", 8, 8, 4);
+        b.conv("c", 3, 1, 8).bn("bn").relu("r");
+        let g = b.finish();
+        assert_eq!(g.n_grad_tensors(), 2);
+        assert_eq!(g.gradient_bytes(), (3 * 3 * 4 * 8 + 16) as u64 * 4);
+    }
+}

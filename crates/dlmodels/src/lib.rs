@@ -1,0 +1,32 @@
+//! Model cost layer: layer graphs, a V100 execution model, and backward
+//! gradient-emission schedules for the two networks the paper measures —
+//! DeepLab-v3+ (Xception-65, 513×513, 21 classes) and ResNet-50 (224×224).
+//!
+//! The distributed-training simulation consumes three things from here:
+//! per-step compute time, the gradient tensor inventory (sizes + count),
+//! and the order/timing in which gradients become ready during backprop.
+//!
+//! # Example
+//!
+//! ```
+//! use dlmodels::{deeplab_paper, GpuModel};
+//!
+//! let model = deeplab_paper();
+//! let v100 = GpuModel::v100();
+//! let imgs_per_sec = v100.throughput(&model, 8);
+//! assert!(imgs_per_sec > 5.0 && imgs_per_sec < 9.0); // paper: 6.7
+//! ```
+
+pub mod deeplab;
+pub mod gradients;
+pub mod layer;
+pub mod perf;
+pub mod resnet;
+pub mod resnet_deeplab;
+
+pub use deeplab::{deeplab_paper, deeplab_v3plus};
+pub use gradients::{EmissionSchedule, GradTensor};
+pub use layer::{GraphBuilder, Layer, LayerKind, ModelGraph};
+pub use perf::GpuModel;
+pub use resnet::resnet50;
+pub use resnet_deeplab::deeplab_v3plus_resnet101;

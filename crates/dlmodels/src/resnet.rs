@@ -1,0 +1,107 @@
+//! ResNet-50 (He et al. 2016) at 224×224 — the paper's image
+//! classification reference point ("a Volta GPU can process 300
+//! images/second for training ResNet-50").
+
+use crate::layer::{GraphBuilder, ModelGraph};
+
+/// One bottleneck residual block: 1×1 reduce, 3×3, 1×1 expand (+ BN/ReLU),
+/// with a projection shortcut when the shape changes.
+fn bottleneck(b: &mut GraphBuilder, name: &str, mid_c: usize, out_c: usize, stride: usize) {
+    let (_, _, in_c) = b.shape();
+    let project = stride != 1 || in_c != out_c;
+    b.conv(&format!("{name}.conv1"), 1, 1, mid_c);
+    b.bn(&format!("{name}.bn1"));
+    b.relu(&format!("{name}.relu1"));
+    b.conv(&format!("{name}.conv2"), 3, stride, mid_c);
+    b.bn(&format!("{name}.bn2"));
+    b.relu(&format!("{name}.relu2"));
+    b.conv(&format!("{name}.conv3"), 1, 1, out_c);
+    b.bn(&format!("{name}.bn3"));
+    if project {
+        // Shortcut projection runs on the block input; cost-wise we
+        // append it in sequence (the simulator only needs totals and
+        // emission order, and the projection's gradients neighbour the
+        // block's own in backward order).
+        let (h, w, _) = b.shape();
+        b.set_shape(h * stride, w * stride, in_c);
+        b.conv(&format!("{name}.proj"), 1, stride, out_c);
+        b.bn(&format!("{name}.proj_bn"));
+    }
+    b.add(&format!("{name}.add"));
+    b.relu(&format!("{name}.relu3"));
+}
+
+/// Build ResNet-50 for `input` resolution (default 224) and 1000 classes.
+pub fn resnet50(input: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new("ResNet-50", input, input, 3);
+    b.conv("stem.conv", 7, 2, 64);
+    b.bn("stem.bn");
+    b.relu("stem.relu");
+    b.maxpool("stem.pool", 3, 2);
+
+    let stages: [(usize, usize, usize); 4] =
+        [(64, 256, 3), (128, 512, 4), (256, 1024, 6), (512, 2048, 3)];
+    for (si, &(mid, out, blocks)) in stages.iter().enumerate() {
+        for bi in 0..blocks {
+            let stride = if bi == 0 && si > 0 { 2 } else { 1 };
+            bottleneck(&mut b, &format!("stage{}.block{}", si + 1, bi), mid, out, stride);
+        }
+    }
+    b.global_pool("head.gap");
+    b.dense("head.fc", 1000);
+    b.softmax("head.softmax");
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_published() {
+        let g = resnet50(224);
+        let m = g.total_params() as f64 / 1e6;
+        // Published: 25.56 M parameters.
+        assert!((25.0..26.2).contains(&m), "ResNet-50 params = {m} M");
+    }
+
+    #[test]
+    fn flops_match_published_scale() {
+        let g = resnet50(224);
+        let gf = g.total_fwd_flops() as f64 / 1e9;
+        // Published: ~4.1 GMACs = ~8.2 GFLOPs forward.
+        assert!((7.0..9.5).contains(&gf), "ResNet-50 fwd = {gf} GFLOPs");
+    }
+
+    #[test]
+    fn gradient_payload_is_about_100_mib() {
+        let g = resnet50(224);
+        let mb = g.gradient_bytes() as f64 / (1 << 20) as f64;
+        assert!((95.0..105.0).contains(&mb), "gradient payload = {mb} MiB");
+    }
+
+    #[test]
+    fn has_53_conv_and_one_dense() {
+        let g = resnet50(224);
+        let convs = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, crate::layer::LayerKind::Conv))
+            .count();
+        // 1 stem + 16 blocks × 3 + 4 projections = 53.
+        assert_eq!(convs, 53);
+        let dense = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, crate::layer::LayerKind::Dense))
+            .count();
+        assert_eq!(dense, 1);
+    }
+
+    #[test]
+    fn backward_is_heavier_than_forward() {
+        let g = resnet50(224);
+        let ratio = g.total_bwd_flops() as f64 / g.total_fwd_flops() as f64;
+        assert!((1.7..2.0).contains(&ratio), "bwd/fwd = {ratio}");
+    }
+}

@@ -1,0 +1,174 @@
+//! DeepLab-v3+ with a ResNet-101 backbone — the other encoder the
+//! DeepLab papers evaluate, included to check that the reproduction's
+//! conclusions aren't Xception-specific (dense convs instead of
+//! depthwise-separable ones shift the compute/communication balance).
+
+use crate::layer::{GraphBuilder, ModelGraph};
+
+/// Bottleneck block shared with plain ResNet.
+fn bottleneck(b: &mut GraphBuilder, name: &str, mid_c: usize, out_c: usize, stride: usize) {
+    let (_, _, in_c) = b.shape();
+    let project = stride != 1 || in_c != out_c;
+    b.conv(&format!("{name}.conv1"), 1, 1, mid_c);
+    b.bn(&format!("{name}.bn1"));
+    b.relu(&format!("{name}.relu1"));
+    b.conv(&format!("{name}.conv2"), 3, stride, mid_c);
+    b.bn(&format!("{name}.bn2"));
+    b.relu(&format!("{name}.relu2"));
+    b.conv(&format!("{name}.conv3"), 1, 1, out_c);
+    b.bn(&format!("{name}.bn3"));
+    if project {
+        let (h, w, _) = b.shape();
+        b.set_shape(h * stride, w * stride, in_c);
+        b.conv(&format!("{name}.proj"), 1, stride, out_c);
+        b.bn(&format!("{name}.proj_bn"));
+    }
+    b.add(&format!("{name}.add"));
+    b.relu(&format!("{name}.relu3"));
+}
+
+/// ResNet-101 trunk at output stride 16 (stage 4 runs atrous, stride 1),
+/// returning the low-level (stride-4) feature tap shape.
+fn resnet101_os16(b: &mut GraphBuilder) -> (usize, usize, usize) {
+    b.conv("stem.conv", 7, 2, 64);
+    b.bn("stem.bn");
+    b.relu("stem.relu");
+    b.maxpool("stem.pool", 3, 2);
+    // Stage 1: 3 blocks at 256.
+    for i in 0..3 {
+        bottleneck(b, &format!("stage1.block{i}"), 64, 256, 1);
+    }
+    let low_level = b.shape(); // stride 4, 256 channels
+    // Stage 2: 4 blocks at 512, stride 2.
+    for i in 0..4 {
+        bottleneck(b, &format!("stage2.block{i}"), 128, 512, if i == 0 { 2 } else { 1 });
+    }
+    // Stage 3: 23 blocks at 1024, stride 2.
+    for i in 0..23 {
+        bottleneck(b, &format!("stage3.block{i}"), 256, 1024, if i == 0 { 2 } else { 1 });
+    }
+    // Stage 4: 3 blocks at 2048, atrous (stride 1) for OS16.
+    for i in 0..3 {
+        bottleneck(b, &format!("stage4.block{i}"), 512, 2048, 1);
+    }
+    low_level
+}
+
+/// ASPP + decoder shared with the Xception variant, reimplemented here
+/// against the ResNet trunk's shapes (256-channel low-level features get
+/// the standard 1×1→48 projection).
+fn head(b: &mut GraphBuilder, low_level: (usize, usize, usize), input: usize, classes: usize) {
+    let (h, w, c) = b.shape();
+    b.conv("aspp.b0", 1, 1, 256);
+    b.bn("aspp.b0_bn");
+    b.relu("aspp.b0_relu");
+    for (i, rate) in [6usize, 12, 18].iter().enumerate() {
+        b.set_shape(h, w, c);
+        b.conv(&format!("aspp.b{}_r{rate}", i + 1), 3, 1, 256);
+        b.bn(&format!("aspp.b{}_bn", i + 1));
+        b.relu(&format!("aspp.b{}_relu", i + 1));
+    }
+    b.set_shape(h, w, c);
+    b.global_pool("aspp.pool");
+    b.conv("aspp.pool_conv", 1, 1, 256);
+    b.bn("aspp.pool_bn");
+    b.relu("aspp.pool_relu");
+    b.interp("aspp.pool_up", h, w);
+    b.set_shape(h, w, 256);
+    b.concat("aspp.concat", 4 * 256);
+    b.conv("aspp.proj", 1, 1, 256);
+    b.bn("aspp.proj_bn");
+    b.relu("aspp.proj_relu");
+
+    let (llh, llw, llc) = low_level;
+    b.set_shape(llh, llw, llc);
+    b.conv("decoder.low_proj", 1, 1, 48);
+    b.bn("decoder.low_bn");
+    b.relu("decoder.low_relu");
+    b.set_shape(h, w, 256);
+    b.interp("decoder.up4", llh, llw);
+    b.concat("decoder.concat", 48);
+    b.conv("decoder.refine1", 3, 1, 256);
+    b.bn("decoder.refine1_bn");
+    b.relu("decoder.refine1_relu");
+    b.conv("decoder.refine2", 3, 1, 256);
+    b.bn("decoder.refine2_bn");
+    b.relu("decoder.refine2_relu");
+    b.conv("decoder.classifier", 1, 1, classes);
+    b.interp("decoder.up_final", input, input);
+    b.softmax("decoder.softmax");
+}
+
+/// DeepLab-v3+ with a ResNet-101 encoder at OS16.
+pub fn deeplab_v3plus_resnet101(input: usize, classes: usize) -> ModelGraph {
+    assert!(input >= 65, "input too small for OS16");
+    let mut b = GraphBuilder::new("DeepLab-v3+ (ResNet-101)", input, input, 3);
+    let low_level = resnet101_os16(&mut b);
+    head(&mut b, low_level, input, classes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deeplab::deeplab_paper;
+    use crate::perf::GpuModel;
+
+    fn model() -> ModelGraph {
+        deeplab_v3plus_resnet101(513, 21)
+    }
+
+    #[test]
+    fn parameter_count_in_published_range() {
+        // ResNet-101 backbone ≈ 42.5 M + ASPP ≈ 15 M + decoder ≈ 1.5 M.
+        let m = model().total_params() as f64 / 1e6;
+        assert!((55.0..65.0).contains(&m), "DLv3+/R101 params = {m} M");
+    }
+
+    #[test]
+    fn gradient_payload_exceeds_xception_variant() {
+        assert!(model().gradient_bytes() > deeplab_paper().gradient_bytes());
+    }
+
+    #[test]
+    fn no_depthwise_layers() {
+        use crate::layer::LayerKind;
+        assert_eq!(
+            model().layers.iter().filter(|l| l.kind == LayerKind::DepthwiseConv).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn faster_per_image_than_xception_despite_more_flops() {
+        // Dense convs run near peak while Xception's depthwise crawl, so
+        // the R101 variant trains faster per image even with a bigger
+        // trunk — the reason TF users preferred it on Volta.
+        let v100 = GpuModel::v100();
+        let r101 = v100.throughput(&model(), 8);
+        let xcep = v100.throughput(&deeplab_paper(), 8);
+        assert!(
+            r101 > xcep,
+            "R101 {r101:.2} img/s should beat Xception {xcep:.2} img/s on Volta"
+        );
+    }
+
+    #[test]
+    fn stage_structure() {
+        let g = model();
+        let convs = g
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, crate::layer::LayerKind::Conv))
+            .count();
+        // 1 stem + 33 blocks × 3 + 4 projections + 6 ASPP + 4 decoder = 114.
+        assert_eq!(convs, 114);
+    }
+
+    #[test]
+    fn os16_feature_map_is_33x33() {
+        let g = model();
+        let aspp_proj = g.layers.iter().find(|l| l.name.contains("aspp.proj")).unwrap();
+        assert_eq!(aspp_proj.fwd_flops, 2 * 33 * 33 * 1280 * 256);
+    }
+}

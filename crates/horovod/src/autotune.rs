@@ -1,0 +1,223 @@
+//! Online autotuning, like `HOROVOD_AUTOTUNE=1`: adjust the fusion
+//! threshold and cycle time *during* training by measuring step-time
+//! windows and hill-climbing, no offline sweep required.
+//!
+//! Real Horovod uses Bayesian optimization; a deterministic coordinate
+//! hill-climber captures the behaviour that matters here (convergence to
+//! a good region within tens of windows, online, without touching model
+//! or MPI code).
+
+use dlmodels::{GpuModel, ModelGraph};
+use mpi_profiles::MpiProfile;
+use summit_sim::Machine;
+
+use crate::config::HorovodConfig;
+use crate::runtime::StepSim;
+
+/// One measured tuning window.
+#[derive(Debug, Clone)]
+pub struct Window {
+    pub config: HorovodConfig,
+    /// Mean step time over the window, seconds.
+    pub mean_step_time: f64,
+}
+
+/// Result of an online-autotuned run.
+#[derive(Debug, Clone)]
+pub struct AutotuneReport {
+    pub windows: Vec<Window>,
+    pub best: HorovodConfig,
+    pub best_step_time: f64,
+}
+
+/// The candidate ladders the tuner moves along.
+const FUSION_LADDER: [u64; 7] =
+    [2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20];
+const CYCLE_LADDER: [f64; 6] = [0.5e-3, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3];
+
+/// Run online autotuning: `windows` tuning windows of `window_steps`
+/// simulated steps each, starting from `start`.
+#[allow(clippy::too_many_arguments)]
+pub fn autotune(
+    machine: &Machine,
+    profile: &MpiProfile,
+    model: &ModelGraph,
+    gpu: &GpuModel,
+    batch_per_gpu: usize,
+    n_ranks: usize,
+    start: HorovodConfig,
+    windows: usize,
+    window_steps: usize,
+    seed: u64,
+) -> AutotuneReport {
+    assert!(windows >= 1 && window_steps >= 1);
+    let measure = |config: &HorovodConfig, window: usize| -> f64 {
+        let sim = StepSim::new(
+            machine,
+            profile.clone(),
+            config.clone(),
+            model,
+            gpu,
+            batch_per_gpu,
+            n_ranks,
+            seed.wrapping_add(window as u64),
+        );
+        sim.simulate_training(window_steps).mean_step_time
+    };
+
+    let mut history = Vec::with_capacity(windows);
+    let mut current = start;
+    let mut current_time = measure(&current, 0);
+    history.push(Window { config: current.clone(), mean_step_time: current_time });
+    let (mut best, mut best_time) = (current.clone(), current_time);
+
+    // Alternate axes window by window; on each window try the neighbour
+    // up or down the ladder (whichever untried first), keep on improve.
+    let mut fusion_idx = nearest(&FUSION_LADDER, current.fusion_threshold as f64);
+    let mut cycle_idx = nearest_f(&CYCLE_LADDER, current.cycle_time);
+    let mut direction: isize = -1; // start by shrinking (defaults are large)
+    for w in 1..windows {
+        let tune_fusion = w % 2 == 1;
+        let candidate = if tune_fusion {
+            let idx = step_index(fusion_idx, direction, FUSION_LADDER.len());
+            current.clone().with_fusion(FUSION_LADDER[idx])
+        } else {
+            let idx = step_index(cycle_idx, direction, CYCLE_LADDER.len());
+            current.clone().with_cycle(CYCLE_LADDER[idx])
+        };
+        let t = measure(&candidate, w);
+        history.push(Window { config: candidate.clone(), mean_step_time: t });
+        if t < current_time {
+            if tune_fusion {
+                fusion_idx = step_index(fusion_idx, direction, FUSION_LADDER.len());
+            } else {
+                cycle_idx = step_index(cycle_idx, direction, CYCLE_LADDER.len());
+            }
+            current = candidate;
+            current_time = t;
+        } else {
+            direction = -direction; // bounce
+        }
+        if current_time < best_time {
+            best = current.clone();
+            best_time = current_time;
+        }
+    }
+    AutotuneReport { windows: history, best, best_step_time: best_time }
+}
+
+fn nearest_by(len: usize, at: impl Fn(usize) -> f64, value: f64) -> usize {
+    (0..len)
+        .min_by(|&a, &b| {
+            (at(a) - value).abs().partial_cmp(&(at(b) - value).abs()).expect("finite")
+        })
+        .expect("non-empty ladder")
+}
+
+fn nearest(ladder: &[u64], value: f64) -> usize {
+    nearest_by(ladder.len(), |i| ladder[i] as f64, value)
+}
+
+fn nearest_f(ladder: &[f64], value: f64) -> usize {
+    nearest_by(ladder.len(), |i| ladder[i], value)
+}
+
+fn step_index(idx: usize, dir: isize, len: usize) -> usize {
+    let next = idx as isize + dir;
+    next.clamp(0, len as isize - 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlmodels::deeplab_paper;
+    use summit_sim::MachineConfig;
+
+    #[test]
+    fn nearest_and_step() {
+        assert_eq!(nearest(&FUSION_LADDER, (64 << 20) as f64), 5);
+        assert_eq!(nearest(&FUSION_LADDER, 0.0), 0);
+        assert_eq!(nearest_f(&CYCLE_LADDER, 5e-3), 3);
+        assert_eq!(step_index(0, -1, 7), 0);
+        assert_eq!(step_index(6, 1, 7), 6);
+        assert_eq!(step_index(3, 1, 7), 4);
+    }
+
+    #[test]
+    fn autotune_never_regresses_the_best() {
+        let machine = Machine::new(MachineConfig::summit_for_gpus(48));
+        let model = deeplab_paper();
+        let gpu = GpuModel::v100();
+        let report = autotune(
+            &machine,
+            &MpiProfile::mvapich2_gdr(),
+            &model,
+            &gpu,
+            1,
+            48,
+            HorovodConfig::default(),
+            8,
+            2,
+            7,
+        );
+        assert_eq!(report.windows.len(), 8);
+        assert!(report.best_step_time <= report.windows[0].mean_step_time);
+        let min_seen =
+            report.windows.iter().map(|w| w.mean_step_time).fold(f64::INFINITY, f64::min);
+        assert!(report.best_step_time <= min_seen * 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn autotune_helps_a_bad_start() {
+        // Start from a pathological 25 ms cycle: the tuner must find a
+        // materially better configuration online.
+        let machine = Machine::new(MachineConfig::summit_for_gpus(48));
+        let model = deeplab_paper();
+        let gpu = GpuModel::v100();
+        let start = HorovodConfig::default().with_cycle(25e-3);
+        let report = autotune(
+            &machine,
+            &MpiProfile::spectrum_default(),
+            &model,
+            &gpu,
+            1,
+            48,
+            start,
+            10,
+            2,
+            7,
+        );
+        let start_time = report.windows[0].mean_step_time;
+        assert!(
+            report.best_step_time < start_time * 0.97,
+            "online tuning must improve a bad start: {} -> {}",
+            start_time,
+            report.best_step_time
+        );
+    }
+
+    #[test]
+    fn autotune_is_deterministic() {
+        let machine = Machine::new(MachineConfig::summit_for_gpus(12));
+        let model = deeplab_paper();
+        let gpu = GpuModel::v100();
+        let run = || {
+            autotune(
+                &machine,
+                &MpiProfile::nccl(),
+                &model,
+                &gpu,
+                1,
+                12,
+                HorovodConfig::default(),
+                4,
+                2,
+                3,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_step_time, b.best_step_time);
+    }
+}

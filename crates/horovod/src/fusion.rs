@@ -1,0 +1,202 @@
+//! Tensor fusion: pack ready gradient tensors into fusion buffers.
+//!
+//! Horovod packs tensors greedily, in ready order, into a buffer of
+//! `HOROVOD_FUSION_THRESHOLD` bytes; whatever does not fit starts the
+//! next buffer. A threshold of zero disables fusion. Fused buffers pay a
+//! pack + unpack device copy, which Horovod skips for single-tensor
+//! responses — both behaviours are modelled here.
+
+/// A fused allreduce payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedBuffer {
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// How many tensors were packed.
+    pub n_tensors: usize,
+    /// Index (into the emission order) of the first packed tensor.
+    pub first_tensor: usize,
+}
+
+impl FusedBuffer {
+    /// Whether this buffer pays the fusion copy (multi-tensor only).
+    pub fn pays_copy(&self) -> bool {
+        self.n_tensors > 1
+    }
+}
+
+/// Pack `sizes[start..]`-ordered ready tensors (given as `(index, bytes)`)
+/// into fusion buffers of at most `threshold` bytes.
+///
+/// Tensors larger than the threshold still go out (alone) — Horovod does
+/// not split tensors.
+pub fn pack(ready: &[(usize, u64)], threshold: u64) -> Vec<FusedBuffer> {
+    let mut out = Vec::new();
+    let mut cur: Option<FusedBuffer> = None;
+    for &(idx, bytes) in ready {
+        match cur.as_mut() {
+            Some(b)
+                if threshold > 0
+                    && b.bytes + bytes <= threshold =>
+            {
+                b.bytes += bytes;
+                b.n_tensors += 1;
+            }
+            _ => {
+                if let Some(b) = cur.take() {
+                    out.push(b);
+                }
+                cur = Some(FusedBuffer { bytes, n_tensors: 1, first_tensor: idx });
+            }
+        }
+    }
+    if let Some(b) = cur {
+        out.push(b);
+    }
+    out
+}
+
+/// Device-copy time for packing + unpacking a fused buffer:
+/// two traversals at GPU copy bandwidth. Single-tensor buffers are free.
+pub fn fusion_copy_time(buffer: &FusedBuffer, copy_bw: f64) -> f64 {
+    if buffer.pays_copy() {
+        2.0 * buffer.bytes as f64 / copy_bw
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes(v: &[u64]) -> Vec<(usize, u64)> {
+        v.iter().copied().enumerate().collect()
+    }
+
+    #[test]
+    fn packs_greedily_up_to_threshold() {
+        let b = pack(&sizes(&[10, 20, 30, 40]), 60);
+        assert_eq!(b.len(), 2);
+        assert_eq!((b[0].bytes, b[0].n_tensors, b[0].first_tensor), (60, 3, 0));
+        assert_eq!((b[1].bytes, b[1].n_tensors, b[1].first_tensor), (40, 1, 3));
+    }
+
+    #[test]
+    fn zero_threshold_disables_fusion() {
+        let b = pack(&sizes(&[10, 20, 30]), 0);
+        assert_eq!(b.len(), 3);
+        assert!(b.iter().all(|x| x.n_tensors == 1));
+    }
+
+    #[test]
+    fn oversized_tensor_goes_alone() {
+        let b = pack(&sizes(&[100, 5, 5]), 50);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].bytes, 100);
+        assert_eq!(b[1].bytes, 10);
+    }
+
+    #[test]
+    fn exact_fit() {
+        let b = pack(&sizes(&[25, 25]), 50);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].n_tensors, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pack(&[], 64).is_empty());
+    }
+
+    #[test]
+    fn copy_cost_only_for_multi_tensor() {
+        let multi = FusedBuffer { bytes: 600, n_tensors: 2, first_tensor: 0 };
+        let single = FusedBuffer { bytes: 600, n_tensors: 1, first_tensor: 0 };
+        assert!(fusion_copy_time(&multi, 600.0) > 0.0);
+        assert_eq!(fusion_copy_time(&multi, 600.0), 2.0);
+        assert_eq!(fusion_copy_time(&single, 600.0), 0.0);
+    }
+
+    #[test]
+    fn preserves_order_and_coverage() {
+        let input = sizes(&[7, 3, 9, 1, 4, 12, 2]);
+        let buffers = pack(&input, 10);
+        let total: u64 = buffers.iter().map(|b| b.bytes).sum();
+        assert_eq!(total, 38);
+        let n: usize = buffers.iter().map(|b| b.n_tensors).sum();
+        assert_eq!(n, 7);
+        // first_tensor indices are increasing and consistent with counts
+        let mut expect = 0;
+        for b in &buffers {
+            assert_eq!(b.first_tensor, expect);
+            expect += b.n_tensors;
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Packing covers every tensor exactly once, preserves order,
+        /// and respects the threshold except for oversized singletons.
+        #[test]
+        fn pack_invariants(
+            sizes in prop::collection::vec(1u64..200_000_000, 0..60),
+            threshold in prop::sample::select(vec![0u64, 1024, 1 << 20, 64 << 20, u64::MAX]),
+        ) {
+            let ready: Vec<(usize, u64)> = sizes.iter().copied().enumerate().collect();
+            let buffers = pack(&ready, threshold);
+            // Coverage.
+            let total: u64 = buffers.iter().map(|b| b.bytes).sum();
+            prop_assert_eq!(total, sizes.iter().sum::<u64>());
+            let count: usize = buffers.iter().map(|b| b.n_tensors).sum();
+            prop_assert_eq!(count, sizes.len());
+            // Order: first_tensor indices partition [0, n).
+            let mut next = 0usize;
+            for b in &buffers {
+                prop_assert_eq!(b.first_tensor, next);
+                next += b.n_tensors;
+                // Threshold respected unless a single oversized tensor.
+                if threshold > 0 && b.n_tensors > 1 {
+                    prop_assert!(b.bytes <= threshold);
+                }
+                if threshold == 0 {
+                    prop_assert_eq!(b.n_tensors, 1);
+                }
+            }
+            // Greediness: merging any adjacent pair would bust the
+            // threshold (when both are under it individually).
+            if threshold > 0 {
+                for w in buffers.windows(2) {
+                    let first_fits = w[0].bytes <= threshold;
+                    if first_fits {
+                        let head_of_next = sizes[w[1].first_tensor];
+                        prop_assert!(
+                            w[0].bytes + head_of_next > threshold,
+                            "buffers {:?} and next head {} could have merged",
+                            w[0], head_of_next
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Copy cost is linear in bytes for multi-tensor buffers and zero
+        /// for singletons.
+        #[test]
+        fn copy_cost_properties(bytes in 1u64..1_000_000_000, n in 1usize..10) {
+            let b = FusedBuffer { bytes, n_tensors: n, first_tensor: 0 };
+            let c = fusion_copy_time(&b, 600e9);
+            if n == 1 {
+                prop_assert_eq!(c, 0.0);
+            } else {
+                prop_assert!((c - 2.0 * bytes as f64 / 600e9).abs() < 1e-15);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Horovod-timeline-style tracing of a simulated step.
+//!
+//! Real Horovod writes a Chrome-trace JSON (`HOROVOD_TIMELINE=...`); the
+//! simulated runtime can do the same, plus a human-readable text
+//! rendering for terminal inspection. JSON is emitted by hand (no serde
+//! dependency) — the format is a flat array of complete events.
+
+use std::fmt::Write as _;
+
+/// What a timeline span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Forward,
+    Backward,
+    Negotiate,
+    FusionCopy,
+    Allreduce,
+    Optimizer,
+}
+
+impl Phase {
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Forward => "FORWARD",
+            Phase::Backward => "BACKWARD",
+            Phase::Negotiate => "NEGOTIATE_ALLREDUCE",
+            Phase::FusionCopy => "MEMCPY_IN_FUSION_BUFFER",
+            Phase::Allreduce => "MPI_ALLREDUCE",
+            Phase::Optimizer => "OPTIMIZER",
+        }
+    }
+}
+
+/// A closed span on the step timeline (seconds from step start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub phase: Phase,
+    pub start: f64,
+    pub end: f64,
+    pub label: String,
+}
+
+/// An ordered collection of spans for one step.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    pub spans: Vec<Span>,
+}
+
+impl Timeline {
+    pub fn push(&mut self, phase: Phase, start: f64, end: f64, label: impl Into<String>) {
+        assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span { phase, start, end, label: label.into() });
+    }
+
+    /// Total time attributed to `phase` (spans may overlap; this sums
+    /// durations, it does not union).
+    pub fn total(&self, phase: Phase) -> f64 {
+        self.spans.iter().filter(|s| s.phase == phase).map(|s| s.end - s.start).sum()
+    }
+
+    pub fn count(&self, phase: Phase) -> usize {
+        self.spans.iter().filter(|s| s.phase == phase).count()
+    }
+
+    /// Chrome-trace JSON ("X" complete events, µs units).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":0}}",
+                escape(&s.label),
+                s.phase.name(),
+                s.start * 1e6,
+                (s.end - s.start) * 1e6,
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// Terminal rendering: one line per span.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{:>10.1} µs  {:>10.1} µs  {:<24} {}",
+                s.start * 1e6,
+                (s.end - s.start) * 1e6,
+                s.phase.name(),
+                s.label
+            );
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_counts() {
+        let mut t = Timeline::default();
+        t.push(Phase::Allreduce, 0.0, 1.0, "buf0");
+        t.push(Phase::Allreduce, 2.0, 2.5, "buf1");
+        t.push(Phase::Forward, 0.0, 0.25, "fwd");
+        assert_eq!(t.total(Phase::Allreduce), 1.5);
+        assert_eq!(t.count(Phase::Allreduce), 2);
+        assert_eq!(t.count(Phase::Optimizer), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn inverted_span_panics() {
+        Timeline::default().push(Phase::Forward, 1.0, 0.5, "bad");
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_enough() {
+        let mut t = Timeline::default();
+        t.push(Phase::Negotiate, 0.0, 1e-5, "cycle \"1\"");
+        let j = t.to_chrome_json();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("cycle \\\"1\\\""), "quotes escaped: {j}");
+        assert!(j.contains("\"dur\":10.000"));
+    }
+
+    #[test]
+    fn text_rendering_lists_all_spans() {
+        let mut t = Timeline::default();
+        t.push(Phase::Forward, 0.0, 1e-3, "f");
+        t.push(Phase::Backward, 1e-3, 3e-3, "b");
+        let txt = t.render_text();
+        assert_eq!(txt.lines().count(), 2);
+        assert!(txt.contains("FORWARD") && txt.contains("BACKWARD"));
+    }
+}

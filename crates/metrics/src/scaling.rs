@@ -1,0 +1,146 @@
+//! Strong/weak scaling arithmetic: speedup, scaling efficiency, and the
+//! series type the scaling experiments (F3/F6) report.
+//!
+//! The paper's headline numbers are *weak-scaling efficiencies* of
+//! data-parallel training: per-GPU batch size is fixed, so ideal
+//! throughput at `n` GPUs is `n ×` the single-GPU throughput, and
+//! `efficiency(n) = throughput(n) / (n × throughput(1))`.
+
+/// Speedup of `throughput` over `baseline` (both in the same units).
+pub fn speedup(throughput: f64, baseline: f64) -> f64 {
+    assert!(baseline > 0.0, "baseline throughput must be positive");
+    throughput / baseline
+}
+
+/// Weak-scaling efficiency at `n` workers given the measured aggregate
+/// throughput and the single-worker throughput. 1.0 = perfectly linear.
+pub fn scaling_efficiency(n: usize, throughput: f64, single: f64) -> f64 {
+    assert!(n >= 1, "worker count must be >= 1");
+    assert!(single > 0.0, "single-worker throughput must be positive");
+    throughput / (n as f64 * single)
+}
+
+/// One measured point on a scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Number of workers (GPUs).
+    pub n: usize,
+    /// Aggregate throughput (e.g. images/second across all GPUs).
+    pub throughput: f64,
+}
+
+/// A scaling curve with its single-worker baseline.
+#[derive(Debug, Clone)]
+pub struct ScalingSeries {
+    pub label: String,
+    /// Throughput of one worker, the `n = 1` reference.
+    pub single: f64,
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingSeries {
+    pub fn new(label: impl Into<String>, single: f64) -> Self {
+        assert!(single > 0.0, "single-worker throughput must be positive");
+        ScalingSeries { label: label.into(), single, points: Vec::new() }
+    }
+
+    pub fn push(&mut self, n: usize, throughput: f64) {
+        self.points.push(ScalingPoint { n, throughput });
+    }
+
+    /// Efficiency at each measured point, in measurement order.
+    pub fn efficiencies(&self) -> Vec<(usize, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.n, scaling_efficiency(p.n, p.throughput, self.single)))
+            .collect()
+    }
+
+    /// Efficiency at the largest measured worker count, or `None` if empty.
+    pub fn efficiency_at_max(&self) -> Option<(usize, f64)> {
+        self.points
+            .iter()
+            .max_by_key(|p| p.n)
+            .map(|p| (p.n, scaling_efficiency(p.n, p.throughput, self.single)))
+    }
+
+    /// Throughput at worker count `n`, if measured.
+    pub fn throughput_at(&self, n: usize) -> Option<f64> {
+        self.points.iter().find(|p| p.n == n).map(|p| p.throughput)
+    }
+}
+
+/// Compare two scaling series at a common worker count: returns
+/// `(efficiency_a, efficiency_b, delta_points, speedup_a_over_b)`.
+///
+/// This is exactly the paper's C4/C5 computation: "improvement in scaling
+/// efficiency by 23.9 % over default ... translates to a 1.3× speedup".
+pub fn compare_at(
+    a: &ScalingSeries,
+    b: &ScalingSeries,
+    n: usize,
+) -> Option<(f64, f64, f64, f64)> {
+    let ta = a.throughput_at(n)?;
+    let tb = b.throughput_at(n)?;
+    let ea = scaling_efficiency(n, ta, a.single);
+    let eb = scaling_efficiency(n, tb, b.single);
+    Some((ea, eb, (ea - eb) * 100.0, ta / tb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_scaling_is_efficiency_one() {
+        assert!((scaling_efficiency(4, 40.0, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_scaling() {
+        assert!((scaling_efficiency(4, 20.0, 10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-worker throughput")]
+    fn zero_baseline_panics() {
+        scaling_efficiency(2, 10.0, 0.0);
+    }
+
+    #[test]
+    fn series_efficiency_at_max() {
+        let mut s = ScalingSeries::new("tuned", 6.7);
+        s.push(6, 6.7 * 6.0 * 0.99);
+        s.push(132, 6.7 * 132.0 * 0.92);
+        let (n, e) = s.efficiency_at_max().unwrap();
+        assert_eq!(n, 132);
+        assert!((e - 0.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_at_reproduces_headline_math() {
+        let mut tuned = ScalingSeries::new("tuned", 6.7);
+        let mut default = ScalingSeries::new("default", 6.7);
+        tuned.push(132, 6.7 * 132.0 * 0.92);
+        default.push(132, 6.7 * 132.0 * 0.681);
+        let (ea, eb, delta, spd) = compare_at(&tuned, &default, 132).unwrap();
+        assert!((ea - 0.92).abs() < 1e-9);
+        assert!((eb - 0.681).abs() < 1e-9);
+        assert!((delta - 23.9).abs() < 1e-6);
+        assert!((spd - 0.92 / 0.681).abs() < 1e-9);
+        // 0.92/0.681 = 1.351 — the paper rounds this to "1.3×".
+        assert!(spd > 1.3 && spd < 1.4);
+    }
+
+    #[test]
+    fn compare_at_missing_point_is_none() {
+        let tuned = ScalingSeries::new("tuned", 1.0);
+        let default = ScalingSeries::new("default", 1.0);
+        assert!(compare_at(&tuned, &default, 12).is_none());
+    }
+
+    #[test]
+    fn speedup_basic() {
+        assert!((speedup(13.0, 10.0) - 1.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Named (x, y) series with plain-text rendering.
+//!
+//! Figure-style experiments (latency-vs-message-size, throughput-vs-GPUs)
+//! collect one `Series` per line in the figure and render them as a
+//! combined column listing plus a crude unicode plot, so the "figure" is
+//! reproducible as terminal output.
+
+use std::fmt::Write as _;
+
+/// One line in a figure: a label and monotone-x samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        if let Some(&(last_x, _)) = self.points.last() {
+            assert!(x > last_x, "series x values must be strictly increasing");
+        }
+        self.points.push((x, y));
+    }
+
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.0 == x).map(|p| p.1)
+    }
+
+    pub fn max_y(&self) -> Option<(f64, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN y in series"))
+    }
+
+    pub fn min_y(&self) -> Option<(f64, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN y in series"))
+    }
+}
+
+/// Render several series that share x values into aligned columns:
+/// `x  <label-1>  <label-2> ...`. Series may have different x sets; holes
+/// render as `-`.
+pub fn render_columns(x_label: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN x"));
+    xs.dedup();
+    let mut out = String::new();
+    let _ = write!(out, "{x_label:>12}");
+    for s in series {
+        let _ = write!(out, "  {:>14}", s.label);
+    }
+    let _ = writeln!(out);
+    for x in xs {
+        let _ = write!(out, "{x:>12.4}");
+        for s in series {
+            match s.y_at(x) {
+                Some(y) => {
+                    let _ = write!(out, "  {y:>14.4}");
+                }
+                None => {
+                    let _ = write!(out, "  {:>14}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// A one-line unicode bar for a value within [0, max]; used to sketch the
+/// shape of a figure in terminal output.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    assert!(max > 0.0 && width > 0);
+    let filled = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width * 3);
+    for _ in 0..filled {
+        s.push('\u{2588}');
+    }
+    for _ in filled..width {
+        s.push('\u{00b7}');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_requires_increasing_x() {
+        let mut s = Series::new("t");
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.y_at(2.0), Some(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_x_panics() {
+        let mut s = Series::new("t");
+        s.push(2.0, 1.0);
+        s.push(2.0, 2.0);
+    }
+
+    #[test]
+    fn max_min_y() {
+        let mut s = Series::new("t");
+        s.push(1.0, 5.0);
+        s.push(2.0, 9.0);
+        s.push(3.0, 1.0);
+        assert_eq!(s.max_y(), Some((2.0, 9.0)));
+        assert_eq!(s.min_y(), Some((3.0, 1.0)));
+    }
+
+    #[test]
+    fn render_columns_fills_holes() {
+        let mut a = Series::new("a");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 99.0);
+        let out = render_columns("x", &[a, b]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains('-'), "hole must render as dash: {}", lines[1]);
+        assert!(lines[2].contains("99.0000"));
+    }
+
+    #[test]
+    fn bar_is_clamped_and_sized() {
+        assert_eq!(bar(0.5, 1.0, 4), "\u{2588}\u{2588}\u{00b7}\u{00b7}");
+        assert_eq!(bar(5.0, 1.0, 2), "\u{2588}\u{2588}");
+        assert_eq!(bar(-1.0, 1.0, 2), "\u{00b7}\u{00b7}");
+    }
+}

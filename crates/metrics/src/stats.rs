@@ -1,0 +1,274 @@
+//! Summary statistics for repeated measurements.
+//!
+//! The experiment harness repeats every simulated/real measurement a few
+//! times (with different seeds) and reports mean ± a normal-approximation
+//! 95 % confidence interval, the way the paper reports averaged
+//! images/second numbers.
+
+/// Summary statistics of a sample of `f64` observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected); 0 for n < 2.
+    pub stddev: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary { n, mean, stddev: var.sqrt(), min, max })
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean
+    /// (normal approximation, z = 1.96). Zero for n < 2.
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean.abs()
+        }
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of strictly positive values; 0.0 for an empty slice.
+///
+/// Used when summarizing speedups across heterogeneous workloads, per the
+/// usual benchmarking convention.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(xs.iter().all(|&x| x > 0.0), "geomean requires positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Linear interpolation percentile (p in [0, 100]) of an unsorted sample.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Ordinary least-squares fit `y = a + b·x`. Returns `(a, b)`.
+///
+/// Used to fit α–β (latency/bandwidth) models to microbenchmark sweeps.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points for a linear fit");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > f64::EPSILON, "degenerate x values in linear fit");
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// Relative error `|measured - reference| / |reference|`.
+///
+/// The EXPERIMENTS.md paper-vs-measured comparisons use this.
+pub fn rel_err(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - reference).abs() / reference.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[4.0, 4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // sample variance of 1..4 = 5/3
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_ci() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_speedups() {
+        let g = geomean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 25.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rel_err_basic() {
+        assert!((rel_err(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(rel_err(0.0, 0.0), 0.0);
+        assert!(rel_err(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Summary invariants: min <= mean <= max, stddev >= 0, and the
+        /// CI shrinks as the sample grows (same underlying values).
+        #[test]
+        fn summary_invariants(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&xs).expect("non-empty");
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.stddev >= 0.0);
+            prop_assert_eq!(s.n, xs.len());
+            // Duplicating the sample halves nothing about mean/minmax but
+            // shrinks the CI.
+            let mut doubled = xs.clone();
+            doubled.extend_from_slice(&xs);
+            let s2 = Summary::of(&doubled).expect("non-empty");
+            prop_assert!((s2.mean - s.mean).abs() < 1e-6_f64.max(s.mean.abs() * 1e-9));
+            if s.n > 1 && s.stddev > 0.0 {
+                prop_assert!(s2.ci95() < s.ci95() + 1e-12);
+            }
+        }
+
+        /// Percentiles are monotone in p and bounded by min/max.
+        #[test]
+        fn percentile_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..60)) {
+            let s = Summary::of(&xs).expect("non-empty");
+            let mut last = f64::NEG_INFINITY;
+            for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+                let v = percentile(&xs, p);
+                prop_assert!(v >= last - 1e-12);
+                prop_assert!(v >= s.min - 1e-9 && v <= s.max + 1e-9);
+                last = v;
+            }
+        }
+
+        /// Linear fit recovers exact lines through noisy-free points.
+        #[test]
+        fn linear_fit_exact(a in -100.0f64..100.0, b in -100.0f64..100.0, n in 2usize..30) {
+            let pts: Vec<(f64, f64)> =
+                (0..n).map(|i| (i as f64, a + b * i as f64)).collect();
+            let (fa, fb) = linear_fit(&pts);
+            prop_assert!((fa - a).abs() < 1e-6 * (1.0 + a.abs()));
+            prop_assert!((fb - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+
+        /// rel_err is symmetric in scale: rel_err(k·m, k·r) == rel_err(m, r).
+        #[test]
+        fn rel_err_scale_invariant(m in -1e3f64..1e3, r in 0.1f64..1e3, k in 0.1f64..100.0) {
+            let base = rel_err(m, r);
+            let scaled = rel_err(k * m, k * r);
+            prop_assert!((base - scaled).abs() < 1e-9 * (1.0 + base));
+        }
+    }
+}

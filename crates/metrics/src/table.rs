@@ -1,0 +1,138 @@
+//! Minimal ASCII table rendering for the experiment binaries.
+//!
+//! Every figure/table binary in `crates/bench` prints its rows through
+//! this so the output looks uniform and is trivially diffable against
+//! EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple left/right-aligned ASCII table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the column count does not match the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of displayable items.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table. The first column is left-aligned, the rest are
+    /// right-aligned (numeric convention).
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(line, " {:<w$} |", cell, w = widths[i]);
+                } else {
+                    let _ = write!(line, " {:>w$} |", cell, w = widths[i]);
+                }
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(sep, "{:-<w$}|", "", w = w + 2);
+            } else {
+                let _ = write!(sep, "{:-<w$}:|", "", w = w + 1);
+            }
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            debug_assert_eq!(row.len(), ncols);
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| name  | value |"));
+        assert!(s.contains("| alpha |     1 |"));
+        assert!(s.contains("| b     | 12345 |"));
+    }
+
+    #[test]
+    fn row_display_formats() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row_display(&[1, 2]);
+        assert_eq!(t.n_rows(), 1);
+        assert!(t.render().contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("", &["only-one"]);
+        t.row(&["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn separator_is_markdown_compatible() {
+        let mut t = Table::new("", &["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        let s = t.render();
+        // second line (no title) must be a |---|---:| separator
+        let sep = s.lines().nth(1).unwrap();
+        assert!(sep.starts_with("|-"));
+        assert!(sep.ends_with(":|"));
+    }
+}

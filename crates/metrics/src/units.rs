@@ -1,0 +1,145 @@
+//! Human-readable byte/time/rate formatting and byte-size parsing.
+//!
+//! Experiment binaries print message sizes the way the OSU benchmarks and
+//! Horovod's documentation do: power-of-two binary units (`64 MiB`), times
+//! in the most natural SI scale, and throughput in images/second or GB/s.
+
+/// Binary unit prefixes, largest first.
+const BIN_UNITS: &[(&str, u64)] = &[
+    ("GiB", 1 << 30),
+    ("MiB", 1 << 20),
+    ("KiB", 1 << 10),
+    ("B", 1),
+];
+
+/// Format a byte count with binary units, e.g. `64 MiB`, `1.5 KiB`, `17 B`.
+pub fn fmt_bytes(bytes: u64) -> String {
+    for &(name, scale) in BIN_UNITS {
+        if bytes >= scale {
+            let v = bytes as f64 / scale as f64;
+            return if (v - v.round()).abs() < 1e-9 {
+                format!("{} {name}", v.round() as u64)
+            } else {
+                format!("{v:.2} {name}")
+            };
+        }
+    }
+    "0 B".to_string()
+}
+
+/// Parse a byte-size string: `"64MiB"`, `"64 MB"`, `"8k"`, `"123"`.
+///
+/// Decimal suffixes (`KB`/`MB`/`GB`, and bare `k`/`m`/`g`) are treated as
+/// binary, matching how Horovod interprets `HOROVOD_FUSION_THRESHOLD`.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let split = s.find(|c: char| !(c.is_ascii_digit() || c == '.'))?;
+    let (num, unit) = if split == 0 { return None } else { s.split_at(split) };
+    let num: f64 = num.parse().ok()?;
+    let scale: u64 = match unit.trim().to_ascii_lowercase().as_str() {
+        "b" | "" => 1,
+        "k" | "kb" | "kib" => 1 << 10,
+        "m" | "mb" | "mib" => 1 << 20,
+        "g" | "gb" | "gib" => 1 << 30,
+        _ => return None,
+    };
+    Some((num * scale as f64).round() as u64)
+}
+
+/// Format a duration given in seconds at a natural scale (`ns`..`s`).
+pub fn fmt_time_s(seconds: f64) -> String {
+    let abs = seconds.abs();
+    if abs == 0.0 {
+        "0 s".to_string()
+    } else if abs < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if abs < 1e-3 {
+        format!("{:.2} \u{00b5}s", seconds * 1e6)
+    } else if abs < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Format a rate in "items per second" with a unit label, e.g.
+/// `fmt_rate(6.7, "img")` → `"6.7 img/s"`.
+pub fn fmt_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 100.0 {
+        format!("{per_second:.0} {unit}/s")
+    } else if per_second >= 10.0 {
+        format!("{per_second:.1} {unit}/s")
+    } else {
+        format!("{per_second:.2} {unit}/s")
+    }
+}
+
+/// Format a bandwidth in bytes/second as GB/s (decimal, the convention for
+/// link speeds: NVLink2 "50 GB/s" means 50e9 bytes/s).
+pub fn fmt_bandwidth(bytes_per_s: f64) -> String {
+    format!("{:.2} GB/s", bytes_per_s / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_round_units() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(17), "17 B");
+        assert_eq!(fmt_bytes(1 << 10), "1 KiB");
+        assert_eq!(fmt_bytes(64 << 20), "64 MiB");
+        assert_eq!(fmt_bytes(3 << 30), "3 GiB");
+    }
+
+    #[test]
+    fn fmt_bytes_fractional() {
+        assert_eq!(fmt_bytes(1536), "1.50 KiB");
+    }
+
+    #[test]
+    fn parse_bytes_suffixes() {
+        assert_eq!(parse_bytes("64MiB"), Some(64 << 20));
+        assert_eq!(parse_bytes("64 MB"), Some(64 << 20));
+        assert_eq!(parse_bytes("8k"), Some(8 << 10));
+        assert_eq!(parse_bytes("2g"), Some(2 << 30));
+        assert_eq!(parse_bytes("123b"), Some(123));
+    }
+
+    #[test]
+    fn parse_bytes_rejects_garbage() {
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("MB"), None);
+        assert_eq!(parse_bytes("12parsecs"), None);
+    }
+
+    #[test]
+    fn parse_roundtrips_fmt() {
+        for b in [1u64, 1 << 10, 5 << 20, 7 << 30] {
+            let s = fmt_bytes(b);
+            assert_eq!(parse_bytes(&s), Some(b), "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn fmt_time_scales() {
+        assert_eq!(fmt_time_s(0.0), "0 s");
+        assert_eq!(fmt_time_s(5e-9), "5.0 ns");
+        assert_eq!(fmt_time_s(2.5e-6), "2.50 \u{00b5}s");
+        assert_eq!(fmt_time_s(3e-3), "3.00 ms");
+        assert_eq!(fmt_time_s(1.5), "1.50 s");
+    }
+
+    #[test]
+    fn fmt_rate_precision() {
+        assert_eq!(fmt_rate(6.7, "img"), "6.70 img/s");
+        assert_eq!(fmt_rate(42.0, "img"), "42.0 img/s");
+        assert_eq!(fmt_rate(300.0, "img"), "300 img/s");
+    }
+
+    #[test]
+    fn fmt_bandwidth_gbs() {
+        assert_eq!(fmt_bandwidth(50e9), "50.00 GB/s");
+    }
+}

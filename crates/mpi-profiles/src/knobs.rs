@@ -1,0 +1,176 @@
+//! Tunable knobs of an MPI personality.
+//!
+//! These mirror the environment variables the paper sweeps
+//! (`MV2_GPUDIRECT_LIMIT`, eager thresholds, hierarchical selection, …)
+//! reduced to the parameters that matter to the fluid-flow model: which
+//! data path a message takes, how fast the staged pipeline runs, how much
+//! software overhead each message pays, and which collective algorithm a
+//! given size selects.
+
+use collectives::{Algorithm, LeaderAlgo};
+
+/// Protocol/data-path knobs. All rates bytes/s, overheads seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knobs {
+    /// Messages at or below this size use the eager protocol (sender
+    /// completes locally). MPI `*_EAGER_THRESHOLD`.
+    pub eager_threshold: u64,
+    /// Whether the library drives GPUDirect RDMA at all (CUDA-awareness
+    /// quality). `MV2_USE_GPUDIRECT`.
+    pub use_gdr: bool,
+    /// Inter-node messages at or below this size go over the GDR path;
+    /// larger ones fall back to (pipelined) host staging.
+    /// `MV2_GPUDIRECT_LIMIT`.
+    pub gdr_limit: u64,
+    /// Effective pipeline rate of the host-staged path. Tuned libraries
+    /// overlap the NVLink copy-in, PCIe injection and wire transfer;
+    /// untuned ones stall between pipeline stages.
+    pub staging_rate: f64,
+    /// Per-message software overhead for small/eager messages.
+    pub overhead_small: f64,
+    /// Per-message software overhead for rendezvous messages (handshake).
+    pub overhead_large: f64,
+    /// Allreduce algorithm selection by total message size.
+    pub selection: SelectionTable,
+}
+
+/// Size-indexed algorithm selection, like an MPI library's tuning table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionTable {
+    /// `(max_bytes, algorithm)` entries in increasing `max_bytes` order:
+    /// the first entry whose bound is >= the message size wins.
+    pub entries: Vec<(u64, Algorithm)>,
+    /// Used when the message exceeds every bound.
+    pub fallback: Algorithm,
+}
+
+impl SelectionTable {
+    pub fn new(entries: Vec<(u64, Algorithm)>, fallback: Algorithm) -> Self {
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "selection bounds must be strictly increasing"
+        );
+        SelectionTable { entries, fallback }
+    }
+
+    pub fn select(&self, bytes: u64) -> Algorithm {
+        for &(bound, algo) in &self.entries {
+            if bytes <= bound {
+                return algo;
+            }
+        }
+        self.fallback
+    }
+}
+
+impl Knobs {
+    /// MVAPICH2-GDR-like defaults: aggressive GDR use, efficient staged
+    /// pipelining, and a well-tuned selection table (including the
+    /// two-level algorithm in the fused-buffer size range).
+    pub fn mvapich2_gdr() -> Self {
+        Knobs {
+            eager_threshold: 16 << 10,
+            use_gdr: true,
+            gdr_limit: 512 << 10,
+            staging_rate: 12e9,
+            overhead_small: 1.8e-6,
+            overhead_large: 5.0e-6,
+            selection: SelectionTable::new(
+                vec![
+                    (16 << 10, Algorithm::RecursiveDoubling),
+                    (128 << 10, Algorithm::Rabenseifner),
+                    (
+                        4 << 20,
+                        Algorithm::Hierarchical { per_node: 6, leader: LeaderAlgo::Rabenseifner },
+                    ),
+                ],
+                Algorithm::Ring,
+            ),
+        }
+    }
+
+    /// Spectrum-MPI-like system defaults: CUDA-aware but with an
+    /// unpipelined staged path, higher per-message costs, and a selection
+    /// table never tuned for GPU-resident multi-megabyte buffers
+    /// (recursive doubling persists far past its useful range).
+    pub fn spectrum_default() -> Self {
+        Knobs {
+            eager_threshold: 4 << 10,
+            use_gdr: false,
+            gdr_limit: 0,
+            staging_rate: 6e9,
+            overhead_small: 4.0e-6,
+            overhead_large: 12.0e-6,
+            selection: SelectionTable::new(
+                vec![
+                    (64 << 10, Algorithm::Tree),
+                    (4 << 20, Algorithm::RecursiveDoubling),
+                ],
+                Algorithm::Ring,
+            ),
+        }
+    }
+
+    /// NCCL-like: GDR everywhere, minimal software overhead, tree for
+    /// small messages and topology rings for the rest.
+    pub fn nccl() -> Self {
+        Knobs {
+            eager_threshold: 8 << 10,
+            use_gdr: true,
+            gdr_limit: u64::MAX,
+            staging_rate: f64::INFINITY,
+            overhead_small: 1.2e-6,
+            overhead_large: 2.5e-6,
+            selection: SelectionTable::new(
+                vec![(32 << 10, Algorithm::Tree)],
+                Algorithm::Ring,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_picks_first_matching_bound() {
+        let t = Knobs::mvapich2_gdr().selection;
+        assert_eq!(t.select(1 << 10), Algorithm::RecursiveDoubling);
+        assert_eq!(t.select(16 << 10), Algorithm::RecursiveDoubling);
+        assert_eq!(t.select((16 << 10) + 1), Algorithm::Rabenseifner);
+        assert!(matches!(t.select(1 << 20), Algorithm::Hierarchical { .. }));
+        assert_eq!(t.select(64 << 20), Algorithm::Ring);
+    }
+
+    #[test]
+    fn spectrum_defaults_keep_rd_too_long() {
+        let t = Knobs::spectrum_default().selection;
+        assert_eq!(t.select(2 << 20), Algorithm::RecursiveDoubling);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_table_rejected() {
+        SelectionTable::new(
+            vec![(100, Algorithm::Ring), (100, Algorithm::Tree)],
+            Algorithm::Ring,
+        );
+    }
+
+    #[test]
+    fn profile_relationships() {
+        let mv2 = Knobs::mvapich2_gdr();
+        let spec = Knobs::spectrum_default();
+        assert!(mv2.use_gdr && !spec.use_gdr);
+        assert!(mv2.staging_rate > spec.staging_rate);
+        assert!(mv2.overhead_large < spec.overhead_large);
+    }
+
+    #[test]
+    fn empty_table_uses_fallback() {
+        let t = SelectionTable::new(vec![], Algorithm::Ring);
+        assert_eq!(t.select(0), Algorithm::Ring);
+        assert_eq!(t.select(u64::MAX), Algorithm::Ring);
+    }
+}

@@ -1,0 +1,62 @@
+//! MPI library personalities for the Summit DLv3+ reproduction.
+//!
+//! An [`MpiProfile`] packages the behavioural differences between the
+//! communication stacks the paper compares:
+//!
+//! * **MVAPICH2-GDR** — CUDA-aware with GPUDirect RDMA, efficient
+//!   pipelined host staging above `MV2_GPUDIRECT_LIMIT`, and tuned
+//!   algorithm-selection tables (including the two-level hierarchical
+//!   allreduce in the fused-buffer size range);
+//! * **Spectrum-MPI (default)** — the Summit system default: host-staged
+//!   GPU buffers, higher per-message overheads, and a selection table
+//!   that keeps recursive doubling far past its useful message size;
+//! * **NCCL-like** — GDR everywhere, minimal overhead, tree for small
+//!   messages and topology rings otherwise.
+//!
+//! A profile implements [`collectives::CostModel`], so the same
+//! schedules time differently under different personalities — which is
+//! exactly the paper's experimental axis. [`AllreduceOracle`] adds the
+//! interpolating cache the Horovod runtime queries per fused buffer.
+
+pub mod knobs;
+pub mod osu;
+pub mod profile;
+
+pub use knobs::{Knobs, SelectionTable};
+pub use osu::{allreduce_sweep, bcast_sweep, pt2pt_bandwidth_sweep, pt2pt_latency_sweep, size_ladder, OsuPoint};
+pub use profile::{AllreduceOracle, MpiProfile};
+
+/// The three communication backends the experiments sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    Mvapich2Gdr,
+    SpectrumDefault,
+    Nccl,
+}
+
+impl Backend {
+    pub fn profile(self) -> MpiProfile {
+        match self {
+            Backend::Mvapich2Gdr => MpiProfile::mvapich2_gdr(),
+            Backend::SpectrumDefault => MpiProfile::spectrum_default(),
+            Backend::Nccl => MpiProfile::nccl(),
+        }
+    }
+
+    pub fn all() -> [Backend; 3] {
+        [Backend::SpectrumDefault, Backend::Mvapich2Gdr, Backend::Nccl]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_resolve_to_named_profiles() {
+        assert_eq!(Backend::Mvapich2Gdr.profile().name, "MVAPICH2-GDR");
+        assert_eq!(Backend::SpectrumDefault.profile().name, "Spectrum-MPI (default)");
+        assert_eq!(Backend::Nccl.profile().name, "NCCL-like");
+        assert_eq!(Backend::all().len(), 3);
+    }
+}

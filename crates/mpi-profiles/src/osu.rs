@@ -1,0 +1,234 @@
+//! OSU-microbenchmark-style sweeps: `osu_allreduce` / `osu_bcast`
+//! equivalents over the simulator. These regenerate the paper's
+//! communication-level comparison between MVAPICH2-GDR and the default
+//! MPI (experiment F2).
+
+use summit_sim::Machine;
+
+use crate::profile::MpiProfile;
+
+/// One row of an OSU-style sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OsuPoint {
+    pub bytes: u64,
+    /// Average latency in microseconds (the OSU reporting unit).
+    pub latency_us: f64,
+}
+
+/// The canonical OSU message-size ladder: powers of two from `min` to
+/// `max` inclusive.
+pub fn size_ladder(min: u64, max: u64) -> Vec<u64> {
+    assert!(min >= 1 && min <= max, "invalid ladder bounds");
+    let mut v = Vec::new();
+    let mut s = min.next_power_of_two();
+    while s <= max {
+        v.push(s);
+        s = s.checked_mul(2).expect("ladder overflow");
+    }
+    v
+}
+
+/// `osu_allreduce`: latency per message size for `profile` across
+/// `n_ranks` GPUs.
+pub fn allreduce_sweep(
+    profile: &MpiProfile,
+    machine: &Machine,
+    n_ranks: usize,
+    sizes: &[u64],
+) -> Vec<OsuPoint> {
+    sizes
+        .iter()
+        .map(|&bytes| OsuPoint {
+            bytes,
+            latency_us: profile.allreduce_time(machine, n_ranks, bytes).as_secs_f64() * 1e6,
+        })
+        .collect()
+}
+
+/// `osu_bcast`: broadcast latency per message size.
+pub fn bcast_sweep(
+    profile: &MpiProfile,
+    machine: &Machine,
+    n_ranks: usize,
+    sizes: &[u64],
+) -> Vec<OsuPoint> {
+    sizes
+        .iter()
+        .map(|&bytes| OsuPoint {
+            bytes,
+            latency_us: profile.broadcast_time(machine, n_ranks, bytes).as_secs_f64() * 1e6,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summit_sim::MachineConfig;
+
+    fn machine(gpus: usize) -> Machine {
+        Machine::new(MachineConfig::summit_for_gpus(gpus))
+    }
+
+    #[test]
+    fn ladder_is_powers_of_two() {
+        assert_eq!(size_ladder(4, 64), vec![4, 8, 16, 32, 64]);
+        assert_eq!(size_ladder(3, 16), vec![4, 8, 16]);
+        assert_eq!(size_ladder(1, 1), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ladder")]
+    fn bad_ladder_panics() {
+        size_ladder(16, 4);
+    }
+
+    #[test]
+    fn allreduce_sweep_shapes() {
+        let m = machine(24);
+        let sizes = size_ladder(1 << 10, 1 << 24);
+        let mv2 = allreduce_sweep(&MpiProfile::mvapich2_gdr(), &m, 24, &sizes);
+        let spec = allreduce_sweep(&MpiProfile::spectrum_default(), &m, 24, &sizes);
+        assert_eq!(mv2.len(), sizes.len());
+        // Large-message regime: MV2 wins decisively (GDR + tuned algo).
+        let last = sizes.len() - 1;
+        assert!(spec[last].latency_us > mv2[last].latency_us * 1.2);
+        // Latency grows with size at the top of the ladder.
+        assert!(mv2[last].latency_us > mv2[last - 4].latency_us);
+    }
+
+    #[test]
+    fn bcast_sweep_monotone_at_large_sizes() {
+        let m = machine(12);
+        let sizes = size_ladder(1 << 16, 1 << 24);
+        let pts = bcast_sweep(&MpiProfile::mvapich2_gdr(), &m, 12, &sizes);
+        for w in pts.windows(2) {
+            assert!(w[1].latency_us > w[0].latency_us * 0.9);
+        }
+    }
+}
+
+/// `osu_latency`-style point-to-point sweep between two GPUs: one
+/// message per size, reported as one-way latency in µs.
+pub fn pt2pt_latency_sweep(
+    profile: &crate::profile::MpiProfile,
+    machine: &Machine,
+    src: summit_sim::GpuId,
+    dst: summit_sim::GpuId,
+    sizes: &[u64],
+) -> Vec<OsuPoint> {
+    use collectives::CostModel;
+    use summit_sim::{Executor, Op, Program};
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let p = profile.msg(machine, src, dst, bytes);
+            let mut programs = vec![Program::new(); 2];
+            programs[0].step(vec![Op::Send {
+                peer: 1,
+                bytes,
+                tag: 0,
+                path: p.path,
+                overhead: p.overhead,
+                rate_cap: p.rate_cap,
+                eager: false,
+            }]);
+            programs[1].step(vec![Op::recv(0, 0)]);
+            let exec = Executor::new(machine, vec![src, dst]);
+            OsuPoint { bytes, latency_us: exec.run(programs).makespan.as_secs_f64() * 1e6 }
+        })
+        .collect()
+}
+
+/// `osu_bw`-style sweep: a window of 16 back-to-back messages per size,
+/// reported as achieved bandwidth in GB/s.
+pub fn pt2pt_bandwidth_sweep(
+    profile: &crate::profile::MpiProfile,
+    machine: &Machine,
+    src: summit_sim::GpuId,
+    dst: summit_sim::GpuId,
+    sizes: &[u64],
+) -> Vec<(u64, f64)> {
+    use collectives::CostModel;
+    use summit_sim::{Executor, Op, Program};
+    const WINDOW: u64 = 16;
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let p = profile.msg(machine, src, dst, bytes);
+            let mut programs = vec![Program::new(); 2];
+            for i in 0..WINDOW {
+                programs[0].step(vec![Op::Send {
+                    peer: 1,
+                    bytes,
+                    tag: i,
+                    path: p.path,
+                    overhead: p.overhead,
+                    rate_cap: p.rate_cap,
+                    eager: false,
+                }]);
+                programs[1].step(vec![Op::recv(0, i)]);
+            }
+            let exec = Executor::new(machine, vec![src, dst]);
+            let t = exec.run(programs).makespan.as_secs_f64();
+            (bytes, (WINDOW * bytes) as f64 / t / 1e9)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod pt2pt_tests {
+    use super::*;
+    use crate::profile::MpiProfile;
+    use summit_sim::{GpuId, MachineConfig};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::summit(2))
+    }
+
+    #[test]
+    fn latency_small_messages_are_microseconds() {
+        let m = machine();
+        let pts = pt2pt_latency_sweep(
+            &MpiProfile::mvapich2_gdr(),
+            &m,
+            GpuId(0),
+            GpuId(6),
+            &[8, 1024],
+        );
+        assert!(pts[0].latency_us > 1.0 && pts[0].latency_us < 20.0, "{:?}", pts[0]);
+    }
+
+    #[test]
+    fn gdr_beats_staged_pt2pt() {
+        let m = machine();
+        let sizes = [4u64 << 20];
+        let mv2 =
+            pt2pt_latency_sweep(&MpiProfile::mvapich2_gdr(), &m, GpuId(0), GpuId(6), &sizes);
+        let spec =
+            pt2pt_latency_sweep(&MpiProfile::spectrum_default(), &m, GpuId(0), GpuId(6), &sizes);
+        assert!(spec[0].latency_us > mv2[0].latency_us * 1.5);
+    }
+
+    #[test]
+    fn bandwidth_approaches_link_rate_for_large_messages() {
+        let m = machine();
+        let bw = pt2pt_bandwidth_sweep(
+            &MpiProfile::nccl(),
+            &m,
+            GpuId(0),
+            GpuId(6),
+            &[64 << 20],
+        );
+        // Inter-node GDR floor is the PCIe leg at 16 GB/s.
+        assert!(bw[0].1 > 10.0 && bw[0].1 <= 16.0, "achieved {} GB/s", bw[0].1);
+    }
+
+    #[test]
+    fn intra_node_bandwidth_is_nvlink_class() {
+        let m = machine();
+        let bw =
+            pt2pt_bandwidth_sweep(&MpiProfile::nccl(), &m, GpuId(0), GpuId(1), &[64 << 20]);
+        assert!(bw[0].1 > 35.0 && bw[0].1 <= 50.0, "achieved {} GB/s", bw[0].1);
+    }
+}

@@ -1,0 +1,411 @@
+//! Rank-program executor: runs one communication/compute program per GPU
+//! rank against the fluid-flow network, with MPI-style message matching.
+//!
+//! A program is a sequence of *steps*; each step is a set of operations
+//! that a rank issues concurrently (e.g. the send-right/receive-left pair
+//! of a ring stage). A rank advances to its next step when every
+//! operation of the current step has completed — exactly the dependency
+//! structure of round-based collective schedules.
+//!
+//! Matching semantics: a `Send` and a `Recv` match on
+//! `(sender, receiver, tag)` in FIFO order. Transfers are *rendezvous*
+//! unless the send is flagged eager: a rendezvous sender blocks until the
+//! payload is drained; an eager sender completes `overhead` after posting,
+//! regardless of the receiver.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::flow::FlowNet;
+use crate::time::SimTime;
+use crate::topology::{DataPath, GpuId, Machine};
+
+/// One operation issued by a rank.
+#[derive(Debug, Clone)]
+pub enum Op {
+    Send {
+        /// Destination rank (index into the executor's placement).
+        peer: usize,
+        bytes: u64,
+        tag: u64,
+        path: DataPath,
+        /// Per-message software overhead (MPI stack, protocol handshake).
+        overhead: SimTime,
+        /// Flow rate cap in bytes/s; models pipelined-staging efficiency.
+        rate_cap: f64,
+        /// Eager sends complete locally without waiting for the receiver.
+        eager: bool,
+    },
+    Recv {
+        peer: usize,
+        tag: u64,
+    },
+    Compute {
+        dur: SimTime,
+    },
+}
+
+impl Op {
+    /// A rendezvous send with no rate cap — the common case in tests.
+    pub fn send(peer: usize, bytes: u64, tag: u64, path: DataPath, overhead: SimTime) -> Op {
+        Op::Send { peer, bytes, tag, path, overhead, rate_cap: f64::INFINITY, eager: false }
+    }
+
+    pub fn recv(peer: usize, tag: u64) -> Op {
+        Op::Recv { peer, tag }
+    }
+
+    pub fn compute(dur: SimTime) -> Op {
+        Op::Compute { dur }
+    }
+}
+
+/// A rank's program: steps of concurrently-issued ops.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub steps: Vec<Vec<Op>>,
+}
+
+impl Program {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn step(&mut self, ops: Vec<Op>) -> &mut Self {
+        self.steps.push(ops);
+        self
+    }
+
+    pub fn n_ops(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+}
+
+/// Result of running a set of programs.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// When each rank finished its last step.
+    pub rank_finish: Vec<SimTime>,
+    /// Latest rank finish time.
+    pub makespan: SimTime,
+    /// Total payload bytes that crossed any link (counts each traversed
+    /// link once per byte).
+    pub link_bytes_total: f64,
+    /// Bytes carried by each directed link, indexed by `LinkId`.
+    pub link_bytes: Vec<f64>,
+}
+
+impl ExecReport {
+    /// The `k` busiest links, `(name, bytes)`, busiest first — hot-spot
+    /// analysis for placement/topology studies.
+    pub fn hot_links(&self, machine: &Machine, k: usize) -> Vec<(String, f64)> {
+        let mut idx: Vec<usize> = (0..self.link_bytes.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.link_bytes[b].partial_cmp(&self.link_bytes[a]).expect("NaN link bytes")
+        });
+        idx.into_iter()
+            .take(k)
+            .filter(|&i| self.link_bytes[i] > 0.0)
+            .map(|i| {
+                (machine.link(crate::topology::LinkId(i)).name.clone(), self.link_bytes[i])
+            })
+            .collect()
+    }
+
+    /// Mean utilization of `link` over the makespan, as a fraction of
+    /// its bandwidth.
+    pub fn utilization(&self, machine: &Machine, link: crate::topology::LinkId) -> f64 {
+        let t = self.makespan.as_secs_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.link_bytes[link.0] / (machine.link(link).bandwidth * t)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    ComputeDone { rank: usize },
+    /// An eager sender's local completion.
+    SendLocalDone { rank: usize },
+    /// A matched transfer begins flowing after overhead + route latency.
+    FlowStart { pending: usize },
+}
+
+#[derive(Debug)]
+struct PendingTransfer {
+    sender: usize,
+    receiver: usize,
+    bytes: u64,
+    path: DataPath,
+    rate_cap: f64,
+    eager: bool,
+    /// Filled in when the transfer's start event first fires; presence
+    /// marks that the route-latency delay has already been applied.
+    route: Option<crate::topology::Route>,
+}
+
+#[derive(Debug, Clone)]
+struct PostedSend {
+    rank: usize,
+    bytes: u64,
+    path: DataPath,
+    overhead: SimTime,
+    rate_cap: f64,
+    eager: bool,
+}
+
+#[derive(Debug, Default)]
+struct MatchQueue {
+    sends: VecDeque<PostedSend>,
+    recvs: VecDeque<usize>,
+}
+
+struct RankState {
+    program: Program,
+    next_step: usize,
+    outstanding: usize,
+    finish: SimTime,
+    done: bool,
+}
+
+/// Executes rank programs over a machine.
+pub struct Executor<'m> {
+    machine: &'m Machine,
+    /// rank -> GPU placement.
+    placement: Vec<GpuId>,
+}
+
+impl<'m> Executor<'m> {
+    /// `placement[r]` is the GPU rank `r` runs on. Ranks must map to
+    /// distinct GPUs.
+    pub fn new(machine: &'m Machine, placement: Vec<GpuId>) -> Self {
+        let mut seen = vec![false; machine.config.total_gpus()];
+        for &g in &placement {
+            assert!(g.0 < seen.len(), "placement GPU {g:?} out of range");
+            assert!(!seen[g.0], "two ranks share GPU {g:?}");
+            seen[g.0] = true;
+        }
+        Executor { machine, placement }
+    }
+
+    /// The canonical placement: rank r on GPU r.
+    pub fn dense(machine: &'m Machine, ranks: usize) -> Self {
+        assert!(ranks <= machine.config.total_gpus());
+        Self::new(machine, (0..ranks).map(GpuId).collect())
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Run one program per rank to completion and report timings.
+    ///
+    /// Panics on a deadlocked schedule (unmatched send/recv) with a
+    /// diagnostic of which ranks were stuck.
+    pub fn run(&self, programs: Vec<Program>) -> ExecReport {
+        assert_eq!(programs.len(), self.n_ranks(), "one program per rank");
+        let mut ranks: Vec<RankState> = programs
+            .into_iter()
+            .map(|p| RankState {
+                program: p,
+                next_step: 0,
+                outstanding: 0,
+                finish: SimTime::ZERO,
+                done: false,
+            })
+            .collect();
+
+        let mut net: FlowNet<usize> = FlowNet::new(self.machine);
+        let mut events: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::new();
+        let mut event_payload: Vec<Event> = Vec::new();
+        let mut seq: u64 = 0;
+        let mut push_event = |events: &mut BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+                              payload: &mut Vec<Event>,
+                              t: SimTime,
+                              e: Event| {
+            payload.push(e);
+            events.push(Reverse((t, seq, payload.len() - 1)));
+            seq += 1;
+        };
+
+        let mut queues: HashMap<(usize, usize, u64), MatchQueue> = HashMap::new();
+        let mut transfers: Vec<PendingTransfer> = Vec::new();
+
+        // Issue all ops of rank `r`'s next step at time `t`. Newly matched
+        // transfers are appended to `matched` for the caller to schedule.
+        fn issue_step(
+            r: usize,
+            t: SimTime,
+            ranks: &mut [RankState],
+            queues: &mut HashMap<(usize, usize, u64), MatchQueue>,
+            matched: &mut Vec<(SimTime, Event)>,
+            transfers: &mut Vec<PendingTransfer>,
+        ) {
+            loop {
+                let st = ranks[r].next_step;
+                if st >= ranks[r].program.steps.len() {
+                    ranks[r].done = true;
+                    ranks[r].finish = t;
+                    return;
+                }
+                let ops = std::mem::take(&mut ranks[r].program.steps[st]);
+                ranks[r].next_step += 1;
+                if ops.is_empty() {
+                    continue; // empty step: advance immediately
+                }
+                ranks[r].outstanding = ops.len();
+                for op in ops {
+                    match op {
+                        Op::Compute { dur } => {
+                            matched.push((t + dur, Event::ComputeDone { rank: r }));
+                        }
+                        Op::Send { peer, bytes, tag, path, overhead, rate_cap, eager } => {
+                            let q = queues.entry((r, peer, tag)).or_default();
+                            q.sends.push_back(PostedSend {
+                                rank: r,
+                                bytes,
+                                path,
+                                overhead,
+                                rate_cap,
+                                eager,
+                            });
+                            if eager {
+                                matched.push((t + overhead, Event::SendLocalDone { rank: r }));
+                            }
+                            try_match(r, peer, tag, t, queues, matched, transfers);
+                        }
+                        Op::Recv { peer, tag } => {
+                            let q = queues.entry((peer, r, tag)).or_default();
+                            q.recvs.push_back(r);
+                            try_match(peer, r, tag, t, queues, matched, transfers);
+                        }
+                    }
+                }
+                return;
+            }
+        }
+
+        fn try_match(
+            sender: usize,
+            receiver: usize,
+            tag: u64,
+            t: SimTime,
+            queues: &mut HashMap<(usize, usize, u64), MatchQueue>,
+            matched: &mut Vec<(SimTime, Event)>,
+            transfers: &mut Vec<PendingTransfer>,
+        ) {
+            let q = queues.get_mut(&(sender, receiver, tag)).expect("queue exists");
+            while !q.sends.is_empty() && !q.recvs.is_empty() {
+                let s = q.sends.pop_front().expect("checked");
+                let _r = q.recvs.pop_front().expect("checked");
+                transfers.push(PendingTransfer {
+                    sender: s.rank,
+                    receiver,
+                    bytes: s.bytes,
+                    path: s.path,
+                    rate_cap: s.rate_cap,
+                    eager: s.eager,
+                    route: None,
+                });
+                // The payload starts flowing after software overhead; route
+                // latency is added when the flow is created.
+                matched.push((t + s.overhead, Event::FlowStart { pending: transfers.len() - 1 }));
+            }
+        }
+
+        let mut completions: Vec<(usize, SimTime)> = Vec::new();
+        let mut newly: Vec<(SimTime, Event)> = Vec::new();
+        for r in 0..ranks.len() {
+            issue_step(r, SimTime::ZERO, &mut ranks, &mut queues, &mut newly, &mut transfers);
+        }
+        for (t, e) in newly.drain(..) {
+            push_event(&mut events, &mut event_payload, t, e);
+        }
+
+        loop {
+            let flow_next = net.next_completion();
+            let ev_next = events.peek().map(|Reverse((t, s, i))| (*t, *s, *i));
+            let (t, use_flow) = match (flow_next, ev_next) {
+                (None, None) => break,
+                (Some((tf, _)), None) => (tf, true),
+                (None, Some((te, _, _))) => (te, false),
+                (Some((tf, _)), Some((te, _, _))) => {
+                    if tf <= te {
+                        (tf, true)
+                    } else {
+                        (te, false)
+                    }
+                }
+            };
+            net.advance_to(t);
+
+            if use_flow {
+                let (_, fid) = net.next_completion().expect("flow disappeared");
+                let ti: usize = net.finish(fid);
+                let p = &transfers[ti];
+                completions.push((p.receiver, t));
+                if !p.eager {
+                    completions.push((p.sender, t));
+                }
+            } else {
+                let Reverse((_, _, idx)) = events.pop().expect("event disappeared");
+                match event_payload[idx] {
+                    Event::ComputeDone { rank } | Event::SendLocalDone { rank } => {
+                        completions.push((rank, t));
+                    }
+                    Event::FlowStart { pending } => {
+                        let p = &mut transfers[pending];
+                        if p.route.is_none() {
+                            let src = self.placement[p.sender];
+                            let dst = self.placement[p.receiver];
+                            let route = self.machine.route(src, dst, p.path);
+                            let start = t + route.latency;
+                            p.route = Some(route);
+                            if start > t {
+                                // Delay the byte drain by the route's
+                                // propagation latency.
+                                push_event(
+                                    &mut events,
+                                    &mut event_payload,
+                                    start,
+                                    Event::FlowStart { pending },
+                                );
+                                continue;
+                            }
+                        }
+                        let route = p.route.take().expect("route set above");
+                        net.start(route.links, p.bytes as f64, p.rate_cap, pending);
+                    }
+                }
+            }
+
+            // Apply op completions, advancing ranks whose step drained.
+            for (r, tc) in completions.drain(..) {
+                debug_assert!(ranks[r].outstanding > 0, "completion for idle rank {r}");
+                ranks[r].outstanding -= 1;
+                if ranks[r].outstanding == 0 {
+                    issue_step(r, tc, &mut ranks, &mut queues, &mut newly, &mut transfers);
+                }
+            }
+            for (te, e) in newly.drain(..) {
+                push_event(&mut events, &mut event_payload, te, e);
+            }
+        }
+
+        let stuck: Vec<usize> =
+            (0..ranks.len()).filter(|&r| !ranks[r].done).collect();
+        assert!(
+            stuck.is_empty(),
+            "schedule deadlocked; ranks {stuck:?} never finished (unmatched send/recv?)"
+        );
+
+        let rank_finish: Vec<SimTime> = ranks.iter().map(|r| r.finish).collect();
+        let makespan = rank_finish.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let link_bytes: Vec<f64> = (0..self.machine.n_links())
+            .map(|i| net.bytes_on(crate::topology::LinkId(i)))
+            .collect();
+        let link_bytes_total = link_bytes.iter().sum();
+        ExecReport { rank_finish, makespan, link_bytes_total, link_bytes }
+    }
+}

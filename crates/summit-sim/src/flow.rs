@@ -1,0 +1,303 @@
+//! Fluid-flow network state: concurrent transfers share link bandwidth.
+//!
+//! Each active flow gets `min(rate_cap, min over its links of bw/load)`
+//! where `load` is the number of flows currently crossing the link — the
+//! equal-share approximation of max–min fairness used by SimGrid-class
+//! simulators. Rates are re-solved whenever the flow set changes, which
+//! is exact for the collective schedules we run (flows start and stop at
+//! event boundaries).
+
+use crate::time::SimTime;
+use crate::topology::{LinkId, Machine};
+
+/// Handle to an active flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Flow<T> {
+    links: Vec<LinkId>,
+    remaining: f64,
+    rate_cap: f64,
+    rate: f64,
+    token: T,
+}
+
+/// Tolerance (bytes) under which a flow counts as drained, absorbing the
+/// floating-point error accumulated across rate changes.
+const DRAIN_EPS: f64 = 1e-3;
+
+/// The dynamic state of the machine's links: active flows and their
+/// currently assigned rates.
+#[derive(Debug)]
+pub struct FlowNet<T> {
+    link_bw: Vec<f64>,
+    link_load: Vec<u32>,
+    /// Cumulative bytes moved per link, for utilization reports.
+    link_bytes: Vec<f64>,
+    flows: Vec<Option<Flow<T>>>,
+    free: Vec<usize>,
+    active: usize,
+    now: SimTime,
+}
+
+impl<T> FlowNet<T> {
+    pub fn new(machine: &Machine) -> Self {
+        let n = machine.n_links();
+        FlowNet {
+            link_bw: (0..n).map(|i| machine.link(LinkId(i)).bandwidth).collect(),
+            link_load: vec![0; n],
+            link_bytes: vec![0.0; n],
+            flows: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn n_active(&self) -> usize {
+        self.active
+    }
+
+    /// Cumulative bytes carried by `link` so far.
+    pub fn bytes_on(&self, link: LinkId) -> f64 {
+        self.link_bytes[link.0]
+    }
+
+    /// Begin a flow at the current time. `rate_cap` may be
+    /// `f64::INFINITY`. An empty `links` route is only rate-limited by the
+    /// cap. Zero-byte flows are legal and complete at the next
+    /// `next_completion` query.
+    pub fn start(
+        &mut self,
+        links: Vec<LinkId>,
+        bytes: f64,
+        rate_cap: f64,
+        token: T,
+    ) -> FlowId {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "invalid flow size {bytes}");
+        assert!(rate_cap > 0.0, "rate cap must be positive");
+        for &l in &links {
+            self.link_load[l.0] += 1;
+        }
+        let flow = Flow { links, remaining: bytes, rate_cap, rate: 0.0, token };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.flows[i] = Some(flow);
+                i
+            }
+            None => {
+                self.flows.push(Some(flow));
+                self.flows.len() - 1
+            }
+        };
+        self.active += 1;
+        self.recompute_rates();
+        FlowId(idx)
+    }
+
+    /// Advance simulated time, draining bytes at current rates.
+    /// `t` must not precede the current time.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "time went backwards: {t} < {}", self.now);
+        let dt = (t - self.now).as_secs_f64();
+        if dt > 0.0 {
+            for f in self.flows.iter_mut().flatten() {
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                for &l in &f.links {
+                    self.link_bytes[l.0] += moved;
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Earliest completion among active flows: `(time, flow)`. `None` when
+    /// no flows are active. Flows with unbounded rate (empty route,
+    /// infinite cap) or already-drained bytes complete "now".
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (i, f) in self.flows.iter().enumerate() {
+            let Some(f) = f else { continue };
+            let t = if f.remaining <= DRAIN_EPS || f.rate == f64::INFINITY {
+                self.now
+            } else {
+                debug_assert!(f.rate > 0.0, "active flow with zero rate");
+                self.now + SimTime::from_secs_f64(f.remaining / f.rate)
+            };
+            // Tie-break on flow index for determinism.
+            if best.is_none_or(|(bt, bf)| t < bt || (t == bt && i < bf.0)) {
+                best = Some((t, FlowId(i)));
+            }
+        }
+        best
+    }
+
+    /// Remove a completed (or cancelled) flow and return its token.
+    /// Panics if the id is stale.
+    pub fn finish(&mut self, id: FlowId) -> T {
+        let f = self.flows[id.0].take().expect("finish on stale flow id");
+        for &l in &f.links {
+            debug_assert!(self.link_load[l.0] > 0);
+            self.link_load[l.0] -= 1;
+        }
+        self.free.push(id.0);
+        self.active -= 1;
+        self.recompute_rates();
+        f.token
+    }
+
+    fn recompute_rates(&mut self) {
+        for f in self.flows.iter_mut().flatten() {
+            let mut rate = f.rate_cap;
+            for &l in &f.links {
+                rate = rate.min(self.link_bw[l.0] / f64::from(self.link_load[l.0]));
+            }
+            f.rate = rate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{DataPath, GpuId, MachineConfig};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::summit(2))
+    }
+
+    #[test]
+    fn single_flow_runs_at_bottleneck() {
+        let m = machine();
+        let mut net: FlowNet<()> = FlowNet::new(&m);
+        let r = m.route(GpuId(0), GpuId(2), DataPath::Gdr); // 50 GB/s NVLink
+        net.start(r.links, 50e9, f64::INFINITY, ());
+        let (t, f) = net.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9, "50 GB over 50 GB/s = 1 s, got {t}");
+        net.advance_to(t);
+        net.finish(f);
+        assert_eq!(net.n_active(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_equally() {
+        let m = machine();
+        let mut net: FlowNet<u32> = FlowNet::new(&m);
+        let r = m.route(GpuId(0), GpuId(2), DataPath::Gdr);
+        net.start(r.links.clone(), 50e9, f64::INFINITY, 1);
+        net.start(r.links, 50e9, f64::INFINITY, 2);
+        let (t, _) = net.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9, "shared link halves the rate");
+    }
+
+    #[test]
+    fn departure_speeds_up_remaining_flow() {
+        let m = machine();
+        let mut net: FlowNet<u32> = FlowNet::new(&m);
+        let r = m.route(GpuId(0), GpuId(2), DataPath::Gdr);
+        net.start(r.links.clone(), 25e9, f64::INFINITY, 1); // finishes first
+        net.start(r.links, 50e9, f64::INFINITY, 2);
+        // Both run at 25 GB/s; flow 1 finishes at t=1.
+        let (t1, f1) = net.next_completion().unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
+        net.advance_to(t1);
+        assert_eq!(net.finish(f1), 1);
+        // Flow 2 has 25 GB left, now at full 50 GB/s: finishes at t=1.5.
+        let (t2, f2) = net.next_completion().unwrap();
+        assert!((t2.as_secs_f64() - 1.5).abs() < 1e-6, "got {t2}");
+        net.advance_to(t2);
+        assert_eq!(net.finish(f2), 2);
+    }
+
+    #[test]
+    fn rate_cap_binds_below_link_bandwidth() {
+        let m = machine();
+        let mut net: FlowNet<()> = FlowNet::new(&m);
+        let r = m.route(GpuId(0), GpuId(2), DataPath::Gdr);
+        net.start(r.links, 10e9, 5e9, ());
+        let (t, _) = net.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let m = machine();
+        let mut net: FlowNet<()> = FlowNet::new(&m);
+        let r = m.route(GpuId(0), GpuId(2), DataPath::Gdr);
+        net.start(r.links, 0.0, f64::INFINITY, ());
+        let (t, _) = net.next_completion().unwrap();
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_route_is_unconstrained() {
+        let m = machine();
+        let mut net: FlowNet<()> = FlowNet::new(&m);
+        net.start(Vec::new(), 1e12, f64::INFINITY, ());
+        let (t, _) = net.next_completion().unwrap();
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn link_byte_accounting() {
+        let m = machine();
+        let mut net: FlowNet<()> = FlowNet::new(&m);
+        let r = m.route(GpuId(0), GpuId(2), DataPath::Gdr);
+        let link = r.links[0];
+        net.start(r.links, 50e9, f64::INFINITY, ());
+        let (t, f) = net.next_completion().unwrap();
+        net.advance_to(t);
+        net.finish(f);
+        assert!((net.bytes_on(link) - 50e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let m = machine();
+        let mut net: FlowNet<u32> = FlowNet::new(&m);
+        let r1 = m.route(GpuId(0), GpuId(1), DataPath::Gdr);
+        let r2 = m.route(GpuId(3), GpuId(4), DataPath::Gdr);
+        net.start(r1.links, 50e9, f64::INFINITY, 1);
+        net.start(r2.links, 50e9, f64::INFINITY, 2);
+        let (t, _) = net.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn cannot_rewind_time() {
+        let m = machine();
+        let mut net: FlowNet<()> = FlowNet::new(&m);
+        net.advance_to(SimTime::from_ns(10));
+        net.advance_to(SimTime::from_ns(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale flow id")]
+    fn double_finish_panics() {
+        let m = machine();
+        let mut net: FlowNet<()> = FlowNet::new(&m);
+        let r = m.route(GpuId(0), GpuId(2), DataPath::Gdr);
+        let f = net.start(r.links, 0.0, f64::INFINITY, ());
+        net.finish(f);
+        net.finish(f);
+    }
+
+    #[test]
+    fn flow_slot_reuse() {
+        let m = machine();
+        let mut net: FlowNet<u32> = FlowNet::new(&m);
+        let r = m.route(GpuId(0), GpuId(2), DataPath::Gdr);
+        let f1 = net.start(r.links.clone(), 0.0, f64::INFINITY, 1);
+        net.finish(f1);
+        let f2 = net.start(r.links, 0.0, f64::INFINITY, 2);
+        assert_eq!(f1, f2, "freed slot should be reused");
+        assert_eq!(net.finish(f2), 2);
+    }
+}

@@ -1,0 +1,325 @@
+//! Discrete-event simulator of the ORNL Summit interconnect.
+//!
+//! Three layers:
+//!
+//! * [`topology`] — the static machine: Summit's node architecture
+//!   (2× POWER9 + 6× V100, NVLink2, X-bus, PCIe, dual-rail EDR HCA) and a
+//!   non-blocking fat-tree fabric, with routing between GPU endpoints and
+//!   a choice of GPUDirect vs host-staged inter-node data paths.
+//! * [`flow`] — the dynamic network: concurrent transfers share link
+//!   bandwidth under an equal-share fluid model, re-solved at every flow
+//!   arrival/departure.
+//! * [`executor`] — MPI-style rank programs (send/recv/compute steps with
+//!   rendezvous or eager matching) executed against the flow network,
+//!   producing per-rank completion times.
+//!
+//! The crates above (collectives, MPI personalities, the Horovod runtime)
+//! generate rank programs; this crate turns them into time.
+//!
+//! # Example
+//!
+//! ```
+//! use summit_sim::{Machine, MachineConfig, Executor, Program, Op, DataPath, SimTime};
+//!
+//! // 12 GPUs on two Summit nodes; rank 0 sends 1 MiB to rank 6 (GDR).
+//! let machine = Machine::new(MachineConfig::summit(2));
+//! let exec = Executor::dense(&machine, 12);
+//! let mut programs = vec![Program::new(); 12];
+//! programs[0].step(vec![Op::send(6, 1 << 20, 0, DataPath::Gdr, SimTime::ZERO)]);
+//! programs[6].step(vec![Op::recv(0, 0)]);
+//! let report = exec.run(programs);
+//! assert!(report.makespan > SimTime::ZERO);
+//! ```
+
+pub mod executor;
+pub mod flow;
+pub mod placement;
+mod proptests;
+pub mod time;
+pub mod topology;
+
+pub use executor::{ExecReport, Executor, Op, Program};
+pub use flow::{FlowId, FlowNet};
+pub use placement::Placement;
+pub use time::SimTime;
+pub use topology::{DataPath, GpuId, Link, LinkId, Machine, MachineConfig, Route};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(nodes: usize) -> Machine {
+        Machine::new(MachineConfig::summit(nodes))
+    }
+
+    /// Expected fluid-model time for a lone transfer.
+    fn expect_transfer(m: &Machine, src: usize, dst: usize, bytes: u64, path: DataPath) -> f64 {
+        let r = m.route(GpuId(src), GpuId(dst), path);
+        let bw = r.links.iter().map(|&l| m.link(l).bandwidth).fold(f64::INFINITY, f64::min);
+        r.latency.as_secs_f64() + bytes as f64 / bw
+    }
+
+    #[test]
+    fn point_to_point_nvlink_timing() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let mut p = vec![Program::new(); 6];
+        let bytes = 100 << 20; // 100 MiB
+        p[0].step(vec![Op::send(1, bytes, 0, DataPath::Gdr, SimTime::ZERO)]);
+        p[1].step(vec![Op::recv(0, 0)]);
+        let rep = exec.run(p);
+        let want = expect_transfer(&m, 0, 1, bytes, DataPath::Gdr);
+        assert!(
+            (rep.makespan.as_secs_f64() - want).abs() / want < 1e-6,
+            "got {} want {}",
+            rep.makespan.as_secs_f64(),
+            want
+        );
+    }
+
+    #[test]
+    fn inter_node_staged_slower_than_gdr() {
+        let m = machine(2);
+        let bytes = 64 << 20;
+        let run = |path: DataPath| {
+            let exec = Executor::dense(&m, 12);
+            let mut p = vec![Program::new(); 12];
+            p[0].step(vec![Op::Send {
+                peer: 6,
+                bytes,
+                tag: 0,
+                path,
+                overhead: SimTime::ZERO,
+                rate_cap: f64::INFINITY,
+                eager: false,
+            }]);
+            p[6].step(vec![Op::recv(0, 0)]);
+            exec.run(p).makespan
+        };
+        // Same link floor (PCIe 16 GB/s) but staged adds latency; with a
+        // rate cap it would also lose bandwidth (the MPI profiles set one).
+        assert!(run(DataPath::HostStaged) > run(DataPath::Gdr));
+    }
+
+    #[test]
+    fn rendezvous_blocks_sender_until_recv_posted() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let mut p = vec![Program::new(); 6];
+        // Receiver computes 5 ms before posting its recv.
+        let delay = SimTime::from_secs_f64(5e-3);
+        p[0].step(vec![Op::send(1, 1024, 0, DataPath::Gdr, SimTime::ZERO)]);
+        p[1].step(vec![Op::compute(delay)]);
+        p[1].step(vec![Op::recv(0, 0)]);
+        let rep = exec.run(p);
+        assert!(rep.rank_finish[0] >= delay, "sender must wait for the late receiver");
+    }
+
+    #[test]
+    fn eager_send_completes_locally() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let mut p = vec![Program::new(); 6];
+        let delay = SimTime::from_secs_f64(5e-3);
+        p[0].step(vec![Op::Send {
+            peer: 1,
+            bytes: 1024,
+            tag: 0,
+            path: DataPath::Gdr,
+            overhead: SimTime::from_ns(500),
+            rate_cap: f64::INFINITY,
+            eager: true,
+        }]);
+        p[1].step(vec![Op::compute(delay)]);
+        p[1].step(vec![Op::recv(0, 0)]);
+        let rep = exec.run(p);
+        assert_eq!(rep.rank_finish[0], SimTime::from_ns(500), "eager sender returns immediately");
+        assert!(rep.rank_finish[1] > delay);
+    }
+
+    #[test]
+    fn parallel_sendrecv_ring_exchange() {
+        // 6 ranks, each sends 10 MiB right and receives from left, all in
+        // one step. The transfers mostly use distinct wires, so the
+        // makespan must be far below the serialized sum.
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let bytes = 10 << 20;
+        let mut p = vec![Program::new(); 6];
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..6 {
+            p[r].step(vec![
+                Op::send((r + 1) % 6, bytes, r as u64, DataPath::Gdr, SimTime::ZERO),
+                Op::recv((r + 5) % 6, ((r + 5) % 6) as u64),
+            ]);
+        }
+        let rep = exec.run(p);
+        let single = expect_transfer(&m, 0, 1, bytes, DataPath::Gdr);
+        assert!(
+            rep.makespan.as_secs_f64() < 3.0 * single,
+            "ring exchange should mostly parallelize: {} vs single {}",
+            rep.makespan.as_secs_f64(),
+            single
+        );
+    }
+
+    #[test]
+    fn nic_contention_serializes_inter_node_flows() {
+        // Two simultaneous GDR flows from node 0 to node 1, one per
+        // socket so their PCIe legs are distinct, share the NIC uplink
+        // (23 GB/s): each runs at 11.5 GB/s, below the 16 GB/s PCIe
+        // floor, so the NIC is the bottleneck.
+        let m = machine(2);
+        let exec = Executor::dense(&m, 12);
+        let bytes: u64 = 1 << 30;
+        let mut p = vec![Program::new(); 12];
+        p[0].step(vec![Op::send(6, bytes, 0, DataPath::Gdr, SimTime::ZERO)]);
+        p[3].step(vec![Op::send(9, bytes, 1, DataPath::Gdr, SimTime::ZERO)]);
+        p[6].step(vec![Op::recv(0, 0)]);
+        p[9].step(vec![Op::recv(3, 1)]);
+        let rep = exec.run(p);
+        let want = bytes as f64 / 11.5e9;
+        let got = rep.makespan.as_secs_f64();
+        assert!((got - want).abs() / want < 0.01, "got {got}, want ≈ {want}");
+    }
+
+    #[test]
+    fn compute_only_program() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let mut p = vec![Program::new(); 6];
+        for (i, prog) in p.iter_mut().enumerate() {
+            prog.step(vec![Op::compute(SimTime::from_ns(100 * (i as u64 + 1)))]);
+        }
+        let rep = exec.run(p);
+        assert_eq!(rep.makespan, SimTime::from_ns(600));
+        assert_eq!(rep.rank_finish[0], SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn empty_programs_finish_at_zero() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let rep = exec.run(vec![Program::new(); 6]);
+        assert_eq!(rep.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_steps_are_skipped() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let mut p = vec![Program::new(); 6];
+        p[0].step(vec![]);
+        p[0].step(vec![Op::compute(SimTime::from_ns(7))]);
+        p[0].step(vec![]);
+        let rep = exec.run(p);
+        assert_eq!(rep.rank_finish[0], SimTime::from_ns(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn unmatched_recv_deadlocks() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let mut p = vec![Program::new(); 6];
+        p[0].step(vec![Op::recv(1, 0)]);
+        exec.run(p);
+    }
+
+    #[test]
+    fn tags_disambiguate_out_of_order_recvs() {
+        // Eager sends with distinct tags, received in the opposite order:
+        // both must complete, like real MPI tag matching.
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let eager_send = |peer, bytes, tag| Op::Send {
+            peer,
+            bytes,
+            tag,
+            path: DataPath::Gdr,
+            overhead: SimTime::ZERO,
+            rate_cap: f64::INFINITY,
+            eager: true,
+        };
+        let mut p = vec![Program::new(); 6];
+        p[0].step(vec![eager_send(1, 1024, 7)]);
+        p[0].step(vec![eager_send(1, 2048, 9)]);
+        p[1].step(vec![Op::recv(0, 9)]);
+        p[1].step(vec![Op::recv(0, 7)]);
+        let rep = exec.run(p);
+        assert!(rep.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn report_counts_link_bytes() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let mut p = vec![Program::new(); 6];
+        p[0].step(vec![Op::send(1, 1 << 20, 0, DataPath::Gdr, SimTime::ZERO)]);
+        p[1].step(vec![Op::recv(0, 0)]);
+        let rep = exec.run(p);
+        assert!((rep.link_bytes_total - (1u64 << 20) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn overhead_delays_transfer_start() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let overhead = SimTime::from_secs_f64(1e-3);
+        let mut p = vec![Program::new(); 6];
+        p[0].step(vec![Op::send(1, 1024, 0, DataPath::Gdr, overhead)]);
+        p[1].step(vec![Op::recv(0, 0)]);
+        let rep = exec.run(p);
+        assert!(rep.makespan > overhead);
+    }
+
+    #[test]
+    fn rate_cap_limits_a_transfer() {
+        let m = machine(1);
+        let exec = Executor::dense(&m, 6);
+        let bytes: u64 = 1 << 30;
+        let mut p = vec![Program::new(); 6];
+        p[0].step(vec![Op::Send {
+            peer: 1,
+            bytes,
+            tag: 0,
+            path: DataPath::Gdr,
+            overhead: SimTime::ZERO,
+            rate_cap: 5e9,
+            eager: false,
+        }]);
+        p[1].step(vec![Op::recv(0, 0)]);
+        let rep = exec.run(p);
+        let want = bytes as f64 / 5e9;
+        assert!((rep.makespan.as_secs_f64() - want).abs() / want < 0.01);
+    }
+
+    #[test]
+    fn dense_placement_rejects_oversubscription() {
+        let m = machine(1);
+        let result = std::panic::catch_unwind(|| Executor::dense(&m, 7));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let m = machine(4);
+        let build = || {
+            let mut p = vec![Program::new(); 24];
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..24usize {
+                p[r].step(vec![
+                    Op::send((r + 1) % 24, 4 << 20, r as u64, DataPath::Gdr, SimTime::ZERO),
+                    Op::recv((r + 23) % 24, ((r + 23) % 24) as u64),
+                ]);
+                p[r].step(vec![Op::compute(SimTime::from_ns(1000))]);
+            }
+            p
+        };
+        let exec = Executor::dense(&m, 24);
+        let a = exec.run(build());
+        let b = exec.run(build());
+        assert_eq!(a.rank_finish, b.rank_finish);
+        assert_eq!(a.makespan, b.makespan);
+    }
+}

@@ -1,0 +1,120 @@
+//! Rank-to-GPU placement strategies.
+//!
+//! MPI launchers control how ranks map onto GPUs; for topology-sensitive
+//! collectives the difference between packing ranks node-by-node and
+//! scattering them round-robin across nodes is the difference between
+//! NVLink hops and NIC hops on every ring edge. `jsrun` on Summit packs
+//! by default ([`Placement::Dense`]); the alternatives exist to quantify
+//! what mis-placement costs (ablation A11).
+
+use crate::topology::{GpuId, Machine};
+
+/// How ranks are assigned to GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Pack ranks onto consecutive GPUs, filling each node before the
+    /// next (`jsrun` default; ring neighbours are mostly NVLink peers).
+    Dense,
+    /// Round-robin across nodes: rank `i` on node `i mod nodes`. Every
+    /// ring edge crosses the fabric — the pathological layout.
+    RoundRobinNodes,
+    /// Fill both sockets alternately within each node (socket-interleaved
+    /// order; intra-node neighbours alternate NVLink and X-bus hops).
+    SocketInterleaved,
+}
+
+impl Placement {
+    /// Compute the GPU for each of `n_ranks` ranks on `machine`.
+    ///
+    /// Panics if the machine has fewer GPUs than ranks.
+    pub fn assign(&self, machine: &Machine, n_ranks: usize) -> Vec<GpuId> {
+        let total = machine.config.total_gpus();
+        assert!(n_ranks <= total, "machine has {total} GPUs, need {n_ranks}");
+        let gpn = machine.config.gpus_per_node;
+        let nodes = machine.config.nodes;
+        match self {
+            Placement::Dense => (0..n_ranks).map(GpuId).collect(),
+            Placement::RoundRobinNodes => {
+                // rank i -> node i % nodes, local slot i / nodes.
+                (0..n_ranks)
+                    .map(|i| {
+                        let node = i % nodes;
+                        let local = i / nodes;
+                        assert!(local < gpn, "round-robin overflow");
+                        GpuId(node * gpn + local)
+                    })
+                    .collect()
+            }
+            Placement::SocketInterleaved => {
+                let per_socket = gpn / machine.config.sockets_per_node;
+                (0..n_ranks)
+                    .map(|i| {
+                        let node = i / gpn;
+                        let slot = i % gpn;
+                        // Alternate sockets: 0 -> s0g0, 1 -> s1g0, 2 -> s0g1, ...
+                        let socket = slot % machine.config.sockets_per_node;
+                        let within = slot / machine.config.sockets_per_node;
+                        GpuId(node * gpn + socket * per_socket + within)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::summit(4))
+    }
+
+    #[test]
+    fn dense_is_identity() {
+        let m = machine();
+        let p = Placement::Dense.assign(&m, 10);
+        assert_eq!(p, (0..10).map(GpuId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn round_robin_spreads_consecutive_ranks_across_nodes() {
+        let m = machine();
+        let p = Placement::RoundRobinNodes.assign(&m, 8);
+        assert_eq!(m.node_of(p[0]), 0);
+        assert_eq!(m.node_of(p[1]), 1);
+        assert_eq!(m.node_of(p[2]), 2);
+        assert_eq!(m.node_of(p[3]), 3);
+        assert_eq!(m.node_of(p[4]), 0);
+        // second pass lands on the next local GPU
+        assert_eq!(m.local_of(p[4]), 1);
+    }
+
+    #[test]
+    fn socket_interleaved_alternates_sockets() {
+        let m = machine();
+        let p = Placement::SocketInterleaved.assign(&m, 6);
+        let sockets: Vec<usize> = p.iter().map(|&g| m.socket_of(g)).collect();
+        assert_eq!(sockets, vec![0, 1, 0, 1, 0, 1]);
+        assert!(p.iter().all(|&g| m.node_of(g) == 0));
+    }
+
+    #[test]
+    fn all_strategies_yield_distinct_gpus() {
+        let m = machine();
+        for s in [Placement::Dense, Placement::RoundRobinNodes, Placement::SocketInterleaved] {
+            let p = s.assign(&m, 24);
+            let mut ids: Vec<usize> = p.iter().map(|g| g.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 24, "{s:?} produced duplicate GPUs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "machine has")]
+    fn oversubscription_rejected() {
+        Placement::Dense.assign(&machine(), 25);
+    }
+}

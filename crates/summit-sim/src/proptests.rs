@@ -1,0 +1,112 @@
+//! Property-based tests of the simulator core: conservation laws and
+//! deadlock freedom under randomized workloads.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::{DataPath, Executor, FlowNet, GpuId, LinkId, Machine, MachineConfig, Op, Program, SimTime};
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::summit(3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Byte conservation: when every flow drains, each flow's size shows
+    /// up exactly once on each link of its route.
+    #[test]
+    fn flow_network_conserves_bytes(
+        specs in prop::collection::vec((0usize..18, 0usize..18, 1u64..20_000_000), 1..20)
+    ) {
+        let m = machine();
+        let mut net: FlowNet<usize> = FlowNet::new(&m);
+        let mut expected = vec![0.0f64; m.n_links()];
+        let mut started = 0usize;
+        for &(s, d, bytes) in &specs {
+            if s == d {
+                continue;
+            }
+            let r = m.route(GpuId(s), GpuId(d), DataPath::Gdr);
+            for &l in &r.links {
+                expected[l.0] += bytes as f64;
+            }
+            net.start(r.links, bytes as f64, f64::INFINITY, started);
+            started += 1;
+        }
+        while let Some((t, f)) = net.next_completion() {
+            net.advance_to(t);
+            net.finish(f);
+        }
+        // Completion times are quantized to integer nanoseconds, so each
+        // flow may leave up to ~bw × 0.5 ns ≈ 25 bytes unaccounted.
+        let tol = 32.0 * specs.len() as f64 + 1.0;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..m.n_links() {
+            let got = net.bytes_on(LinkId(i));
+            prop_assert!(
+                (got - expected[i]).abs() <= tol,
+                "link {i}: carried {got}, expected {}", expected[i]
+            );
+        }
+    }
+
+    /// Randomized ring exchanges with random sizes and per-rank delays
+    /// never deadlock, and the makespan is bounded below by the slowest
+    /// single transfer and above by the serialized sum.
+    #[test]
+    fn random_ring_programs_complete(
+        sizes in prop::collection::vec(1u64..5_000_000, 4..16),
+        delays in prop::collection::vec(0u64..1_000_000, 4..16),
+        rounds in 1usize..4,
+    ) {
+        let n = sizes.len().min(delays.len()).min(18);
+        prop_assume!(n >= 2);
+        let m = machine();
+        let exec = Executor::dense(&m, n);
+        let mut programs = vec![Program::new(); n];
+        for (r, prog) in programs.iter_mut().enumerate() {
+            prog.step(vec![Op::compute(SimTime::from_ns(delays[r]))]);
+            for round in 0..rounds {
+                let tag = (round * n) as u64;
+                prog.step(vec![
+                    Op::send((r + 1) % n, sizes[r], tag + r as u64, DataPath::Gdr, SimTime::ZERO),
+                    Op::recv((r + n - 1) % n, tag + ((r + n - 1) % n) as u64),
+                ]);
+            }
+        }
+        let rep = exec.run(programs);
+        // Lower bound: the largest single transfer at best-case rate.
+        let max_bytes = *sizes[..n].iter().max().expect("non-empty") as f64;
+        let lower = max_bytes / 50e9;
+        prop_assert!(rep.makespan.as_secs_f64() >= lower * 0.99);
+        // Upper bound: everything serialized at the slowest plausible
+        // rate plus all latencies and delays.
+        let total_bytes: f64 = sizes[..n].iter().map(|&b| b as f64).sum();
+        let upper = (rounds as f64) * (total_bytes / 5e9 + n as f64 * 1e-4)
+            + delays[..n].iter().sum::<u64>() as f64 * 1e-9
+            + 1.0;
+        prop_assert!(rep.makespan.as_secs_f64() <= upper);
+    }
+
+    /// Adding a contending flow never speeds up an existing transfer.
+    #[test]
+    fn contention_is_monotone(bytes in 1u64..50_000_000) {
+        let m = machine();
+        let run = |with_contender: bool| -> f64 {
+            let exec = Executor::dense(&m, 12);
+            let mut p = vec![Program::new(); 12];
+            p[0].step(vec![Op::send(6, bytes, 0, DataPath::Gdr, SimTime::ZERO)]);
+            p[6].step(vec![Op::recv(0, 0)]);
+            if with_contender {
+                p[1].step(vec![Op::send(7, bytes, 1, DataPath::Gdr, SimTime::ZERO)]);
+                p[7].step(vec![Op::recv(1, 1)]);
+            }
+            exec.run(p).rank_finish[6].as_secs_f64()
+        };
+        let alone = run(false);
+        let contended = run(true);
+        prop_assert!(contended >= alone * 0.999, "contention sped things up: {alone} -> {contended}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulation time: a newtype over integer nanoseconds.
+//!
+//! Integer keys keep the event queue totally ordered without
+//! floating-point tie-break hazards; conversions to/from `f64` seconds
+//! happen only at the API boundary.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than any reachable simulation time.
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX);
+
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from seconds; panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid time {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", summit_metrics::fmt_time_s(self.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_roundtrip() {
+        let t = SimTime::from_secs_f64(1.25e-3);
+        assert_eq!(t.as_ns(), 1_250_000);
+        assert!((t.as_secs_f64() - 1.25e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(100);
+        let b = SimTime::from_ns(30);
+        assert_eq!((a + b).as_ns(), 130);
+        assert_eq!((a - b).as_ns(), 70);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn negative_seconds_panics() {
+        SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_ns(1) - SimTime::from_ns(2);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_ns(5) < SimTime::from_ns(6));
+        assert!(SimTime::FAR_FUTURE > SimTime::from_secs_f64(1e6));
+    }
+
+    #[test]
+    fn display_uses_units() {
+        assert_eq!(SimTime::from_ns(1_500_000).to_string(), "1.50 ms");
+    }
+}

@@ -1,0 +1,423 @@
+//! The Summit machine model.
+//!
+//! One Summit node is 2× POWER9 + 6× V100: three GPUs per socket, fully
+//! connected to each other and to their host CPU by dual-brick NVLink2
+//! (50 GB/s per direction per pair), sockets bridged by a 64 GB/s X-bus,
+//! and a dual-rail EDR InfiniBand HCA (2 × 12.5 GB/s) reachable from each
+//! socket over PCIe gen4. Nodes sit in racks of 18 under a non-blocking
+//! fat tree.
+//!
+//! The fabric core is modelled as ideal (non-blocking, latency only), so
+//! contention arises exactly where it does on the real machine for
+//! allreduce traffic: at the per-node HCA injection links, the X-bus, the
+//! PCIe legs, and the NVLink bricks.
+//!
+//! All links are *directed*; a physical full-duplex connection is two
+//! `Link` entries. Routing returns the ordered directed-link list plus a
+//! propagation latency for a message between two GPU endpoints.
+
+use crate::time::SimTime;
+
+/// Global GPU identifier: `node * gpus_per_node + local`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuId(pub usize);
+
+/// Index of a directed link in the machine's link table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Which wires a message takes between nodes (selected per message by the
+/// MPI personality, not by the topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataPath {
+    /// GPUDirect RDMA: the HCA reads/writes GPU memory directly over the
+    /// PCIe root; host memory is not touched.
+    Gdr,
+    /// Copy into a host bounce buffer first (NVLink to the CPU), then
+    /// inject from host memory. What non-CUDA-aware paths and default
+    /// Spectrum-MPI-style pipelining do.
+    HostStaged,
+}
+
+/// A directed link with a fixed bandwidth. Latency is accounted per-route.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Human-readable name, e.g. `n3.gpu1->cpu0`.
+    pub name: String,
+}
+
+/// Published-spec parameters of the machine. All bandwidths bytes/s,
+/// latencies seconds.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    pub nodes: usize,
+    pub gpus_per_node: usize,
+    pub sockets_per_node: usize,
+    pub nodes_per_rack: usize,
+    /// NVLink2 dual-brick GPU<->GPU and GPU<->CPU: 50 GB/s per direction.
+    pub nvlink_bw: f64,
+    /// GPU-GPU NVLink latency.
+    pub nvlink_lat: f64,
+    /// POWER9 X-bus between sockets: 64 GB/s.
+    pub xbus_bw: f64,
+    pub xbus_lat: f64,
+    /// PCIe gen4 leg from each socket to the shared HCA: ~16 GB/s.
+    pub pcie_bw: f64,
+    pub pcie_lat: f64,
+    /// Dual-rail EDR injection: 2 x 12.5 GB/s, ~23 GB/s achievable.
+    pub nic_bw: f64,
+    /// NIC + first switch latency.
+    pub nic_lat: f64,
+    /// Per-switch-hop latency in the fat tree.
+    pub switch_hop_lat: f64,
+}
+
+impl MachineConfig {
+    /// Summit defaults for a machine of `nodes` nodes.
+    pub fn summit(nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        MachineConfig {
+            nodes,
+            gpus_per_node: 6,
+            sockets_per_node: 2,
+            nodes_per_rack: 18,
+            nvlink_bw: 50e9,
+            nvlink_lat: 2.0e-6,
+            xbus_bw: 64e9,
+            xbus_lat: 0.6e-6,
+            pcie_bw: 16e9,
+            pcie_lat: 0.9e-6,
+            nic_bw: 23e9,
+            nic_lat: 1.0e-6,
+            switch_hop_lat: 0.15e-6,
+        }
+    }
+
+    /// Summit sized for at least `gpus` GPUs (rounded up to whole nodes).
+    pub fn summit_for_gpus(gpus: usize) -> Self {
+        assert!(gpus >= 1);
+        Self::summit(gpus.div_ceil(6))
+    }
+
+    /// A counterfactual Summit whose GPUs hang off PCIe instead of
+    /// NVLink (DGX-1-era PCIe boxes): GPU↔GPU and GPU↔CPU links drop to
+    /// PCIe gen3 x16 speeds. Used by the interconnect-sensitivity
+    /// ablation.
+    pub fn summit_pcie_only(nodes: usize) -> Self {
+        MachineConfig { nvlink_bw: 12e9, nvlink_lat: 4.0e-6, ..Self::summit(nodes) }
+    }
+
+    /// Scale the per-node injection (HCA) bandwidth, e.g. `0.5` models
+    /// single-rail operation.
+    pub fn with_nic_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "NIC scale must be positive");
+        self.nic_bw *= scale;
+        self
+    }
+
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+/// A fully-built machine: link table plus routing.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub config: MachineConfig,
+    links: Vec<Link>,
+    /// Dense lookup: directed link id for (from, to) endpoint pairs.
+    /// Keyed by a per-node layout described in `link_index`.
+    gpu_cpu: Vec<LinkId>,     // [node][local][dir] dir 0 = gpu->cpu
+    gpu_gpu: Vec<Vec<LinkId>>, // [node*gpn + a][b] directed a->b, same socket only
+    xbus: Vec<LinkId>,        // [node][dir] dir 0 = socket0->socket1
+    cpu_nic: Vec<LinkId>,     // [node][socket][dir] dir 0 = cpu->nic
+    nic_fabric: Vec<LinkId>,  // [node][dir] dir 0 = nic->fabric (up)
+}
+
+/// A route: the directed links a message traverses, plus fixed
+/// propagation latency (switch hops, wire and adapter latencies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    pub links: Vec<LinkId>,
+    pub latency: SimTime,
+}
+
+impl Machine {
+    pub fn new(config: MachineConfig) -> Self {
+        let gpn = config.gpus_per_node;
+        let spn = config.sockets_per_node;
+        assert!(gpn.is_multiple_of(spn), "GPUs must divide evenly across sockets");
+        let mut links = Vec::new();
+        let push = |links: &mut Vec<Link>, bw: f64, name: String| -> LinkId {
+            let id = LinkId(links.len());
+            links.push(Link { bandwidth: bw, name });
+            id
+        };
+
+        let mut gpu_cpu = Vec::with_capacity(config.nodes * gpn * 2);
+        let mut gpu_gpu: Vec<Vec<LinkId>> = vec![Vec::new(); config.nodes * gpn];
+        let mut xbus = Vec::with_capacity(config.nodes * 2);
+        let mut cpu_nic = Vec::with_capacity(config.nodes * spn * 2);
+        let mut nic_fabric = Vec::with_capacity(config.nodes * 2);
+        let per_socket = gpn / spn;
+
+        for n in 0..config.nodes {
+            for g in 0..gpn {
+                let s = g / per_socket;
+                gpu_cpu.push(push(&mut links, config.nvlink_bw, format!("n{n}.gpu{g}->cpu{s}")));
+                gpu_cpu.push(push(&mut links, config.nvlink_bw, format!("n{n}.cpu{s}->gpu{g}")));
+            }
+            // NVLink peer links within each socket triple (directed, a != b).
+            for a in 0..gpn {
+                let sa = a / per_socket;
+                let mut row = Vec::with_capacity(gpn);
+                for b in 0..gpn {
+                    if a != b && sa == b / per_socket {
+                        row.push(push(
+                            &mut links,
+                            config.nvlink_bw,
+                            format!("n{n}.gpu{a}->gpu{b}"),
+                        ));
+                    } else {
+                        // placeholder; never routed
+                        row.push(LinkId(usize::MAX));
+                    }
+                }
+                gpu_gpu[n * gpn + a] = row;
+            }
+            xbus.push(push(&mut links, config.xbus_bw, format!("n{n}.xbus0->1")));
+            xbus.push(push(&mut links, config.xbus_bw, format!("n{n}.xbus1->0")));
+            for s in 0..spn {
+                cpu_nic.push(push(&mut links, config.pcie_bw, format!("n{n}.cpu{s}->nic")));
+                cpu_nic.push(push(&mut links, config.pcie_bw, format!("n{n}.nic->cpu{s}")));
+            }
+            nic_fabric.push(push(&mut links, config.nic_bw, format!("n{n}.nic->fabric")));
+            nic_fabric.push(push(&mut links, config.nic_bw, format!("n{n}.fabric->nic")));
+        }
+
+        Machine { config, links, gpu_cpu, gpu_gpu, xbus, cpu_nic, nic_fabric }
+    }
+
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    pub fn node_of(&self, gpu: GpuId) -> usize {
+        gpu.0 / self.config.gpus_per_node
+    }
+
+    pub fn local_of(&self, gpu: GpuId) -> usize {
+        gpu.0 % self.config.gpus_per_node
+    }
+
+    pub fn socket_of(&self, gpu: GpuId) -> usize {
+        self.local_of(gpu) / (self.config.gpus_per_node / self.config.sockets_per_node)
+    }
+
+    pub fn rack_of_node(&self, node: usize) -> usize {
+        node / self.config.nodes_per_rack
+    }
+
+    fn link_gpu_cpu(&self, node: usize, local: usize, up: bool) -> LinkId {
+        self.gpu_cpu[(node * self.config.gpus_per_node + local) * 2 + usize::from(!up)]
+    }
+
+    fn link_xbus(&self, node: usize, from_socket: usize) -> LinkId {
+        self.xbus[node * 2 + from_socket]
+    }
+
+    fn link_cpu_nic(&self, node: usize, socket: usize, to_nic: bool) -> LinkId {
+        self.cpu_nic[(node * self.config.sockets_per_node + socket) * 2 + usize::from(!to_nic)]
+    }
+
+    fn link_nic_fabric(&self, node: usize, up: bool) -> LinkId {
+        self.nic_fabric[node * 2 + usize::from(!up)]
+    }
+
+    /// Route a message `src -> dst`. `path` selects the inter-node data
+    /// path; it is ignored for intra-node routes (always NVLink/X-bus).
+    ///
+    /// `src == dst` yields an empty route with a small local-copy latency.
+    pub fn route(&self, src: GpuId, dst: GpuId, path: DataPath) -> Route {
+        assert!(src.0 < self.config.total_gpus(), "src GPU out of range");
+        assert!(dst.0 < self.config.total_gpus(), "dst GPU out of range");
+        let c = &self.config;
+        if src == dst {
+            return Route { links: Vec::new(), latency: SimTime::from_secs_f64(0.3e-6) };
+        }
+        let (sn, dn) = (self.node_of(src), self.node_of(dst));
+        let (sl, dl) = (self.local_of(src), self.local_of(dst));
+        let (ss, ds) = (self.socket_of(src), self.socket_of(dst));
+        if sn == dn {
+            if ss == ds {
+                // Direct NVLink peer link.
+                let id = self.gpu_gpu[sn * c.gpus_per_node + sl][dl];
+                debug_assert_ne!(id.0, usize::MAX);
+                return Route { links: vec![id], latency: SimTime::from_secs_f64(c.nvlink_lat) };
+            }
+            // Cross-socket: GPU -> CPU -> X-bus -> CPU -> GPU.
+            return Route {
+                links: vec![
+                    self.link_gpu_cpu(sn, sl, true),
+                    self.link_xbus(sn, ss),
+                    self.link_gpu_cpu(dn, dl, false),
+                ],
+                latency: SimTime::from_secs_f64(c.nvlink_lat + c.xbus_lat + c.nvlink_lat),
+            };
+        }
+        // Inter-node. Switch hops: 2 within a rack (leaf up/down), 4 across
+        // racks (leaf, spine, spine, leaf) — the fabric itself is ideal.
+        let hops = if self.rack_of_node(sn) == self.rack_of_node(dn) { 2.0 } else { 4.0 };
+        let wire_lat = 2.0 * c.nic_lat + hops * c.switch_hop_lat;
+        let mut links = Vec::with_capacity(8);
+        let latency = match path {
+            DataPath::Gdr => {
+                // HCA pulls straight from GPU memory over the PCIe root of
+                // the GPU's socket, and pushes into the remote GPU the
+                // same way.
+                links.push(self.link_cpu_nic(sn, ss, true));
+                links.push(self.link_nic_fabric(sn, true));
+                links.push(self.link_nic_fabric(dn, false));
+                links.push(self.link_cpu_nic(dn, ds, false));
+                SimTime::from_secs_f64(2.0 * c.pcie_lat + wire_lat)
+            }
+            DataPath::HostStaged => {
+                // Bounce through host memory on both sides: the NVLink
+                // GPU->CPU leg and the PCIe CPU->NIC leg both carry the
+                // payload.
+                links.push(self.link_gpu_cpu(sn, sl, true));
+                links.push(self.link_cpu_nic(sn, ss, true));
+                links.push(self.link_nic_fabric(sn, true));
+                links.push(self.link_nic_fabric(dn, false));
+                links.push(self.link_cpu_nic(dn, ds, false));
+                links.push(self.link_gpu_cpu(dn, dl, false));
+                SimTime::from_secs_f64(2.0 * (c.nvlink_lat + c.pcie_lat) + wire_lat)
+            }
+        };
+        Route { links, latency }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Machine {
+        Machine::new(MachineConfig::summit(22)) // 132 GPUs
+    }
+
+    #[test]
+    fn summit_config_has_132_gpus_at_22_nodes() {
+        assert_eq!(MachineConfig::summit(22).total_gpus(), 132);
+        assert_eq!(MachineConfig::summit_for_gpus(132).nodes, 22);
+        assert_eq!(MachineConfig::summit_for_gpus(7).nodes, 2);
+    }
+
+    #[test]
+    fn placement_math() {
+        let m = m();
+        let g = GpuId(6 * 3 + 4); // node 3, local 4 -> socket 1
+        assert_eq!(m.node_of(g), 3);
+        assert_eq!(m.local_of(g), 4);
+        assert_eq!(m.socket_of(g), 1);
+        assert_eq!(m.rack_of_node(17), 0);
+        assert_eq!(m.rack_of_node(18), 1);
+    }
+
+    #[test]
+    fn same_socket_route_is_single_nvlink() {
+        let m = m();
+        let r = m.route(GpuId(0), GpuId(2), DataPath::Gdr);
+        assert_eq!(r.links.len(), 1);
+        assert_eq!(m.link(r.links[0]).bandwidth, 50e9);
+        assert_eq!(m.link(r.links[0]).name, "n0.gpu0->gpu2");
+    }
+
+    #[test]
+    fn cross_socket_route_uses_xbus() {
+        let m = m();
+        let r = m.route(GpuId(1), GpuId(5), DataPath::Gdr);
+        assert_eq!(r.links.len(), 3);
+        assert!(m.link(r.links[1]).name.contains("xbus"));
+        // The NVLink legs (50 GB/s) floor this route; the X-bus (64 GB/s)
+        // only becomes the bottleneck under contention.
+        let min_bw =
+            r.links.iter().map(|&l| m.link(l).bandwidth).fold(f64::INFINITY, f64::min);
+        assert_eq!(min_bw, 50e9);
+    }
+
+    #[test]
+    fn gdr_route_skips_host_memory() {
+        let m = m();
+        let r = m.route(GpuId(0), GpuId(6), DataPath::Gdr);
+        assert_eq!(r.links.len(), 4);
+        assert!(r.links.iter().all(|&l| !m.link(l).name.contains("gpu0->cpu")));
+    }
+
+    #[test]
+    fn staged_route_traverses_host_on_both_sides() {
+        let m = m();
+        let r = m.route(GpuId(0), GpuId(6), DataPath::HostStaged);
+        assert_eq!(r.links.len(), 6);
+        assert!(m.link(r.links[0]).name.ends_with("gpu0->cpu0"));
+        assert!(m.link(r.links[5]).name.ends_with("cpu0->gpu0"));
+        // Staged latency strictly exceeds GDR latency.
+        let gdr = m.route(GpuId(0), GpuId(6), DataPath::Gdr);
+        assert!(r.latency > gdr.latency);
+    }
+
+    #[test]
+    fn cross_rack_has_more_latency_than_intra_rack() {
+        let m = m();
+        let near = m.route(GpuId(0), GpuId(6), DataPath::Gdr); // nodes 0,1: rack 0
+        let far = m.route(GpuId(0), GpuId(6 * 20), DataPath::Gdr); // node 20 -> rack 1
+        assert!(far.latency > near.latency);
+        assert_eq!(far.links.len(), near.links.len());
+    }
+
+    #[test]
+    fn self_route_is_local() {
+        let m = m();
+        let r = m.route(GpuId(3), GpuId(3), DataPath::Gdr);
+        assert!(r.links.is_empty());
+        assert!(r.latency > SimTime::ZERO);
+    }
+
+    #[test]
+    fn inter_node_bottleneck_is_nic_for_gdr() {
+        let m = m();
+        let r = m.route(GpuId(0), GpuId(7), DataPath::Gdr);
+        let min_bw =
+            r.links.iter().map(|&l| m.link(l).bandwidth).fold(f64::INFINITY, f64::min);
+        assert_eq!(min_bw, 16e9); // PCIe leg is the per-flow floor
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn route_checks_bounds() {
+        let m = m();
+        m.route(GpuId(0), GpuId(10_000), DataPath::Gdr);
+    }
+
+    #[test]
+    fn every_routed_link_is_real() {
+        let m = m();
+        let paths = [DataPath::Gdr, DataPath::HostStaged];
+        for &s in &[0usize, 1, 5, 6, 17, 131] {
+            for &d in &[0usize, 2, 3, 11, 60, 131] {
+                for &p in &paths {
+                    let r = m.route(GpuId(s), GpuId(d), p);
+                    for l in r.links {
+                        assert!(l.0 < m.n_links(), "placeholder link escaped routing");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Input-pipeline model: GPFS reads + CPU decode/augment feeding the
+//! GPUs, per Summit node.
+//!
+//! Distributed segmentation training reads large images; whether the
+//! data pipeline keeps up depends on the per-node filesystem bandwidth,
+//! how many CPU loader workers decode/augment, and whether the framework
+//! prefetches (`tf.data` double-buffering). The model is a steady-state
+//! two-stage pipeline: read and decode overlap internally, and with
+//! prefetch the whole pipeline overlaps the training step, so
+//! `step = max(train_step, input_step)`; without prefetch they serialize.
+
+/// Per-node input pipeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputPipeline {
+    /// On-disk bytes per training example (encoded image + label).
+    pub bytes_per_image: u64,
+    /// Single-core decode + augment time per image, seconds.
+    pub decode_cpu_s: f64,
+    /// Per-node sustained filesystem read bandwidth, bytes/s.
+    pub node_read_bw: f64,
+    /// CPU loader workers per node.
+    pub cpu_workers: usize,
+    /// Whether the pipeline prefetches (overlaps the training step).
+    pub prefetch: bool,
+}
+
+impl InputPipeline {
+    /// Pascal-VOC-like 513² crops on Summit's Alpine GPFS with a
+    /// tf.data-style loader: ~200 KB JPEGs, ~40 ms/image for decode +
+    /// random-scale/crop/flip augmentation at 513², ~3 GB/s per-node
+    /// reads, prefetch on.
+    pub fn summit_voc() -> Self {
+        InputPipeline {
+            bytes_per_image: 200 << 10,
+            decode_cpu_s: 40e-3,
+            node_read_bw: 3e9,
+            cpu_workers: 8,
+            prefetch: true,
+        }
+    }
+
+    fn check(&self) {
+        assert!(self.node_read_bw > 0.0 && self.decode_cpu_s >= 0.0);
+        assert!(self.cpu_workers >= 1, "need at least one loader worker");
+    }
+
+    /// Time for one node to produce `images_per_node` examples
+    /// (steady-state: read and decode stages overlap).
+    pub fn input_step_time(&self, images_per_node: usize) -> f64 {
+        self.check();
+        let n = images_per_node as f64;
+        let read = n * self.bytes_per_image as f64 / self.node_read_bw;
+        let decode = n * self.decode_cpu_s / self.cpu_workers as f64;
+        read.max(decode)
+    }
+
+    /// Effective step time given the compute+comm step time.
+    pub fn effective_step_time(&self, train_step: f64, images_per_node: usize) -> f64 {
+        let input = self.input_step_time(images_per_node);
+        if self.prefetch {
+            train_step.max(input)
+        } else {
+            train_step + input
+        }
+    }
+
+    /// Is the pipeline the bottleneck at this rate?
+    pub fn input_bound(&self, train_step: f64, images_per_node: usize) -> bool {
+        self.input_step_time(images_per_node) > train_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_binds_with_few_workers() {
+        let mut p = InputPipeline::summit_voc();
+        p.cpu_workers = 1;
+        // 12 images: decode = 480 ms >> read = 0.8 ms.
+        let t = p.input_step_time(12);
+        assert!((t - 0.48).abs() < 1e-9);
+        p.cpu_workers = 16;
+        assert!(p.input_step_time(12) < 0.04);
+    }
+
+    #[test]
+    fn read_binds_for_huge_uncompressed_images() {
+        let p = InputPipeline {
+            bytes_per_image: 3 * 513 * 513 * 4, // raw fp32 tensors
+            decode_cpu_s: 0.0,
+            node_read_bw: 3e9,
+            cpu_workers: 8,
+            prefetch: true,
+        };
+        let t = p.input_step_time(12);
+        assert!((t - 12.0 * (3.0 * 513.0 * 513.0 * 4.0) / 3e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_hides_input_under_compute() {
+        let p = InputPipeline::summit_voc();
+        let train = 0.3; // 300 ms step
+        assert_eq!(p.effective_step_time(train, 12), train, "input hidden");
+        let mut serial = p;
+        serial.prefetch = false;
+        assert!(serial.effective_step_time(train, 12) > train);
+    }
+
+    #[test]
+    fn input_bound_detection() {
+        let mut p = InputPipeline::summit_voc();
+        p.cpu_workers = 1;
+        assert!(p.input_bound(0.05, 12)); // 480 ms input vs 50 ms step
+        assert!(!p.input_bound(0.5, 12));
+    }
+
+    #[test]
+    fn zero_images_is_free() {
+        assert_eq!(InputPipeline::summit_voc().input_step_time(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loader worker")]
+    fn zero_workers_rejected() {
+        let mut p = InputPipeline::summit_voc();
+        p.cpu_workers = 0;
+        p.input_step_time(1);
+    }
+}

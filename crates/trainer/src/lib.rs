@@ -1,0 +1,27 @@
+//! Synchronous data-parallel training, in two registers:
+//!
+//! * [`sim`] — *timing*: scaling sweeps of DLv3+/ResNet-50 training over
+//!   the simulated Summit + MPI + Horovod stack (the paper's throughput
+//!   and efficiency figures);
+//! * [`real`] — *numerics*: a from-scratch segmentation network trained
+//!   across OS threads with real gradient allreduce on a synthetic
+//!   shapes dataset (the paper's mIoU claim, per the substitution in
+//!   DESIGN.md §2).
+//!
+//! # Example: real distributed training
+//!
+//! ```
+//! use trainer::real::{train, TrainConfig};
+//!
+//! let mut cfg = TrainConfig::quick(2);
+//! cfg.steps = 30; // keep the doctest fast
+//! let result = train(&cfg);
+//! assert!(result.final_miou > 0.4);
+//! ```
+
+pub mod input;
+pub mod real;
+pub mod sim;
+
+pub use input::InputPipeline;
+pub use sim::{paper_gpu_counts, SweepSpec};

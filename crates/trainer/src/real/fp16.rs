@@ -1,0 +1,212 @@
+//! IEEE 754 binary16 conversion, implemented from scratch — the
+//! numerical substance of Horovod's fp16 gradient compression.
+//!
+//! Round-to-nearest-even, with full handling of subnormals, overflow to
+//! infinity, and NaN propagation. `compress_gradients` round-trips a
+//! gradient buffer through half precision, which is exactly what the
+//! fp16-allreduce path does to the values (cast down, reduce, cast up —
+//! we cast both directions around the reduce since our reduction runs in
+//! f32 either way; the precision loss is identical).
+
+use rayon::prelude::*;
+
+/// Convert an `f32` to binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: keep a mantissa bit for NaN.
+        return sign | 0x7c00 | (u16::from(mant != 0) * 0x0200);
+    }
+    // Unbiased exponent, rebiased for f16 (bias 15).
+    let e = exp - 127 + 15;
+    if e >= 0x1f {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if e <= 0 {
+        // Subnormal or underflow to zero.
+        if e < -10 {
+            return sign;
+        }
+        // Implicit leading 1, shifted into subnormal position.
+        let m = mant | 0x0080_0000;
+        let shift = (14 - e) as u32;
+        let half = m >> shift;
+        // Round to nearest even on the dropped bits.
+        let rem = m & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = match rem.cmp(&halfway) {
+            std::cmp::Ordering::Greater => half + 1,
+            std::cmp::Ordering::Equal => half + (half & 1),
+            std::cmp::Ordering::Less => half,
+        };
+        return sign | rounded as u16;
+    }
+    // Normal: 10-bit mantissa, round-to-nearest-even on 13 dropped bits.
+    let half = mant >> 13;
+    let rem = mant & 0x1fff;
+    let rounded = match rem.cmp(&0x1000) {
+        std::cmp::Ordering::Greater => half + 1,
+        std::cmp::Ordering::Equal => half + (half & 1),
+        std::cmp::Ordering::Less => half,
+    };
+    let (e, rounded) = if rounded == 0x400 { (e + 1, 0) } else { (e, rounded) };
+    if e >= 0x1f {
+        return sign | 0x7c00;
+    }
+    sign | ((e as u16) << 10) | rounded as u16
+}
+
+/// Convert binary16 bits to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = u32::from(h & 0x03ff);
+    let bits = match exp {
+        0 => {
+            if mant == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: value = mant × 2⁻²⁴. Normalize so the top
+                // set bit becomes the implicit leading 1 (bit 10).
+                let shift = mant.leading_zeros() - 21;
+                let m = (mant << shift) & 0x03ff;
+                let e = 113 - shift; // 127 + (-14 - shift)
+                sign | (e << 23) | (m << 13)
+            }
+        }
+        0x1f => sign | 0x7f80_0000 | (mant << 13), // inf / NaN
+        _ => {
+            let e = (i32::from(exp) - 15 + 127) as u32;
+            sign | (e << 23) | (mant << 13)
+        }
+    };
+    f32::from_bits(bits)
+}
+
+/// Round-trip one value through half precision.
+pub fn roundtrip(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Round-trip a gradient buffer in place (rayon above 16 Ki elements).
+pub fn compress_gradients(xs: &mut [f32]) {
+    if xs.len() >= 1 << 14 {
+        xs.par_iter_mut().for_each(|x| *x = roundtrip(*x));
+    } else {
+        for x in xs.iter_mut() {
+            *x = roundtrip(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_survive() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 0.25, 65504.0] {
+            assert_eq!(roundtrip(v), v, "{v} must be exactly representable");
+        }
+        assert!(roundtrip(0.0).is_sign_positive());
+        assert!(roundtrip(-0.0).is_sign_negative());
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff); // f16 max
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(-f32::INFINITY), 0xfc00);
+        assert_eq!(f16_bits_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_bits_to_f32(0x7c00), f32::INFINITY);
+        // Smallest positive subnormal: 2^-24.
+        assert_eq!(f16_bits_to_f32(0x0001), 2.0f32.powi(-24));
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-24)), 0x0001);
+    }
+
+    #[test]
+    fn overflow_saturates_to_inf() {
+        assert_eq!(f32_to_f16_bits(1e6), 0x7c00);
+        assert_eq!(f32_to_f16_bits(-1e6), 0xfc00);
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7c00); // rounds past max
+    }
+
+    #[test]
+    fn tiny_underflows_to_zero() {
+        assert_eq!(f32_to_f16_bits(1e-9), 0x0000);
+        assert_eq!(f32_to_f16_bits(-1e-9), 0x8000);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn relative_error_bound_for_normals() {
+        // f16 has 11 significand bits: relative error <= 2^-11.
+        let mut x = 6.1e-5f32; // just above the subnormal range
+        while x < 6.0e4 {
+            let r = roundtrip(x);
+            let rel = ((r - x) / x).abs();
+            assert!(rel <= 4.9e-4, "x={x}: roundtrip {r}, rel err {rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16;
+        // nearest-even rounds down to 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(roundtrip(halfway), 1.0);
+        // 1 + 3·2^-11 is halfway between the 1st and 2nd f16 steps
+        // (step = 2^-10); nearest-even rounds up to the 2nd step, whose
+        // mantissa (2) is even.
+        let halfway2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(roundtrip(halfway2), 1.0 + 2.0 * 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn monotone_on_a_sample() {
+        let mut last = f32::NEG_INFINITY;
+        let mut x = -100.0f32;
+        while x < 100.0 {
+            let r = roundtrip(x);
+            assert!(r >= last, "roundtrip must be monotone: {x}");
+            last = r;
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn compress_slice_large_and_small() {
+        let mut small: Vec<f32> = (0..100).map(|i| i as f32 * 0.123).collect();
+        let expect: Vec<f32> = small.iter().map(|&x| roundtrip(x)).collect();
+        compress_gradients(&mut small);
+        assert_eq!(small, expect);
+        let mut big: Vec<f32> = (0..1 << 15).map(|i| (i as f32).sin()).collect();
+        let expect_big: Vec<f32> = big.iter().map(|&x| roundtrip(x)).collect();
+        compress_gradients(&mut big);
+        assert_eq!(big, expect_big);
+    }
+
+    #[test]
+    fn exhaustive_f16_space_roundtrips_exactly() {
+        // Every finite f16 value converts to f32 and back to the same bits.
+        for h in 0..=0xffffu16 {
+            let f = f16_bits_to_f32(h);
+            if f.is_nan() {
+                continue;
+            }
+            let back = f32_to_f16_bits(f);
+            assert_eq!(back, h, "f16 bits {h:#06x} -> {f} -> {back:#06x}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Mean intersection-over-union — the paper's accuracy metric
+//! ("We achieved a mIOU accuracy of 80.8%").
+
+/// A `k × k` confusion matrix accumulated over predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Confusion {
+    k: usize,
+    /// `counts[truth * k + pred]`.
+    counts: Vec<u64>,
+}
+
+impl Confusion {
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes >= 1);
+        Confusion { k: n_classes, counts: vec![0; n_classes * n_classes] }
+    }
+
+    pub fn n_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Accumulate one prediction/label pair-map.
+    pub fn add(&mut self, truth: &[u8], pred: &[u8]) {
+        assert_eq!(truth.len(), pred.len(), "label/prediction length");
+        for (&t, &p) in truth.iter().zip(pred) {
+            let (t, p) = (t as usize, p as usize);
+            assert!(t < self.k && p < self.k, "class out of range");
+            self.counts[t * self.k + p] += 1;
+        }
+    }
+
+    /// Merge another confusion matrix (for parallel evaluation).
+    pub fn merge(&mut self, other: &Confusion) {
+        assert_eq!(self.k, other.k);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+    }
+
+    /// IoU per class: `tp / (tp + fp + fn)`. Classes never seen (neither
+    /// in truth nor prediction) yield `None`.
+    pub fn iou_per_class(&self) -> Vec<Option<f64>> {
+        (0..self.k)
+            .map(|c| {
+                let tp = self.counts[c * self.k + c];
+                let fp: u64 = (0..self.k).filter(|&t| t != c).map(|t| self.counts[t * self.k + c]).sum();
+                let fn_: u64 =
+                    (0..self.k).filter(|&p| p != c).map(|p| self.counts[c * self.k + p]).sum();
+                let denom = tp + fp + fn_;
+                if denom == 0 {
+                    None
+                } else {
+                    Some(tp as f64 / denom as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Mean IoU over classes that appear.
+    pub fn miou(&self) -> f64 {
+        let ious: Vec<f64> = self.iou_per_class().into_iter().flatten().collect();
+        if ious.is_empty() {
+            0.0
+        } else {
+            ious.iter().sum::<f64>() / ious.len() as f64
+        }
+    }
+
+    /// Per-pixel accuracy.
+    pub fn pixel_accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.k).map(|c| self.counts[c * self.k + c]).sum();
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_miou_one() {
+        let mut c = Confusion::new(3);
+        c.add(&[0, 1, 2, 1], &[0, 1, 2, 1]);
+        assert_eq!(c.miou(), 1.0);
+        assert_eq!(c.pixel_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_half_overlap() {
+        // Truth: [0,0,1,1]; pred: [0,1,1,0].
+        // Class 0: tp=1, fp=1, fn=1 -> 1/3. Class 1: same -> 1/3.
+        let mut c = Confusion::new(2);
+        c.add(&[0, 0, 1, 1], &[0, 1, 1, 0]);
+        let ious = c.iou_per_class();
+        assert!((ious[0].unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ious[1].unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.miou() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.pixel_accuracy(), 0.5);
+    }
+
+    #[test]
+    fn absent_class_is_excluded_from_mean() {
+        let mut c = Confusion::new(3);
+        c.add(&[0, 0], &[0, 0]); // classes 1, 2 never appear
+        assert_eq!(c.iou_per_class()[1], None);
+        assert_eq!(c.miou(), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_add() {
+        let mut a = Confusion::new(2);
+        a.add(&[0, 1], &[0, 0]);
+        let mut b = Confusion::new(2);
+        b.add(&[1, 1], &[1, 0]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = Confusion::new(2);
+        direct.add(&[0, 1, 1, 1], &[0, 0, 1, 0]);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn empty_matrix_is_zero() {
+        let c = Confusion::new(4);
+        assert_eq!(c.miou(), 0.0);
+        assert_eq!(c.pixel_accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn out_of_range_class_panics() {
+        Confusion::new(2).add(&[5], &[0]);
+    }
+
+    #[test]
+    fn miou_punishes_majority_class_bias() {
+        // Predicting everything as background: accuracy high, mIoU low.
+        let mut c = Confusion::new(2);
+        let truth: Vec<u8> = (0..100).map(|i| u8::from(i >= 90)).collect();
+        let pred = vec![0u8; 100];
+        c.add(&truth, &pred);
+        assert!(c.pixel_accuracy() >= 0.9);
+        assert!(c.miou() < 0.5);
+    }
+}

@@ -1,0 +1,17 @@
+//! The real (numerical) half of the reproduction: a from-scratch
+//! mini-framework trained data-parallel across threads with genuine
+//! gradient allreduce.
+
+pub mod fp16;
+pub mod miou;
+pub mod net;
+pub mod segdata;
+pub mod sgd;
+pub mod train;
+
+pub use fp16::{compress_gradients, roundtrip};
+pub use miou::Confusion;
+pub use net::{NetConfig, SegNet};
+pub use segdata::{generate, generate_batch, DataConfig, Sample};
+pub use sgd::{LrSchedule, MomentumSgd};
+pub use train::{evaluate, train, EvalPoint, TrainConfig, TrainResult};

@@ -1,0 +1,468 @@
+//! A from-scratch convolutional segmentation network with manual
+//! backpropagation — the numerical stand-in for DLv3+ in the accuracy
+//! experiment.
+//!
+//! Architecture (all stride 1, same padding):
+//! `conv k×k (cin→h1) → ReLU → conv k×k (h1→h2) → ReLU → conv 1×1
+//! (h2→classes) → per-pixel softmax cross-entropy`
+//! — a miniature encoder/classifier head that must combine local color
+//! and neighborhood structure, like a segmentation model in the small.
+//!
+//! Gradients are verified against finite differences in the tests; the
+//! parameter vector is exposed flat so the data-parallel trainer can run
+//! a real allreduce over it.
+
+use rand::Rng;
+use rayon::prelude::*;
+use summit_metrics::rng::rng_for;
+
+use super::segdata::Sample;
+
+/// Network shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    pub height: usize,
+    pub width: usize,
+    pub cin: usize,
+    pub hidden1: usize,
+    pub hidden2: usize,
+    pub n_classes: usize,
+    /// Kernel size of the two hidden convolutions (odd).
+    pub k: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig { height: 24, width: 24, cin: 3, hidden1: 8, hidden2: 16, n_classes: 4, k: 3 }
+    }
+}
+
+impl NetConfig {
+    fn conv_params(k: usize, cin: usize, cout: usize) -> usize {
+        k * k * cin * cout + cout
+    }
+
+    pub fn n_params(&self) -> usize {
+        Self::conv_params(self.k, self.cin, self.hidden1)
+            + Self::conv_params(self.k, self.hidden1, self.hidden2)
+            + Self::conv_params(1, self.hidden2, self.n_classes)
+    }
+}
+
+/// The network: three convolution layers stored as flat weight/bias vecs.
+#[derive(Debug, Clone)]
+pub struct SegNet {
+    pub cfg: NetConfig,
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    w2: Vec<f32>,
+    b2: Vec<f32>,
+    w3: Vec<f32>,
+    b3: Vec<f32>,
+}
+
+/// `out[o, y, x] = b[o] + Σ_{i, dy, dx} w[o, i, dy, dx]·in[i, y+dy-p, x+dx-p]`
+#[allow(clippy::too_many_arguments)] // a conv is a conv
+fn conv_forward(
+    input: &[f32],
+    cin: usize,
+    h: usize,
+    w: usize,
+    weights: &[f32],
+    bias: &[f32],
+    k: usize,
+    cout: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(input.len(), cin * h * w);
+    debug_assert_eq!(weights.len(), k * k * cin * cout);
+    debug_assert_eq!(out.len(), cout * h * w);
+    let p = k / 2;
+    for o in 0..cout {
+        let wo = &weights[o * cin * k * k..(o + 1) * cin * k * k];
+        let out_o = &mut out[o * h * w..(o + 1) * h * w];
+        out_o.fill(bias[o]);
+        for i in 0..cin {
+            let in_i = &input[i * h * w..(i + 1) * h * w];
+            let wi = &wo[i * k * k..(i + 1) * k * k];
+            for dy in 0..k {
+                for dx in 0..k {
+                    let wv = wi[dy * k + dx];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let oy = dy as isize - p as isize;
+                    let ox = dx as isize - p as isize;
+                    let y0 = (-oy).max(0) as usize;
+                    let y1 = (h as isize - oy).min(h as isize) as usize;
+                    let x0 = (-ox).max(0) as usize;
+                    let x1 = (w as isize - ox).min(w as isize) as usize;
+                    for y in y0..y1 {
+                        let src = ((y as isize + oy) as usize) * w;
+                        let dst = y * w;
+                        for x in x0..x1 {
+                            out_o[dst + x] += wv * in_i[src + (x as isize + ox) as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Backward of `conv_forward`: accumulate `dw`, `db`, and (if `dinput` is
+/// `Some`) the input gradient.
+#[allow(clippy::too_many_arguments)]
+fn conv_backward(
+    input: &[f32],
+    cin: usize,
+    h: usize,
+    w: usize,
+    weights: &[f32],
+    k: usize,
+    cout: usize,
+    dout: &[f32],
+    dw: &mut [f32],
+    db: &mut [f32],
+    mut dinput: Option<&mut [f32]>,
+) {
+    let p = k / 2;
+    for o in 0..cout {
+        let dout_o = &dout[o * h * w..(o + 1) * h * w];
+        db[o] += dout_o.iter().sum::<f32>();
+        for i in 0..cin {
+            let in_i = &input[i * h * w..(i + 1) * h * w];
+            let dw_oi = &mut dw[(o * cin + i) * k * k..(o * cin + i + 1) * k * k];
+            let w_oi = &weights[(o * cin + i) * k * k..(o * cin + i + 1) * k * k];
+            for dy in 0..k {
+                for dx in 0..k {
+                    let oy = dy as isize - p as isize;
+                    let ox = dx as isize - p as isize;
+                    let y0 = (-oy).max(0) as usize;
+                    let y1 = (h as isize - oy).min(h as isize) as usize;
+                    let x0 = (-ox).max(0) as usize;
+                    let x1 = (w as isize - ox).min(w as isize) as usize;
+                    let mut acc = 0.0f32;
+                    for y in y0..y1 {
+                        let src = ((y as isize + oy) as usize) * w;
+                        let dst = y * w;
+                        for x in x0..x1 {
+                            acc += dout_o[dst + x] * in_i[src + (x as isize + ox) as usize];
+                        }
+                    }
+                    dw_oi[dy * k + dx] += acc;
+                    if let Some(din) = dinput.as_deref_mut() {
+                        let din_i = &mut din[i * h * w..(i + 1) * h * w];
+                        let wv = w_oi[dy * k + dx];
+                        for y in y0..y1 {
+                            let src = ((y as isize + oy) as usize) * w;
+                            let dst = y * w;
+                            for x in x0..x1 {
+                                din_i[src + (x as isize + ox) as usize] += wv * dout_o[dst + x];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SegNet {
+    /// He-initialized network, deterministic in `seed`.
+    pub fn new(cfg: NetConfig, seed: u64) -> Self {
+        assert!(cfg.k % 2 == 1, "kernel must be odd for same padding");
+        let mut rng = rng_for(seed, "segnet-init");
+        let mut init = |fan_in: usize, n: usize| -> Vec<f32> {
+            let scale = (2.0 / fan_in as f32).sqrt();
+            (0..n).map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale).collect()
+        };
+        let k = cfg.k;
+        SegNet {
+            w1: init(k * k * cfg.cin, k * k * cfg.cin * cfg.hidden1),
+            b1: vec![0.0; cfg.hidden1],
+            w2: init(k * k * cfg.hidden1, k * k * cfg.hidden1 * cfg.hidden2),
+            b2: vec![0.0; cfg.hidden2],
+            w3: init(cfg.hidden2, cfg.hidden2 * cfg.n_classes),
+            b3: vec![0.0; cfg.n_classes],
+            cfg,
+        }
+    }
+
+    pub fn n_params(&self) -> usize {
+        self.cfg.n_params()
+    }
+
+    /// Parameters as one flat vector (fixed order).
+    pub fn params(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(self.n_params());
+        for part in [&self.w1, &self.b1, &self.w2, &self.b2, &self.w3, &self.b3] {
+            v.extend_from_slice(part);
+        }
+        v
+    }
+
+    pub fn set_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.n_params(), "parameter vector length");
+        let mut off = 0;
+        for part in [
+            &mut self.w1,
+            &mut self.b1,
+            &mut self.w2,
+            &mut self.b2,
+            &mut self.w3,
+            &mut self.b3,
+        ] {
+            let len = part.len();
+            part.copy_from_slice(&flat[off..off + len]);
+            off += len;
+        }
+    }
+
+    /// Forward pass to per-pixel logits (`classes × h × w`).
+    pub fn forward_logits(&self, pixels: &[f32]) -> Vec<f32> {
+        let c = &self.cfg;
+        let (h, w) = (c.height, c.width);
+        let mut a1 = vec![0.0; c.hidden1 * h * w];
+        conv_forward(pixels, c.cin, h, w, &self.w1, &self.b1, c.k, c.hidden1, &mut a1);
+        a1.iter_mut().for_each(|x| *x = x.max(0.0));
+        let mut a2 = vec![0.0; c.hidden2 * h * w];
+        conv_forward(&a1, c.hidden1, h, w, &self.w2, &self.b2, c.k, c.hidden2, &mut a2);
+        a2.iter_mut().for_each(|x| *x = x.max(0.0));
+        let mut logits = vec![0.0; c.n_classes * h * w];
+        conv_forward(&a2, c.hidden2, h, w, &self.w3, &self.b3, 1, c.n_classes, &mut logits);
+        logits
+    }
+
+    /// Argmax class map.
+    pub fn predict(&self, pixels: &[f32]) -> Vec<u8> {
+        let c = &self.cfg;
+        let (h, w) = (c.height, c.width);
+        let logits = self.forward_logits(pixels);
+        (0..h * w)
+            .map(|i| {
+                (0..c.n_classes)
+                    .max_by(|&a, &b| {
+                        logits[a * h * w + i].partial_cmp(&logits[b * h * w + i]).expect("NaN")
+                    })
+                    .expect("at least one class") as u8
+            })
+            .collect()
+    }
+
+    /// Cross-entropy loss and flat parameter gradient for one sample.
+    pub fn loss_grad(&self, sample: &Sample) -> (f64, Vec<f32>) {
+        let c = &self.cfg;
+        let (h, w, npix) = (c.height, c.width, c.height * c.width);
+        // Forward, keeping activations.
+        let mut a1 = vec![0.0; c.hidden1 * h * w];
+        conv_forward(&sample.pixels, c.cin, h, w, &self.w1, &self.b1, c.k, c.hidden1, &mut a1);
+        let z1_mask: Vec<bool> = a1.iter().map(|&x| x > 0.0).collect();
+        a1.iter_mut().for_each(|x| *x = x.max(0.0));
+        let mut a2 = vec![0.0; c.hidden2 * h * w];
+        conv_forward(&a1, c.hidden1, h, w, &self.w2, &self.b2, c.k, c.hidden2, &mut a2);
+        let z2_mask: Vec<bool> = a2.iter().map(|&x| x > 0.0).collect();
+        a2.iter_mut().for_each(|x| *x = x.max(0.0));
+        let mut logits = vec![0.0; c.n_classes * h * w];
+        conv_forward(&a2, c.hidden2, h, w, &self.w3, &self.b3, 1, c.n_classes, &mut logits);
+
+        // Per-pixel softmax cross-entropy; dlogits in place.
+        let mut loss = 0.0f64;
+        let mut dlogits = logits;
+        for i in 0..npix {
+            let mut maxv = f32::NEG_INFINITY;
+            for cl in 0..c.n_classes {
+                maxv = maxv.max(dlogits[cl * npix + i]);
+            }
+            let mut denom = 0.0f32;
+            for cl in 0..c.n_classes {
+                denom += (dlogits[cl * npix + i] - maxv).exp();
+            }
+            let target = sample.labels[i] as usize;
+            let logit_t = dlogits[target * npix + i];
+            loss += f64::from(denom.ln() + maxv - logit_t);
+            for cl in 0..c.n_classes {
+                let p = (dlogits[cl * npix + i] - maxv).exp() / denom;
+                dlogits[cl * npix + i] =
+                    (p - f32::from(u8::from(cl == target))) / npix as f32;
+            }
+        }
+        loss /= npix as f64;
+
+        // Backward.
+        let mut dw3 = vec![0.0; self.w3.len()];
+        let mut db3 = vec![0.0; self.b3.len()];
+        let mut da2 = vec![0.0; a2.len()];
+        conv_backward(
+            &a2, c.hidden2, h, w, &self.w3, 1, c.n_classes, &dlogits, &mut dw3, &mut db3,
+            Some(&mut da2),
+        );
+        for (d, &m) in da2.iter_mut().zip(&z2_mask) {
+            if !m {
+                *d = 0.0;
+            }
+        }
+        let mut dw2 = vec![0.0; self.w2.len()];
+        let mut db2 = vec![0.0; self.b2.len()];
+        let mut da1 = vec![0.0; a1.len()];
+        conv_backward(
+            &a1, c.hidden1, h, w, &self.w2, c.k, c.hidden2, &da2, &mut dw2, &mut db2,
+            Some(&mut da1),
+        );
+        for (d, &m) in da1.iter_mut().zip(&z1_mask) {
+            if !m {
+                *d = 0.0;
+            }
+        }
+        let mut dw1 = vec![0.0; self.w1.len()];
+        let mut db1 = vec![0.0; self.b1.len()];
+        conv_backward(
+            &sample.pixels, c.cin, h, w, &self.w1, c.k, c.hidden1, &da1, &mut dw1, &mut db1,
+            None,
+        );
+
+        let mut grad = Vec::with_capacity(self.n_params());
+        for part in [&dw1, &db1, &dw2, &db2, &dw3, &db3] {
+            grad.extend_from_slice(part);
+        }
+        (loss, grad)
+    }
+
+    /// Mean loss and mean gradient over a batch; per-sample work runs on
+    /// the rayon pool.
+    pub fn batch_loss_grad(&self, batch: &[Sample]) -> (f64, Vec<f32>) {
+        assert!(!batch.is_empty());
+        let (loss_sum, grad_sum) = batch
+            .par_iter()
+            .map(|s| self.loss_grad(s))
+            .reduce(
+                || (0.0, vec![0.0f32; self.n_params()]),
+                |(la, mut ga), (lb, gb)| {
+                    for (a, b) in ga.iter_mut().zip(&gb) {
+                        *a += *b;
+                    }
+                    (la + lb, ga)
+                },
+            );
+        let inv = 1.0 / batch.len() as f32;
+        let mut grad = grad_sum;
+        grad.iter_mut().for_each(|g| *g *= inv);
+        (loss_sum / batch.len() as f64, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real::segdata::{generate, DataConfig};
+
+    fn tiny_cfg() -> NetConfig {
+        NetConfig { height: 8, width: 8, cin: 3, hidden1: 4, hidden2: 5, n_classes: 4, k: 3 }
+    }
+
+    fn tiny_sample(seed: u64) -> Sample {
+        let dc = DataConfig { height: 8, width: 8, ..DataConfig::default() };
+        generate(&dc, seed, 0)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let cfg = tiny_cfg();
+        let net = SegNet::new(cfg, 1);
+        assert_eq!(net.n_params(), cfg.n_params());
+        assert_eq!(net.params().len(), net.n_params());
+        let s = tiny_sample(2);
+        assert_eq!(net.forward_logits(&s.pixels).len(), 4 * 64);
+        assert_eq!(net.predict(&s.pixels).len(), 64);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let cfg = tiny_cfg();
+        let a = SegNet::new(cfg, 1);
+        let mut b = SegNet::new(cfg, 2);
+        assert_ne!(a.params(), b.params());
+        b.set_params(&a.params());
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn loss_is_log_nclasses_at_uniform_logits() {
+        let cfg = tiny_cfg();
+        let mut net = SegNet::new(cfg, 1);
+        net.set_params(&vec![0.0; net.n_params()]);
+        let (loss, _) = net.loss_grad(&tiny_sample(3));
+        assert!((loss - (4.0f64).ln()).abs() < 1e-5, "loss {loss} vs ln 4");
+    }
+
+    /// The load-bearing test: analytic gradients match finite differences.
+    #[test]
+    fn gradient_check() {
+        let cfg = NetConfig { height: 5, width: 5, cin: 3, hidden1: 3, hidden2: 3, n_classes: 4, k: 3 };
+        let dc = DataConfig { height: 5, width: 5, ..DataConfig::default() };
+        let sample = generate(&dc, 11, 0);
+        let net = SegNet::new(cfg, 7);
+        let (_, grad) = net.loss_grad(&sample);
+        let params = net.params();
+        let eps = 3e-3f32;
+        let mut checked = 0;
+        // Check a spread of parameter indices across all layers.
+        for idx in (0..net.n_params()).step_by(net.n_params() / 40 + 1) {
+            let mut plus = net.clone();
+            let mut p = params.clone();
+            p[idx] += eps;
+            plus.set_params(&p);
+            let (lp, _) = plus.loss_grad(&sample);
+            let mut minus = net.clone();
+            p[idx] -= 2.0 * eps;
+            minus.set_params(&p);
+            let (lm, _) = minus.loss_grad(&sample);
+            let numeric = ((lp - lm) / (2.0 * f64::from(eps))) as f32;
+            let analytic = grad[idx];
+            let denom = numeric.abs().max(analytic.abs()).max(1e-4);
+            assert!(
+                (numeric - analytic).abs() / denom < 0.08,
+                "param {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 30);
+    }
+
+    #[test]
+    fn batch_gradient_is_mean_of_samples() {
+        let cfg = tiny_cfg();
+        let net = SegNet::new(cfg, 1);
+        let s1 = tiny_sample(5);
+        let s2 = tiny_sample(6);
+        let (l1, g1) = net.loss_grad(&s1);
+        let (l2, g2) = net.loss_grad(&s2);
+        let (lb, gb) = net.batch_loss_grad(&[s1, s2]);
+        assert!((lb - (l1 + l2) / 2.0).abs() < 1e-9);
+        for i in 0..gb.len() {
+            assert!((gb[i] - (g1[i] + g2[i]) / 2.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn one_sgd_step_reduces_loss() {
+        let cfg = tiny_cfg();
+        let mut net = SegNet::new(cfg, 1);
+        let s = tiny_sample(8);
+        let (l0, g) = net.loss_grad(&s);
+        let mut p = net.params();
+        for (pi, gi) in p.iter_mut().zip(&g) {
+            *pi -= 2.0 * gi;
+        }
+        net.set_params(&p);
+        let (l1, _) = net.loss_grad(&s);
+        assert!(l1 < l0, "loss must drop: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let cfg = tiny_cfg();
+        assert_eq!(SegNet::new(cfg, 3).params(), SegNet::new(cfg, 3).params());
+        assert_ne!(SegNet::new(cfg, 3).params(), SegNet::new(cfg, 4).params());
+    }
+}

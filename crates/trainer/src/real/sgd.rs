@@ -1,0 +1,172 @@
+//! Momentum SGD with the large-batch learning-rate recipe the paper's
+//! distributed training uses: linear LR scaling with worker count,
+//! gradual warmup (Goyal et al. 2017), and DeepLab's "poly" decay.
+
+/// Learning-rate schedule configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrSchedule {
+    /// Base LR for the reference (single-worker) batch size.
+    pub base_lr: f32,
+    /// Linear-scaling multiplier (usually the worker count).
+    pub scale: f32,
+    /// Steps of linear warmup from `base_lr` to `base_lr × scale`.
+    pub warmup_steps: usize,
+    /// Total training steps (for poly decay).
+    pub total_steps: usize,
+    /// Poly decay power; DeepLab uses 0.9. 0 disables decay.
+    pub poly_power: f32,
+}
+
+impl LrSchedule {
+    /// Constant LR (no scaling/warmup/decay) — for unit tests.
+    pub fn constant(lr: f32, total_steps: usize) -> Self {
+        LrSchedule { base_lr: lr, scale: 1.0, warmup_steps: 0, total_steps, poly_power: 0.0 }
+    }
+
+    /// The paper-style recipe for `workers` data-parallel workers.
+    pub fn scaled(base_lr: f32, workers: usize, warmup_steps: usize, total_steps: usize) -> Self {
+        LrSchedule {
+            base_lr,
+            scale: workers as f32,
+            warmup_steps,
+            total_steps,
+            poly_power: 0.9,
+        }
+    }
+
+    /// LR at `step` (0-based).
+    pub fn at(&self, step: usize) -> f32 {
+        let peak = self.base_lr * self.scale;
+        let lr = if self.warmup_steps > 0 && step < self.warmup_steps {
+            // Linear ramp from base_lr to peak.
+            self.base_lr
+                + (peak - self.base_lr) * (step as f32 + 1.0) / self.warmup_steps as f32
+        } else {
+            peak
+        };
+        if self.poly_power > 0.0 && self.total_steps > 0 {
+            let frac = (step as f32 / self.total_steps as f32).min(1.0);
+            lr * (1.0 - frac).max(0.0).powf(self.poly_power)
+        } else {
+            lr
+        }
+    }
+}
+
+/// Momentum SGD over a flat parameter vector, with optional (decoupled
+/// from the schedule, coupled to the gradient — classic L2) weight decay.
+#[derive(Debug, Clone)]
+pub struct MomentumSgd {
+    pub schedule: LrSchedule,
+    pub momentum: f32,
+    pub weight_decay: f32,
+    velocity: Vec<f32>,
+    step: usize,
+}
+
+impl MomentumSgd {
+    pub fn new(schedule: LrSchedule, momentum: f32, n_params: usize) -> Self {
+        assert!((0.0..1.0).contains(&momentum));
+        MomentumSgd { schedule, momentum, weight_decay: 0.0, velocity: vec![0.0; n_params], step: 0 }
+    }
+
+    /// Builder-style: set classic L2 weight decay (DeepLab uses 4e-5).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0);
+        self.weight_decay = wd;
+        self
+    }
+
+    pub fn step_index(&self) -> usize {
+        self.step
+    }
+
+    /// Apply one update in place: `v = µv + (g + wd·p); p -= lr·v`.
+    pub fn apply(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), self.velocity.len(), "parameter count");
+        assert_eq!(grad.len(), self.velocity.len(), "gradient count");
+        let lr = self.schedule.at(self.step);
+        for ((p, v), &g) in params.iter_mut().zip(&mut self.velocity).zip(grad) {
+            *v = self.momentum * *v + (g + self.weight_decay * *p);
+            *p -= lr * *v;
+        }
+        self.step += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_is_constant() {
+        let s = LrSchedule::constant(0.1, 100);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(99), 0.1);
+    }
+
+    #[test]
+    fn warmup_ramps_to_scaled_peak() {
+        let s = LrSchedule { poly_power: 0.0, ..LrSchedule::scaled(0.01, 8, 10, 100) };
+        assert!(s.at(0) < s.at(5));
+        assert!(s.at(5) < s.at(9));
+        assert!((s.at(10) - 0.08).abs() < 1e-7, "peak = 8 × base");
+        assert!(s.at(0) > 0.01 && s.at(0) < 0.08);
+    }
+
+    #[test]
+    fn poly_decay_reaches_zero() {
+        let s = LrSchedule::scaled(0.01, 4, 0, 100);
+        assert!(s.at(0) > s.at(50));
+        assert!(s.at(50) > s.at(99));
+        assert!(s.at(100) == 0.0);
+        assert!(s.at(1000) == 0.0, "clamped past the end");
+    }
+
+    #[test]
+    fn deeplab_poly_power() {
+        let s = LrSchedule::scaled(0.007, 1, 0, 10);
+        // lr(5) = 0.007 × (0.5)^0.9
+        assert!((s.at(5) - 0.007 * 0.5f32.powf(0.9)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = MomentumSgd::new(LrSchedule::constant(1.0, 10), 0.5, 1);
+        let mut p = vec![0.0f32];
+        opt.apply(&mut p, &[1.0]); // v=1, p=-1
+        assert_eq!(p, vec![-1.0]);
+        opt.apply(&mut p, &[1.0]); // v=1.5, p=-2.5
+        assert_eq!(p, vec![-2.5]);
+        assert_eq!(opt.step_index(), 2);
+    }
+
+    #[test]
+    fn zero_momentum_is_plain_sgd() {
+        let mut opt = MomentumSgd::new(LrSchedule::constant(0.5, 10), 0.0, 2);
+        let mut p = vec![1.0f32, 2.0];
+        opt.apply(&mut p, &[2.0, -2.0]);
+        assert_eq!(p, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut opt =
+            MomentumSgd::new(LrSchedule::constant(0.1, 10), 0.0, 1).with_weight_decay(0.5);
+        let mut p = vec![2.0f32];
+        opt.apply(&mut p, &[0.0]); // pure decay: v = 0.5*2 = 1, p = 2 - 0.1
+        assert!((p[0] - 1.9).abs() < 1e-7);
+        let mut no_wd = MomentumSgd::new(LrSchedule::constant(0.1, 10), 0.0, 1);
+        let mut q = vec![2.0f32];
+        no_wd.apply(&mut q, &[0.0]);
+        assert_eq!(q[0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count")]
+    fn mismatched_sizes_panic() {
+        let mut opt = MomentumSgd::new(LrSchedule::constant(0.5, 10), 0.0, 2);
+        let mut p = vec![1.0f32];
+        opt.apply(&mut p, &[1.0]);
+    }
+}

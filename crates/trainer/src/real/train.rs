@@ -1,0 +1,473 @@
+//! Data-parallel training with *real* gradients over *real* allreduce.
+//!
+//! Each worker thread owns a model replica and an optimizer; every step
+//! the workers compute gradients on disjoint shards of the global batch,
+//! average them with a genuine multi-threaded allreduce (the same
+//! algorithm schedules the simulator times — see
+//! [`collectives::exec_thread`]), and apply identical updates. This is
+//! the accuracy half of the reproduction: claim C6's substance is that
+//! synchronous gradient averaging matches serial training's mIoU.
+
+use collectives::{exec_thread, Algorithm, ReduceOp, Schedule};
+use rayon::prelude::*;
+use summit_metrics::rng::derive_seed;
+
+use super::miou::Confusion;
+use super::net::{NetConfig, SegNet};
+use super::segdata::{generate, generate_batch, DataConfig};
+use super::sgd::{LrSchedule, MomentumSgd};
+
+/// Full training-run configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    pub data: DataConfig,
+    pub net: NetConfig,
+    /// Data-parallel worker (replica) count.
+    pub workers: usize,
+    pub batch_per_worker: usize,
+    pub steps: usize,
+    pub base_lr: f32,
+    /// LR linear-scaling factor (global batch / reference batch).
+    pub lr_scale: f32,
+    pub warmup_steps: usize,
+    pub momentum: f32,
+    /// Classic L2 weight decay (DeepLab uses 4e-5; 0 disables).
+    pub weight_decay: f32,
+    /// Micro-batches accumulated locally before each allreduce+update
+    /// (1 = standard synchronous SGD).
+    pub accumulation_steps: usize,
+    /// Allreduce algorithm for gradient averaging.
+    pub algo: Algorithm,
+    /// Round-trip gradients through fp16 before averaging (Horovod's
+    /// `HOROVOD_COMPRESSION=fp16`), to measure the accuracy cost.
+    pub fp16_gradients: bool,
+    /// Apply random flip augmentation to training samples.
+    pub augment: bool,
+    /// Evaluate every this many steps (0 = only at the end).
+    pub eval_every: usize,
+    pub eval_samples: usize,
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// A small-but-real default: enough to reach high mIoU in seconds.
+    pub fn quick(workers: usize) -> Self {
+        let data = DataConfig::default();
+        let net = NetConfig {
+            height: data.height,
+            width: data.width,
+            cin: data.channels,
+            n_classes: data.n_classes,
+            ..NetConfig::default()
+        };
+        TrainConfig {
+            data,
+            net,
+            workers,
+            batch_per_worker: 4,
+            steps: 120,
+            base_lr: 0.4,
+            lr_scale: 1.0,
+            warmup_steps: 10,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            accumulation_steps: 1,
+            algo: Algorithm::Ring,
+            fp16_gradients: false,
+            augment: false,
+            eval_every: 0,
+            eval_samples: 32,
+            seed: 42,
+        }
+    }
+
+    /// Examples consumed per optimizer update.
+    pub fn global_batch(&self) -> usize {
+        self.workers * self.batch_per_worker * self.accumulation_steps
+    }
+
+    fn check(&self) {
+        assert!(self.workers >= 1 && self.batch_per_worker >= 1 && self.steps >= 1);
+        assert!(self.accumulation_steps >= 1, "need at least one micro-batch");
+        assert_eq!(self.data.height, self.net.height, "data/net height");
+        assert_eq!(self.data.width, self.net.width, "data/net width");
+        assert_eq!(self.data.channels, self.net.cin, "data/net channels");
+        assert_eq!(self.data.n_classes, self.net.n_classes, "data/net classes");
+    }
+}
+
+/// One evaluation point on the training curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalPoint {
+    pub step: usize,
+    pub train_loss: f64,
+    pub miou: f64,
+    pub pixel_accuracy: f64,
+}
+
+/// The result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    pub curve: Vec<EvalPoint>,
+    pub final_miou: f64,
+    pub final_pixel_accuracy: f64,
+    pub final_params: Vec<f32>,
+}
+
+/// Evaluate `net` on `n` held-out samples (seed stream disjoint from
+/// training data by construction).
+pub fn evaluate(net: &SegNet, data: &DataConfig, seed: u64, n: usize) -> Confusion {
+    let eval_seed = derive_seed(seed, "eval");
+    
+    (0..n as u64)
+        .into_par_iter()
+        .map(|i| {
+            let s = generate(data, eval_seed, i);
+            let pred = net.predict(&s.pixels);
+            let mut c = Confusion::new(data.n_classes);
+            c.add(&s.labels, &pred);
+            c
+        })
+        .reduce(
+            || Confusion::new(data.n_classes),
+            |mut a, b| {
+                a.merge(&b);
+                a
+            },
+        )
+}
+
+/// Run data-parallel training per `cfg`.
+///
+/// All replicas start from the same seed-derived initialization, consume
+/// disjoint shards of a common data stream, and stay synchronized by
+/// construction; the run asserts replica consistency at the end.
+pub fn train(cfg: &TrainConfig) -> TrainResult {
+    cfg.check();
+    let schedule: Schedule = cfg.algo.build(cfg.workers, cfg.net.n_params());
+    schedule.validate().expect("gradient allreduce schedule");
+
+    let lr = LrSchedule {
+        base_lr: cfg.base_lr,
+        scale: cfg.lr_scale,
+        warmup_steps: cfg.warmup_steps,
+        total_steps: cfg.steps,
+        poly_power: 0.9,
+    };
+    let mut workers: Vec<(SegNet, MomentumSgd)> = (0..cfg.workers)
+        .map(|_| {
+            let net = SegNet::new(cfg.net, derive_seed(cfg.seed, "init"));
+            let opt = MomentumSgd::new(lr, cfg.momentum, cfg.net.n_params())
+                .with_weight_decay(cfg.weight_decay);
+            (net, opt)
+        })
+        .collect();
+
+    let mut curve = Vec::new();
+    let mut last_loss = f64::NAN;
+    for step in 0..cfg.steps {
+        let start = (step * cfg.global_batch()) as u64;
+        // Gradient computation: one rayon task per worker; per-sample
+        // work inside fans out further on the same pool.
+        let micro = cfg.workers * cfg.batch_per_worker;
+        let results: Vec<(f64, Vec<f32>)> = workers
+            .par_iter()
+            .enumerate()
+            .map(|(w, (net, _))| {
+                // Accumulate over micro-batches before communicating.
+                let mut loss_sum = 0.0f64;
+                let mut acc: Vec<f32> = vec![0.0; net.n_params()];
+                for m in 0..cfg.accumulation_steps {
+                    let base =
+                        start + (m * micro) as u64 + (w * cfg.batch_per_worker) as u64;
+                    let mut shard =
+                        generate_batch(&cfg.data, cfg.seed, base, cfg.batch_per_worker);
+                    if cfg.augment {
+                        for (i, s) in shard.iter_mut().enumerate() {
+                            *s = super::segdata::augment(&cfg.data, s, cfg.seed, base + i as u64);
+                        }
+                    }
+                    let (l, g) = net.batch_loss_grad(&shard);
+                    loss_sum += l;
+                    for (a, gi) in acc.iter_mut().zip(&g) {
+                        *a += gi;
+                    }
+                }
+                let inv = 1.0 / cfg.accumulation_steps as f32;
+                acc.iter_mut().for_each(|a| *a *= inv);
+                (loss_sum / cfg.accumulation_steps as f64, acc)
+            })
+            .collect();
+        last_loss = results.iter().map(|(l, _)| *l).sum::<f64>() / cfg.workers as f64;
+        let mut grads: Vec<Vec<f32>> = results.into_iter().map(|(_, g)| g).collect();
+        if cfg.fp16_gradients {
+            for g in grads.iter_mut() {
+                super::fp16::compress_gradients(g);
+            }
+        }
+
+        // The real allreduce: gradients cross threads through the same
+        // schedules the timing simulation measures.
+        exec_thread::allreduce(&schedule, &mut grads, ReduceOp::Average);
+
+        workers.par_iter_mut().zip(grads.par_iter()).for_each(|((net, opt), grad)| {
+            let mut params = net.params();
+            opt.apply(&mut params, grad);
+            net.set_params(&params);
+        });
+
+        if cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0 {
+            let conf = evaluate(&workers[0].0, &cfg.data, cfg.seed, cfg.eval_samples);
+            curve.push(EvalPoint {
+                step: step + 1,
+                train_loss: last_loss,
+                miou: conf.miou(),
+                pixel_accuracy: conf.pixel_accuracy(),
+            });
+        }
+    }
+
+    // Replica-consistency invariant of synchronous data-parallel SGD.
+    let reference = workers[0].0.params();
+    for (w, (net, _)) in workers.iter().enumerate().skip(1) {
+        let p = net.params();
+        let max_dev = reference
+            .iter()
+            .zip(&p)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_dev == 0.0, "replica {w} diverged by {max_dev}");
+    }
+
+    let conf = evaluate(&workers[0].0, &cfg.data, cfg.seed, cfg.eval_samples);
+    let final_point = EvalPoint {
+        step: cfg.steps,
+        train_loss: last_loss,
+        miou: conf.miou(),
+        pixel_accuracy: conf.pixel_accuracy(),
+    };
+    if curve.last().map(|p| p.step) != Some(cfg.steps) {
+        curve.push(final_point);
+    }
+    TrainResult {
+        curve,
+        final_miou: final_point.miou,
+        final_pixel_accuracy: final_point.pixel_accuracy,
+        final_params: reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A config small enough for debug-mode tests.
+    fn tiny(workers: usize, steps: usize) -> TrainConfig {
+        let data = DataConfig { height: 10, width: 10, ..DataConfig::default() };
+        let net = NetConfig {
+            height: 10,
+            width: 10,
+            cin: 3,
+            hidden1: 4,
+            hidden2: 6,
+            n_classes: 4,
+            k: 3,
+        };
+        TrainConfig {
+            data,
+            net,
+            workers,
+            batch_per_worker: 2,
+            steps,
+            base_lr: 0.4,
+            lr_scale: 1.0,
+            warmup_steps: 5,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            accumulation_steps: 1,
+            algo: Algorithm::Ring,
+            fp16_gradients: false,
+            augment: false,
+            eval_every: 0,
+            eval_samples: 16,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn training_learns_something() {
+        let r = train(&tiny(2, 40));
+        assert!(
+            r.final_miou > 0.5,
+            "after 40 steps mIoU should clear 0.5, got {:.3}",
+            r.final_miou
+        );
+        assert!(r.final_pixel_accuracy > 0.7);
+    }
+
+    #[test]
+    fn curve_is_recorded() {
+        let mut cfg = tiny(2, 20);
+        cfg.eval_every = 10;
+        let r = train(&cfg);
+        assert_eq!(r.curve.len(), 2);
+        assert_eq!(r.curve[0].step, 10);
+        assert_eq!(r.curve[1].step, 20);
+    }
+
+    #[test]
+    fn distributed_matches_serial_with_same_global_batch() {
+        // 1 × 4 vs 4 × 1: identical data, identical math up to FP order.
+        let mut serial = tiny(1, 25);
+        serial.batch_per_worker = 4;
+        let mut dist = tiny(4, 25);
+        dist.batch_per_worker = 1;
+        let a = train(&serial);
+        let b = train(&dist);
+        let max_dev = a
+            .final_params
+            .iter()
+            .zip(&b.final_params)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_dev < 2e-2, "parameter deviation {max_dev}");
+        assert!(
+            (a.final_miou - b.final_miou).abs() < 0.05,
+            "serial {:.3} vs distributed {:.3}",
+            a.final_miou,
+            b.final_miou
+        );
+    }
+
+    #[test]
+    fn different_allreduce_algorithms_agree() {
+        let base = tiny(4, 15);
+        let ring = train(&base);
+        let mut rd = base.clone();
+        rd.algo = Algorithm::RecursiveDoubling;
+        let rd = train(&rd);
+        // Combine orders differ, so allow tiny FP drift.
+        let max_dev = ring
+            .final_params
+            .iter()
+            .zip(&rd.final_params)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_dev < 2e-2, "ring vs recursive-doubling deviation {max_dev}");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = train(&tiny(2, 10));
+        let b = train(&tiny(2, 10));
+        assert_eq!(a.final_params, b.final_params);
+        assert_eq!(a.final_miou, b.final_miou);
+    }
+
+    #[test]
+    fn fp16_gradients_barely_move_the_result() {
+        let base = train(&tiny(2, 30));
+        let mut c = tiny(2, 30);
+        c.fp16_gradients = true;
+        let fp16 = train(&c);
+        assert!(
+            (base.final_miou - fp16.final_miou).abs() < 0.08,
+            "fp16 compression: mIoU {:.3} vs {:.3}",
+            fp16.final_miou,
+            base.final_miou
+        );
+        // But the parameters must actually differ (compression happened).
+        assert_ne!(base.final_params, fp16.final_params);
+    }
+
+    #[test]
+    fn augmentation_keeps_parity_and_learning() {
+        let mut a = tiny(2, 30);
+        a.augment = true;
+        let r = train(&a);
+        assert!(r.final_miou > 0.4, "augmented run learns: {:.3}", r.final_miou);
+        // Parity across worker splits still holds (same augmented stream).
+        let mut serial = a.clone();
+        serial.workers = 1;
+        serial.batch_per_worker = 4;
+        let mut dist = a;
+        dist.workers = 4;
+        dist.batch_per_worker = 1;
+        let rs = train(&serial);
+        let rd = train(&dist);
+        let dev = rs
+            .final_params
+            .iter()
+            .zip(&rd.final_params)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(dev < 2e-2, "augmented parity deviation {dev}");
+    }
+
+    #[test]
+    fn gradient_accumulation_equals_bigger_batch() {
+        // 2 workers x batch 1 x 2 accumulation steps consumes the same
+        // examples, in the same grouping, as 2 workers x batch 2... not
+        // quite: accumulation interleaves micro-batches across workers.
+        // The exact equivalence is: accumulation over k micro-batches of
+        // the same shard layout == one update from the mean gradient, so
+        // compare against a run whose data stream is constructed to
+        // match. Here we check the strong invariants instead: the
+        // accumulated run is deterministic, consumes k x the data, and
+        // still converges to the same quality.
+        let mut acc = tiny(2, 20);
+        acc.accumulation_steps = 2;
+        let a1 = train(&acc);
+        let a2 = train(&acc);
+        assert_eq!(a1.final_params, a2.final_params, "deterministic");
+        assert_eq!(acc.global_batch(), 8);
+        let base = train(&tiny(2, 20));
+        assert!(
+            (a1.final_miou - base.final_miou).abs() < 0.3,
+            "accumulated {:.3} vs base {:.3}",
+            a1.final_miou,
+            base.final_miou
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weight_norm() {
+        let mut wd = tiny(1, 25);
+        wd.weight_decay = 5e-2;
+        let with = train(&wd);
+        let without = train(&tiny(1, 25));
+        let norm = |p: &[f32]| p.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!(
+            norm(&with.final_params) < norm(&without.final_params),
+            "decay must shrink the weights: {} vs {}",
+            norm(&with.final_params),
+            norm(&without.final_params)
+        );
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let r = train(&tiny(1, 10));
+        assert!(r.final_miou > 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_held_out() {
+        // Eval stream differs from train stream: mIoU on eval should not
+        // be exactly the train confusion (weak check: just ensure the
+        // eval seed derivation changes data).
+        let cfg = tiny(1, 1);
+        let train_sample = generate(&cfg.data, cfg.seed, 0);
+        let eval_seed = derive_seed(cfg.seed, "eval");
+        let eval_sample = generate(&cfg.data, eval_seed, 0);
+        assert_ne!(train_sample.labels, eval_sample.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "data/net")]
+    fn mismatched_config_rejected() {
+        let mut cfg = tiny(1, 1);
+        cfg.net.height = 12;
+        train(&cfg);
+    }
+}

@@ -1,0 +1,93 @@
+//! Simulated scaling sweeps: drive the Horovod runtime across GPU counts
+//! and collect the throughput/efficiency curves the paper's figures plot.
+
+use dlmodels::{GpuModel, ModelGraph};
+use horovod::{HorovodConfig, StepSim, TrainReport};
+use mpi_profiles::MpiProfile;
+use summit_metrics::ScalingSeries;
+use summit_sim::Machine;
+
+/// Everything that defines one scaling experiment except the GPU count.
+#[derive(Clone)]
+pub struct SweepSpec<'a> {
+    pub machine: &'a Machine,
+    pub profile: MpiProfile,
+    pub config: HorovodConfig,
+    pub model: &'a ModelGraph,
+    pub gpu: &'a GpuModel,
+    pub batch_per_gpu: usize,
+    /// Steps to simulate per point (jitter averaging).
+    pub steps: usize,
+    pub seed: u64,
+}
+
+impl<'a> SweepSpec<'a> {
+    /// Simulate one point at `n_ranks`.
+    pub fn run_at(&self, n_ranks: usize) -> TrainReport {
+        StepSim::new(
+            self.machine,
+            self.profile.clone(),
+            self.config.clone(),
+            self.model,
+            self.gpu,
+            self.batch_per_gpu,
+            n_ranks,
+            self.seed,
+        )
+        .simulate_training(self.steps)
+    }
+
+    /// Sweep `counts` and return the scaling series labelled `label`.
+    pub fn sweep(&self, label: &str, counts: &[usize]) -> ScalingSeries {
+        assert!(!counts.is_empty());
+        let single = self.run_at(1).single_gpu_throughput;
+        let mut series = ScalingSeries::new(label, single);
+        for &n in counts {
+            series.push(n, self.run_at(n).throughput);
+        }
+        series
+    }
+}
+
+/// The paper's GPU-count ladder on Summit: whole nodes of 6 up to 132.
+pub fn paper_gpu_counts() -> Vec<usize> {
+    vec![6, 12, 24, 48, 96, 132]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlmodels::deeplab_paper;
+    use summit_sim::MachineConfig;
+
+    #[test]
+    fn sweep_produces_monotone_throughput() {
+        let machine = Machine::new(MachineConfig::summit_for_gpus(48));
+        let model = deeplab_paper();
+        let gpu = GpuModel::v100();
+        let spec = SweepSpec {
+            machine: &machine,
+            profile: MpiProfile::mvapich2_gdr(),
+            config: HorovodConfig::default(),
+            model: &model,
+            gpu: &gpu,
+            batch_per_gpu: 1,
+            steps: 2,
+            seed: 7,
+        };
+        let s = spec.sweep("tuned", &[6, 12, 24, 48]);
+        let t: Vec<f64> = s.points.iter().map(|p| p.throughput).collect();
+        for w in t.windows(2) {
+            assert!(w[1] > w[0], "throughput must grow with GPUs: {t:?}");
+        }
+        let (_, eff) = s.efficiency_at_max().unwrap();
+        assert!(eff > 0.7 && eff <= 1.0);
+    }
+
+    #[test]
+    fn paper_ladder_tops_at_132() {
+        let c = paper_gpu_counts();
+        assert_eq!(*c.last().unwrap(), 132);
+        assert_eq!(c[0], 6);
+    }
+}

@@ -1,0 +1,37 @@
+//! The paper's contribution as a library: systematic tuning of
+//! Horovod/MPI knobs for distributed DLv3+ training, *without modifying
+//! Horovod, MPI, or the model* — every candidate is just a knob setting
+//! handed to the unmodified runtime simulation.
+//!
+//! * [`space`] — the knob space (`HOROVOD_FUSION_THRESHOLD`,
+//!   `HOROVOD_CYCLE_TIME`, response cache, hierarchical allreduce, MPI
+//!   backend);
+//! * [`objective`] — candidate scoring by simulated training throughput;
+//! * [`search`] — exhaustive grid sweep and greedy coordinate descent
+//!   (the one-knob-family-at-a-time methodology, formalized).
+//!
+//! # Example
+//!
+//! ```
+//! use tuner::{coordinate_descent, Candidate, KnobSpace, Objective};
+//! use dlmodels::{deeplab_paper, GpuModel};
+//! use summit_sim::{Machine, MachineConfig};
+//!
+//! let machine = Machine::new(MachineConfig::summit_for_gpus(24));
+//! let model = deeplab_paper();
+//! let gpu = GpuModel::v100();
+//! let objective = Objective::new(&machine, &model, &gpu, 1, 24, 2, 42);
+//! let report = coordinate_descent(
+//!     &KnobSpace::small(), &objective, Candidate::paper_default(), 2);
+//! assert!(report.best.throughput > 0.0);
+//! ```
+
+pub mod objective;
+pub mod random;
+pub mod search;
+pub mod space;
+
+pub use objective::{Objective, Scored};
+pub use random::random_search;
+pub use search::{coordinate_descent, grid_search, TuneReport};
+pub use space::{Candidate, KnobSpace};

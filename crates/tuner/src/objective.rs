@@ -1,0 +1,118 @@
+//! The tuning objective: simulated training throughput of a candidate
+//! configuration at a fixed scale.
+
+use dlmodels::{GpuModel, ModelGraph};
+use horovod::StepSim;
+use summit_sim::Machine;
+
+use crate::space::Candidate;
+
+/// Evaluates candidates by simulating a few training steps.
+pub struct Objective<'a> {
+    pub machine: &'a Machine,
+    pub model: &'a ModelGraph,
+    pub gpu: &'a GpuModel,
+    pub batch_per_gpu: usize,
+    pub n_ranks: usize,
+    /// Steps simulated per evaluation (jitter averaging).
+    pub steps: usize,
+    pub seed: u64,
+    evaluations: std::cell::Cell<usize>,
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone)]
+pub struct Scored {
+    pub candidate: Candidate,
+    /// Aggregate images/second.
+    pub throughput: f64,
+    /// Weak-scaling efficiency at the objective's rank count.
+    pub efficiency: f64,
+}
+
+impl<'a> Objective<'a> {
+    pub fn new(
+        machine: &'a Machine,
+        model: &'a ModelGraph,
+        gpu: &'a GpuModel,
+        batch_per_gpu: usize,
+        n_ranks: usize,
+        steps: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n_ranks >= 1 && steps >= 1);
+        Objective {
+            machine,
+            model,
+            gpu,
+            batch_per_gpu,
+            n_ranks,
+            steps,
+            seed,
+            evaluations: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Simulate `candidate` and score it.
+    pub fn eval(&self, candidate: &Candidate) -> Scored {
+        self.evaluations.set(self.evaluations.get() + 1);
+        let report = StepSim::new(
+            self.machine,
+            candidate.backend.profile(),
+            candidate.config.clone(),
+            self.model,
+            self.gpu,
+            self.batch_per_gpu,
+            self.n_ranks,
+            self.seed,
+        )
+        .simulate_training(self.steps);
+        Scored {
+            candidate: candidate.clone(),
+            throughput: report.throughput,
+            efficiency: report.efficiency,
+        }
+    }
+
+    /// Total candidate evaluations so far (sweep-cost reporting).
+    pub fn evaluations(&self) -> usize {
+        self.evaluations.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Candidate;
+    use dlmodels::deeplab_paper;
+    use mpi_profiles::Backend;
+    use summit_sim::MachineConfig;
+
+    #[test]
+    fn eval_is_deterministic_and_counts() {
+        let machine = Machine::new(MachineConfig::summit_for_gpus(12));
+        let model = deeplab_paper();
+        let gpu = GpuModel::v100();
+        let obj = Objective::new(&machine, &model, &gpu, 1, 12, 2, 3);
+        let c = Candidate::paper_default();
+        let a = obj.eval(&c);
+        let b = obj.eval(&c);
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(obj.evaluations(), 2);
+        assert!(a.efficiency > 0.0 && a.efficiency <= 1.0);
+    }
+
+    #[test]
+    fn better_backend_scores_higher() {
+        let machine = Machine::new(MachineConfig::summit_for_gpus(96));
+        let model = deeplab_paper();
+        let gpu = GpuModel::v100();
+        let obj = Objective::new(&machine, &model, &gpu, 1, 96, 2, 3);
+        let default = obj.eval(&Candidate::paper_default());
+        let mv2 = obj.eval(&Candidate {
+            backend: Backend::Mvapich2Gdr,
+            config: Candidate::paper_default().config,
+        });
+        assert!(mv2.throughput > default.throughput);
+    }
+}

@@ -1,0 +1,169 @@
+//! Search strategies over the knob space: exhaustive grid and greedy
+//! coordinate descent (the paper tunes one knob family at a time — the
+//! coordinate-descent loop formalizes that methodology).
+
+use crate::objective::{Objective, Scored};
+use crate::space::{Candidate, KnobSpace};
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    pub best: Scored,
+    /// Candidates evaluated, in evaluation order.
+    pub trajectory: Vec<Scored>,
+    pub evaluations: usize,
+}
+
+/// Exhaustive sweep: score every candidate, return them sorted best
+/// first.
+pub fn grid_search(space: &KnobSpace, objective: &Objective<'_>) -> TuneReport {
+    space.validate();
+    let mut scored: Vec<Scored> = space.candidates().iter().map(|c| objective.eval(c)).collect();
+    let trajectory = scored.clone();
+    scored.sort_by(|a, b| b.throughput.partial_cmp(&a.throughput).expect("NaN throughput"));
+    TuneReport {
+        best: scored[0].clone(),
+        trajectory,
+        evaluations: objective.evaluations(),
+    }
+}
+
+/// Greedy coordinate descent: starting from `start`, optimize one axis at
+/// a time (backend → fusion → cycle → cache → hierarchical), repeating
+/// until a full round makes no improvement (or `max_rounds`).
+///
+/// Evaluates `O(rounds × Σ axis sizes)` candidates instead of the full
+/// product — the practical version of the paper's one-knob-at-a-time
+/// methodology.
+pub fn coordinate_descent(
+    space: &KnobSpace,
+    objective: &Objective<'_>,
+    start: Candidate,
+    max_rounds: usize,
+) -> TuneReport {
+    space.validate();
+    assert!(max_rounds >= 1);
+    let mut trajectory = Vec::new();
+    let mut best = objective.eval(&start);
+    trajectory.push(best.clone());
+
+    for _round in 0..max_rounds {
+        let before = best.throughput;
+        // Axis 1: backend.
+        for &backend in &space.backends {
+            let mut c = best.candidate.clone();
+            if c.backend == backend {
+                continue;
+            }
+            c.backend = backend;
+            consider(&mut best, &mut trajectory, objective.eval(&c));
+        }
+        // Axis 2: fusion threshold.
+        for &fusion in &space.fusion_thresholds {
+            let mut c = best.candidate.clone();
+            if c.config.fusion_threshold == fusion {
+                continue;
+            }
+            c.config.fusion_threshold = fusion;
+            consider(&mut best, &mut trajectory, objective.eval(&c));
+        }
+        // Axis 3: cycle time.
+        for &cycle in &space.cycle_times {
+            let mut c = best.candidate.clone();
+            if c.config.cycle_time == cycle {
+                continue;
+            }
+            c.config.cycle_time = cycle;
+            consider(&mut best, &mut trajectory, objective.eval(&c));
+        }
+        // Axis 4: response cache.
+        for &cache in &space.response_cache {
+            let mut c = best.candidate.clone();
+            if c.config.response_cache == cache {
+                continue;
+            }
+            c.config.response_cache = cache;
+            consider(&mut best, &mut trajectory, objective.eval(&c));
+        }
+        // Axis 5: hierarchical allreduce.
+        for &hier in &space.hierarchical {
+            let mut c = best.candidate.clone();
+            if c.config.hierarchical_allreduce == hier {
+                continue;
+            }
+            c.config.hierarchical_allreduce = hier;
+            consider(&mut best, &mut trajectory, objective.eval(&c));
+        }
+        if best.throughput <= before * (1.0 + 1e-9) {
+            break; // fixed point
+        }
+    }
+    TuneReport { best, trajectory, evaluations: objective.evaluations() }
+}
+
+fn consider(best: &mut Scored, trajectory: &mut Vec<Scored>, scored: Scored) {
+    trajectory.push(scored.clone());
+    if scored.throughput > best.throughput {
+        *best = scored;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlmodels::{deeplab_paper, GpuModel};
+    use summit_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn grid_finds_at_least_the_default() {
+        let machine = Machine::new(MachineConfig::summit_for_gpus(24));
+        let model = deeplab_paper();
+        let gpu = GpuModel::v100();
+        let obj = Objective::new(&machine, &model, &gpu, 1, 24, 2, 5);
+        let space = KnobSpace::small();
+        let report = grid_search(&space, &obj);
+        assert_eq!(report.evaluations, space.size());
+        assert_eq!(report.trajectory.len(), space.size());
+        let default = obj.eval(&Candidate::paper_default());
+        assert!(report.best.throughput >= default.throughput * 0.999);
+    }
+
+    #[test]
+    fn coordinate_descent_improves_on_default_cheaply() {
+        let machine = Machine::new(MachineConfig::summit_for_gpus(96));
+        let model = deeplab_paper();
+        let gpu = GpuModel::v100();
+        let obj = Objective::new(&machine, &model, &gpu, 1, 96, 2, 5);
+        let space = KnobSpace::paper();
+        let report =
+            coordinate_descent(&space, &obj, Candidate::paper_default(), 3);
+        let default_score = report.trajectory[0].throughput;
+        assert!(
+            report.best.throughput > default_score * 1.05,
+            "tuning must improve on default at 96 GPUs: {} -> {}",
+            default_score,
+            report.best.throughput
+        );
+        assert!(
+            report.evaluations < space.size() / 2,
+            "coordinate descent must be cheaper than the grid: {} vs {}",
+            report.evaluations,
+            space.size()
+        );
+    }
+
+    #[test]
+    fn descent_trajectory_is_monotone_in_best() {
+        let machine = Machine::new(MachineConfig::summit_for_gpus(24));
+        let model = deeplab_paper();
+        let gpu = GpuModel::v100();
+        let obj = Objective::new(&machine, &model, &gpu, 1, 24, 2, 5);
+        let report =
+            coordinate_descent(&KnobSpace::small(), &obj, Candidate::paper_default(), 2);
+        let mut best_so_far = 0.0f64;
+        for s in &report.trajectory {
+            best_so_far = best_so_far.max(s.throughput);
+        }
+        assert_eq!(best_so_far, report.best.throughput);
+    }
+}

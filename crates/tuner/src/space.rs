@@ -1,0 +1,193 @@
+//! The knob space the paper sweeps: Horovod runtime parameters × MPI
+//! backend choice.
+
+use horovod::{Compression, HorovodConfig};
+use mpi_profiles::Backend;
+
+/// Axes of the tuning space. Every axis must be non-empty.
+#[derive(Debug, Clone)]
+pub struct KnobSpace {
+    pub backends: Vec<Backend>,
+    /// `HOROVOD_FUSION_THRESHOLD` values, bytes.
+    pub fusion_thresholds: Vec<u64>,
+    /// `HOROVOD_CYCLE_TIME` values, seconds.
+    pub cycle_times: Vec<f64>,
+    pub response_cache: Vec<bool>,
+    pub hierarchical: Vec<bool>,
+    /// Gradient compression choices (the paper does not tune this; the
+    /// extended space adds fp16 for the compression study).
+    pub compression: Vec<Compression>,
+}
+
+impl KnobSpace {
+    /// The sweep the paper describes: fusion thresholds around the 64 MB
+    /// default, cycle times around the 5 ms default, cache/hierarchical
+    /// toggles, and the MPI backends under comparison.
+    pub fn paper() -> Self {
+        KnobSpace {
+            backends: vec![Backend::SpectrumDefault, Backend::Mvapich2Gdr, Backend::Nccl],
+            fusion_thresholds: vec![
+                0,
+                2 << 20,
+                8 << 20,
+                16 << 20,
+                32 << 20,
+                64 << 20,
+                128 << 20,
+                256 << 20,
+            ],
+            cycle_times: vec![0.5e-3, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3],
+            response_cache: vec![true, false],
+            hierarchical: vec![false, true],
+            compression: vec![Compression::None],
+        }
+    }
+
+    /// The paper space plus fp16 gradient compression (used by the
+    /// compression and search-strategy studies).
+    pub fn extended() -> Self {
+        KnobSpace { compression: vec![Compression::None, Compression::Fp16], ..Self::paper() }
+    }
+
+    /// A reduced space for fast tests.
+    pub fn small() -> Self {
+        KnobSpace {
+            backends: vec![Backend::SpectrumDefault, Backend::Mvapich2Gdr],
+            fusion_thresholds: vec![8 << 20, 64 << 20],
+            cycle_times: vec![1e-3, 5e-3],
+            response_cache: vec![true],
+            hierarchical: vec![false],
+            compression: vec![Compression::None],
+        }
+    }
+
+    pub fn validate(&self) {
+        assert!(!self.backends.is_empty(), "backend axis empty");
+        assert!(!self.fusion_thresholds.is_empty(), "fusion axis empty");
+        assert!(!self.cycle_times.is_empty(), "cycle axis empty");
+        assert!(!self.response_cache.is_empty(), "cache axis empty");
+        assert!(!self.hierarchical.is_empty(), "hierarchical axis empty");
+        assert!(!self.compression.is_empty(), "compression axis empty");
+        assert!(self.cycle_times.iter().all(|&c| c > 0.0), "cycle times must be positive");
+    }
+
+    /// Cardinality of the full grid.
+    pub fn size(&self) -> usize {
+        self.backends.len()
+            * self.fusion_thresholds.len()
+            * self.cycle_times.len()
+            * self.response_cache.len()
+            * self.hierarchical.len()
+            * self.compression.len()
+    }
+
+    /// Enumerate every candidate in deterministic order.
+    pub fn candidates(&self) -> Vec<Candidate> {
+        let mut out = Vec::with_capacity(self.size());
+        for &backend in &self.backends {
+            for &fusion in &self.fusion_thresholds {
+                for &cycle in &self.cycle_times {
+                    for &cache in &self.response_cache {
+                        for &hier in &self.hierarchical {
+                            for &compression in &self.compression {
+                                out.push(Candidate {
+                                    backend,
+                                    config: HorovodConfig {
+                                        fusion_threshold: fusion,
+                                        cycle_time: cycle,
+                                        response_cache: cache,
+                                        hierarchical_allreduce: hier,
+                                        compression,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One point of the tuning space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    pub backend: Backend,
+    pub config: HorovodConfig,
+}
+
+impl Candidate {
+    /// The baseline the paper compares against: system-default MPI with
+    /// default Horovod knobs.
+    pub fn paper_default() -> Self {
+        Candidate { backend: Backend::SpectrumDefault, config: HorovodConfig::default() }
+    }
+
+    pub fn label(&self) -> String {
+        let mut s = format!(
+            "{:?} fusion={} cycle={:.1}ms cache={} hier={}",
+            self.backend,
+            summit_metrics::fmt_bytes(self.config.fusion_threshold),
+            self.config.cycle_time * 1e3,
+            u8::from(self.config.response_cache),
+            u8::from(self.config.hierarchical_allreduce),
+        );
+        if self.config.compression != Compression::None {
+            s.push_str(" fp16");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_cardinality() {
+        let s = KnobSpace::paper();
+        s.validate();
+        assert_eq!(s.size(), 3 * 8 * 6 * 2 * 2);
+        assert_eq!(KnobSpace::extended().size(), 2 * s.size());
+        assert_eq!(s.candidates().len(), s.size());
+    }
+
+    #[test]
+    fn candidates_are_unique() {
+        let s = KnobSpace::small();
+        let c = s.candidates();
+        for i in 0..c.len() {
+            for j in i + 1..c.len() {
+                assert!(
+                    c[i] != c[j] || c[i].backend != c[j].backend,
+                    "duplicate candidates at {i}, {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let a = KnobSpace::paper().candidates();
+        let b = KnobSpace::paper().candidates();
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn default_candidate_is_spectrum_defaults() {
+        let d = Candidate::paper_default();
+        assert_eq!(d.backend, Backend::SpectrumDefault);
+        assert_eq!(d.config, HorovodConfig::default());
+        assert!(d.label().contains("SpectrumDefault"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle times must be positive")]
+    fn invalid_axis_rejected() {
+        let mut s = KnobSpace::small();
+        s.cycle_times = vec![0.0];
+        s.validate();
+    }
+}

@@ -1,0 +1,49 @@
+//! OSU-style allreduce microbenchmark across the MPI personalities —
+//! the communication-level view of why tuning works.
+//!
+//! ```text
+//! cargo run --example osu_microbench --release [gpus]
+//! ```
+
+use summit_dlv3_repro::mpi_profiles::{allreduce_sweep, size_ladder};
+use summit_dlv3_repro::prelude::*;
+
+fn main() {
+    let gpus: usize = match std::env::args().nth(1) {
+        None => 24,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("usage: osu_microbench [gpus]  — '{a}' is not a number");
+            std::process::exit(2);
+        }),
+    };
+    let machine = Machine::new(MachineConfig::summit_for_gpus(gpus));
+    let sizes = size_ladder(1 << 10, 128 << 20);
+
+    println!("# osu_allreduce (simulated), {gpus} GPUs on {} Summit nodes", machine.config.nodes);
+    println!("{:>12} {:>16} {:>16} {:>16}", "bytes", "Spectrum (us)", "MV2-GDR (us)", "NCCL (us)");
+    let sweeps: Vec<Vec<f64>> = Backend::all()
+        .iter()
+        .map(|b| {
+            allreduce_sweep(&b.profile(), &machine, gpus, &sizes)
+                .into_iter()
+                .map(|p| p.latency_us)
+                .collect()
+        })
+        .collect();
+    for (i, &bytes) in sizes.iter().enumerate() {
+        println!(
+            "{:>12} {:>16.1} {:>16.1} {:>16.1}",
+            bytes, sweeps[0][i], sweeps[1][i], sweeps[2][i]
+        );
+    }
+    println!(
+        "\nselected algorithms at each size (MV2-GDR): {}",
+        sizes
+            .iter()
+            .step_by(4)
+            .map(|&b| format!("{}→{}", summit_metrics::fmt_bytes(b),
+                MpiProfile::mvapich2_gdr().select_algorithm(b)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: simulate one distributed DLv3+ training configuration and
+//! print where the time goes.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use summit_dlv3_repro::prelude::*;
+
+fn main() {
+    // A 4-node (24-GPU) slice of Summit.
+    let machine = Machine::new(MachineConfig::summit_for_gpus(24));
+    let model = deeplab_paper();
+    let gpu = GpuModel::v100();
+
+    println!(
+        "workload: {} — {:.1} M params, {} gradient payload, {} tensors/step",
+        model.name,
+        model.total_params() as f64 / 1e6,
+        summit_metrics::fmt_bytes(model.gradient_bytes()),
+        model.n_grad_tensors(),
+    );
+    println!(
+        "single V100: {:.2} img/s at batch 1 (paper: 6.7 at its batch)",
+        gpu.throughput(&model, 1)
+    );
+    println!();
+
+    for (label, profile, config) in [
+        ("default (Spectrum, 64 MB / 5 ms)", MpiProfile::spectrum_default(), HorovodConfig::default()),
+        (
+            "tuned   (MVAPICH2-GDR, 16 MB / 1 ms)",
+            MpiProfile::mvapich2_gdr(),
+            HorovodConfig::default().with_fusion(16 << 20).with_cycle(1e-3),
+        ),
+    ] {
+        let sim = StepSim::new(&machine, profile, config, &model, &gpu, 1, 24, 42);
+        let report = sim.simulate_training(5);
+        let step = &report.steps[0];
+        println!("{label}");
+        println!(
+            "  {:.1} img/s aggregate, {:.1}% weak-scaling efficiency",
+            report.throughput,
+            report.efficiency * 100.0
+        );
+        println!(
+            "  step {:.1} ms = compute {:.1} ms + exposed comm {:.1} ms  ({} fused buffers, comm stream busy {:.1} ms)",
+            step.step_time * 1e3,
+            step.compute_time * 1e3,
+            step.exposed_comm * 1e3,
+            step.n_buffers,
+            step.comm_busy * 1e3,
+        );
+    }
+}

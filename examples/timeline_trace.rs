@@ -1,0 +1,47 @@
+//! Horovod-timeline tracing: simulate one training step at 48 GPUs and
+//! dump the per-phase trace (like `HOROVOD_TIMELINE=trace.json`), both
+//! as text and as Chrome-trace JSON written to `horovod_timeline.json`.
+//!
+//! ```text
+//! cargo run --example timeline_trace --release
+//! ```
+
+use summit_dlv3_repro::prelude::*;
+
+fn main() {
+    let machine = Machine::new(MachineConfig::summit_for_gpus(48));
+    let model = deeplab_paper();
+    let sim = StepSim::new(
+        &machine,
+        MpiProfile::mvapich2_gdr(),
+        HorovodConfig::default().with_fusion(16 << 20).with_cycle(1e-3),
+        &model,
+        &GpuModel::v100(),
+        1,
+        48,
+        42,
+    );
+    let mut timeline = Timeline::default();
+    let step = sim.simulate_step(0, Some(&mut timeline));
+
+    println!("one step at 48 GPUs — {:.1} ms total", step.step_time * 1e3);
+    println!("{}", timeline.render_text());
+    use summit_dlv3_repro::horovod::Phase;
+    for phase in
+        [Phase::Forward, Phase::Backward, Phase::Negotiate, Phase::FusionCopy, Phase::Allreduce]
+    {
+        println!(
+            "  {:<26} {:>4} spans  {:>9.2} ms total",
+            phase.name(),
+            timeline.count(phase),
+            timeline.total(phase) * 1e3
+        );
+    }
+
+    let json = timeline.to_chrome_json();
+    std::fs::write("horovod_timeline.json", &json).expect("write trace");
+    println!(
+        "\nwrote horovod_timeline.json ({} bytes) — load it in chrome://tracing",
+        json.len()
+    );
+}

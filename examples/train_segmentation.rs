@@ -1,0 +1,53 @@
+//! Real data-parallel training: a from-scratch conv net learns the
+//! synthetic shapes-segmentation task across 4 worker threads, with
+//! every gradient crossing threads through a genuine ring allreduce.
+//!
+//! ```text
+//! cargo run --example train_segmentation --release
+//! ```
+
+use summit_dlv3_repro::collectives::Algorithm;
+use summit_dlv3_repro::summit_metrics::series::bar;
+use summit_dlv3_repro::trainer::real::{train, TrainConfig};
+
+fn main() {
+    let mut cfg = TrainConfig::quick(4);
+    cfg.eval_every = 15;
+    cfg.steps = 150;
+    cfg.algo = Algorithm::Ring;
+    println!(
+        "training {} params on {}x{} synthetic shapes, {} workers x batch {}, ring allreduce",
+        cfg.net.n_params(),
+        cfg.data.height,
+        cfg.data.width,
+        cfg.workers,
+        cfg.batch_per_worker,
+    );
+    let result = train(&cfg);
+    println!("\n  step   loss    mIoU");
+    for p in &result.curve {
+        println!(
+            "  {:>4}  {:>6.3}  {:>6.3}  {}",
+            p.step,
+            p.train_loss,
+            p.miou,
+            bar(p.miou, 1.0, 32)
+        );
+    }
+    println!(
+        "\nfinal: mIoU {:.3}, pixel accuracy {:.3} (held-out set)",
+        result.final_miou, result.final_pixel_accuracy
+    );
+
+    // The headline property: distributed == serial.
+    let mut serial = cfg.clone();
+    serial.workers = 1;
+    serial.batch_per_worker = cfg.workers * cfg.batch_per_worker;
+    serial.eval_every = 0;
+    let s = train(&serial);
+    println!(
+        "serial run with the same global batch: mIoU {:.3} (Δ = {:+.4})",
+        s.final_miou,
+        result.final_miou - s.final_miou
+    );
+}

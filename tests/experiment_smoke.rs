@@ -1,0 +1,167 @@
+//! Smoke tests of every experiment's underlying path at reduced scale —
+//! guarantees the bench binaries cannot bit-rot silently.
+
+use summit_dlv3_repro::mpi_profiles::{allreduce_sweep, size_ladder};
+use summit_dlv3_repro::prelude::*;
+
+#[test]
+fn t1_path_single_gpu_numbers() {
+    let gpu = GpuModel::v100();
+    let dl = gpu.throughput(&deeplab_paper(), 8);
+    let rn = gpu.throughput(&resnet50(224), 32);
+    assert!((6.0..7.4).contains(&dl));
+    assert!((270.0..330.0).contains(&rn));
+}
+
+#[test]
+fn f2_path_osu_sweep() {
+    let machine = Machine::new(MachineConfig::summit_for_gpus(12));
+    let sizes = size_ladder(1 << 12, 1 << 22);
+    for backend in Backend::all() {
+        let pts = allreduce_sweep(&backend.profile(), &machine, 12, &sizes);
+        assert_eq!(pts.len(), sizes.len());
+        assert!(pts.iter().all(|p| p.latency_us > 0.0));
+        assert!(pts.last().unwrap().latency_us > pts[0].latency_us);
+    }
+}
+
+#[test]
+fn f4_f5_paths_knob_sweeps_have_effects() {
+    let machine = Machine::new(MachineConfig::summit_for_gpus(48));
+    let model = deeplab_paper();
+    let gpu = GpuModel::v100();
+    let run = |config: HorovodConfig| {
+        StepSim::new(
+            &machine,
+            MpiProfile::spectrum_default(),
+            config,
+            &model,
+            &gpu,
+            1,
+            48,
+            2020,
+        )
+        .simulate_training(2)
+        .throughput
+    };
+    let fusion_off = run(HorovodConfig::default().with_fusion(0));
+    let fusion_default = run(HorovodConfig::default());
+    assert!(fusion_default > fusion_off, "fusion must help the default backend");
+    let slow_cycle = run(HorovodConfig::default().with_cycle(50e-3));
+    assert!(fusion_default > slow_cycle, "50 ms cycles must hurt");
+}
+
+#[test]
+fn t7_path_autotuner_improves_default() {
+    let machine = Machine::new(MachineConfig::summit_for_gpus(48));
+    let model = deeplab_paper();
+    let gpu = GpuModel::v100();
+    let objective = Objective::new(&machine, &model, &gpu, 1, 48, 2, 2020);
+    let report = coordinate_descent(
+        &KnobSpace::small(),
+        &objective,
+        Candidate::paper_default(),
+        2,
+    );
+    assert!(report.best.throughput >= report.trajectory[0].throughput);
+    assert_eq!(report.best.candidate.backend, Backend::Mvapich2Gdr);
+}
+
+#[test]
+fn a10_path_overlap_accounting_is_consistent() {
+    let machine = Machine::new(MachineConfig::summit_for_gpus(24));
+    let model = deeplab_paper();
+    let sim = StepSim::new(
+        &machine,
+        MpiProfile::mvapich2_gdr(),
+        HorovodConfig::default(),
+        &model,
+        &GpuModel::v100(),
+        1,
+        24,
+        2020,
+    );
+    let b = sim.simulate_step(0, None);
+    assert!(b.step_time >= b.compute_time);
+    assert!((b.step_time - b.compute_time - b.exposed_comm).abs() < 1e-12);
+    assert!(b.comm_busy > 0.0);
+    // Overlap means the step is shorter than compute + serialized comm.
+    assert!(b.step_time < b.compute_time + b.comm_busy);
+}
+
+#[test]
+fn timeline_trace_path() {
+    let machine = Machine::new(MachineConfig::summit_for_gpus(12));
+    let model = deeplab_paper();
+    let sim = StepSim::new(
+        &machine,
+        MpiProfile::nccl(),
+        HorovodConfig::default(),
+        &model,
+        &GpuModel::v100(),
+        1,
+        12,
+        2020,
+    );
+    let mut tl = Timeline::default();
+    let step = sim.simulate_step(0, Some(&mut tl));
+    assert!(!tl.spans.is_empty());
+    let json = tl.to_chrome_json();
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    // Spans must fit within the step.
+    for s in &tl.spans {
+        assert!(s.end <= step.step_time + 1e-9, "span past step end: {s:?}");
+    }
+}
+
+#[test]
+fn mixed_eager_and_rendezvous_in_one_step() {
+    // Regression guard for the executor's matching: a step where one op
+    // is an eager send and another is a rendezvous recv must complete
+    // with the eager op unblocking immediately.
+    use summit_dlv3_repro::summit_sim::{Executor, Op, Program};
+    let machine = Machine::new(MachineConfig::summit(1));
+    let exec = Executor::dense(&machine, 6);
+    let mut p = vec![Program::new(); 6];
+    p[0].step(vec![
+        Op::Send {
+            peer: 1,
+            bytes: 512,
+            tag: 0,
+            path: DataPath::Gdr,
+            overhead: SimTime::ZERO,
+            rate_cap: f64::INFINITY,
+            eager: true,
+        },
+        Op::recv(2, 1),
+    ]);
+    p[1].step(vec![Op::recv(0, 0)]);
+    p[2].step(vec![Op::send(0, 2048, 1, DataPath::Gdr, SimTime::ZERO)]);
+    let rep = exec.run(p);
+    assert!(rep.makespan > SimTime::ZERO);
+    assert!(rep.rank_finish[1] > SimTime::ZERO);
+}
+
+#[test]
+fn f14_path_input_pipeline_composes_with_step_sim() {
+    use summit_dlv3_repro::trainer::InputPipeline;
+    let machine = Machine::new(MachineConfig::summit_for_gpus(12));
+    let model = deeplab_paper();
+    let r = StepSim::new(
+        &machine,
+        MpiProfile::mvapich2_gdr(),
+        HorovodConfig::default(),
+        &model,
+        &GpuModel::v100(),
+        2,
+        12,
+        2020,
+    )
+    .simulate_training(2);
+    let pipe = InputPipeline::summit_voc();
+    let eff = pipe.effective_step_time(r.mean_step_time, 12);
+    assert!(eff >= r.mean_step_time);
+    let mut starved = pipe;
+    starved.cpu_workers = 1;
+    assert!(starved.effective_step_time(r.mean_step_time, 12) > eff);
+}
