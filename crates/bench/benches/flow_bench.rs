@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use summit_sim::{DataPath, Executor, FlowNet, GpuId, Machine, MachineConfig, Op, Program, SimTime};
+use summit_sim::{
+    DataPath, Executor, FlowNet, GpuId, Machine, MachineConfig, Op, Program, SimTime,
+};
 
 fn bench_flow_churn(c: &mut Criterion) {
     let machine = Machine::new(MachineConfig::summit(4));

@@ -29,13 +29,9 @@ fn bench_step_by_backend(c: &mut Criterion) {
         // Warm the allreduce-oracle cache so the bench measures the
         // steady-state sweep cost.
         sim.simulate_step(0, None);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{backend:?}")),
-            &sim,
-            |b, sim| {
-                b.iter(|| black_box(sim.simulate_step(1, None)));
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{backend:?}")), &sim, |b, sim| {
+            b.iter(|| black_box(sim.simulate_step(1, None)));
+        });
     }
     g.finish();
 }

@@ -13,7 +13,11 @@ use summit_metrics::Table;
 use summit_sim::{Machine, MachineConfig};
 
 fn main() {
-    header("A11", "Interconnect & placement sensitivity (96 GPUs, tuned config)", "design ablation");
+    header(
+        "A11",
+        "Interconnect & placement sensitivity (96 GPUs, tuned config)",
+        "design ablation",
+    );
     let model = paper_model();
     let gpu = v100();
     let cand = tuned_candidate();

@@ -71,8 +71,8 @@ fn main() {
             lr_scale: 1.0,
             warmup_steps: 12,
             momentum: 0.9,
-           weight_decay: 0.0,
-           accumulation_steps: 1,
+            weight_decay: 0.0,
+            accumulation_steps: 1,
             algo: Algorithm::Ring,
             fp16_gradients: fp16,
             augment: false,
@@ -87,8 +87,16 @@ fn main() {
         "real training (4 workers, ring allreduce, 160 steps)",
         &["gradients", "mIoU", "pixel acc"],
     );
-    t.row(&["fp32".into(), format!("{:.3}", fp32.final_miou), format!("{:.3}", fp32.final_pixel_accuracy)]);
-    t.row(&["fp16".into(), format!("{:.3}", fp16.final_miou), format!("{:.3}", fp16.final_pixel_accuracy)]);
+    t.row(&[
+        "fp32".into(),
+        format!("{:.3}", fp32.final_miou),
+        format!("{:.3}", fp32.final_pixel_accuracy),
+    ]);
+    t.row(&[
+        "fp16".into(),
+        format!("{:.3}", fp16.final_miou),
+        format!("{:.3}", fp16.final_pixel_accuracy),
+    ]);
     t.print();
     println!(
         "Finding: fp16 compression buys {:+.0}% throughput on the slow default\n\

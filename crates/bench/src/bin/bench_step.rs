@@ -1,0 +1,149 @@
+//! BENCH_step: measures single-worker training-step throughput of the
+//! optimized zero-allocation gradient path against the retained naive
+//! reference, in the same process and run, and writes `BENCH_step.json`.
+//!
+//! Reported per variant: images/s, ns per step (one step = one batch of
+//! `BATCH` samples), and heap allocation events per step counted by a
+//! `#[global_allocator]` wrapper.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p bench --bin bench_step --release
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use bench::header;
+use trainer::real::net::{BatchWorkspace, NetConfig, SegNet};
+use trainer::real::segdata::{generate_batch, DataConfig, Sample};
+
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const BATCH: usize = 8;
+const WARMUP_STEPS: usize = 5;
+const MEASURE_STEPS: usize = 60;
+
+struct Measurement {
+    name: &'static str,
+    ns_per_step: f64,
+    imgs_per_s: f64,
+    allocs_per_step: f64,
+}
+
+fn measure(name: &'static str, mut step: impl FnMut() -> f64) -> Measurement {
+    let mut sink = 0.0;
+    for _ in 0..WARMUP_STEPS {
+        sink += step();
+    }
+    let allocs_before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..MEASURE_STEPS {
+        sink += step();
+    }
+    let elapsed = t0.elapsed();
+    let allocs = ALLOC_EVENTS.load(Ordering::Relaxed) - allocs_before;
+    assert!(sink.is_finite(), "loss diverged during benchmark");
+    let ns_per_step = elapsed.as_nanos() as f64 / MEASURE_STEPS as f64;
+    Measurement {
+        name,
+        ns_per_step,
+        imgs_per_s: BATCH as f64 / (ns_per_step * 1e-9),
+        allocs_per_step: allocs as f64 / MEASURE_STEPS as f64,
+    }
+}
+
+fn reference_step(net: &SegNet, batch: &[Sample]) -> f64 {
+    // The pre-optimization step: allocate per sample, average by hand.
+    let mut grad = vec![0.0f32; net.n_params()];
+    let mut loss = 0.0;
+    for s in batch {
+        let (l, g) = net.reference_loss_grad(s);
+        loss += l;
+        for (acc, gi) in grad.iter_mut().zip(&g) {
+            *acc += gi;
+        }
+    }
+    let inv = 1.0 / batch.len() as f32;
+    for g in &mut grad {
+        *g *= inv;
+    }
+    loss / batch.len() as f64
+}
+
+fn json_entry(m: &Measurement) -> String {
+    format!(
+        "    {{\"variant\": \"{}\", \"imgs_per_s\": {:.1}, \"ns_per_step\": {:.0}, \
+         \"allocs_per_step\": {:.1}}}",
+        m.name, m.imgs_per_s, m.ns_per_step, m.allocs_per_step
+    )
+}
+
+fn main() {
+    header(
+        "BENCH_step",
+        "single-worker step throughput: optimized hot path vs naive reference",
+        "the PR-2 perf target: >=2x images/s at identical numerics",
+    );
+
+    let data = DataConfig::default();
+    let cfg = NetConfig {
+        height: data.height,
+        width: data.width,
+        cin: data.channels,
+        n_classes: data.n_classes,
+        ..NetConfig::default()
+    };
+    let net = SegNet::new(cfg, 42);
+    let batch = generate_batch(&data, 42, 0, BATCH);
+    let mut bw = BatchWorkspace::new(&cfg);
+
+    let optimized = measure("optimized_workspace", || net.batch_loss_grad_ws(&batch, &mut bw));
+    let reference = measure("naive_reference", || reference_step(&net, &batch));
+    let speedup = optimized.imgs_per_s / reference.imgs_per_s;
+
+    for m in [&optimized, &reference] {
+        println!(
+            "  {:<22} {:>10.1} imgs/s  {:>12.0} ns/step  {:>7.1} allocs/step",
+            m.name, m.imgs_per_s, m.ns_per_step, m.allocs_per_step
+        );
+    }
+    println!("  speedup (optimized / reference): {speedup:.2}x");
+
+    let json = format!
+        ("{{\n  \"bench\": \"BENCH_step\",\n  \"batch\": {BATCH},\n  \"steps\": {MEASURE_STEPS},\n  \"threads\": {},\n  \"variants\": [\n{},\n{}\n  ],\n  \"speedup\": {speedup:.3}\n}}\n",
+        rayon::current_num_threads(),
+        json_entry(&optimized),
+        json_entry(&reference),
+    );
+    std::fs::write("BENCH_step.json", &json).expect("write BENCH_step.json");
+    println!("  wrote BENCH_step.json");
+
+    assert!(
+        speedup >= 2.0,
+        "perf target missed: optimized path is only {speedup:.2}x the reference (target 2.0x)"
+    );
+}

@@ -25,17 +25,8 @@ fn main() {
     );
     for bs in [1usize, 2, 4, 8] {
         let run = |c: tuner::Candidate| {
-            StepSim::new(
-                &machine,
-                c.backend.profile(),
-                c.config,
-                &model,
-                &gpu,
-                bs,
-                n,
-                SEED,
-            )
-            .simulate_training(SIM_STEPS)
+            StepSim::new(&machine, c.backend.profile(), c.config, &model, &gpu, bs, n, SEED)
+                .simulate_training(SIM_STEPS)
         };
         let d = run(default_candidate());
         let tu = run(tuned_candidate());

@@ -43,7 +43,8 @@ fn main() {
     );
     for &workers in &[1usize, 2, 4, 8, 16] {
         for prefetch in [true, false] {
-            let pipe = InputPipeline { cpu_workers: workers, prefetch, ..InputPipeline::summit_voc() };
+            let pipe =
+                InputPipeline { cpu_workers: workers, prefetch, ..InputPipeline::summit_voc() };
             let eff_step = pipe.effective_step_time(train_step, images_per_node);
             t.row(&[
                 workers.to_string(),

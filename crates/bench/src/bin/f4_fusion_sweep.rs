@@ -16,8 +16,18 @@ fn main() {
     let gpu = v100();
     let n = 96;
 
-    let thresholds: Vec<u64> =
-        vec![0, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20, 256 << 20];
+    let thresholds: Vec<u64> = vec![
+        0,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        8 << 20,
+        16 << 20,
+        32 << 20,
+        64 << 20,
+        128 << 20,
+        256 << 20,
+    ];
 
     for backend in [Backend::SpectrumDefault, Backend::Mvapich2Gdr] {
         let mut t = Table::new(

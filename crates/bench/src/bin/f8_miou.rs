@@ -33,8 +33,8 @@ fn config(workers: usize, batch_per_worker: usize) -> TrainConfig {
         lr_scale: 1.0, // same global batch in every run below
         warmup_steps: 12,
         momentum: 0.9,
-       weight_decay: 0.0,
-       accumulation_steps: 1,
+        weight_decay: 0.0,
+        accumulation_steps: 1,
         algo: Algorithm::Ring,
         fp16_gradients: false,
         augment: false,

@@ -33,7 +33,8 @@ fn main() {
         format!("space = {} candidates", space.size()),
         &["strategy", "evaluations", "best img/s", "vs grid optimum"],
     );
-    for (name, report) in [("grid (exhaustive)", &grid), ("coordinate descent", &cd), ("random", &rs)]
+    for (name, report) in
+        [("grid (exhaustive)", &grid), ("coordinate descent", &cd), ("random", &rs)]
     {
         t.row(&[
             name.to_string(),

@@ -16,14 +16,21 @@ pub enum Algorithm {
     Tree,
     /// Two-level: intra-node tree, inter-node `leader` among node leaders
     /// over groups of `per_node` ranks.
-    Hierarchical { per_node: usize, leader: LeaderAlgo },
+    Hierarchical {
+        per_node: usize,
+        leader: LeaderAlgo,
+    },
     /// Ring with the buffer split into `chunks` interleaved pipelines
     /// (NCCL-style transfer/reduction overlap).
-    ChunkedRing { chunks: usize },
+    ChunkedRing {
+        chunks: usize,
+    },
     /// Two-level reduce-scatter/allgather (multi-leader hierarchy);
     /// falls back to `Hierarchical` when ranks don't divide into uniform
     /// nodes of `per_node`.
-    HierarchicalRsag { per_node: usize },
+    HierarchicalRsag {
+        per_node: usize,
+    },
 }
 
 impl Algorithm {

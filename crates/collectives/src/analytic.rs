@@ -81,11 +81,8 @@ pub fn allreduce_cost(algo: Algorithm, p: usize, bytes: u64, m: &AlphaBeta) -> f
             } else {
                 0.0
             };
-            let inter = if nodes > 1 {
-                allreduce_cost(leader_algo(leader), nodes, bytes, m)
-            } else {
-                0.0
-            };
+            let inter =
+                if nodes > 1 { allreduce_cost(leader_algo(leader), nodes, bytes, m) } else { 0.0 };
             intra + inter
         }
         Algorithm::HierarchicalRsag { per_node } => {

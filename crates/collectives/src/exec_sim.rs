@@ -96,8 +96,7 @@ pub fn simulate(
     let mut programs = vec![Program::new(); schedule.n_ranks];
     // Per rank: reduction work (bytes, segments) from its previous
     // active round, not yet issued.
-    let mut pending: Vec<(u64, Vec<crate::sched::Seg>)> =
-        vec![(0, Vec::new()); schedule.n_ranks];
+    let mut pending: Vec<(u64, Vec<crate::sched::Seg>)> = vec![(0, Vec::new()); schedule.n_ranks];
     for (round_idx, round) in schedule.rounds.iter().enumerate() {
         for (rank, actions) in round.per_rank.iter().enumerate() {
             if actions.is_empty() {
@@ -227,11 +226,9 @@ mod tests {
         let cost = UniformCost::default();
         let elems = (1 << 20) / 4; // 1 MiB of f32
         let flat_ring = simulate_dense(&ring::allreduce(ranks, elems), &m, &cost).makespan;
-        let flat_rab =
-            simulate_dense(&rabenseifner::allreduce(ranks, elems), &m, &cost).makespan;
+        let flat_rab = simulate_dense(&rabenseifner::allreduce(ranks, elems), &m, &cost).makespan;
         let groups = NodeGroups::dense(ranks, 6);
-        let hier =
-            hierarchical::allreduce(ranks, elems, &groups, LeaderAlgo::Rabenseifner);
+        let hier = hierarchical::allreduce(ranks, elems, &groups, LeaderAlgo::Rabenseifner);
         let hier_t = simulate_dense(&hier, &m, &cost).makespan;
         assert!(hier_t < flat_ring, "hier {hier_t} vs flat ring {flat_ring}");
         assert!(hier_t < flat_rab, "hier {hier_t} vs flat rabenseifner {flat_rab}");
@@ -257,11 +254,8 @@ mod tests {
     fn staged_path_slower_than_gdr() {
         let m = machine_for(12);
         let gdr = UniformCost { path: DataPath::Gdr, ..UniformCost::default() };
-        let staged = UniformCost {
-            path: DataPath::HostStaged,
-            rate_cap: 8e9,
-            ..UniformCost::default()
-        };
+        let staged =
+            UniformCost { path: DataPath::HostStaged, rate_cap: 8e9, ..UniformCost::default() };
         let sched = ring::allreduce(12, 4 << 20);
         let t_gdr = simulate_dense(&sched, &m, &gdr).makespan;
         let t_staged = simulate_dense(&sched, &m, &staged).makespan;

@@ -7,11 +7,23 @@
 //! receives, unbounded channels make the execution deadlock-free for any
 //! schedule that passes [`Schedule::validate`].
 //!
+//! Payload buffers are **pooled**: a send acquires a recycled `Vec<f32>`
+//! from the executor's [`PayloadPool`] instead of allocating, and the
+//! receiver returns the buffer to the pool once it has been reduced in.
+//! Hold an [`ExecContext`] across calls (the training loop does) and the
+//! steady state performs zero payload-buffer allocations — the pool
+//! reaches its high-water mark during the first allreduce and every
+//! later send reuses a pooled buffer ([`ExecContext::payload_allocations`]
+//! exposes the counter the tests assert on).
+//!
 //! This is the executor the accuracy experiment trains with — the same
 //! algorithm schedules the simulator times are the ones the real
 //! gradients travel through.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 
 use crate::reduce::{combine, finalize, ReduceOp};
 use crate::sched::{Action, Schedule};
@@ -20,47 +32,148 @@ use crate::sched::{Action, Schedule};
 /// got what the schedule says it should.
 type Msg = (usize, usize, Vec<f32>);
 
-/// Execute `schedule` on real buffers, one thread per rank.
+/// A recycling free-list of payload buffers shared by all rank threads.
 ///
-/// Buffers are modified in place; no finalization (callers apply
-/// [`finalize`] for Average — or use [`allreduce`]).
-pub fn run(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
-    assert_eq!(buffers.len(), schedule.n_ranks, "one buffer per rank");
-    for b in buffers.iter() {
-        assert_eq!(b.len(), schedule.n_elems, "buffer length mismatch");
-    }
-    schedule.validate().expect("invalid schedule");
-    let n = schedule.n_ranks;
-    if n == 1 || schedule.rounds.is_empty() {
-        return;
-    }
-
-    // tx[src][dst] / rx[dst][src]
-    let mut tx: Vec<Vec<Option<Sender<Msg>>>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-    let mut rx: Vec<Vec<Option<Receiver<Msg>>>> =
-        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
-    for s in 0..n {
-        for d in 0..n {
-            if s != d {
-                let (t, r) = unbounded();
-                tx[s][d] = Some(t);
-                rx[d][s] = Some(r);
-            }
-        }
-    }
-
-    std::thread::scope(|scope| {
-        for (rank, buf) in buffers.iter_mut().enumerate() {
-            let tx_row = std::mem::take(&mut tx[rank]);
-            let rx_row = std::mem::take(&mut rx[rank]);
-            let sched = &*schedule;
-            scope.spawn(move || {
-                rank_main(rank, buf, sched, op, tx_row, rx_row);
-            });
-        }
-    });
+/// `acquire_copy` pops a pooled buffer (allocating a fresh one only when
+/// the pool is dry) and fills it from a source slice; `release` returns
+/// a consumed payload. The counters record every fresh buffer and every
+/// capacity growth, so "zero steady-state allocation" is a testable
+/// property rather than a comment.
+#[derive(Debug, Default)]
+pub struct PayloadPool {
+    free: Mutex<Vec<Vec<f32>>>,
+    /// High-water capacity hint: fresh and undersized buffers are sized
+    /// to this up front (the executor sets it to `schedule.n_elems`, an
+    /// upper bound on any segment), so capacity growth happens at most
+    /// once per buffer rather than once per size class encountered.
+    hint: AtomicUsize,
+    fresh: AtomicUsize,
+    grown: AtomicUsize,
 }
 
+impl PayloadPool {
+    /// Raise the capacity hint (never lowers it).
+    fn reserve_hint(&self, len: usize) {
+        self.hint.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// A payload holding a copy of `src`, recycled when possible.
+    fn acquire_copy(&self, src: &[f32]) -> Vec<f32> {
+        let want = self.hint.load(Ordering::Relaxed).max(src.len());
+        let mut buf = match self.free.lock().pop() {
+            Some(b) => b,
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(want)
+            }
+        };
+        buf.clear();
+        if buf.capacity() < want {
+            self.grown.fetch_add(1, Ordering::Relaxed);
+            buf.reserve(want);
+        }
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    fn release(&self, buf: Vec<f32>) {
+        self.free.lock().push(buf);
+    }
+
+    /// Total allocator events so far: fresh buffers plus capacity
+    /// growths. Flat across calls ⇔ the steady state allocates nothing.
+    pub fn allocations(&self) -> usize {
+        self.fresh.load(Ordering::Relaxed) + self.grown.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+/// A reusable threaded-allreduce executor owning the payload pool.
+///
+/// Construct once, call [`ExecContext::allreduce`] every step: payload
+/// buffers recycle across rounds *and* across calls.
+#[derive(Debug, Default)]
+pub struct ExecContext {
+    pool: PayloadPool,
+}
+
+impl ExecContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Execute `schedule` on real buffers, one thread per rank.
+    ///
+    /// Buffers are modified in place; no finalization (callers apply
+    /// [`finalize`] for Average — or use [`ExecContext::allreduce`]).
+    pub fn run(&self, schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
+        assert_eq!(buffers.len(), schedule.n_ranks, "one buffer per rank");
+        for b in buffers.iter() {
+            assert_eq!(b.len(), schedule.n_elems, "buffer length mismatch");
+        }
+        schedule.validate().expect("invalid schedule");
+        let n = schedule.n_ranks;
+        if n == 1 || schedule.rounds.is_empty() {
+            return;
+        }
+        // Any segment is a sub-range of the rank buffer, so `n_elems`
+        // bounds every payload; pre-sizing to it makes capacity growth a
+        // once-per-buffer event.
+        self.pool.reserve_hint(schedule.n_elems);
+
+        // tx[src][dst] / rx[dst][src]
+        let mut tx: Vec<Vec<Option<Sender<Msg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut rx: Vec<Vec<Option<Receiver<Msg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    let (t, r) = unbounded();
+                    tx[s][d] = Some(t);
+                    rx[d][s] = Some(r);
+                }
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for (rank, buf) in buffers.iter_mut().enumerate() {
+                let tx_row = std::mem::take(&mut tx[rank]);
+                let rx_row = std::mem::take(&mut rx[rank]);
+                let sched = &*schedule;
+                let pool = &self.pool;
+                scope.spawn(move || {
+                    rank_main(rank, buf, sched, op, tx_row, rx_row, pool);
+                });
+            }
+        });
+    }
+
+    /// Full threaded allreduce: run the schedule and finalize the op.
+    pub fn allreduce(&self, schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
+        self.run(schedule, buffers, op);
+        for b in buffers.iter_mut() {
+            finalize(op, b, schedule.n_ranks);
+        }
+    }
+
+    /// Payload-buffer allocator events so far (see
+    /// [`PayloadPool::allocations`]).
+    pub fn payload_allocations(&self) -> usize {
+        self.pool.allocations()
+    }
+
+    /// Payload buffers currently recycled and idle in the pool.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.pooled()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rank_main(
     rank: usize,
     buf: &mut [f32],
@@ -68,6 +181,7 @@ fn rank_main(
     op: ReduceOp,
     tx: Vec<Option<Sender<Msg>>>,
     rx: Vec<Option<Receiver<Msg>>>,
+    pool: &PayloadPool,
 ) {
     for (round_idx, round) in schedule.rounds.iter().enumerate() {
         let actions = &round.per_rank[rank];
@@ -76,7 +190,7 @@ fn rank_main(
         // pre-round snapshot semantics exchanges rely on.
         for a in actions {
             if let Action::Send { peer, seg } = *a {
-                let payload = buf[seg.offset..seg.end()].to_vec();
+                let payload = pool.acquire_copy(&buf[seg.offset..seg.end()]);
                 tx[peer]
                     .as_ref()
                     .expect("send to self is rejected by validate")
@@ -106,18 +220,24 @@ fn rank_main(
                         }
                         Action::Send { .. } => unreachable!(),
                     }
+                    pool.release(payload);
                 }
             }
         }
     }
 }
 
-/// Full threaded allreduce: run the schedule and finalize the op.
+/// Execute `schedule` with a throwaway [`ExecContext`] (buffers still
+/// recycle within the call). Long-lived callers should hold their own
+/// context so the pool survives across steps.
+pub fn run(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
+    ExecContext::new().run(schedule, buffers, op);
+}
+
+/// Full threaded allreduce with a throwaway [`ExecContext`]: run the
+/// schedule and finalize the op.
 pub fn allreduce(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
-    run(schedule, buffers, op);
-    for b in buffers.iter_mut() {
-        finalize(op, b, schedule.n_ranks);
-    }
+    ExecContext::new().allreduce(schedule, buffers, op);
 }
 
 #[cfg(test)]
@@ -224,5 +344,111 @@ mod tests {
         allreduce(&s, &mut a, ReduceOp::Sum);
         allreduce(&s, &mut b, ReduceOp::Sum);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pooled_context_matches_throwaway() {
+        // A long-lived context must compute exactly what fresh ones do.
+        let (n, e) = (5usize, 97usize);
+        let s = ring::allreduce(n, e);
+        let ctx = ExecContext::new();
+        for round in 0..3 {
+            let ins = inputs(n, e);
+            let mut a = ins.clone();
+            let mut b = ins.clone();
+            ctx.allreduce(&s, &mut a, ReduceOp::Sum);
+            allreduce(&s, &mut b, ReduceOp::Sum);
+            assert_eq!(a, b, "round {round}");
+        }
+    }
+
+    #[test]
+    fn steady_state_allocates_no_payload_buffers() {
+        // The pool hits its high-water mark during the first few
+        // allreduces (buffer count can creep while thread interleavings
+        // vary); after that every call must recycle (zero fresh
+        // buffers, zero capacity growths).
+        let (n, e) = (6usize, 1024usize);
+        let s = rabenseifner::allreduce(n, e);
+        let ctx = ExecContext::new();
+        for _ in 0..3 {
+            let mut bufs = inputs(n, e);
+            ctx.allreduce(&s, &mut bufs, ReduceOp::Average);
+        }
+        let after_warmup = ctx.payload_allocations();
+        assert!(after_warmup > 0, "warm-up must have populated the pool");
+        for _ in 0..5 {
+            let mut bufs = inputs(n, e);
+            ctx.allreduce(&s, &mut bufs, ReduceOp::Average);
+        }
+        assert_eq!(
+            ctx.payload_allocations(),
+            after_warmup,
+            "steady-state allreduce allocated payload buffers"
+        );
+        assert!(ctx.pooled_buffers() > 0, "buffers must be parked between calls");
+    }
+
+    #[test]
+    fn pool_recycles_within_a_single_call() {
+        // Even a throwaway context recycles across rounds: a ring over
+        // many rounds needs far fewer distinct buffers than sends.
+        let (n, e) = (8usize, 4096usize);
+        let s = ring::allreduce(n, e);
+        let sends: usize = s
+            .rounds
+            .iter()
+            .flat_map(|r| r.per_rank.iter())
+            .flatten()
+            .filter(|a| matches!(a, Action::Send { .. }))
+            .count();
+        let ctx = ExecContext::new();
+        let mut bufs = inputs(n, e);
+        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum);
+        assert!(
+            ctx.payload_allocations() < sends,
+            "pool must recycle: {} allocations for {} sends",
+            ctx.payload_allocations(),
+            sends
+        );
+    }
+
+    #[test]
+    fn pool_recycles_across_size_classes() {
+        let pool = PayloadPool::default();
+        let big = vec![1.0f32; 1000];
+        let small = vec![2.0f32; 10];
+        let b1 = pool.acquire_copy(&big);
+        assert_eq!(pool.allocations(), 1, "one fresh buffer");
+        assert!(b1.capacity() >= 1000);
+        pool.release(b1);
+        // A smaller payload reuses the big buffer without growing.
+        let b2 = pool.acquire_copy(&small);
+        assert_eq!(pool.allocations(), 1);
+        assert_eq!(b2.len(), 10);
+        pool.release(b2);
+        // Same-size again: still no new events.
+        let b3 = pool.acquire_copy(&big);
+        assert_eq!(pool.allocations(), 1);
+        assert_eq!(b3[999], 1.0);
+    }
+
+    #[test]
+    fn pool_hint_presizes_fresh_buffers() {
+        let pool = PayloadPool::default();
+        pool.reserve_hint(500);
+        let b = pool.acquire_copy(&[1.0f32; 8]);
+        assert!(b.capacity() >= 500, "fresh buffer must honor the hint");
+        assert_eq!(pool.allocations(), 1);
+        pool.release(b);
+        // Raising the hint grows a recycled buffer exactly once.
+        pool.reserve_hint(2000);
+        let b = pool.acquire_copy(&[1.0f32; 8]);
+        assert!(b.capacity() >= 2000);
+        assert_eq!(pool.allocations(), 2, "one growth event");
+        pool.release(b);
+        let b = pool.acquire_copy(&[1.0f32; 8]);
+        assert_eq!(pool.allocations(), 2, "no further events");
+        drop(b);
     }
 }

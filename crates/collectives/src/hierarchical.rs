@@ -264,9 +264,14 @@ mod tests {
 
     #[test]
     fn rsag_is_correct() {
-        for &(n, per_node, e) in
-            &[(12usize, 6usize, 48usize), (12, 6, 47), (24, 6, 100), (8, 4, 10), (6, 6, 20), (4, 1, 9)]
-        {
+        for &(n, per_node, e) in &[
+            (12usize, 6usize, 48usize),
+            (12, 6, 47),
+            (24, 6, 100),
+            (8, 4, 10),
+            (6, 6, 20),
+            (4, 1, 9),
+        ] {
             let s = allreduce_rsag(n, e, per_node);
             s.validate().unwrap_or_else(|err| panic!("n={n} g={per_node} e={e}: {err:?}"));
             let ins = inputs(n, e);
@@ -282,8 +287,7 @@ mod tests {
         // RSAG sends ~2e/g intra + 2e/g inter per rank.
         let (n, e) = (24usize, 2400usize);
         let rsag = allreduce_rsag(n, e, 6);
-        let classic =
-            allreduce(n, e, &NodeGroups::dense(n, 6), LeaderAlgo::Ring);
+        let classic = allreduce(n, e, &NodeGroups::dense(n, 6), LeaderAlgo::Ring);
         assert!(
             rsag.max_rank_sent_elems() < classic.max_rank_sent_elems(),
             "RSAG {} vs classic {}",

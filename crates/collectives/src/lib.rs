@@ -41,9 +41,9 @@ pub mod sched;
 pub mod tree;
 
 pub use algo::Algorithm;
+pub use analytic::{allreduce_cost, crossover, AlphaBeta};
 pub use exec_sim::{simulate, simulate_dense, CostModel, MsgParams, UniformCost, ELEM_BYTES};
 pub use hierarchical::{LeaderAlgo, NodeGroups};
-pub use analytic::{allreduce_cost, crossover, AlphaBeta};
 pub use reduce::ReduceOp;
 pub use sched::{Action, Round, Schedule, ScheduleError, Seg};
 
@@ -59,11 +59,14 @@ mod proptests {
             Just(Algorithm::RecursiveDoubling),
             Just(Algorithm::Rabenseifner),
             Just(Algorithm::Tree),
-            (2usize..=6, prop_oneof![
-                Just(LeaderAlgo::Ring),
-                Just(LeaderAlgo::Rabenseifner),
-                Just(LeaderAlgo::Tree)
-            ])
+            (
+                2usize..=6,
+                prop_oneof![
+                    Just(LeaderAlgo::Ring),
+                    Just(LeaderAlgo::Rabenseifner),
+                    Just(LeaderAlgo::Tree)
+                ]
+            )
                 .prop_map(|(per_node, leader)| Algorithm::Hierarchical { per_node, leader }),
             (1usize..=8).prop_map(|chunks| Algorithm::ChunkedRing { chunks }),
             (1usize..=6).prop_map(|per_node| Algorithm::HierarchicalRsag { per_node }),

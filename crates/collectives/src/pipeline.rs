@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn correct_for_various_chunkings() {
-        for &(n, e, c) in &[(4usize, 64usize, 1usize), (4, 64, 4), (6, 100, 3), (5, 17, 4), (3, 7, 8)] {
+        for &(n, e, c) in
+            &[(4usize, 64usize, 1usize), (4, 64, 4), (6, 100, 3), (5, 17, 4), (3, 7, 8)]
+        {
             let s = allreduce(n, e, c);
             s.validate().unwrap_or_else(|err| panic!("n={n} e={e} c={c}: {err:?}"));
             let ins = inputs(n, e);

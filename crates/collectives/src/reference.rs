@@ -96,10 +96,7 @@ pub fn assert_allreduce_result(inputs: &[Vec<f32>], results: &[Vec<f32>], op: Re
     for (r, got) in results.iter().enumerate() {
         assert_eq!(got.len(), want.len(), "rank {r} buffer length");
         for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
-            assert!(
-                (g - w).abs() <= tol,
-                "rank {r} element {i}: got {g}, want {w} (tol {tol})"
-            );
+            assert!((g - w).abs() <= tol, "rank {r} element {i}: got {g}, want {w} (tol {tol})");
         }
     }
 }

@@ -118,17 +118,43 @@ pub struct Schedule {
 /// A structural problem found by [`Schedule::validate`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScheduleError {
-    RankOutOfRange { round: usize, rank: usize, peer: usize },
-    SegOutOfRange { round: usize, rank: usize, seg: Seg },
-    SelfMessage { round: usize, rank: usize },
+    RankOutOfRange {
+        round: usize,
+        rank: usize,
+        peer: usize,
+    },
+    SegOutOfRange {
+        round: usize,
+        rank: usize,
+        seg: Seg,
+    },
+    SelfMessage {
+        round: usize,
+        rank: usize,
+    },
     /// A send with no matching receive (or vice versa) in the same round.
-    Unmatched { round: usize, sender: usize, receiver: usize },
+    Unmatched {
+        round: usize,
+        sender: usize,
+        receiver: usize,
+    },
     /// Sender and receiver disagree about the segment.
-    SegMismatch { round: usize, sender: usize, receiver: usize },
+    SegMismatch {
+        round: usize,
+        sender: usize,
+        receiver: usize,
+    },
     /// More than one message between the same ordered pair in one round
     /// (the executors use the round index as the message tag).
-    DuplicatePair { round: usize, sender: usize, receiver: usize },
-    WrongRankCount { round: usize, got: usize },
+    DuplicatePair {
+        round: usize,
+        sender: usize,
+        receiver: usize,
+    },
+    WrongRankCount {
+        round: usize,
+        got: usize,
+    },
 }
 
 impl Schedule {
@@ -208,9 +234,15 @@ impl Schedule {
                 match (send, recv) {
                     (Some(a), Some(b)) if a == b => {}
                     (Some(_), Some(_)) => {
-                        return Err(ScheduleError::SegMismatch { round: ri, sender: s, receiver: r })
+                        return Err(ScheduleError::SegMismatch {
+                            round: ri,
+                            sender: s,
+                            receiver: r,
+                        })
                     }
-                    _ => return Err(ScheduleError::Unmatched { round: ri, sender: s, receiver: r }),
+                    _ => {
+                        return Err(ScheduleError::Unmatched { round: ri, sender: s, receiver: r })
+                    }
                 }
             }
         }

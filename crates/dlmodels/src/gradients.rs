@@ -42,7 +42,11 @@ impl EmissionSchedule {
         for l in model.layers.iter().rev() {
             t += gpu.layer_bwd_time(l, batch);
             if l.params > 0 {
-                tensors.push(GradTensor { name: l.name.clone(), bytes: l.grad_bytes(), ready_at: t });
+                tensors.push(GradTensor {
+                    name: l.name.clone(),
+                    bytes: l.grad_bytes(),
+                    ready_at: t,
+                });
             }
         }
         EmissionSchedule {

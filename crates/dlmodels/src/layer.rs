@@ -242,7 +242,13 @@ impl GraphBuilder {
         assert_eq!((self.h, self.w), (1, 1), "dense expects pooled input");
         let params = (self.c * out + out) as u64;
         let flops = 2 * (self.c * out) as u64;
-        self.push(name, LayerKind::Dense, params, flops, (self.c + out) as u64 * F32 + params * F32);
+        self.push(
+            name,
+            LayerKind::Dense,
+            params,
+            flops,
+            (self.c + out) as u64 * F32 + params * F32,
+        );
         self.c = out;
         self
     }

@@ -58,8 +58,7 @@ impl GpuModel {
     pub fn layer_fwd_time(&self, l: &Layer, batch: usize) -> f64 {
         let flops = l.fwd_flops as f64 * batch as f64;
         let bytes = l.fwd_bytes as f64 * batch as f64;
-        (flops / (self.peak_flops * self.efficiency(l.kind)))
-            .max(bytes / self.mem_bw)
+        (flops / (self.peak_flops * self.efficiency(l.kind))).max(bytes / self.mem_bw)
             + self.kernel_overhead
     }
 
@@ -67,8 +66,7 @@ impl GpuModel {
     pub fn layer_bwd_time(&self, l: &Layer, batch: usize) -> f64 {
         let flops = l.bwd_flops() as f64 * batch as f64;
         let bytes = l.bwd_bytes() as f64 * batch as f64;
-        (flops / (self.peak_flops * self.efficiency(l.kind)))
-            .max(bytes / self.mem_bw)
+        (flops / (self.peak_flops * self.efficiency(l.kind))).max(bytes / self.mem_bw)
             + self.kernel_overhead
     }
 

@@ -83,18 +83,12 @@ mod tests {
     #[test]
     fn has_53_conv_and_one_dense() {
         let g = resnet50(224);
-        let convs = g
-            .layers
-            .iter()
-            .filter(|l| matches!(l.kind, crate::layer::LayerKind::Conv))
-            .count();
+        let convs =
+            g.layers.iter().filter(|l| matches!(l.kind, crate::layer::LayerKind::Conv)).count();
         // 1 stem + 16 blocks × 3 + 4 projections = 53.
         assert_eq!(convs, 53);
-        let dense = g
-            .layers
-            .iter()
-            .filter(|l| matches!(l.kind, crate::layer::LayerKind::Dense))
-            .count();
+        let dense =
+            g.layers.iter().filter(|l| matches!(l.kind, crate::layer::LayerKind::Dense)).count();
         assert_eq!(dense, 1);
     }
 

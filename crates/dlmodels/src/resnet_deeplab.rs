@@ -39,7 +39,7 @@ fn resnet101_os16(b: &mut GraphBuilder) -> (usize, usize, usize) {
         bottleneck(b, &format!("stage1.block{i}"), 64, 256, 1);
     }
     let low_level = b.shape(); // stride 4, 256 channels
-    // Stage 2: 4 blocks at 512, stride 2.
+                               // Stage 2: 4 blocks at 512, stride 2.
     for i in 0..4 {
         bottleneck(b, &format!("stage2.block{i}"), 128, 512, if i == 0 { 2 } else { 1 });
     }
@@ -133,10 +133,7 @@ mod tests {
     #[test]
     fn no_depthwise_layers() {
         use crate::layer::LayerKind;
-        assert_eq!(
-            model().layers.iter().filter(|l| l.kind == LayerKind::DepthwiseConv).count(),
-            0
-        );
+        assert_eq!(model().layers.iter().filter(|l| l.kind == LayerKind::DepthwiseConv).count(), 0);
     }
 
     #[test]
@@ -147,20 +144,14 @@ mod tests {
         let v100 = GpuModel::v100();
         let r101 = v100.throughput(&model(), 8);
         let xcep = v100.throughput(&deeplab_paper(), 8);
-        assert!(
-            r101 > xcep,
-            "R101 {r101:.2} img/s should beat Xception {xcep:.2} img/s on Volta"
-        );
+        assert!(r101 > xcep, "R101 {r101:.2} img/s should beat Xception {xcep:.2} img/s on Volta");
     }
 
     #[test]
     fn stage_structure() {
         let g = model();
-        let convs = g
-            .layers
-            .iter()
-            .filter(|l| matches!(l.kind, crate::layer::LayerKind::Conv))
-            .count();
+        let convs =
+            g.layers.iter().filter(|l| matches!(l.kind, crate::layer::LayerKind::Conv)).count();
         // 1 stem + 33 blocks × 3 + 4 projections + 6 ASPP + 4 decoder = 114.
         assert_eq!(convs, 114);
     }

@@ -108,9 +108,7 @@ pub fn autotune(
 
 fn nearest_by(len: usize, at: impl Fn(usize) -> f64, value: f64) -> usize {
     (0..len)
-        .min_by(|&a, &b| {
-            (at(a) - value).abs().partial_cmp(&(at(b) - value).abs()).expect("finite")
-        })
+        .min_by(|&a, &b| (at(a) - value).abs().partial_cmp(&(at(b) - value).abs()).expect("finite"))
         .expect("non-empty ladder")
 }
 
@@ -175,6 +173,11 @@ mod tests {
         let model = deeplab_paper();
         let gpu = GpuModel::v100();
         let start = HorovodConfig::default().with_cycle(25e-3);
+        // 12 windows of 8 steps: each window's mean averages out enough
+        // step jitter that the coordinate descent reliably escapes the
+        // bad cycle time regardless of the RNG stream (short 2-step
+        // windows are noisy enough that a marginal stream can mask the
+        // improvement).
         let report = autotune(
             &machine,
             &MpiProfile::spectrum_default(),
@@ -183,8 +186,8 @@ mod tests {
             1,
             48,
             start,
-            10,
-            2,
+            12,
+            8,
             7,
         );
         let start_time = report.windows[0].mean_step_time;

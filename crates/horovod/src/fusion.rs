@@ -34,10 +34,7 @@ pub fn pack(ready: &[(usize, u64)], threshold: u64) -> Vec<FusedBuffer> {
     let mut cur: Option<FusedBuffer> = None;
     for &(idx, bytes) in ready {
         match cur.as_mut() {
-            Some(b)
-                if threshold > 0
-                    && b.bytes + bytes <= threshold =>
-            {
+            Some(b) if threshold > 0 && b.bytes + bytes <= threshold => {
                 b.bytes += bytes;
                 b.n_tensors += 1;
             }

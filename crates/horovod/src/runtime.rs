@@ -196,8 +196,7 @@ impl<'m> StepSim<'m> {
                 k += 1;
                 // Collect tensors ready by this wake.
                 let mut ready: Vec<(usize, u64)> = Vec::new();
-                while next_idx < e.tensors.len()
-                    && fwd_end + e.tensors[next_idx].ready_at * j <= t
+                while next_idx < e.tensors.len() && fwd_end + e.tensors[next_idx].ready_at * j <= t
                 {
                     ready.push((next_idx, e.tensors[next_idx].bytes));
                     next_idx += 1;
@@ -259,8 +258,7 @@ impl<'m> StepSim<'m> {
         assert!(steps >= 1);
         let step_reports: Vec<StepBreakdown> =
             (0..steps as u64).map(|s| self.simulate_step(s, None)).collect();
-        let mean_step_time =
-            step_reports.iter().map(|s| s.step_time).sum::<f64>() / steps as f64;
+        let mean_step_time = step_reports.iter().map(|s| s.step_time).sum::<f64>() / steps as f64;
         let single = self.batch_per_gpu as f64 / self.emission.compute_time();
         let throughput = self.n_ranks as f64 * self.batch_per_gpu as f64 / mean_step_time;
         TrainReport {
@@ -289,16 +287,7 @@ mod tests {
         config: HorovodConfig,
         n_ranks: usize,
     ) -> StepSim<'m> {
-        StepSim::new(
-            machine,
-            profile,
-            config,
-            &deeplab_paper(),
-            &GpuModel::v100(),
-            2,
-            n_ranks,
-            42,
-        )
+        StepSim::new(machine, profile, config, &deeplab_paper(), &GpuModel::v100(), 2, n_ranks, 42)
     }
 
     #[test]
@@ -333,8 +322,7 @@ mod tests {
         let m = machine(132);
         let cfg = HorovodConfig::default();
         let mv2 = sim(&m, MpiProfile::mvapich2_gdr(), cfg.clone(), 132).simulate_training(3);
-        let spec =
-            sim(&m, MpiProfile::spectrum_default(), cfg, 132).simulate_training(3);
+        let spec = sim(&m, MpiProfile::spectrum_default(), cfg, 132).simulate_training(3);
         assert!(
             mv2.efficiency > spec.efficiency + 0.05,
             "MV2 {:.3} vs Spectrum {:.3}",
@@ -359,9 +347,8 @@ mod tests {
     fn tiny_fusion_threshold_hurts() {
         let m = machine(48);
         let base = HorovodConfig::default();
-        let good = sim(&m, MpiProfile::mvapich2_gdr(), base.clone(), 48)
-            .simulate_training(3)
-            .throughput;
+        let good =
+            sim(&m, MpiProfile::mvapich2_gdr(), base.clone(), 48).simulate_training(3).throughput;
         let tiny = sim(
             &m,
             MpiProfile::mvapich2_gdr(),
@@ -377,10 +364,9 @@ mod tests {
     fn huge_cycle_time_hurts() {
         let m = machine(48);
         let base = HorovodConfig::default();
-        let good =
-            sim(&m, MpiProfile::mvapich2_gdr(), base.clone().with_cycle(2e-3), 48)
-                .simulate_training(3)
-                .throughput;
+        let good = sim(&m, MpiProfile::mvapich2_gdr(), base.clone().with_cycle(2e-3), 48)
+            .simulate_training(3)
+            .throughput;
         let slow = sim(&m, MpiProfile::mvapich2_gdr(), base.with_cycle(100e-3), 48)
             .simulate_training(3)
             .throughput;
@@ -391,9 +377,8 @@ mod tests {
     fn disabling_response_cache_costs_time() {
         let m = machine(132);
         let base = HorovodConfig::default();
-        let cached = sim(&m, MpiProfile::mvapich2_gdr(), base.clone(), 132)
-            .simulate_training(3)
-            .throughput;
+        let cached =
+            sim(&m, MpiProfile::mvapich2_gdr(), base.clone(), 132).simulate_training(3).throughput;
         let uncached = sim(&m, MpiProfile::mvapich2_gdr(), base.with_cache(false), 132)
             .simulate_training(3)
             .throughput;
@@ -405,18 +390,15 @@ mod tests {
         let m = machine(132);
         let s6 = sim(&m, MpiProfile::nccl(), HorovodConfig::default(), 6);
         let s132 = sim(&m, MpiProfile::nccl(), HorovodConfig::default(), 132);
-        let j6: f64 =
-            (0..20).map(|k| s6.step_jitter(k)).sum::<f64>() / 20.0;
-        let j132: f64 =
-            (0..20).map(|k| s132.step_jitter(k)).sum::<f64>() / 20.0;
+        let j6: f64 = (0..20).map(|k| s6.step_jitter(k)).sum::<f64>() / 20.0;
+        let j132: f64 = (0..20).map(|k| s132.step_jitter(k)).sum::<f64>() / 20.0;
         assert!(j132 > j6, "max-of-132 jitter {j132} must exceed max-of-6 {j6}");
     }
 
     #[test]
     fn zero_jitter_is_deterministic_and_exact() {
         let m = machine(12);
-        let s = sim(&m, MpiProfile::mvapich2_gdr(), HorovodConfig::default(), 12)
-            .with_jitter(0.0);
+        let s = sim(&m, MpiProfile::mvapich2_gdr(), HorovodConfig::default(), 12).with_jitter(0.0);
         let a = s.simulate_step(0, None);
         let b = s.simulate_step(1, None);
         assert_eq!(a.step_time, b.step_time);
@@ -478,8 +460,8 @@ mod tests {
     #[test]
     fn training_report_consistency() {
         let m = machine(24);
-        let r = sim(&m, MpiProfile::mvapich2_gdr(), HorovodConfig::default(), 24)
-            .simulate_training(5);
+        let r =
+            sim(&m, MpiProfile::mvapich2_gdr(), HorovodConfig::default(), 24).simulate_training(5);
         assert_eq!(r.steps.len(), 5);
         assert!(r.efficiency > 0.0 && r.efficiency <= 1.05);
         let recomputed = 24.0 * 2.0 / r.mean_step_time;

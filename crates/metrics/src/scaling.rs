@@ -75,11 +75,7 @@ impl ScalingSeries {
 ///
 /// This is exactly the paper's C4/C5 computation: "improvement in scaling
 /// efficiency by 23.9 % over default ... translates to a 1.3× speedup".
-pub fn compare_at(
-    a: &ScalingSeries,
-    b: &ScalingSeries,
-    n: usize,
-) -> Option<(f64, f64, f64, f64)> {
+pub fn compare_at(a: &ScalingSeries, b: &ScalingSeries, n: usize) -> Option<(f64, f64, f64, f64)> {
     let ta = a.throughput_at(n)?;
     let tb = b.throughput_at(n)?;
     let ea = scaling_efficiency(n, ta, a.single);

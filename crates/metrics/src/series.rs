@@ -31,17 +31,11 @@ impl Series {
     }
 
     pub fn max_y(&self) -> Option<(f64, f64)> {
-        self.points
-            .iter()
-            .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN y in series"))
+        self.points.iter().copied().max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN y in series"))
     }
 
     pub fn min_y(&self) -> Option<(f64, f64)> {
-        self.points
-            .iter()
-            .copied()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN y in series"))
+        self.points.iter().copied().min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN y in series"))
     }
 }
 

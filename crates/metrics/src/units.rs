@@ -5,12 +5,7 @@
 //! in the most natural SI scale, and throughput in images/second or GB/s.
 
 /// Binary unit prefixes, largest first.
-const BIN_UNITS: &[(&str, u64)] = &[
-    ("GiB", 1 << 30),
-    ("MiB", 1 << 20),
-    ("KiB", 1 << 10),
-    ("B", 1),
-];
+const BIN_UNITS: &[(&str, u64)] = &[("GiB", 1 << 30), ("MiB", 1 << 20), ("KiB", 1 << 10), ("B", 1)];
 
 /// Format a byte count with binary units, e.g. `64 MiB`, `1.5 KiB`, `17 B`.
 pub fn fmt_bytes(bytes: u64) -> String {

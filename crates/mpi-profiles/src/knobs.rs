@@ -102,10 +102,7 @@ impl Knobs {
             overhead_small: 4.0e-6,
             overhead_large: 12.0e-6,
             selection: SelectionTable::new(
-                vec![
-                    (64 << 10, Algorithm::Tree),
-                    (4 << 20, Algorithm::RecursiveDoubling),
-                ],
+                vec![(64 << 10, Algorithm::Tree), (4 << 20, Algorithm::RecursiveDoubling)],
                 Algorithm::Ring,
             ),
         }
@@ -121,10 +118,7 @@ impl Knobs {
             staging_rate: f64::INFINITY,
             overhead_small: 1.2e-6,
             overhead_large: 2.5e-6,
-            selection: SelectionTable::new(
-                vec![(32 << 10, Algorithm::Tree)],
-                Algorithm::Ring,
-            ),
+            selection: SelectionTable::new(vec![(32 << 10, Algorithm::Tree)], Algorithm::Ring),
         }
     }
 }
@@ -152,10 +146,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn non_monotone_table_rejected() {
-        SelectionTable::new(
-            vec![(100, Algorithm::Ring), (100, Algorithm::Tree)],
-            Algorithm::Ring,
-        );
+        SelectionTable::new(vec![(100, Algorithm::Ring), (100, Algorithm::Tree)], Algorithm::Ring);
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod osu;
 pub mod profile;
 
 pub use knobs::{Knobs, SelectionTable};
-pub use osu::{allreduce_sweep, bcast_sweep, pt2pt_bandwidth_sweep, pt2pt_latency_sweep, size_ladder, OsuPoint};
+pub use osu::{
+    allreduce_sweep, bcast_sweep, pt2pt_bandwidth_sweep, pt2pt_latency_sweep, size_ladder, OsuPoint,
+};
 pub use profile::{AllreduceOracle, MpiProfile};
 
 /// The three communication backends the experiments sweep.

@@ -189,13 +189,8 @@ mod pt2pt_tests {
     #[test]
     fn latency_small_messages_are_microseconds() {
         let m = machine();
-        let pts = pt2pt_latency_sweep(
-            &MpiProfile::mvapich2_gdr(),
-            &m,
-            GpuId(0),
-            GpuId(6),
-            &[8, 1024],
-        );
+        let pts =
+            pt2pt_latency_sweep(&MpiProfile::mvapich2_gdr(), &m, GpuId(0), GpuId(6), &[8, 1024]);
         assert!(pts[0].latency_us > 1.0 && pts[0].latency_us < 20.0, "{:?}", pts[0]);
     }
 
@@ -203,8 +198,7 @@ mod pt2pt_tests {
     fn gdr_beats_staged_pt2pt() {
         let m = machine();
         let sizes = [4u64 << 20];
-        let mv2 =
-            pt2pt_latency_sweep(&MpiProfile::mvapich2_gdr(), &m, GpuId(0), GpuId(6), &sizes);
+        let mv2 = pt2pt_latency_sweep(&MpiProfile::mvapich2_gdr(), &m, GpuId(0), GpuId(6), &sizes);
         let spec =
             pt2pt_latency_sweep(&MpiProfile::spectrum_default(), &m, GpuId(0), GpuId(6), &sizes);
         assert!(spec[0].latency_us > mv2[0].latency_us * 1.5);
@@ -213,13 +207,7 @@ mod pt2pt_tests {
     #[test]
     fn bandwidth_approaches_link_rate_for_large_messages() {
         let m = machine();
-        let bw = pt2pt_bandwidth_sweep(
-            &MpiProfile::nccl(),
-            &m,
-            GpuId(0),
-            GpuId(6),
-            &[64 << 20],
-        );
+        let bw = pt2pt_bandwidth_sweep(&MpiProfile::nccl(), &m, GpuId(0), GpuId(6), &[64 << 20]);
         // Inter-node GDR floor is the PCIe leg at 16 GB/s.
         assert!(bw[0].1 > 10.0 && bw[0].1 <= 16.0, "achieved {} GB/s", bw[0].1);
     }
@@ -227,8 +215,7 @@ mod pt2pt_tests {
     #[test]
     fn intra_node_bandwidth_is_nvlink_class() {
         let m = machine();
-        let bw =
-            pt2pt_bandwidth_sweep(&MpiProfile::nccl(), &m, GpuId(0), GpuId(1), &[64 << 20]);
+        let bw = pt2pt_bandwidth_sweep(&MpiProfile::nccl(), &m, GpuId(0), GpuId(1), &[64 << 20]);
         assert!(bw[0].1 > 35.0 && bw[0].1 <= 50.0, "achieved {} GB/s", bw[0].1);
     }
 }

@@ -217,8 +217,7 @@ mod tests {
     #[test]
     fn intra_node_is_fast_for_everyone() {
         let m = machine(6);
-        for p in [MpiProfile::mvapich2_gdr(), MpiProfile::spectrum_default(), MpiProfile::nccl()]
-        {
+        for p in [MpiProfile::mvapich2_gdr(), MpiProfile::spectrum_default(), MpiProfile::nccl()] {
             let t = p.allreduce_time(&m, 6, 16 << 20).as_secs_f64();
             assert!(t < 3e-3, "{}: intra-node 16 MiB allreduce took {t}", p.name);
         }
@@ -231,10 +230,7 @@ mod tests {
         let mut last = 0.0;
         for pow in 10..26 {
             let t = p.allreduce_time(&m, 12, 1 << pow).as_secs_f64();
-            assert!(
-                t >= last * 0.7,
-                "gross non-monotonicity at 2^{pow}: {t} after {last}"
-            );
+            assert!(t >= last * 0.7, "gross non-monotonicity at 2^{pow}: {t} after {last}");
             last = t;
         }
     }

@@ -106,9 +106,7 @@ impl ExecReport {
         idx.into_iter()
             .take(k)
             .filter(|&i| self.link_bytes[i] > 0.0)
-            .map(|i| {
-                (machine.link(crate::topology::LinkId(i)).name.clone(), self.link_bytes[i])
-            })
+            .map(|i| (machine.link(crate::topology::LinkId(i)).name.clone(), self.link_bytes[i]))
             .collect()
     }
 
@@ -125,11 +123,17 @@ impl ExecReport {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
-    ComputeDone { rank: usize },
+    ComputeDone {
+        rank: usize,
+    },
     /// An eager sender's local completion.
-    SendLocalDone { rank: usize },
+    SendLocalDone {
+        rank: usize,
+    },
     /// A matched transfer begins flowing after overhead + route latency.
-    FlowStart { pending: usize },
+    FlowStart {
+        pending: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -393,8 +397,7 @@ impl<'m> Executor<'m> {
             }
         }
 
-        let stuck: Vec<usize> =
-            (0..ranks.len()).filter(|&r| !ranks[r].done).collect();
+        let stuck: Vec<usize> = (0..ranks.len()).filter(|&r| !ranks[r].done).collect();
         assert!(
             stuck.is_empty(),
             "schedule deadlocked; ranks {stuck:?} never finished (unmatched send/recv?)"
@@ -402,9 +405,8 @@ impl<'m> Executor<'m> {
 
         let rank_finish: Vec<SimTime> = ranks.iter().map(|r| r.finish).collect();
         let makespan = rank_finish.iter().copied().fold(SimTime::ZERO, SimTime::max);
-        let link_bytes: Vec<f64> = (0..self.machine.n_links())
-            .map(|i| net.bytes_on(crate::topology::LinkId(i)))
-            .collect();
+        let link_bytes: Vec<f64> =
+            (0..self.machine.n_links()).map(|i| net.bytes_on(crate::topology::LinkId(i))).collect();
         let link_bytes_total = link_bytes.iter().sum();
         ExecReport { rank_finish, makespan, link_bytes_total, link_bytes }
     }

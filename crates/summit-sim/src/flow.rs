@@ -72,13 +72,7 @@ impl<T> FlowNet<T> {
     /// `f64::INFINITY`. An empty `links` route is only rate-limited by the
     /// cap. Zero-byte flows are legal and complete at the next
     /// `next_completion` query.
-    pub fn start(
-        &mut self,
-        links: Vec<LinkId>,
-        bytes: f64,
-        rate_cap: f64,
-        token: T,
-    ) -> FlowId {
+    pub fn start(&mut self, links: Vec<LinkId>, bytes: f64, rate_cap: f64, token: T) -> FlowId {
         assert!(bytes >= 0.0 && bytes.is_finite(), "invalid flow size {bytes}");
         assert!(rate_cap > 0.0, "rate cap must be positive");
         for &l in &links {

@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 
-use crate::{DataPath, Executor, FlowNet, GpuId, LinkId, Machine, MachineConfig, Op, Program, SimTime};
+use crate::{
+    DataPath, Executor, FlowNet, GpuId, LinkId, Machine, MachineConfig, Op, Program, SimTime,
+};
 
 fn machine() -> Machine {
     Machine::new(MachineConfig::summit(3))

@@ -129,11 +129,11 @@ pub struct Machine {
     links: Vec<Link>,
     /// Dense lookup: directed link id for (from, to) endpoint pairs.
     /// Keyed by a per-node layout described in `link_index`.
-    gpu_cpu: Vec<LinkId>,     // [node][local][dir] dir 0 = gpu->cpu
+    gpu_cpu: Vec<LinkId>, // [node][local][dir] dir 0 = gpu->cpu
     gpu_gpu: Vec<Vec<LinkId>>, // [node*gpn + a][b] directed a->b, same socket only
-    xbus: Vec<LinkId>,        // [node][dir] dir 0 = socket0->socket1
-    cpu_nic: Vec<LinkId>,     // [node][socket][dir] dir 0 = cpu->nic
-    nic_fabric: Vec<LinkId>,  // [node][dir] dir 0 = nic->fabric (up)
+    xbus: Vec<LinkId>,         // [node][dir] dir 0 = socket0->socket1
+    cpu_nic: Vec<LinkId>,      // [node][socket][dir] dir 0 = cpu->nic
+    nic_fabric: Vec<LinkId>,   // [node][dir] dir 0 = nic->fabric (up)
 }
 
 /// A route: the directed links a message traverses, plus fixed
@@ -347,8 +347,7 @@ mod tests {
         assert!(m.link(r.links[1]).name.contains("xbus"));
         // The NVLink legs (50 GB/s) floor this route; the X-bus (64 GB/s)
         // only becomes the bottleneck under contention.
-        let min_bw =
-            r.links.iter().map(|&l| m.link(l).bandwidth).fold(f64::INFINITY, f64::min);
+        let min_bw = r.links.iter().map(|&l| m.link(l).bandwidth).fold(f64::INFINITY, f64::min);
         assert_eq!(min_bw, 50e9);
     }
 
@@ -393,8 +392,7 @@ mod tests {
     fn inter_node_bottleneck_is_nic_for_gdr() {
         let m = m();
         let r = m.route(GpuId(0), GpuId(7), DataPath::Gdr);
-        let min_bw =
-            r.links.iter().map(|&l| m.link(l).bandwidth).fold(f64::INFINITY, f64::min);
+        let min_bw = r.links.iter().map(|&l| m.link(l).bandwidth).fold(f64::INFINITY, f64::min);
         assert_eq!(min_bw, 16e9); // PCIe leg is the per-flow floor
     }
 

@@ -43,7 +43,8 @@ impl Confusion {
         (0..self.k)
             .map(|c| {
                 let tp = self.counts[c * self.k + c];
-                let fp: u64 = (0..self.k).filter(|&t| t != c).map(|t| self.counts[t * self.k + c]).sum();
+                let fp: u64 =
+                    (0..self.k).filter(|&t| t != c).map(|t| self.counts[t * self.k + c]).sum();
                 let fn_: u64 =
                     (0..self.k).filter(|&p| p != c).map(|p| self.counts[c * self.k + p]).sum();
                 let denom = tp + fp + fn_;

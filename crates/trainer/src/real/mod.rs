@@ -11,7 +11,7 @@ pub mod train;
 
 pub use fp16::{compress_gradients, roundtrip};
 pub use miou::Confusion;
-pub use net::{NetConfig, SegNet};
+pub use net::{BatchWorkspace, NetConfig, SegNet, Workspace};
 pub use segdata::{generate, generate_batch, DataConfig, Sample};
 pub use sgd::{LrSchedule, MomentumSgd};
 pub use train::{evaluate, train, EvalPoint, TrainConfig, TrainResult};

@@ -82,7 +82,9 @@ pub fn generate(cfg: &DataConfig, seed: u64, index: u64) -> Sample {
                 let inside = match class {
                     1 => dy * dy + dx * dx <= r * r,
                     2 => dy.abs() <= r && dx.abs() <= r,
-                    3 => (dy.abs() <= r / 2 && dx.abs() <= r) || (dx.abs() <= r / 2 && dy.abs() <= r),
+                    3 => {
+                        (dy.abs() <= r / 2 && dx.abs() <= r) || (dx.abs() <= r / 2 && dy.abs() <= r)
+                    }
                     _ => unreachable!(),
                 };
                 if inside {
@@ -209,7 +211,8 @@ pub fn augment(cfg: &DataConfig, sample: &Sample, seed: u64, index: u64) -> Samp
     let map = |y: usize, x: usize| -> (usize, usize) {
         (if vflip { h - 1 - y } else { y }, if hflip { w - 1 - x } else { x })
     };
-    let mut out = Sample { pixels: vec![0.0; sample.pixels.len()], labels: vec![0; sample.labels.len()] };
+    let mut out =
+        Sample { pixels: vec![0.0; sample.pixels.len()], labels: vec![0; sample.labels.len()] };
     for y in 0..h {
         for x in 0..w {
             let (sy, sx) = map(y, x);
@@ -267,7 +270,11 @@ mod augment_tests {
                     n += 1;
                 }
             }
-            if n == 0 { f32::NAN } else { sum / n as f32 }
+            if n == 0 {
+                f32::NAN
+            } else {
+                sum / n as f32
+            }
         };
         let (m0, m1) = (mean_red(&s), mean_red(&a));
         if m0.is_finite() {

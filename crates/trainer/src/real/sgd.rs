@@ -25,13 +25,7 @@ impl LrSchedule {
 
     /// The paper-style recipe for `workers` data-parallel workers.
     pub fn scaled(base_lr: f32, workers: usize, warmup_steps: usize, total_steps: usize) -> Self {
-        LrSchedule {
-            base_lr,
-            scale: workers as f32,
-            warmup_steps,
-            total_steps,
-            poly_power: 0.9,
-        }
+        LrSchedule { base_lr, scale: workers as f32, warmup_steps, total_steps, poly_power: 0.9 }
     }
 
     /// LR at `step` (0-based).
@@ -39,8 +33,7 @@ impl LrSchedule {
         let peak = self.base_lr * self.scale;
         let lr = if self.warmup_steps > 0 && step < self.warmup_steps {
             // Linear ramp from base_lr to peak.
-            self.base_lr
-                + (peak - self.base_lr) * (step as f32 + 1.0) / self.warmup_steps as f32
+            self.base_lr + (peak - self.base_lr) * (step as f32 + 1.0) / self.warmup_steps as f32
         } else {
             peak
         };
@@ -67,7 +60,13 @@ pub struct MomentumSgd {
 impl MomentumSgd {
     pub fn new(schedule: LrSchedule, momentum: f32, n_params: usize) -> Self {
         assert!((0.0..1.0).contains(&momentum));
-        MomentumSgd { schedule, momentum, weight_decay: 0.0, velocity: vec![0.0; n_params], step: 0 }
+        MomentumSgd {
+            schedule,
+            momentum,
+            weight_decay: 0.0,
+            velocity: vec![0.0; n_params],
+            step: 0,
+        }
     }
 
     /// Builder-style: set classic L2 weight decay (DeepLab uses 4e-5).

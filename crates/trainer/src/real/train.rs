@@ -13,7 +13,7 @@ use rayon::prelude::*;
 use summit_metrics::rng::derive_seed;
 
 use super::miou::Confusion;
-use super::net::{NetConfig, SegNet};
+use super::net::{BatchWorkspace, NetConfig, SegNet};
 use super::segdata::{generate, generate_batch, DataConfig};
 use super::sgd::{LrSchedule, MomentumSgd};
 
@@ -118,7 +118,7 @@ pub struct TrainResult {
 /// training data by construction).
 pub fn evaluate(net: &SegNet, data: &DataConfig, seed: u64, n: usize) -> Confusion {
     let eval_seed = derive_seed(seed, "eval");
-    
+
     (0..n as u64)
         .into_par_iter()
         .map(|i| {
@@ -154,52 +154,62 @@ pub fn train(cfg: &TrainConfig) -> TrainResult {
         total_steps: cfg.steps,
         poly_power: 0.9,
     };
-    let mut workers: Vec<(SegNet, MomentumSgd)> = (0..cfg.workers)
-        .map(|_| {
-            let net = SegNet::new(cfg.net, derive_seed(cfg.seed, "init"));
-            let opt = MomentumSgd::new(lr, cfg.momentum, cfg.net.n_params())
-                .with_weight_decay(cfg.weight_decay);
-            (net, opt)
+    // Per-worker state persists across steps: model replica, optimizer,
+    // reusable gradient workspaces, and a per-worker loss cell. The
+    // allreduce payload buffers (`grads`) are allocated once up front,
+    // so the steady-state step performs no heap allocation anywhere in
+    // the gradient or allreduce path (see `tests/zero_alloc.rs`).
+    struct WorkerState {
+        net: SegNet,
+        opt: MomentumSgd,
+        bw: BatchWorkspace,
+        loss: f64,
+    }
+    let mut workers: Vec<WorkerState> = (0..cfg.workers)
+        .map(|_| WorkerState {
+            net: SegNet::new(cfg.net, derive_seed(cfg.seed, "init")),
+            opt: MomentumSgd::new(lr, cfg.momentum, cfg.net.n_params())
+                .with_weight_decay(cfg.weight_decay),
+            bw: BatchWorkspace::new(&cfg.net),
+            loss: 0.0,
         })
         .collect();
+    let mut grads: Vec<Vec<f32>> = vec![vec![0.0f32; cfg.net.n_params()]; cfg.workers];
+    // Persistent executor: allreduce payload buffers pool across steps.
+    let exec = exec_thread::ExecContext::new();
 
     let mut curve = Vec::new();
     let mut last_loss = f64::NAN;
     for step in 0..cfg.steps {
         let start = (step * cfg.global_batch()) as u64;
         // Gradient computation: one rayon task per worker; per-sample
-        // work inside fans out further on the same pool.
+        // work inside fans out further on the same pool. Each worker
+        // accumulates straight into its persistent allreduce buffer.
         let micro = cfg.workers * cfg.batch_per_worker;
-        let results: Vec<(f64, Vec<f32>)> = workers
-            .par_iter()
-            .enumerate()
-            .map(|(w, (net, _))| {
+        workers.par_iter_mut().zip(grads.par_iter_mut()).enumerate().for_each(
+            |(w, (state, acc))| {
                 // Accumulate over micro-batches before communicating.
                 let mut loss_sum = 0.0f64;
-                let mut acc: Vec<f32> = vec![0.0; net.n_params()];
+                acc.fill(0.0);
                 for m in 0..cfg.accumulation_steps {
-                    let base =
-                        start + (m * micro) as u64 + (w * cfg.batch_per_worker) as u64;
-                    let mut shard =
-                        generate_batch(&cfg.data, cfg.seed, base, cfg.batch_per_worker);
+                    let base = start + (m * micro) as u64 + (w * cfg.batch_per_worker) as u64;
+                    let mut shard = generate_batch(&cfg.data, cfg.seed, base, cfg.batch_per_worker);
                     if cfg.augment {
                         for (i, s) in shard.iter_mut().enumerate() {
                             *s = super::segdata::augment(&cfg.data, s, cfg.seed, base + i as u64);
                         }
                     }
-                    let (l, g) = net.batch_loss_grad(&shard);
-                    loss_sum += l;
-                    for (a, gi) in acc.iter_mut().zip(&g) {
+                    loss_sum += state.net.batch_loss_grad_ws(&shard, &mut state.bw);
+                    for (a, gi) in acc.iter_mut().zip(&state.bw.grad) {
                         *a += gi;
                     }
                 }
                 let inv = 1.0 / cfg.accumulation_steps as f32;
                 acc.iter_mut().for_each(|a| *a *= inv);
-                (loss_sum / cfg.accumulation_steps as f64, acc)
-            })
-            .collect();
-        last_loss = results.iter().map(|(l, _)| *l).sum::<f64>() / cfg.workers as f64;
-        let mut grads: Vec<Vec<f32>> = results.into_iter().map(|(_, g)| g).collect();
+                state.loss = loss_sum / cfg.accumulation_steps as f64;
+            },
+        );
+        last_loss = workers.iter().map(|s| s.loss).sum::<f64>() / cfg.workers as f64;
         if cfg.fp16_gradients {
             for g in grads.iter_mut() {
                 super::fp16::compress_gradients(g);
@@ -207,17 +217,15 @@ pub fn train(cfg: &TrainConfig) -> TrainResult {
         }
 
         // The real allreduce: gradients cross threads through the same
-        // schedules the timing simulation measures.
-        exec_thread::allreduce(&schedule, &mut grads, ReduceOp::Average);
+        // schedules the timing simulation measures, averaging in place.
+        exec.allreduce(&schedule, &mut grads, ReduceOp::Average);
 
-        workers.par_iter_mut().zip(grads.par_iter()).for_each(|((net, opt), grad)| {
-            let mut params = net.params();
-            opt.apply(&mut params, grad);
-            net.set_params(&params);
+        workers.par_iter_mut().zip(grads.par_iter()).for_each(|(state, grad)| {
+            state.opt.apply(state.net.params_mut(), grad);
         });
 
         if cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0 {
-            let conf = evaluate(&workers[0].0, &cfg.data, cfg.seed, cfg.eval_samples);
+            let conf = evaluate(&workers[0].net, &cfg.data, cfg.seed, cfg.eval_samples);
             curve.push(EvalPoint {
                 step: step + 1,
                 train_loss: last_loss,
@@ -228,18 +236,14 @@ pub fn train(cfg: &TrainConfig) -> TrainResult {
     }
 
     // Replica-consistency invariant of synchronous data-parallel SGD.
-    let reference = workers[0].0.params();
-    for (w, (net, _)) in workers.iter().enumerate().skip(1) {
-        let p = net.params();
-        let max_dev = reference
-            .iter()
-            .zip(&p)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+    let reference = workers[0].net.params().to_vec();
+    for (w, state) in workers.iter().enumerate().skip(1) {
+        let p = state.net.params();
+        let max_dev = reference.iter().zip(p).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(max_dev == 0.0, "replica {w} diverged by {max_dev}");
     }
 
-    let conf = evaluate(&workers[0].0, &cfg.data, cfg.seed, cfg.eval_samples);
+    let conf = evaluate(&workers[0].net, &cfg.data, cfg.seed, cfg.eval_samples);
     let final_point = EvalPoint {
         step: cfg.steps,
         train_loss: last_loss,
@@ -264,15 +268,8 @@ mod tests {
     /// A config small enough for debug-mode tests.
     fn tiny(workers: usize, steps: usize) -> TrainConfig {
         let data = DataConfig { height: 10, width: 10, ..DataConfig::default() };
-        let net = NetConfig {
-            height: 10,
-            width: 10,
-            cin: 3,
-            hidden1: 4,
-            hidden2: 6,
-            n_classes: 4,
-            k: 3,
-        };
+        let net =
+            NetConfig { height: 10, width: 10, cin: 3, hidden1: 4, hidden2: 6, n_classes: 4, k: 3 };
         TrainConfig {
             data,
             net,

@@ -1,0 +1,189 @@
+//! Property-tested equivalence of the optimized cache-blocked conv
+//! kernels (im2col + tiled matmul) against the retained naive
+//! `reference_*` implementations, across random shapes including
+//! k = 1 and non-square h×w, within 1e-4.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trainer::real::net::{
+    col2im_acc, conv_backward, conv_forward, im2col, im2col_len, reference_conv_backward,
+    reference_conv_forward, BatchWorkspace, NetConfig, SegNet,
+};
+use trainer::real::segdata::Sample;
+
+/// Mixed absolute/relative tolerance: the optimized kernels reassociate
+/// float sums (8-lane dots, tiled accumulation), so results differ from
+/// the naive sequential order in the last bits only.
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + b.abs().max(a.abs()))
+}
+
+fn assert_all_close(got: &[f32], want: &[f32], tol: f32, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len(), "{}: length mismatch", what);
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(close(g, w, tol), "{}[{}]: optimized {} vs reference {}", what, i, g, w);
+    }
+    Ok(())
+}
+
+fn fill(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect()
+}
+
+/// Random conv shape: kernel in {1, 3, 5}, deliberately non-square h×w
+/// most of the time, channel counts small enough to keep cases fast.
+fn shape_strategy() -> impl Strategy<Value = (usize, usize, usize, usize, usize, u64)> {
+    (3usize..=9, 3usize..=9, 1usize..=4, 1usize..=5, 0usize..3, 0u64..1 << 48)
+        .prop_map(|(h, w, cin, cout, ki, seed)| (h, w, cin, cout, [1, 3, 5][ki], seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn forward_matches_reference((h, w, cin, cout, k, seed) in shape_strategy()) {
+        prop_assume!(k <= h && k <= w);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let npix = h * w;
+        let input = fill(&mut rng, cin * npix);
+        let weights = fill(&mut rng, cout * cin * k * k);
+        let bias = fill(&mut rng, cout);
+
+        let mut want = vec![0.0f32; cout * npix];
+        reference_conv_forward(&input, cin, h, w, &weights, &bias, k, cout, &mut want);
+
+        let mut cols = vec![0.0f32; im2col_len(cin, k, npix)];
+        let mut got = vec![0.0f32; cout * npix];
+        conv_forward(&input, cin, h, w, &weights, &bias, k, cout, &mut cols, &mut got);
+        assert_all_close(&got, &want, 1e-4, "out")?;
+    }
+
+    #[test]
+    fn backward_matches_reference((h, w, cin, cout, k, seed) in shape_strategy()) {
+        prop_assume!(k <= h && k <= w);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let npix = h * w;
+        let input = fill(&mut rng, cin * npix);
+        let weights = fill(&mut rng, cout * cin * k * k);
+        let bias = fill(&mut rng, cout);
+        let dout = fill(&mut rng, cout * npix);
+        // Start the accumulators non-zero: both kernels must *accumulate*.
+        let dw0 = fill(&mut rng, weights.len());
+        let db0 = fill(&mut rng, cout);
+        let din0 = fill(&mut rng, input.len());
+
+        let (mut dw_want, mut db_want, mut din_want) = (dw0.clone(), db0.clone(), din0.clone());
+        reference_conv_backward(
+            &input, cin, h, w, &weights, k, cout, &dout,
+            &mut dw_want, &mut db_want, Some(&mut din_want),
+        );
+
+        let mut cols = vec![0.0f32; im2col_len(cin, k, npix)];
+        let mut out = vec![0.0f32; cout * npix];
+        conv_forward(&input, cin, h, w, &weights, &bias, k, cout, &mut cols, &mut out);
+        let mut dcols = vec![0.0f32; cols.len()];
+        let (mut dw, mut db, mut din) = (dw0, db0, din0);
+        conv_backward(
+            &input, cin, h, w, &weights, k, cout, &dout,
+            &cols, &mut dcols, &mut dw, &mut db, Some(&mut din),
+        );
+        assert_all_close(&dw, &dw_want, 1e-4, "dw")?;
+        assert_all_close(&db, &db_want, 1e-4, "db")?;
+        assert_all_close(&din, &din_want, 1e-4, "dinput")?;
+    }
+
+    /// im2col followed by its adjoint scatter (col2im) is exactly the
+    /// patch-multiplicity operator: each pixel's coefficient counts how
+    /// many valid k×k windows cover it.
+    #[test]
+    fn im2col_col2im_adjoint_roundtrip((h, w, cin, _cout, k, seed) in shape_strategy()) {
+        prop_assume!(k <= h && k <= w && k > 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let npix = h * w;
+        let input = fill(&mut rng, cin * npix);
+        let mut cols = vec![0.0f32; im2col_len(cin, k, npix)];
+        im2col(&input, cin, h, w, k, &mut cols);
+        let mut back = vec![0.0f32; input.len()];
+        col2im_acc(&cols, cin, h, w, k, &mut back);
+        let r = (k / 2) as isize;
+        for c in 0..cin {
+            for y in 0..h as isize {
+                for x in 0..w as isize {
+                    // Multiplicity along each axis: number of window centers
+                    // within radius r that are in-bounds.
+                    let my = ((y - r).max(0)..=(y + r).min(h as isize - 1)).count();
+                    let mx = ((x - r).max(0)..=(x + r).min(w as isize - 1)).count();
+                    let idx = c * npix + (y as usize) * w + x as usize;
+                    let want = input[idx] * (my * mx) as f32;
+                    prop_assert!(
+                        close(back[idx], want, 1e-4),
+                        "pixel ({}, {}, {}): col2im(im2col(x)) = {} vs multiplicity {} × {}",
+                        c, y, x, back[idx], (my * mx), input[idx]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Build a random batch of samples for a config.
+fn random_batch(cfg: &NetConfig, rng: &mut StdRng, n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|_| {
+            let npix = cfg.height * cfg.width;
+            Sample {
+                pixels: fill(rng, cfg.cin * npix),
+                labels: (0..npix).map(|_| rng.gen_range(0..cfg.n_classes) as u8).collect(),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The workspace-reusing batch path equals the per-sample naive
+    /// reference averaged by hand, across random (non-square) configs.
+    #[test]
+    fn batch_loss_grad_ws_matches_reference(
+        (h, w, seed) in (4usize..=8, 4usize..=8, 0u64..1 << 48),
+        batch_n in 1usize..=5,
+        n_classes in 2usize..=4,
+    ) {
+        let cfg = NetConfig {
+            height: h,
+            width: w,
+            cin: 2,
+            hidden1: 3,
+            hidden2: 4,
+            n_classes,
+            k: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = SegNet::new(cfg, seed ^ 0x5eed);
+        let batch = random_batch(&cfg, &mut rng, batch_n);
+
+        let mut want_grad = vec![0.0f32; net.n_params()];
+        let mut want_loss = 0.0f64;
+        for s in &batch {
+            let (l, g) = net.reference_loss_grad(s);
+            want_loss += l;
+            for (acc, gi) in want_grad.iter_mut().zip(&g) {
+                *acc += gi;
+            }
+        }
+        want_loss /= batch.len() as f64;
+        for g in &mut want_grad {
+            *g /= batch.len() as f32;
+        }
+
+        let mut bw = BatchWorkspace::new(&cfg);
+        let loss = net.batch_loss_grad_ws(&batch, &mut bw);
+        prop_assert!(
+            (loss - want_loss).abs() <= 1e-4 * (1.0 + want_loss.abs()),
+            "loss: workspace {} vs reference {}", loss, want_loss
+        );
+        assert_all_close(&bw.grad, &want_grad, 1e-4, "grad")?;
+    }
+}

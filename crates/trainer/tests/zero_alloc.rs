@@ -1,0 +1,96 @@
+//! Counting-allocator proof that the hot gradient path performs zero
+//! heap allocation once the workspaces exist.
+//!
+//! A `#[global_allocator]` wrapper counts every `alloc`/`realloc`; the
+//! assertions run in one `#[test]` so no sibling test's allocations can
+//! interleave with the counted regions.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use trainer::real::net::{BatchWorkspace, NetConfig, SegNet, Workspace};
+use trainer::real::segdata::{generate_batch, DataConfig};
+
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f` and return how many allocation events it triggered.
+fn count_allocs(mut f: impl FnMut()) -> usize {
+    let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    f();
+    ALLOC_EVENTS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn hot_gradient_path_is_allocation_free() {
+    let data = DataConfig::default();
+    let cfg = NetConfig {
+        height: data.height,
+        width: data.width,
+        cin: data.channels,
+        n_classes: data.n_classes,
+        ..NetConfig::default()
+    };
+    let net = SegNet::new(cfg, 42);
+    let batch = generate_batch(&data, 42, 0, 16);
+
+    // --- per-sample path: strictly zero allocations, always ---------
+    let mut ws = Workspace::new(&cfg);
+    let mut grad = vec![0.0f32; net.n_params()];
+    // Warm-up (first touch of lazily-initialized TLS etc. must not count).
+    let mut loss = net.loss_grad_acc(&batch[0], &mut ws, &mut grad);
+    let n = count_allocs(|| {
+        for s in &batch {
+            grad.fill(0.0);
+            loss += net.loss_grad_acc(s, &mut ws, &mut grad);
+        }
+    });
+    assert!(loss.is_finite());
+    assert_eq!(n, 0, "loss_grad_acc allocated {n} times over 16 samples");
+
+    // --- batch path -------------------------------------------------
+    let mut bw = BatchWorkspace::new(&cfg);
+    let _ = net.batch_loss_grad_ws(&batch, &mut bw);
+    if rayon::current_num_threads() == 1 {
+        // Single-threaded the rayon shim runs inline: strictly zero.
+        let n = count_allocs(|| {
+            let _ = net.batch_loss_grad_ws(&batch, &mut bw);
+        });
+        assert_eq!(n, 0, "single-threaded batch_loss_grad_ws allocated {n} times");
+    } else {
+        // Multi-threaded, thread spawning itself allocates — but the
+        // count must depend only on the worker count, not on how much
+        // work flows through, i.e. no per-sample allocations.
+        let small = count_allocs(|| {
+            let _ = net.batch_loss_grad_ws(&batch[..4], &mut bw);
+        });
+        let large = count_allocs(|| {
+            let _ = net.batch_loss_grad_ws(&batch, &mut bw);
+        });
+        assert!(
+            large <= small.max(1) * 2,
+            "batch_loss_grad_ws allocations scale with batch size: {small} at 4 samples, \
+             {large} at 16"
+        );
+    }
+}

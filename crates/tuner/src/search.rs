@@ -21,11 +21,7 @@ pub fn grid_search(space: &KnobSpace, objective: &Objective<'_>) -> TuneReport {
     let mut scored: Vec<Scored> = space.candidates().iter().map(|c| objective.eval(c)).collect();
     let trajectory = scored.clone();
     scored.sort_by(|a, b| b.throughput.partial_cmp(&a.throughput).expect("NaN throughput"));
-    TuneReport {
-        best: scored[0].clone(),
-        trajectory,
-        evaluations: objective.evaluations(),
-    }
+    TuneReport { best: scored[0].clone(), trajectory, evaluations: objective.evaluations() }
 }
 
 /// Greedy coordinate descent: starting from `start`, optimize one axis at
@@ -135,8 +131,7 @@ mod tests {
         let gpu = GpuModel::v100();
         let obj = Objective::new(&machine, &model, &gpu, 1, 96, 2, 5);
         let space = KnobSpace::paper();
-        let report =
-            coordinate_descent(&space, &obj, Candidate::paper_default(), 3);
+        let report = coordinate_descent(&space, &obj, Candidate::paper_default(), 3);
         let default_score = report.trajectory[0].throughput;
         assert!(
             report.best.throughput > default_score * 1.05,
@@ -158,8 +153,7 @@ mod tests {
         let model = deeplab_paper();
         let gpu = GpuModel::v100();
         let obj = Objective::new(&machine, &model, &gpu, 1, 24, 2, 5);
-        let report =
-            coordinate_descent(&KnobSpace::small(), &obj, Candidate::paper_default(), 2);
+        let report = coordinate_descent(&KnobSpace::small(), &obj, Candidate::paper_default(), 2);
         let mut best_so_far = 0.0f64;
         for s in &report.trajectory {
             best_so_far = best_so_far.max(s.throughput);

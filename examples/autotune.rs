@@ -20,8 +20,11 @@ fn main() {
 
     println!("evaluations: {} (vs {} for the full grid)", report.evaluations, space.size());
     println!("start : {}", report.trajectory[0].candidate.label());
-    println!("        {:.1} img/s ({:.1}% efficiency)", report.trajectory[0].throughput,
-        report.trajectory[0].efficiency * 100.0);
+    println!(
+        "        {:.1} img/s ({:.1}% efficiency)",
+        report.trajectory[0].throughput,
+        report.trajectory[0].efficiency * 100.0
+    );
     println!("best  : {}", report.best.candidate.label());
     println!(
         "        {:.1} img/s ({:.1}% efficiency) — {:.2}x over the default",

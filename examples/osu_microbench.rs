@@ -41,8 +41,11 @@ fn main() {
         sizes
             .iter()
             .step_by(4)
-            .map(|&b| format!("{}→{}", summit_metrics::fmt_bytes(b),
-                MpiProfile::mvapich2_gdr().select_algorithm(b)))
+            .map(|&b| format!(
+                "{}→{}",
+                summit_metrics::fmt_bytes(b),
+                MpiProfile::mvapich2_gdr().select_algorithm(b)
+            ))
             .collect::<Vec<_>>()
             .join(", ")
     );

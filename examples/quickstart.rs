@@ -27,7 +27,11 @@ fn main() {
     println!();
 
     for (label, profile, config) in [
-        ("default (Spectrum, 64 MB / 5 ms)", MpiProfile::spectrum_default(), HorovodConfig::default()),
+        (
+            "default (Spectrum, 64 MB / 5 ms)",
+            MpiProfile::spectrum_default(),
+            HorovodConfig::default(),
+        ),
         (
             "tuned   (MVAPICH2-GDR, 16 MB / 1 ms)",
             MpiProfile::mvapich2_gdr(),

@@ -40,8 +40,5 @@ fn main() {
 
     let json = timeline.to_chrome_json();
     std::fs::write("horovod_timeline.json", &json).expect("write trace");
-    println!(
-        "\nwrote horovod_timeline.json ({} bytes) — load it in chrome://tracing",
-        json.len()
-    );
+    println!("\nwrote horovod_timeline.json ({} bytes) — load it in chrome://tracing", json.len());
 }

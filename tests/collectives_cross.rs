@@ -36,6 +36,71 @@ fn every_algorithm_correct_at_awkward_sizes() {
 }
 
 #[test]
+fn pooled_executor_matches_reference_for_every_algorithm() {
+    // One ExecContext reused across all algorithms and calls: the buffer
+    // pool must never change results, and after warm-up it must stop
+    // allocating payload buffers entirely.
+    let ctx = exec_thread::ExecContext::new();
+    for algo in all_algorithms() {
+        for (n, e) in [(13usize, 7usize), (9, 100)] {
+            let s = algo.build(n, e);
+            let ins: Vec<Vec<f32>> = (0..n)
+                .map(|r| (0..e).map(|i| ((r * 11 + i * 5) % 17) as f32 - 8.0).collect())
+                .collect();
+            let mut bufs = ins.clone();
+            ctx.allreduce(&s, &mut bufs, ReduceOp::Average);
+            reference::assert_allreduce_result(&ins, &bufs, ReduceOp::Average, 1e-3);
+        }
+    }
+    // Warm: repeat the last schedule; the pool must be in steady state.
+    let algo = Algorithm::Ring;
+    let s = algo.build(9, 100);
+    let mut bufs: Vec<Vec<f32>> = (0..9).map(|r| vec![r as f32; 100]).collect();
+    ctx.allreduce(&s, &mut bufs, ReduceOp::Sum);
+    let after_warmup = ctx.payload_allocations();
+    for _ in 0..4 {
+        let mut bufs: Vec<Vec<f32>> = (0..9).map(|r| vec![r as f32; 100]).collect();
+        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum);
+    }
+    assert_eq!(
+        ctx.payload_allocations(),
+        after_warmup,
+        "steady-state allreduce must not allocate payload buffers"
+    );
+}
+
+#[test]
+fn fp16_compressed_allreduce_matches_reference_on_compressed_inputs() {
+    // The fp16 path casts gradients down/up around the reduce. Since the
+    // reduction itself runs in f32, the pooled threaded allreduce of
+    // compressed buffers must agree exactly with the reference reduction
+    // of the same compressed inputs — compression commutes with which
+    // executor runs the schedule.
+    use summit_dlv3_repro::trainer::real::fp16::compress_gradients;
+    let ctx = exec_thread::ExecContext::new();
+    for algo in all_algorithms() {
+        let (n, e) = (6usize, 37usize);
+        let s = algo.build(n, e);
+        let mut ins: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..e).map(|i| ((r * 7 + i * 3) % 29) as f32 * 0.0137 - 0.19).collect())
+            .collect();
+        for buf in &mut ins {
+            compress_gradients(buf);
+        }
+        let mut bufs = ins.clone();
+        ctx.allreduce(&s, &mut bufs, ReduceOp::Average);
+        reference::assert_allreduce_result(&ins, &bufs, ReduceOp::Average, 1e-5);
+        // And the values really went through half precision: every input
+        // must be exactly f16-representable.
+        for buf in &ins {
+            for &x in buf {
+                assert_eq!(x, summit_dlv3_repro::trainer::real::fp16::roundtrip(x));
+            }
+        }
+    }
+}
+
+#[test]
 fn simulated_times_are_positive_and_ordered_by_personality() {
     let machine = Machine::new(MachineConfig::summit_for_gpus(24));
     let mv2 = MpiProfile::mvapich2_gdr();

@@ -55,11 +55,7 @@ fn headline_claims_hold_at_132_gpus() {
         "efficiency delta = {:.1} points, paper says 23.9",
         delta
     );
-    assert!(
-        (1.22..=1.48).contains(&speedup),
-        "speedup = {:.2}x, paper says 1.3x",
-        speedup
-    );
+    assert!((1.22..=1.48).contains(&speedup), "speedup = {:.2}x, paper says 1.3x", speedup);
 }
 
 #[test]

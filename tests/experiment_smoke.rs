@@ -31,18 +31,9 @@ fn f4_f5_paths_knob_sweeps_have_effects() {
     let model = deeplab_paper();
     let gpu = GpuModel::v100();
     let run = |config: HorovodConfig| {
-        StepSim::new(
-            &machine,
-            MpiProfile::spectrum_default(),
-            config,
-            &model,
-            &gpu,
-            1,
-            48,
-            2020,
-        )
-        .simulate_training(2)
-        .throughput
+        StepSim::new(&machine, MpiProfile::spectrum_default(), config, &model, &gpu, 1, 48, 2020)
+            .simulate_training(2)
+            .throughput
     };
     let fusion_off = run(HorovodConfig::default().with_fusion(0));
     let fusion_default = run(HorovodConfig::default());
@@ -57,12 +48,7 @@ fn t7_path_autotuner_improves_default() {
     let model = deeplab_paper();
     let gpu = GpuModel::v100();
     let objective = Objective::new(&machine, &model, &gpu, 1, 48, 2, 2020);
-    let report = coordinate_descent(
-        &KnobSpace::small(),
-        &objective,
-        Candidate::paper_default(),
-        2,
-    );
+    let report = coordinate_descent(&KnobSpace::small(), &objective, Candidate::paper_default(), 2);
     assert!(report.best.throughput >= report.trajectory[0].throughput);
     assert_eq!(report.best.candidate.backend, Backend::Mvapich2Gdr);
 }

@@ -8,15 +8,8 @@ use summit_dlv3_repro::trainer::real::{train, DataConfig, NetConfig, TrainConfig
 
 fn cfg(workers: usize, batch_per_worker: usize, steps: usize) -> TrainConfig {
     let data = DataConfig { height: 12, width: 12, ..DataConfig::default() };
-    let net = NetConfig {
-        height: 12,
-        width: 12,
-        cin: 3,
-        hidden1: 5,
-        hidden2: 8,
-        n_classes: 4,
-        k: 3,
-    };
+    let net =
+        NetConfig { height: 12, width: 12, cin: 3, hidden1: 5, hidden2: 8, n_classes: 4, k: 3 };
     TrainConfig {
         data,
         net,
@@ -27,8 +20,8 @@ fn cfg(workers: usize, batch_per_worker: usize, steps: usize) -> TrainConfig {
         lr_scale: 1.0,
         warmup_steps: 5,
         momentum: 0.9,
-       weight_decay: 0.0,
-       accumulation_steps: 1,
+        weight_decay: 0.0,
+        accumulation_steps: 1,
         algo: Algorithm::Ring,
         fp16_gradients: false,
         augment: false,
@@ -71,12 +64,8 @@ fn worker_count_does_not_change_the_math() {
 
 #[test]
 fn allreduce_algorithm_does_not_change_the_result() {
-    let algos = [
-        Algorithm::Ring,
-        Algorithm::RecursiveDoubling,
-        Algorithm::Rabenseifner,
-        Algorithm::Tree,
-    ];
+    let algos =
+        [Algorithm::Ring, Algorithm::RecursiveDoubling, Algorithm::Rabenseifner, Algorithm::Tree];
     let results: Vec<_> = algos
         .iter()
         .map(|&a| {

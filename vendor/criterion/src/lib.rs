@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion`, implementing the subset this
+//! workspace's benches use: [`Criterion`], `bench_function`,
+//! `benchmark_group` / `sample_size` / `bench_with_input`,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a short calibration pass picks an
+//! iteration count targeting ~`measurement_time / sample_size` per
+//! sample, then `sample_size` samples are timed and the mean / median /
+//! min ns-per-iteration are printed. No plotting, no statistics beyond
+//! that — enough to compare kernels before/after and to feed the
+//! machine-readable bench runners, which do their own timing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier (`group/function/parameter` naming).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Per-iteration timing loop handed to bench closures.
+pub struct Bencher {
+    /// Iterations per timed sample (set by calibration).
+    iters: u64,
+    /// Collected sample durations, in ns per iteration.
+    samples: Vec<f64>,
+    calibrating: bool,
+    calibration_elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.calibrating {
+            let start = Instant::now();
+            black_box(f());
+            self.calibration_elapsed = start.elapsed();
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.samples.push(elapsed.as_nanos() as f64 / self.iters as f64);
+    }
+}
+
+/// Summary statistics of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub min_ns: f64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement: Duration,
+    mut routine: F,
+) -> BenchStats {
+    // Calibrate: run once to estimate per-iteration cost.
+    let mut b = Bencher {
+        iters: 1,
+        samples: Vec::new(),
+        calibrating: true,
+        calibration_elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let per_iter = b.calibration_elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = measurement.as_secs_f64() / sample_size as f64;
+    let iters = (budget_per_sample / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+    b.calibrating = false;
+    b.iters = iters;
+    b.samples.reserve(sample_size);
+    for _ in 0..sample_size {
+        routine(&mut b);
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let stats = BenchStats {
+        mean_ns: b.samples.iter().sum::<f64>() / b.samples.len() as f64,
+        median_ns: sorted[sorted.len() / 2],
+        min_ns: sorted[0],
+    };
+    println!(
+        "bench: {id:<50} {:>12.1} ns/iter (median {:.1}, min {:.1}, {} samples x {} iters)",
+        stats.mean_ns, stats.median_ns, stats.min_ns, sample_size, iters
+    );
+    stats
+}
+
+/// Benchmark manager (the `c` in `fn bench(c: &mut Criterion)`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_millis(600) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, self.measurement_time, routine);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group sharing sample-size configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.measurement_time, routine);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.measurement_time, |b| routine(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filters); this harness
+            // runs everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_sane_stats() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_and_id_naming() {
+        let id = BenchmarkId::from_parameter(4096);
+        assert_eq!(id.to_string(), "4096");
+        let id = BenchmarkId::new("conv", "24x24");
+        assert_eq!(id.to_string(), "conv/24x24");
+    }
+
+    #[test]
+    fn calibration_scales_iters_down_for_slow_bodies() {
+        let mut c = Criterion::default();
+        c.sample_size(2).measurement_time(Duration::from_millis(4));
+        // A ~1 ms body must not be run millions of times.
+        let start = Instant::now();
+        c.bench_function("slow", |b| b.iter(|| std::thread::sleep(Duration::from_micros(500))));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for `crossbeam`, providing the `channel` module the
+//! workspace uses, backed by `std::sync::mpsc`.
+//!
+//! Only the surface the collectives executor (and its buffer pool) needs:
+//! [`channel::unbounded`], [`channel::bounded`], `send` / `recv` /
+//! `try_recv` / `try_send`, and cloneable senders.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by `try_send`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    /// Error returned when all senders are gone and the queue is empty.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by `try_recv`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send (never blocks for unbounded channels).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+
+        /// Non-blocking send; `Full` only possible for bounded channels.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => {
+                    s.send(value).map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v))
+                }
+                Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Channel with a fixed capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_reports_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn disconnect_is_observable() {
+        let (tx, rx) = unbounded::<i32>();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn crosses_threads() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

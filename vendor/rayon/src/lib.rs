@@ -1,0 +1,495 @@
+//! Offline stand-in for `rayon`, covering the combinator surface this
+//! workspace uses: `par_iter` / `par_iter_mut` / `into_par_iter` over
+//! slices and integer ranges, with `map`, `zip`, `enumerate`, `fold`,
+//! `for_each`, `reduce`, and `collect`.
+//!
+//! Execution model: a terminal operation partitions the index space into
+//! one contiguous chunk per available core and runs each chunk on a
+//! `std::thread::scope` thread (inline when a single core is available or
+//! the input is tiny). Chunk partitioning is deterministic for a given
+//! core count, so floating-point reductions are reproducible run-to-run
+//! on the same machine — a property the training tests rely on.
+//!
+//! Unlike real rayon there is no work stealing; the cost model here is
+//! "chunks are balanced because items are homogeneous", which holds for
+//! every call site in this workspace (per-sample gradient work,
+//! element-wise buffer math).
+
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ops::Range;
+
+/// Number of worker threads a terminal operation may use.
+pub fn current_num_threads() -> usize {
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Internal indexed source: `get(i)` must be called at most once per
+/// index across all threads (chunks partition the index space), which is
+/// what makes handing out `&mut` items sound.
+///
+/// This is an implementation detail; user code only sees
+/// [`ParallelIterator`].
+#[allow(clippy::len_without_is_empty)]
+pub trait Source: Sync {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    /// # Safety
+    /// Each index in `0..len()` may be claimed at most once.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+}
+
+/// Balanced contiguous chunk bounds: chunk `c` of `k` over `len` items.
+fn chunk_bounds(len: usize, k: usize, c: usize) -> Range<usize> {
+    let base = len / k;
+    let rem = len % k;
+    let start = c * base + c.min(rem);
+    let end = start + base + usize::from(c < rem);
+    start..end
+}
+
+/// Run `body(chunk_index, index_range)` over a balanced partition of
+/// `0..len`, on up to `current_num_threads()` threads. Returns per-chunk
+/// results in chunk order.
+fn run_chunked<R, F>(len: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let k = current_num_threads().min(len);
+    if k <= 1 {
+        return vec![body(0, 0..len)];
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(k);
+    out.resize_with(k, || None);
+    std::thread::scope(|scope| {
+        let body = &body;
+        let mut handles = Vec::with_capacity(k - 1);
+        for c in 1..k {
+            handles.push(scope.spawn(move || body(c, chunk_bounds(len, k, c))));
+        }
+        out[0] = Some(body(0, chunk_bounds(len, k, 0)));
+        for (c, h) in handles.into_iter().enumerate() {
+            out[c + 1] = Some(h.join().expect("parallel chunk panicked"));
+        }
+    });
+    out.into_iter().map(|r| r.expect("chunk result")).collect()
+}
+
+/// Collection target for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<S: Source<Item = T>>(source: S) -> Self;
+}
+
+struct PtrSend<T>(*mut T);
+unsafe impl<T> Send for PtrSend<T> {}
+unsafe impl<T> Sync for PtrSend<T> {}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<S: Source<Item = T>>(source: S) -> Self {
+        let len = source.len();
+        let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+        // SAFETY: every slot in 0..len is written exactly once below
+        // before the transmute (chunks partition the index space).
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            out.set_len(len);
+        }
+        let base = PtrSend(out.as_mut_ptr());
+        run_chunked(len, |_, range| {
+            let ptr = &base;
+            for i in range {
+                // SAFETY: disjoint chunks → exclusive slot access; each
+                // source index claimed once.
+                unsafe {
+                    ptr.0.add(i).write(MaybeUninit::new(source.get(i)));
+                }
+            }
+        });
+        // SAFETY: all len slots initialized; MaybeUninit<T> and T share layout.
+        unsafe {
+            let mut out = std::mem::ManuallyDrop::new(out);
+            Vec::from_raw_parts(out.as_mut_ptr().cast::<T>(), len, out.capacity())
+        }
+    }
+}
+
+/// The user-facing combinator surface (rayon's `ParallelIterator` +
+/// `IndexedParallelIterator`, collapsed).
+pub trait ParallelIterator: Source + Sized {
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_chunked(self.len(), |_, range| {
+            for i in range {
+                // SAFETY: chunks partition the index space.
+                f(unsafe { self.get(i) });
+            }
+        });
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let partials = run_chunked(self.len(), |_, range| {
+            let mut acc = identity();
+            for i in range {
+                // SAFETY: chunks partition the index space.
+                acc = op(acc, unsafe { self.get(i) });
+            }
+            acc
+        });
+        let mut it = partials.into_iter();
+        let first = it.next().unwrap_or_else(&identity);
+        it.fold(first, &op)
+    }
+
+    /// Per-chunk sequential fold; combine the partials with
+    /// [`FoldPartials::reduce`]. This is the allocation-frugal shape the
+    /// trainer's hot path uses: one accumulator per thread, not per item.
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> FoldPartials<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync,
+    {
+        let partials = run_chunked(self.len(), |_, range| {
+            let mut acc = identity();
+            for i in range {
+                // SAFETY: chunks partition the index space.
+                acc = fold_op(acc, unsafe { self.get(i) });
+            }
+            acc
+        });
+        FoldPartials { partials }
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    fn count(self) -> usize {
+        self.len()
+    }
+}
+
+impl<S: Source + Sized> ParallelIterator for S {}
+
+/// Result of [`ParallelIterator::fold`]: one accumulator per executed
+/// chunk, in deterministic chunk order.
+pub struct FoldPartials<A> {
+    partials: Vec<A>,
+}
+
+impl<A> FoldPartials<A> {
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> A
+    where
+        ID: Fn() -> A,
+        OP: Fn(A, A) -> A,
+    {
+        let mut it = self.partials.into_iter();
+        let first = it.next().unwrap_or_else(identity);
+        it.fold(first, op)
+    }
+
+    pub fn into_vec(self) -> Vec<A> {
+        self.partials
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Shared-slice source (`par_iter`).
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Source for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a T {
+        self.slice.get_unchecked(i)
+    }
+}
+
+/// Exclusive-slice source (`par_iter_mut`).
+pub struct SliceIterMut<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: disjoint index claims (the Source contract) make concurrent
+// `&mut` handouts non-aliasing; T: Send lets items cross threads.
+unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+impl<'a, T: Send> Source for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Integer-range source (`(a..b).into_par_iter()`).
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl Source for RangeIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            unsafe fn get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+impl_range_source!(u32, u64, usize, i32, i64);
+
+// ------------------------------------------------------------ combinators
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, R> Source for Map<S, F>
+where
+    S: Source,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> R {
+        (self.f)(self.base.get(i))
+    }
+}
+
+pub struct Enumerate<S> {
+    base: S,
+}
+
+impl<S: Source> Source for Enumerate<S> {
+    type Item = (usize, S::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> (usize, S::Item) {
+        (i, self.base.get(i))
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Source, B: Source> Source for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.get(i), self.b.get(i))
+    }
+}
+
+// ------------------------------------------------------------- entry traits
+
+/// Owned conversion into a parallel iterator (ranges, in this shim).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: Source<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter` on borrowed slices (and, via deref, `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: Source<Item = Self::Item>;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_iter_mut` on borrowed slices (and, via deref, `Vec`).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: Source<Item = Self::Item>;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = SliceIterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData }
+    }
+}
+
+pub mod prelude {
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_match() {
+        let data = [10, 20, 30, 40];
+        let v: Vec<(usize, i32)> = data.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(v, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item() {
+        let mut data = vec![1i64; 10_000];
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn zip_mut_with_shared() {
+        let mut dst = vec![1.0f32; 257];
+        let src = vec![2.0f32; 257];
+        dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, s)| *d += *s);
+        assert!(dst.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let total = (0..10_000u64).into_par_iter().map(|i| i).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn reduce_empty_uses_identity() {
+        let total = (0..0u64).into_par_iter().map(|i| i).reduce(|| 42, |a, b| a + b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_serial() {
+        let data: Vec<f64> = (0..5000).map(|i| i as f64 * 0.25).collect();
+        let par = data.par_iter().fold(|| 0.0f64, |acc, &x| acc + x).reduce(|| 0.0, |a, b| a + b);
+        let serial: f64 = data.iter().sum();
+        assert!((par - serial).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let data: Vec<f32> = (0..100_000).map(|i| (i as f32).sin()).collect();
+        let run =
+            || data.par_iter().fold(|| 0.0f32, |acc, &x| acc + x).reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn chunk_bounds_partition() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for k in 1..=8 {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for c in 0..k.min(len.max(1)) {
+                    let r = super::chunk_bounds(len, k.min(len.max(1)), c);
+                    assert_eq!(r.start, prev_end);
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                if len > 0 {
+                    assert_eq!(covered, len);
+                    assert_eq!(prev_end, len);
+                }
+            }
+        }
+    }
+}
