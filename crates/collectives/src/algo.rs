@@ -112,7 +112,7 @@ mod tests {
         for algo in all_algorithms() {
             for &(n, e) in &[(1usize, 5usize), (2, 9), (6, 20), (12, 7), (13, 64)] {
                 let s = algo.build(n, e);
-                s.validate().unwrap_or_else(|err| panic!("{algo} n={n} e={e}: {err:?}"));
+                s.verify_allreduce().unwrap_or_else(|err| panic!("{algo} n={n} e={e}: {err:?}"));
                 let ins: Vec<Vec<f32>> = (0..n)
                     .map(|r| (0..e).map(|i| ((r * 7 + i) % 5) as f32 - 2.0).collect())
                     .collect();

@@ -2,10 +2,18 @@
 //!
 //! One thread per rank; messages travel over crossbeam channels (one
 //! channel per ordered rank pair, so FIFO order within a pair gives us
-//! free round sequencing). Because the schedule is round-structured and a
-//! rank materializes all its outgoing payloads before blocking on
-//! receives, unbounded channels make the execution deadlock-free for any
-//! schedule that passes [`Schedule::validate`].
+//! free round sequencing). Deadlock-freedom is not an informal argument
+//! about this executor's send hoisting anymore: [`Schedule::validate`]
+//! delegates to the `verifier` crate, whose happens-before analysis
+//! ([`verifier::hb`]) proves the waits-for graph over receives acyclic
+//! under the *weaker* in-order issue model — every receive's matching
+//! send is reachable without waiting on that receive, transitively. Any
+//! schedule passing that proof cannot deadlock here, where sends are
+//! additionally hoisted to the start of each round (phase A) and
+//! channels are unbounded. In debug builds the executor runs the full
+//! verifier on every schedule it has not seen before, *before* spawning
+//! any rank thread; release builds keep the cheap structural check per
+//! call (same cost as the old ad-hoc `validate`).
 //!
 //! Payload buffers are **pooled**: a send acquires a recycled `Vec<f32>`
 //! from the executor's [`PayloadPool`] instead of allocating, and the
@@ -96,14 +104,77 @@ impl PayloadPool {
 ///
 /// Construct once, call [`ExecContext::allreduce`] every step: payload
 /// buffers recycle across rounds *and* across calls.
+///
+/// Verification happens *before* any rank thread spawns. In debug
+/// builds every schedule this context has not executed before goes
+/// through the full static verifier (structural + determinism +
+/// happens-before); the set of already-verified schedule fingerprints
+/// is memoized so a training loop re-running one schedule pays the
+/// analysis once. Release builds run the structural layer only.
 #[derive(Debug, Default)]
 pub struct ExecContext {
     pool: PayloadPool,
+    /// Fingerprints of schedules already proven clean by this context.
+    #[cfg(debug_assertions)]
+    verified: Mutex<std::collections::HashSet<u64>>,
+}
+
+/// A structure-sensitive fingerprint: two schedules collide only if
+/// every round, rank, and action agrees. Only the debug-build
+/// memoization path keys on it.
+#[cfg(debug_assertions)]
+fn schedule_fingerprint(schedule: &Schedule) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    schedule.n_ranks.hash(&mut h);
+    schedule.n_elems.hash(&mut h);
+    for round in &schedule.rounds {
+        round.per_rank.hash(&mut h);
+    }
+    h.finish()
 }
 
 impl ExecContext {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A context that eagerly runs the *full* verifier on `schedule`
+    /// (all builds), pre-sizes the payload pool for it, and memoizes it
+    /// as verified — the constructor the training loop uses so the
+    /// per-step path never re-analyzes.
+    pub fn for_schedule(schedule: &Schedule) -> Result<Self, Vec<crate::sched::Violation>> {
+        schedule.validate()?;
+        let ctx = Self::new();
+        ctx.pool.reserve_hint(schedule.n_elems);
+        #[cfg(debug_assertions)]
+        ctx.verified.lock().insert(schedule_fingerprint(schedule));
+        Ok(ctx)
+    }
+
+    /// Debug builds: full verification of unseen schedules, memoized.
+    /// Panics with the structured violation list on a bad schedule —
+    /// crucially, before any channel is created or thread spawned.
+    #[cfg(debug_assertions)]
+    fn verify_before_spawn(&self, schedule: &Schedule) {
+        let fp = schedule_fingerprint(schedule);
+        if self.verified.lock().contains(&fp) {
+            return;
+        }
+        if let Err(violations) = schedule.validate() {
+            panic!("schedule verification failed before thread spawn: {violations:?}");
+        }
+        self.verified.lock().insert(fp);
+    }
+
+    /// Release builds: the cheap structural layer on every call (the
+    /// same cost the old ad-hoc validate paid).
+    #[cfg(not(debug_assertions))]
+    fn verify_before_spawn(&self, schedule: &Schedule) {
+        let violations = verifier::verify_structural(&schedule.to_ir());
+        if !violations.is_empty() {
+            panic!("schedule verification failed before thread spawn: {violations:?}");
+        }
     }
 
     /// Execute `schedule` on real buffers, one thread per rank.
@@ -115,7 +186,7 @@ impl ExecContext {
         for b in buffers.iter() {
             assert_eq!(b.len(), schedule.n_elems, "buffer length mismatch");
         }
-        schedule.validate().expect("invalid schedule");
+        self.verify_before_spawn(schedule);
         let n = schedule.n_ranks;
         if n == 1 || schedule.rounds.is_empty() {
             return;
@@ -193,9 +264,9 @@ fn rank_main(
                 let payload = pool.acquire_copy(&buf[seg.offset..seg.end()]);
                 tx[peer]
                     .as_ref()
-                    .expect("send to self is rejected by validate")
+                    .expect("send to self is rejected by the verifier") // lint: allow(unwrap): SelfMessage rule proven before spawn
                     .send((round_idx, seg.offset, payload))
-                    .expect("receiver thread hung up");
+                    .expect("receiver thread hung up"); // lint: allow(unwrap): scoped threads outlive the round
             }
         }
         // Phase B: block on receives in action order.
@@ -205,9 +276,9 @@ fn rank_main(
                 Action::RecvReduce { peer, seg } | Action::RecvReplace { peer, seg } => {
                     let (r, off, payload) = rx[peer]
                         .as_ref()
-                        .expect("recv from self is rejected by validate")
+                        .expect("recv from self is rejected by the verifier") // lint: allow(unwrap): SelfMessage rule proven before spawn
                         .recv()
-                        .expect("sender thread hung up");
+                        .expect("sender thread hung up"); // lint: allow(unwrap): UnmatchedRecv + DeadlockCycle rules proven before spawn
                     assert_eq!(r, round_idx, "rank {rank}: out-of-round message from {peer}");
                     assert_eq!(off, seg.offset, "rank {rank}: segment mismatch from {peer}");
                     assert_eq!(payload.len(), seg.len, "rank {rank}: length mismatch from {peer}");
@@ -411,6 +482,45 @@ mod tests {
             ctx.payload_allocations(),
             sends
         );
+    }
+
+    #[test]
+    fn corrupted_schedule_rejected_before_any_thread_spawns() {
+        // Drop rank 1's receive: rank 0's send dangles. The debug-build
+        // verification gate must panic before any channel exists or
+        // rank thread spawns — the panic message is the verifier's,
+        // not a rank_main assertion's.
+        let mut s = ring::allreduce(4, 16);
+        s.rounds[0].per_rank[1].retain(|a| a.is_send());
+        let ctx = ExecContext::new();
+        let mut bufs = inputs(4, 16);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.run(&s, &mut bufs, ReduceOp::Sum);
+        }))
+        .expect_err("corrupted schedule must be rejected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("before thread spawn"), "unexpected panic: {msg}");
+        assert!(msg.contains("UnmatchedSend") || msg.contains("UnmatchedRecv"), "{msg}");
+    }
+
+    #[test]
+    fn for_schedule_verifies_at_construction() {
+        assert!(ExecContext::for_schedule(&ring::allreduce(4, 16)).is_ok());
+        let mut bad = ring::allreduce(4, 16);
+        bad.rounds[0].per_rank[1].clear();
+        let violations = ExecContext::for_schedule(&bad).expect_err("must reject broken schedule");
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn for_schedule_context_computes_correctly_and_presizes() {
+        let (n, e) = (5usize, 257usize);
+        let s = ring::allreduce(n, e);
+        let ctx = ExecContext::for_schedule(&s).expect("valid schedule");
+        let ins = inputs(n, e);
+        let mut bufs = ins.clone();
+        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum);
+        assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use analytic::{allreduce_cost, crossover, AlphaBeta};
 pub use exec_sim::{simulate, simulate_dense, CostModel, MsgParams, UniformCost, ELEM_BYTES};
 pub use hierarchical::{LeaderAlgo, NodeGroups};
 pub use reduce::ReduceOp;
-pub use sched::{Action, Round, Schedule, ScheduleError, Seg};
+pub use sched::{Action, Round, Rule, Schedule, Seg, Span, Violation};
 
 #[cfg(test)]
 mod proptests {
@@ -76,8 +76,10 @@ mod proptests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
-        /// Any algorithm, any rank count, any size: the schedule validates
-        /// and the reference execution equals the mathematical allreduce.
+        /// Any algorithm, any rank count, any size: the schedule passes
+        /// the full static verifier (structural, determinism, deadlock,
+        /// coverage) and the reference execution equals the
+        /// mathematical allreduce.
         #[test]
         fn schedules_validate_and_reduce_correctly(
             algo in arb_algorithm(),
@@ -86,7 +88,7 @@ mod proptests {
             seed in 0u64..1000,
         ) {
             let s = algo.build(n, e);
-            prop_assert_eq!(s.validate(), Ok(()));
+            prop_assert_eq!(s.verify_allreduce(), Ok(()));
             let ins: Vec<Vec<f32>> = (0..n)
                 .map(|r| {
                     (0..e)

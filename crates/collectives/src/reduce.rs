@@ -20,6 +20,8 @@ pub enum ReduceOp {
 const PAR_THRESHOLD: usize = 1 << 15;
 
 /// `dst[i] = dst[i] + src[i]`.
+// lint: hot-path
+// lint: no-f64
 pub fn combine_sum(dst: &mut [f32], src: &[f32]) {
     assert_eq!(dst.len(), src.len(), "segment length mismatch");
     if dst.len() >= PAR_THRESHOLD {
@@ -32,6 +34,8 @@ pub fn combine_sum(dst: &mut [f32], src: &[f32]) {
 }
 
 /// `dst[i] = max(dst[i], src[i])`.
+// lint: hot-path
+// lint: no-f64
 pub fn combine_max(dst: &mut [f32], src: &[f32]) {
     assert_eq!(dst.len(), src.len(), "segment length mismatch");
     if dst.len() >= PAR_THRESHOLD {
@@ -45,6 +49,8 @@ pub fn combine_max(dst: &mut [f32], src: &[f32]) {
 
 /// Combine according to `op`'s accumulation step (Average accumulates as
 /// Sum; the final scale is applied by [`finalize`]).
+// lint: hot-path
+// lint: no-f64
 pub fn combine(op: ReduceOp, dst: &mut [f32], src: &[f32]) {
     match op {
         ReduceOp::Sum | ReduceOp::Average => combine_sum(dst, src),
@@ -53,6 +59,8 @@ pub fn combine(op: ReduceOp, dst: &mut [f32], src: &[f32]) {
 }
 
 /// Post-process a fully reduced buffer (scales by 1/n for Average).
+// lint: hot-path
+// lint: no-f64
 pub fn finalize(op: ReduceOp, buf: &mut [f32], n_ranks: usize) {
     if op == ReduceOp::Average {
         let inv = 1.0 / n_ranks as f32;

@@ -12,6 +12,8 @@
 //! * [`crate::exec_sim`] — timing over the Summit simulator;
 //! * [`crate::exec_thread`] — real data movement across OS threads.
 
+pub use verifier::{Rule, Span, Violation};
+
 /// A contiguous range of buffer *elements* (f32 words, not bytes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Seg {
@@ -61,7 +63,7 @@ impl Seg {
 }
 
 /// One communication action by one rank within a round.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Send `seg` of the local buffer to `peer`. The payload is the
     /// buffer content *at the start of the round* (exchanges are safe).
@@ -115,48 +117,6 @@ pub struct Schedule {
     pub rounds: Vec<Round>,
 }
 
-/// A structural problem found by [`Schedule::validate`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum ScheduleError {
-    RankOutOfRange {
-        round: usize,
-        rank: usize,
-        peer: usize,
-    },
-    SegOutOfRange {
-        round: usize,
-        rank: usize,
-        seg: Seg,
-    },
-    SelfMessage {
-        round: usize,
-        rank: usize,
-    },
-    /// A send with no matching receive (or vice versa) in the same round.
-    Unmatched {
-        round: usize,
-        sender: usize,
-        receiver: usize,
-    },
-    /// Sender and receiver disagree about the segment.
-    SegMismatch {
-        round: usize,
-        sender: usize,
-        receiver: usize,
-    },
-    /// More than one message between the same ordered pair in one round
-    /// (the executors use the round index as the message tag).
-    DuplicatePair {
-        round: usize,
-        sender: usize,
-        receiver: usize,
-    },
-    WrongRankCount {
-        round: usize,
-        got: usize,
-    },
-}
-
 impl Schedule {
     pub fn new(n_ranks: usize, n_elems: usize) -> Self {
         assert!(n_ranks >= 1);
@@ -193,60 +153,79 @@ impl Schedule {
             .unwrap_or(0)
     }
 
-    /// Check structural sanity: peers in range, segments in bounds, every
-    /// send matched by exactly one receive of the same segment in the
-    /// same round, at most one message per ordered pair per round.
-    pub fn validate(&self) -> Result<(), ScheduleError> {
-        use std::collections::HashMap;
-        for (ri, round) in self.rounds.iter().enumerate() {
-            if round.per_rank.len() != self.n_ranks {
-                return Err(ScheduleError::WrongRankCount { round: ri, got: round.per_rank.len() });
-            }
-            // (sender, receiver) -> (send seg, recv seg)
-            let mut pairs: HashMap<(usize, usize), (Option<Seg>, Option<Seg>)> = HashMap::new();
-            for (rank, actions) in round.per_rank.iter().enumerate() {
-                for a in actions {
-                    let peer = a.peer();
-                    if peer >= self.n_ranks {
-                        return Err(ScheduleError::RankOutOfRange { round: ri, rank, peer });
-                    }
-                    if peer == rank {
-                        return Err(ScheduleError::SelfMessage { round: ri, rank });
-                    }
-                    let seg = a.seg();
-                    if seg.end() > self.n_elems {
-                        return Err(ScheduleError::SegOutOfRange { round: ri, rank, seg });
-                    }
-                    let key = if a.is_send() { (rank, peer) } else { (peer, rank) };
-                    let entry = pairs.entry(key).or_insert((None, None));
-                    let slot = if a.is_send() { &mut entry.0 } else { &mut entry.1 };
-                    if slot.is_some() {
-                        return Err(ScheduleError::DuplicatePair {
-                            round: ri,
-                            sender: key.0,
-                            receiver: key.1,
-                        });
-                    }
-                    *slot = Some(seg);
-                }
-            }
-            for ((s, r), (send, recv)) in pairs {
-                match (send, recv) {
-                    (Some(a), Some(b)) if a == b => {}
-                    (Some(_), Some(_)) => {
-                        return Err(ScheduleError::SegMismatch {
-                            round: ri,
-                            sender: s,
-                            receiver: r,
-                        })
-                    }
-                    _ => {
-                        return Err(ScheduleError::Unmatched { round: ri, sender: s, receiver: r })
-                    }
-                }
-            }
+    /// Lower this schedule to the verifier IR that `crates/verifier`'s
+    /// analyses consume.
+    pub fn to_ir(&self) -> verifier::ir::Schedule {
+        let mut ir = verifier::ir::Schedule::new(self.n_ranks, self.n_elems);
+        for round in &self.rounds {
+            ir.rounds.push(
+                round
+                    .per_rank
+                    .iter()
+                    .map(|actions| {
+                        actions
+                            .iter()
+                            .map(|a| {
+                                let seg = a.seg();
+                                let kind = match a {
+                                    Action::Send { .. } => verifier::ir::OpKind::Send,
+                                    Action::RecvReduce { .. } => verifier::ir::OpKind::RecvReduce,
+                                    Action::RecvReplace { .. } => verifier::ir::OpKind::RecvReplace,
+                                };
+                                verifier::ir::Op {
+                                    kind,
+                                    peer: a.peer(),
+                                    offset: seg.offset,
+                                    len: seg.len,
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            );
         }
-        Ok(())
+        ir
+    }
+
+    /// Statically verify this schedule: structural well-formedness
+    /// (peers in range, segments in bounds, per-round send/receive
+    /// matching, one message per ordered pair per round), reduction-
+    /// order determinism, and deadlock-freedom via the verifier's
+    /// happens-before analysis. Delegates to [`verifier::verify`]; all
+    /// findings come back as structured [`Violation`]s instead of the
+    /// first-error enum this method used to return.
+    ///
+    /// This holds for *any* schedule, including sub-collectives like a
+    /// standalone reduce-scatter. Schedules claiming to be a complete
+    /// allreduce should use [`Schedule::verify_allreduce`], which adds
+    /// the contribution-coverage postcondition.
+    pub fn validate(&self) -> Result<(), Vec<Violation>> {
+        let v = verifier::verify(&self.to_ir());
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+
+    /// [`Schedule::validate`] plus the allreduce postcondition: every
+    /// rank ends holding exactly one copy of every rank's initial
+    /// contribution on every element (no double-counted or orphaned
+    /// offsets anywhere in the chunk partition).
+    pub fn verify_allreduce(&self) -> Result<(), Vec<Violation>> {
+        let v = verifier::verify_allreduce(&self.to_ir());
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+
+    /// A stable hash of every rank's combine order (see
+    /// [`verifier::determinism::fingerprint`]): equal fingerprints mean
+    /// bit-identical reduction order on every rank.
+    pub fn combine_order_fingerprint(&self) -> u64 {
+        verifier::determinism::fingerprint(&self.to_ir())
     }
 
     /// A copy of this schedule with every segment shifted by `offset`
@@ -355,44 +334,76 @@ mod tests {
         s
     }
 
-    #[test]
-    fn validate_accepts_exchange() {
-        assert_eq!(exchange(8).validate(), Ok(()));
+    /// The rules the first (or only) violation of a broken schedule hits.
+    fn rules(s: &Schedule) -> Vec<Rule> {
+        s.validate().unwrap_err().iter().map(|v| v.rule).collect()
     }
 
     #[test]
-    fn validate_catches_unmatched_send() {
+    fn validate_accepts_exchange() {
+        assert_eq!(exchange(8).validate(), Ok(()));
+        assert_eq!(exchange(8).verify_allreduce(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_unmatched_send_and_recv() {
         let mut s = exchange(8);
         s.rounds[0].per_rank[1].clear();
-        assert!(matches!(s.validate(), Err(ScheduleError::Unmatched { .. })));
+        let r = rules(&s);
+        assert!(r.contains(&Rule::UnmatchedSend), "{r:?}");
+        assert!(r.contains(&Rule::UnmatchedRecv), "{r:?}");
     }
 
     #[test]
     fn validate_catches_seg_mismatch() {
         let mut s = exchange(8);
         s.rounds[0].per_rank[1][1] = Action::RecvReduce { peer: 0, seg: Seg::new(0, 4) };
-        assert!(matches!(s.validate(), Err(ScheduleError::SegMismatch { .. })));
+        assert!(rules(&s).contains(&Rule::SegMismatch));
     }
 
     #[test]
     fn validate_catches_self_message() {
         let mut s = exchange(8);
         s.rounds[0].per_rank[0][0] = Action::Send { peer: 0, seg: Seg::whole(8) };
-        assert!(matches!(s.validate(), Err(ScheduleError::SelfMessage { .. })));
+        assert!(rules(&s).contains(&Rule::SelfMessage));
     }
 
     #[test]
     fn validate_catches_out_of_range_seg() {
         let mut s = exchange(8);
         s.rounds[0].per_rank[0][0] = Action::Send { peer: 1, seg: Seg::new(4, 8) };
-        assert!(matches!(s.validate(), Err(ScheduleError::SegOutOfRange { .. })));
+        assert!(rules(&s).contains(&Rule::SegOutOfRange));
     }
 
     #[test]
     fn validate_catches_duplicate_pair() {
         let mut s = exchange(8);
         s.rounds[0].per_rank[0].push(Action::Send { peer: 1, seg: Seg::new(0, 1) });
-        assert!(matches!(s.validate(), Err(ScheduleError::DuplicatePair { .. })));
+        assert!(rules(&s).contains(&Rule::DuplicatePair));
+    }
+
+    #[test]
+    fn violations_carry_round_and_span() {
+        let mut s = exchange(8);
+        s.rounds[0].per_rank[0][0] = Action::Send { peer: 1, seg: Seg::new(4, 8) };
+        let v = s.validate().unwrap_err();
+        let seg_v = v.iter().find(|x| x.rule == Rule::SegOutOfRange).unwrap();
+        assert_eq!(seg_v.round, Some(0));
+        assert_eq!(seg_v.span, Some(Span::new(4, 8)));
+        assert_eq!(seg_v.ranks, vec![0]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_clones_and_send_order() {
+        let s = exchange(16);
+        assert_eq!(s.combine_order_fingerprint(), s.clone().combine_order_fingerprint());
+        // Moving sends around doesn't change the combine order...
+        let mut reordered = s.clone();
+        reordered.rounds[0].per_rank[0].swap(0, 1);
+        assert_eq!(s.combine_order_fingerprint(), reordered.combine_order_fingerprint());
+        // ...but a different segment does.
+        let shifted = s.shifted(4, 24);
+        assert_ne!(s.combine_order_fingerprint(), shifted.combine_order_fingerprint());
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Mutation tests: hand-corrupt known-good schedules and assert the
+//! verifier trips the *specific* rule each corruption violates. This is
+//! the evidence that every diagnostic is reachable — a verifier that
+//! accepts everything would pass the generator tests too.
+
+use collectives::{Action, Algorithm, Rule, Schedule, Seg};
+
+/// Rules tripped by full allreduce verification of `s`.
+fn rules_allreduce(s: &Schedule) -> Vec<Rule> {
+    match s.verify_allreduce() {
+        Ok(()) => Vec::new(),
+        Err(violations) => violations.iter().map(|v| v.rule).collect(),
+    }
+}
+
+/// Rules tripped by universal (`validate`) verification of `s`.
+fn rules_universal(s: &Schedule) -> Vec<Rule> {
+    match s.validate() {
+        Ok(()) => Vec::new(),
+        Err(violations) => violations.iter().map(|v| v.rule).collect(),
+    }
+}
+
+fn base() -> Schedule {
+    let s = Algorithm::Ring.build(4, 16);
+    assert_eq!(s.verify_allreduce(), Ok(()), "baseline must be clean");
+    s
+}
+
+#[test]
+fn dropped_send_trips_unmatched_recv() {
+    let mut s = base();
+    // Remove rank 2's send in round 1: its receiver still expects it.
+    let pos = s.rounds[1].per_rank[2]
+        .iter()
+        .position(|a| a.is_send())
+        .expect("ring rank has a send per round");
+    s.rounds[1].per_rank[2].remove(pos);
+    assert!(rules_universal(&s).contains(&Rule::UnmatchedRecv), "{:?}", rules_universal(&s));
+}
+
+#[test]
+fn dropped_recv_trips_unmatched_send() {
+    let mut s = base();
+    s.rounds[0].per_rank[1].retain(|a| a.is_send());
+    assert!(rules_universal(&s).contains(&Rule::UnmatchedSend), "{:?}", rules_universal(&s));
+}
+
+#[test]
+fn segment_mismatch_is_caught() {
+    let mut s = base();
+    // Shrink the segment of one receive so it disagrees with the send.
+    for a in s.rounds[0].per_rank.iter_mut().flatten() {
+        if let Action::RecvReduce { seg, .. } = a {
+            seg.len -= 1;
+            break;
+        }
+    }
+    assert!(rules_universal(&s).contains(&Rule::SegMismatch), "{:?}", rules_universal(&s));
+}
+
+#[test]
+fn duplicate_pair_is_caught() {
+    let mut s = base();
+    // Duplicate one rank's send: two messages for the same ordered
+    // pair in one round.
+    let dup = *s.rounds[0].per_rank[0]
+        .iter()
+        .find(|a| a.is_send())
+        .expect("ring rank 0 sends in round 0");
+    s.rounds[0].per_rank[0].push(dup);
+    assert!(rules_universal(&s).contains(&Rule::DuplicatePair), "{:?}", rules_universal(&s));
+}
+
+#[test]
+fn self_message_is_caught() {
+    let mut s = base();
+    s.rounds[0].per_rank[3].push(Action::Send { peer: 3, seg: Seg::new(0, 4) });
+    assert!(rules_universal(&s).contains(&Rule::SelfMessage), "{:?}", rules_universal(&s));
+}
+
+#[test]
+fn out_of_range_peer_and_segment_are_caught() {
+    let mut s = base();
+    s.rounds[0].per_rank[0].push(Action::Send { peer: 9, seg: Seg::new(0, 4) });
+    assert!(rules_universal(&s).contains(&Rule::RankOutOfRange), "{:?}", rules_universal(&s));
+
+    let mut s = base();
+    // A matched exchange whose segment runs past the tensor.
+    s.rounds[0].per_rank[0].push(Action::Send { peer: 1, seg: Seg::new(12, 8) });
+    s.rounds[0].per_rank[1].push(Action::RecvReduce { peer: 0, seg: Seg::new(12, 8) });
+    assert!(rules_universal(&s).contains(&Rule::SegOutOfRange), "{:?}", rules_universal(&s));
+}
+
+#[test]
+fn wrong_rank_count_is_caught() {
+    let mut s = base();
+    s.rounds[0].per_rank.pop();
+    assert!(rules_universal(&s).contains(&Rule::WrongRankCount), "{:?}", rules_universal(&s));
+}
+
+#[test]
+fn repeated_exchange_round_trips_double_contribution() {
+    // Duplicate an early reduce-scatter round of the ring: the same
+    // partial sums flow twice, so some rank combines a contribution it
+    // already holds. Structurally legal — only the coverage dataflow
+    // sees it.
+    let mut s = base();
+    let dup = s.rounds[0].clone();
+    s.rounds.insert(1, dup);
+    assert_eq!(s.validate(), Ok(()), "mutation must stay structurally clean");
+    assert!(rules_allreduce(&s).contains(&Rule::DoubleContribution), "{:?}", rules_allreduce(&s));
+}
+
+#[test]
+fn truncated_schedule_trips_missing_contribution() {
+    // Drop the final allgather round: every rank still lacks some
+    // peer's contribution on part of the tensor.
+    let mut s = base();
+    s.rounds.pop();
+    assert_eq!(s.validate(), Ok(()), "mutation must stay structurally clean");
+    assert!(rules_allreduce(&s).contains(&Rule::MissingContribution), "{:?}", rules_allreduce(&s));
+}
+
+#[test]
+fn recv_before_send_on_both_sides_trips_deadlock_cycle() {
+    // Build a 2-rank exchange where each rank's receive precedes its
+    // send in the action list: under in-order issue each rank waits for
+    // the other's send forever.
+    let mut s = Schedule::new(2, 8);
+    s.rounds.push(collectives::Round {
+        per_rank: vec![
+            vec![
+                Action::RecvReduce { peer: 1, seg: Seg::new(4, 4) },
+                Action::Send { peer: 1, seg: Seg::new(0, 4) },
+            ],
+            vec![
+                Action::RecvReduce { peer: 0, seg: Seg::new(0, 4) },
+                Action::Send { peer: 0, seg: Seg::new(4, 4) },
+            ],
+        ],
+    });
+    assert!(rules_universal(&s).contains(&Rule::DeadlockCycle), "{:?}", rules_universal(&s));
+}
+
+#[test]
+fn overlapping_recv_segments_trip_determinism_rule() {
+    // Two same-round receives into overlapping ranges of one rank: the
+    // combine result would depend on message arrival order.
+    let mut s = Schedule::new(3, 8);
+    s.rounds.push(collectives::Round {
+        per_rank: vec![
+            vec![
+                Action::RecvReduce { peer: 1, seg: Seg::new(0, 6) },
+                Action::RecvReduce { peer: 2, seg: Seg::new(4, 4) },
+            ],
+            vec![Action::Send { peer: 0, seg: Seg::new(0, 6) }],
+            vec![Action::Send { peer: 0, seg: Seg::new(4, 4) }],
+        ],
+    });
+    assert!(
+        rules_universal(&s).contains(&Rule::OverlappingRecvSegments),
+        "{:?}",
+        rules_universal(&s)
+    );
+}
+
+#[test]
+fn swapped_rounds_violate_coverage() {
+    // Reversing the ring's round order is structurally fine (every
+    // round is matched in isolation) but the dataflow no longer
+    // assembles full sums everywhere.
+    let mut s = base();
+    s.rounds.reverse();
+    let rules = rules_allreduce(&s);
+    assert!(
+        rules.contains(&Rule::MissingContribution) || rules.contains(&Rule::DoubleContribution),
+        "reversed ring must break coverage: {rules:?}"
+    );
+}
+
+#[test]
+fn violations_name_the_culprit_ranks_and_round() {
+    let mut s = base();
+    s.rounds[1].per_rank[2].retain(|a| !a.is_send());
+    let violations = s.validate().expect_err("dropped send must be caught");
+    let v = violations
+        .iter()
+        .find(|v| v.rule == Rule::UnmatchedRecv)
+        .expect("an UnmatchedRecv violation");
+    assert_eq!(v.round, Some(1));
+    assert!(v.ranks.contains(&2), "sender rank 2 must be named: {v:?}");
+    let rendered = v.to_string();
+    assert!(rendered.contains("unmatched-recv"), "{rendered}");
+}

@@ -108,8 +108,8 @@ pub fn autotune(
 
 fn nearest_by(len: usize, at: impl Fn(usize) -> f64, value: f64) -> usize {
     (0..len)
-        .min_by(|&a, &b| (at(a) - value).abs().partial_cmp(&(at(b) - value).abs()).expect("finite"))
-        .expect("non-empty ladder")
+        .min_by(|&a, &b| (at(a) - value).abs().total_cmp(&(at(b) - value).abs()))
+        .expect("non-empty ladder") // lint: allow(unwrap): knob ladders are non-empty by construction
 }
 
 fn nearest(ladder: &[u64], value: f64) -> usize {

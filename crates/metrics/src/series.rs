@@ -31,11 +31,11 @@ impl Series {
     }
 
     pub fn max_y(&self) -> Option<(f64, f64)> {
-        self.points.iter().copied().max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN y in series"))
+        self.points.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     pub fn min_y(&self) -> Option<(f64, f64)> {
-        self.points.iter().copied().min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN y in series"))
+        self.points.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -44,7 +44,7 @@ impl Series {
 /// render as `-`.
 pub fn render_columns(x_label: &str, series: &[Series]) -> String {
     let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN x"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     xs.dedup();
     let mut out = String::new();
     let _ = write!(out, "{x_label:>12}");

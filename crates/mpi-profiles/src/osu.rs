@@ -23,7 +23,10 @@ pub fn size_ladder(min: u64, max: u64) -> Vec<u64> {
     let mut s = min.next_power_of_two();
     while s <= max {
         v.push(s);
-        s = s.checked_mul(2).expect("ladder overflow");
+        // Overflow means the next power of two exceeds u64::MAX ≥ max:
+        // the ladder is complete.
+        let Some(next) = s.checked_mul(2) else { break };
+        s = next;
     }
     v
 }

@@ -135,7 +135,7 @@ impl<T> FlowNet<T> {
     /// Remove a completed (or cancelled) flow and return its token.
     /// Panics if the id is stale.
     pub fn finish(&mut self, id: FlowId) -> T {
-        let f = self.flows[id.0].take().expect("finish on stale flow id");
+        let f = self.flows[id.0].take().expect("finish on stale flow id"); // lint: allow(unwrap): documented panic contract of finish()
         for &l in &f.links {
             debug_assert!(self.link_load[l.0] > 0);
             self.link_load[l.0] -= 1;

@@ -50,7 +50,7 @@ impl SimTime {
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow")) // lint: allow(unwrap): deliberate overflow trap in all builds
     }
 }
 
@@ -63,7 +63,7 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow")) // lint: allow(unwrap): deliberate underflow trap in all builds
     }
 }
 

@@ -270,6 +270,8 @@ pub fn im2col_len(cin: usize, k: usize, npix: usize) -> usize {
 /// Unroll same-padded `k×k` patches: `cols[(i·k+dy)·k+dx, y·w+x] =
 /// input[i, y+dy-p, x+dx-p]` (zero outside the image). Row-shifted
 /// memcpys, so the matmul kernels never see a boundary branch.
+// lint: hot-path
+// lint: no-f64
 pub fn im2col(input: &[f32], cin: usize, h: usize, w: usize, k: usize, cols: &mut [f32]) {
     let npix = h * w;
     debug_assert_eq!(input.len(), cin * npix);
@@ -282,7 +284,7 @@ pub fn im2col(input: &[f32], cin: usize, h: usize, w: usize, k: usize, cols: &mu
             let oy = dy as isize - p as isize;
             for dx in 0..k {
                 let ox = dx as isize - p as isize;
-                let row = rows.next().expect("cols row per (i, dy, dx)");
+                let row = rows.next().expect("cols row per (i, dy, dx)"); // lint: allow(unwrap): chunks_exact_mut yields ci*k*k rows
                 for y in 0..h {
                     let dst = &mut row[y * w..(y + 1) * w];
                     let sy = y as isize + oy;
@@ -310,6 +312,8 @@ pub fn im2col(input: &[f32], cin: usize, h: usize, w: usize, k: usize, cols: &mu
 
 /// Inverse scatter of [`im2col`]: `dinput[i, y+dy-p, x+dx-p] +=
 /// dcols[(i·k+dy)·k+dx, y·w+x]`, accumulating into `dinput`.
+// lint: hot-path
+// lint: no-f64
 pub fn col2im_acc(dcols: &[f32], cin: usize, h: usize, w: usize, k: usize, dinput: &mut [f32]) {
     let npix = h * w;
     debug_assert_eq!(dinput.len(), cin * npix);
@@ -322,7 +326,7 @@ pub fn col2im_acc(dcols: &[f32], cin: usize, h: usize, w: usize, k: usize, dinpu
             let oy = dy as isize - p as isize;
             for dx in 0..k {
                 let ox = dx as isize - p as isize;
-                let row = rows.next().expect("dcols row per (i, dy, dx)");
+                let row = rows.next().expect("dcols row per (i, dy, dx)"); // lint: allow(unwrap): chunks_exact yields ci*k*k rows
                 for y in 0..h {
                     let sy = y as isize + oy;
                     if sy < 0 || sy >= h as isize {
@@ -350,6 +354,8 @@ pub fn col2im_acc(dcols: &[f32], cin: usize, h: usize, w: usize, k: usize, dinpu
 }
 
 /// Four disjoint `npix`-wide rows of `buf` starting at row `o`.
+// lint: hot-path
+// lint: no-f64
 #[inline]
 fn four_rows(buf: &mut [f32], npix: usize, o: usize) -> [&mut [f32]; 4] {
     let rest = &mut buf[o * npix..];
@@ -365,6 +371,8 @@ fn four_rows(buf: &mut [f32], npix: usize, o: usize) -> [&mut [f32]; 4] {
 /// Blocked two ways: pixel tiles of [`PIXEL_TILE`] keep the working set
 /// in L1, and four output rows advance together so each cols element
 /// loaded feeds four FMAs.
+// lint: hot-path
+// lint: no-f64
 fn matmul_bias(
     w: &[f32],
     cols: &[f32],
@@ -426,6 +434,8 @@ fn matmul_bias(
 
 /// Eight-lane dot product: independent partial sums so the reduction
 /// autovectorizes (a strict sequential sum cannot be reassociated).
+// lint: hot-path
+// lint: no-f64
 #[inline]
 fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -446,6 +456,8 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// `dw[o, r] += Σ_p dout[o, p]·cols[r, p]` — the weight-gradient matmul.
 ///
 /// Loop order keeps each cols row L1-hot across all `cout` dot products.
+// lint: hot-path
+// lint: no-f64
 fn matmul_dw(dout: &[f32], cols: &[f32], rdim: usize, npix: usize, cout: usize, dw: &mut [f32]) {
     debug_assert_eq!(dw.len(), cout * rdim);
     debug_assert_eq!(cols.len(), rdim * npix);
@@ -461,6 +473,8 @@ fn matmul_dw(dout: &[f32], cols: &[f32], rdim: usize, npix: usize, cout: usize, 
 /// `dcols[r, p] += Σ_o w[o, r]·dout[o, p]` — the input-gradient
 /// (transposed) matmul, same tiling as [`matmul_bias`] with the roles
 /// of output channels and cols rows swapped.
+// lint: hot-path
+// lint: no-f64
 fn matmul_t_acc(w: &[f32], dout: &[f32], rdim: usize, npix: usize, cout: usize, dcols: &mut [f32]) {
     debug_assert_eq!(w.len(), cout * rdim);
     debug_assert_eq!(dcols.len(), rdim * npix);
@@ -512,6 +526,8 @@ fn matmul_t_acc(w: &[f32], dout: &[f32], rdim: usize, npix: usize, cout: usize, 
 /// [`im2col_len`]-sized; unused for `k == 1`), then blocked matmul.
 /// Numerically equivalent to [`reference_conv_forward`] up to float
 /// summation order.
+// lint: hot-path
+// lint: no-f64
 #[allow(clippy::too_many_arguments)]
 pub fn conv_forward(
     input: &[f32],
@@ -541,6 +557,8 @@ pub fn conv_forward(
 /// `dcols` is scratch for the input gradient (ignored when `dinput` is
 /// `None` or `k == 1`). Accumulates into `dw` / `db` / `dinput` like
 /// the reference.
+// lint: hot-path
+// lint: no-f64
 #[allow(clippy::too_many_arguments)]
 pub fn conv_backward(
     input: &[f32],
@@ -737,10 +755,8 @@ impl SegNet {
         (0..h * w)
             .map(|i| {
                 (0..c.n_classes)
-                    .max_by(|&a, &b| {
-                        logits[a * h * w + i].partial_cmp(&logits[b * h * w + i]).expect("NaN")
-                    })
-                    .expect("at least one class") as u8
+                    .max_by(|&a, &b| logits[a * h * w + i].total_cmp(&logits[b * h * w + i]))
+                    .expect("at least one class") as u8 // lint: allow(unwrap): n_classes >= 1 is validated at construction
             })
             .collect()
     }
@@ -748,6 +764,7 @@ impl SegNet {
     /// Cross-entropy loss for one sample, **accumulating** the flat
     /// parameter gradient into `grad_acc` (`+=`). Performs zero heap
     /// allocations: all scratch comes from `ws`.
+    // lint: hot-path
     pub fn loss_grad_acc(&self, sample: &Sample, ws: &mut Workspace, grad_acc: &mut [f32]) -> f64 {
         let c = &self.cfg;
         let (h, w, npix) = (c.height, c.width, c.height * c.width);
@@ -955,6 +972,7 @@ impl SegNet {
     /// slot folds its contiguous shard of the batch into its own
     /// workspace and accumulator, and the partials combine in fixed
     /// slot order (deterministic for a given thread count).
+    // lint: hot-path
     pub fn batch_loss_grad_ws(&self, batch: &[Sample], bw: &mut BatchWorkspace) -> f64 {
         assert!(!batch.is_empty());
         let n = bw.slots.len().min(batch.len());

@@ -145,7 +145,12 @@ pub fn evaluate(net: &SegNet, data: &DataConfig, seed: u64, n: usize) -> Confusi
 pub fn train(cfg: &TrainConfig) -> TrainResult {
     cfg.check();
     let schedule: Schedule = cfg.algo.build(cfg.workers, cfg.net.n_params());
-    schedule.validate().expect("gradient allreduce schedule");
+    // Full static verification of the gradient allreduce — structural
+    // matching, reduction-order determinism, deadlock-freedom, and the
+    // every-rank-holds-the-full-reduction coverage postcondition.
+    if let Err(violations) = schedule.verify_allreduce() {
+        panic!("gradient allreduce schedule failed verification: {violations:?}");
+    }
 
     let lr = LrSchedule {
         base_lr: cfg.base_lr,
@@ -176,7 +181,12 @@ pub fn train(cfg: &TrainConfig) -> TrainResult {
         .collect();
     let mut grads: Vec<Vec<f32>> = vec![vec![0.0f32; cfg.net.n_params()]; cfg.workers];
     // Persistent executor: allreduce payload buffers pool across steps.
-    let exec = exec_thread::ExecContext::new();
+    // `for_schedule` memoizes the verification above and pre-sizes the
+    // payload pool, so per-step runs skip re-analysis entirely.
+    let exec = match exec_thread::ExecContext::for_schedule(&schedule) {
+        Ok(exec) => exec,
+        Err(violations) => panic!("executor rejected verified schedule: {violations:?}"),
+    };
 
     let mut curve = Vec::new();
     let mut last_loss = f64::NAN;

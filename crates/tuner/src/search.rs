@@ -20,7 +20,7 @@ pub fn grid_search(space: &KnobSpace, objective: &Objective<'_>) -> TuneReport {
     space.validate();
     let mut scored: Vec<Scored> = space.candidates().iter().map(|c| objective.eval(c)).collect();
     let trajectory = scored.clone();
-    scored.sort_by(|a, b| b.throughput.partial_cmp(&a.throughput).expect("NaN throughput"));
+    scored.sort_by(|a, b| b.throughput.total_cmp(&a.throughput));
     TuneReport { best: scored[0].clone(), trajectory, evaluations: objective.evaluations() }
 }
 

@@ -1,0 +1,254 @@
+//! Contribution-coverage dataflow.
+//!
+//! Abstract interpretation of the schedule over "contribution sets":
+//! for every rank and every element range, which source ranks' initial
+//! values have been folded in so far. A correct allreduce ends with
+//! every rank holding exactly one contribution from every rank on every
+//! element — folding a contribution twice ([`Rule::DoubleContribution`])
+//! over-counts a gradient, and a hole ([`Rule::MissingContribution`])
+//! under-counts one. Both are exactly the silent corruptions a wrong
+//! chunk/offset partition produces.
+//!
+//! The analysis is interval-compressed: segment boundaries across the
+//! whole schedule split `0..n_elems` into maximal intervals on which
+//! every action is constant, so cost is `O(rounds × actions × intervals)`
+//! instead of per-element.
+
+use crate::diag::{Rule, Span, Violation};
+use crate::ir::{OpKind, Schedule};
+
+/// A set of source ranks, one bit per rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RankSet {
+    words: Vec<u64>,
+}
+
+impl RankSet {
+    pub(crate) fn empty(n_ranks: usize) -> Self {
+        RankSet { words: vec![0; n_ranks.div_ceil(64)] }
+    }
+
+    pub(crate) fn singleton(n_ranks: usize, rank: usize) -> Self {
+        let mut s = Self::empty(n_ranks);
+        s.words[rank / 64] |= 1 << (rank % 64);
+        s
+    }
+
+    /// Union `other` in; returns the rank of some element present in
+    /// both (an over-counted source) if the sets intersect.
+    pub(crate) fn union_detect_overlap(&mut self, other: &RankSet) -> Option<usize> {
+        let mut dup = None;
+        for (i, (w, o)) in self.words.iter_mut().zip(&other.words).enumerate() {
+            let inter = *w & *o;
+            if inter != 0 && dup.is_none() {
+                dup = Some(i * 64 + inter.trailing_zeros() as usize);
+            }
+            *w |= *o;
+        }
+        dup
+    }
+
+    /// The lowest rank in `0..n_ranks` *not* in the set, if any.
+    pub(crate) fn first_missing(&self, n_ranks: usize) -> Option<usize> {
+        (0..n_ranks).find(|&r| self.words[r / 64] & (1 << (r % 64)) == 0)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The maximal constant intervals induced by all segment boundaries.
+fn intervals(s: &Schedule) -> Vec<Span> {
+    let mut cuts = vec![0, s.n_elems];
+    for (_, _, _, op) in s.iter_ops() {
+        if op.len > 0 {
+            cuts.push(op.offset);
+            cuts.push(op.end().min(s.n_elems));
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.windows(2).filter(|w| w[1] > w[0]).map(|w| Span::new(w[0], w[1] - w[0])).collect()
+}
+
+/// Indices of the intervals covered by `offset..offset+len`. Intervals
+/// are sorted and disjoint, and every segment boundary is a cut, so a
+/// segment always covers a contiguous run of whole intervals.
+fn covered(ivs: &[Span], offset: usize, len: usize) -> std::ops::Range<usize> {
+    if len == 0 {
+        return 0..0;
+    }
+    let end = offset + len;
+    let lo = ivs.partition_point(|iv| iv.end() <= offset);
+    let hi = ivs.partition_point(|iv| iv.offset < end);
+    lo..hi
+}
+
+/// Run the dataflow. Assumes [`crate::structural::check`] passed — the
+/// round-matching it establishes is what lets sends be paired with
+/// receives here without re-deriving the pairing.
+pub fn check(s: &Schedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if s.n_elems == 0 {
+        return out; // zero-length tensor: nothing to cover
+    }
+    let ivs = intervals(s);
+    // state[rank][interval] = set of source ranks folded in
+    let mut state: Vec<Vec<RankSet>> = (0..s.n_ranks)
+        .map(|r| (0..ivs.len()).map(|_| RankSet::singleton(s.n_ranks, r)).collect())
+        .collect();
+    for (ri, round) in s.rounds.iter().enumerate() {
+        // Payloads carry the sender's start-of-round state (phase-A
+        // snapshot semantics in every executor).
+        let snapshot = state.clone();
+        for (rank, ops) in round.iter().enumerate() {
+            for op in ops {
+                if op.kind.is_send() || op.len == 0 {
+                    continue;
+                }
+                for iv in covered(&ivs, op.offset, op.len) {
+                    match op.kind {
+                        OpKind::RecvReduce => {
+                            if let Some(dup) =
+                                state[rank][iv].union_detect_overlap(&snapshot[op.peer][iv])
+                            {
+                                out.push(Violation {
+                                    rule: Rule::DoubleContribution,
+                                    ranks: vec![rank, op.peer],
+                                    round: Some(ri),
+                                    span: Some(ivs[iv]),
+                                    detail: format!(
+                                        "rank {rank} reduces in rank {}'s payload but already \
+                                         holds rank {dup}'s contribution on this span",
+                                        op.peer
+                                    ),
+                                });
+                            }
+                        }
+                        OpKind::RecvReplace => {
+                            state[rank][iv] = snapshot[op.peer][iv].clone();
+                        }
+                        OpKind::Send => unreachable!("sends skipped above"),
+                    }
+                }
+            }
+        }
+    }
+    // End state: every rank must hold the full reduction everywhere.
+    for (rank, per_iv) in state.iter().enumerate() {
+        for (iv, set) in per_iv.iter().enumerate() {
+            if let Some(missing) = set.first_missing(s.n_ranks) {
+                out.push(Violation {
+                    rule: Rule::MissingContribution,
+                    ranks: vec![rank, missing],
+                    round: None,
+                    span: Some(ivs[iv]),
+                    detail: format!(
+                        "rank {rank} ends holding {}/{} contributions on this span \
+                         (rank {missing}'s is missing)",
+                        set.len(),
+                        s.n_ranks
+                    ),
+                });
+                break; // one finding per rank keeps the report readable
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Op;
+
+    fn op(kind: OpKind, peer: usize, offset: usize, len: usize) -> Op {
+        Op { kind, peer, offset, len }
+    }
+
+    fn exchange(n_elems: usize) -> Schedule {
+        let mut s = Schedule::new(2, n_elems);
+        let r = s.push_round();
+        s.push_op(r, 0, op(OpKind::Send, 1, 0, n_elems));
+        s.push_op(r, 0, op(OpKind::RecvReduce, 1, 0, n_elems));
+        s.push_op(r, 1, op(OpKind::Send, 0, 0, n_elems));
+        s.push_op(r, 1, op(OpKind::RecvReduce, 0, 0, n_elems));
+        s
+    }
+
+    #[test]
+    fn exchange_covers() {
+        assert!(check(&exchange(8)).is_empty());
+    }
+
+    #[test]
+    fn zero_elems_trivially_covers() {
+        assert!(check(&exchange(0)).is_empty());
+        assert!(check(&Schedule::new(4, 0)).is_empty());
+    }
+
+    #[test]
+    fn repeated_exchange_double_contributes() {
+        let mut s = exchange(8);
+        let r1 = s.rounds[0].clone();
+        s.rounds.push(r1);
+        let v = check(&s);
+        assert!(v.iter().any(|x| x.rule == Rule::DoubleContribution), "{v:?}");
+    }
+
+    #[test]
+    fn half_exchange_leaves_hole() {
+        // Only elements 0..4 of 8 are exchanged: 4..8 never complete.
+        let mut s = Schedule::new(2, 8);
+        let r = s.push_round();
+        s.push_op(r, 0, op(OpKind::Send, 1, 0, 4));
+        s.push_op(r, 0, op(OpKind::RecvReduce, 1, 0, 4));
+        s.push_op(r, 1, op(OpKind::Send, 0, 0, 4));
+        s.push_op(r, 1, op(OpKind::RecvReduce, 0, 0, 4));
+        let v = check(&s);
+        let holes: Vec<_> = v.iter().filter(|x| x.rule == Rule::MissingContribution).collect();
+        assert_eq!(holes.len(), 2, "{v:?}"); // one per rank
+        assert_eq!(holes[0].span, Some(Span::new(4, 4)));
+    }
+
+    #[test]
+    fn replace_transfers_full_set() {
+        // Tree-style: 1 reduces into 0, then 0 replaces 1's buffer.
+        let mut s = Schedule::new(2, 4);
+        let r0 = s.push_round();
+        s.push_op(r0, 1, op(OpKind::Send, 0, 0, 4));
+        s.push_op(r0, 0, op(OpKind::RecvReduce, 1, 0, 4));
+        let r1 = s.push_round();
+        s.push_op(r1, 0, op(OpKind::Send, 1, 0, 4));
+        s.push_op(r1, 1, op(OpKind::RecvReplace, 0, 0, 4));
+        assert!(check(&s).is_empty());
+    }
+
+    #[test]
+    fn interval_compression_matches_boundaries() {
+        let s = {
+            let mut s = Schedule::new(2, 10);
+            let r = s.push_round();
+            s.push_op(r, 0, op(OpKind::Send, 1, 2, 5));
+            s.push_op(r, 1, op(OpKind::RecvReduce, 0, 2, 5));
+            s
+        };
+        let ivs = intervals(&s);
+        assert_eq!(ivs, vec![Span::new(0, 2), Span::new(2, 5), Span::new(7, 3)]);
+        assert_eq!(covered(&ivs, 2, 5), 1..2);
+        assert_eq!(covered(&ivs, 0, 10), 0..3);
+        assert_eq!(covered(&ivs, 2, 0), 0..0);
+    }
+
+    #[test]
+    fn rankset_operations() {
+        let mut a = RankSet::singleton(70, 3);
+        let b = RankSet::singleton(70, 69);
+        assert_eq!(a.union_detect_overlap(&b), None);
+        assert_eq!(a.len(), 2);
+        let c = RankSet::singleton(70, 69);
+        assert_eq!(a.union_detect_overlap(&c), Some(69));
+        assert_eq!(a.first_missing(70), Some(0));
+    }
+}

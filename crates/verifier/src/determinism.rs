@@ -1,0 +1,147 @@
+//! Reduction-order determinism.
+//!
+//! Floating-point addition is not associative, so "the" allreduce result
+//! is only well-defined if every executor applies each rank's combines
+//! in one fixed order. The schedule format pins that order (action-list
+//! order per rank per round), which leaves exactly one hazard: two
+//! receives at the same rank in the same round whose segments overlap.
+//! Their relative order then changes the bits of the overlap — any
+//! executor that reorders receives (e.g. completing whichever channel
+//! is ready first, as a future epoll-style executor would) silently
+//! changes the result. [`check`] rejects that shape outright.
+//!
+//! [`fingerprint`] complements the rule: a stable hash of every rank's
+//! combine sequence, so two schedules producing bit-identical reduction
+//! orders — and only those — share a fingerprint. Tests use it to pin
+//! determinism across schedule-construction refactors.
+
+use crate::diag::{Rule, Span, Violation};
+use crate::ir::Schedule;
+
+/// Reject overlapping receive segments within one (rank, round).
+pub fn check(s: &Schedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (ri, round) in s.rounds.iter().enumerate() {
+        for (rank, ops) in round.iter().enumerate() {
+            let recvs: Vec<_> = ops.iter().filter(|o| o.kind.is_recv() && o.len > 0).collect();
+            for (i, a) in recvs.iter().enumerate() {
+                for b in &recvs[i + 1..] {
+                    let lo = a.offset.max(b.offset);
+                    let hi = a.end().min(b.end());
+                    if lo < hi {
+                        out.push(Violation {
+                            rule: Rule::OverlappingRecvSegments,
+                            ranks: vec![rank, a.peer, b.peer],
+                            round: Some(ri),
+                            span: Some(Span::new(lo, hi - lo)),
+                            detail: format!(
+                                "receives from ranks {} and {} overlap on {lo}..{hi}; \
+                                 the combined value depends on receive order",
+                                a.peer, b.peer
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// FNV-1a over every rank's ordered combine sequence: for each rank, in
+/// program order, each receive's `(round, kind, peer, offset, len)`.
+/// Equal fingerprints ⇔ identical per-rank reduction orders.
+pub fn fingerprint(s: &Schedule) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(s.n_ranks as u64);
+    eat(s.n_elems as u64);
+    for rank in 0..s.n_ranks {
+        eat(u64::MAX); // rank delimiter
+        for (ri, round) in s.rounds.iter().enumerate() {
+            let Some(ops) = round.get(rank) else { continue };
+            for op in ops.iter().filter(|o| o.kind.is_recv()) {
+                eat(ri as u64);
+                eat(op.kind as u64);
+                eat(op.peer as u64);
+                eat(op.offset as u64);
+                eat(op.len as u64);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Op, OpKind};
+
+    fn op(kind: OpKind, peer: usize, offset: usize, len: usize) -> Op {
+        Op { kind, peer, offset, len }
+    }
+
+    #[test]
+    fn disjoint_recvs_are_clean() {
+        let mut s = Schedule::new(3, 8);
+        let r = s.push_round();
+        s.push_op(r, 0, op(OpKind::RecvReduce, 1, 0, 4));
+        s.push_op(r, 0, op(OpKind::RecvReduce, 2, 4, 4));
+        s.push_op(r, 1, op(OpKind::Send, 0, 0, 4));
+        s.push_op(r, 2, op(OpKind::Send, 0, 4, 4));
+        assert!(check(&s).is_empty());
+    }
+
+    #[test]
+    fn overlapping_recvs_flagged_with_overlap_span() {
+        let mut s = Schedule::new(3, 8);
+        let r = s.push_round();
+        s.push_op(r, 0, op(OpKind::RecvReduce, 1, 0, 6));
+        s.push_op(r, 0, op(OpKind::RecvReduce, 2, 4, 4));
+        let v = check(&s);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::OverlappingRecvSegments);
+        assert_eq!(v[0].span, Some(Span::new(4, 2)));
+        assert_eq!(v[0].ranks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_len_recvs_never_overlap() {
+        let mut s = Schedule::new(3, 8);
+        let r = s.push_round();
+        s.push_op(r, 0, op(OpKind::RecvReduce, 1, 2, 0));
+        s.push_op(r, 0, op(OpKind::RecvReduce, 2, 2, 0));
+        assert!(check(&s).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_ignores_sends_but_not_recv_order() {
+        let mut a = Schedule::new(2, 4);
+        let r = a.push_round();
+        a.push_op(r, 0, op(OpKind::Send, 1, 0, 4));
+        a.push_op(r, 0, op(OpKind::RecvReduce, 1, 0, 4));
+        a.push_op(r, 1, op(OpKind::Send, 0, 0, 4));
+        a.push_op(r, 1, op(OpKind::RecvReduce, 0, 0, 4));
+        // Same receives, sends listed after: identical combine order.
+        let mut b = Schedule::new(2, 4);
+        let r = b.push_round();
+        b.push_op(r, 0, op(OpKind::RecvReduce, 1, 0, 4));
+        b.push_op(r, 0, op(OpKind::Send, 1, 0, 4));
+        b.push_op(r, 1, op(OpKind::RecvReduce, 0, 0, 4));
+        b.push_op(r, 1, op(OpKind::Send, 0, 0, 4));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // Changing a receive's round changes the order fingerprint.
+        let mut c = b.clone();
+        let moved = c.rounds[0][0].remove(0);
+        let r1 = c.push_round();
+        c.rounds[r1][0].push(moved);
+        assert_ne!(fingerprint(&b), fingerprint(&c));
+    }
+}

@@ -1,0 +1,137 @@
+//! Structured diagnostics.
+//!
+//! Every analysis reports [`Violation`] values instead of panicking or
+//! returning a bare bool: the rule that fired, the ranks involved, the
+//! round (when one is attributable), and the element span (when one is).
+
+/// A contiguous element range a violation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    pub offset: usize,
+    pub len: usize,
+}
+
+impl Span {
+    pub fn new(offset: usize, len: usize) -> Self {
+        Span { offset, len }
+    }
+
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// Which verification rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// A round's `per_rank` list does not have one entry per rank.
+    WrongRankCount,
+    /// An action names a peer outside `0..n_ranks`.
+    RankOutOfRange,
+    /// An action names its own rank as the peer.
+    SelfMessage,
+    /// A segment extends past `n_elems`.
+    SegOutOfRange,
+    /// A send with no matching receive in the same round.
+    UnmatchedSend,
+    /// A receive with no matching send in the same round.
+    UnmatchedRecv,
+    /// Sender and receiver disagree about the segment.
+    SegMismatch,
+    /// More than one message between the same ordered rank pair in one
+    /// round (executors use the round index as the message tag).
+    DuplicatePair,
+    /// Two receives at one rank in one round target overlapping element
+    /// ranges — the combined value depends on list order, which makes
+    /// the reduction order fragile under any executor reordering.
+    OverlappingRecvSegments,
+    /// Dataflow: a rank ends the schedule with some source rank's
+    /// initial contribution absorbed more than once into an element
+    /// range (gradient would be over-counted).
+    DoubleContribution,
+    /// Dataflow: a rank ends the schedule with some source rank's
+    /// initial contribution missing from an element range (gradient
+    /// would be under-counted).
+    MissingContribution,
+    /// The happens-before graph over receive completion has a cycle
+    /// under in-order action issue: each receive in the cycle waits for
+    /// a send that is issued only after another receive in the cycle.
+    DeadlockCycle,
+}
+
+impl Rule {
+    /// Stable lowercase name for reports and CI logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WrongRankCount => "wrong-rank-count",
+            Rule::RankOutOfRange => "rank-out-of-range",
+            Rule::SelfMessage => "self-message",
+            Rule::SegOutOfRange => "seg-out-of-range",
+            Rule::UnmatchedSend => "unmatched-send",
+            Rule::UnmatchedRecv => "unmatched-recv",
+            Rule::SegMismatch => "seg-mismatch",
+            Rule::DuplicatePair => "duplicate-pair",
+            Rule::OverlappingRecvSegments => "overlapping-recv-segments",
+            Rule::DoubleContribution => "double-contribution",
+            Rule::MissingContribution => "missing-contribution",
+            Rule::DeadlockCycle => "deadlock-cycle",
+        }
+    }
+}
+
+/// One finding: which rule fired, where, and a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: Rule,
+    /// The ranks involved, most-affected first (receiver before sender
+    /// for pairwise rules; cycle order for deadlocks).
+    pub ranks: Vec<usize>,
+    /// The round the violation is attributable to, if any (coverage
+    /// violations are end-state properties and carry `None`).
+    pub round: Option<usize>,
+    /// The element range involved, if one is attributable.
+    pub span: Option<Span>,
+    /// Free-form elaboration for the log line.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}]", self.rule.name())?;
+        if let Some(r) = self.round {
+            write!(f, " round {r}")?;
+        }
+        write!(f, " ranks {:?}", self.ranks)?;
+        if let Some(s) = self.span {
+            write!(f, " span {}..{}", s.offset, s.end())?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_and_complete() {
+        let v = Violation {
+            rule: Rule::SegMismatch,
+            ranks: vec![1, 0],
+            round: Some(2),
+            span: Some(Span::new(4, 4)),
+            detail: "sender says 4..8, receiver says 0..4".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("[seg-mismatch]"));
+        assert!(s.contains("round 2"));
+        assert!(s.contains("span 4..8"));
+        assert!(s.contains("receiver says"));
+    }
+
+    #[test]
+    fn rule_names_are_stable() {
+        assert_eq!(Rule::DeadlockCycle.name(), "deadlock-cycle");
+        assert_eq!(Rule::DoubleContribution.name(), "double-contribution");
+    }
+}

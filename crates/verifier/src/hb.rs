@@ -1,0 +1,242 @@
+//! Happens-before deadlock analysis.
+//!
+//! The threaded executor's prose argument was: sends are hoisted to the
+//! start of each round (phase A) and channels are unbounded, so a
+//! validated schedule cannot deadlock. This pass replaces the prose with
+//! a proof obligation checked per schedule, under the *weaker* execution
+//! model of in-order action issue: a rank issues its action list in
+//! order, sends never block, and a receive blocks until its matching
+//! send has been *issued*. A send is issued once every receive that
+//! precedes it in its rank's program order has completed.
+//!
+//! That induces a dependency graph over receives:
+//!
+//! * `R_prev -> R` — a rank reaches receive `R` only after its previous
+//!   receive completed (program order);
+//! * `S_dep -> R` — receive `R` waits for its matching send `S`, which
+//!   is issued only after the last receive preceding `S` at the sender.
+//!
+//! The graph being acyclic proves deadlock-freedom for in-order issue —
+//! a strictly stronger property than what phase-A hoisting needs, so a
+//! schedule that passes here is robust even if an executor stops
+//! reordering sends first. A cycle is reported as
+//! [`Rule::DeadlockCycle`] with the ranks in wait order.
+
+use std::collections::HashMap;
+
+use crate::diag::{Rule, Violation};
+use crate::ir::{OpKind, Schedule};
+
+/// One receive node in the waits-for graph.
+struct RecvNode {
+    rank: usize,
+    round: usize,
+    peer: usize,
+    /// Indices of the `RecvNode`s this one waits for.
+    deps: Vec<usize>,
+}
+
+/// Check for waits-for cycles. Assumes [`crate::structural::check`]
+/// passed (receives are uniquely matched within their round).
+pub fn check(s: &Schedule) -> Vec<Violation> {
+    // Flatten program order per rank; remember each op's global slot.
+    // flat[rank] = ordered (round, op_index_within_round_list, kind, peer)
+    let mut flat: Vec<Vec<(usize, OpKind, usize)>> = vec![Vec::new(); s.n_ranks];
+    for (ri, round) in s.rounds.iter().enumerate() {
+        for (rank, ops) in round.iter().enumerate() {
+            for op in ops {
+                flat[rank].push((ri, op.kind, op.peer));
+            }
+        }
+    }
+    // recv_id[(rank, pos)] -> node index; send position lookup by
+    // (round, sender, receiver).
+    let mut nodes: Vec<RecvNode> = Vec::new();
+    let mut recv_at: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut send_pos: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    for (rank, ops) in flat.iter().enumerate() {
+        for (pos, &(round, kind, peer)) in ops.iter().enumerate() {
+            if kind.is_send() {
+                send_pos.insert((round, rank, peer), pos);
+            } else {
+                let id = nodes.len();
+                nodes.push(RecvNode { rank, round, peer, deps: Vec::new() });
+                recv_at.insert((rank, pos), id);
+            }
+        }
+    }
+    // last_recv[rank][pos] = node id of the nearest receive strictly
+    // before `pos` in `rank`'s program order.
+    let mut last_recv: Vec<Vec<Option<usize>>> = Vec::with_capacity(s.n_ranks);
+    for (rank, ops) in flat.iter().enumerate() {
+        let mut col = Vec::with_capacity(ops.len());
+        let mut last = None;
+        for pos in 0..ops.len() {
+            col.push(last);
+            if let Some(&id) = recv_at.get(&(rank, pos)) {
+                last = Some(id);
+            }
+        }
+        last_recv.push(col);
+    }
+    // Wire dependencies.
+    for (rank, ops) in flat.iter().enumerate() {
+        for (pos, &(round, kind, peer)) in ops.iter().enumerate() {
+            if kind.is_send() {
+                continue;
+            }
+            let id = recv_at[&(rank, pos)];
+            if let Some(prev) = last_recv[rank][pos] {
+                nodes[id].deps.push(prev);
+            }
+            // The matching send lives at the peer, same round (unique by
+            // structural DuplicatePair). A missing entry means structural
+            // already reported it; nothing to wait on here.
+            if let Some(&spos) = send_pos.get(&(round, peer, rank)) {
+                if let Some(dep) = last_recv[peer][spos] {
+                    nodes[id].deps.push(dep);
+                }
+            }
+        }
+    }
+    // Kahn's algorithm over the waits-for edges.
+    let mut indeg = vec![0usize; nodes.len()];
+    let mut rdeps: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (id, n) in nodes.iter().enumerate() {
+        indeg[id] = n.deps.len();
+        for &d in &n.deps {
+            rdeps[d].push(id);
+        }
+    }
+    let mut ready: Vec<usize> = (0..nodes.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut done = 0usize;
+    while let Some(id) = ready.pop() {
+        done += 1;
+        for &succ in &rdeps[id] {
+            indeg[succ] -= 1;
+            if indeg[succ] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+    if done == nodes.len() {
+        return Vec::new();
+    }
+    // Extract one concrete cycle among the stuck nodes for the report.
+    let stuck: Vec<bool> = indeg.iter().map(|&d| d > 0).collect();
+    let start = stuck.iter().position(|&b| b).unwrap_or(0);
+    let mut seen_order: Vec<usize> = Vec::new();
+    let mut cur = start;
+    let cycle = loop {
+        if let Some(at) = seen_order.iter().position(|&n| n == cur) {
+            break &seen_order[at..];
+        }
+        seen_order.push(cur);
+        cur = nodes[cur].deps.iter().copied().find(|&d| stuck[d]).unwrap_or(cur);
+        // stuck node always has a stuck dep
+    };
+    let ranks: Vec<usize> = cycle.iter().map(|&id| nodes[id].rank).collect();
+    let min_round = cycle.iter().map(|&id| nodes[id].round).min();
+    let chain = cycle
+        .iter()
+        .map(|&id| {
+            format!("rank {} round {} recv<-{}", nodes[id].rank, nodes[id].round, nodes[id].peer)
+        })
+        .collect::<Vec<_>>()
+        .join(" waits ");
+    vec![Violation {
+        rule: Rule::DeadlockCycle,
+        ranks,
+        round: min_round,
+        span: None,
+        detail: format!("waits-for cycle under in-order issue: {chain}"),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Op;
+
+    fn op(kind: OpKind, peer: usize) -> Op {
+        Op { kind, peer, offset: 0, len: 4 }
+    }
+
+    /// Both ranks send first: no cycle even though each waits on the
+    /// other's send.
+    #[test]
+    fn send_first_exchange_is_clean() {
+        let mut s = Schedule::new(2, 4);
+        let r = s.push_round();
+        s.push_op(r, 0, op(OpKind::Send, 1));
+        s.push_op(r, 0, op(OpKind::RecvReduce, 1));
+        s.push_op(r, 1, op(OpKind::Send, 0));
+        s.push_op(r, 1, op(OpKind::RecvReduce, 0));
+        assert!(check(&s).is_empty());
+    }
+
+    /// Both ranks receive before sending: the classic rendezvous cycle.
+    /// Structurally matched (one message each way), but under in-order
+    /// issue neither send is ever reached.
+    #[test]
+    fn recv_first_exchange_cycles() {
+        let mut s = Schedule::new(2, 4);
+        let r = s.push_round();
+        s.push_op(r, 0, op(OpKind::RecvReduce, 1));
+        s.push_op(r, 0, op(OpKind::Send, 1));
+        s.push_op(r, 1, op(OpKind::RecvReduce, 0));
+        s.push_op(r, 1, op(OpKind::Send, 0));
+        let v = check(&s);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::DeadlockCycle);
+        assert_eq!(v[0].round, Some(0));
+        let mut ranks = v[0].ranks.clone();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1]);
+    }
+
+    /// One side receives first, the other sends first: acyclic.
+    #[test]
+    fn half_ordered_exchange_is_clean() {
+        let mut s = Schedule::new(2, 4);
+        let r = s.push_round();
+        s.push_op(r, 0, op(OpKind::RecvReduce, 1));
+        s.push_op(r, 0, op(OpKind::Send, 1));
+        s.push_op(r, 1, op(OpKind::Send, 0));
+        s.push_op(r, 1, op(OpKind::RecvReduce, 0));
+        assert!(check(&s).is_empty());
+    }
+
+    /// A three-rank wait ring spanning rounds.
+    #[test]
+    fn three_rank_cross_round_cycle() {
+        // Rank i receives from i-1 before sending to i+1 — each send is
+        // gated behind a receive, closing a ring of waits.
+        let mut s = Schedule::new(3, 4);
+        let r = s.push_round();
+        for i in 0..3 {
+            s.push_op(r, i, op(OpKind::RecvReduce, (i + 2) % 3));
+            s.push_op(r, i, op(OpKind::Send, (i + 1) % 3));
+        }
+        let v = check(&s);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::DeadlockCycle);
+        assert_eq!(v[0].ranks.len(), 3);
+    }
+
+    /// Pipelined ring (send-first everywhere) stays clean across many
+    /// rounds.
+    #[test]
+    fn multi_round_send_first_ring_is_clean() {
+        let n = 4;
+        let mut s = Schedule::new(n, 4);
+        for _ in 0..6 {
+            let r = s.push_round();
+            for i in 0..n {
+                s.push_op(r, i, op(OpKind::Send, (i + 1) % n));
+                s.push_op(r, i, op(OpKind::RecvReduce, (i + n - 1) % n));
+            }
+        }
+        assert!(check(&s).is_empty());
+    }
+}

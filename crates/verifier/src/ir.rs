@@ -1,0 +1,107 @@
+//! Schedule intermediate representation.
+//!
+//! The verifier analyzes schedules through this minimal IR rather than
+//! depending on `collectives` directly — `collectives::Schedule::validate`
+//! delegates *into* this crate, so the dependency must point this way.
+//! The IR is lossless for everything the analyses need: rank count,
+//! element count, and the per-round, per-rank ordered action lists.
+
+/// What an action does with its segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Send the segment to `peer`; payload is the buffer content at the
+    /// start of the round.
+    Send,
+    /// Receive the segment from `peer` and combine element-wise.
+    RecvReduce,
+    /// Receive the segment from `peer` and overwrite.
+    RecvReplace,
+}
+
+impl OpKind {
+    pub fn is_send(self) -> bool {
+        matches!(self, OpKind::Send)
+    }
+
+    pub fn is_recv(self) -> bool {
+        !self.is_send()
+    }
+}
+
+/// One communication action by one rank within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Op {
+    pub kind: OpKind,
+    pub peer: usize,
+    /// Segment start, in buffer elements.
+    pub offset: usize,
+    /// Segment length, in buffer elements.
+    pub len: usize,
+}
+
+impl Op {
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// A complete schedule: `rounds[round][rank]` is the ordered action list
+/// rank `rank` issues in that round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    pub n_ranks: usize,
+    pub n_elems: usize,
+    pub rounds: Vec<Vec<Vec<Op>>>,
+}
+
+impl Schedule {
+    pub fn new(n_ranks: usize, n_elems: usize) -> Self {
+        Schedule { n_ranks, n_elems, rounds: Vec::new() }
+    }
+
+    /// Append an empty round and return its index.
+    pub fn push_round(&mut self) -> usize {
+        self.rounds.push(vec![Vec::new(); self.n_ranks]);
+        self.rounds.len() - 1
+    }
+
+    /// Convenience for tests: append `op` to `rank`'s list in `round`.
+    pub fn push_op(&mut self, round: usize, rank: usize, op: Op) {
+        self.rounds[round][rank].push(op);
+    }
+
+    /// Iterate `(round, rank, index_in_rank_list, op)` in round order,
+    /// rank order, list order.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (usize, usize, usize, &Op)> + '_ {
+        self.rounds.iter().enumerate().flat_map(|(ri, round)| {
+            round.iter().enumerate().flat_map(move |(rank, ops)| {
+                ops.iter().enumerate().map(move |(ai, op)| (ri, rank, ai, op))
+            })
+        })
+    }
+
+    /// Total number of actions across all rounds and ranks.
+    pub fn n_ops(&self) -> usize {
+        self.rounds.iter().map(|r| r.iter().map(Vec::len).sum::<usize>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_iter() {
+        let mut s = Schedule::new(2, 8);
+        let r = s.push_round();
+        s.push_op(r, 0, Op { kind: OpKind::Send, peer: 1, offset: 0, len: 8 });
+        s.push_op(r, 1, Op { kind: OpKind::RecvReduce, peer: 0, offset: 0, len: 8 });
+        assert_eq!(s.n_ops(), 2);
+        let ops: Vec<_> = s.iter_ops().collect();
+        assert_eq!(ops[0].1, 0);
+        assert_eq!(ops[1].1, 1);
+        assert!(ops[0].3.kind.is_send());
+        assert!(ops[1].3.kind.is_recv());
+        assert_eq!(ops[0].3.end(), 8);
+    }
+}

@@ -1,0 +1,205 @@
+//! Structural rules: the per-round well-formedness a schedule needs
+//! before any deeper analysis is meaningful.
+//!
+//! Unlike the old `Schedule::validate`, which stopped at the first
+//! problem, this pass collects *every* violation — a mutated or
+//! hand-built schedule usually breaks several rules at once and the
+//! diagnostics should say so.
+
+use std::collections::HashMap;
+
+use crate::diag::{Rule, Span, Violation};
+use crate::ir::Schedule;
+
+/// Check rank counts, peer ranges, segment bounds, self-messages, and
+/// per-round send/receive matching (exactly one message per ordered
+/// rank pair, segments agreeing on both sides).
+pub fn check(s: &Schedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (ri, round) in s.rounds.iter().enumerate() {
+        if round.len() != s.n_ranks {
+            out.push(Violation {
+                rule: Rule::WrongRankCount,
+                ranks: Vec::new(),
+                round: Some(ri),
+                span: None,
+                detail: format!("round has {} rank slots, schedule has {}", round.len(), s.n_ranks),
+            });
+            continue; // per-rank indexing below would be meaningless
+        }
+        // (sender, receiver) -> (send span, recv span)
+        let mut pairs: HashMap<(usize, usize), (Option<Span>, Option<Span>)> = HashMap::new();
+        for (rank, ops) in round.iter().enumerate() {
+            for op in ops {
+                if op.peer >= s.n_ranks {
+                    out.push(Violation {
+                        rule: Rule::RankOutOfRange,
+                        ranks: vec![rank],
+                        round: Some(ri),
+                        span: Some(Span::new(op.offset, op.len)),
+                        detail: format!("peer {} out of range 0..{}", op.peer, s.n_ranks),
+                    });
+                    continue;
+                }
+                if op.peer == rank {
+                    out.push(Violation {
+                        rule: Rule::SelfMessage,
+                        ranks: vec![rank],
+                        round: Some(ri),
+                        span: Some(Span::new(op.offset, op.len)),
+                        detail: format!("rank {rank} addresses itself"),
+                    });
+                    continue;
+                }
+                if op.end() > s.n_elems {
+                    out.push(Violation {
+                        rule: Rule::SegOutOfRange,
+                        ranks: vec![rank],
+                        round: Some(ri),
+                        span: Some(Span::new(op.offset, op.len)),
+                        detail: format!(
+                            "segment {}..{} exceeds buffer of {} elements",
+                            op.offset,
+                            op.end(),
+                            s.n_elems
+                        ),
+                    });
+                    continue;
+                }
+                let key = if op.kind.is_send() { (rank, op.peer) } else { (op.peer, rank) };
+                let entry = pairs.entry(key).or_insert((None, None));
+                let slot = if op.kind.is_send() { &mut entry.0 } else { &mut entry.1 };
+                if slot.is_some() {
+                    out.push(Violation {
+                        rule: Rule::DuplicatePair,
+                        ranks: vec![key.1, key.0],
+                        round: Some(ri),
+                        span: Some(Span::new(op.offset, op.len)),
+                        detail: format!(
+                            "more than one {} between ranks {} -> {} in one round",
+                            if op.kind.is_send() { "send" } else { "receive" },
+                            key.0,
+                            key.1
+                        ),
+                    });
+                    continue;
+                }
+                *slot = Some(Span::new(op.offset, op.len));
+            }
+        }
+        let mut keys: Vec<_> = pairs.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let (sender, receiver) = key;
+            match pairs[&key] {
+                (Some(a), Some(b)) if a == b => {}
+                (Some(a), Some(b)) => out.push(Violation {
+                    rule: Rule::SegMismatch,
+                    ranks: vec![receiver, sender],
+                    round: Some(ri),
+                    span: Some(a),
+                    detail: format!(
+                        "sender {sender} offers {}..{}, receiver {receiver} expects {}..{}",
+                        a.offset,
+                        a.end(),
+                        b.offset,
+                        b.end()
+                    ),
+                }),
+                (Some(a), None) => out.push(Violation {
+                    rule: Rule::UnmatchedSend,
+                    ranks: vec![sender, receiver],
+                    round: Some(ri),
+                    span: Some(a),
+                    detail: format!("rank {sender} sends to {receiver}, which never receives"),
+                }),
+                (None, Some(b)) => out.push(Violation {
+                    rule: Rule::UnmatchedRecv,
+                    ranks: vec![receiver, sender],
+                    round: Some(ri),
+                    span: Some(b),
+                    detail: format!("rank {receiver} receives from {sender}, which never sends"),
+                }),
+                (None, None) => unreachable!("entry inserted with one side set"),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Op, OpKind};
+
+    fn exchange(n_elems: usize) -> Schedule {
+        let mut s = Schedule::new(2, n_elems);
+        let r = s.push_round();
+        s.push_op(r, 0, Op { kind: OpKind::Send, peer: 1, offset: 0, len: n_elems });
+        s.push_op(r, 0, Op { kind: OpKind::RecvReduce, peer: 1, offset: 0, len: n_elems });
+        s.push_op(r, 1, Op { kind: OpKind::Send, peer: 0, offset: 0, len: n_elems });
+        s.push_op(r, 1, Op { kind: OpKind::RecvReduce, peer: 0, offset: 0, len: n_elems });
+        s
+    }
+
+    #[test]
+    fn clean_exchange_passes() {
+        assert!(check(&exchange(8)).is_empty());
+    }
+
+    #[test]
+    fn collects_multiple_violations() {
+        let mut s = exchange(8);
+        // Rank 1 stops participating: both of rank 0's actions dangle.
+        s.rounds[0][1].clear();
+        let v = check(&s);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|x| x.rule == Rule::UnmatchedSend));
+        assert!(v.iter().any(|x| x.rule == Rule::UnmatchedRecv));
+    }
+
+    #[test]
+    fn wrong_rank_count_short_circuits_round() {
+        let mut s = exchange(8);
+        s.rounds[0].pop();
+        let v = check(&s);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::WrongRankCount);
+    }
+
+    #[test]
+    fn out_of_range_peer_and_seg() {
+        let mut s = exchange(8);
+        s.rounds[0][0][0].peer = 7;
+        s.rounds[0][1][1].peer = 7; // keep the matching recv consistent-ish
+        s.rounds[0][0][1].len = 100;
+        s.rounds[0][1][0].len = 100;
+        let v = check(&s);
+        assert!(v.iter().any(|x| x.rule == Rule::RankOutOfRange));
+        assert!(v.iter().any(|x| x.rule == Rule::SegOutOfRange));
+    }
+
+    #[test]
+    fn self_message_flagged() {
+        let mut s = exchange(4);
+        s.rounds[0][0][0].peer = 0;
+        let v = check(&s);
+        assert!(v.iter().any(|x| x.rule == Rule::SelfMessage));
+    }
+
+    #[test]
+    fn duplicate_pair_flagged() {
+        let mut s = exchange(4);
+        s.push_op(0, 0, Op { kind: OpKind::Send, peer: 1, offset: 0, len: 1 });
+        let v = check(&s);
+        assert!(v.iter().any(|x| x.rule == Rule::DuplicatePair));
+    }
+
+    #[test]
+    fn seg_mismatch_flagged() {
+        let mut s = exchange(8);
+        s.rounds[0][1][1].len = 4; // receiver expects half
+        let v = check(&s);
+        assert!(v.iter().any(|x| x.rule == Rule::SegMismatch));
+    }
+}

@@ -1,0 +1,375 @@
+//! `cargo run -p xtask -- lint` — the repo's in-house source lint pass.
+//!
+//! Rules, applied to library sources (`src/` of the root facade and of
+//! every `crates/*` member except `bench` and this tool; `vendor/`,
+//! `tests/`, and `#[cfg(test)]` code are exempt):
+//!
+//! 1. **unwrap-ban** — no `.unwrap()` / `.expect(` in library code.
+//!    A site may be waived with a same-line justification comment
+//!    `// lint: allow(unwrap): <reason>`; an empty reason is itself a
+//!    violation. `dbg!`, `todo!`, and `unimplemented!` are banned with
+//!    no waiver.
+//! 2. **hot-path-alloc** — a function preceded by a `// lint: hot-path`
+//!    marker must not contain allocation-capable calls (`vec!`,
+//!    `Vec::new`, `with_capacity`, `.to_vec()`, `to_owned`,
+//!    `.collect(`, `.clone()`, `Box::new`, `String::…`, `format!`).
+//!    These are the per-step kernels the zero-allocation claim covers.
+//! 3. **no-f64** — a function preceded by `// lint: no-f64` must not
+//!    mention `f64` anywhere in its body: the deterministic reduction
+//!    paths accumulate in `f32` exactly like the GPU kernels they
+//!    model, and a stray widening would silently change every
+//!    fingerprinted result.
+//!
+//! The pass is deliberately token-based (comment- and string-stripped
+//! lines, brace counting) rather than AST-based: it has zero
+//! dependencies, runs in milliseconds, and the rules it enforces are
+//! local enough that tokens suffice.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Crates whose sources the lint pass skips: report binaries (`bench`)
+/// and this tool itself — neither is library code on the hot path.
+const EXEMPT_CRATES: &[&str] = &["bench", "xtask"];
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if EXEMPT_CRATES.contains(&name) {
+                continue;
+            }
+            collect_rs(&dir.join("src"), &mut files);
+        }
+    }
+    files.sort();
+
+    // Pass 1: files that are whole-file test modules (`#[cfg(test)]
+    // mod name;` in a parent) are exempt from every rule.
+    let test_files = test_module_files(&files);
+
+    // Pass 2: lint.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut linted = 0usize;
+    let mut exempt = 0usize;
+    for file in &files {
+        if test_files.contains(file) {
+            exempt += 1;
+            continue;
+        }
+        match std::fs::read_to_string(file) {
+            // A file-wide `#![cfg(test)]` makes the whole file test code.
+            Ok(text) if text.lines().any(|l| l.trim() == "#![cfg(test)]") => exempt += 1,
+            Ok(text) => {
+                linted += 1;
+                lint_file(file, &text, &root, &mut findings);
+            }
+            Err(err) => {
+                eprintln!("xtask lint: cannot read {}: {err}", file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: clean ({linted} files, {exempt} test-module files exempt)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("xtask lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Files pulled in via `#[cfg(test)] mod name;` anywhere in the set.
+fn test_module_files(files: &[PathBuf]) -> std::collections::HashSet<PathBuf> {
+    let mut out = std::collections::HashSet::new();
+    for file in files {
+        let Ok(text) = std::fs::read_to_string(file) else { continue };
+        let Some(dir) = file.parent() else { continue };
+        let mut pending_cfg_test = false;
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with("#[cfg(test)]") {
+                pending_cfg_test = true;
+                continue;
+            }
+            if pending_cfg_test {
+                if let Some(rest) = t.strip_prefix("mod ").or_else(|| t.strip_prefix("pub mod ")) {
+                    if let Some(name) = rest.strip_suffix(';') {
+                        let name = name.trim();
+                        out.insert(dir.join(format!("{name}.rs")));
+                        out.insert(dir.join(name).join("mod.rs"));
+                    }
+                }
+                if !t.starts_with("#[") {
+                    pending_cfg_test = false;
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Finding {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.detail)
+    }
+}
+
+/// Allocation-capable tokens banned inside `// lint: hot-path` bodies.
+const ALLOC_TOKENS: &[&str] = &[
+    "vec!",
+    "Vec::new",
+    "Vec::<",
+    "with_capacity",
+    ".to_vec()",
+    "to_owned",
+    ".collect(",
+    ".clone()",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "format!",
+];
+
+/// Macros banned outright, waiver or not.
+const BANNED_MACROS: &[&str] = &["dbg!(", "todo!(", "unimplemented!("];
+
+fn lint_file(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) {
+    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    let mut depth: i64 = 0;
+    // Skip state for `#[cfg(test)]`-gated items (mod blocks, fns).
+    let mut pending_cfg_test = false;
+    let mut skip_until_depth: Option<i64> = None;
+    // Marker state for hot-path / no-f64 functions.
+    let mut pending_hot = false;
+    let mut pending_no_f64 = false;
+    let mut marked: Option<(bool, bool, i64)> = None; // (hot, no_f64, body entry depth)
+    let mut awaiting_body: Option<(bool, bool)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_comments_and_strings(raw);
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+
+        // Inside a cfg(test)-gated block: only track braces.
+        if let Some(until) = skip_until_depth {
+            depth += opens - closes;
+            if depth <= until {
+                skip_until_depth = None;
+            }
+            continue;
+        }
+
+        let trimmed = raw.trim();
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            depth += opens - closes;
+            continue;
+        }
+        if pending_cfg_test {
+            if trimmed.starts_with("#[") {
+                depth += opens - closes;
+                continue; // further attributes on the gated item
+            }
+            pending_cfg_test = false;
+            if opens > 0 {
+                // Gated item with a body: skip until its braces close.
+                let entry = depth;
+                depth += opens - closes;
+                if depth > entry {
+                    skip_until_depth = Some(entry);
+                }
+                continue;
+            }
+            // Gated single-line item (`mod x;`, `use …;`): just skip it.
+            depth += opens - closes;
+            continue;
+        }
+
+        // Marker comments precede the fn they mark.
+        if raw.contains("// lint: hot-path") {
+            pending_hot = true;
+        }
+        if raw.contains("// lint: no-f64") {
+            pending_no_f64 = true;
+        }
+        if (pending_hot || pending_no_f64) && code.contains("fn ") {
+            awaiting_body = Some((pending_hot, pending_no_f64));
+            pending_hot = false;
+            pending_no_f64 = false;
+        }
+        if let Some((hot, no_f64)) = awaiting_body {
+            if opens > 0 {
+                marked = Some((hot, no_f64, depth));
+                awaiting_body = None;
+            }
+        }
+
+        // Rules inside a marked fn body (including its opening line).
+        if let Some((hot, no_f64, entry)) = marked {
+            if hot {
+                for tok in ALLOC_TOKENS {
+                    if code.contains(tok) {
+                        findings.push(Finding {
+                            path: rel.clone(),
+                            line: line_no,
+                            rule: "hot-path-alloc",
+                            detail: format!(
+                                "allocation-capable `{tok}` in a `// lint: hot-path` fn"
+                            ),
+                        });
+                    }
+                }
+            }
+            if no_f64 && code.contains("f64") {
+                findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "no-f64",
+                    detail: "`f64` in a `// lint: no-f64` fn".to_string(),
+                });
+            }
+            depth += opens - closes;
+            if depth <= entry {
+                marked = None;
+            }
+        } else {
+            depth += opens - closes;
+        }
+
+        // Universal bans.
+        for mac in BANNED_MACROS {
+            if code.contains(mac) {
+                findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "banned-macro",
+                    detail: format!("`{}` must not ship in library code", &mac[..mac.len() - 1]),
+                });
+            }
+        }
+        let has_unwrap = code.contains(".unwrap()") || code.contains(".expect(");
+        if has_unwrap {
+            match waiver_reason(raw) {
+                Some(reason) if !reason.is_empty() => {}
+                Some(_) => findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "unwrap-ban",
+                    detail: "waiver comment present but the reason is empty".to_string(),
+                }),
+                None => findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "unwrap-ban",
+                    detail: "`.unwrap()`/`.expect(` in library code (waive with \
+                             `// lint: allow(unwrap): <reason>`)"
+                        .to_string(),
+                }),
+            }
+        }
+    }
+}
+
+/// The reason text of a same-line `// lint: allow(unwrap): …` waiver.
+fn waiver_reason(raw: &str) -> Option<&str> {
+    let marker = "// lint: allow(unwrap):";
+    raw.find(marker).map(|at| raw[at + marker.len()..].trim())
+}
+
+/// Blank out `//` comments, string literals, char literals, and
+/// lifetime-free quoting so brace counting and token matching see only
+/// code. Keeps the line length intact where convenient; the output is
+/// only scanned for substrings and braces.
+fn strip_comments_and_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let mut in_str = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_str {
+            if c == '\\' {
+                i += 2;
+                continue;
+            }
+            if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // line comment
+            '"' => {
+                in_str = true;
+                i += 1;
+            }
+            '\'' => {
+                // Char literal: 'x' or '\n' or '\\'; lifetimes ('a) have
+                // no closing quote within a few chars — leave them.
+                if i + 2 < bytes.len() && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\\' {
+                    i += 3;
+                } else if i + 3 < bytes.len() && bytes[i + 1] == b'\\' && bytes[i + 3] == b'\'' {
+                    i += 4;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}

@@ -24,7 +24,7 @@ fn every_algorithm_correct_at_awkward_sizes() {
     for algo in all_algorithms() {
         for (n, e) in [(13usize, 7usize), (6, 1), (9, 100), (18, 31)] {
             let s = algo.build(n, e);
-            s.validate().unwrap_or_else(|err| panic!("{algo} n={n} e={e}: {err:?}"));
+            s.verify_allreduce().unwrap_or_else(|err| panic!("{algo} n={n} e={e}: {err:?}"));
             let ins: Vec<Vec<f32>> = (0..n)
                 .map(|r| (0..e).map(|i| ((r * 19 + i * 7) % 13) as f32 - 6.0).collect())
                 .collect();
