@@ -50,7 +50,7 @@ fn bench_threaded_allreduce(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(elems * 4), &sched, |b, s| {
             b.iter(|| {
                 let mut bufs: Vec<Vec<f32>> = (0..8).map(|r| vec![r as f32; elems]).collect();
-                exec_thread::allreduce(s, &mut bufs, ReduceOp::Sum);
+                exec_thread::allreduce(s, &mut bufs, ReduceOp::Sum).unwrap();
                 black_box(bufs)
             });
         });

@@ -78,7 +78,7 @@ fn bench_gradient_allreduce(c: &mut Criterion) {
             .map(|r| (0..n_params).map(|i| (r * n_params + i) as f32 * 1e-6).collect())
             .collect();
         b.iter(|| {
-            ctx.allreduce(&schedule, black_box(&mut grads), ReduceOp::Average);
+            ctx.allreduce(&schedule, black_box(&mut grads), ReduceOp::Average).unwrap();
             black_box(grads[0][0])
         });
     });
@@ -87,7 +87,7 @@ fn bench_gradient_allreduce(c: &mut Criterion) {
             .map(|r| (0..n_params).map(|i| (r * n_params + i) as f32 * 1e-6).collect())
             .collect();
         b.iter(|| {
-            exec_thread::allreduce(&schedule, black_box(&mut grads), ReduceOp::Average);
+            exec_thread::allreduce(&schedule, black_box(&mut grads), ReduceOp::Average).unwrap();
             black_box(grads[0][0])
         });
     });

@@ -79,6 +79,8 @@ fn main() {
             eval_every: 0,
             eval_samples: 64,
             seed: SEED,
+            faults: None,
+            checkpoint: None,
         }
     };
     let fp32 = train(&cfg(false));

@@ -41,6 +41,8 @@ fn config(workers: usize, batch_per_worker: usize) -> TrainConfig {
         eval_every: 20,
         eval_samples: 64,
         seed: SEED,
+        faults: None,
+        checkpoint: None,
     }
 }
 

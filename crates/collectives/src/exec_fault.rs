@@ -1,0 +1,843 @@
+//! Fault-aware schedule execution: drops, corruptions, stragglers, and
+//! crashes injected from a seeded [`FaultPlan`], survived by a
+//! sequence-numbered resend protocol.
+//!
+//! This is a *separate* path from [`exec_thread`](crate::exec_thread)'s
+//! plain `run` on purpose: the plain hot path keeps its zero-overhead,
+//! zero-allocation guarantees, while this path pays for per-payload
+//! CRCs, resend buffering, and deadline bookkeeping only when a caller
+//! explicitly opts in with a [`FaultSession`].
+//!
+//! # Protocol
+//!
+//! Every ordered rank pair gets two channels: a **data** channel
+//! carrying [`FMsg`] (round, offset, sequence number, CRC32, payload)
+//! and a reverse **control** channel carrying [`Ctl`] acks and nacks.
+//! Senders keep a clean copy of every un-acked payload in a
+//! sequence-indexed resend buffer; receivers track the next expected
+//! sequence number per peer, stash out-of-order arrivals, discard
+//! duplicates idempotently, and CRC-check every payload before applying
+//! it. A receive that misses its deadline nacks the missing sequence
+//! number and backs off exponentially ([`RetryPolicy`]); a nack makes
+//! the sender re-send the clean buffered copy, so a dropped or
+//! corrupted message is repaired without any rank ever applying dirty
+//! bytes. Injected faults touch only the wire copy — the resend buffer
+//! always holds clean data — which is why the *numeric result under
+//! faults is bit-identical to the fault-free run*: the applied payloads
+//! and the per-rank combine order are exactly those of the schedule.
+//!
+//! # Crashes and abort
+//!
+//! A plan-crashed rank logs the injection and exits at the scheduled
+//! round, dropping its channel endpoints. A peer blocked on data the
+//! dead rank never sent observes `Disconnected` (after draining
+//! whatever *was* sent), declares the peer dead, and aborts; the abort
+//! cascades the same way. Because std channels deliver everything that
+//! was sent before a disconnect surfaces, each rank's abort point — and
+//! hence the whole cascade and every [`FaultEvent::PeerDead`] — is a
+//! function of the schedule and the plan, not of thread timing. The
+//! collective returns [`ExecError::RanksDead`]; buffers are partial and
+//! the [`elastic`](crate::elastic) layer owns restoring them and
+//! rebuilding over the survivors.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use faults::{
+    crc32, EventLog, FaultClock, FaultEvent, FaultKind, FaultPlan, RetryPolicy, SendFault,
+};
+use parking_lot::Mutex;
+use summit_metrics::FaultCounters;
+
+use crate::exec_thread::{ExecContext, ExecError, PayloadPool};
+use crate::reduce::{combine, finalize, ReduceOp};
+use crate::sched::{Action, Schedule};
+
+/// A data message on the faulty path. `seq` numbers the (sender,
+/// receiver) stream from zero; `crc` covers `payload` only.
+#[derive(Debug)]
+struct FMsg {
+    round: usize,
+    offset: usize,
+    seq: u64,
+    crc: u32,
+    payload: Vec<f32>,
+}
+
+/// Control traffic flowing from a data receiver back to the sender.
+#[derive(Debug, Clone, Copy)]
+enum Ctl {
+    /// `seq` was applied (or was a duplicate of an applied message):
+    /// the sender may drop its resend-buffer entry.
+    Ack { seq: u64 },
+    /// `seq` is missing or arrived corrupted: re-send the clean copy.
+    Nack { seq: u64 },
+}
+
+/// Everything one fault-aware run (or one training run of many steps)
+/// shares: the plan, the retry policy, the delay clock, and the
+/// observability sinks. Cheap to share by reference across rank
+/// threads; bump the step counter between collectives so plan
+/// injections keyed by training step land on the right one.
+#[derive(Debug, Default)]
+pub struct FaultSession {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    clock: FaultClock,
+    counters: FaultCounters,
+    events: EventLog,
+    step: AtomicUsize,
+}
+
+impl FaultSession {
+    /// A session around `plan` with default policy and a virtual clock
+    /// (injected delays are accounted, not slept).
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultSession { plan, ..Default::default() }
+    }
+
+    /// Override the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Use a real clock: injected straggler delays actually sleep, so
+    /// the timeout/retry machinery is exercised under wall-clock skew.
+    pub fn with_real_delays(mut self) -> Self {
+        self.clock = FaultClock::real();
+        self
+    }
+
+    /// Set the training step the next collectives belong to.
+    pub fn begin_step(&self, step: usize) {
+        self.step.store(step, Ordering::Relaxed);
+    }
+
+    pub fn step(&self) -> usize {
+        self.step.load(Ordering::Relaxed)
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    pub fn clock(&self) -> &FaultClock {
+        &self.clock
+    }
+
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+}
+
+/// One sender-side resend-buffer entry: the clean payload plus enough
+/// header to reconstruct the exact message on a nack.
+struct PendingSend {
+    seq: u64,
+    round: usize,
+    offset: usize,
+    crc: u32,
+    clean: Vec<f32>,
+}
+
+/// Why a rank thread stopped short of completing the schedule.
+enum RankOutcome {
+    Done,
+    /// The plan crashed this rank (self-report; the authoritative
+    /// source for the aggregate dead set).
+    Crashed,
+    /// A peer's channels closed before it delivered data this rank was
+    /// still owed — the peer crashed or aborted. `peer` is local; the
+    /// round is in the logged [`FaultEvent::PeerDead`].
+    PeerStopped {
+        peer: usize,
+    },
+    /// The retry budget ran out on a silent but connected peer.
+    Exhausted {
+        peer: usize,
+        round: usize,
+    },
+}
+
+impl ExecContext {
+    /// Execute `schedule` under `session`'s fault plan, one thread per
+    /// rank. `rank_ids[local]` is the *original* (world) rank id of
+    /// each buffer — the plan and the event log speak original ids, so
+    /// a plan stays addressable after elastic degradation renumbers the
+    /// survivors.
+    ///
+    /// On [`ExecError::RanksDead`] the buffers are partial; callers
+    /// must restore them (see [`ElasticAllreduce`](crate::elastic::ElasticAllreduce)).
+    pub fn run_with_faults(
+        &self,
+        schedule: &Schedule,
+        buffers: &mut [Vec<f32>],
+        op: ReduceOp,
+        session: &FaultSession,
+        rank_ids: &[usize],
+    ) -> Result<(), ExecError> {
+        self.preflight(schedule, buffers)?;
+        assert_eq!(rank_ids.len(), schedule.n_ranks, "need one original rank id per schedule rank");
+        let n = schedule.n_ranks;
+        if n == 1 || schedule.rounds.is_empty() {
+            return Ok(());
+        }
+        self.pool().reserve_hint(schedule.n_elems);
+
+        // data: s -> d; ctl: d -> s (acks/nacks about that data).
+        let mut data_tx: Vec<Vec<Option<Sender<FMsg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut data_rx: Vec<Vec<Option<Receiver<FMsg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut ctl_tx: Vec<Vec<Option<Sender<Ctl>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut ctl_rx: Vec<Vec<Option<Receiver<Ctl>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    let (dt, dr) = unbounded();
+                    data_tx[s][d] = Some(dt);
+                    data_rx[d][s] = Some(dr);
+                    let (ct, cr) = unbounded();
+                    ctl_tx[d][s] = Some(ct);
+                    ctl_rx[s][d] = Some(cr);
+                }
+            }
+        }
+
+        let outcomes: Mutex<Vec<Option<RankOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for (rank, buf) in buffers.iter_mut().enumerate() {
+                let io = RankIo {
+                    rank,
+                    orig: rank_ids[rank],
+                    step: session.step(),
+                    data_tx: std::mem::take(&mut data_tx[rank]),
+                    data_rx: std::mem::take(&mut data_rx[rank]),
+                    ctl_tx: std::mem::take(&mut ctl_tx[rank]),
+                    ctl_rx: std::mem::take(&mut ctl_rx[rank]),
+                    next_seq: vec![0; n],
+                    pending: (0..n).map(|_| VecDeque::new()).collect(),
+                    expected: vec![0; n],
+                    stash: (0..n).map(|_| BTreeMap::new()).collect(),
+                    pool: self.pool(),
+                    session,
+                    rank_ids,
+                };
+                let outcomes = &outcomes;
+                let sched = &*schedule;
+                scope.spawn(move || {
+                    let out = rank_main_fault(io, buf, sched, op);
+                    outcomes.lock()[rank] = Some(out);
+                });
+            }
+        });
+
+        let outs = outcomes.into_inner();
+        let dead: Vec<usize> = outs
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, Some(RankOutcome::Crashed)))
+            .map(|(r, _)| r)
+            .collect();
+        if !dead.is_empty() {
+            return Err(ExecError::RanksDead { dead });
+        }
+        // A peer stopped without a crash injection on record: surface
+        // the suspects so the caller still gets a actionable dead set.
+        let suspects: Vec<usize> = {
+            let mut s: Vec<usize> = outs
+                .iter()
+                .filter_map(|o| match o {
+                    Some(RankOutcome::PeerStopped { peer, .. }) => Some(*peer),
+                    _ => None,
+                })
+                .collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        if !suspects.is_empty() {
+            return Err(ExecError::RanksDead { dead: suspects });
+        }
+        if let Some((rank, peer, round)) = outs.iter().enumerate().find_map(|(r, o)| match o {
+            Some(RankOutcome::Exhausted { peer, round }) => Some((r, *peer, *round)),
+            _ => None,
+        }) {
+            return Err(ExecError::RetriesExhausted { rank, peer, round });
+        }
+        Ok(())
+    }
+
+    /// [`ExecContext::run_with_faults`] plus op finalization — the
+    /// fault-path analogue of [`ExecContext::allreduce`].
+    pub fn allreduce_with_faults(
+        &self,
+        schedule: &Schedule,
+        buffers: &mut [Vec<f32>],
+        op: ReduceOp,
+        session: &FaultSession,
+        rank_ids: &[usize],
+    ) -> Result<(), ExecError> {
+        self.run_with_faults(schedule, buffers, op, session, rank_ids)?;
+        for b in buffers.iter_mut() {
+            finalize(op, b, schedule.n_ranks);
+        }
+        Ok(())
+    }
+}
+
+/// Per-rank channel endpoints and protocol state, threaded through the
+/// helpers so signatures stay sane.
+struct RankIo<'a> {
+    rank: usize,
+    orig: usize,
+    step: usize,
+    data_tx: Vec<Option<Sender<FMsg>>>,
+    data_rx: Vec<Option<Receiver<FMsg>>>,
+    ctl_tx: Vec<Option<Sender<Ctl>>>,
+    ctl_rx: Vec<Option<Receiver<Ctl>>>,
+    /// Next sequence number per destination.
+    next_seq: Vec<u64>,
+    /// Un-acked sends per destination, oldest first.
+    pending: Vec<VecDeque<PendingSend>>,
+    /// Next expected sequence number per source.
+    expected: Vec<u64>,
+    /// Out-of-order arrivals per source, keyed by sequence number.
+    stash: Vec<BTreeMap<u64, FMsg>>,
+    pool: &'a PayloadPool,
+    session: &'a FaultSession,
+    rank_ids: &'a [usize],
+}
+
+impl RankIo<'_> {
+    /// Send one payload, applying the round's injected send fault (if
+    /// any) to the wire copy only; the resend buffer keeps clean bytes.
+    fn send_payload(
+        &mut self,
+        peer: usize,
+        round: usize,
+        offset: usize,
+        src: &[f32],
+        fault: Option<SendFault>,
+    ) {
+        let clean = self.pool.acquire_copy(src);
+        let crc = crc32(&clean);
+        let seq = self.next_seq[peer];
+        self.next_seq[peer] += 1;
+        let dropped = fault == Some(SendFault::Drop);
+        if !dropped {
+            let mut wire = self.pool.acquire_copy(&clean);
+            if fault == Some(SendFault::Corrupt) {
+                if let Some(x) = wire.first_mut() {
+                    *x = f32::from_bits(x.to_bits() ^ 1);
+                }
+            }
+            let msg = FMsg { round, offset, seq, crc, payload: wire };
+            let tx = self.data_tx[peer].as_ref().expect("no self-sends"); // lint: allow(unwrap): channel exists for every schedule peer
+            if let Err(e) = tx.send(msg) {
+                // Peer already gone; death is detected on the receive
+                // side. Reclaim the wire copy.
+                self.pool.release(e.0.payload);
+            }
+        }
+        self.pending[peer].push_back(PendingSend { seq, round, offset, crc, clean });
+    }
+
+    /// Drain every control channel, clearing acked resend-buffer
+    /// entries and answering nacks with clean re-sends.
+    fn service_ctl(&mut self) {
+        for peer in 0..self.ctl_rx.len() {
+            while let Some(rx) = &self.ctl_rx[peer] {
+                let ctl = match rx.try_recv() {
+                    Ok(c) => c,
+                    Err(_) => break, // empty or disconnected: nothing to service
+                };
+                self.handle_ctl(peer, ctl);
+            }
+        }
+    }
+
+    fn handle_ctl(&mut self, peer: usize, ctl: Ctl) {
+        match ctl {
+            Ctl::Ack { seq } => {
+                if let Some(pos) = self.pending[peer].iter().position(|p| p.seq == seq) {
+                    let entry = self.pending[peer].remove(pos).expect("position just found"); // lint: allow(unwrap): position just found by iter().position
+                    self.pool.release(entry.clean);
+                }
+            }
+            Ctl::Nack { seq } => {
+                // Resend iff still buffered; a nack for an already-acked
+                // or not-yet-assigned seq is a benign race.
+                if let Some(entry) = self.pending[peer].iter().find(|p| p.seq == seq) {
+                    let wire = self.pool.acquire_copy(&entry.clean);
+                    let msg = FMsg {
+                        round: entry.round,
+                        offset: entry.offset,
+                        seq: entry.seq,
+                        crc: entry.crc,
+                        payload: wire,
+                    };
+                    let tx = self.data_tx[peer].as_ref().expect("no self-sends"); // lint: allow(unwrap): channel exists for every schedule peer
+                    if let Err(e) = tx.send(msg) {
+                        self.pool.release(e.0.payload);
+                        return;
+                    }
+                    FaultCounters::bump(&self.session.counters().resends);
+                    self.session.events().push(FaultEvent::Resend {
+                        step: self.step,
+                        rank: self.orig,
+                        peer: self.rank_ids[peer],
+                        seq,
+                    });
+                }
+            }
+        }
+    }
+
+    fn ack(&self, peer: usize, seq: u64) {
+        if let Some(tx) = &self.ctl_tx[peer] {
+            let _ = tx.send(Ctl::Ack { seq }); // peer gone: nothing to clear
+        }
+    }
+
+    fn nack(&self, peer: usize, seq: u64) {
+        if let Some(tx) = &self.ctl_tx[peer] {
+            let _ = tx.send(Ctl::Nack { seq });
+        }
+    }
+
+    /// Receive, validate, and apply the next in-sequence message from
+    /// `peer` for the given action. Returns the outcome that aborts the
+    /// rank, or `None` on success.
+    fn recv_apply(
+        &mut self,
+        buf: &mut [f32],
+        peer: usize,
+        round_idx: usize,
+        action: &Action,
+        op: ReduceOp,
+    ) -> Option<RankOutcome> {
+        let policy = self.session.policy();
+        let mut attempt: u32 = 0;
+        let mut deadline = policy.base;
+        let mut waited = Duration::ZERO;
+        loop {
+            let want = self.expected[peer];
+            // Out-of-order arrivals may already hold the wanted seq.
+            let stashed = self.stash[peer].remove(&want);
+            let recv = match stashed {
+                Some(m) => Ok(m),
+                None => {
+                    let rx = self.data_rx[peer].as_ref().expect("no self-recvs"); // lint: allow(unwrap): channel exists for every schedule peer
+                    rx.recv_timeout(policy.tick)
+                }
+            };
+            let msg = match recv {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.session.clock().note_wait(policy.tick);
+                    waited += policy.tick;
+                    self.service_ctl();
+                    if waited >= deadline {
+                        attempt += 1;
+                        FaultCounters::bump(&self.session.counters().timeouts);
+                        self.session.events().push(FaultEvent::RetryTimeout {
+                            step: self.step,
+                            rank: self.orig,
+                            peer: self.rank_ids[peer],
+                            round: round_idx,
+                            attempt,
+                        });
+                        if attempt >= policy.max_attempts {
+                            return Some(RankOutcome::Exhausted { peer, round: round_idx });
+                        }
+                        self.nack(peer, want);
+                        deadline *= policy.factor;
+                        waited = Duration::ZERO;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Everything the peer ever sent has been drained
+                    // and it still owes us this message: it crashed
+                    // or aborted before sending it.
+                    FaultCounters::bump(&self.session.counters().rank_deaths);
+                    self.session.events().push(FaultEvent::PeerDead {
+                        step: self.step,
+                        rank: self.orig,
+                        peer: self.rank_ids[peer],
+                        round: round_idx,
+                    });
+                    return Some(RankOutcome::PeerStopped { peer });
+                }
+            };
+            if msg.seq < want {
+                // Duplicate of an applied message (timeout-nack raced a
+                // slow original). Re-ack so the sender clears it.
+                FaultCounters::bump(&self.session.counters().duplicates_dropped);
+                self.session.events().push(FaultEvent::DuplicateDropped {
+                    step: self.step,
+                    rank: self.orig,
+                    peer: self.rank_ids[peer],
+                    seq: msg.seq,
+                });
+                self.ack(peer, msg.seq);
+                self.pool.release(msg.payload);
+                continue;
+            }
+            if msg.seq > want {
+                self.stash[peer].insert(msg.seq, msg);
+                continue;
+            }
+            if crc32(&msg.payload) != msg.crc {
+                FaultCounters::bump(&self.session.counters().crc_rejects);
+                self.session.events().push(FaultEvent::CrcReject {
+                    step: self.step,
+                    rank: self.orig,
+                    peer: self.rank_ids[peer],
+                    round: round_idx,
+                    seq: msg.seq,
+                });
+                self.nack(peer, msg.seq);
+                self.pool.release(msg.payload);
+                continue;
+            }
+            // In-sequence and clean: this must be the awaited message —
+            // seq order equals schedule order within a pair, corruption
+            // can only touch payload bits, and the CRC just passed.
+            let seg = match *action {
+                Action::RecvReduce { seg, .. } | Action::RecvReplace { seg, .. } => seg,
+                Action::Send { .. } => unreachable!("recv_apply called on a send"),
+            };
+            assert_eq!(msg.round, round_idx, "rank {}: out-of-round message", self.rank);
+            assert_eq!(msg.offset, seg.offset, "rank {}: segment mismatch", self.rank);
+            assert_eq!(msg.payload.len(), seg.len, "rank {}: length mismatch", self.rank);
+            self.ack(peer, msg.seq);
+            self.expected[peer] = want + 1;
+            match action {
+                Action::RecvReduce { .. } => {
+                    combine(op, &mut buf[seg.offset..seg.end()], &msg.payload)
+                }
+                Action::RecvReplace { .. } => {
+                    buf[seg.offset..seg.end()].copy_from_slice(&msg.payload)
+                }
+                Action::Send { .. } => unreachable!(),
+            }
+            self.pool.release(msg.payload);
+            return None;
+        }
+    }
+
+    /// After the schedule completes: stay alive answering nacks until
+    /// every send is acked or the un-acking peers are gone, bounded by
+    /// one full retry budget per peer so a wedged peer cannot pin us.
+    fn drain_pending(&mut self) {
+        let policy = self.session.policy();
+        let budget: Duration =
+            (0..policy.max_attempts).map(|a| policy.base * policy.factor.pow(a)).sum();
+        for peer in 0..self.pending.len() {
+            let mut waited = Duration::ZERO;
+            while !self.pending[peer].is_empty() && waited < budget {
+                let ctl = match &self.ctl_rx[peer] {
+                    Some(rx) => rx.recv_timeout(policy.tick),
+                    None => break,
+                };
+                match ctl {
+                    Ok(c) => self.handle_ctl(peer, c),
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.session.clock().note_wait(policy.tick);
+                        waited += policy.tick;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            // Whatever is still un-acked goes back to the pool: the
+            // peer is gone (dead or aborted) or out of budget.
+            while let Some(entry) = self.pending[peer].pop_front() {
+                self.pool.release(entry.clean);
+            }
+        }
+    }
+
+    /// Return every parked protocol buffer to the pool on abort paths.
+    fn scrap(&mut self) {
+        for peer in 0..self.pending.len() {
+            while let Some(entry) = self.pending[peer].pop_front() {
+                self.pool.release(entry.clean);
+            }
+            let stash = std::mem::take(&mut self.stash[peer]);
+            for (_, msg) in stash {
+                self.pool.release(msg.payload);
+            }
+        }
+    }
+}
+
+fn rank_main_fault(
+    mut io: RankIo<'_>,
+    buf: &mut [f32],
+    schedule: &Schedule,
+    op: ReduceOp,
+) -> RankOutcome {
+    let plan: &FaultPlan = io.session.plan();
+    let (step, orig) = (io.step, io.orig);
+    for (round_idx, round) in schedule.rounds.iter().enumerate() {
+        if plan.crashes_at(step, orig, round_idx) {
+            FaultCounters::bump(&io.session.counters().injected_crashes);
+            io.session.events().push(FaultEvent::Injected {
+                step,
+                rank: orig,
+                round: round_idx,
+                kind: FaultKind::Crash,
+            });
+            io.scrap();
+            return RankOutcome::Crashed; // channel endpoints drop here
+        }
+        if let Some(delay) = plan.straggle(step, orig, round_idx) {
+            FaultCounters::bump(&io.session.counters().injected_straggles);
+            io.session.events().push(FaultEvent::Injected {
+                step,
+                rank: orig,
+                round: round_idx,
+                kind: FaultKind::Straggle { millis: delay.as_millis() as u64 },
+            });
+            io.session.clock().inject(delay);
+        }
+        let actions = &round.per_rank[io.rank];
+        let fault = plan.send_fault(step, orig, round_idx);
+        if fault.is_some() && actions.iter().any(|a| a.is_send()) {
+            let kind = match fault {
+                Some(SendFault::Drop) => {
+                    FaultCounters::bump(&io.session.counters().injected_drops);
+                    FaultKind::Drop
+                }
+                Some(SendFault::Corrupt) => {
+                    FaultCounters::bump(&io.session.counters().injected_corruptions);
+                    FaultKind::Corrupt
+                }
+                None => unreachable!(),
+            };
+            io.session.events().push(FaultEvent::Injected {
+                step,
+                rank: orig,
+                round: round_idx,
+                kind,
+            });
+        }
+        // Phase A: snapshot-and-send, exactly like the plain path but
+        // with headers, resend buffering, and the injected send fault.
+        for a in actions {
+            if let Action::Send { peer, seg } = *a {
+                io.send_payload(peer, round_idx, seg.offset, &buf[seg.offset..seg.end()], fault);
+            }
+        }
+        io.service_ctl();
+        // Phase B: blocking, validated receives in action order.
+        for a in actions {
+            match *a {
+                Action::Send { .. } => {}
+                Action::RecvReduce { peer, .. } | Action::RecvReplace { peer, .. } => {
+                    if let Some(outcome) = io.recv_apply(buf, peer, round_idx, a, op) {
+                        io.scrap();
+                        return outcome;
+                    }
+                }
+            }
+        }
+    }
+    io.drain_pending();
+    io.scrap();
+    RankOutcome::Done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::apply_allreduce;
+    use crate::{rd, ring};
+    use faults::{FaultSpec, Injection};
+
+    fn inputs(n_ranks: usize, n_elems: usize) -> Vec<Vec<f32>> {
+        (0..n_ranks)
+            .map(|r| (0..n_elems).map(|i| ((r * 29 + i * 5) % 17) as f32 * 0.5 - 4.0).collect())
+            .collect()
+    }
+
+    fn ids(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn empty_plan_matches_reference_bit_for_bit() {
+        let (n, e) = (4usize, 64usize);
+        let s = ring::allreduce(n, e);
+        let ins = inputs(n, e);
+        let mut by_ref = ins.clone();
+        apply_allreduce(&s, &mut by_ref, ReduceOp::Sum);
+        let mut by_fault = ins.clone();
+        let session = FaultSession::new(FaultPlan::none());
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        ctx.allreduce_with_faults(&s, &mut by_fault, ReduceOp::Sum, &session, &ids(n)).unwrap();
+        assert_eq!(by_ref, by_fault);
+        assert!(session.events().is_empty());
+    }
+
+    #[test]
+    fn dropped_payloads_are_recovered_exactly() {
+        let (n, e) = (4usize, 32usize);
+        let s = ring::allreduce(n, e);
+        let plan = FaultPlan::explicit(
+            1,
+            vec![
+                Injection { step: 0, rank: 1, round: 0, kind: FaultKind::Drop },
+                Injection { step: 0, rank: 3, round: 2, kind: FaultKind::Drop },
+            ],
+        );
+        let ins = inputs(n, e);
+        let mut by_ref = ins.clone();
+        apply_allreduce(&s, &mut by_ref, ReduceOp::Sum);
+        let mut bufs = ins.clone();
+        let session = FaultSession::new(plan);
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        ctx.allreduce_with_faults(&s, &mut bufs, ReduceOp::Sum, &session, &ids(n)).unwrap();
+        assert_eq!(by_ref, bufs, "drop recovery must be bit-exact");
+        let c = session.counters().snapshot();
+        assert_eq!(c.injected_drops, 2);
+        assert!(c.resends >= 2, "each drop needs at least one resend: {c}");
+        assert!(c.timeouts >= 2, "drops are only noticed via deadlines: {c}");
+    }
+
+    #[test]
+    fn corrupted_payloads_are_rejected_and_resent() {
+        let (n, e) = (4usize, 32usize);
+        let s = rd::allreduce(n, e);
+        let plan = FaultPlan::explicit(
+            2,
+            vec![Injection { step: 0, rank: 2, round: 1, kind: FaultKind::Corrupt }],
+        );
+        let ins = inputs(n, e);
+        let mut by_ref = ins.clone();
+        apply_allreduce(&s, &mut by_ref, ReduceOp::Sum);
+        let mut bufs = ins.clone();
+        let session = FaultSession::new(plan);
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        ctx.allreduce_with_faults(&s, &mut bufs, ReduceOp::Sum, &session, &ids(n)).unwrap();
+        assert_eq!(by_ref, bufs, "corruption must never reach the buffers");
+        let c = session.counters().snapshot();
+        assert_eq!(c.injected_corruptions, 1);
+        assert!(c.crc_rejects >= 1, "{c}");
+        assert!(c.resends >= 1, "{c}");
+    }
+
+    #[test]
+    fn stragglers_only_delay_under_virtual_clock() {
+        let (n, e) = (4usize, 16usize);
+        let s = ring::allreduce(n, e);
+        let plan = FaultPlan::explicit(
+            3,
+            vec![Injection {
+                step: 0,
+                rank: 0,
+                round: 1,
+                kind: FaultKind::Straggle { millis: 60_000 },
+            }],
+        );
+        let ins = inputs(n, e);
+        let mut by_ref = ins.clone();
+        apply_allreduce(&s, &mut by_ref, ReduceOp::Sum);
+        let mut bufs = ins.clone();
+        let session = FaultSession::new(plan); // virtual: must not sleep a minute
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        let t0 = std::time::Instant::now();
+        ctx.allreduce_with_faults(&s, &mut bufs, ReduceOp::Sum, &session, &ids(n)).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        assert_eq!(by_ref, bufs);
+        assert_eq!(session.clock().injected(), Duration::from_secs(60));
+        assert_eq!(session.counters().snapshot().injected_straggles, 1);
+    }
+
+    #[test]
+    fn crash_aborts_with_the_dead_rank_reported() {
+        let (n, e) = (4usize, 24usize);
+        let s = ring::allreduce(n, e);
+        let plan = FaultPlan::explicit(
+            4,
+            vec![Injection { step: 0, rank: 2, round: 1, kind: FaultKind::Crash }],
+        );
+        let mut bufs = inputs(n, e);
+        let session = FaultSession::new(plan);
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        let err = ctx
+            .run_with_faults(&s, &mut bufs, ReduceOp::Sum, &session, &ids(n))
+            .expect_err("a crashed rank must abort the collective");
+        assert_eq!(err, ExecError::RanksDead { dead: vec![2] });
+        let c = session.counters().snapshot();
+        assert_eq!(c.injected_crashes, 1);
+        assert!(c.rank_deaths >= 1, "at least one peer must observe the death: {c}");
+    }
+
+    #[test]
+    fn crash_detection_ignores_renumbering() {
+        // After a degradation the local ranks 0..3 may stand for
+        // original ids {0, 1, 3, 4}: the plan must hit original id 3
+        // (local 2) and the error must speak local indices.
+        let (n, e) = (4usize, 16usize);
+        let s = ring::allreduce(n, e);
+        let plan = FaultPlan::explicit(
+            5,
+            vec![Injection { step: 0, rank: 3, round: 0, kind: FaultKind::Crash }],
+        );
+        let mut bufs = inputs(n, e);
+        let session = FaultSession::new(plan);
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        let err = ctx
+            .run_with_faults(&s, &mut bufs, ReduceOp::Sum, &session, &[0, 1, 3, 4])
+            .expect_err("original id 3 is present as local 2");
+        assert_eq!(err, ExecError::RanksDead { dead: vec![2] });
+    }
+
+    #[test]
+    fn faulty_runs_replay_identically_from_the_same_plan() {
+        let (n, e) = (4usize, 48usize);
+        let s = ring::allreduce(n, e);
+        let spec = FaultSpec {
+            drops: 2,
+            corruptions: 2,
+            stragglers: 2,
+            ..FaultSpec::none(n, 1, s.n_rounds())
+        };
+        let run = |seed: u64| {
+            let plan = FaultPlan::seeded(seed, &spec);
+            let mut bufs = inputs(n, e);
+            let session = FaultSession::new(plan);
+            let ctx = ExecContext::for_schedule(&s).unwrap();
+            ctx.allreduce_with_faults(&s, &mut bufs, ReduceOp::Sum, &session, &ids(n)).unwrap();
+            (
+                bufs,
+                session.events().deterministic_core(),
+                session.counters().snapshot().deterministic_part(),
+            )
+        };
+        let (b1, e1, c1) = run(11);
+        let (b2, e2, c2) = run(11);
+        assert_eq!(b1, b2, "same seed, same numbers");
+        assert_eq!(e1, e2, "same seed, same deterministic events");
+        assert_eq!(c1, c2, "same seed, same deterministic counters");
+        let mut clean = inputs(n, e);
+        crate::exec_thread::allreduce(&s, &mut clean, ReduceOp::Sum).unwrap();
+        assert_eq!(b1, clean, "faults repaired ⇒ identical to the fault-free run");
+    }
+}

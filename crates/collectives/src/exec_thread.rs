@@ -28,17 +28,63 @@
 //! algorithm schedules the simulator times are the ones the real
 //! gradients travel through.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::reduce::{combine, finalize, ReduceOp};
-use crate::sched::{Action, Schedule};
+use crate::sched::{Action, Schedule, Violation};
 
 /// A message: `(round, offset, payload)` — enough to assert the receiver
 /// got what the schedule says it should.
 type Msg = (usize, usize, Vec<f32>);
+
+/// Structured executor failure. The old behavior — asserting on
+/// buffer/rank mismatches and panicking on verification failure — is
+/// gone: every way a run can refuse or abort now comes back as a value
+/// the caller (the trainer, the elastic layer) can route on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// `buffers.len()` disagrees with the schedule's rank count.
+    BufferCount { expected: usize, got: usize },
+    /// One rank's buffer length disagrees with the schedule's element
+    /// count.
+    BufferLen { rank: usize, expected: usize, got: usize },
+    /// The schedule failed static verification before any thread spawned.
+    Rejected(Vec<Violation>),
+    /// Ranks died (injected crash, or a peer exhausted its retry budget
+    /// and declared them dead). The collective aborted; buffers are in
+    /// an unspecified partial state and must be restored by the caller.
+    /// Ranks are reported as *local indices* into the buffer slice.
+    RanksDead { dead: Vec<usize> },
+    /// A rank gave up waiting on a peer that never disconnected — the
+    /// retry budget ran out with the peer silent but alive.
+    RetriesExhausted { rank: usize, peer: usize, round: usize },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BufferCount { expected, got } => {
+                write!(f, "expected one buffer per rank ({expected}), got {got}")
+            }
+            ExecError::BufferLen { rank, expected, got } => {
+                write!(f, "rank {rank} buffer holds {got} elems, schedule wants {expected}")
+            }
+            ExecError::Rejected(violations) => {
+                write!(f, "schedule failed verification before thread spawn: {violations:?}")
+            }
+            ExecError::RanksDead { dead } => write!(f, "ranks {dead:?} died mid-collective"),
+            ExecError::RetriesExhausted { rank, peer, round } => {
+                write!(f, "rank {rank} exhausted retries waiting on {peer} in round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// A recycling free-list of payload buffers shared by all rank threads.
 ///
@@ -59,14 +105,32 @@ pub struct PayloadPool {
     grown: AtomicUsize,
 }
 
+/// A frozen copy of a pool's allocator counters — the anchor for
+/// per-run deltas. Retried/degraded collectives rebuild their
+/// [`ExecContext`] but keep the recycled buffers; snapshotting at run
+/// boundaries keeps zero-allocation assertions from being polluted by
+/// a retry's warm-up (see [`ExecContext::counter_snapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    pub fresh: usize,
+    pub grown: usize,
+}
+
+impl PoolCounters {
+    /// Total allocator events in this snapshot.
+    pub fn total(&self) -> usize {
+        self.fresh + self.grown
+    }
+}
+
 impl PayloadPool {
     /// Raise the capacity hint (never lowers it).
-    fn reserve_hint(&self, len: usize) {
+    pub(crate) fn reserve_hint(&self, len: usize) {
         self.hint.fetch_max(len, Ordering::Relaxed);
     }
 
     /// A payload holding a copy of `src`, recycled when possible.
-    fn acquire_copy(&self, src: &[f32]) -> Vec<f32> {
+    pub(crate) fn acquire_copy(&self, src: &[f32]) -> Vec<f32> {
         let want = self.hint.load(Ordering::Relaxed).max(src.len());
         let mut buf = match self.free.lock().pop() {
             Some(b) => b,
@@ -84,7 +148,7 @@ impl PayloadPool {
         buf
     }
 
-    fn release(&self, buf: Vec<f32>) {
+    pub(crate) fn release(&self, buf: Vec<f32>) {
         self.free.lock().push(buf);
     }
 
@@ -92,6 +156,32 @@ impl PayloadPool {
     /// growths. Flat across calls ⇔ the steady state allocates nothing.
     pub fn allocations(&self) -> usize {
         self.fresh.load(Ordering::Relaxed) + self.grown.load(Ordering::Relaxed)
+    }
+
+    /// A frozen copy of the allocator counters (for per-run deltas).
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            fresh: self.fresh.load(Ordering::Relaxed),
+            grown: self.grown.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the allocator counters to zero, leaving the recycled
+    /// buffers (and the capacity hint) in place. Used when a context is
+    /// rebuilt around an inherited pool so the new context's
+    /// zero-allocation accounting starts clean.
+    pub fn reset_counters(&self) {
+        self.fresh.store(0, Ordering::Relaxed);
+        self.grown.store(0, Ordering::Relaxed);
+    }
+
+    /// Move every parked buffer out of `other` into this pool, adopting
+    /// the larger capacity hint. The buffers were already paid for; the
+    /// adopting pool's counters do not change.
+    pub(crate) fn absorb_free_from(&self, other: &PayloadPool) {
+        let mut donated = std::mem::take(&mut *other.free.lock());
+        self.reserve_hint(other.hint.load(Ordering::Relaxed));
+        self.free.lock().append(&mut donated);
     }
 
     /// Buffers currently parked in the pool.
@@ -143,8 +233,8 @@ impl ExecContext {
     /// (all builds), pre-sizes the payload pool for it, and memoizes it
     /// as verified — the constructor the training loop uses so the
     /// per-step path never re-analyzes.
-    pub fn for_schedule(schedule: &Schedule) -> Result<Self, Vec<crate::sched::Violation>> {
-        schedule.validate()?;
+    pub fn for_schedule(schedule: &Schedule) -> Result<Self, ExecError> {
+        schedule.validate().map_err(ExecError::Rejected)?;
         let ctx = Self::new();
         ctx.pool.reserve_hint(schedule.n_elems);
         #[cfg(debug_assertions)]
@@ -152,44 +242,86 @@ impl ExecContext {
         Ok(ctx)
     }
 
+    /// Like [`ExecContext::for_schedule`], but inheriting the recycled
+    /// payload buffers of a previous context — the elastic degradation
+    /// path rebuilds its context around the surviving ranks without
+    /// re-allocating (or double-counting) the warm pool. The new
+    /// context's counters start at zero.
+    pub fn for_schedule_with_pool(
+        schedule: &Schedule,
+        donor: &ExecContext,
+    ) -> Result<Self, ExecError> {
+        let ctx = Self::for_schedule(schedule)?;
+        ctx.pool.absorb_free_from(&donor.pool);
+        Ok(ctx)
+    }
+
     /// Debug builds: full verification of unseen schedules, memoized.
-    /// Panics with the structured violation list on a bad schedule —
+    /// Fails with the structured violation list on a bad schedule —
     /// crucially, before any channel is created or thread spawned.
     #[cfg(debug_assertions)]
-    fn verify_before_spawn(&self, schedule: &Schedule) {
+    fn verify_before_spawn(&self, schedule: &Schedule) -> Result<(), ExecError> {
         let fp = schedule_fingerprint(schedule);
         if self.verified.lock().contains(&fp) {
-            return;
+            return Ok(());
         }
-        if let Err(violations) = schedule.validate() {
-            panic!("schedule verification failed before thread spawn: {violations:?}");
-        }
+        schedule.validate().map_err(ExecError::Rejected)?;
         self.verified.lock().insert(fp);
+        Ok(())
     }
 
     /// Release builds: the cheap structural layer on every call (the
     /// same cost the old ad-hoc validate paid).
     #[cfg(not(debug_assertions))]
-    fn verify_before_spawn(&self, schedule: &Schedule) {
+    fn verify_before_spawn(&self, schedule: &Schedule) -> Result<(), ExecError> {
         let violations = verifier::verify_structural(&schedule.to_ir());
-        if !violations.is_empty() {
-            panic!("schedule verification failed before thread spawn: {violations:?}");
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(ExecError::Rejected(violations))
         }
+    }
+
+    /// Shared preamble of every execution path: buffer shape checks and
+    /// pre-spawn verification.
+    pub(crate) fn preflight(
+        &self,
+        schedule: &Schedule,
+        buffers: &[Vec<f32>],
+    ) -> Result<(), ExecError> {
+        if buffers.len() != schedule.n_ranks {
+            return Err(ExecError::BufferCount { expected: schedule.n_ranks, got: buffers.len() });
+        }
+        for (rank, b) in buffers.iter().enumerate() {
+            if b.len() != schedule.n_elems {
+                return Err(ExecError::BufferLen {
+                    rank,
+                    expected: schedule.n_elems,
+                    got: b.len(),
+                });
+            }
+        }
+        self.verify_before_spawn(schedule)
+    }
+
+    pub(crate) fn pool(&self) -> &PayloadPool {
+        &self.pool
     }
 
     /// Execute `schedule` on real buffers, one thread per rank.
     ///
     /// Buffers are modified in place; no finalization (callers apply
     /// [`finalize`] for Average — or use [`ExecContext::allreduce`]).
-    pub fn run(&self, schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
-        assert_eq!(buffers.len(), schedule.n_ranks, "one buffer per rank");
-        for b in buffers.iter() {
-            assert_eq!(b.len(), schedule.n_elems, "buffer length mismatch");
-        }
-        self.verify_before_spawn(schedule);
+    pub fn run(
+        &self,
+        schedule: &Schedule,
+        buffers: &mut [Vec<f32>],
+        op: ReduceOp,
+    ) -> Result<(), ExecError> {
+        self.preflight(schedule, buffers)?;
         let n = schedule.n_ranks;
         if n == 1 || schedule.rounds.is_empty() {
-            return;
+            return Ok(());
         }
         // Any segment is a sub-range of the rank buffer, so `n_elems`
         // bounds every payload; pre-sizing to it makes capacity growth a
@@ -222,20 +354,39 @@ impl ExecContext {
                 });
             }
         });
+        Ok(())
     }
 
     /// Full threaded allreduce: run the schedule and finalize the op.
-    pub fn allreduce(&self, schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
-        self.run(schedule, buffers, op);
+    pub fn allreduce(
+        &self,
+        schedule: &Schedule,
+        buffers: &mut [Vec<f32>],
+        op: ReduceOp,
+    ) -> Result<(), ExecError> {
+        self.run(schedule, buffers, op)?;
         for b in buffers.iter_mut() {
             finalize(op, b, schedule.n_ranks);
         }
+        Ok(())
     }
 
     /// Payload-buffer allocator events so far (see
     /// [`PayloadPool::allocations`]).
     pub fn payload_allocations(&self) -> usize {
         self.pool.allocations()
+    }
+
+    /// Freeze the pool's allocator counters — the anchor for
+    /// [`ExecContext::payload_allocations_since`].
+    pub fn counter_snapshot(&self) -> PoolCounters {
+        self.pool.counters()
+    }
+
+    /// Allocator events since `snapshot` was taken on this context.
+    /// Zero across a window ⇔ every payload in the window recycled.
+    pub fn payload_allocations_since(&self, snapshot: PoolCounters) -> usize {
+        self.pool.allocations() - snapshot.total()
     }
 
     /// Payload buffers currently recycled and idle in the pool.
@@ -301,14 +452,18 @@ fn rank_main(
 /// Execute `schedule` with a throwaway [`ExecContext`] (buffers still
 /// recycle within the call). Long-lived callers should hold their own
 /// context so the pool survives across steps.
-pub fn run(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
-    ExecContext::new().run(schedule, buffers, op);
+pub fn run(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) -> Result<(), ExecError> {
+    ExecContext::new().run(schedule, buffers, op)
 }
 
 /// Full threaded allreduce with a throwaway [`ExecContext`]: run the
 /// schedule and finalize the op.
-pub fn allreduce(schedule: &Schedule, buffers: &mut [Vec<f32>], op: ReduceOp) {
-    ExecContext::new().allreduce(schedule, buffers, op);
+pub fn allreduce(
+    schedule: &Schedule,
+    buffers: &mut [Vec<f32>],
+    op: ReduceOp,
+) -> Result<(), ExecError> {
+    ExecContext::new().allreduce(schedule, buffers, op)
 }
 
 #[cfg(test)]
@@ -329,7 +484,7 @@ mod tests {
         for &(n, e) in &[(2usize, 16usize), (4, 100), (6, 17), (7, 33)] {
             let ins = inputs(n, e);
             let mut bufs = ins.clone();
-            allreduce(&ring::allreduce(n, e), &mut bufs, ReduceOp::Sum);
+            allreduce(&ring::allreduce(n, e), &mut bufs, ReduceOp::Sum).unwrap();
             assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
         }
     }
@@ -339,7 +494,7 @@ mod tests {
         for &n in &[2usize, 5, 8, 9] {
             let ins = inputs(n, 24);
             let mut bufs = ins.clone();
-            allreduce(&rd::allreduce(n, 24), &mut bufs, ReduceOp::Sum);
+            allreduce(&rd::allreduce(n, 24), &mut bufs, ReduceOp::Sum).unwrap();
             assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
         }
     }
@@ -349,7 +504,7 @@ mod tests {
         for &n in &[2usize, 4, 6, 8, 11] {
             let ins = inputs(n, 37);
             let mut bufs = ins.clone();
-            allreduce(&rabenseifner::allreduce(n, 37), &mut bufs, ReduceOp::Sum);
+            allreduce(&rabenseifner::allreduce(n, 37), &mut bufs, ReduceOp::Sum).unwrap();
             assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
         }
     }
@@ -358,7 +513,7 @@ mod tests {
     fn threaded_tree_matches_reference() {
         let ins = inputs(9, 12);
         let mut bufs = ins.clone();
-        allreduce(&tree::allreduce(9, 12), &mut bufs, ReduceOp::Sum);
+        allreduce(&tree::allreduce(9, 12), &mut bufs, ReduceOp::Sum).unwrap();
         assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
     }
 
@@ -369,7 +524,7 @@ mod tests {
         let s = hierarchical::allreduce(n, e, &groups, LeaderAlgo::Rabenseifner);
         let ins = inputs(n, e);
         let mut bufs = ins.clone();
-        allreduce(&s, &mut bufs, ReduceOp::Sum);
+        allreduce(&s, &mut bufs, ReduceOp::Sum).unwrap();
         assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
     }
 
@@ -378,7 +533,7 @@ mod tests {
         let (n, e) = (4usize, 1000usize);
         let ins = inputs(n, e);
         let mut bufs = ins.clone();
-        allreduce(&ring::allreduce(n, e), &mut bufs, ReduceOp::Average);
+        allreduce(&ring::allreduce(n, e), &mut bufs, ReduceOp::Average).unwrap();
         let want = expected_allreduce(&ins, ReduceOp::Average);
         for b in &bufs {
             for (g, w) in b.iter().zip(&want) {
@@ -392,14 +547,14 @@ mod tests {
         let (n, e) = (4usize, 1 << 16);
         let ins: Vec<Vec<f32>> = (0..n).map(|r| vec![r as f32 + 1.0; e]).collect();
         let mut bufs = ins.clone();
-        allreduce(&ring::allreduce(n, e), &mut bufs, ReduceOp::Sum);
+        allreduce(&ring::allreduce(n, e), &mut bufs, ReduceOp::Sum).unwrap();
         assert!(bufs.iter().all(|b| b.iter().all(|&x| (x - 10.0).abs() < 1e-4)));
     }
 
     #[test]
     fn single_rank_noop() {
         let mut bufs = vec![vec![1.0, 2.0]];
-        allreduce(&ring::allreduce(1, 2), &mut bufs, ReduceOp::Sum);
+        allreduce(&ring::allreduce(1, 2), &mut bufs, ReduceOp::Sum).unwrap();
         assert_eq!(bufs[0], vec![1.0, 2.0]);
     }
 
@@ -412,8 +567,8 @@ mod tests {
         let mut a = ins.clone();
         let mut b = ins.clone();
         let s = ring::allreduce(n, e);
-        allreduce(&s, &mut a, ReduceOp::Sum);
-        allreduce(&s, &mut b, ReduceOp::Sum);
+        allreduce(&s, &mut a, ReduceOp::Sum).unwrap();
+        allreduce(&s, &mut b, ReduceOp::Sum).unwrap();
         assert_eq!(a, b);
     }
 
@@ -427,8 +582,8 @@ mod tests {
             let ins = inputs(n, e);
             let mut a = ins.clone();
             let mut b = ins.clone();
-            ctx.allreduce(&s, &mut a, ReduceOp::Sum);
-            allreduce(&s, &mut b, ReduceOp::Sum);
+            ctx.allreduce(&s, &mut a, ReduceOp::Sum).unwrap();
+            allreduce(&s, &mut b, ReduceOp::Sum).unwrap();
             assert_eq!(a, b, "round {round}");
         }
     }
@@ -444,13 +599,13 @@ mod tests {
         let ctx = ExecContext::new();
         for _ in 0..3 {
             let mut bufs = inputs(n, e);
-            ctx.allreduce(&s, &mut bufs, ReduceOp::Average);
+            ctx.allreduce(&s, &mut bufs, ReduceOp::Average).unwrap();
         }
         let after_warmup = ctx.payload_allocations();
         assert!(after_warmup > 0, "warm-up must have populated the pool");
         for _ in 0..5 {
             let mut bufs = inputs(n, e);
-            ctx.allreduce(&s, &mut bufs, ReduceOp::Average);
+            ctx.allreduce(&s, &mut bufs, ReduceOp::Average).unwrap();
         }
         assert_eq!(
             ctx.payload_allocations(),
@@ -475,7 +630,7 @@ mod tests {
             .count();
         let ctx = ExecContext::new();
         let mut bufs = inputs(n, e);
-        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum);
+        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum).unwrap();
         assert!(
             ctx.payload_allocations() < sends,
             "pool must recycle: {} allocations for {} sends",
@@ -486,21 +641,39 @@ mod tests {
 
     #[test]
     fn corrupted_schedule_rejected_before_any_thread_spawns() {
-        // Drop rank 1's receive: rank 0's send dangles. The debug-build
-        // verification gate must panic before any channel exists or
-        // rank thread spawns — the panic message is the verifier's,
-        // not a rank_main assertion's.
+        // Drop rank 1's receive: rank 0's send dangles. The
+        // verification gate must return a structured error before any
+        // channel exists or rank thread spawns — no panic, no partial
+        // execution.
         let mut s = ring::allreduce(4, 16);
         s.rounds[0].per_rank[1].retain(|a| a.is_send());
         let ctx = ExecContext::new();
-        let mut bufs = inputs(4, 16);
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            ctx.run(&s, &mut bufs, ReduceOp::Sum);
-        }))
-        .expect_err("corrupted schedule must be rejected");
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("before thread spawn"), "unexpected panic: {msg}");
+        let ins = inputs(4, 16);
+        let mut bufs = ins.clone();
+        let err = ctx.run(&s, &mut bufs, ReduceOp::Sum).expect_err("must reject");
+        let msg = err.to_string();
+        assert!(msg.contains("before thread spawn"), "unexpected error: {msg}");
         assert!(msg.contains("UnmatchedSend") || msg.contains("UnmatchedRecv"), "{msg}");
+        assert_eq!(bufs, ins, "rejected run must not touch the buffers");
+    }
+
+    #[test]
+    fn buffer_mismatches_are_structured_errors() {
+        let s = ring::allreduce(4, 16);
+        let ctx = ExecContext::new();
+        // Wrong rank count.
+        let mut three = inputs(3, 16);
+        assert_eq!(
+            ctx.run(&s, &mut three, ReduceOp::Sum),
+            Err(ExecError::BufferCount { expected: 4, got: 3 })
+        );
+        // Wrong buffer length on one rank.
+        let mut bufs = inputs(4, 16);
+        bufs[2].truncate(7);
+        assert_eq!(
+            ctx.run(&s, &mut bufs, ReduceOp::Sum),
+            Err(ExecError::BufferLen { rank: 2, expected: 16, got: 7 })
+        );
     }
 
     #[test]
@@ -508,8 +681,55 @@ mod tests {
         assert!(ExecContext::for_schedule(&ring::allreduce(4, 16)).is_ok());
         let mut bad = ring::allreduce(4, 16);
         bad.rounds[0].per_rank[1].clear();
-        let violations = ExecContext::for_schedule(&bad).expect_err("must reject broken schedule");
-        assert!(!violations.is_empty());
+        let err = ExecContext::for_schedule(&bad).expect_err("must reject broken schedule");
+        assert!(matches!(err, ExecError::Rejected(ref v) if !v.is_empty()), "{err}");
+    }
+
+    #[test]
+    fn counter_snapshots_isolate_runs() {
+        let (n, e) = (4usize, 256usize);
+        let s = ring::allreduce(n, e);
+        let ctx = ExecContext::for_schedule(&s).expect("valid schedule");
+        for _ in 0..3 {
+            let mut bufs = inputs(n, e);
+            ctx.allreduce(&s, &mut bufs, ReduceOp::Sum).unwrap();
+        }
+        let snap = ctx.counter_snapshot();
+        let mut bufs = inputs(n, e);
+        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum).unwrap();
+        assert_eq!(
+            ctx.payload_allocations_since(snap),
+            0,
+            "steady-state window must be allocation-free relative to its snapshot"
+        );
+    }
+
+    #[test]
+    fn rebuilt_context_inherits_pool_with_clean_counters() {
+        // The elastic degradation path rebuilds a context for the
+        // surviving ranks; the recycled buffers must carry over and the
+        // new context's accounting must start at zero, so a retried
+        // collective cannot pollute zero-alloc assertions.
+        let s4 = ring::allreduce(4, 128);
+        let ctx4 = ExecContext::for_schedule(&s4).expect("valid");
+        let mut bufs = inputs(4, 128);
+        ctx4.allreduce(&s4, &mut bufs, ReduceOp::Sum).unwrap();
+        assert!(ctx4.payload_allocations() > 0);
+        assert!(ctx4.pooled_buffers() > 0);
+        let donated = ctx4.pooled_buffers();
+
+        let s3 = ring::allreduce(3, 128);
+        let ctx3 = ExecContext::for_schedule_with_pool(&s3, &ctx4).expect("valid");
+        assert_eq!(ctx3.payload_allocations(), 0, "inherited buffers are not new allocations");
+        assert_eq!(ctx3.pooled_buffers(), donated, "warm pool must transfer");
+        assert_eq!(ctx4.pooled_buffers(), 0, "donor pool is drained");
+        let mut bufs3 = inputs(3, 128);
+        ctx3.allreduce(&s3, &mut bufs3, ReduceOp::Sum).unwrap();
+        assert_eq!(
+            ctx3.payload_allocations(),
+            0,
+            "a 3-rank ring needs fewer buffers than the donated 4-rank pool holds"
+        );
     }
 
     #[test]
@@ -519,7 +739,7 @@ mod tests {
         let ctx = ExecContext::for_schedule(&s).expect("valid schedule");
         let ins = inputs(n, e);
         let mut bufs = ins.clone();
-        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum);
+        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum).unwrap();
         assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
     }
 

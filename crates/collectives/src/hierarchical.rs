@@ -304,7 +304,7 @@ mod tests {
         let mut by_ref = ins.clone();
         apply_allreduce(&s, &mut by_ref, ReduceOp::Sum);
         let mut by_thr = ins.clone();
-        crate::exec_thread::allreduce(&s, &mut by_thr, ReduceOp::Sum);
+        crate::exec_thread::allreduce(&s, &mut by_thr, ReduceOp::Sum).unwrap();
         assert_eq!(by_ref, by_thr);
     }
 

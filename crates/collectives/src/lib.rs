@@ -22,12 +22,22 @@
 //!
 //! let schedule = Algorithm::Ring.build(4, 1000);
 //! let mut bufs: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32; 1000]).collect();
-//! exec_thread::allreduce(&schedule, &mut bufs, ReduceOp::Sum);
+//! exec_thread::allreduce(&schedule, &mut bufs, ReduceOp::Sum).unwrap();
 //! assert!(bufs.iter().all(|b| b[0] == 6.0)); // 0+1+2+3
 //! ```
+//!
+//! Fault tolerance lives in two layers on top of the same executor:
+//! [`exec_fault`] runs a schedule under a seeded
+//! [`faults::FaultPlan`] with CRC-checked, sequence-numbered resend
+//! (drops and corruptions are repaired in place), and [`elastic`]
+//! wraps it with crash recovery — when ranks die the collective is
+//! aborted, the schedule is rebuilt over the survivors, re-verified,
+//! and re-run.
 
 pub mod algo;
 pub mod analytic;
+pub mod elastic;
+pub mod exec_fault;
 pub mod exec_sim;
 pub mod exec_thread;
 pub mod hierarchical;
@@ -42,7 +52,10 @@ pub mod tree;
 
 pub use algo::Algorithm;
 pub use analytic::{allreduce_cost, crossover, AlphaBeta};
+pub use elastic::{ElasticAllreduce, ElasticError, ElasticReport};
+pub use exec_fault::FaultSession;
 pub use exec_sim::{simulate, simulate_dense, CostModel, MsgParams, UniformCost, ELEM_BYTES};
+pub use exec_thread::{ExecContext, ExecError, PoolCounters};
 pub use hierarchical::{LeaderAlgo, NodeGroups};
 pub use reduce::ReduceOp;
 pub use sched::{Action, Round, Rule, Schedule, Seg, Span, Violation};
@@ -126,7 +139,7 @@ mod proptests {
             let mut by_ref = ins.clone();
             apply_allreduce(&s, &mut by_ref, ReduceOp::Sum);
             let mut by_thr = ins.clone();
-            exec_thread::allreduce(&s, &mut by_thr, ReduceOp::Sum);
+            exec_thread::allreduce(&s, &mut by_thr, ReduceOp::Sum).unwrap();
             prop_assert_eq!(by_ref, by_thr);
         }
 

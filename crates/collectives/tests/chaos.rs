@@ -1,0 +1,140 @@
+//! Chaos suite for the fault-aware collective executor.
+//!
+//! Seeded fault plans (drops, corruptions, stragglers, crashes) run
+//! against real multi-threaded allreduces; recoverable faults must
+//! leave the numerics bit-identical to a fault-free run, crashes must
+//! degrade onto a re-verified survivor topology with the average
+//! rescaled, and the whole thing must replay identically from the same
+//! seed. `CHAOS_SEED` (CI sweeps 8 of them) varies the sampled plans.
+
+use collectives::reference::apply_allreduce;
+use collectives::{Algorithm, ElasticAllreduce, FaultSession, ReduceOp};
+use faults::{FaultEvent, FaultKind, FaultPlan, FaultSpec, Injection};
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC4405)
+}
+
+fn inputs(n_ranks: usize, n_elems: usize, salt: u64) -> Vec<Vec<f32>> {
+    (0..n_ranks)
+        .map(|r| {
+            (0..n_elems)
+                .map(|i| {
+                    let h = (r as u64 * 31 + i as u64 * 7 + salt * 131) % 23;
+                    h as f32 * 0.375 - 4.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Every algorithm the chaos suite exercises (single-level ones; the
+/// hierarchical composites execute through the same primitives).
+const ALGOS: &[Algorithm] = &[Algorithm::Ring, Algorithm::RecursiveDoubling];
+
+#[test]
+fn recoverable_faults_leave_results_bit_identical() {
+    let seed = chaos_seed();
+    let (n, e) = (4usize, 96usize);
+    for &algo in ALGOS {
+        let rounds = algo.build(n, e).rounds.len();
+        let plan = FaultPlan::seeded(
+            seed,
+            &FaultSpec {
+                stragglers: 2,
+                straggle_ms: 4,
+                drops: 2,
+                corruptions: 2,
+                ..FaultSpec::none(n, 1, rounds)
+            },
+        );
+        assert!(!plan.is_empty());
+        let session = FaultSession::new(plan);
+        let mut ela = ElasticAllreduce::new(algo, n, e).unwrap();
+        let mut faulty = inputs(n, e, seed);
+        let report = ela.allreduce(&mut faulty, ReduceOp::Sum, Some(&session)).unwrap();
+        assert!(!report.degraded(), "no crashes in this plan");
+
+        let mut clean = inputs(n, e, seed);
+        apply_allreduce(ela.schedule(), &mut clean, ReduceOp::Sum);
+        assert_eq!(faulty, clean, "{algo:?}: recovery must be bit-exact");
+        // The plan actually fired and the protocol actually recovered.
+        let c = session.counters().snapshot();
+        assert!(c.injected_total() > 0, "{algo:?}: {c}");
+    }
+}
+
+#[test]
+fn crash_mid_collective_degrades_and_passes_verification() {
+    let seed = chaos_seed();
+    let (n, e) = (4usize, 64usize);
+    let victim = (seed % n as u64) as usize;
+    let plan = FaultPlan::explicit(
+        seed,
+        vec![Injection { step: 0, rank: victim, round: 1, kind: FaultKind::Crash }],
+    );
+    let session = FaultSession::new(plan);
+    let mut ela = ElasticAllreduce::new(Algorithm::Ring, n, e).unwrap();
+    let ins = inputs(n, e, seed);
+    let mut bufs = ins.clone();
+    let report = ela.allreduce(&mut bufs, ReduceOp::Average, Some(&session)).unwrap();
+
+    assert_eq!(report.dead, vec![victim]);
+    assert_eq!(report.world, 3);
+    assert_eq!(ela.live().len(), 3);
+    assert!(!ela.live().contains(&victim));
+    // The rebuilt survivor schedule passes the full static verifier.
+    assert_eq!(ela.schedule().n_ranks, 3);
+    assert_eq!(ela.schedule().verify_allreduce(), Ok(()));
+    // Survivor average is exact over the NEW world size.
+    let mut survivors: Vec<Vec<f32>> =
+        (0..n).filter(|r| *r != victim).map(|r| ins[r].clone()).collect();
+    apply_allreduce(ela.schedule(), &mut survivors, ReduceOp::Average);
+    assert_eq!(bufs, survivors, "rescaled survivor average must be bit-exact");
+    assert!(session
+        .events()
+        .deterministic_core()
+        .iter()
+        .any(|ev| matches!(ev, FaultEvent::Degraded { new_world: 3, .. })));
+}
+
+#[test]
+fn chaos_runs_replay_identically_from_the_same_seed() {
+    let seed = chaos_seed();
+    let (n, e) = (4usize, 80usize);
+    let rounds = Algorithm::Ring.build(n, e).rounds.len();
+    let spec = FaultSpec {
+        crashes: 1,
+        stragglers: 2,
+        straggle_ms: 3,
+        drops: 1,
+        corruptions: 1,
+        ..FaultSpec::none(n, 1, rounds)
+    };
+    let run = || {
+        let session = FaultSession::new(FaultPlan::seeded(seed, &spec));
+        let mut ela = ElasticAllreduce::new(Algorithm::Ring, n, e).unwrap();
+        let mut bufs = inputs(n, e, seed);
+        ela.allreduce(&mut bufs, ReduceOp::Average, Some(&session)).unwrap();
+        (
+            bufs,
+            ela.live().to_vec(),
+            session.events().deterministic_core(),
+            session.counters().snapshot().deterministic_part(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "numerics replay bit-identically");
+    assert_eq!(a.1, b.1, "survivor set replays identically");
+    assert_eq!(a.2, b.2, "deterministic event core replays identically");
+    assert_eq!(a.3, b.3, "deterministic counters replay identically");
+}
+
+#[test]
+fn different_seeds_sample_different_plans() {
+    let spec = FaultSpec { drops: 2, corruptions: 2, ..FaultSpec::none(4, 3, 6) };
+    let a = FaultPlan::seeded(1, &spec);
+    let b = FaultPlan::seeded(2, &spec);
+    assert_ne!(a.injections(), b.injections());
+}

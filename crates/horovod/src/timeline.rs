@@ -16,6 +16,9 @@ pub enum Phase {
     FusionCopy,
     Allreduce,
     Optimizer,
+    /// Fault-layer activity: injections, retries, resends, topology
+    /// degradations, checkpoint I/O (see [`Timeline::push_fault_lane`]).
+    Fault,
 }
 
 impl Phase {
@@ -27,6 +30,7 @@ impl Phase {
             Phase::FusionCopy => "MEMCPY_IN_FUSION_BUFFER",
             Phase::Allreduce => "MPI_ALLREDUCE",
             Phase::Optimizer => "OPTIMIZER",
+            Phase::Fault => "FAULT",
         }
     }
 }
@@ -60,6 +64,17 @@ impl Timeline {
 
     pub fn count(&self, phase: Phase) -> usize {
         self.spans.iter().filter(|s| s.phase == phase).count()
+    }
+
+    /// Add a fault lane from a chaos run's timestamped event log
+    /// ([`faults::EventLog::snapshot`]). Events are instantaneous from
+    /// the log's point of view; each becomes a zero-length span labeled
+    /// with the event's rendering, so a Chrome-trace viewer shows the
+    /// fault activity interleaved with the training phases.
+    pub fn push_fault_lane(&mut self, events: &[faults::Stamped]) {
+        for s in events {
+            self.push(Phase::Fault, s.t, s.t, s.event.to_string());
+        }
     }
 
     /// Chrome-trace JSON ("X" complete events, µs units).
@@ -140,6 +155,26 @@ mod tests {
         assert!(j.contains("\"ph\":\"X\""));
         assert!(j.contains("cycle \\\"1\\\""), "quotes escaped: {j}");
         assert!(j.contains("\"dur\":10.000"));
+    }
+
+    #[test]
+    fn fault_lane_renders_events() {
+        let log = faults::EventLog::new();
+        log.push(faults::FaultEvent::Injected {
+            step: 3,
+            rank: 1,
+            round: 0,
+            kind: faults::FaultKind::Drop,
+        });
+        log.push(faults::FaultEvent::Degraded { step: 3, dead: vec![2], new_world: 3 });
+        let mut t = Timeline::default();
+        t.push(Phase::Allreduce, 0.0, 1.0, "buf0");
+        t.push_fault_lane(&log.snapshot());
+        assert_eq!(t.count(Phase::Fault), 2);
+        let j = t.to_chrome_json();
+        assert!(j.contains("\"cat\":\"FAULT\""), "{j}");
+        assert!(j.contains("inject drop step 3 rank 1 round 0"), "{j}");
+        assert!(t.render_text().contains("degraded step 3 dead [2] new world 3"));
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Analytic straggler/failure models: what faults do to scaling curves.
+//!
+//! The discrete-event layers simulate *healthy* hardware. This module
+//! adds the standard closed-form models for unhealthy hardware, matched
+//! to the fault kinds the executor-level chaos harness injects
+//! (`crates/faults`):
+//!
+//! * **Stragglers.** A synchronous step is gated by its slowest rank.
+//!   If each of `n` ranks independently straggles with probability `p`
+//!   (running `slowdown`× longer), the chance *someone* straggles is
+//!   `1 − (1−p)^n`, so
+//!   `E[step] ≈ base · (1 + (slowdown−1) · (1 − (1−p)^n))` — the
+//!   well-known reason straggler pain grows with scale even at fixed
+//!   per-rank fault rates.
+//! * **Failures + checkpointing.** With per-rank MTBF `m`, the system
+//!   MTBF is `m/n`. Checkpointing every `τ` seconds at cost `C` loses
+//!   `C` per interval to I/O and on average `τ/2 + C` to rework per
+//!   failure; the first-order-optimal interval is Young/Daly's
+//!   `τ* = √(2·C·M)`. [`FailureModel::goodput`] gives the resulting
+//!   useful-work fraction.
+//!
+//! Both models compose with the healthy-machine step time from the
+//! simulator: feed a measured or simulated `base` step time in, get
+//! efficiency-under-faults curves out (see
+//! [`StragglerModel::efficiency_curve`]).
+
+/// Independent per-rank, per-step straggler behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerModel {
+    /// Probability that a given rank straggles in a given step.
+    pub prob: f64,
+    /// Slowdown multiplier of a straggling rank (≥ 1; 3.0 = the rank
+    /// takes 3× the healthy step time).
+    pub slowdown: f64,
+}
+
+impl StragglerModel {
+    pub fn new(prob: f64, slowdown: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability in [0, 1]");
+        assert!(slowdown >= 1.0, "a straggler is slower, not faster");
+        StragglerModel { prob, slowdown }
+    }
+
+    /// Probability that at least one of `n_ranks` straggles in a step.
+    pub fn any_straggler(&self, n_ranks: usize) -> f64 {
+        1.0 - (1.0 - self.prob).powi(n_ranks as i32)
+    }
+
+    /// Expected synchronous-step time for `n_ranks`, given the healthy
+    /// step time `base` (seconds, or any unit — the model is linear).
+    pub fn expected_step(&self, base: f64, n_ranks: usize) -> f64 {
+        base * (1.0 + (self.slowdown - 1.0) * self.any_straggler(n_ranks))
+    }
+
+    /// Fraction of healthy throughput retained at `n_ranks` (1.0 = no
+    /// straggler pain; tends to `1/slowdown` as `n → ∞` for `p > 0`).
+    pub fn efficiency(&self, n_ranks: usize) -> f64 {
+        1.0 / (1.0 + (self.slowdown - 1.0) * self.any_straggler(n_ranks))
+    }
+
+    /// `(n, efficiency)` at each rank count — the faulty counterpart of
+    /// the paper's scaling-efficiency figures.
+    pub fn efficiency_curve(&self, rank_counts: &[usize]) -> Vec<(usize, f64)> {
+        rank_counts.iter().map(|&n| (n, self.efficiency(n))).collect()
+    }
+}
+
+/// Fail-stop failures with periodic checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Mean time between failures of a single rank, seconds.
+    pub rank_mtbf: f64,
+    /// Wall-clock cost of writing one checkpoint, seconds.
+    pub checkpoint_cost: f64,
+}
+
+impl FailureModel {
+    pub fn new(rank_mtbf: f64, checkpoint_cost: f64) -> Self {
+        assert!(rank_mtbf > 0.0 && checkpoint_cost >= 0.0);
+        FailureModel { rank_mtbf, checkpoint_cost }
+    }
+
+    /// System MTBF across `n_ranks` independent ranks.
+    pub fn system_mtbf(&self, n_ranks: usize) -> f64 {
+        assert!(n_ranks >= 1);
+        self.rank_mtbf / n_ranks as f64
+    }
+
+    /// Young/Daly first-order-optimal checkpoint interval (seconds of
+    /// compute between checkpoints) at `n_ranks`: `√(2·C·M)`.
+    pub fn young_daly_interval(&self, n_ranks: usize) -> f64 {
+        (2.0 * self.checkpoint_cost * self.system_mtbf(n_ranks)).sqrt()
+    }
+
+    /// Useful-work fraction when checkpointing every `interval` seconds
+    /// at `n_ranks`: `1 − C/τ − τ/(2M) − C/M` (checkpoint I/O, expected
+    /// half-interval rework per failure, expected checkpoint redone per
+    /// failure), clamped to `[0, 1]`. First-order model — accurate for
+    /// `τ ≪ M`, which Young/Daly intervals satisfy.
+    pub fn goodput(&self, interval: f64, n_ranks: usize) -> f64 {
+        assert!(interval > 0.0);
+        let m = self.system_mtbf(n_ranks);
+        let lost =
+            self.checkpoint_cost / interval + interval / (2.0 * m) + self.checkpoint_cost / m;
+        (1.0 - lost).clamp(0.0, 1.0)
+    }
+
+    /// Goodput at the Young/Daly-optimal interval for `n_ranks`.
+    pub fn optimal_goodput(&self, n_ranks: usize) -> f64 {
+        self.goodput(self.young_daly_interval(n_ranks), n_ranks)
+    }
+}
+
+/// One row of an efficiency-under-faults sweep: healthy step time vs
+/// the straggler-inflated expectation, plus checkpoint goodput, at one
+/// rank count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedPoint {
+    pub n_ranks: usize,
+    pub healthy_step: f64,
+    pub expected_step: f64,
+    pub straggler_efficiency: f64,
+    pub checkpoint_goodput: f64,
+    /// Product of both loss channels: throughput retained end to end.
+    pub combined_efficiency: f64,
+}
+
+/// Sweep both models over `rank_counts`. `healthy_step` maps a rank
+/// count to the fault-free step time (from measurement or from the
+/// discrete-event simulator).
+pub fn degraded_sweep(
+    stragglers: &StragglerModel,
+    failures: &FailureModel,
+    rank_counts: &[usize],
+    healthy_step: impl Fn(usize) -> f64,
+) -> Vec<DegradedPoint> {
+    rank_counts
+        .iter()
+        .map(|&n| {
+            let base = healthy_step(n);
+            let expected = stragglers.expected_step(base, n);
+            let seff = stragglers.efficiency(n);
+            let good = failures.optimal_goodput(n);
+            DegradedPoint {
+                n_ranks: n,
+                healthy_step: base,
+                expected_step: expected,
+                straggler_efficiency: seff,
+                checkpoint_goodput: good,
+                combined_efficiency: seff * good,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stragglers_is_free() {
+        let m = StragglerModel::new(0.0, 5.0);
+        assert_eq!(m.expected_step(2.0, 4096), 2.0);
+        assert_eq!(m.efficiency(4096), 1.0);
+    }
+
+    #[test]
+    fn straggler_pain_grows_with_scale() {
+        let m = StragglerModel::new(0.01, 3.0);
+        let e = m.efficiency_curve(&[1, 6, 96, 1536]);
+        for w in e.windows(2) {
+            assert!(w[1].1 < w[0].1, "efficiency must fall with scale: {e:?}");
+        }
+        // At n=1 the expected step is the textbook mixture.
+        let one = m.expected_step(1.0, 1);
+        assert!((one - (0.99 + 0.01 * 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_floors_at_inverse_slowdown() {
+        let m = StragglerModel::new(0.05, 4.0);
+        let huge = m.efficiency(100_000);
+        assert!(huge > 1.0 / 4.0 - 1e-9 && huge < 1.0 / 4.0 + 1e-3, "{huge}");
+    }
+
+    #[test]
+    fn young_daly_matches_closed_form() {
+        let f = FailureModel::new(3.0e6, 60.0);
+        // n = 1000 ⇒ M = 3000 s ⇒ τ* = √(2·60·3000) = 600 s.
+        assert!((f.young_daly_interval(1000) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_interval_beats_neighbors() {
+        let f = FailureModel::new(1.0e6, 30.0);
+        let n = 512;
+        let opt = f.young_daly_interval(n);
+        let best = f.goodput(opt, n);
+        assert!(best > f.goodput(opt * 3.0, n));
+        assert!(best > f.goodput(opt / 3.0, n));
+        assert!(best > 0.5 && best < 1.0, "{best}");
+    }
+
+    #[test]
+    fn goodput_degrades_with_scale() {
+        let f = FailureModel::new(1.0e6, 30.0);
+        assert!(f.optimal_goodput(6) > f.optimal_goodput(1536));
+    }
+
+    #[test]
+    fn sweep_combines_both_channels() {
+        let s = StragglerModel::new(0.005, 2.0);
+        let f = FailureModel::new(2.0e6, 45.0);
+        let pts = degraded_sweep(&s, &f, &[6, 24, 96], |n| 0.1 + (n as f64).log2() * 0.01);
+        assert_eq!(pts.len(), 3);
+        for p in &pts {
+            assert!(p.expected_step >= p.healthy_step);
+            let want = p.straggler_efficiency * p.checkpoint_goodput;
+            assert!((p.combined_efficiency - want).abs() < 1e-12);
+            assert!(p.combined_efficiency > 0.0 && p.combined_efficiency <= 1.0);
+        }
+        assert!(pts[2].combined_efficiency < pts[0].combined_efficiency);
+    }
+}

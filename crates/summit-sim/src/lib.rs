@@ -31,6 +31,7 @@
 //! assert!(report.makespan > SimTime::ZERO);
 //! ```
 
+pub mod degrade;
 pub mod executor;
 pub mod flow;
 pub mod placement;
@@ -38,6 +39,7 @@ mod proptests;
 pub mod time;
 pub mod topology;
 
+pub use degrade::{degraded_sweep, DegradedPoint, FailureModel, StragglerModel};
 pub use executor::{ExecReport, Executor, Op, Program};
 pub use flow::{FlowId, FlowNet};
 pub use placement::Placement;

@@ -1,0 +1,247 @@
+//! Bit-exact checkpoint/restart for the data-parallel trainer.
+//!
+//! A checkpoint is one flat binary file holding everything a resumed
+//! run needs to continue *identically* to the uninterrupted run: the
+//! next step index, the surviving original rank ids, the optimizer step
+//! counter, the flat parameter vector, and the momentum buffer. All
+//! replicas are identical by the synchronous-SGD invariant, so one copy
+//! of each suffices regardless of worker count.
+//!
+//! The file is written to `<path>.tmp` and atomically renamed into
+//! place, so a crash mid-write can never leave a half-written file at
+//! the checkpoint path. Integrity is a trailing CRC32 over the entire
+//! payload ([`faults::crc32_bytes`] — the same checksum the wire
+//! protocol uses); load refuses anything with a bad magic, version,
+//! length, or checksum.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use faults::crc32_bytes;
+
+const MAGIC: &[u8; 8] = b"SUMMITCK";
+const VERSION: u32 = 1;
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(io::Error),
+    /// The file exists but is not a valid checkpoint (bad magic,
+    /// version, structure, or CRC).
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Corrupt(why) => write!(f, "checkpoint corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Trainer state at a step boundary. `step` is the next step to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    pub step: usize,
+    /// Original ids of the ranks alive at save time, ascending.
+    pub live: Vec<usize>,
+    /// Optimizer step counter (equals `step` in the current trainer,
+    /// persisted separately so the format doesn't bake that in).
+    pub opt_step: usize,
+    pub params: Vec<f32>,
+    pub velocity: Vec<f32>,
+}
+
+impl Checkpoint {
+    /// Serialize to the flat format described in the module docs.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 + 4
+                + 8
+                + 4
+                + 4 * self.live.len()
+                + 8
+                + 8
+                + 4 * (self.params.len() + self.velocity.len())
+                + 4,
+        );
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.step as u64).to_le_bytes());
+        out.extend_from_slice(&(self.live.len() as u32).to_le_bytes());
+        for &id in &self.live {
+            out.extend_from_slice(&(id as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.opt_step as u64).to_le_bytes());
+        out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for &p in &self.params {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        for &v in &self.velocity {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc32_bytes(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let corrupt = |why: &str| CheckpointError::Corrupt(why.to_string());
+        if bytes.len() < 8 + 4 + 8 + 4 + 8 + 8 + 4 {
+            return Err(corrupt("truncated header"));
+        }
+        let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes")); // lint: allow(unwrap): fixed-size slice
+        if crc32_bytes(payload) != stored {
+            return Err(corrupt("CRC mismatch"));
+        }
+        let mut cur = payload;
+        let mut take = |n: usize| -> Result<&[u8], CheckpointError> {
+            if cur.len() < n {
+                return Err(CheckpointError::Corrupt("truncated body".to_string()));
+            }
+            let (head, rest) = cur.split_at(n);
+            cur = rest;
+            Ok(head)
+        };
+        if take(8)? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")); // lint: allow(unwrap): fixed-size slice
+        if version != VERSION {
+            return Err(CheckpointError::Corrupt(format!("unsupported version {version}")));
+        }
+        let step = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize; // lint: allow(unwrap): fixed-size slice
+        let world = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize; // lint: allow(unwrap): fixed-size slice
+        let mut live = Vec::with_capacity(world);
+        for _ in 0..world {
+            let id = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")); // lint: allow(unwrap): fixed-size slice
+            live.push(id as usize);
+        }
+        let opt_step = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize; // lint: allow(unwrap): fixed-size slice
+        let n = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")) as usize; // lint: allow(unwrap): fixed-size slice
+        let mut read_f32s = |count: usize| -> Result<Vec<f32>, CheckpointError> {
+            let raw = take(count.checked_mul(4).ok_or_else(|| corrupt("length overflow"))?)?;
+            Ok(raw
+                .chunks_exact(4)
+                .map(|c| {
+                    let b: [u8; 4] = c.try_into().expect("4 bytes"); // lint: allow(unwrap): fixed-size slice
+                    f32::from_le_bytes(b)
+                })
+                .collect())
+        };
+        let params = read_f32s(n)?;
+        let velocity = read_f32s(n)?;
+        if !cur.is_empty() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Checkpoint { step, live, opt_step, params, velocity })
+    }
+
+    /// Write atomically: serialize to `<path>.tmp`, fsync, rename.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and validate a checkpoint file.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            step: 17,
+            live: vec![0, 1, 3],
+            opt_step: 17,
+            params: (0..40).map(|i| (i as f32).sin()).collect(),
+            velocity: (0..40).map(|i| (i as f32) * -0.25).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let dir = std::env::temp_dir().join("summit-ckpt-roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.bin");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck, back);
+        // Bit-exact, not approximately-equal: compare raw bits.
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&ck.params), bits(&back.params));
+        assert_eq!(bits(&ck.velocity), bits(&back.velocity));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join("summit-ckpt-tmpfile");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.bin");
+        sample().save(&path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists(), "tmp must be renamed away");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(ref why) if why.contains("CRC")), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "accepted a {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        // Re-stamp the CRC so only the magic is wrong.
+        let n = bytes.len();
+        let crc = crc32_bytes(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(ref why) if why.contains("magic")), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Checkpoint::load(Path::new("/definitely/not/here.bin")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

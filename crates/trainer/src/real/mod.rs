@@ -2,6 +2,7 @@
 //! mini-framework trained data-parallel across threads with genuine
 //! gradient allreduce.
 
+pub mod checkpoint;
 pub mod fp16;
 pub mod miou;
 pub mod net;
@@ -9,9 +10,13 @@ pub mod segdata;
 pub mod sgd;
 pub mod train;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use fp16::{compress_gradients, roundtrip};
 pub use miou::Confusion;
 pub use net::{BatchWorkspace, NetConfig, SegNet, Workspace};
 pub use segdata::{generate, generate_batch, DataConfig, Sample};
 pub use sgd::{LrSchedule, MomentumSgd};
-pub use train::{evaluate, train, EvalPoint, TrainConfig, TrainResult};
+pub use train::{
+    evaluate, train, try_train, CheckpointConfig, EvalPoint, FaultToleranceConfig, TrainConfig,
+    TrainError, TrainResult,
+};

@@ -80,6 +80,21 @@ impl MomentumSgd {
         self.step
     }
 
+    /// The momentum buffer, flat — what a checkpoint must persist for a
+    /// resume to be bit-exact.
+    pub fn velocity(&self) -> &[f32] {
+        &self.velocity
+    }
+
+    /// Restore optimizer state from a checkpoint: step counter and
+    /// momentum buffer. The schedule/momentum/decay hyperparameters are
+    /// reconstructed from config, not persisted.
+    pub fn restore(&mut self, step: usize, velocity: &[f32]) {
+        assert_eq!(velocity.len(), self.velocity.len(), "velocity length");
+        self.step = step;
+        self.velocity.copy_from_slice(velocity);
+    }
+
     /// Apply one update in place: `v = µv + (g + wd·p); p -= lr·v`.
     pub fn apply(&mut self, params: &mut [f32], grad: &[f32]) {
         assert_eq!(params.len(), self.velocity.len(), "parameter count");

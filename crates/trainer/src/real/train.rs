@@ -8,14 +8,85 @@
 //! the accuracy half of the reproduction: claim C6's substance is that
 //! synchronous gradient averaging matches serial training's mIoU.
 
-use collectives::{exec_thread, Algorithm, ReduceOp, Schedule};
+use std::fmt;
+use std::path::PathBuf;
+
+use collectives::{Algorithm, ElasticAllreduce, ElasticError, FaultSession, ReduceOp, Violation};
+use faults::{FaultEvent, FaultPlan, RetryPolicy};
 use rayon::prelude::*;
 use summit_metrics::rng::derive_seed;
+use summit_metrics::{FaultCounterSnapshot, FaultCounters};
 
+use super::checkpoint::{Checkpoint, CheckpointError};
 use super::miou::Confusion;
 use super::net::{BatchWorkspace, NetConfig, SegNet};
 use super::segdata::{generate, generate_batch, DataConfig};
 use super::sgd::{LrSchedule, MomentumSgd};
+
+/// Fault-injection knobs for a chaos run. Absent (`TrainConfig::faults
+/// = None`) the trainer goes through the plain zero-overhead executor.
+#[derive(Debug, Clone)]
+pub struct FaultToleranceConfig {
+    /// The seeded, replayable injection plan.
+    pub plan: FaultPlan,
+    /// Receive deadlines / backoff / death threshold.
+    pub policy: RetryPolicy,
+    /// Injected straggler delays really sleep (wall-clock chaos) rather
+    /// than being accounted on the virtual clock.
+    pub real_delays: bool,
+}
+
+impl FaultToleranceConfig {
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        FaultToleranceConfig { plan, policy: RetryPolicy::default(), real_delays: false }
+    }
+}
+
+/// Checkpoint/restart knobs.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Where the checkpoint file lives (written atomically).
+    pub path: PathBuf,
+    /// Save after every `every` steps; 0 disables saving.
+    pub every: usize,
+    /// If `path` exists at startup, resume from it instead of step 0.
+    pub resume: bool,
+    /// Simulate a crash: stop the run right after this step completes
+    /// (checkpoint saves for the step happen first, so a matching
+    /// `every` makes the stop recoverable). The LR schedule still spans
+    /// the full configured `steps`, exactly as a really-interrupted run.
+    pub halt_after: Option<usize>,
+}
+
+/// Why a training run failed (as a value — the trainer no longer
+/// panics on infrastructure faults).
+#[derive(Debug)]
+pub enum TrainError {
+    /// The gradient allreduce schedule failed static verification.
+    Verification(Vec<Violation>),
+    /// The collective layer gave up (all ranks dead, rebuilt schedule
+    /// rejected, or a non-recoverable executor error).
+    Elastic(ElasticError),
+    /// Checkpoint I/O or integrity failure.
+    Checkpoint(CheckpointError),
+    /// A checkpoint loaded fine but does not fit this config.
+    CheckpointMismatch(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Verification(v) => {
+                write!(f, "gradient allreduce schedule failed verification: {v:?}")
+            }
+            TrainError::Elastic(e) => write!(f, "collective layer failed: {e}"),
+            TrainError::Checkpoint(e) => write!(f, "{e}"),
+            TrainError::CheckpointMismatch(why) => write!(f, "checkpoint mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// Full training-run configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +118,11 @@ pub struct TrainConfig {
     pub eval_every: usize,
     pub eval_samples: usize,
     pub seed: u64,
+    /// Fault-injection session for chaos runs (`None` ⇒ the plain
+    /// zero-overhead executor path, byte-for-byte the old behavior).
+    pub faults: Option<FaultToleranceConfig>,
+    /// Checkpoint/restart (`None` ⇒ never saved, never resumed).
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl TrainConfig {
@@ -78,6 +154,8 @@ impl TrainConfig {
             eval_every: 0,
             eval_samples: 32,
             seed: 42,
+            faults: None,
+            checkpoint: None,
         }
     }
 
@@ -112,6 +190,17 @@ pub struct TrainResult {
     pub final_miou: f64,
     pub final_pixel_accuracy: f64,
     pub final_params: Vec<f32>,
+    /// Mean training loss of every executed step, in order (a resumed
+    /// run records only the steps it actually ran).
+    pub step_losses: Vec<f64>,
+    /// Original worker ids still alive at the end, ascending.
+    pub survivors: Vec<usize>,
+    /// The deterministic fault-event core (injections, deaths,
+    /// degradations, checkpoint lifecycle) — identical on every replay
+    /// of the same plan. Empty when `faults` is `None`.
+    pub fault_events: Vec<FaultEvent>,
+    /// Frozen fault/recovery counters at the end of the run.
+    pub fault_counters: FaultCounterSnapshot,
 }
 
 /// Evaluate `net` on `n` held-out samples (seed stream disjoint from
@@ -137,19 +226,68 @@ pub fn evaluate(net: &SegNet, data: &DataConfig, seed: u64, n: usize) -> Confusi
         )
 }
 
+/// Run data-parallel training per `cfg`, panicking on infrastructure
+/// failure — the convenience wrapper around [`try_train`].
+pub fn train(cfg: &TrainConfig) -> TrainResult {
+    try_train(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Run data-parallel training per `cfg`.
 ///
 /// All replicas start from the same seed-derived initialization, consume
 /// disjoint shards of a common data stream, and stay synchronized by
 /// construction; the run asserts replica consistency at the end.
-pub fn train(cfg: &TrainConfig) -> TrainResult {
+///
+/// With `cfg.faults` set, the gradient allreduce goes through the
+/// fault-aware path: injected drops/corruptions are recovered
+/// bit-exactly, and confirmed rank deaths shrink the run onto the
+/// survivors (the dead worker's data shard is lost from that step on —
+/// the gradient stays an average over the live world). With
+/// `cfg.checkpoint` set, bit-exact snapshots are saved periodically and
+/// a run can resume from one identically to never having stopped.
+pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
     cfg.check();
-    let schedule: Schedule = cfg.algo.build(cfg.workers, cfg.net.n_params());
-    // Full static verification of the gradient allreduce — structural
-    // matching, reduction-order determinism, deadlock-freedom, and the
-    // every-rank-holds-the-full-reduction coverage postcondition.
-    if let Err(violations) = schedule.verify_allreduce() {
-        panic!("gradient allreduce schedule failed verification: {violations:?}");
+    let n_params = cfg.net.n_params();
+
+    let session: Option<FaultSession> = cfg.faults.as_ref().map(|f| {
+        let s = FaultSession::new(f.plan.clone()).with_policy(f.policy);
+        if f.real_delays {
+            s.with_real_delays()
+        } else {
+            s
+        }
+    });
+
+    // Resume: the checkpoint dictates the starting step and the live
+    // set (a checkpoint taken after a degradation has holes in it).
+    let mut start_step = 0usize;
+    let mut live: Vec<usize> = (0..cfg.workers).collect();
+    let mut resume_from: Option<Checkpoint> = None;
+    if let Some(ck_cfg) = &cfg.checkpoint {
+        if ck_cfg.resume && ck_cfg.path.exists() {
+            let ck = Checkpoint::load(&ck_cfg.path).map_err(TrainError::Checkpoint)?;
+            if ck.params.len() != n_params {
+                return Err(TrainError::CheckpointMismatch(format!(
+                    "checkpoint holds {} params, net has {n_params}",
+                    ck.params.len()
+                )));
+            }
+            if ck.live.is_empty() || ck.live.iter().any(|&id| id >= cfg.workers) {
+                return Err(TrainError::CheckpointMismatch(format!(
+                    "live set {:?} does not fit a {}-worker config",
+                    ck.live, cfg.workers
+                )));
+            }
+            if ck.step > cfg.steps {
+                return Err(TrainError::CheckpointMismatch(format!(
+                    "checkpoint at step {} is past the configured {} steps",
+                    ck.step, cfg.steps
+                )));
+            }
+            start_step = ck.step;
+            live = ck.live.clone();
+            resume_from = Some(ck);
+        }
     }
 
     let lr = LrSchedule {
@@ -160,66 +298,87 @@ pub fn train(cfg: &TrainConfig) -> TrainResult {
         poly_power: 0.9,
     };
     // Per-worker state persists across steps: model replica, optimizer,
-    // reusable gradient workspaces, and a per-worker loss cell. The
+    // reusable gradient workspaces, and a per-worker loss cell. `id` is
+    // the worker's *original* rank — data sharding keys off it, so the
+    // data stream layout survives degradations and resumes. The
     // allreduce payload buffers (`grads`) are allocated once up front,
     // so the steady-state step performs no heap allocation anywhere in
     // the gradient or allreduce path (see `tests/zero_alloc.rs`).
     struct WorkerState {
+        id: usize,
         net: SegNet,
         opt: MomentumSgd,
         bw: BatchWorkspace,
         loss: f64,
     }
-    let mut workers: Vec<WorkerState> = (0..cfg.workers)
-        .map(|_| WorkerState {
+    let mut workers: Vec<WorkerState> = live
+        .iter()
+        .map(|&id| WorkerState {
+            id,
             net: SegNet::new(cfg.net, derive_seed(cfg.seed, "init")),
-            opt: MomentumSgd::new(lr, cfg.momentum, cfg.net.n_params())
-                .with_weight_decay(cfg.weight_decay),
+            opt: MomentumSgd::new(lr, cfg.momentum, n_params).with_weight_decay(cfg.weight_decay),
             bw: BatchWorkspace::new(&cfg.net),
             loss: 0.0,
         })
         .collect();
-    let mut grads: Vec<Vec<f32>> = vec![vec![0.0f32; cfg.net.n_params()]; cfg.workers];
-    // Persistent executor: allreduce payload buffers pool across steps.
-    // `for_schedule` memoizes the verification above and pre-sizes the
-    // payload pool, so per-step runs skip re-analysis entirely.
-    let exec = match exec_thread::ExecContext::for_schedule(&schedule) {
-        Ok(exec) => exec,
-        Err(violations) => panic!("executor rejected verified schedule: {violations:?}"),
-    };
+    if let Some(ck) = &resume_from {
+        // All replicas are identical by the synchronous-SGD invariant,
+        // so one saved copy restores every survivor bit-exactly.
+        for state in workers.iter_mut() {
+            state.net.params_mut().copy_from_slice(&ck.params);
+            state.opt.restore(ck.opt_step, &ck.velocity);
+        }
+        if let Some(s) = &session {
+            FaultCounters::bump(&s.counters().checkpoint_restores);
+            s.events().push(FaultEvent::CheckpointRestore { step: ck.step });
+        }
+    }
+    let mut grads: Vec<Vec<f32>> = vec![vec![0.0f32; n_params]; workers.len()];
+    // Persistent elastic executor: it owns the schedule, the verifier
+    // gate, and the pooled payload buffers, and rebuilds all three over
+    // the survivors when a rank dies mid-collective.
+    let mut ela = ElasticAllreduce::with_live(cfg.algo, live, n_params).map_err(|e| match e {
+        ElasticError::Rejected(v) => TrainError::Verification(v),
+        other => TrainError::Elastic(other),
+    })?;
 
     let mut curve = Vec::new();
+    let mut step_losses = Vec::with_capacity(cfg.steps - start_step);
     let mut last_loss = f64::NAN;
-    for step in 0..cfg.steps {
+    for step in start_step..cfg.steps {
+        if let Some(s) = &session {
+            s.begin_step(step);
+        }
         let start = (step * cfg.global_batch()) as u64;
         // Gradient computation: one rayon task per worker; per-sample
         // work inside fans out further on the same pool. Each worker
         // accumulates straight into its persistent allreduce buffer.
+        // Shard addressing uses the ORIGINAL world layout (`cfg.workers`
+        // and `state.id`), so each survivor keeps its own slice of the
+        // data stream no matter who else has died.
         let micro = cfg.workers * cfg.batch_per_worker;
-        workers.par_iter_mut().zip(grads.par_iter_mut()).enumerate().for_each(
-            |(w, (state, acc))| {
-                // Accumulate over micro-batches before communicating.
-                let mut loss_sum = 0.0f64;
-                acc.fill(0.0);
-                for m in 0..cfg.accumulation_steps {
-                    let base = start + (m * micro) as u64 + (w * cfg.batch_per_worker) as u64;
-                    let mut shard = generate_batch(&cfg.data, cfg.seed, base, cfg.batch_per_worker);
-                    if cfg.augment {
-                        for (i, s) in shard.iter_mut().enumerate() {
-                            *s = super::segdata::augment(&cfg.data, s, cfg.seed, base + i as u64);
-                        }
-                    }
-                    loss_sum += state.net.batch_loss_grad_ws(&shard, &mut state.bw);
-                    for (a, gi) in acc.iter_mut().zip(&state.bw.grad) {
-                        *a += gi;
+        workers.par_iter_mut().zip(grads.par_iter_mut()).for_each(|(state, acc)| {
+            // Accumulate over micro-batches before communicating.
+            let mut loss_sum = 0.0f64;
+            acc.fill(0.0);
+            for m in 0..cfg.accumulation_steps {
+                let base = start + (m * micro) as u64 + (state.id * cfg.batch_per_worker) as u64;
+                let mut shard = generate_batch(&cfg.data, cfg.seed, base, cfg.batch_per_worker);
+                if cfg.augment {
+                    for (i, s) in shard.iter_mut().enumerate() {
+                        *s = super::segdata::augment(&cfg.data, s, cfg.seed, base + i as u64);
                     }
                 }
-                let inv = 1.0 / cfg.accumulation_steps as f32;
-                acc.iter_mut().for_each(|a| *a *= inv);
-                state.loss = loss_sum / cfg.accumulation_steps as f64;
-            },
-        );
-        last_loss = workers.iter().map(|s| s.loss).sum::<f64>() / cfg.workers as f64;
+                loss_sum += state.net.batch_loss_grad_ws(&shard, &mut state.bw);
+                for (a, gi) in acc.iter_mut().zip(&state.bw.grad) {
+                    *a += gi;
+                }
+            }
+            let inv = 1.0 / cfg.accumulation_steps as f32;
+            acc.iter_mut().for_each(|a| *a *= inv);
+            state.loss = loss_sum / cfg.accumulation_steps as f64;
+        });
+        last_loss = workers.iter().map(|s| s.loss).sum::<f64>() / workers.len() as f64;
         if cfg.fp16_gradients {
             for g in grads.iter_mut() {
                 super::fp16::compress_gradients(g);
@@ -228,11 +387,42 @@ pub fn train(cfg: &TrainConfig) -> TrainResult {
 
         // The real allreduce: gradients cross threads through the same
         // schedules the timing simulation measures, averaging in place.
-        exec.allreduce(&schedule, &mut grads, ReduceOp::Average);
+        // Without a fault session this is the plain zero-overhead
+        // executor; with one, drops/corruptions are recovered and rank
+        // deaths degrade the topology onto the survivors.
+        let report = ela
+            .allreduce(&mut grads, ReduceOp::Average, session.as_ref())
+            .map_err(TrainError::Elastic)?;
+        if report.degraded() {
+            // The elastic layer already removed the dead ranks' gradient
+            // buffers; drop the matching worker replicas.
+            workers.retain(|w| !report.dead.contains(&w.id));
+            debug_assert_eq!(workers.len(), grads.len());
+        }
 
         workers.par_iter_mut().zip(grads.par_iter()).for_each(|(state, grad)| {
             state.opt.apply(state.net.params_mut(), grad);
         });
+        step_losses.push(last_loss);
+
+        let mut halt = false;
+        if let Some(ck_cfg) = &cfg.checkpoint {
+            if ck_cfg.every > 0 && (step + 1) % ck_cfg.every == 0 {
+                let ck = Checkpoint {
+                    step: step + 1,
+                    live: workers.iter().map(|w| w.id).collect(),
+                    opt_step: workers[0].opt.step_index(),
+                    params: workers[0].net.params().to_vec(),
+                    velocity: workers[0].opt.velocity().to_vec(),
+                };
+                ck.save(&ck_cfg.path).map_err(TrainError::Checkpoint)?;
+                if let Some(s) = &session {
+                    FaultCounters::bump(&s.counters().checkpoint_saves);
+                    s.events().push(FaultEvent::CheckpointSave { step: step + 1 });
+                }
+            }
+            halt = ck_cfg.halt_after == Some(step + 1);
+        }
 
         if cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0 {
             let conf = evaluate(&workers[0].net, &cfg.data, cfg.seed, cfg.eval_samples);
@@ -243,14 +433,18 @@ pub fn train(cfg: &TrainConfig) -> TrainResult {
                 pixel_accuracy: conf.pixel_accuracy(),
             });
         }
+        if halt {
+            break;
+        }
     }
 
-    // Replica-consistency invariant of synchronous data-parallel SGD.
+    // Replica-consistency invariant of synchronous data-parallel SGD —
+    // it must hold across the survivors even after degradations.
     let reference = workers[0].net.params().to_vec();
-    for (w, state) in workers.iter().enumerate().skip(1) {
+    for state in workers.iter().skip(1) {
         let p = state.net.params();
         let max_dev = reference.iter().zip(p).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
-        assert!(max_dev == 0.0, "replica {w} diverged by {max_dev}");
+        assert!(max_dev == 0.0, "replica {} diverged by {max_dev}", state.id);
     }
 
     let conf = evaluate(&workers[0].net, &cfg.data, cfg.seed, cfg.eval_samples);
@@ -263,12 +457,20 @@ pub fn train(cfg: &TrainConfig) -> TrainResult {
     if curve.last().map(|p| p.step) != Some(cfg.steps) {
         curve.push(final_point);
     }
-    TrainResult {
+    let (fault_events, fault_counters) = match &session {
+        Some(s) => (s.events().deterministic_core(), s.counters().snapshot()),
+        None => (Vec::new(), FaultCounterSnapshot::default()),
+    };
+    Ok(TrainResult {
         curve,
         final_miou: final_point.miou,
         final_pixel_accuracy: final_point.pixel_accuracy,
         final_params: reference,
-    }
+        step_losses,
+        survivors: workers.iter().map(|w| w.id).collect(),
+        fault_events,
+        fault_counters,
+    })
 }
 
 #[cfg(test)]
@@ -298,6 +500,8 @@ mod tests {
             eval_every: 0,
             eval_samples: 16,
             seed: 42,
+            faults: None,
+            checkpoint: None,
         }
     }
 

@@ -19,6 +19,12 @@
 //!    paths accumulate in `f32` exactly like the GPU kernels they
 //!    model, and a stray widening would silently change every
 //!    fingerprinted result.
+//! 4. **sleep-ban** — no bare `thread::sleep` in library code: every
+//!    delay must go through `faults::FaultClock`, so chaos runs can be
+//!    replayed on a virtual clock. The one sanctioned site (the clock
+//!    itself) carries a same-line waiver
+//!    `// lint: allow(sleep): <reason>`; an empty reason is itself a
+//!    violation.
 //!
 //! The pass is deliberately token-based (comment- and string-stripped
 //! lines, brace counting) rather than AST-based: it has zero
@@ -296,6 +302,25 @@ fn lint_file(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) 
                 });
             }
         }
+        if code.contains("thread::sleep") {
+            match waiver_reason_for(raw, "sleep") {
+                Some(reason) if !reason.is_empty() => {}
+                Some(_) => findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "sleep-ban",
+                    detail: "waiver comment present but the reason is empty".to_string(),
+                }),
+                None => findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "sleep-ban",
+                    detail: "bare `thread::sleep` in library code — route delays through \
+                             `faults::FaultClock` (waive with `// lint: allow(sleep): <reason>`)"
+                        .to_string(),
+                }),
+            }
+        }
         let has_unwrap = code.contains(".unwrap()") || code.contains(".expect(");
         if has_unwrap {
             match waiver_reason(raw) {
@@ -321,8 +346,13 @@ fn lint_file(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) 
 
 /// The reason text of a same-line `// lint: allow(unwrap): …` waiver.
 fn waiver_reason(raw: &str) -> Option<&str> {
-    let marker = "// lint: allow(unwrap):";
-    raw.find(marker).map(|at| raw[at + marker.len()..].trim())
+    waiver_reason_for(raw, "unwrap")
+}
+
+/// The reason text of a same-line `// lint: allow(<kind>): …` waiver.
+fn waiver_reason_for<'a>(raw: &'a str, kind: &str) -> Option<&'a str> {
+    let marker = format!("// lint: allow({kind}):");
+    raw.find(&marker).map(|at| raw[at + marker.len()..].trim())
 }
 
 /// Blank out `//` comments, string literals, char literals, and

@@ -29,7 +29,7 @@ fn every_algorithm_correct_at_awkward_sizes() {
                 .map(|r| (0..e).map(|i| ((r * 19 + i * 7) % 13) as f32 - 6.0).collect())
                 .collect();
             let mut bufs = ins.clone();
-            exec_thread::allreduce(&s, &mut bufs, ReduceOp::Sum);
+            exec_thread::allreduce(&s, &mut bufs, ReduceOp::Sum).unwrap();
             reference::assert_allreduce_result(&ins, &bufs, ReduceOp::Sum, 1e-3);
         }
     }
@@ -48,7 +48,7 @@ fn pooled_executor_matches_reference_for_every_algorithm() {
                 .map(|r| (0..e).map(|i| ((r * 11 + i * 5) % 17) as f32 - 8.0).collect())
                 .collect();
             let mut bufs = ins.clone();
-            ctx.allreduce(&s, &mut bufs, ReduceOp::Average);
+            ctx.allreduce(&s, &mut bufs, ReduceOp::Average).unwrap();
             reference::assert_allreduce_result(&ins, &bufs, ReduceOp::Average, 1e-3);
         }
     }
@@ -56,11 +56,11 @@ fn pooled_executor_matches_reference_for_every_algorithm() {
     let algo = Algorithm::Ring;
     let s = algo.build(9, 100);
     let mut bufs: Vec<Vec<f32>> = (0..9).map(|r| vec![r as f32; 100]).collect();
-    ctx.allreduce(&s, &mut bufs, ReduceOp::Sum);
+    ctx.allreduce(&s, &mut bufs, ReduceOp::Sum).unwrap();
     let after_warmup = ctx.payload_allocations();
     for _ in 0..4 {
         let mut bufs: Vec<Vec<f32>> = (0..9).map(|r| vec![r as f32; 100]).collect();
-        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum);
+        ctx.allreduce(&s, &mut bufs, ReduceOp::Sum).unwrap();
     }
     assert_eq!(
         ctx.payload_allocations(),
@@ -88,7 +88,7 @@ fn fp16_compressed_allreduce_matches_reference_on_compressed_inputs() {
             compress_gradients(buf);
         }
         let mut bufs = ins.clone();
-        ctx.allreduce(&s, &mut bufs, ReduceOp::Average);
+        ctx.allreduce(&s, &mut bufs, ReduceOp::Average).unwrap();
         reference::assert_allreduce_result(&ins, &bufs, ReduceOp::Average, 1e-5);
         // And the values really went through half precision: every input
         // must be exactly f16-representable.

@@ -28,6 +28,8 @@ fn cfg(workers: usize, batch_per_worker: usize, steps: usize) -> TrainConfig {
         eval_every: 0,
         eval_samples: 24,
         seed: 2020,
+        faults: None,
+        checkpoint: None,
     }
 }
 
