@@ -81,6 +81,7 @@ fn main() {
             seed: SEED,
             faults: None,
             checkpoint: None,
+            trace: None,
         }
     };
     let fp32 = train(&cfg(false));

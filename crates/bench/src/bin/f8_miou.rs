@@ -43,6 +43,7 @@ fn config(workers: usize, batch_per_worker: usize) -> TrainConfig {
         seed: SEED,
         faults: None,
         checkpoint: None,
+        trace: None,
     }
 }
 

@@ -31,6 +31,7 @@ use summit_metrics::FaultCounters;
 use crate::algo::Algorithm;
 use crate::exec_fault::FaultSession;
 use crate::exec_thread::{ExecContext, ExecError};
+use crate::exec_trace::ExecTrace;
 use crate::reduce::ReduceOp;
 use crate::sched::{Schedule, Violation};
 
@@ -90,6 +91,12 @@ pub struct ElasticAllreduce {
     live: Vec<usize>,
     schedule: Schedule,
     ctx: ExecContext,
+    /// World-id-keyed trace lanes (see [`ElasticAllreduce::set_trace`]).
+    trace: Option<ExecTrace>,
+    /// `trace` reindexed to the current local ranks — precomputed at
+    /// `set_trace` and on degradation (both cold), so the per-step
+    /// plain path hands the executor a ready view without allocating.
+    trace_view: Option<ExecTrace>,
 }
 
 impl ElasticAllreduce {
@@ -111,7 +118,17 @@ impl ElasticAllreduce {
         let schedule = algo.build(live.len(), n_elems);
         schedule.verify_allreduce().map_err(ElasticError::Rejected)?;
         let ctx = ExecContext::for_schedule(&schedule).map_err(ElasticError::Exec)?;
-        Ok(ElasticAllreduce { algo, n_elems, live, schedule, ctx })
+        Ok(ElasticAllreduce { algo, n_elems, live, schedule, ctx, trace: None, trace_view: None })
+    }
+
+    /// Attach trace lanes keyed by *original* rank id: the plain path
+    /// records each survivor's SEND/RECV spans onto its original pid
+    /// row, surviving renumbering across degradations. (The fault path
+    /// traces through [`FaultSession::with_trace`] instead, which owns
+    /// the same world-id keying.)
+    pub fn set_trace(&mut self, trace: ExecTrace) {
+        self.trace_view = Some(trace.reindex(&self.live));
+        self.trace = Some(trace);
     }
 
     /// Original ids of the surviving ranks, ascending.
@@ -148,7 +165,9 @@ impl ElasticAllreduce {
     ) -> Result<ElasticReport, ElasticError> {
         let session = match session {
             None => {
-                self.ctx.allreduce(&self.schedule, buffers, op).map_err(ElasticError::Exec)?;
+                self.ctx
+                    .allreduce_traced(&self.schedule, buffers, op, self.trace_view.as_ref())
+                    .map_err(ElasticError::Exec)?;
                 return Ok(ElasticReport { dead: Vec::new(), world: self.live.len(), rebuilds: 0 });
             }
             Some(s) => s,
@@ -191,6 +210,7 @@ impl ElasticAllreduce {
                     self.schedule.verify_allreduce().map_err(ElasticError::Rejected)?;
                     self.ctx = ExecContext::for_schedule_with_pool(&self.schedule, &self.ctx)
                         .map_err(ElasticError::Exec)?;
+                    self.trace_view = self.trace.as_ref().map(|t| t.reindex(&self.live));
                 }
                 Err(other) => return Err(ElasticError::Exec(other)),
             }
@@ -279,6 +299,33 @@ mod tests {
         let r2 = ela.allreduce(&mut plain, ReduceOp::Sum, None).unwrap();
         assert!(!r2.degraded());
         assert_eq!(with_faults, plain, "fault path with no injections is bit-identical");
+    }
+
+    #[test]
+    fn trace_rows_keep_original_ids_across_degradation() {
+        let (n, e) = (4usize, 32usize);
+        let mut ela = ElasticAllreduce::new(Algorithm::Ring, n, e).unwrap();
+        let rec = trace::TraceRecorder::new();
+        let world_ids: Vec<usize> = (0..n).collect();
+        let trace = crate::exec_trace::ExecTrace::comm(&rec, &world_ids);
+        ela.set_trace(trace.clone());
+        let plan = FaultPlan::explicit(
+            7,
+            vec![Injection { step: 0, rank: 1, round: 0, kind: FaultKind::Crash }],
+        );
+        let session = FaultSession::new(plan).with_trace(trace);
+        let mut bufs = inputs(n, e);
+        ela.allreduce(&mut bufs, ReduceOp::Sum, Some(&session)).unwrap();
+        assert_eq!(ela.live(), &[0, 2, 3]);
+        // A later *plain* (session-off) call must land survivor spans
+        // on their original pid rows — local 1 is original rank 2.
+        let before: usize =
+            rec.snapshot().lanes.iter().filter(|l| l.pid == 2).map(|l| l.spans.len()).sum();
+        let mut plain = vec![bufs[0].clone(), bufs[1].clone(), bufs[2].clone()];
+        ela.allreduce(&mut plain, ReduceOp::Sum, None).unwrap();
+        let after: usize =
+            rec.snapshot().lanes.iter().filter(|l| l.pid == 2).map(|l| l.spans.len()).sum();
+        assert!(after > before, "survivor rank 2 must keep recording on pid 2");
     }
 
     #[test]

@@ -51,7 +51,10 @@ use faults::{
 use parking_lot::Mutex;
 use summit_metrics::FaultCounters;
 
+use trace::Lane;
+
 use crate::exec_thread::{ExecContext, ExecError, PayloadPool};
+use crate::exec_trace::ExecTrace;
 use crate::reduce::{combine, finalize, ReduceOp};
 use crate::sched::{Action, Schedule};
 
@@ -89,6 +92,10 @@ pub struct FaultSession {
     counters: FaultCounters,
     events: EventLog,
     step: AtomicUsize,
+    /// Trace lanes keyed by *original* rank id (the ids the plan and
+    /// the event log speak), so a rank keeps its trace row across
+    /// elastic renumberings. `None` ⇔ the fault path runs untraced.
+    trace: Option<ExecTrace>,
 }
 
 impl FaultSession {
@@ -109,6 +116,18 @@ impl FaultSession {
     pub fn with_real_delays(mut self) -> Self {
         self.clock = FaultClock::real();
         self
+    }
+
+    /// Attach trace lanes (keyed by original rank id): every rank
+    /// thread records SEND/RECV spans, RETRY events for the resend
+    /// machinery, and FAULT events for the injections it suffers.
+    pub fn with_trace(mut self, trace: ExecTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    pub fn trace(&self) -> Option<&ExecTrace> {
+        self.trace.as_ref()
     }
 
     /// Set the training step the next collectives belong to.
@@ -235,6 +254,7 @@ impl ExecContext {
                     pool: self.pool(),
                     session,
                     rank_ids,
+                    lane: session.trace().and_then(|t| t.lane(rank_ids[rank])).cloned(),
                 };
                 let outcomes = &outcomes;
                 let sched = &*schedule;
@@ -320,6 +340,8 @@ struct RankIo<'a> {
     pool: &'a PayloadPool,
     session: &'a FaultSession,
     rank_ids: &'a [usize],
+    /// This rank's trace lane (pid = original id), if tracing is on.
+    lane: Option<Lane>,
 }
 
 impl RankIo<'_> {
@@ -333,6 +355,7 @@ impl RankIo<'_> {
         src: &[f32],
         fault: Option<SendFault>,
     ) {
+        let t0 = self.lane.as_ref().map(Lane::now_us);
         let clean = self.pool.acquire_copy(src);
         let crc = crc32(&clean);
         let seq = self.next_seq[peer];
@@ -354,6 +377,9 @@ impl RankIo<'_> {
             }
         }
         self.pending[peer].push_back(PendingSend { seq, round, offset, crc, clean });
+        if let (Some(l), Some(t0)) = (self.lane.as_ref(), t0) {
+            l.record_args("SEND", "send", t0, l.now_us() - t0, self.rank_ids[peer] as u64, seq);
+        }
     }
 
     /// Drain every control channel, clearing acked resend-buffer
@@ -395,6 +421,16 @@ impl RankIo<'_> {
                         self.pool.release(e.0.payload);
                         return;
                     }
+                    if let Some(l) = &self.lane {
+                        l.record_args(
+                            "RETRY",
+                            "resend",
+                            l.now_us(),
+                            0.0,
+                            self.rank_ids[peer] as u64,
+                            seq,
+                        );
+                    }
                     FaultCounters::bump(&self.session.counters().resends);
                     self.session.events().push(FaultEvent::Resend {
                         step: self.step,
@@ -434,6 +470,7 @@ impl RankIo<'_> {
         let mut attempt: u32 = 0;
         let mut deadline = policy.base;
         let mut waited = Duration::ZERO;
+        let t0 = self.lane.as_ref().map(Lane::now_us);
         loop {
             let want = self.expected[peer];
             // Out-of-order arrivals may already hold the wanted seq.
@@ -453,6 +490,16 @@ impl RankIo<'_> {
                     self.service_ctl();
                     if waited >= deadline {
                         attempt += 1;
+                        if let Some(l) = &self.lane {
+                            l.record_args(
+                                "RETRY",
+                                "timeout",
+                                l.now_us(),
+                                0.0,
+                                self.rank_ids[peer] as u64,
+                                attempt as u64,
+                            );
+                        }
                         FaultCounters::bump(&self.session.counters().timeouts);
                         self.session.events().push(FaultEvent::RetryTimeout {
                             step: self.step,
@@ -474,6 +521,16 @@ impl RankIo<'_> {
                     // Everything the peer ever sent has been drained
                     // and it still owes us this message: it crashed
                     // or aborted before sending it.
+                    if let Some(l) = &self.lane {
+                        l.record_args(
+                            "FAULT",
+                            "peer_dead",
+                            l.now_us(),
+                            0.0,
+                            self.rank_ids[peer] as u64,
+                            round_idx as u64,
+                        );
+                    }
                     FaultCounters::bump(&self.session.counters().rank_deaths);
                     self.session.events().push(FaultEvent::PeerDead {
                         step: self.step,
@@ -503,6 +560,16 @@ impl RankIo<'_> {
                 continue;
             }
             if crc32(&msg.payload) != msg.crc {
+                if let Some(l) = &self.lane {
+                    l.record_args(
+                        "RETRY",
+                        "crc_reject",
+                        l.now_us(),
+                        0.0,
+                        self.rank_ids[peer] as u64,
+                        msg.seq,
+                    );
+                }
                 FaultCounters::bump(&self.session.counters().crc_rejects);
                 self.session.events().push(FaultEvent::CrcReject {
                     step: self.step,
@@ -537,6 +604,16 @@ impl RankIo<'_> {
                 Action::Send { .. } => unreachable!(),
             }
             self.pool.release(msg.payload);
+            if let (Some(l), Some(t0)) = (self.lane.as_ref(), t0) {
+                l.record_args(
+                    "RECV",
+                    "recv",
+                    t0,
+                    l.now_us() - t0,
+                    self.rank_ids[peer] as u64,
+                    want,
+                );
+            }
             return None;
         }
     }
@@ -596,6 +673,9 @@ fn rank_main_fault(
     let (step, orig) = (io.step, io.orig);
     for (round_idx, round) in schedule.rounds.iter().enumerate() {
         if plan.crashes_at(step, orig, round_idx) {
+            if let Some(l) = &io.lane {
+                l.record_args("FAULT", "crash", l.now_us(), 0.0, orig as u64, round_idx as u64);
+            }
             FaultCounters::bump(&io.session.counters().injected_crashes);
             io.session.events().push(FaultEvent::Injected {
                 step,
@@ -607,6 +687,16 @@ fn rank_main_fault(
             return RankOutcome::Crashed; // channel endpoints drop here
         }
         if let Some(delay) = plan.straggle(step, orig, round_idx) {
+            if let Some(l) = &io.lane {
+                l.record_args(
+                    "FAULT",
+                    "straggle",
+                    l.now_us(),
+                    0.0,
+                    orig as u64,
+                    delay.as_millis() as u64,
+                );
+            }
             FaultCounters::bump(&io.session.counters().injected_straggles);
             io.session.events().push(FaultEvent::Injected {
                 step,
@@ -630,6 +720,10 @@ fn rank_main_fault(
                 }
                 None => unreachable!(),
             };
+            if let Some(l) = &io.lane {
+                let name = if matches!(kind, FaultKind::Drop) { "drop" } else { "corrupt" };
+                l.record_args("FAULT", name, l.now_us(), 0.0, orig as u64, round_idx as u64);
+            }
             io.session.events().push(FaultEvent::Injected {
                 step,
                 rank: orig,
@@ -807,6 +901,32 @@ mod tests {
             .run_with_faults(&s, &mut bufs, ReduceOp::Sum, &session, &[0, 1, 3, 4])
             .expect_err("original id 3 is present as local 2");
         assert_eq!(err, ExecError::RanksDead { dead: vec![2] });
+    }
+
+    #[test]
+    fn traced_fault_run_records_retry_and_fault_events() {
+        let (n, e) = (4usize, 32usize);
+        let s = ring::allreduce(n, e);
+        let plan = FaultPlan::explicit(
+            1,
+            vec![Injection { step: 0, rank: 1, round: 0, kind: FaultKind::Drop }],
+        );
+        let rec = trace::TraceRecorder::new();
+        let session =
+            FaultSession::new(plan).with_trace(crate::exec_trace::ExecTrace::comm(&rec, &ids(n)));
+        let mut bufs = inputs(n, e);
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        ctx.allreduce_with_faults(&s, &mut bufs, ReduceOp::Sum, &session, &ids(n)).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.pids(), vec![0, 1, 2, 3]);
+        let cats: Vec<&str> =
+            snap.lanes.iter().flat_map(|l| l.spans.iter()).map(|s| s.cat).collect();
+        assert!(cats.contains(&"SEND") && cats.contains(&"RECV"), "{cats:?}");
+        assert!(cats.contains(&"FAULT"), "drop injection must land in the FAULT lane: {cats:?}");
+        assert!(cats.contains(&"RETRY"), "drop recovery goes through timeout/resend: {cats:?}");
+        // The injection was recorded on the faulty rank's own pid row.
+        let rank1 = snap.lanes.iter().find(|l| l.pid == 1).expect("rank 1 lane");
+        assert!(rank1.spans.iter().any(|s| s.cat == "FAULT" && s.name == "drop"));
     }
 
     #[test]

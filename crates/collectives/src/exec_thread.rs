@@ -34,6 +34,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use trace::Lane;
+
+use crate::exec_trace::ExecTrace;
 use crate::reduce::{combine, finalize, ReduceOp};
 use crate::sched::{Action, Schedule, Violation};
 
@@ -318,6 +321,22 @@ impl ExecContext {
         buffers: &mut [Vec<f32>],
         op: ReduceOp,
     ) -> Result<(), ExecError> {
+        self.run_traced(schedule, buffers, op, None)
+    }
+
+    /// [`ExecContext::run`] with per-rank trace lanes: each rank thread
+    /// records a SEND span per payload pushed and a RECV span per
+    /// blocking receive (wait + reduce) into `trace`'s lane for its
+    /// *local* rank index. Lane lookup happens before the threads
+    /// spawn; recording is the no-alloc ring write, so a traced run
+    /// stays inside the zero-allocation budget.
+    pub fn run_traced(
+        &self,
+        schedule: &Schedule,
+        buffers: &mut [Vec<f32>],
+        op: ReduceOp,
+        trace: Option<&ExecTrace>,
+    ) -> Result<(), ExecError> {
         self.preflight(schedule, buffers)?;
         let n = schedule.n_ranks;
         if n == 1 || schedule.rounds.is_empty() {
@@ -349,8 +368,9 @@ impl ExecContext {
                 let rx_row = std::mem::take(&mut rx[rank]);
                 let sched = &*schedule;
                 let pool = &self.pool;
+                let lane = trace.and_then(|t| t.lane(rank));
                 scope.spawn(move || {
-                    rank_main(rank, buf, sched, op, tx_row, rx_row, pool);
+                    rank_main(rank, buf, sched, op, tx_row, rx_row, pool, lane);
                 });
             }
         });
@@ -364,7 +384,19 @@ impl ExecContext {
         buffers: &mut [Vec<f32>],
         op: ReduceOp,
     ) -> Result<(), ExecError> {
-        self.run(schedule, buffers, op)?;
+        self.allreduce_traced(schedule, buffers, op, None)
+    }
+
+    /// [`ExecContext::allreduce`] with per-rank trace lanes (see
+    /// [`ExecContext::run_traced`]).
+    pub fn allreduce_traced(
+        &self,
+        schedule: &Schedule,
+        buffers: &mut [Vec<f32>],
+        op: ReduceOp,
+        trace: Option<&ExecTrace>,
+    ) -> Result<(), ExecError> {
+        self.run_traced(schedule, buffers, op, trace)?;
         for b in buffers.iter_mut() {
             finalize(op, b, schedule.n_ranks);
         }
@@ -395,6 +427,10 @@ impl ExecContext {
     }
 }
 
+// Instrumentation inside this function must stay on the no-alloc
+// recorder API (`record`/`record_args`); the ring write is the only
+// trace cost the steady-state step pays.
+// lint: hot-path
 #[allow(clippy::too_many_arguments)]
 fn rank_main(
     rank: usize,
@@ -404,6 +440,7 @@ fn rank_main(
     tx: Vec<Option<Sender<Msg>>>,
     rx: Vec<Option<Receiver<Msg>>>,
     pool: &PayloadPool,
+    lane: Option<&Lane>,
 ) {
     for (round_idx, round) in schedule.rounds.iter().enumerate() {
         let actions = &round.per_rank[rank];
@@ -412,12 +449,16 @@ fn rank_main(
         // pre-round snapshot semantics exchanges rely on.
         for a in actions {
             if let Action::Send { peer, seg } = *a {
+                let t0 = lane.map(Lane::now_us);
                 let payload = pool.acquire_copy(&buf[seg.offset..seg.end()]);
                 tx[peer]
                     .as_ref()
                     .expect("send to self is rejected by the verifier") // lint: allow(unwrap): SelfMessage rule proven before spawn
                     .send((round_idx, seg.offset, payload))
                     .expect("receiver thread hung up"); // lint: allow(unwrap): scoped threads outlive the round
+                if let (Some(l), Some(t0)) = (lane, t0) {
+                    l.record_args("SEND", "send", t0, l.now_us() - t0, peer as u64, seg.len as u64);
+                }
             }
         }
         // Phase B: block on receives in action order.
@@ -425,6 +466,7 @@ fn rank_main(
             match *a {
                 Action::Send { .. } => {}
                 Action::RecvReduce { peer, seg } | Action::RecvReplace { peer, seg } => {
+                    let t0 = lane.map(Lane::now_us);
                     let (r, off, payload) = rx[peer]
                         .as_ref()
                         .expect("recv from self is rejected by the verifier") // lint: allow(unwrap): SelfMessage rule proven before spawn
@@ -443,6 +485,16 @@ fn rank_main(
                         Action::Send { .. } => unreachable!(),
                     }
                     pool.release(payload);
+                    if let (Some(l), Some(t0)) = (lane, t0) {
+                        l.record_args(
+                            "RECV",
+                            "recv",
+                            t0,
+                            l.now_us() - t0,
+                            peer as u64,
+                            seg.len as u64,
+                        );
+                    }
                 }
             }
         }
@@ -761,6 +813,57 @@ mod tests {
         let b3 = pool.acquire_copy(&big);
         assert_eq!(pool.allocations(), 1);
         assert_eq!(b3[999], 1.0);
+    }
+
+    #[test]
+    fn traced_run_records_per_rank_lanes_without_changing_results() {
+        let (n, e) = (4usize, 64usize);
+        let s = ring::allreduce(n, e);
+        let ins = inputs(n, e);
+        let mut plain = ins.clone();
+        allreduce(&s, &mut plain, ReduceOp::Sum).unwrap();
+
+        let rec = trace::TraceRecorder::new();
+        let t = ExecTrace::comm(&rec, &(0..n).collect::<Vec<_>>());
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        let mut traced = ins.clone();
+        ctx.allreduce_traced(&s, &mut traced, ReduceOp::Sum, Some(&t)).unwrap();
+        assert_eq!(traced, plain, "tracing must not perturb the numbers");
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.pids(), (0..n as u32).collect::<Vec<_>>());
+        let sends: usize = s
+            .rounds
+            .iter()
+            .flat_map(|r| r.per_rank.iter())
+            .flatten()
+            .filter(|a| a.is_send())
+            .count();
+        let recorded_sends: usize =
+            snap.lanes.iter().flat_map(|l| l.spans.iter()).filter(|sp| sp.cat == "SEND").count();
+        let recorded_recvs: usize =
+            snap.lanes.iter().flat_map(|l| l.spans.iter()).filter(|sp| sp.cat == "RECV").count();
+        assert_eq!(recorded_sends, sends, "one SEND span per schedule send");
+        assert_eq!(recorded_recvs, sends, "one RECV span per matching receive");
+    }
+
+    #[test]
+    fn traced_steady_state_stays_pool_allocation_free() {
+        let (n, e) = (4usize, 512usize);
+        let s = ring::allreduce(n, e);
+        let rec = trace::TraceRecorder::new();
+        let t = ExecTrace::comm(&rec, &(0..n).collect::<Vec<_>>());
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        for _ in 0..3 {
+            let mut bufs = inputs(n, e);
+            ctx.allreduce_traced(&s, &mut bufs, ReduceOp::Sum, Some(&t)).unwrap();
+        }
+        let snap = ctx.counter_snapshot();
+        for _ in 0..3 {
+            let mut bufs = inputs(n, e);
+            ctx.allreduce_traced(&s, &mut bufs, ReduceOp::Sum, Some(&t)).unwrap();
+        }
+        assert_eq!(ctx.payload_allocations_since(snap), 0, "tracing must not cost payload buffers");
     }
 
     #[test]

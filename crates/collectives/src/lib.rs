@@ -40,6 +40,7 @@ pub mod elastic;
 pub mod exec_fault;
 pub mod exec_sim;
 pub mod exec_thread;
+pub mod exec_trace;
 pub mod hierarchical;
 pub mod pipeline;
 pub mod rabenseifner;
@@ -56,6 +57,7 @@ pub use elastic::{ElasticAllreduce, ElasticError, ElasticReport};
 pub use exec_fault::FaultSession;
 pub use exec_sim::{simulate, simulate_dense, CostModel, MsgParams, UniformCost, ELEM_BYTES};
 pub use exec_thread::{ExecContext, ExecError, PoolCounters};
+pub use exec_trace::ExecTrace;
 pub use hierarchical::{LeaderAlgo, NodeGroups};
 pub use reduce::ReduceOp;
 pub use sched::{Action, Round, Rule, Schedule, Seg, Span, Violation};

@@ -142,32 +142,40 @@ impl<'m> StepSim<'m> {
         &self.emission
     }
 
-    /// Slowest-rank compute scale for `step`: max of per-rank lognormal
-    /// draws (mean-one parameterization).
-    fn step_jitter(&self, step: u64) -> f64 {
+    /// Per-rank compute scale factors for `step`: one mean-one
+    /// lognormal draw per rank, in rank order. [`StepSim::step_jitter`]
+    /// is their maximum; the individual values drive the per-rank
+    /// compute lanes of [`StepSim::simulate_step_per_rank`], which is
+    /// what makes straggler attribution in the trace possible.
+    fn rank_jitters(&self, step: u64) -> Vec<f64> {
         if self.jitter_sigma == 0.0 {
-            return 1.0;
+            return vec![1.0; self.n_ranks];
         }
         let mut rng = rng_for_indexed(self.seed, "jitter", step);
         let sigma = self.jitter_sigma;
-        let mut max = f64::MIN;
-        // Box–Muller normals, two per iteration.
-        let mut i = 0;
-        while i < self.n_ranks {
+        let mut js = Vec::with_capacity(self.n_ranks);
+        // Box–Muller normals, two per iteration. The draw order is part
+        // of the seeded contract: `step_jitter` must keep returning the
+        // same values it did when it drew these inline.
+        while js.len() < self.n_ranks {
             let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
             let u2: f64 = rng.gen_range(0.0..1.0);
             let r = (-2.0 * u1.ln()).sqrt();
             let z0 = r * (std::f64::consts::TAU * u2).cos();
             let z1 = r * (std::f64::consts::TAU * u2).sin();
             for z in [z0, z1] {
-                if i < self.n_ranks {
-                    let j = (sigma * z - 0.5 * sigma * sigma).exp();
-                    max = max.max(j);
-                    i += 1;
+                if js.len() < self.n_ranks {
+                    js.push((sigma * z - 0.5 * sigma * sigma).exp());
                 }
             }
         }
-        max
+        js
+    }
+
+    /// Slowest-rank compute scale for `step`: max of per-rank lognormal
+    /// draws (mean-one parameterization).
+    fn step_jitter(&self, step: u64) -> f64 {
+        self.rank_jitters(step).into_iter().fold(f64::MIN, f64::max)
     }
 
     /// Simulate one step; optionally record a timeline.
@@ -251,6 +259,106 @@ impl<'m> StepSim<'m> {
             n_active_cycles,
             jitter: j,
         }
+    }
+
+    /// Simulate one step recording one timeline **per rank** (pid =
+    /// rank). Compute spans use each rank's own jitter draw; the
+    /// synchronous comm stream — gated by the slowest rank, exactly as
+    /// in [`StepSim::simulate_step`] — is mirrored onto every rank's
+    /// comm lane. The returned breakdown is identical to
+    /// `simulate_step`'s for the same step.
+    pub fn simulate_step_per_rank(&self, step: u64) -> (StepBreakdown, Vec<Timeline>) {
+        let e = &self.emission;
+        let js = self.rank_jitters(step);
+        let j = js.iter().copied().fold(f64::MIN, f64::max);
+        let mut tls: Vec<Timeline> =
+            (0..self.n_ranks).map(|r| Timeline::for_rank(r as u32)).collect();
+        for (r, tl) in tls.iter_mut().enumerate() {
+            let fwd_r = e.forward_time * js[r];
+            tl.push(Phase::Forward, 0.0, fwd_r, "forward");
+            tl.push(Phase::Backward, fwd_r, fwd_r + e.backward_time * js[r], "backward");
+        }
+        let fwd_end = e.forward_time * j;
+        let bwd_end = fwd_end + e.backward_time * j;
+
+        let coord = negotiation_cost(self.n_ranks, self.config.response_cache);
+        let cycle = self.config.cycle_time;
+        let mut comm_free = 0.0f64;
+        let mut comm_busy = 0.0f64;
+        let mut n_buffers = 0usize;
+        let mut n_active_cycles = 0usize;
+        let mut next_idx = 0usize;
+        let mut k = 1u64;
+
+        if self.n_ranks > 1 {
+            while next_idx < e.tensors.len() {
+                let t = k as f64 * cycle;
+                k += 1;
+                let mut ready: Vec<(usize, u64)> = Vec::new();
+                while next_idx < e.tensors.len() && fwd_end + e.tensors[next_idx].ready_at * j <= t
+                {
+                    ready.push((next_idx, e.tensors[next_idx].bytes));
+                    next_idx += 1;
+                }
+                if ready.is_empty() {
+                    continue;
+                }
+                n_active_cycles += 1;
+                let issue_at = t + coord;
+                let cyc_label = format!("cycle {k}");
+                for tl in tls.iter_mut() {
+                    tl.push(Phase::Negotiate, t, issue_at, cyc_label.clone());
+                }
+                for buf in pack(&ready, self.config.fusion_threshold) {
+                    let start = issue_at.max(comm_free);
+                    let mut copy = fusion_copy_time(&buf, FUSION_COPY_BW);
+                    let wire = self.config.compression.wire_bytes(buf.bytes);
+                    if wire != buf.bytes {
+                        copy += 2.0 * buf.bytes as f64 / FUSION_COPY_BW;
+                    }
+                    let ar = self.oracle.time(wire);
+                    let ar_label = format!("{} B x{}", buf.bytes, buf.n_tensors);
+                    for tl in tls.iter_mut() {
+                        if copy > 0.0 {
+                            tl.push(Phase::FusionCopy, start, start + copy, "pack+unpack");
+                        }
+                        tl.push(
+                            Phase::Allreduce,
+                            start + copy,
+                            start + copy + ar,
+                            ar_label.clone(),
+                        );
+                    }
+                    comm_free = start + copy + ar;
+                    comm_busy += copy + ar;
+                    n_buffers += 1;
+                }
+            }
+        }
+
+        let opt_start = bwd_end.max(comm_free);
+        let step_time = opt_start + e.optimizer_time * j;
+        for (r, tl) in tls.iter_mut().enumerate() {
+            tl.push(
+                Phase::Optimizer,
+                opt_start,
+                opt_start + e.optimizer_time * js[r],
+                "apply gradients",
+            );
+        }
+        let compute_time = (e.forward_time + e.backward_time + e.optimizer_time) * j;
+        (
+            StepBreakdown {
+                step_time,
+                compute_time,
+                comm_busy,
+                exposed_comm: (step_time - compute_time).max(0.0),
+                n_buffers,
+                n_active_cycles,
+                jitter: j,
+            },
+            tls,
+        )
     }
 
     /// Simulate `steps` steps and aggregate.
@@ -416,6 +524,55 @@ mod tests {
         {
             assert!(tl.count(phase) > 0, "missing {phase:?} spans");
         }
+    }
+
+    #[test]
+    fn per_rank_step_matches_aggregate_breakdown() {
+        let m = machine(12);
+        let s = sim(&m, MpiProfile::mvapich2_gdr(), HorovodConfig::default(), 12);
+        let agg = s.simulate_step(3, None);
+        let (per, tls) = s.simulate_step_per_rank(3);
+        assert_eq!(agg.step_time, per.step_time);
+        assert_eq!(agg.comm_busy, per.comm_busy);
+        assert_eq!(agg.n_buffers, per.n_buffers);
+        assert_eq!(agg.jitter, per.jitter);
+        assert_eq!(tls.len(), 12);
+        // Every rank sees the same synchronous comm stream...
+        for tl in &tls {
+            assert_eq!(tl.count(Phase::Allreduce), tls[0].count(Phase::Allreduce));
+        }
+        // ...but its own compute spans: the slowest rank's backward end
+        // is exactly the aggregate (max-jitter) gate.
+        let bwd_end = tls
+            .iter()
+            .flat_map(|tl| tl.spans.iter())
+            .filter(|sp| sp.phase == Phase::Backward)
+            .map(|sp| sp.end)
+            .fold(f64::MIN, f64::max);
+        let e = s.emission();
+        assert!((bwd_end - (e.forward_time + e.backward_time) * per.jitter).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_per_rank_trace_has_distinct_pids_and_union_busy_time() {
+        let m = machine(12);
+        let s = sim(&m, MpiProfile::mvapich2_gdr(), HorovodConfig::default(), 4);
+        let (_, tls) = s.simulate_step_per_rank(0);
+        let mut merged = Timeline::default();
+        for tl in &tls {
+            merged.merge(tl);
+        }
+        let parsed = trace::parse_trace(&merged.to_chrome_json()).unwrap();
+        let mut pids: Vec<u32> = parsed.iter().filter(|e| e.ph == 'X').map(|e| e.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids.len(), 4, "one pid per rank");
+        // Allreduce spans are mirrored on 4 comm lanes: the naive sum
+        // quadruple-counts them, the union does not.
+        let sum = merged.total(Phase::Allreduce);
+        let busy = merged.busy_time(Phase::Allreduce);
+        assert!(sum > busy * 3.9, "sum {sum} should be ~4x union {busy}");
+        assert!((busy - tls[0].busy_time(Phase::Allreduce)).abs() < 1e-12);
     }
 
     #[test]

@@ -2,10 +2,17 @@
 //!
 //! Real Horovod writes a Chrome-trace JSON (`HOROVOD_TIMELINE=...`); the
 //! simulated runtime can do the same, plus a human-readable text
-//! rendering for terminal inspection. JSON is emitted by hand (no serde
-//! dependency) — the format is a flat array of complete events.
+//! rendering for terminal inspection. JSON emission is a thin shim over
+//! the `trace` crate's Chrome writer: each span carries the rank it
+//! belongs to (rank → Chrome `pid`) and its phase maps onto a thread
+//! lane (`tid` 0 = compute, 1 = comm, 2 = faults), so a merged
+//! multi-rank timeline renders as one row group per rank instead of
+//! collapsing onto `pid:0,tid:0`.
 
 use std::fmt::Write as _;
+
+use trace::chrome::{metadata_process_name, metadata_thread_name};
+use trace::ChromeEvent;
 
 /// What a timeline span represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +40,24 @@ impl Phase {
             Phase::Fault => "FAULT",
         }
     }
+
+    /// The Chrome thread lane this phase renders on within its rank's
+    /// process group.
+    pub fn tid(self) -> u32 {
+        match self {
+            Phase::Forward | Phase::Backward | Phase::Optimizer => 0,
+            Phase::Negotiate | Phase::FusionCopy | Phase::Allreduce => 1,
+            Phase::Fault => 2,
+        }
+    }
+}
+
+fn tid_name(tid: u32) -> &'static str {
+    match tid {
+        0 => "compute",
+        1 => "comm",
+        _ => "faults",
+    }
 }
 
 /// A closed span on the step timeline (seconds from step start).
@@ -42,24 +67,78 @@ pub struct Span {
     pub start: f64,
     pub end: f64,
     pub label: String,
+    /// The rank this span belongs to (Chrome `pid`).
+    pub rank: u32,
 }
 
-/// An ordered collection of spans for one step.
+/// An ordered collection of spans for one step. `Timeline::default()`
+/// records as rank 0; [`Timeline::for_rank`] tags pushes with another
+/// rank, and [`Timeline::merge`] combines per-rank timelines into one
+/// multi-pid trace.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
     pub spans: Vec<Span>,
+    rank: u32,
 }
 
 impl Timeline {
-    pub fn push(&mut self, phase: Phase, start: f64, end: f64, label: impl Into<String>) {
-        assert!(end >= start, "span ends before it starts");
-        self.spans.push(Span { phase, start, end, label: label.into() });
+    /// A timeline whose pushes are tagged with `rank` (Chrome pid).
+    pub fn for_rank(rank: u32) -> Self {
+        Timeline { spans: Vec::new(), rank }
     }
 
-    /// Total time attributed to `phase` (spans may overlap; this sums
-    /// durations, it does not union).
+    /// The rank new pushes are tagged with.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn push(&mut self, phase: Phase, start: f64, end: f64, label: impl Into<String>) {
+        assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span { phase, start, end, label: label.into(), rank: self.rank });
+    }
+
+    /// Append every span of `other` (keeping its rank tags).
+    pub fn merge(&mut self, other: &Timeline) {
+        self.spans.extend(other.spans.iter().cloned());
+    }
+
+    /// Total time attributed to `phase` as a plain **sum** of span
+    /// durations — overlapping spans are counted twice, which makes
+    /// this rank-seconds, not wall-clock. Use [`Timeline::busy_time`]
+    /// for any efficiency math.
     pub fn total(&self, phase: Phase) -> f64 {
         self.spans.iter().filter(|s| s.phase == phase).map(|s| s.end - s.start).sum()
+    }
+
+    /// Wall-clock time during which at least one `phase` span was open
+    /// — the interval **union** across all ranks and lanes. This is
+    /// the quantity "fraction of the step spent in allreduce" must be
+    /// computed from; the sum in [`Timeline::total`] double-counts as
+    /// soon as spans overlap.
+    pub fn busy_time(&self, phase: Phase) -> f64 {
+        let mut iv: Vec<(f64, f64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.phase == phase && s.end > s.start)
+            .map(|s| (s.start, s.end))
+            .collect();
+        iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut busy = 0.0;
+        let mut open: Option<(f64, f64)> = None;
+        for (s, e) in iv {
+            match open {
+                Some((os, oe)) if s <= oe => open = Some((os, oe.max(e))),
+                Some((os, oe)) => {
+                    busy += oe - os;
+                    open = Some((s, e));
+                }
+                None => open = Some((s, e)),
+            }
+        }
+        if let Some((os, oe)) = open {
+            busy += oe - os;
+        }
+        busy
     }
 
     pub fn count(&self, phase: Phase) -> usize {
@@ -77,24 +156,41 @@ impl Timeline {
         }
     }
 
-    /// Chrome-trace JSON ("X" complete events, µs units).
-    pub fn to_chrome_json(&self) -> String {
-        let mut out = String::from("[");
-        for (i, s) in self.spans.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+    /// The timeline as Chrome-trace events: `process_name` /
+    /// `thread_name` metadata for every `(rank, lane)` present, then
+    /// one complete event per span (seconds → µs).
+    pub fn to_chrome_events(&self) -> Vec<ChromeEvent> {
+        let mut events = Vec::new();
+        let mut named_pids: Vec<u32> = Vec::new();
+        let mut named_lanes: Vec<(u32, u32)> = Vec::new();
+        for s in &self.spans {
+            let tid = s.phase.tid();
+            if !named_pids.contains(&s.rank) {
+                named_pids.push(s.rank);
+                events.push(metadata_process_name(s.rank, &format!("rank {}", s.rank)));
             }
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":0}}",
-                escape(&s.label),
+            if !named_lanes.contains(&(s.rank, tid)) {
+                named_lanes.push((s.rank, tid));
+                events.push(metadata_thread_name(s.rank, tid, tid_name(tid)));
+            }
+        }
+        for s in &self.spans {
+            events.push(ChromeEvent::complete(
+                &s.label,
                 s.phase.name(),
                 s.start * 1e6,
                 (s.end - s.start) * 1e6,
-            );
+                s.rank,
+                s.phase.tid(),
+            ));
         }
-        out.push(']');
-        out
+        events
+    }
+
+    /// Chrome-trace JSON ("X" complete events, µs units) — a thin shim
+    /// over [`trace::write_trace`].
+    pub fn to_chrome_json(&self) -> String {
+        trace::write_trace(&self.to_chrome_events())
     }
 
     /// Terminal rendering: one line per span.
@@ -114,17 +210,6 @@ impl Timeline {
     }
 }
 
-fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if c.is_control() => vec![' '],
-            c => vec![c],
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +223,19 @@ mod tests {
         assert_eq!(t.total(Phase::Allreduce), 1.5);
         assert_eq!(t.count(Phase::Allreduce), 2);
         assert_eq!(t.count(Phase::Optimizer), 0);
+    }
+
+    #[test]
+    fn busy_time_unions_overlapping_spans() {
+        let mut t = Timeline::default();
+        t.push(Phase::Allreduce, 0.0, 1.0, "rank0");
+        t.push(Phase::Allreduce, 0.5, 1.5, "rank1");
+        t.push(Phase::Allreduce, 3.0, 4.0, "later");
+        // Sum double-counts the overlap; the union does not.
+        assert_eq!(t.total(Phase::Allreduce), 3.0);
+        assert!((t.busy_time(Phase::Allreduce) - 2.5).abs() < 1e-12);
+        // Disjoint spans: union equals sum.
+        assert!((t.busy_time(Phase::Forward) - t.total(Phase::Forward)).abs() < 1e-12);
     }
 
     #[test]
@@ -155,6 +253,33 @@ mod tests {
         assert!(j.contains("\"ph\":\"X\""));
         assert!(j.contains("cycle \\\"1\\\""), "quotes escaped: {j}");
         assert!(j.contains("\"dur\":10.000"));
+    }
+
+    #[test]
+    fn chrome_json_carries_rank_pids_and_lane_metadata() {
+        let mut merged = Timeline::default();
+        for rank in 0..3u32 {
+            let mut t = Timeline::for_rank(rank);
+            t.push(Phase::Forward, 0.0, 1e-3, "f");
+            t.push(Phase::Allreduce, 1e-3, 2e-3, "ar");
+            merged.merge(&t);
+        }
+        let events = merged.to_chrome_events();
+        let parsed = trace::parse_trace(&merged.to_chrome_json()).expect("own JSON parses");
+        assert_eq!(events.len(), parsed.len());
+        let mut pids: Vec<u32> = parsed.iter().filter(|e| e.ph == 'X').map(|e| e.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids, vec![0, 1, 2], "one pid per rank");
+        // Compute and comm land on different tids within a rank.
+        let fwd = parsed.iter().find(|e| e.cat == "FORWARD").expect("fwd");
+        let ar = parsed.iter().find(|e| e.cat == "MPI_ALLREDUCE").expect("ar");
+        assert_eq!(fwd.tid, 0);
+        assert_eq!(ar.tid, 1);
+        // Metadata names every rank row.
+        let metas: Vec<_> = parsed.iter().filter(|e| e.ph == 'M').collect();
+        assert!(metas.iter().any(|m| m.meta_name.as_deref() == Some("rank 2")));
+        assert!(metas.iter().any(|m| m.meta_name.as_deref() == Some("comm")));
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! The critical-path analyzer: turns a multi-rank Chrome trace into
+//! the numbers the paper's tuning argument is made of.
+//!
+//! Everything is computed as **interval unions**, never span sums: a
+//! phase whose spans overlap (64 ranks all inside `MPI_ALLREDUCE` at
+//! once, or nested cycle spans) contributes its covered wall-clock
+//! time exactly once. That is the fix for the old
+//! `Timeline::total` double-counting, and it is what makes
+//! "allreduce fraction of the step" a quantity that can be compared
+//! between configs.
+//!
+//! The analyzer consumes `&[ChromeEvent]` so all three producers
+//! converge on it: the live [`crate::span::TraceRecorder`], the
+//! simulated `horovod::Timeline` (via its Chrome shim), and
+//! [`crate::chrome::parse_trace`] on a trace file read back from disk.
+
+use crate::chrome::ChromeEvent;
+use std::fmt::Write as _;
+
+/// Categories counted as computation.
+pub const COMPUTE_CATS: &[&str] = &["FORWARD", "BACKWARD", "OPTIMIZER"];
+
+/// Categories counted as communication (Horovod phases plus the
+/// executor's wire-level spans).
+pub const COMM_CATS: &[&str] =
+    &["NEGOTIATE_ALLREDUCE", "MEMCPY_IN_FUSION_BUFFER", "MPI_ALLREDUCE", "SEND", "RECV", "RETRY"];
+
+/// Merge `(start, end)` intervals in place and return them sorted and
+/// disjoint.
+fn merged(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|&(s, e)| e > s);
+    iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn union_len(merged: &[(f64, f64)]) -> f64 {
+    merged.iter().map(|&(s, e)| e - s).sum()
+}
+
+/// Total overlap between two merged interval lists.
+fn intersection_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// One phase (category) of the breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    pub cat: String,
+    /// Union of the phase's spans across all ranks — wall-clock time
+    /// during which *some* rank was in this phase.
+    pub busy_us: f64,
+    /// Plain sum of span durations (rank-seconds; ≥ `busy_us`).
+    pub span_sum_us: f64,
+    pub spans: usize,
+}
+
+/// Per-rank attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankStat {
+    pub pid: u32,
+    /// Union of this rank's compute-category spans.
+    pub compute_busy_us: f64,
+    /// Union of this rank's comm-category spans.
+    pub comm_busy_us: f64,
+    /// When this rank's last span ended (relative to trace start).
+    pub finish_us: f64,
+    /// `finish_us` minus the earliest rank's finish — how long the
+    /// others would have waited on this rank at a barrier.
+    pub lateness_us: f64,
+}
+
+/// The analyzer's report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Trace extent: last span end minus first span start.
+    pub wall_us: f64,
+    /// Per-category stats, sorted by `busy_us` descending (name
+    /// breaks ties) — deterministic.
+    pub phases: Vec<PhaseStat>,
+    /// Per-rank stats, sorted by pid.
+    pub ranks: Vec<RankStat>,
+    /// Union of all comm-category spans across ranks.
+    pub comm_busy_us: f64,
+    /// Union of all compute-category spans across ranks.
+    pub compute_busy_us: f64,
+    /// Wall-clock time when comm and compute ran concurrently — the
+    /// overlap Horovod's background cycle exists to create.
+    pub overlap_us: f64,
+    /// The rank with the largest lateness, when there is a spread.
+    pub straggler: Option<u32>,
+}
+
+impl Breakdown {
+    /// Busy time of one category (0 if absent).
+    pub fn phase_busy(&self, cat: &str) -> f64 {
+        self.phases.iter().find(|p| p.cat == cat).map_or(0.0, |p| p.busy_us)
+    }
+
+    /// Busy time of `cat` as a fraction of the trace extent.
+    pub fn phase_fraction(&self, cat: &str) -> f64 {
+        if self.wall_us > 0.0 {
+            self.phase_busy(cat) / self.wall_us
+        } else {
+            0.0
+        }
+    }
+
+    /// The paper's headline number: fraction of the run during which
+    /// some rank sat in `MPI_ALLREDUCE`.
+    pub fn allreduce_fraction(&self) -> f64 {
+        self.phase_fraction("MPI_ALLREDUCE")
+    }
+
+    /// The human-readable breakdown table the experiment binary
+    /// prints.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<26} {:>12} {:>8} {:>8}", "phase", "busy (ms)", "% wall", "spans");
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>12.3} {:>7.1}% {:>8}",
+                p.cat,
+                p.busy_us / 1e3,
+                100.0 * self.phase_fraction(&p.cat),
+                p.spans,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "wall {:.3} ms | comm busy {:.3} ms | compute busy {:.3} ms | overlap {:.3} ms",
+            self.wall_us / 1e3,
+            self.comm_busy_us / 1e3,
+            self.compute_busy_us / 1e3,
+            self.overlap_us / 1e3,
+        );
+        for r in &self.ranks {
+            let _ = writeln!(
+                out,
+                "rank {:<3} compute {:>10.3} ms  comm {:>10.3} ms  finish {:>10.3} ms  late {:>8.3} ms{}",
+                r.pid,
+                r.compute_busy_us / 1e3,
+                r.comm_busy_us / 1e3,
+                r.finish_us / 1e3,
+                r.lateness_us / 1e3,
+                if self.straggler == Some(r.pid) { "  <- straggler" } else { "" },
+            );
+        }
+        out
+    }
+}
+
+/// Analyze a Chrome trace. Only complete (`ph == 'X'`) events are
+/// considered; timestamps are shifted so the trace starts at 0.
+pub fn analyze(events: &[ChromeEvent]) -> Breakdown {
+    let spans: Vec<&ChromeEvent> = events.iter().filter(|e| e.ph == 'X').collect();
+    if spans.is_empty() {
+        return Breakdown {
+            wall_us: 0.0,
+            phases: Vec::new(),
+            ranks: Vec::new(),
+            comm_busy_us: 0.0,
+            compute_busy_us: 0.0,
+            overlap_us: 0.0,
+            straggler: None,
+        };
+    }
+    let t0 = spans.iter().map(|e| e.ts_us).fold(f64::INFINITY, f64::min);
+    let t_end = spans.iter().map(|e| e.ts_us + e.dur_us).fold(f64::NEG_INFINITY, f64::max);
+
+    // Per-category intervals (global) and per-rank comm/compute.
+    // (category, intervals, span-duration sum, span count) per cat.
+    type CatAcc = (String, Vec<(f64, f64)>, f64, usize);
+    let mut cats: Vec<CatAcc> = Vec::new();
+    let mut rank_ids: Vec<u32> = spans.iter().map(|e| e.pid).collect();
+    rank_ids.sort_unstable();
+    rank_ids.dedup();
+    let mut rank_comm: Vec<Vec<(f64, f64)>> = vec![Vec::new(); rank_ids.len()];
+    let mut rank_compute: Vec<Vec<(f64, f64)>> = vec![Vec::new(); rank_ids.len()];
+    let mut rank_finish: Vec<f64> = vec![0.0; rank_ids.len()];
+
+    for e in &spans {
+        let (s, end) = (e.ts_us - t0, e.ts_us - t0 + e.dur_us);
+        match cats.iter_mut().find(|(c, ..)| *c == e.cat) {
+            Some((_, iv, sum, n)) => {
+                iv.push((s, end));
+                *sum += e.dur_us;
+                *n += 1;
+            }
+            None => cats.push((e.cat.clone(), vec![(s, end)], e.dur_us, 1)),
+        }
+        let r = rank_ids.binary_search(&e.pid).unwrap_or(0);
+        if COMM_CATS.contains(&e.cat.as_str()) {
+            rank_comm[r].push((s, end));
+        } else if COMPUTE_CATS.contains(&e.cat.as_str()) {
+            rank_compute[r].push((s, end));
+        }
+        rank_finish[r] = rank_finish[r].max(end);
+    }
+
+    let mut phases: Vec<PhaseStat> = cats
+        .into_iter()
+        .map(|(cat, iv, span_sum_us, spans)| PhaseStat {
+            cat,
+            busy_us: union_len(&merged(iv)),
+            span_sum_us,
+            spans,
+        })
+        .collect();
+    phases.sort_by(|a, b| {
+        b.busy_us
+            .partial_cmp(&a.busy_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cat.cmp(&b.cat))
+    });
+
+    // Global comm/compute unions and their overlap.
+    let all_comm = merged(rank_comm.iter().flatten().copied().collect());
+    let all_compute = merged(rank_compute.iter().flatten().copied().collect());
+    let overlap_us = intersection_len(&all_comm, &all_compute);
+
+    let min_finish = rank_finish.iter().copied().fold(f64::INFINITY, f64::min);
+    let ranks: Vec<RankStat> = rank_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &pid)| RankStat {
+            pid,
+            compute_busy_us: union_len(&merged(rank_compute[i].clone())),
+            comm_busy_us: union_len(&merged(rank_comm[i].clone())),
+            finish_us: rank_finish[i],
+            lateness_us: rank_finish[i] - min_finish,
+        })
+        .collect();
+    let straggler = ranks
+        .iter()
+        .max_by(|a, b| {
+            a.lateness_us.partial_cmp(&b.lateness_us).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .filter(|r| r.lateness_us > 0.0)
+        .map(|r| r.pid);
+
+    Breakdown {
+        wall_us: t_end - t0,
+        phases,
+        ranks,
+        comm_busy_us: union_len(&all_comm),
+        compute_busy_us: union_len(&all_compute),
+        overlap_us,
+        straggler,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::ChromeEvent;
+
+    fn span(cat: &str, ts: f64, dur: f64, pid: u32) -> ChromeEvent {
+        ChromeEvent::complete("s", cat, ts, dur, pid, 0)
+    }
+
+    #[test]
+    fn busy_time_is_union_not_sum() {
+        // Two overlapping allreduce spans on different ranks: 0-10 and
+        // 5-15 cover 15 µs of wall clock, not 20.
+        let b =
+            analyze(&[span("MPI_ALLREDUCE", 0.0, 10.0, 0), span("MPI_ALLREDUCE", 5.0, 10.0, 1)]);
+        let p = &b.phases[0];
+        assert!((p.busy_us - 15.0).abs() < 1e-9);
+        assert!((p.span_sum_us - 20.0).abs() < 1e-9);
+        assert_eq!(p.spans, 2);
+        assert!((b.allreduce_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_counts_concurrent_comm_and_compute() {
+        // Compute 0-10, comm 6-16 → 4 µs of overlap.
+        let b = analyze(&[span("FORWARD", 0.0, 10.0, 0), span("MPI_ALLREDUCE", 6.0, 10.0, 0)]);
+        assert!((b.overlap_us - 4.0).abs() < 1e-9);
+        assert!((b.comm_busy_us - 10.0).abs() < 1e-9);
+        assert!((b.compute_busy_us - 10.0).abs() < 1e-9);
+        assert!((b.wall_us - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straggler_is_the_latest_finishing_rank() {
+        let b = analyze(&[
+            span("FORWARD", 0.0, 10.0, 0),
+            span("FORWARD", 0.0, 10.0, 1),
+            span("FORWARD", 0.0, 17.0, 2),
+        ]);
+        assert_eq!(b.straggler, Some(2));
+        let r2 = b.ranks.iter().find(|r| r.pid == 2).expect("rank 2");
+        assert!((r2.lateness_us - 7.0).abs() < 1e-9);
+        // Identical finishes → no straggler.
+        let even = analyze(&[span("FORWARD", 0.0, 5.0, 0), span("FORWARD", 0.0, 5.0, 1)]);
+        assert_eq!(even.straggler, None);
+    }
+
+    #[test]
+    fn metadata_events_are_ignored_and_empty_is_zero() {
+        let b = analyze(&[crate::chrome::metadata_process_name(0, "rank 0")]);
+        assert_eq!(b.wall_us, 0.0);
+        assert!(b.phases.is_empty() && b.ranks.is_empty());
+    }
+
+    #[test]
+    fn table_renders_every_phase_and_rank() {
+        let b = analyze(&[span("FORWARD", 0.0, 10.0, 0), span("MPI_ALLREDUCE", 10.0, 5.0, 1)]);
+        let t = b.table();
+        assert!(t.contains("FORWARD") && t.contains("MPI_ALLREDUCE"), "{t}");
+        assert!(t.contains("rank 0") && t.contains("rank 1"), "{t}");
+        assert!(t.contains("% wall"), "{t}");
+    }
+}

@@ -1,0 +1,53 @@
+//! The observability layer of the Summit DLv3+ reproduction.
+//!
+//! The paper's whole methodology is *observe, then tune*: Anthony et
+//! al. diagnose why default DLv3+ scaling is poor by reading the
+//! Horovod timeline, then prove the tuning gain by watching the
+//! allreduce fraction shrink. This crate is the corresponding layer
+//! here — three pieces, deliberately dependency-free so every other
+//! crate can use them:
+//!
+//! * [`span`] — a low-overhead span recorder. Lanes are keyed by
+//!   `(pid, tid)` exactly as Chrome-trace wants them (rank → pid,
+//!   executor thread → tid); each lane records into a **preallocated
+//!   ring buffer**, so recording on the hot path performs zero heap
+//!   allocation (the counting-allocator test in
+//!   `trainer/tests/zero_alloc.rs` proves it with the recorder
+//!   enabled).
+//! * [`metrics`] — a metrics registry: monotonic counters, f64 gauges,
+//!   and log2-bucketed histograms, all behind atomics, with
+//!   deterministic snapshots plus Prometheus-style text and JSON
+//!   exposition.
+//! * [`critical_path`] — an analyzer that consumes a multi-rank trace
+//!   and reports per-phase **busy time** (interval union, not span
+//!   sum), communication/computation overlap, and per-rank straggler
+//!   attribution.
+//!
+//! [`chrome`] holds the shared Chrome-trace JSON emitter and a small
+//! parser used by the round-trip tests; `horovod::Timeline`'s
+//! `to_chrome_json` is a thin shim over it.
+
+pub mod chrome;
+pub mod critical_path;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::{parse_trace, write_trace, ChromeEvent, ParseError};
+pub use critical_path::{analyze, Breakdown, PhaseStat, RankStat, COMM_CATS, COMPUTE_CATS};
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use span::{Lane, LaneSnapshot, SpanRec, TraceRecorder, TraceSnapshot};
+
+/// A recorder + registry bundle: everything one traced run shares.
+/// Cheap to share via `Arc` between the driver and the instrumented
+/// layers (the trainer's `TrainConfig::trace` holds one).
+#[derive(Debug, Default)]
+pub struct TraceSession {
+    pub recorder: TraceRecorder,
+    pub registry: Registry,
+}
+
+impl TraceSession {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

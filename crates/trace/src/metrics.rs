@@ -1,0 +1,425 @@
+//! The metrics registry: counters, gauges, and log2-bucketed
+//! histograms behind atomics, with deterministic snapshots and
+//! Prometheus-style text / JSON exposition.
+//!
+//! Instruments are created through [`Registry::counter`] /
+//! [`Registry::gauge`] / [`Registry::histogram`] (get-or-create by
+//! name, so independent layers naming the same metric share one
+//! instrument) and updated lock-free: counters and histogram buckets
+//! are `AtomicU64` adds, gauges and histogram sums store f64 bit
+//! patterns with a CAS loop. Updating never allocates; only
+//! registration and snapshotting do.
+//!
+//! Histogram buckets are powers of two: a dedicated zero bucket, an
+//! underflow bucket for values at or below 2^-30 (subnormals land
+//! here), one bucket per binade up to 2^33 (~8.6e9 — microseconds for
+//! over two hours), and an overflow bucket. Bucketing is exact bit
+//! arithmetic on the f64, not `log2`, so boundary values land
+//! deterministically.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    // lint: hot-path
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // lint: hot-path
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable f64 gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    // lint: hot-path
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    // lint: hot-path
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Lowest binade exponent with its own bucket: values `<= 2^MIN_EXP`
+/// (including subnormals) share the underflow bucket.
+pub const MIN_EXP: i32 = -30;
+/// Highest binade exponent: values `> 2^MAX_EXP` go to overflow.
+pub const MAX_EXP: i32 = 33;
+/// zero + underflow + one per binade in (MIN_EXP, MAX_EXP] + overflow.
+pub const BUCKETS: usize = 2 + (MAX_EXP - MIN_EXP) as usize + 1;
+
+/// A histogram over power-of-two buckets (see the module docs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Which bucket `v` falls in. Exact bit arithmetic: for finite
+/// positive `v`, the bucket upper bound is the smallest `2^e >= v`.
+/// Negative values clamp into the zero bucket (durations cannot be
+/// negative; a negative observation is a caller bug we keep visible
+/// rather than panicking over). NaN and +inf go to overflow.
+pub fn bucket_for(v: f64) -> usize {
+    if v.is_nan() || v.is_infinite() {
+        return BUCKETS - 1;
+    }
+    if v <= 0.0 {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let biased = (bits >> 52) & 0x7ff;
+    if biased == 0 {
+        // Subnormal: far below 2^MIN_EXP.
+        return 1;
+    }
+    let exp = biased as i32 - 1023;
+    let mantissa = bits & ((1u64 << 52) - 1);
+    // Smallest e with v <= 2^e: exact powers of two sit at their own
+    // exponent; everything else rounds up one binade.
+    let e = if mantissa == 0 { exp } else { exp + 1 };
+    if e <= MIN_EXP {
+        1
+    } else if e > MAX_EXP {
+        BUCKETS - 1
+    } else {
+        1 + (e - MIN_EXP) as usize
+    }
+}
+
+/// Upper bound (`le`) of bucket `i`; `f64::INFINITY` for overflow.
+pub fn bucket_le(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else if i >= BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        2f64.powi(MIN_EXP + i as i32 - 1)
+    }
+}
+
+impl Histogram {
+    // lint: hot-path
+    pub fn observe(&self, v: f64) {
+        self.buckets[bucket_for(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets, count: self.count(), sum: self.sum() }
+    }
+}
+
+/// A frozen histogram: raw per-bucket counts (not cumulative).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// `(le, cumulative_count)` rows, truncated after the highest
+    /// non-empty bucket, always ending with the `+Inf` row — the shape
+    /// both expositions print (truncation keeps golden snapshots
+    /// stable as the bucket range grows).
+    pub fn cumulative_rows(&self) -> Vec<(f64, u64)> {
+        let last_used = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let stop = last_used.min(BUCKETS - 2);
+        let mut rows = Vec::with_capacity(stop + 2);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate().take(stop + 1) {
+            cum += c;
+            rows.push((bucket_le(i), cum));
+        }
+        rows.push((f64::INFINITY, self.count));
+        rows
+    }
+}
+
+/// A frozen, name-sorted copy of every instrument.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// `le` labels: exact integers for the binades that have them,
+/// exponent notation below 1 — deterministic either way.
+fn fmt_le(le: f64) -> String {
+    if le.is_infinite() {
+        "+Inf".to_string()
+    } else if le >= 1.0 && le <= 2f64.powi(33) {
+        format!("{}", le as u64)
+    } else {
+        format!("{le:e}")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Prometheus-style text exposition.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (le, cum) in h.cumulative_rows() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", fmt_le(le));
+            }
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+        }
+        out
+    }
+
+    /// JSON exposition (same content, machine-readable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ =
+                write!(out, "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[", h.count, h.sum);
+            for (j, (le, cum)) in h.cumulative_rows().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[\"{}\",{cum}]", fmt_le(*le));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// The instrument registry: get-or-create by name, deterministic
+/// (name-sorted) snapshots.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock(&self.counters);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock(&self.gauges);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock(&self.histograms);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Freeze every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters).iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: lock(&self.gauges).iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("steps_total");
+        c.inc();
+        c.add(4);
+        // Same name → same instrument.
+        assert_eq!(reg.counter("steps_total").get(), 5);
+        let g = reg.gauge("loss");
+        g.set(2.5);
+        g.add(-0.5);
+        assert!((reg.gauge("loss").get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_for_covers_boundaries() {
+        // Zero and negatives → the zero bucket.
+        assert_eq!(bucket_for(0.0), 0);
+        assert_eq!(bucket_for(-0.0), 0);
+        assert_eq!(bucket_for(-3.0), 0);
+        // Subnormals and anything at or below 2^MIN_EXP → underflow.
+        assert_eq!(bucket_for(f64::from_bits(1)), 1);
+        assert_eq!(bucket_for(2f64.powi(MIN_EXP)), 1);
+        assert_eq!(bucket_for(f64::MIN_POSITIVE), 1);
+        // Just above the underflow bound → first binade bucket.
+        assert_eq!(bucket_for(2f64.powi(MIN_EXP) * 1.0000001), 2);
+        // Exact powers of two sit at their own exponent's bucket.
+        assert_eq!(bucket_for(1.0), 1 + (0 - MIN_EXP) as usize);
+        assert_eq!(bucket_for(2.0), 1 + (1 - MIN_EXP) as usize);
+        assert_eq!(bucket_for(1.5), 1 + (1 - MIN_EXP) as usize);
+        // The top binade is inclusive; past it (and inf/NaN) overflow.
+        assert_eq!(bucket_for(2f64.powi(MAX_EXP)), BUCKETS - 2);
+        assert_eq!(bucket_for(2f64.powi(MAX_EXP) * 1.01), BUCKETS - 1);
+        assert_eq!(bucket_for(f64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_for(f64::INFINITY), BUCKETS - 1);
+        assert_eq!(bucket_for(f64::NAN), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_le_matches_bucket_for() {
+        // Every finite observation lands in a bucket whose le bounds it.
+        for v in [0.0, 1e-12, 0.3, 1.0, 7.0, 1024.0, 8.5e9, 1e300] {
+            let i = bucket_for(v);
+            assert!(v <= bucket_le(i), "v={v} le={}", bucket_le(i));
+            if i > 0 && v > 0.0 {
+                assert!(v > bucket_le(i - 1) || i == 1, "v={v} should exceed previous le");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let h = Histogram::default();
+        for v in [0.0, 0.5, 1.0, 3.0, 1e12] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - (0.0 + 0.5 + 1.0 + 3.0 + 1e12)).abs() < 1.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 5);
+        // Cumulative rows end at +Inf with the total count.
+        let rows = snap.cumulative_rows();
+        let (le, cum) = rows[rows.len() - 1];
+        assert!(le.is_infinite());
+        assert_eq!(cum, 5);
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_sorted() {
+        let reg = Registry::new();
+        reg.counter("zz").inc();
+        reg.counter("aa").add(2);
+        reg.gauge("mid").set(1.5);
+        reg.histogram("lat_us").observe(3.0);
+        let a = reg.snapshot().to_prometheus_text();
+        let b = reg.snapshot().to_prometheus_text();
+        assert_eq!(a, b);
+        let aa = a.find("aa 2").expect("aa present");
+        let zz = a.find("zz 1").expect("zz present");
+        assert!(aa < zz, "name-sorted exposition");
+        assert!(a.contains("lat_us_bucket{le=\"4\"}"), "{a}");
+        assert!(a.contains("lat_us_bucket{le=\"+Inf\"} 1"), "{a}");
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"aa\":2") && json.contains("\"lat_us\""), "{json}");
+    }
+}

@@ -10,12 +10,17 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
-use collectives::{Algorithm, ElasticAllreduce, ElasticError, FaultSession, ReduceOp, Violation};
+use collectives::{
+    Algorithm, ElasticAllreduce, ElasticError, ExecTrace, FaultSession, ReduceOp, Violation,
+};
 use faults::{FaultEvent, FaultPlan, RetryPolicy};
 use rayon::prelude::*;
 use summit_metrics::rng::derive_seed;
 use summit_metrics::{FaultCounterSnapshot, FaultCounters};
+use trace::{Lane, TraceSession};
 
 use super::checkpoint::{Checkpoint, CheckpointError};
 use super::miou::Confusion;
@@ -123,6 +128,13 @@ pub struct TrainConfig {
     pub faults: Option<FaultToleranceConfig>,
     /// Checkpoint/restart (`None` ⇒ never saved, never resumed).
     pub checkpoint: Option<CheckpointConfig>,
+    /// Observability session (`None` ⇒ nothing is recorded anywhere).
+    /// Shared by `Arc`: the caller keeps the same recorder/registry the
+    /// workers write, and reads traces/metrics out after (or during)
+    /// the run. Recording is allocation-free in the steady state — the
+    /// counting-allocator proof in `tests/zero_alloc.rs` covers the
+    /// recorder enabled.
+    pub trace: Option<Arc<TraceSession>>,
 }
 
 impl TrainConfig {
@@ -156,6 +168,7 @@ impl TrainConfig {
             seed: 42,
             faults: None,
             checkpoint: None,
+            trace: None,
         }
     }
 
@@ -249,13 +262,22 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
     cfg.check();
     let n_params = cfg.net.n_params();
 
+    // Comm lanes are keyed by ORIGINAL worker id (one per configured
+    // worker, rank → Chrome pid), so the attribution survives elastic
+    // renumbering after deaths, exactly like data sharding does.
+    let all_ids: Vec<usize> = (0..cfg.workers).collect();
+    let comm_trace: Option<ExecTrace> =
+        cfg.trace.as_ref().map(|ts| ExecTrace::comm(&ts.recorder, &all_ids));
+
     let session: Option<FaultSession> = cfg.faults.as_ref().map(|f| {
-        let s = FaultSession::new(f.plan.clone()).with_policy(f.policy);
+        let mut s = FaultSession::new(f.plan.clone()).with_policy(f.policy);
         if f.real_delays {
-            s.with_real_delays()
-        } else {
-            s
+            s = s.with_real_delays();
         }
+        if let Some(t) = &comm_trace {
+            s = s.with_trace(t.clone());
+        }
+        s
     });
 
     // Resume: the checkpoint dictates the starting step and the live
@@ -310,6 +332,10 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
         opt: MomentumSgd,
         bw: BatchWorkspace,
         loss: f64,
+        /// Compute lane (pid = original id, tid 0); the lane handle is
+        /// resolved once here so the per-step recording never touches
+        /// the recorder's registry.
+        lane: Option<Lane>,
     }
     let mut workers: Vec<WorkerState> = live
         .iter()
@@ -319,6 +345,10 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
             opt: MomentumSgd::new(lr, cfg.momentum, n_params).with_weight_decay(cfg.weight_decay),
             bw: BatchWorkspace::new(&cfg.net),
             loss: 0.0,
+            lane: cfg
+                .trace
+                .as_ref()
+                .map(|ts| ts.recorder.lane(id as u32, 0, &format!("rank {id}"), "compute")),
         })
         .collect();
     if let Some(ck) = &resume_from {
@@ -341,11 +371,25 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
         ElasticError::Rejected(v) => TrainError::Verification(v),
         other => TrainError::Elastic(other),
     })?;
+    if let Some(t) = &comm_trace {
+        ela.set_trace(t.clone());
+    }
+    // Metric handles are resolved once: per-step updates are pure
+    // atomics, no registry lookups (and no allocation) on the hot path.
+    let metrics = cfg.trace.as_ref().map(|ts| {
+        (
+            ts.registry.counter("train_steps_total"),
+            ts.registry.histogram("train_step_seconds"),
+            ts.registry.histogram("train_allreduce_seconds"),
+            ts.registry.gauge("train_last_loss"),
+        )
+    });
 
     let mut curve = Vec::new();
     let mut step_losses = Vec::with_capacity(cfg.steps - start_step);
     let mut last_loss = f64::NAN;
     for step in start_step..cfg.steps {
+        let step_t0 = Instant::now();
         if let Some(s) = &session {
             s.begin_step(step);
         }
@@ -358,6 +402,7 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
         // data stream no matter who else has died.
         let micro = cfg.workers * cfg.batch_per_worker;
         workers.par_iter_mut().zip(grads.par_iter_mut()).for_each(|(state, acc)| {
+            let t0 = state.lane.as_ref().map(Lane::now_us);
             // Accumulate over micro-batches before communicating.
             let mut loss_sum = 0.0f64;
             acc.fill(0.0);
@@ -377,6 +422,18 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
             let inv = 1.0 / cfg.accumulation_steps as f32;
             acc.iter_mut().for_each(|a| *a *= inv);
             state.loss = loss_sum / cfg.accumulation_steps as f64;
+            if let (Some(l), Some(t0)) = (state.lane.as_ref(), t0) {
+                // Forward and backward are fused in batch_loss_grad_ws,
+                // so one span covers both halves of the compute phase.
+                l.record_args(
+                    "BACKWARD",
+                    "forward+backward",
+                    t0,
+                    l.now_us() - t0,
+                    step as u64,
+                    cfg.accumulation_steps as u64,
+                );
+            }
         });
         last_loss = workers.iter().map(|s| s.loss).sum::<f64>() / workers.len() as f64;
         if cfg.fp16_gradients {
@@ -390,9 +447,13 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
         // Without a fault session this is the plain zero-overhead
         // executor; with one, drops/corruptions are recovered and rank
         // deaths degrade the topology onto the survivors.
+        let ar_t0 = Instant::now();
         let report = ela
             .allreduce(&mut grads, ReduceOp::Average, session.as_ref())
             .map_err(TrainError::Elastic)?;
+        if let Some((_, _, ar_hist, _)) = &metrics {
+            ar_hist.observe(ar_t0.elapsed().as_secs_f64());
+        }
         if report.degraded() {
             // The elastic layer already removed the dead ranks' gradient
             // buffers; drop the matching worker replicas.
@@ -401,13 +462,18 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
         }
 
         workers.par_iter_mut().zip(grads.par_iter()).for_each(|(state, grad)| {
+            let t0 = state.lane.as_ref().map(Lane::now_us);
             state.opt.apply(state.net.params_mut(), grad);
+            if let (Some(l), Some(t0)) = (state.lane.as_ref(), t0) {
+                l.record_args("OPTIMIZER", "apply", t0, l.now_us() - t0, step as u64, 0);
+            }
         });
         step_losses.push(last_loss);
 
         let mut halt = false;
         if let Some(ck_cfg) = &cfg.checkpoint {
             if ck_cfg.every > 0 && (step + 1) % ck_cfg.every == 0 {
+                let ck_t0 = workers[0].lane.as_ref().map(Lane::now_us);
                 let ck = Checkpoint {
                     step: step + 1,
                     live: workers.iter().map(|w| w.id).collect(),
@@ -416,6 +482,9 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
                     velocity: workers[0].opt.velocity().to_vec(),
                 };
                 ck.save(&ck_cfg.path).map_err(TrainError::Checkpoint)?;
+                if let (Some(l), Some(t0)) = (workers[0].lane.as_ref(), ck_t0) {
+                    l.record_args("CHECKPOINT", "save", t0, l.now_us() - t0, (step + 1) as u64, 0);
+                }
                 if let Some(s) = &session {
                     FaultCounters::bump(&s.counters().checkpoint_saves);
                     s.events().push(FaultEvent::CheckpointSave { step: step + 1 });
@@ -432,6 +501,11 @@ pub fn try_train(cfg: &TrainConfig) -> Result<TrainResult, TrainError> {
                 miou: conf.miou(),
                 pixel_accuracy: conf.pixel_accuracy(),
             });
+        }
+        if let Some((steps_total, step_hist, _, loss_gauge)) = &metrics {
+            steps_total.inc();
+            step_hist.observe(step_t0.elapsed().as_secs_f64());
+            loss_gauge.set(last_loss);
         }
         if halt {
             break;
@@ -502,6 +576,7 @@ mod tests {
             seed: 42,
             faults: None,
             checkpoint: None,
+            trace: None,
         }
     }
 
@@ -672,6 +747,32 @@ mod tests {
         let eval_seed = derive_seed(cfg.seed, "eval");
         let eval_sample = generate(&cfg.data, eval_seed, 0);
         assert_ne!(train_sample.labels, eval_sample.labels);
+    }
+
+    #[test]
+    fn traced_run_records_spans_and_metrics() {
+        let mut cfg = tiny(2, 4);
+        let ts = Arc::new(TraceSession::new());
+        cfg.trace = Some(ts.clone());
+        let traced = train(&cfg);
+        // Observability is read-only: the result is bit-identical to an
+        // untraced run.
+        let plain = train(&tiny(2, 4));
+        assert_eq!(traced.final_params, plain.final_params);
+
+        let events = ts.recorder.to_chrome_events();
+        let mut pids: Vec<u32> = events.iter().filter(|e| e.ph == 'X').map(|e| e.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids, vec![0, 1], "one pid per worker");
+        for cat in ["BACKWARD", "OPTIMIZER", "SEND", "RECV"] {
+            assert!(events.iter().any(|e| e.cat == cat), "missing {cat} spans");
+        }
+        let m = ts.registry.snapshot();
+        assert!(m.counters.contains(&("train_steps_total".to_string(), 4)));
+        let (_, step_hist) =
+            m.histograms.iter().find(|(n, _)| n == "train_step_seconds").expect("hist");
+        assert_eq!(step_hist.count, 4);
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn tiny(workers: usize, steps: usize) -> TrainConfig {
         seed: 42,
         faults: None,
         checkpoint: None,
+        trace: None,
     }
 }
 

@@ -68,6 +68,30 @@ fn hot_gradient_path_is_allocation_free() {
     assert!(loss.is_finite());
     assert_eq!(n, 0, "loss_grad_acc allocated {n} times over 16 samples");
 
+    // --- enabled trace recorder + metrics on the hot path -----------
+    // The observability layer must not reintroduce allocation: lanes
+    // record into preallocated ring buffers, metric cells are resolved
+    // up front and updated with atomics.
+    let session = trace::TraceSession::new();
+    let lane = session.recorder.lane(0, 0, "rank 0", "compute");
+    let steps = session.registry.counter("train_steps_total");
+    let hist = session.registry.histogram("train_step_seconds");
+    // Warm-up creates nothing lazily, but keep symmetry with the rest.
+    lane.record_args("BACKWARD", "forward+backward", lane.now_us(), 1.0, 0, 1);
+    let n = count_allocs(|| {
+        for s in &batch {
+            let t0 = lane.now_us();
+            grad.fill(0.0);
+            loss += net.loss_grad_acc(s, &mut ws, &mut grad);
+            lane.record_args("BACKWARD", "forward+backward", t0, lane.now_us() - t0, 0, 1);
+            hist.observe(1e-3);
+            steps.inc();
+        }
+    });
+    assert_eq!(n, 0, "recording spans+metrics allocated {n} times over 16 samples");
+    assert!(lane.recorded() >= batch.len(), "spans actually landed in the ring");
+    assert_eq!(steps.get(), batch.len() as u64);
+
     // --- batch path -------------------------------------------------
     let mut bw = BatchWorkspace::new(&cfg);
     let _ = net.batch_loss_grad_ws(&batch, &mut bw);

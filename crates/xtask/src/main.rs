@@ -19,7 +19,11 @@
 //!    paths accumulate in `f32` exactly like the GPU kernels they
 //!    model, and a stray widening would silently change every
 //!    fingerprinted result.
-//! 4. **sleep-ban** — no bare `thread::sleep` in library code: every
+//! 4. **hot-path-dyn-trace** — inside a `// lint: hot-path` fn,
+//!    instrumentation must use the span recorder's no-alloc API
+//!    (`Lane::record` / `record_args`, `&'static str` names); the
+//!    allocating `record_dyn(` escape hatch is banned there.
+//! 5. **sleep-ban** — no bare `thread::sleep` in library code: every
 //!    delay must go through `faults::FaultClock`, so chaos runs can be
 //!    replayed on a virtual clock. The one sanctioned site (the clock
 //!    itself) carries a same-line waiver
@@ -274,6 +278,16 @@ fn lint_file(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) 
                         });
                     }
                 }
+                if code.contains("record_dyn(") {
+                    findings.push(Finding {
+                        path: rel.clone(),
+                        line: line_no,
+                        rule: "hot-path-dyn-trace",
+                        detail: "allocating `record_dyn(` in a `// lint: hot-path` fn; \
+                                 use `record`/`record_args` with static names"
+                            .to_string(),
+                    });
+                }
             }
             if no_f64 && code.contains("f64") {
                 findings.push(Finding {
@@ -402,4 +416,91 @@ fn strip_comments_and_strings(line: &str) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings_for(src: &str) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        lint_file(Path::new("x.rs"), src, Path::new("."), &mut out);
+        out.into_iter().map(|f| (f.rule.to_string(), f.line)).collect()
+    }
+
+    #[test]
+    fn record_dyn_is_banned_in_hot_path_fns() {
+        let src = "\
+// lint: hot-path
+fn step(lane: &Lane) {
+    lane.record_dyn(\"CAT\", &name, t0, dur);
+}
+";
+        assert_eq!(findings_for(src), vec![("hot-path-dyn-trace".to_string(), 3)]);
+    }
+
+    #[test]
+    fn static_recorder_api_passes_the_hot_path_rule() {
+        let src = "\
+// lint: hot-path
+fn step(lane: &Lane) {
+    lane.record_args(\"CAT\", \"name\", t0, dur, 0, 1);
+    lane.record(\"CAT\", \"name\", t0, dur);
+}
+";
+        assert!(findings_for(src).is_empty());
+    }
+
+    #[test]
+    fn record_dyn_is_allowed_on_cold_paths() {
+        let src = "\
+fn replay(lane: &Lane) {
+    lane.record_dyn(\"CAT\", &name, t0, dur);
+}
+";
+        assert!(findings_for(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_marker_covers_only_the_next_fn() {
+        let src = "\
+// lint: hot-path
+fn hot(lane: &Lane) {
+    lane.record_args(\"CAT\", \"name\", t0, dur, 0, 1);
+}
+
+fn cold(lane: &Lane) {
+    lane.record_dyn(\"CAT\", &name, t0, dur);
+    let v = Vec::new();
+}
+";
+        assert!(findings_for(src).is_empty());
+    }
+
+    #[test]
+    fn alloc_tokens_still_fire_alongside_the_dyn_rule() {
+        let src = "\
+// lint: hot-path
+fn step(lane: &Lane) {
+    lane.record_dyn(\"CAT\", &format!(\"x{i}\"), t0, dur);
+}
+";
+        let rules: Vec<String> = findings_for(src).into_iter().map(|(r, _)| r).collect();
+        assert!(rules.contains(&"hot-path-alloc".to_string()), "{rules:?}");
+        assert!(rules.contains(&"hot-path-dyn-trace".to_string()), "{rules:?}");
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt_from_hot_path_rules() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    // lint: hot-path
+    fn helper(lane: &Lane) {
+        lane.record_dyn(\"CAT\", &name, t0, dur);
+    }
+}
+";
+        assert!(findings_for(src).is_empty());
+    }
 }

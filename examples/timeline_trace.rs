@@ -21,22 +21,32 @@ fn main() {
         48,
         42,
     );
+    let (step, per_rank) = sim.simulate_step_per_rank(0);
     let mut timeline = Timeline::default();
-    let step = sim.simulate_step(0, Some(&mut timeline));
+    for tl in &per_rank {
+        timeline.merge(tl);
+    }
 
     println!("one step at 48 GPUs — {:.1} ms total", step.step_time * 1e3);
-    println!("{}", timeline.render_text());
+    println!("{}", per_rank[0].render_text());
     use summit_dlv3_repro::horovod::Phase;
     for phase in
         [Phase::Forward, Phase::Backward, Phase::Negotiate, Phase::FusionCopy, Phase::Allreduce]
     {
+        // busy = interval union across all 48 ranks (wall-clock); the
+        // plain sum counts every rank's mirrored span separately.
         println!(
-            "  {:<26} {:>4} spans  {:>9.2} ms total",
+            "  {:<26} {:>5} spans  {:>9.2} ms busy  ({:>9.1} rank-ms summed)",
             phase.name(),
             timeline.count(phase),
+            timeline.busy_time(phase) * 1e3,
             timeline.total(phase) * 1e3
         );
     }
+    println!(
+        "  allreduce fraction of step: {:.1} %",
+        100.0 * timeline.busy_time(Phase::Allreduce) / step.step_time
+    );
 
     let json = timeline.to_chrome_json();
     std::fs::write("horovod_timeline.json", &json).expect("write trace");

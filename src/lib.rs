@@ -19,6 +19,7 @@
 //! | [`trainer`] | simulated scaling sweeps + a real numerical data-parallel trainer (synthetic segmentation, from-scratch conv net, real gradient allreduce) |
 //! | [`tuner`] | the paper's contribution: knob space, grid sweep, coordinate descent |
 //! | [`summit_metrics`] | stats, units, scaling math, report rendering |
+//! | [`trace`] | observability: per-rank span recorder, metrics registry, Chrome-trace emitter/parser, critical-path analyzer |
 //!
 //! Every table/figure has a regenerating binary in `crates/bench`
 //! (`cargo run -p bench --bin f6_tuned_vs_default --release`, etc.);
@@ -51,6 +52,7 @@ pub use horovod;
 pub use mpi_profiles;
 pub use summit_metrics;
 pub use summit_sim;
+pub use trace;
 pub use trainer;
 pub use tuner;
 

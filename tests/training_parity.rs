@@ -30,6 +30,7 @@ fn cfg(workers: usize, batch_per_worker: usize, steps: usize) -> TrainConfig {
         seed: 2020,
         faults: None,
         checkpoint: None,
+        trace: None,
     }
 }
 
