@@ -42,6 +42,7 @@ fn bench_forward(c: &mut Criterion) {
                     &bias,
                     k,
                     cout,
+                    false,
                     &mut cols,
                     &mut out,
                 );
@@ -78,7 +79,7 @@ fn bench_backward(c: &mut Criterion) {
         let dout: Vec<f32> = (0..cout * npix).map(det).collect();
         let mut cols = vec![0.0f32; im2col_len(cin, k, npix)];
         let mut out = vec![0.0f32; cout * npix];
-        conv_forward(&input, cin, h, w, &weights, &bias, k, cout, &mut cols, &mut out);
+        conv_forward(&input, cin, h, w, &weights, &bias, k, cout, false, &mut cols, &mut out);
         let mut dcols = vec![0.0f32; cols.len()];
         let mut dw = vec![0.0f32; weights.len()];
         let mut db = vec![0.0f32; cout];

@@ -74,6 +74,7 @@ fn main() {
             weight_decay: 0.0,
             accumulation_steps: 1,
             algo: Algorithm::Ring,
+            pipeline: false,
             fp16_gradients: fp16,
             augment: false,
             eval_every: 0,

@@ -1,24 +1,43 @@
-//! BENCH_step: measures single-worker training-step throughput of the
-//! optimized zero-allocation gradient path against the retained naive
-//! reference, in the same process and run, and writes `BENCH_step.json`.
+//! BENCH_step: measures training-step throughput and tracks it across
+//! PRs in `BENCH_step.json`.
 //!
-//! Reported per variant: images/s, ns per step (one step = one batch of
-//! `BATCH` samples), and heap allocation events per step counted by a
-//! `#[global_allocator]` wrapper.
+//! Three variant families run in one process:
+//!
+//! * `naive_reference` — the retained pre-optimization per-sample path
+//!   (allocates, scalar).
+//! * `optimized_workspace` — the zero-allocation single-thread batch
+//!   path over the SIMD kernels. This is the key the regression gate
+//!   compares across runs.
+//! * `pipeline_{n}w` — the full pipelined step (work-stealing pool,
+//!   per-layer tile allreduce, optimizer update) at 1/2/4 workers, the
+//!   per-core scaling curve. Worker counts above the machine's core
+//!   count are skipped (timesharing would only measure noise); the
+//!   recorded `cores` field says why a curve is short.
+//!
+//! The JSON keeps the perf trajectory: the newest run always sits at
+//! the stable `latest` key and every previous `latest` is appended to
+//! the `history` array (a pre-history flat-format file becomes the
+//! first history entry).
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run -p bench --bin bench_step --release
+//! cargo run -p bench --bin bench_step --release [-- --quick] [-- --check]
 //! ```
+//!
+//! `--quick` shrinks warmup/measure step counts for CI smoke runs;
+//! `--check` fails (exit 1) if `optimized_workspace` regressed by more
+//! than 20% against the committed `BENCH_step.json` baseline.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use bench::header;
 use trainer::real::net::{BatchWorkspace, NetConfig, SegNet};
+use trainer::real::pipeline::PipelineExecutor;
 use trainer::real::segdata::{generate_batch, DataConfig, Sample};
+use trainer::real::sgd::{LrSchedule, MomentumSgd};
 
 struct CountingAlloc;
 
@@ -44,35 +63,44 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 const BATCH: usize = 8;
-const WARMUP_STEPS: usize = 5;
-const MEASURE_STEPS: usize = 60;
+/// Pipelined variants: replicas × batch-per-replica = BATCH samples per
+/// step, so images/s is directly comparable across variant families.
+const REPLICAS: usize = 2;
+const SCALING_WORKERS: [usize; 3] = [1, 2, 4];
+/// The regression gate: `--check` fails beyond this slowdown.
+const REGRESSION_LIMIT: f64 = 1.20;
 
 struct Measurement {
-    name: &'static str,
+    name: String,
     ns_per_step: f64,
     imgs_per_s: f64,
     allocs_per_step: f64,
 }
 
-fn measure(name: &'static str, mut step: impl FnMut() -> f64) -> Measurement {
+fn measure(
+    name: impl Into<String>,
+    warmup: usize,
+    steps: usize,
+    mut step: impl FnMut() -> f64,
+) -> Measurement {
     let mut sink = 0.0;
-    for _ in 0..WARMUP_STEPS {
+    for _ in 0..warmup {
         sink += step();
     }
     let allocs_before = ALLOC_EVENTS.load(Ordering::Relaxed);
     let t0 = Instant::now();
-    for _ in 0..MEASURE_STEPS {
+    for _ in 0..steps {
         sink += step();
     }
     let elapsed = t0.elapsed();
     let allocs = ALLOC_EVENTS.load(Ordering::Relaxed) - allocs_before;
     assert!(sink.is_finite(), "loss diverged during benchmark");
-    let ns_per_step = elapsed.as_nanos() as f64 / MEASURE_STEPS as f64;
+    let ns_per_step = elapsed.as_nanos() as f64 / steps as f64;
     Measurement {
-        name,
+        name: name.into(),
         ns_per_step,
         imgs_per_s: BATCH as f64 / (ns_per_step * 1e-9),
-        allocs_per_step: allocs as f64 / MEASURE_STEPS as f64,
+        allocs_per_step: allocs as f64 / steps as f64,
     }
 }
 
@@ -94,20 +122,169 @@ fn reference_step(net: &SegNet, batch: &[Sample]) -> f64 {
     loss / batch.len() as f64
 }
 
+/// Today's date (UTC) as `YYYY-MM-DD`, via the classic days-to-civil
+/// conversion — no date dependency needed.
+fn today_utc() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Strip whitespace outside string literals — embeds a prior flat-format
+/// file (or a prior `latest` object) as a one-line history entry.
+fn compact_json(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut in_str = false;
+    let mut escape = false;
+    for ch in src.chars() {
+        if in_str {
+            out.push(ch);
+            if escape {
+                escape = false;
+            } else if ch == '\\' {
+                escape = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+        } else if ch == '"' {
+            in_str = true;
+            out.push(ch);
+        } else if !ch.is_whitespace() {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// The balanced `{...}` or `[...]` value following `"key":`, verbatim.
+fn extract_value<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = src.find(&needle)?;
+    let rest = &src[at + needle.len()..];
+    let colon = rest.find(':')?;
+    let body = rest[colon + 1..].trim_start();
+    let open = body.chars().next()?;
+    let close = match open {
+        '{' => '}',
+        '[' => ']',
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, ch) in body.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if ch == '\\' {
+                escape = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            c if c == open => depth += 1,
+            c if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split a JSON array's body (`[...]` included) into top-level items.
+fn array_items(array: &str) -> Vec<&str> {
+    let inner = array.trim().strip_prefix('[').and_then(|s| s.strip_suffix(']')).unwrap_or("");
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut start = 0usize;
+    for (i, ch) in inner.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if ch == '\\' {
+                escape = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                let item = inner[start..i].trim();
+                if !item.is_empty() {
+                    items.push(item);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = inner[start..].trim();
+    if !last.is_empty() {
+        items.push(last);
+    }
+    items
+}
+
+/// `ns_per_step` of `variant` — first occurrence wins, and `latest`
+/// precedes `history` in the current layout, so this reads the newest
+/// number from either format.
+fn extract_ns_per_step(src: &str, variant: &str) -> Option<f64> {
+    let at = src.find(&format!("\"{variant}\""))?;
+    let rest = &src[at..];
+    let key = "\"ns_per_step\":";
+    let k = rest.find(key)?;
+    let tail = rest[k + key.len()..].trim_start();
+    let end =
+        tail.find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit()).unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 fn json_entry(m: &Measurement) -> String {
     format!(
-        "    {{\"variant\": \"{}\", \"imgs_per_s\": {:.1}, \"ns_per_step\": {:.0}, \
+        "      {{\"variant\": \"{}\", \"imgs_per_s\": {:.1}, \"ns_per_step\": {:.0}, \
          \"allocs_per_step\": {:.1}}}",
         m.name, m.imgs_per_s, m.ns_per_step, m.allocs_per_step
     )
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let (warmup, steps) = if quick { (2, 12) } else { (5, 60) };
+
     header(
         "BENCH_step",
-        "single-worker step throughput: optimized hot path vs naive reference",
-        "the PR-2 perf target: >=2x images/s at identical numerics",
+        "step throughput: naive vs optimized vs pipelined, with scaling curve",
+        "the perf trajectory across PRs, gated against >20% regression",
     );
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let previous = std::fs::read_to_string("BENCH_step.json").ok();
+    let baseline_ns =
+        previous.as_deref().and_then(|s| extract_ns_per_step(s, "optimized_workspace"));
 
     let data = DataConfig::default();
     let cfg = NetConfig {
@@ -121,29 +298,185 @@ fn main() {
     let batch = generate_batch(&data, 42, 0, BATCH);
     let mut bw = BatchWorkspace::new(&cfg);
 
-    let optimized = measure("optimized_workspace", || net.batch_loss_grad_ws(&batch, &mut bw));
-    let reference = measure("naive_reference", || reference_step(&net, &batch));
+    let optimized =
+        measure("optimized_workspace", warmup, steps, || net.batch_loss_grad_ws(&batch, &mut bw));
+    let reference = measure("naive_reference", warmup, steps, || reference_step(&net, &batch));
     let speedup = optimized.imgs_per_s / reference.imgs_per_s;
 
-    for m in [&optimized, &reference] {
+    // Per-core scaling: the identical pipelined step (compute + tile
+    // allreduce + update) at increasing worker counts.
+    let shards: Vec<Vec<Sample>> = (0..REPLICAS)
+        .map(|r| generate_batch(&data, 42, (r * (BATCH / REPLICAS)) as u64, BATCH / REPLICAS))
+        .collect();
+    let lr = LrSchedule::constant(0.01, usize::MAX);
+    let mut scaling: Vec<Measurement> = Vec::new();
+    for workers in SCALING_WORKERS {
+        if workers > 1 && workers > cores {
+            println!("  pipeline_{workers}w       skipped ({cores} core(s) available)");
+            continue;
+        }
+        let mut exec = PipelineExecutor::new(&cfg, REPLICAS, BATCH / REPLICAS, 1, workers);
+        let mut nets: Vec<SegNet> = (0..REPLICAS).map(|_| SegNet::new(cfg, 7)).collect();
+        let mut opts: Vec<MomentumSgd> =
+            (0..REPLICAS).map(|_| MomentumSgd::new(lr, 0.9, net.n_params())).collect();
+        scaling.push(measure(format!("pipeline_{workers}w"), warmup, steps, || {
+            exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, false)
+        }));
+    }
+
+    for m in [&optimized, &reference].into_iter().chain(&scaling) {
         println!(
             "  {:<22} {:>10.1} imgs/s  {:>12.0} ns/step  {:>7.1} allocs/step",
             m.name, m.imgs_per_s, m.ns_per_step, m.allocs_per_step
         );
     }
     println!("  speedup (optimized / reference): {speedup:.2}x");
+    if let Some(base) = scaling.first() {
+        for m in &scaling[1..] {
+            println!(
+                "  scaling {}: {:.2}x over pipeline_1w",
+                m.name,
+                base.ns_per_step / m.ns_per_step
+            );
+        }
+    }
 
-    let json = format!
-        ("{{\n  \"bench\": \"BENCH_step\",\n  \"batch\": {BATCH},\n  \"steps\": {MEASURE_STEPS},\n  \"threads\": {},\n  \"variants\": [\n{},\n{}\n  ],\n  \"speedup\": {speedup:.3}\n}}\n",
+    // Fold the previous run into history: a prior `latest` moves to the
+    // end of `history`; a pre-history flat file becomes the first entry.
+    let mut history: Vec<String> = Vec::new();
+    if let Some(prev) = &previous {
+        if let Some(h) = extract_value(prev, "history") {
+            history.extend(array_items(h).iter().map(|s| s.to_string()));
+        }
+        if let Some(latest) = extract_value(prev, "latest") {
+            history.push(compact_json(latest));
+        } else if prev.contains("\"variants\"") {
+            history.push(compact_json(prev));
+        }
+    }
+
+    let variants: Vec<String> =
+        [&optimized, &reference].into_iter().chain(&scaling).map(json_entry).collect();
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|m| {
+            let workers: usize = m
+                .name
+                .trim_start_matches("pipeline_")
+                .trim_end_matches('w')
+                .parse()
+                .expect("variant name encodes the worker count");
+            format!(
+                "      {{\"workers\": {workers}, \"ns_per_step\": {:.0}, \"imgs_per_s\": {:.1}, \
+                 \"speedup_vs_1w\": {:.3}}}",
+                m.ns_per_step,
+                m.imgs_per_s,
+                scaling[0].ns_per_step / m.ns_per_step
+            )
+        })
+        .collect();
+    let latest = format!(
+        "{{\n    \"date\": \"{}\",\n    \"batch\": {BATCH},\n    \"steps\": {steps},\n    \
+         \"threads\": {},\n    \"cores\": {cores},\n    \"variants\": [\n{}\n    ],\n    \
+         \"scaling\": [\n{}\n    ],\n    \"speedup\": {speedup:.3}\n  }}",
+        today_utc(),
         rayon::current_num_threads(),
-        json_entry(&optimized),
-        json_entry(&reference),
+        variants.join(",\n"),
+        scaling_json.join(",\n"),
+    );
+    let history_json = if history.is_empty() {
+        String::new()
+    } else {
+        format!("\n    {}\n  ", history.join(",\n    "))
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_step\",\n  \"latest\": {latest},\n  \"history\": \
+         [{history_json}]\n}}\n"
     );
     std::fs::write("BENCH_step.json", &json).expect("write BENCH_step.json");
-    println!("  wrote BENCH_step.json");
+    println!("  wrote BENCH_step.json ({} history entries)", history.len());
 
     assert!(
         speedup >= 2.0,
         "perf target missed: optimized path is only {speedup:.2}x the reference (target 2.0x)"
     );
+    // The 4-worker scaling target only means something on hardware that
+    // can actually run 4 lanes at once.
+    if cores >= 4 {
+        if let Some(m4) = scaling.iter().find(|m| m.name == "pipeline_4w") {
+            let s = scaling[0].ns_per_step / m4.ns_per_step;
+            assert!(s >= 3.0, "scaling target missed: pipeline_4w is only {s:.2}x pipeline_1w");
+        }
+    }
+    if check {
+        match baseline_ns {
+            Some(base) => {
+                let ratio = optimized.ns_per_step / base;
+                println!(
+                    "  regression check: {:.0} ns vs baseline {base:.0} ns ({ratio:.3}x, limit \
+                     {REGRESSION_LIMIT:.2}x)",
+                    optimized.ns_per_step
+                );
+                if ratio > REGRESSION_LIMIT {
+                    eprintln!(
+                        "  REGRESSION: optimized_workspace {ratio:.2}x slower than the committed \
+                         baseline"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => println!("  regression check: no committed baseline, skipped"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEGACY: &str = r#"{
+  "bench": "BENCH_step",
+  "batch": 8,
+  "variants": [
+    {"variant": "optimized_workspace", "imgs_per_s": 2941.9, "ns_per_step": 2719350, "allocs_per_step": 0.0},
+    {"variant": "naive_reference", "imgs_per_s": 540.0, "ns_per_step": 14814426, "allocs_per_step": 65.0}
+  ],
+  "speedup": 5.448
+}"#;
+
+    #[test]
+    fn compact_preserves_strings() {
+        assert_eq!(compact_json("{ \"a b\": [1, 2] }"), "{\"a b\":[1,2]}");
+        assert_eq!(compact_json("\"esc \\\" quote \""), "\"esc \\\" quote \"");
+    }
+
+    #[test]
+    fn extracts_balanced_values() {
+        let src = "{\"latest\": {\"x\": [1, {\"y\": 2}]}, \"history\": [ {\"a\":1}, {\"b\":2} ]}";
+        assert_eq!(extract_value(src, "latest"), Some("{\"x\": [1, {\"y\": 2}]}"));
+        let items = array_items(extract_value(src, "history").unwrap());
+        assert_eq!(items, vec!["{\"a\":1}", "{\"b\":2}"]);
+        assert_eq!(extract_value(src, "missing"), None);
+    }
+
+    #[test]
+    fn reads_baseline_from_legacy_and_current_formats() {
+        assert_eq!(extract_ns_per_step(LEGACY, "optimized_workspace"), Some(2719350.0));
+        assert_eq!(extract_ns_per_step(LEGACY, "naive_reference"), Some(14814426.0));
+        // Current format: `latest` precedes `history`, so the first
+        // occurrence is the newest number.
+        let current = format!(
+            "{{\"bench\": \"BENCH_step\", \"latest\": {{\"variants\": [{{\"variant\": \
+             \"optimized_workspace\", \"ns_per_step\": 1300000}}]}}, \"history\": [{}]}}",
+            compact_json(LEGACY)
+        );
+        assert_eq!(extract_ns_per_step(&current, "optimized_workspace"), Some(1300000.0));
+    }
+
+    #[test]
+    fn civil_date_is_plausible() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert!(d[..4].parse::<u32>().unwrap() >= 2026);
+    }
 }

@@ -36,6 +36,7 @@ fn config(workers: usize, batch_per_worker: usize) -> TrainConfig {
         weight_decay: 0.0,
         accumulation_steps: 1,
         algo: Algorithm::Ring,
+        pipeline: false,
         fp16_gradients: false,
         augment: false,
         eval_every: 20,

@@ -72,6 +72,23 @@ pub struct PhaseStat {
     /// Plain sum of span durations (rank-seconds; ≥ `busy_us`).
     pub span_sum_us: f64,
     pub spans: usize,
+    /// Wall-clock time this phase ran concurrently with the *opposite*
+    /// class: comm phases report overlap with compute and vice versa
+    /// (0 for categories in neither class). For `MPI_ALLREDUCE` this is
+    /// the per-phase number the layer-pipelined executor exists to
+    /// raise — reduction hidden behind someone's backprop.
+    pub overlap_us: f64,
+}
+
+impl PhaseStat {
+    /// `overlap_us` as a fraction of this phase's busy time.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.busy_us > 0.0 {
+            self.overlap_us / self.busy_us
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Per-rank attribution.
@@ -135,15 +152,20 @@ impl Breakdown {
     /// prints.
     pub fn table(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{:<26} {:>12} {:>8} {:>8}", "phase", "busy (ms)", "% wall", "spans");
+        let _ = writeln!(
+            out,
+            "{:<26} {:>12} {:>8} {:>8} {:>10}",
+            "phase", "busy (ms)", "% wall", "spans", "% overlap"
+        );
         for p in &self.phases {
             let _ = writeln!(
                 out,
-                "{:<26} {:>12.3} {:>7.1}% {:>8}",
+                "{:<26} {:>12.3} {:>7.1}% {:>8} {:>9.1}%",
                 p.cat,
                 p.busy_us / 1e3,
                 100.0 * self.phase_fraction(&p.cat),
                 p.spans,
+                100.0 * p.overlap_fraction(),
             );
         }
         let _ = writeln!(
@@ -218,13 +240,23 @@ pub fn analyze(events: &[ChromeEvent]) -> Breakdown {
         rank_finish[r] = rank_finish[r].max(end);
     }
 
+    // Global comm/compute unions and their overlap.
+    let all_comm = merged(rank_comm.iter().flatten().copied().collect());
+    let all_compute = merged(rank_compute.iter().flatten().copied().collect());
+    let overlap_us = intersection_len(&all_comm, &all_compute);
+
     let mut phases: Vec<PhaseStat> = cats
         .into_iter()
-        .map(|(cat, iv, span_sum_us, spans)| PhaseStat {
-            cat,
-            busy_us: union_len(&merged(iv)),
-            span_sum_us,
-            spans,
+        .map(|(cat, iv, span_sum_us, spans)| {
+            let iv = merged(iv);
+            let overlap_us = if COMM_CATS.contains(&cat.as_str()) {
+                intersection_len(&iv, &all_compute)
+            } else if COMPUTE_CATS.contains(&cat.as_str()) {
+                intersection_len(&iv, &all_comm)
+            } else {
+                0.0
+            };
+            PhaseStat { cat, busy_us: union_len(&iv), span_sum_us, spans, overlap_us }
         })
         .collect();
     phases.sort_by(|a, b| {
@@ -233,11 +265,6 @@ pub fn analyze(events: &[ChromeEvent]) -> Breakdown {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cat.cmp(&b.cat))
     });
-
-    // Global comm/compute unions and their overlap.
-    let all_comm = merged(rank_comm.iter().flatten().copied().collect());
-    let all_compute = merged(rank_compute.iter().flatten().copied().collect());
-    let overlap_us = intersection_len(&all_comm, &all_compute);
 
     let min_finish = rank_finish.iter().copied().fold(f64::INFINITY, f64::min);
     let ranks: Vec<RankStat> = rank_ids
@@ -300,6 +327,28 @@ mod tests {
         assert!((b.comm_busy_us - 10.0).abs() < 1e-9);
         assert!((b.compute_busy_us - 10.0).abs() < 1e-9);
         assert!((b.wall_us - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_phase_overlap_pairs_each_class_with_the_other() {
+        // Compute (FORWARD 0-10, BACKWARD 20-30), comm allreduce 6-24:
+        // the allreduce overlaps compute for 4 + 4 = 8 µs; each compute
+        // phase overlaps comm for its 4 µs share.
+        let b = analyze(&[
+            span("FORWARD", 0.0, 10.0, 0),
+            span("BACKWARD", 20.0, 10.0, 0),
+            span("MPI_ALLREDUCE", 6.0, 18.0, 1),
+        ]);
+        let get = |cat: &str| b.phases.iter().find(|p| p.cat == cat).expect("phase");
+        assert!((get("MPI_ALLREDUCE").overlap_us - 8.0).abs() < 1e-9);
+        assert!((get("FORWARD").overlap_us - 4.0).abs() < 1e-9);
+        assert!((get("BACKWARD").overlap_us - 4.0).abs() < 1e-9);
+        assert!((get("MPI_ALLREDUCE").overlap_fraction() - 8.0 / 18.0).abs() < 1e-9);
+        // A category in neither class reports no overlap.
+        let other = analyze(&[span("CHECKPOINT", 0.0, 5.0, 0), span("FORWARD", 0.0, 5.0, 0)]);
+        assert_eq!(other.phases.iter().find(|p| p.cat == "CHECKPOINT").expect("p").overlap_us, 0.0);
+        // The table shows the new column.
+        assert!(b.table().contains("% overlap"), "{}", b.table());
     }
 
     #[test]

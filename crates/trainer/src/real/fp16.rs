@@ -92,14 +92,177 @@ pub fn roundtrip(x: f32) -> f32 {
     f16_bits_to_f32(f32_to_f16_bits(x))
 }
 
+/// Chunk width of the parallel compression path.
+const PAR_CHUNK: usize = 1 << 13;
+
+/// Serial in-place round-trip, scalar twin of [`roundtrip_slice_f16c`].
+// lint: hot-path
+// lint: no-f64
+fn roundtrip_slice_scalar(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = roundtrip(*x);
+    }
+}
+
+/// F16C twin of [`roundtrip_slice_scalar`]: `VCVTPS2PH`/`VCVTPH2PS`
+/// with round-to-nearest-even, which matches the from-scratch scalar
+/// conversion bit-for-bit on every non-NaN input (NaNs stay NaN but may
+/// carry a different payload — the differential tests compare NaNs
+/// semantically).
+///
+/// # Safety
+/// Caller must ensure F16C (and AVX) is available (dispatch through
+/// [`simd::have_f16c`]).
+// lint: hot-path
+// lint: no-f64
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma,f16c")]
+unsafe fn roundtrip_slice_f16c(xs: &mut [f32]) {
+    use std::arch::x86_64::*;
+    const RNE: i32 = _MM_FROUND_TO_NEAREST_INT;
+    let p = xs.as_mut_ptr();
+    let n = xs.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(p.add(i));
+        let h = _mm256_cvtps_ph::<RNE>(v);
+        _mm256_storeu_ps(p.add(i), _mm256_cvtph_ps(h));
+        i += 8;
+    }
+    while i < n {
+        *p.add(i) = roundtrip(*p.add(i));
+        i += 1;
+    }
+}
+
+/// In-place fp16 round-trip of a slice, dispatching over the twins.
+// lint: hot-path
+// lint: no-f64
+pub fn roundtrip_slice(xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::have_f16c() {
+        // SAFETY: the dispatch predicate just confirmed F16C.
+        unsafe { roundtrip_slice_f16c(xs) };
+        return;
+    }
+    roundtrip_slice_scalar(xs);
+}
+
+/// Serial fused convert-reduce: `dst[i] += roundtrip(src[i])`, scalar
+/// twin of [`combine_sum_roundtrip_f16c`]. This is the fp16-allreduce
+/// accumulation step with the pack/unpack folded into the same pass —
+/// no intermediate compressed buffer.
+// lint: hot-path
+// lint: no-f64
+fn combine_sum_roundtrip_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += roundtrip(*s);
+    }
+}
+
+/// F16C twin of [`combine_sum_roundtrip_scalar`]: convert down, convert
+/// up, and accumulate without leaving the registers.
+///
+/// # Safety
+/// Caller must ensure F16C (and AVX) is available (dispatch through
+/// [`simd::have_f16c`]).
+// lint: hot-path
+// lint: no-f64
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma,f16c")]
+unsafe fn combine_sum_roundtrip_f16c(dst: &mut [f32], src: &[f32]) {
+    use std::arch::x86_64::*;
+    const RNE: i32 = _MM_FROUND_TO_NEAREST_INT;
+    debug_assert_eq!(dst.len(), src.len());
+    let dp = dst.as_mut_ptr();
+    let sp = src.as_ptr();
+    let n = dst.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let s = _mm256_loadu_ps(sp.add(i));
+        let half = _mm256_cvtph_ps(_mm256_cvtps_ph::<RNE>(s));
+        _mm256_storeu_ps(dp.add(i), _mm256_add_ps(_mm256_loadu_ps(dp.add(i)), half));
+        i += 8;
+    }
+    while i < n {
+        *dp.add(i) += roundtrip(*sp.add(i));
+        i += 1;
+    }
+}
+
+/// Fused `dst[i] += roundtrip(src[i])`, dispatching over the twins.
+// lint: hot-path
+// lint: no-f64
+pub fn combine_sum_roundtrip(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "segment length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd::have_f16c() {
+        // SAFETY: the dispatch predicate just confirmed F16C.
+        unsafe { combine_sum_roundtrip_f16c(dst, src) };
+        return;
+    }
+    combine_sum_roundtrip_scalar(dst, src);
+}
+
+/// Serial fused finalize-compress: `x = roundtrip(x · scale)`, scalar
+/// twin of [`scale_roundtrip_f16c`]. One pass where the classic path
+/// needs a scale sweep plus a compress sweep.
+// lint: hot-path
+// lint: no-f64
+fn scale_roundtrip_scalar(xs: &mut [f32], scale: f32) {
+    for x in xs.iter_mut() {
+        *x = roundtrip(*x * scale);
+    }
+}
+
+/// F16C twin of [`scale_roundtrip_scalar`].
+///
+/// # Safety
+/// Caller must ensure F16C (and AVX) is available (dispatch through
+/// [`simd::have_f16c`]).
+// lint: hot-path
+// lint: no-f64
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma,f16c")]
+unsafe fn scale_roundtrip_f16c(xs: &mut [f32], scale: f32) {
+    use std::arch::x86_64::*;
+    const RNE: i32 = _MM_FROUND_TO_NEAREST_INT;
+    let p = xs.as_mut_ptr();
+    let n = xs.len();
+    let sv = _mm256_set1_ps(scale);
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_mul_ps(_mm256_loadu_ps(p.add(i)), sv);
+        _mm256_storeu_ps(p.add(i), _mm256_cvtph_ps(_mm256_cvtps_ph::<RNE>(v)));
+        i += 8;
+    }
+    while i < n {
+        *p.add(i) = roundtrip(*p.add(i) * scale);
+        i += 1;
+    }
+}
+
+/// Fused `x = roundtrip(x · scale)`, dispatching over the twins.
+// lint: hot-path
+// lint: no-f64
+pub fn scale_roundtrip(xs: &mut [f32], scale: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::have_f16c() {
+        // SAFETY: the dispatch predicate just confirmed F16C.
+        unsafe { scale_roundtrip_f16c(xs, scale) };
+        return;
+    }
+    scale_roundtrip_scalar(xs, scale);
+}
+
 /// Round-trip a gradient buffer in place (rayon above 16 Ki elements).
+// lint: hot-path
+// lint: no-f64
 pub fn compress_gradients(xs: &mut [f32]) {
     if xs.len() >= 1 << 14 {
-        xs.par_iter_mut().for_each(|x| *x = roundtrip(*x));
+        xs.par_chunks_mut(PAR_CHUNK).for_each(roundtrip_slice);
     } else {
-        for x in xs.iter_mut() {
-            *x = roundtrip(*x);
-        }
+        roundtrip_slice(xs);
     }
 }
 
@@ -195,6 +358,80 @@ mod tests {
         let expect_big: Vec<f32> = big.iter().map(|&x| roundtrip(x)).collect();
         compress_gradients(&mut big);
         assert_eq!(big, expect_big);
+    }
+
+    /// Deterministic f32 stress values: normals across the range,
+    /// halfway rounding cases, subnormals, overflow, zeros.
+    fn stress(i: usize) -> f32 {
+        match i % 8 {
+            0 => 1.0 + (i as f32) * 2.0f32.powi(-11), // halfway ladder
+            1 => -(i as f32 * 0.123),
+            2 => 1e-40 * (i as f32 + 1.0),        // f32 subnormal
+            3 => 6.0e-8 * (i as f32 % 17.0),      // f16 subnormal range
+            4 => 60000.0 + 10.0 * i as f32,       // near f16 overflow
+            5 => (i as f32 * 0.001).sin() * 1e-4, // small normals
+            6 => 0.0,
+            _ => f32::from_bits((i as u32).wrapping_mul(0x9e3779b9) & 0x7fff_ffff),
+        }
+    }
+
+    /// The hardware F16C conversion must match the from-scratch scalar
+    /// RNE conversion bit-for-bit on non-NaN inputs, at every length
+    /// (vector body + tail + empty), for all three fused kernels.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn f16c_twins_match_scalar_bitwise() {
+        if !simd::have_f16c() {
+            return; // nothing to differentiate on this host
+        }
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 257] {
+            let src: Vec<f32> = (0..n).map(stress).collect();
+            let src_nonnan: Vec<f32> =
+                src.iter().map(|&x| if x.is_nan() { 1.0 } else { x }).collect();
+
+            let mut s = src_nonnan.clone();
+            let mut v = src_nonnan.clone();
+            roundtrip_slice_scalar(&mut s);
+            // SAFETY: guarded by the dispatch predicate above.
+            unsafe { roundtrip_slice_f16c(&mut v) };
+            assert_eq!(bits(&s), bits(&v), "roundtrip twins diverge at n={n}");
+
+            let base: Vec<f32> = (0..n).map(|i| stress(i + 999) * 0.5).collect();
+            let base: Vec<f32> = base.iter().map(|&x| if x.is_nan() { 2.0 } else { x }).collect();
+            let mut s = base.clone();
+            let mut v = base.clone();
+            combine_sum_roundtrip_scalar(&mut s, &src_nonnan);
+            // SAFETY: guarded by the dispatch predicate above.
+            unsafe { combine_sum_roundtrip_f16c(&mut v, &src_nonnan) };
+            assert_eq!(bits(&s), bits(&v), "combine twins diverge at n={n}");
+
+            let mut s = src_nonnan.clone();
+            let mut v = src_nonnan.clone();
+            scale_roundtrip_scalar(&mut s, 0.0625);
+            // SAFETY: guarded by the dispatch predicate above.
+            unsafe { scale_roundtrip_f16c(&mut v, 0.0625) };
+            assert_eq!(bits(&s), bits(&v), "scale twins diverge at n={n}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn bits(xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn fused_kernels_match_composed_scalar_ops() {
+        let finite = |x: f32| if x.is_nan() { 1.0 } else { x };
+        let src: Vec<f32> = (0..100).map(stress).map(finite).collect();
+        let mut dst: Vec<f32> = (0..100).map(|i| stress(i + 500)).map(finite).collect();
+        let want: Vec<f32> = dst.iter().zip(&src).map(|(d, s)| d + roundtrip(*s)).collect();
+        combine_sum_roundtrip(&mut dst, &src);
+        assert_eq!(dst, want);
+
+        let mut xs = src.clone();
+        let want: Vec<f32> = src.iter().map(|&x| roundtrip(x * 0.25)).collect();
+        scale_roundtrip(&mut xs, 0.25);
+        assert_eq!(xs, want);
     }
 
     #[test]

@@ -6,6 +6,8 @@ pub mod checkpoint;
 pub mod fp16;
 pub mod miou;
 pub mod net;
+pub mod pipeline;
+pub mod pool;
 pub mod segdata;
 pub mod sgd;
 pub mod train;

@@ -366,20 +366,23 @@ fn four_rows(buf: &mut [f32], npix: usize, o: usize) -> [&mut [f32]; 4] {
     [r0, r1, r2, r3]
 }
 
-/// `out[o, p] = bias[o] + Σ_r w[o, r]·cols[r, p]` — the forward matmul.
+/// `out[o, p] = bias[o] + Σ_r w[o, r]·cols[r, p]` (then optional ReLU)
+/// — the forward matmul, scalar twin of [`matmul_bias_avx2`].
 ///
 /// Blocked two ways: pixel tiles of [`PIXEL_TILE`] keep the working set
 /// in L1, and four output rows advance together so each cols element
 /// loaded feeds four FMAs.
 // lint: hot-path
 // lint: no-f64
-fn matmul_bias(
+#[allow(clippy::too_many_arguments)]
+fn matmul_bias_scalar(
     w: &[f32],
     cols: &[f32],
     rdim: usize,
     npix: usize,
     cout: usize,
     bias: &[f32],
+    relu: bool,
     out: &mut [f32],
 ) {
     debug_assert_eq!(w.len(), cout * rdim);
@@ -430,6 +433,203 @@ fn matmul_bias(
         }
         p0 += pt;
     }
+    if relu {
+        out.iter_mut().for_each(|x| *x = x.max(0.0));
+    }
+}
+
+/// AVX2+FMA twin of [`matmul_bias_scalar`]: a 4-output-row ×
+/// 16-pixel register tile (8 YMM accumulators seeded with the bias)
+/// with the reduction dimension streaming through broadcasts, ReLU
+/// applied in-register before the single store of each output block.
+///
+/// # Safety
+/// Caller must ensure AVX2 and FMA are available (dispatch through
+/// [`simd::have_avx2_fma`]).
+// lint: hot-path
+// lint: no-f64
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn matmul_bias_avx2(
+    w: &[f32],
+    cols: &[f32],
+    rdim: usize,
+    npix: usize,
+    cout: usize,
+    bias: &[f32],
+    relu: bool,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(w.len(), cout * rdim);
+    debug_assert_eq!(cols.len(), rdim * npix);
+    debug_assert_eq!(out.len(), cout * npix);
+    debug_assert_eq!(bias.len(), cout);
+    let wp = w.as_ptr();
+    let cp = cols.as_ptr();
+    let op = out.as_mut_ptr();
+    let zero = _mm256_setzero_ps();
+    let mut o = 0;
+    while o + 4 <= cout {
+        let b0 = _mm256_set1_ps(*bias.get_unchecked(o));
+        let b1 = _mm256_set1_ps(*bias.get_unchecked(o + 1));
+        let b2 = _mm256_set1_ps(*bias.get_unchecked(o + 2));
+        let b3 = _mm256_set1_ps(*bias.get_unchecked(o + 3));
+        let mut p = 0;
+        while p + 16 <= npix {
+            let mut a00 = b0;
+            let mut a01 = b0;
+            let mut a10 = b1;
+            let mut a11 = b1;
+            let mut a20 = b2;
+            let mut a21 = b2;
+            let mut a30 = b3;
+            let mut a31 = b3;
+            for r in 0..rdim {
+                let c0 = _mm256_loadu_ps(cp.add(r * npix + p));
+                let c1 = _mm256_loadu_ps(cp.add(r * npix + p + 8));
+                let w0 = _mm256_set1_ps(*wp.add(o * rdim + r));
+                a00 = _mm256_fmadd_ps(w0, c0, a00);
+                a01 = _mm256_fmadd_ps(w0, c1, a01);
+                let w1 = _mm256_set1_ps(*wp.add((o + 1) * rdim + r));
+                a10 = _mm256_fmadd_ps(w1, c0, a10);
+                a11 = _mm256_fmadd_ps(w1, c1, a11);
+                let w2 = _mm256_set1_ps(*wp.add((o + 2) * rdim + r));
+                a20 = _mm256_fmadd_ps(w2, c0, a20);
+                a21 = _mm256_fmadd_ps(w2, c1, a21);
+                let w3 = _mm256_set1_ps(*wp.add((o + 3) * rdim + r));
+                a30 = _mm256_fmadd_ps(w3, c0, a30);
+                a31 = _mm256_fmadd_ps(w3, c1, a31);
+            }
+            if relu {
+                a00 = _mm256_max_ps(a00, zero);
+                a01 = _mm256_max_ps(a01, zero);
+                a10 = _mm256_max_ps(a10, zero);
+                a11 = _mm256_max_ps(a11, zero);
+                a20 = _mm256_max_ps(a20, zero);
+                a21 = _mm256_max_ps(a21, zero);
+                a30 = _mm256_max_ps(a30, zero);
+                a31 = _mm256_max_ps(a31, zero);
+            }
+            _mm256_storeu_ps(op.add(o * npix + p), a00);
+            _mm256_storeu_ps(op.add(o * npix + p + 8), a01);
+            _mm256_storeu_ps(op.add((o + 1) * npix + p), a10);
+            _mm256_storeu_ps(op.add((o + 1) * npix + p + 8), a11);
+            _mm256_storeu_ps(op.add((o + 2) * npix + p), a20);
+            _mm256_storeu_ps(op.add((o + 2) * npix + p + 8), a21);
+            _mm256_storeu_ps(op.add((o + 3) * npix + p), a30);
+            _mm256_storeu_ps(op.add((o + 3) * npix + p + 8), a31);
+            p += 16;
+        }
+        while p + 8 <= npix {
+            let mut a0 = b0;
+            let mut a1 = b1;
+            let mut a2 = b2;
+            let mut a3 = b3;
+            for r in 0..rdim {
+                let c = _mm256_loadu_ps(cp.add(r * npix + p));
+                a0 = _mm256_fmadd_ps(_mm256_set1_ps(*wp.add(o * rdim + r)), c, a0);
+                a1 = _mm256_fmadd_ps(_mm256_set1_ps(*wp.add((o + 1) * rdim + r)), c, a1);
+                a2 = _mm256_fmadd_ps(_mm256_set1_ps(*wp.add((o + 2) * rdim + r)), c, a2);
+                a3 = _mm256_fmadd_ps(_mm256_set1_ps(*wp.add((o + 3) * rdim + r)), c, a3);
+            }
+            if relu {
+                a0 = _mm256_max_ps(a0, zero);
+                a1 = _mm256_max_ps(a1, zero);
+                a2 = _mm256_max_ps(a2, zero);
+                a3 = _mm256_max_ps(a3, zero);
+            }
+            _mm256_storeu_ps(op.add(o * npix + p), a0);
+            _mm256_storeu_ps(op.add((o + 1) * npix + p), a1);
+            _mm256_storeu_ps(op.add((o + 2) * npix + p), a2);
+            _mm256_storeu_ps(op.add((o + 3) * npix + p), a3);
+            p += 8;
+        }
+        while p < npix {
+            for j in 0..4 {
+                let mut acc = *bias.get_unchecked(o + j);
+                for r in 0..rdim {
+                    acc = (*wp.add((o + j) * rdim + r)).mul_add(*cp.add(r * npix + p), acc);
+                }
+                if relu {
+                    acc = acc.max(0.0);
+                }
+                *op.add((o + j) * npix + p) = acc;
+            }
+            p += 1;
+        }
+        o += 4;
+    }
+    while o < cout {
+        let bo = _mm256_set1_ps(*bias.get_unchecked(o));
+        let mut p = 0;
+        while p + 16 <= npix {
+            let mut a0 = bo;
+            let mut a1 = bo;
+            for r in 0..rdim {
+                let wv = _mm256_set1_ps(*wp.add(o * rdim + r));
+                a0 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(cp.add(r * npix + p)), a0);
+                a1 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(cp.add(r * npix + p + 8)), a1);
+            }
+            if relu {
+                a0 = _mm256_max_ps(a0, zero);
+                a1 = _mm256_max_ps(a1, zero);
+            }
+            _mm256_storeu_ps(op.add(o * npix + p), a0);
+            _mm256_storeu_ps(op.add(o * npix + p + 8), a1);
+            p += 16;
+        }
+        while p + 8 <= npix {
+            let mut a0 = bo;
+            for r in 0..rdim {
+                let wv = _mm256_set1_ps(*wp.add(o * rdim + r));
+                a0 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(cp.add(r * npix + p)), a0);
+            }
+            if relu {
+                a0 = _mm256_max_ps(a0, zero);
+            }
+            _mm256_storeu_ps(op.add(o * npix + p), a0);
+            p += 8;
+        }
+        while p < npix {
+            let mut acc = *bias.get_unchecked(o);
+            for r in 0..rdim {
+                acc = (*wp.add(o * rdim + r)).mul_add(*cp.add(r * npix + p), acc);
+            }
+            if relu {
+                acc = acc.max(0.0);
+            }
+            *op.add(o * npix + p) = acc;
+            p += 1;
+        }
+        o += 1;
+    }
+}
+
+/// Runtime dispatch over the [`matmul_bias_scalar`] /
+/// [`matmul_bias_avx2`] twins. `relu` fuses the activation into the
+/// same pass (one store per output element instead of a second sweep).
+// lint: hot-path
+// lint: no-f64
+#[allow(clippy::too_many_arguments)]
+fn matmul_bias(
+    w: &[f32],
+    cols: &[f32],
+    rdim: usize,
+    npix: usize,
+    cout: usize,
+    bias: &[f32],
+    relu: bool,
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::have_avx2_fma() {
+        // SAFETY: the dispatch predicate just confirmed AVX2+FMA.
+        unsafe { matmul_bias_avx2(w, cols, rdim, npix, cout, bias, relu, out) };
+        return;
+    }
+    matmul_bias_scalar(w, cols, rdim, npix, cout, bias, relu, out);
 }
 
 /// Eight-lane dot product: independent partial sums so the reduction
@@ -453,12 +653,20 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
     lanes.iter().sum::<f32>() + tail
 }
 
-/// `dw[o, r] += Σ_p dout[o, p]·cols[r, p]` — the weight-gradient matmul.
+/// `dw[o, r] += Σ_p dout[o, p]·cols[r, p]` — the weight-gradient
+/// matmul, scalar twin of [`matmul_dw_avx2`].
 ///
 /// Loop order keeps each cols row L1-hot across all `cout` dot products.
 // lint: hot-path
 // lint: no-f64
-fn matmul_dw(dout: &[f32], cols: &[f32], rdim: usize, npix: usize, cout: usize, dw: &mut [f32]) {
+fn matmul_dw_scalar(
+    dout: &[f32],
+    cols: &[f32],
+    rdim: usize,
+    npix: usize,
+    cout: usize,
+    dw: &mut [f32],
+) {
     debug_assert_eq!(dw.len(), cout * rdim);
     debug_assert_eq!(cols.len(), rdim * npix);
     debug_assert_eq!(dout.len(), cout * npix);
@@ -470,12 +678,175 @@ fn matmul_dw(dout: &[f32], cols: &[f32], rdim: usize, npix: usize, cout: usize, 
     }
 }
 
-/// `dcols[r, p] += Σ_o w[o, r]·dout[o, p]` — the input-gradient
-/// (transposed) matmul, same tiling as [`matmul_bias`] with the roles
-/// of output channels and cols rows swapped.
+/// Sum the eight lanes of a YMM register through a stack spill — the
+/// same reassociation as the scalar [`dot`]'s `lanes.iter().sum()`.
+#[cfg(target_arch = "x86_64")]
+macro_rules! hsum8 {
+    ($v:expr) => {{
+        let mut buf = [0.0f32; 8];
+        _mm256_storeu_ps(buf.as_mut_ptr(), $v);
+        buf.iter().sum::<f32>()
+    }};
+}
+
+/// AVX2+FMA twin of [`matmul_dw_scalar`]: a 4-output-channel ×
+/// 2-reduction-row block keeps 8 YMM accumulators live while the pixel
+/// dimension streams; each accumulator collapses to one `dw` entry at
+/// block end, so the inner loop has no horizontal operations.
+///
+/// # Safety
+/// Caller must ensure AVX2 and FMA are available (dispatch through
+/// [`simd::have_avx2_fma`]).
 // lint: hot-path
 // lint: no-f64
-fn matmul_t_acc(w: &[f32], dout: &[f32], rdim: usize, npix: usize, cout: usize, dcols: &mut [f32]) {
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_dw_avx2(
+    dout: &[f32],
+    cols: &[f32],
+    rdim: usize,
+    npix: usize,
+    cout: usize,
+    dw: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(dw.len(), cout * rdim);
+    debug_assert_eq!(cols.len(), rdim * npix);
+    debug_assert_eq!(dout.len(), cout * npix);
+    let dp = dout.as_ptr();
+    let cp = cols.as_ptr();
+    let gp = dw.as_mut_ptr();
+    let mut o = 0;
+    while o + 4 <= cout {
+        let mut r = 0;
+        while r + 2 <= rdim {
+            let mut a00 = _mm256_setzero_ps();
+            let mut a01 = _mm256_setzero_ps();
+            let mut a10 = _mm256_setzero_ps();
+            let mut a11 = _mm256_setzero_ps();
+            let mut a20 = _mm256_setzero_ps();
+            let mut a21 = _mm256_setzero_ps();
+            let mut a30 = _mm256_setzero_ps();
+            let mut a31 = _mm256_setzero_ps();
+            let mut p = 0;
+            while p + 8 <= npix {
+                let c0 = _mm256_loadu_ps(cp.add(r * npix + p));
+                let c1 = _mm256_loadu_ps(cp.add((r + 1) * npix + p));
+                let d0 = _mm256_loadu_ps(dp.add(o * npix + p));
+                a00 = _mm256_fmadd_ps(d0, c0, a00);
+                a01 = _mm256_fmadd_ps(d0, c1, a01);
+                let d1 = _mm256_loadu_ps(dp.add((o + 1) * npix + p));
+                a10 = _mm256_fmadd_ps(d1, c0, a10);
+                a11 = _mm256_fmadd_ps(d1, c1, a11);
+                let d2 = _mm256_loadu_ps(dp.add((o + 2) * npix + p));
+                a20 = _mm256_fmadd_ps(d2, c0, a20);
+                a21 = _mm256_fmadd_ps(d2, c1, a21);
+                let d3 = _mm256_loadu_ps(dp.add((o + 3) * npix + p));
+                a30 = _mm256_fmadd_ps(d3, c0, a30);
+                a31 = _mm256_fmadd_ps(d3, c1, a31);
+                p += 8;
+            }
+            let mut t = [[0.0f32; 2]; 4];
+            while p < npix {
+                let cv0 = *cp.add(r * npix + p);
+                let cv1 = *cp.add((r + 1) * npix + p);
+                for (j, tj) in t.iter_mut().enumerate() {
+                    let dv = *dp.add((o + j) * npix + p);
+                    tj[0] = dv.mul_add(cv0, tj[0]);
+                    tj[1] = dv.mul_add(cv1, tj[1]);
+                }
+                p += 1;
+            }
+            *gp.add(o * rdim + r) += hsum8!(a00) + t[0][0];
+            *gp.add(o * rdim + r + 1) += hsum8!(a01) + t[0][1];
+            *gp.add((o + 1) * rdim + r) += hsum8!(a10) + t[1][0];
+            *gp.add((o + 1) * rdim + r + 1) += hsum8!(a11) + t[1][1];
+            *gp.add((o + 2) * rdim + r) += hsum8!(a20) + t[2][0];
+            *gp.add((o + 2) * rdim + r + 1) += hsum8!(a21) + t[2][1];
+            *gp.add((o + 3) * rdim + r) += hsum8!(a30) + t[3][0];
+            *gp.add((o + 3) * rdim + r + 1) += hsum8!(a31) + t[3][1];
+            r += 2;
+        }
+        if r < rdim {
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut a2 = _mm256_setzero_ps();
+            let mut a3 = _mm256_setzero_ps();
+            let mut p = 0;
+            while p + 8 <= npix {
+                let c0 = _mm256_loadu_ps(cp.add(r * npix + p));
+                a0 = _mm256_fmadd_ps(_mm256_loadu_ps(dp.add(o * npix + p)), c0, a0);
+                a1 = _mm256_fmadd_ps(_mm256_loadu_ps(dp.add((o + 1) * npix + p)), c0, a1);
+                a2 = _mm256_fmadd_ps(_mm256_loadu_ps(dp.add((o + 2) * npix + p)), c0, a2);
+                a3 = _mm256_fmadd_ps(_mm256_loadu_ps(dp.add((o + 3) * npix + p)), c0, a3);
+                p += 8;
+            }
+            let mut t = [0.0f32; 4];
+            while p < npix {
+                let cv = *cp.add(r * npix + p);
+                for (j, tj) in t.iter_mut().enumerate() {
+                    *tj = (*dp.add((o + j) * npix + p)).mul_add(cv, *tj);
+                }
+                p += 1;
+            }
+            *gp.add(o * rdim + r) += hsum8!(a0) + t[0];
+            *gp.add((o + 1) * rdim + r) += hsum8!(a1) + t[1];
+            *gp.add((o + 2) * rdim + r) += hsum8!(a2) + t[2];
+            *gp.add((o + 3) * rdim + r) += hsum8!(a3) + t[3];
+        }
+        o += 4;
+    }
+    while o < cout {
+        for r in 0..rdim {
+            let mut acc = _mm256_setzero_ps();
+            let mut p = 0;
+            while p + 8 <= npix {
+                acc = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(dp.add(o * npix + p)),
+                    _mm256_loadu_ps(cp.add(r * npix + p)),
+                    acc,
+                );
+                p += 8;
+            }
+            let mut tail = 0.0f32;
+            while p < npix {
+                tail = (*dp.add(o * npix + p)).mul_add(*cp.add(r * npix + p), tail);
+                p += 1;
+            }
+            *gp.add(o * rdim + r) += hsum8!(acc) + tail;
+        }
+        o += 1;
+    }
+}
+
+/// Runtime dispatch over the [`matmul_dw_scalar`] / [`matmul_dw_avx2`]
+/// twins.
+// lint: hot-path
+// lint: no-f64
+fn matmul_dw(dout: &[f32], cols: &[f32], rdim: usize, npix: usize, cout: usize, dw: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::have_avx2_fma() {
+        // SAFETY: the dispatch predicate just confirmed AVX2+FMA.
+        unsafe { matmul_dw_avx2(dout, cols, rdim, npix, cout, dw) };
+        return;
+    }
+    matmul_dw_scalar(dout, cols, rdim, npix, cout, dw);
+}
+
+/// `dcols[r, p] += Σ_o w[o, r]·dout[o, p]` — the input-gradient
+/// (transposed) matmul, same tiling as [`matmul_bias_scalar`] with the
+/// roles of output channels and cols rows swapped. Scalar twin of
+/// [`matmul_t_acc_avx2`].
+// lint: hot-path
+// lint: no-f64
+fn matmul_t_acc_scalar(
+    w: &[f32],
+    dout: &[f32],
+    rdim: usize,
+    npix: usize,
+    cout: usize,
+    dcols: &mut [f32],
+) {
     debug_assert_eq!(w.len(), cout * rdim);
     debug_assert_eq!(dcols.len(), rdim * npix);
     debug_assert_eq!(dout.len(), cout * npix);
@@ -522,10 +893,142 @@ fn matmul_t_acc(w: &[f32], dout: &[f32], rdim: usize, npix: usize, cout: usize, 
     }
 }
 
+/// AVX2+FMA twin of [`matmul_t_acc_scalar`]: 4 cols rows × 16 pixels
+/// of accumulators loaded from `dcols` (the kernel accumulates), the
+/// output-channel dimension streaming through weight broadcasts.
+///
+/// # Safety
+/// Caller must ensure AVX2 and FMA are available (dispatch through
+/// [`simd::have_avx2_fma`]).
+// lint: hot-path
+// lint: no-f64
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_t_acc_avx2(
+    w: &[f32],
+    dout: &[f32],
+    rdim: usize,
+    npix: usize,
+    cout: usize,
+    dcols: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(w.len(), cout * rdim);
+    debug_assert_eq!(dcols.len(), rdim * npix);
+    debug_assert_eq!(dout.len(), cout * npix);
+    let wp = w.as_ptr();
+    let dp = dout.as_ptr();
+    let tp = dcols.as_mut_ptr();
+    let mut r = 0;
+    while r + 4 <= rdim {
+        let mut p = 0;
+        while p + 16 <= npix {
+            let mut a00 = _mm256_loadu_ps(tp.add(r * npix + p));
+            let mut a01 = _mm256_loadu_ps(tp.add(r * npix + p + 8));
+            let mut a10 = _mm256_loadu_ps(tp.add((r + 1) * npix + p));
+            let mut a11 = _mm256_loadu_ps(tp.add((r + 1) * npix + p + 8));
+            let mut a20 = _mm256_loadu_ps(tp.add((r + 2) * npix + p));
+            let mut a21 = _mm256_loadu_ps(tp.add((r + 2) * npix + p + 8));
+            let mut a30 = _mm256_loadu_ps(tp.add((r + 3) * npix + p));
+            let mut a31 = _mm256_loadu_ps(tp.add((r + 3) * npix + p + 8));
+            for o in 0..cout {
+                let d0 = _mm256_loadu_ps(dp.add(o * npix + p));
+                let d1 = _mm256_loadu_ps(dp.add(o * npix + p + 8));
+                let w0 = _mm256_set1_ps(*wp.add(o * rdim + r));
+                a00 = _mm256_fmadd_ps(w0, d0, a00);
+                a01 = _mm256_fmadd_ps(w0, d1, a01);
+                let w1 = _mm256_set1_ps(*wp.add(o * rdim + r + 1));
+                a10 = _mm256_fmadd_ps(w1, d0, a10);
+                a11 = _mm256_fmadd_ps(w1, d1, a11);
+                let w2 = _mm256_set1_ps(*wp.add(o * rdim + r + 2));
+                a20 = _mm256_fmadd_ps(w2, d0, a20);
+                a21 = _mm256_fmadd_ps(w2, d1, a21);
+                let w3 = _mm256_set1_ps(*wp.add(o * rdim + r + 3));
+                a30 = _mm256_fmadd_ps(w3, d0, a30);
+                a31 = _mm256_fmadd_ps(w3, d1, a31);
+            }
+            _mm256_storeu_ps(tp.add(r * npix + p), a00);
+            _mm256_storeu_ps(tp.add(r * npix + p + 8), a01);
+            _mm256_storeu_ps(tp.add((r + 1) * npix + p), a10);
+            _mm256_storeu_ps(tp.add((r + 1) * npix + p + 8), a11);
+            _mm256_storeu_ps(tp.add((r + 2) * npix + p), a20);
+            _mm256_storeu_ps(tp.add((r + 2) * npix + p + 8), a21);
+            _mm256_storeu_ps(tp.add((r + 3) * npix + p), a30);
+            _mm256_storeu_ps(tp.add((r + 3) * npix + p + 8), a31);
+            p += 16;
+        }
+        while p + 8 <= npix {
+            let mut a0 = _mm256_loadu_ps(tp.add(r * npix + p));
+            let mut a1 = _mm256_loadu_ps(tp.add((r + 1) * npix + p));
+            let mut a2 = _mm256_loadu_ps(tp.add((r + 2) * npix + p));
+            let mut a3 = _mm256_loadu_ps(tp.add((r + 3) * npix + p));
+            for o in 0..cout {
+                let d = _mm256_loadu_ps(dp.add(o * npix + p));
+                a0 = _mm256_fmadd_ps(_mm256_set1_ps(*wp.add(o * rdim + r)), d, a0);
+                a1 = _mm256_fmadd_ps(_mm256_set1_ps(*wp.add(o * rdim + r + 1)), d, a1);
+                a2 = _mm256_fmadd_ps(_mm256_set1_ps(*wp.add(o * rdim + r + 2)), d, a2);
+                a3 = _mm256_fmadd_ps(_mm256_set1_ps(*wp.add(o * rdim + r + 3)), d, a3);
+            }
+            _mm256_storeu_ps(tp.add(r * npix + p), a0);
+            _mm256_storeu_ps(tp.add((r + 1) * npix + p), a1);
+            _mm256_storeu_ps(tp.add((r + 2) * npix + p), a2);
+            _mm256_storeu_ps(tp.add((r + 3) * npix + p), a3);
+            p += 8;
+        }
+        while p < npix {
+            for j in 0..4 {
+                let mut acc = *tp.add((r + j) * npix + p);
+                for o in 0..cout {
+                    acc = (*wp.add(o * rdim + r + j)).mul_add(*dp.add(o * npix + p), acc);
+                }
+                *tp.add((r + j) * npix + p) = acc;
+            }
+            p += 1;
+        }
+        r += 4;
+    }
+    while r < rdim {
+        let mut p = 0;
+        while p + 8 <= npix {
+            let mut a0 = _mm256_loadu_ps(tp.add(r * npix + p));
+            for o in 0..cout {
+                let wv = _mm256_set1_ps(*wp.add(o * rdim + r));
+                a0 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(dp.add(o * npix + p)), a0);
+            }
+            _mm256_storeu_ps(tp.add(r * npix + p), a0);
+            p += 8;
+        }
+        while p < npix {
+            let mut acc = *tp.add(r * npix + p);
+            for o in 0..cout {
+                acc = (*wp.add(o * rdim + r)).mul_add(*dp.add(o * npix + p), acc);
+            }
+            *tp.add(r * npix + p) = acc;
+            p += 1;
+        }
+        r += 1;
+    }
+}
+
+/// Runtime dispatch over the [`matmul_t_acc_scalar`] /
+/// [`matmul_t_acc_avx2`] twins.
+// lint: hot-path
+// lint: no-f64
+fn matmul_t_acc(w: &[f32], dout: &[f32], rdim: usize, npix: usize, cout: usize, dcols: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::have_avx2_fma() {
+        // SAFETY: the dispatch predicate just confirmed AVX2+FMA.
+        unsafe { matmul_t_acc_avx2(w, dout, rdim, npix, cout, dcols) };
+        return;
+    }
+    matmul_t_acc_scalar(w, dout, rdim, npix, cout, dcols);
+}
+
 /// Optimized convolution forward: im2col into `cols` (caller-provided,
 /// [`im2col_len`]-sized; unused for `k == 1`), then blocked matmul.
-/// Numerically equivalent to [`reference_conv_forward`] up to float
-/// summation order.
+/// `relu` fuses `max(0, ·)` into the matmul's output store.
+/// Numerically equivalent to [`reference_conv_forward`] (plus a ReLU
+/// pass when requested) up to float summation order.
 // lint: hot-path
 // lint: no-f64
 #[allow(clippy::too_many_arguments)]
@@ -538,6 +1041,7 @@ pub fn conv_forward(
     bias: &[f32],
     k: usize,
     cout: usize,
+    relu: bool,
     cols: &mut [f32],
     out: &mut [f32],
 ) {
@@ -545,11 +1049,11 @@ pub fn conv_forward(
     let rdim = cin * k * k;
     if k == 1 {
         // 1×1 convolution: the input already is the cols matrix.
-        matmul_bias(weights, input, rdim, npix, cout, bias, out);
+        matmul_bias(weights, input, rdim, npix, cout, bias, relu, out);
         return;
     }
     im2col(input, cin, h, w, k, cols);
-    matmul_bias(weights, cols, rdim, npix, cout, bias, out);
+    matmul_bias(weights, cols, rdim, npix, cout, bias, relu, out);
 }
 
 /// Optimized convolution backward. `cols` must hold the im2col of the
@@ -639,7 +1143,7 @@ impl Workspace {
 
 /// Balanced contiguous chunk `c` of `n` chunks over `len` items (the
 /// same partition the rayon shim uses, so slot work matches threads).
-fn chunk_range(len: usize, n: usize, c: usize) -> Range<usize> {
+pub(crate) fn chunk_range(len: usize, n: usize, c: usize) -> Range<usize> {
     let base = len / n;
     let rem = len % n;
     let start = c * base + c.min(rem);
@@ -729,10 +1233,21 @@ impl SegNet {
         let c = &self.cfg;
         let (h, w) = (c.height, c.width);
         let [w1, b1, w2, b2, w3, b3] = self.layout.split(&self.params);
-        conv_forward(pixels, c.cin, h, w, w1, b1, c.k, c.hidden1, &mut ws.cols1, &mut ws.a1);
-        ws.a1.iter_mut().for_each(|x| *x = x.max(0.0));
-        conv_forward(&ws.a1, c.hidden1, h, w, w2, b2, c.k, c.hidden2, &mut ws.cols2, &mut ws.a2);
-        ws.a2.iter_mut().for_each(|x| *x = x.max(0.0));
+        // ReLU is fused into the matmul's output store (`relu: true`).
+        conv_forward(pixels, c.cin, h, w, w1, b1, c.k, c.hidden1, true, &mut ws.cols1, &mut ws.a1);
+        conv_forward(
+            &ws.a1,
+            c.hidden1,
+            h,
+            w,
+            w2,
+            b2,
+            c.k,
+            c.hidden2,
+            true,
+            &mut ws.cols2,
+            &mut ws.a2,
+        );
         conv_forward(
             &ws.a2,
             c.hidden2,
@@ -742,6 +1257,7 @@ impl SegNet {
             b3,
             1,
             c.n_classes,
+            false,
             &mut ws.dcols,
             &mut ws.dlogits,
         );
@@ -761,14 +1277,45 @@ impl SegNet {
             .collect()
     }
 
+    /// Parameter ranges of the six blocks, in the fixed flat order
+    /// `[w1, b1, w2, b2, w3, b3]` — what the pipelined step executor
+    /// uses to address gradient tiles inside a flat vector.
+    pub fn block_ranges(&self) -> [Range<usize>; 6] {
+        [
+            self.layout.range(0),
+            self.layout.range(1),
+            self.layout.range(2),
+            self.layout.range(3),
+            self.layout.range(4),
+            self.layout.range(5),
+        ]
+    }
+
     /// Cross-entropy loss for one sample, **accumulating** the flat
     /// parameter gradient into `grad_acc` (`+=`). Performs zero heap
     /// allocations: all scratch comes from `ws`.
+    ///
+    /// The body is the four pipeline phases run back to back; the
+    /// pipelined executor calls them individually so each layer's
+    /// gradient tile can be reduced as soon as its phase completes.
     // lint: hot-path
     pub fn loss_grad_acc(&self, sample: &Sample, ws: &mut Workspace, grad_acc: &mut [f32]) -> f64 {
-        let c = &self.cfg;
-        let (h, w, npix) = (c.height, c.width, c.height * c.width);
         assert_eq!(grad_acc.len(), self.n_params(), "gradient vector length");
+        let [gw1, gb1, gw2, gb2, gw3, gb3] = self.layout.split_mut(grad_acc);
+        let loss = self.phase_forward_softmax(sample, ws);
+        self.phase_backward_head(ws, gw3, gb3);
+        self.phase_backward_mid(ws, gw2, gb2);
+        self.phase_backward_input(sample, ws, gw1, gb1);
+        loss
+    }
+
+    /// Pipeline phase 1: forward pass plus per-pixel softmax
+    /// cross-entropy backward. Leaves the loss gradient w.r.t. the
+    /// logits in `ws.dlogits`; returns the sample's mean pixel loss.
+    // lint: hot-path
+    pub fn phase_forward_softmax(&self, sample: &Sample, ws: &mut Workspace) -> f64 {
+        let c = &self.cfg;
+        let npix = c.height * c.width;
         self.forward_ws(&sample.pixels, ws);
 
         // Per-pixel softmax cross-entropy; dlogits in place. (ReLU
@@ -781,23 +1328,35 @@ impl SegNet {
             for cl in 0..c.n_classes {
                 maxv = maxv.max(dlogits[cl * npix + i]);
             }
-            let mut denom = 0.0f32;
-            for cl in 0..c.n_classes {
-                denom += (dlogits[cl * npix + i] - maxv).exp();
-            }
             let target = sample.labels[i] as usize;
             let logit_t = dlogits[target * npix + i];
+            // Single-exp formulation: stash e^(x-max) in place on the
+            // accumulation pass, then normalize — same `e / denom`
+            // division as the reference, so the result is bit-identical
+            // while halving the (dominant) exp count.
+            let mut denom = 0.0f32;
+            for cl in 0..c.n_classes {
+                let e = (dlogits[cl * npix + i] - maxv).exp();
+                denom += e;
+                dlogits[cl * npix + i] = e;
+            }
             loss += f64::from(denom.ln() + maxv - logit_t);
             for cl in 0..c.n_classes {
-                let p = (dlogits[cl * npix + i] - maxv).exp() / denom;
+                let p = dlogits[cl * npix + i] / denom;
                 dlogits[cl * npix + i] = (p - f32::from(u8::from(cl == target))) / npix as f32;
             }
         }
-        loss /= npix as f64;
+        loss / npix as f64
+    }
 
-        // Backward, layer by layer, accumulating into the grad views.
-        let [w1, _, w2, _, w3, _] = self.layout.split(&self.params);
-        let [gw1, gb1, gw2, gb2, gw3, gb3] = self.layout.split_mut(grad_acc);
+    /// Pipeline phase 2: 1×1 head backward. Accumulates into the
+    /// `w3`/`b3` gradient blocks and leaves the ReLU-masked activation
+    /// gradient in `ws.da2`. Requires phase 1's workspace state.
+    // lint: hot-path
+    pub fn phase_backward_head(&self, ws: &mut Workspace, gw3: &mut [f32], gb3: &mut [f32]) {
+        let c = &self.cfg;
+        let (h, w) = (c.height, c.width);
+        let [_, _, _, _, w3, _] = self.layout.split(&self.params);
         ws.da2.fill(0.0);
         conv_backward(
             &ws.a2,
@@ -819,6 +1378,15 @@ impl SegNet {
                 *d = 0.0;
             }
         }
+    }
+
+    /// Pipeline phase 3: middle k×k layer backward. Accumulates into
+    /// `w2`/`b2` and leaves the ReLU-masked `ws.da1`. Requires phase 2.
+    // lint: hot-path
+    pub fn phase_backward_mid(&self, ws: &mut Workspace, gw2: &mut [f32], gb2: &mut [f32]) {
+        let c = &self.cfg;
+        let (h, w) = (c.height, c.width);
+        let [_, _, w2, _, _, _] = self.layout.split(&self.params);
         ws.da1.fill(0.0);
         conv_backward(
             &ws.a1,
@@ -840,6 +1408,21 @@ impl SegNet {
                 *d = 0.0;
             }
         }
+    }
+
+    /// Pipeline phase 4: input k×k layer backward. Accumulates into
+    /// `w1`/`b1`; no further input gradient. Requires phase 3.
+    // lint: hot-path
+    pub fn phase_backward_input(
+        &self,
+        sample: &Sample,
+        ws: &mut Workspace,
+        gw1: &mut [f32],
+        gb1: &mut [f32],
+    ) {
+        let c = &self.cfg;
+        let (h, w) = (c.height, c.width);
+        let [w1, _, _, _, _, _] = self.layout.split(&self.params);
         conv_backward(
             &sample.pixels,
             c.cin,
@@ -855,7 +1438,6 @@ impl SegNet {
             gb1,
             None,
         );
-        loss
     }
 
     /// Cross-entropy loss and flat parameter gradient for one sample

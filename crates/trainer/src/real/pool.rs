@@ -1,0 +1,340 @@
+//! A tiny persistent core pool for the pipelined step executor.
+//!
+//! `CorePool::run(f)` fans a job out to `n` workers: the calling thread
+//! participates as worker 0 and `n - 1` persistent helper threads run
+//! the rest. Helpers park between jobs (`thread::park`, never a sleep
+//! loop) and are woken by a generation-counter handshake, so a steady
+//!-state `run` call performs **no heap allocation**: publish the job,
+//! unpark, work, park. That is what lets a whole pipelined training
+//! step stay inside the zero-allocation envelope the allocation-counter
+//! tests prove.
+//!
+//! The pool deliberately does *not* ship a scheduler: jobs receive only
+//! their worker index. Work distribution (the stealing part) lives with
+//! the caller — the pipeline executor hands each worker a [`RangeQueue`]
+//! of task indices and lets idle workers steal from the tails of the
+//! others.
+
+use std::mem;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle, Thread};
+
+/// Raw job entry point: `(context, worker index)`.
+type JobFn = unsafe fn(*const (), usize);
+
+struct Shared {
+    /// `JobFn` of the current job, stored as a word.
+    job_fn: AtomicUsize,
+    /// Context pointer of the current job, stored as a word.
+    job_ctx: AtomicUsize,
+    /// Bumped once per published job; helpers run when it advances.
+    generation: AtomicU64,
+    /// Helpers still working on the current job.
+    remaining: AtomicUsize,
+    /// Set when any worker panicked inside a job.
+    panicked: AtomicBool,
+    shutdown: AtomicBool,
+    /// The thread blocked in [`CorePool::run`], to unpark on completion.
+    submitter: Mutex<Thread>,
+}
+
+fn lock_submitter(shared: &Shared) -> std::sync::MutexGuard<'_, Thread> {
+    // A panicking worker poisons nothing here: the guarded value is a
+    // plain `Thread` handle, always valid.
+    match shared.submitter.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Persistent worker pool; see the module docs.
+pub struct CorePool {
+    shared: Arc<Shared>,
+    /// Handles of the helper threads, for unparking on publish.
+    helpers: Vec<Thread>,
+    joins: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl CorePool {
+    /// Pool with `workers` total lanes (1 ⇒ everything runs inline on
+    /// the calling thread; `n` ⇒ `n - 1` helper threads are spawned).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            job_fn: AtomicUsize::new(0),
+            job_ctx: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            submitter: Mutex::new(thread::current()),
+        });
+        let mut joins = Vec::with_capacity(workers - 1);
+        for idx in 1..workers {
+            let sh = Arc::clone(&shared);
+            let join = thread::Builder::new()
+                .name(format!("pipeline-worker-{idx}"))
+                .spawn(move || helper_loop(&sh, idx))
+                .expect("spawn pipeline worker"); // lint: allow(unwrap): thread spawn failing at pool construction is unrecoverable
+            joins.push(join);
+        }
+        let helpers = joins.iter().map(|j| j.thread().clone()).collect();
+        CorePool { shared, helpers, joins, workers }
+    }
+
+    /// Total worker lanes (helpers + the submitting thread).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f(worker_idx)` on every worker lane and wait for all of
+    /// them. The borrow checker cannot see across the helper threads,
+    /// so the safety contract is enforced by blocking: `f`'s borrows
+    /// stay valid because `run` does not return until every helper has
+    /// finished the job (the same discipline as scoped threads).
+    ///
+    /// Steady-state calls allocate nothing.
+    // lint: hot-path
+    pub fn run<F: Fn(usize) + Sync>(&self, f: &F) {
+        unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), idx: usize) {
+            (*(ctx as *const F))(idx)
+        }
+        if self.workers == 1 {
+            f(0);
+            return;
+        }
+        *lock_submitter(&self.shared) = thread::current();
+        self.shared.job_ctx.store(f as *const F as *const () as usize, Ordering::Release);
+        self.shared.job_fn.store(trampoline::<F> as JobFn as usize, Ordering::Release);
+        self.shared.remaining.store(self.workers - 1, Ordering::Release);
+        self.shared.generation.fetch_add(1, Ordering::Release);
+        for h in &self.helpers {
+            h.unpark();
+        }
+        // Participate as worker 0. A panic here must still wait for the
+        // helpers (their borrows of `f`'s context die with this frame).
+        let mine = panic::catch_unwind(AssertUnwindSafe(|| f(0)));
+        while self.shared.remaining.load(Ordering::Acquire) != 0 {
+            thread::park();
+        }
+        if let Err(payload) = mine {
+            panic::resume_unwind(payload);
+        }
+        if self.shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("pipeline pool worker panicked");
+        }
+    }
+}
+
+impl Drop for CorePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in &self.helpers {
+            h.unpark();
+        }
+        for j in mem::take(&mut self.joins) {
+            let _ = j.join();
+        }
+    }
+}
+
+fn helper_loop(shared: &Shared, idx: usize) {
+    let mut seen = 0u64;
+    loop {
+        let gen = shared.generation.load(Ordering::Acquire);
+        if gen == seen {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            thread::park();
+            continue;
+        }
+        seen = gen;
+        // SAFETY: `job_fn` was stored from a `JobFn` of the matching
+        // monomorphization by `run`, which blocks until `remaining`
+        // drains — the context outlives this call.
+        let f: JobFn =
+            unsafe { mem::transmute::<usize, JobFn>(shared.job_fn.load(Ordering::Acquire)) };
+        let ctx = shared.job_ctx.load(Ordering::Acquire) as *const ();
+        if panic::catch_unwind(AssertUnwindSafe(|| unsafe { f(ctx, idx) })).is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            lock_submitter(shared).unpark();
+        }
+    }
+}
+
+/// A contiguous block of task indices, packed `head:32 | end:32` into
+/// one atomic word so owners and thieves race through plain CAS.
+/// Owners take from the head, thieves from the tail; either way a
+/// claimed index is claimed exactly once.
+#[derive(Debug)]
+pub struct RangeQueue(AtomicU64);
+
+fn pack(head: u32, end: u32) -> u64 {
+    (u64::from(head) << 32) | u64::from(end)
+}
+
+impl RangeQueue {
+    pub fn empty() -> Self {
+        RangeQueue(AtomicU64::new(0))
+    }
+
+    /// Reset to cover `start..end` (called between jobs, single-threaded).
+    pub fn reset(&self, start: usize, end: usize) {
+        debug_assert!(start <= end && end <= u32::MAX as usize);
+        self.0.store(pack(start as u32, end as u32), Ordering::Release);
+    }
+
+    /// Claim the next index from the front (the owner's fast path).
+    // lint: hot-path
+    pub fn pop_front(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (head, end) = ((cur >> 32) as u32, cur as u32);
+            if head >= end {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(head + 1, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(head as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Claim the last index from the back (the thief's entry point).
+    // lint: hot-path
+    pub fn steal_back(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (head, end) = ((cur >> 32) as u32, cur as u32);
+            if head >= end {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(head, end - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((end - 1) as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn inline_pool_runs_on_the_caller() {
+        let pool = CorePool::new(1);
+        let hits = AtomicU32::new(0);
+        pool.run(&|idx| {
+            assert_eq!(idx, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn every_worker_lane_runs_each_job() {
+        let pool = CorePool::new(3);
+        for _ in 0..50 {
+            let mask = AtomicU32::new(0);
+            pool.run(&|idx| {
+                mask.fetch_or(1 << idx, Ordering::Relaxed);
+            });
+            assert_eq!(mask.load(Ordering::Relaxed), 0b111);
+        }
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_run() {
+        let pool = CorePool::new(2);
+        let mut data = vec![0u64; 1000];
+        let cells: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(&|idx| {
+            for (i, c) in cells.iter().enumerate() {
+                if i % 2 == idx {
+                    c.store(i as u64 + 1, Ordering::Relaxed);
+                }
+            }
+        });
+        for (d, c) in data.iter_mut().zip(&cells) {
+            *d = c.load(Ordering::Relaxed);
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_submitter() {
+        let pool = CorePool::new(2);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|idx| {
+                if idx == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        // Either the helper's flagged panic or (rarely, if worker 0 is
+        // re-dispatched...) — the run must not succeed silently.
+        assert!(caught.is_err(), "helper panic must surface");
+        // The pool stays usable for the next job.
+        let ok = AtomicU32::new(0);
+        pool.run(&|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn range_queue_hands_out_each_index_once() {
+        let q = RangeQueue::empty();
+        q.reset(3, 11);
+        let mut got = Vec::new();
+        got.push(q.steal_back());
+        while let Some(i) = q.pop_front() {
+            got.push(Some(i));
+        }
+        assert_eq!(q.steal_back(), None);
+        let mut idx: Vec<usize> = got.into_iter().flatten().collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (3..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_owners_and_thieves_never_duplicate() {
+        let q = RangeQueue::empty();
+        q.reset(0, 4000);
+        let claims: Vec<AtomicU32> = (0..4000).map(|_| AtomicU32::new(0)).collect();
+        thread::scope(|s| {
+            for t in 0..4 {
+                let q = &q;
+                let claims = &claims;
+                s.spawn(move || loop {
+                    let got = if t % 2 == 0 { q.pop_front() } else { q.steal_back() };
+                    match got {
+                        Some(i) => {
+                            claims[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        assert!(claims.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -22,6 +22,7 @@ fn tiny(workers: usize, steps: usize) -> TrainConfig {
         weight_decay: 0.0,
         accumulation_steps: 1,
         algo: collectives::Algorithm::Ring,
+        pipeline: false,
         fp16_gradients: false,
         augment: false,
         eval_every: 0,

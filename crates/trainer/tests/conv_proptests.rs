@@ -55,8 +55,14 @@ proptest! {
 
         let mut cols = vec![0.0f32; im2col_len(cin, k, npix)];
         let mut got = vec![0.0f32; cout * npix];
-        conv_forward(&input, cin, h, w, &weights, &bias, k, cout, &mut cols, &mut got);
+        conv_forward(&input, cin, h, w, &weights, &bias, k, cout, false, &mut cols, &mut got);
         assert_all_close(&got, &want, 1e-4, "out")?;
+
+        // Fused ReLU must equal a separate max(0, ·) pass.
+        let mut relu_got = vec![0.0f32; cout * npix];
+        conv_forward(&input, cin, h, w, &weights, &bias, k, cout, true, &mut cols, &mut relu_got);
+        let relu_want: Vec<f32> = want.iter().map(|&x| x.max(0.0)).collect();
+        assert_all_close(&relu_got, &relu_want, 1e-4, "relu out")?;
     }
 
     #[test]
@@ -81,7 +87,7 @@ proptest! {
 
         let mut cols = vec![0.0f32; im2col_len(cin, k, npix)];
         let mut out = vec![0.0f32; cout * npix];
-        conv_forward(&input, cin, h, w, &weights, &bias, k, cout, &mut cols, &mut out);
+        conv_forward(&input, cin, h, w, &weights, &bias, k, cout, false, &mut cols, &mut out);
         let mut dcols = vec![0.0f32; cols.len()];
         let (mut dw, mut db, mut din) = (dw0, db0, din0);
         conv_backward(

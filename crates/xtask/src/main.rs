@@ -29,6 +29,14 @@
 //!    itself) carries a same-line waiver
 //!    `// lint: allow(sleep): <reason>`; an empty reason is itself a
 //!    violation.
+//! 6. **simd-fallback** — every `#[target_feature]` fn must (a) carry
+//!    an `_avx2` / `_f16c` suffix naming the feature it needs, (b) have
+//!    a same-file `_scalar` twin, (c) be reachable only through a
+//!    runtime-dispatch call site (the file must consult the matching
+//!    `simd::have_*` predicate), and (d) both twins must actually be
+//!    called somewhere in the file. This keeps the crate loadable on
+//!    machines without the extension and keeps the differential tests
+//!    honest — an uncalled twin proves nothing.
 //!
 //! The pass is deliberately token-based (comment- and string-stripped
 //! lines, brace counting) rather than AST-based: it has zero
@@ -91,6 +99,7 @@ fn lint() -> ExitCode {
             Ok(text) => {
                 linted += 1;
                 lint_file(file, &text, &root, &mut findings);
+                lint_simd_fallback(file, &text, &root, &mut findings);
             }
             Err(err) => {
                 eprintln!("xtask lint: cannot read {}: {err}", file.display());
@@ -358,6 +367,117 @@ fn lint_file(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) 
     }
 }
 
+/// The fn name declared on `line`, if any.
+fn declared_fn_name(line: &str) -> Option<&str> {
+    let at = line.find("fn ")?;
+    // Reject `hot_fn x` style false positives: `fn` must start a word.
+    if at > 0 && line.as_bytes()[at - 1].is_ascii_alphanumeric() {
+        return None;
+    }
+    let rest = line[at + 3..].trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_alphanumeric() && c != '_').unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// Rule 6 (`simd-fallback`): see the module docs. Whole-file pass —
+/// the twin/dispatch requirements relate distant lines, so it runs
+/// separately from the line-state machine in [`lint_file`].
+fn lint_simd_fallback(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) {
+    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    // Collect the `#[target_feature]` fns: attribute line(s), then the
+    // declaration. Stripped lines keep attributes-in-strings (as in
+    // this file's own tests) from registering.
+    let mut simd_fns: Vec<(usize, String)> = Vec::new();
+    let mut pending = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let code = strip_comments_and_strings(raw);
+        let t = code.trim();
+        if t.starts_with("#[target_feature") {
+            pending = true;
+            continue;
+        }
+        if pending {
+            if t.starts_with("#[") || t.is_empty() {
+                continue;
+            }
+            if let Some(name) = declared_fn_name(&code) {
+                simd_fns.push((idx + 1, name.to_string()));
+            }
+            pending = false;
+        }
+    }
+    if simd_fns.is_empty() {
+        return;
+    }
+
+    let stripped: Vec<String> = text.lines().map(strip_comments_and_strings).collect();
+    let calls = |name: &str| {
+        let declaration = format!("fn {name}");
+        let call = format!("{name}(");
+        stripped.iter().filter(|l| l.contains(&call) && !l.contains(&declaration)).count()
+    };
+    for (line, name) in &simd_fns {
+        let Some((stem, predicate)) = name
+            .strip_suffix("_avx2")
+            .map(|s| (s, "have_avx2_fma("))
+            .or_else(|| name.strip_suffix("_f16c").map(|s| (s, "have_f16c(")))
+        else {
+            findings.push(Finding {
+                path: rel.clone(),
+                line: *line,
+                rule: "simd-fallback",
+                detail: format!(
+                    "`#[target_feature]` fn `{name}` must carry an `_avx2`/`_f16c` suffix \
+                     naming the feature it needs"
+                ),
+            });
+            continue;
+        };
+        let twin = format!("{stem}_scalar");
+        if !stripped.iter().any(|l| l.contains(&format!("fn {twin}"))) {
+            findings.push(Finding {
+                path: rel.clone(),
+                line: *line,
+                rule: "simd-fallback",
+                detail: format!("`{name}` has no same-file scalar twin `{twin}`"),
+            });
+            continue;
+        }
+        if !stripped.iter().any(|l| l.contains(predicate)) {
+            findings.push(Finding {
+                path: rel.clone(),
+                line: *line,
+                rule: "simd-fallback",
+                detail: format!(
+                    "`{name}` has no runtime-dispatch call site: the file never consults \
+                     `{}...)`",
+                    predicate
+                ),
+            });
+        }
+        if calls(name) == 0 {
+            findings.push(Finding {
+                path: rel.clone(),
+                line: *line,
+                rule: "simd-fallback",
+                detail: format!("`{name}` is declared but never dispatched"),
+            });
+        }
+        if calls(&twin) == 0 {
+            findings.push(Finding {
+                path: rel.clone(),
+                line: *line,
+                rule: "simd-fallback",
+                detail: format!("scalar twin `{twin}` is never called — the fallback is dead"),
+            });
+        }
+    }
+}
+
 /// The reason text of a same-line `// lint: allow(unwrap): …` waiver.
 fn waiver_reason(raw: &str) -> Option<&str> {
     waiver_reason_for(raw, "unwrap")
@@ -488,6 +608,77 @@ fn step(lane: &Lane) {
         let rules: Vec<String> = findings_for(src).into_iter().map(|(r, _)| r).collect();
         assert!(rules.contains(&"hot-path-alloc".to_string()), "{rules:?}");
         assert!(rules.contains(&"hot-path-dyn-trace".to_string()), "{rules:?}");
+    }
+
+    fn simd_findings_for(src: &str) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        lint_simd_fallback(Path::new("x.rs"), src, Path::new("."), &mut out);
+        out.into_iter().map(|f| (f.rule.to_string(), f.line)).collect()
+    }
+
+    const SIMD_OK: &str = "\
+fn sum_scalar(x: &mut [f32]) {}
+
+#[cfg(target_arch = \"x86_64\")]
+#[target_feature(enable = \"avx2,fma\")]
+unsafe fn sum_avx2(x: &mut [f32]) {}
+
+pub fn sum(x: &mut [f32]) {
+    if simd::have_avx2_fma() {
+        return unsafe { sum_avx2(x) };
+    }
+    sum_scalar(x)
+}
+";
+
+    #[test]
+    fn complete_simd_triple_passes() {
+        assert!(simd_findings_for(SIMD_OK).is_empty());
+    }
+
+    #[test]
+    fn simd_fn_without_feature_suffix_fails() {
+        let src = SIMD_OK.replace("sum_avx2", "sum_fast");
+        let f = simd_findings_for(&src);
+        assert_eq!(f, vec![("simd-fallback".to_string(), 5)]);
+    }
+
+    #[test]
+    fn missing_scalar_twin_fails() {
+        let src = SIMD_OK.replace("sum_scalar", "sum_slow");
+        assert_eq!(simd_findings_for(&src), vec![("simd-fallback".to_string(), 5)]);
+    }
+
+    #[test]
+    fn missing_dispatch_predicate_fails() {
+        let src = SIMD_OK.replace("simd::have_avx2_fma()", "true");
+        let f = simd_findings_for(&src);
+        assert_eq!(f, vec![("simd-fallback".to_string(), 5)], "{f:?}");
+    }
+
+    #[test]
+    fn uncalled_twins_fail() {
+        let src = "\
+fn pack_scalar(x: &mut [f32]) {}
+
+#[target_feature(enable = \"f16c\")]
+unsafe fn pack_f16c(x: &mut [f32]) {}
+
+pub fn pack(x: &mut [f32]) {
+    let _ = simd::have_f16c();
+}
+";
+        let f = simd_findings_for(src);
+        assert_eq!(
+            f,
+            vec![("simd-fallback".to_string(), 4), ("simd-fallback".to_string(), 4)],
+            "both the simd fn and the scalar twin are dead: {f:?}"
+        );
+    }
+
+    #[test]
+    fn files_without_target_feature_are_untouched() {
+        assert!(simd_findings_for("fn plain() {}\n").is_empty());
     }
 
     #[test]

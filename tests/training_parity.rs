@@ -31,6 +31,7 @@ fn cfg(workers: usize, batch_per_worker: usize, steps: usize) -> TrainConfig {
         faults: None,
         checkpoint: None,
         trace: None,
+        pipeline: false,
     }
 }
 

@@ -268,6 +268,54 @@ impl<'a, T: Send> Source for SliceIterMut<'a, T> {
     }
 }
 
+/// Shared chunk source (`par_chunks`): item `i` is the `i`-th
+/// `size`-element window of the slice (last one may be short).
+pub struct SliceChunks<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Source for SliceChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.slice.len());
+        self.slice.get_unchecked(start..end)
+    }
+}
+
+/// Exclusive chunk source (`par_chunks_mut`): disjoint windows, so the
+/// concurrent `&mut` handouts never alias.
+pub struct SliceChunksMut<'a, T: Send> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunk windows are disjoint by construction; T: Send lets the
+// chunks cross threads.
+unsafe impl<T: Send> Sync for SliceChunksMut<'_, T> {}
+
+impl<'a, T: Send> Source for SliceChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.size;
+        let n = self.size.min(self.len - start);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), n)
+    }
+}
+
 /// Integer-range source (`(a..b).into_par_iter()`).
 pub struct RangeIter<T> {
     start: T,
@@ -406,10 +454,36 @@ impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
     }
 }
 
+/// `par_chunks` on borrowed slices — the chunked entry point the SIMD
+/// reduction kernels use (each chunk is processed by a serial vector
+/// loop, so the per-item closure dispatch cost disappears).
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, size: usize) -> SliceChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> SliceChunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        SliceChunks { slice: self, size }
+    }
+}
+
+/// `par_chunks_mut` on borrowed slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> SliceChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> SliceChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        SliceChunksMut { ptr: self.as_mut_ptr(), len: self.len(), size, _marker: PhantomData }
+    }
+}
+
 pub mod prelude {
     pub use super::{
         FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
-        IntoParallelRefMutIterator, ParallelIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
     };
 }
 
@@ -471,6 +545,26 @@ mod tests {
         let run =
             || data.par_iter().fold(|| 0.0f32, |acc, &x| acc + x).reduce(|| 0.0, |a, b| a + b);
         assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn par_chunks_cover_slice_in_order() {
+        let data: Vec<u32> = (0..1003).collect();
+        let sums: Vec<u32> = data.par_chunks(64).map(|c| c.iter().sum()).collect();
+        let serial: Vec<u32> = data.chunks(64).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, serial);
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let mut dst = vec![1.0f32; 1003];
+        let src = vec![2.0f32; 1003];
+        dst.par_chunks_mut(64).zip(src.par_chunks(64)).for_each(|(d, s)| {
+            for (x, y) in d.iter_mut().zip(s) {
+                *x += *y;
+            }
+        });
+        assert!(dst.iter().all(|&x| x == 3.0));
     }
 
     #[test]
