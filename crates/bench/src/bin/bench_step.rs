@@ -31,9 +31,11 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::Instant;
 
 use bench::header;
+use bench::json::{array_items, compact_json, extract_value, number_after, today_utc};
+use collectives::CodecKind;
 use trainer::real::net::{BatchWorkspace, NetConfig, SegNet};
 use trainer::real::pipeline::PipelineExecutor;
 use trainer::real::segdata::{generate_batch, DataConfig, Sample};
@@ -122,143 +124,32 @@ fn reference_step(net: &SegNet, batch: &[Sample]) -> f64 {
     loss / batch.len() as f64
 }
 
-/// Today's date (UTC) as `YYYY-MM-DD`, via the classic days-to-civil
-/// conversion — no date dependency needed.
-fn today_utc() -> String {
-    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
-    let z = (secs / 86_400) as i64 + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
-}
-
-/// Strip whitespace outside string literals — embeds a prior flat-format
-/// file (or a prior `latest` object) as a one-line history entry.
-fn compact_json(src: &str) -> String {
-    let mut out = String::with_capacity(src.len());
-    let mut in_str = false;
-    let mut escape = false;
-    for ch in src.chars() {
-        if in_str {
-            out.push(ch);
-            if escape {
-                escape = false;
-            } else if ch == '\\' {
-                escape = true;
-            } else if ch == '"' {
-                in_str = false;
-            }
-        } else if ch == '"' {
-            in_str = true;
-            out.push(ch);
-        } else if !ch.is_whitespace() {
-            out.push(ch);
-        }
-    }
-    out
-}
-
-/// The balanced `{...}` or `[...]` value following `"key":`, verbatim.
-fn extract_value<'a>(src: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\"");
-    let at = src.find(&needle)?;
-    let rest = &src[at + needle.len()..];
-    let colon = rest.find(':')?;
-    let body = rest[colon + 1..].trim_start();
-    let open = body.chars().next()?;
-    let close = match open {
-        '{' => '}',
-        '[' => ']',
-        _ => return None,
-    };
-    let mut depth = 0usize;
-    let mut in_str = false;
-    let mut escape = false;
-    for (i, ch) in body.char_indices() {
-        if in_str {
-            if escape {
-                escape = false;
-            } else if ch == '\\' {
-                escape = true;
-            } else if ch == '"' {
-                in_str = false;
-            }
-            continue;
-        }
-        match ch {
-            '"' => in_str = true,
-            c if c == open => depth += 1,
-            c if c == close => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(&body[..=i]);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Split a JSON array's body (`[...]` included) into top-level items.
-fn array_items(array: &str) -> Vec<&str> {
-    let inner = array.trim().strip_prefix('[').and_then(|s| s.strip_suffix(']')).unwrap_or("");
-    let mut items = Vec::new();
-    let mut depth = 0usize;
-    let mut in_str = false;
-    let mut escape = false;
-    let mut start = 0usize;
-    for (i, ch) in inner.char_indices() {
-        if in_str {
-            if escape {
-                escape = false;
-            } else if ch == '\\' {
-                escape = true;
-            } else if ch == '"' {
-                in_str = false;
-            }
-            continue;
-        }
-        match ch {
-            '"' => in_str = true,
-            '{' | '[' => depth += 1,
-            '}' | ']' => depth -= 1,
-            ',' if depth == 0 => {
-                let item = inner[start..i].trim();
-                if !item.is_empty() {
-                    items.push(item);
-                }
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    let last = inner[start..].trim();
-    if !last.is_empty() {
-        items.push(last);
-    }
-    items
-}
-
 /// `ns_per_step` of `variant` — first occurrence wins, and `latest`
 /// precedes `history` in the current layout, so this reads the newest
 /// number from either format.
 fn extract_ns_per_step(src: &str, variant: &str) -> Option<f64> {
-    let at = src.find(&format!("\"{variant}\""))?;
-    let rest = &src[at..];
-    let key = "\"ns_per_step\":";
-    let k = rest.find(key)?;
-    let tail = rest[k + key.len()..].trim_start();
-    let end =
-        tail.find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit()).unwrap_or(tail.len());
-    tail[..end].parse().ok()
+    number_after(src, &format!("\"{variant}\""), "ns_per_step")
+}
+
+/// Normalize one history entry to the current schema: pre-history
+/// entries (the folded flat-format file) lack `date` and `cores`, which
+/// would make them silently unusable to any consumer that keys on
+/// those. Inject explicit unknown markers so every entry parses the
+/// same way; returns whether the entry needed fixing.
+fn normalize_history_entry(entry: &str) -> (String, bool) {
+    let mut e = entry.trim().to_string();
+    if !e.starts_with('{') {
+        return (e, false);
+    }
+    let mut fixed = false;
+    // Insert in reverse order so both end up at the front.
+    for (key, inject) in [("cores", "\"cores\":0,"), ("date", "\"date\":\"unknown\",")] {
+        if !e.contains(&format!("\"{key}\"")) {
+            e.insert_str(1, inject);
+            fixed = true;
+        }
+    }
+    (e, fixed)
 }
 
 fn json_entry(m: &Measurement) -> String {
@@ -320,7 +211,7 @@ fn main() {
         let mut opts: Vec<MomentumSgd> =
             (0..REPLICAS).map(|_| MomentumSgd::new(lr, 0.9, net.n_params())).collect();
         scaling.push(measure(format!("pipeline_{workers}w"), warmup, steps, || {
-            exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, false)
+            exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, CodecKind::None, false)
         }));
     }
 
@@ -343,7 +234,9 @@ fn main() {
 
     // Fold the previous run into history: a prior `latest` moves to the
     // end of `history`; a pre-history flat file becomes the first entry.
+    // Every entry is normalized to the current schema on the way in.
     let mut history: Vec<String> = Vec::new();
+    let mut normalized = 0usize;
     if let Some(prev) = &previous {
         if let Some(h) = extract_value(prev, "history") {
             history.extend(array_items(h).iter().map(|s| s.to_string()));
@@ -353,6 +246,20 @@ fn main() {
         } else if prev.contains("\"variants\"") {
             history.push(compact_json(prev));
         }
+    }
+    for h in history.iter_mut() {
+        let (fixed, did) = normalize_history_entry(h);
+        if did {
+            *h = fixed;
+            normalized += 1;
+        }
+    }
+    if normalized > 0 {
+        eprintln!(
+            "  warning: normalized {normalized} pre-schema history entr{} (injected \
+             date/cores markers)",
+            if normalized == 1 { "y" } else { "ies" }
+        );
     }
 
     let variants: Vec<String> =
@@ -425,7 +332,10 @@ fn main() {
                     std::process::exit(1);
                 }
             }
-            None => println!("  regression check: no committed baseline, skipped"),
+            None => eprintln!(
+                "  warning: regression check SKIPPED — no parsable \
+                 optimized_workspace baseline in BENCH_step.json"
+            ),
         }
     }
 }
@@ -445,18 +355,18 @@ mod tests {
 }"#;
 
     #[test]
-    fn compact_preserves_strings() {
-        assert_eq!(compact_json("{ \"a b\": [1, 2] }"), "{\"a b\":[1,2]}");
-        assert_eq!(compact_json("\"esc \\\" quote \""), "\"esc \\\" quote \"");
-    }
-
-    #[test]
-    fn extracts_balanced_values() {
-        let src = "{\"latest\": {\"x\": [1, {\"y\": 2}]}, \"history\": [ {\"a\":1}, {\"b\":2} ]}";
-        assert_eq!(extract_value(src, "latest"), Some("{\"x\": [1, {\"y\": 2}]}"));
-        let items = array_items(extract_value(src, "history").unwrap());
-        assert_eq!(items, vec!["{\"a\":1}", "{\"b\":2}"]);
-        assert_eq!(extract_value(src, "missing"), None);
+    fn normalizes_legacy_history_entries() {
+        let legacy = compact_json(LEGACY);
+        assert!(!legacy.contains("\"date\"") && !legacy.contains("\"cores\""));
+        let (fixed, did) = normalize_history_entry(&legacy);
+        assert!(did);
+        assert!(fixed.starts_with("{\"date\":\"unknown\",\"cores\":0,"), "{fixed}");
+        // The payload survives and the baseline stays readable.
+        assert_eq!(extract_ns_per_step(&fixed, "optimized_workspace"), Some(2719350.0));
+        // Idempotent: a conforming entry passes through untouched.
+        let (again, did2) = normalize_history_entry(&fixed);
+        assert!(!did2);
+        assert_eq!(again, fixed);
     }
 
     #[test]
@@ -471,12 +381,5 @@ mod tests {
             compact_json(LEGACY)
         );
         assert_eq!(extract_ns_per_step(&current, "optimized_workspace"), Some(1300000.0));
-    }
-
-    #[test]
-    fn civil_date_is_plausible() {
-        let d = today_utc();
-        assert_eq!(d.len(), 10);
-        assert!(d[..4].parse::<u32>().unwrap() >= 2026);
     }
 }

@@ -10,7 +10,7 @@
 //! gradient crosses worker threads through a real ring allreduce.
 
 use bench::{compare, header, SEED};
-use collectives::Algorithm;
+use collectives::{Algorithm, CodecKind};
 use summit_metrics::{series::bar, Table};
 use trainer::real::{train, DataConfig, NetConfig, TrainConfig};
 
@@ -38,6 +38,8 @@ fn config(workers: usize, batch_per_worker: usize) -> TrainConfig {
         algo: Algorithm::Ring,
         pipeline: false,
         fp16_gradients: false,
+        codec: CodecKind::None,
+        error_feedback: false,
         augment: false,
         eval_every: 20,
         eval_samples: 64,

@@ -1,0 +1,183 @@
+//! Tiny JSON helpers for the `BENCH_*.json` perf trackers.
+//!
+//! The tracker files are written and re-read only by the bench binaries
+//! (`bench_step`, `bench_wire`), so a handful of string-level helpers
+//! replaces a serde dependency: compact a value, pull out a balanced
+//! `{...}`/`[...]`, split an array, read one number. Every helper is
+//! string-literal-aware (braces inside strings don't count).
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Today's date (UTC) as `YYYY-MM-DD`, via the classic days-to-civil
+/// conversion — no date dependency needed.
+pub fn today_utc() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Strip whitespace outside string literals — embeds a prior flat-format
+/// file (or a prior `latest` object) as a one-line history entry.
+pub fn compact_json(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut in_str = false;
+    let mut escape = false;
+    for ch in src.chars() {
+        if in_str {
+            out.push(ch);
+            if escape {
+                escape = false;
+            } else if ch == '\\' {
+                escape = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+        } else if ch == '"' {
+            in_str = true;
+            out.push(ch);
+        } else if !ch.is_whitespace() {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// The balanced `{...}` or `[...]` value following `"key":`, verbatim.
+pub fn extract_value<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = src.find(&needle)?;
+    let rest = &src[at + needle.len()..];
+    let colon = rest.find(':')?;
+    let body = rest[colon + 1..].trim_start();
+    let open = body.chars().next()?;
+    let close = match open {
+        '{' => '}',
+        '[' => ']',
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, ch) in body.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if ch == '\\' {
+                escape = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            c if c == open => depth += 1,
+            c if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split a JSON array's body (`[...]` included) into top-level items.
+pub fn array_items(array: &str) -> Vec<&str> {
+    let inner = array.trim().strip_prefix('[').and_then(|s| s.strip_suffix(']')).unwrap_or("");
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut start = 0usize;
+    for (i, ch) in inner.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if ch == '\\' {
+                escape = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                let item = inner[start..i].trim();
+                if !item.is_empty() {
+                    items.push(item);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = inner[start..].trim();
+    if !last.is_empty() {
+        items.push(last);
+    }
+    items
+}
+
+/// The number following `"key":` in the first part of `src` at or after
+/// the first occurrence of `anchor` — lets callers read e.g. the
+/// `ns_per_step` of one named variant.
+pub fn number_after(src: &str, anchor: &str, key: &str) -> Option<f64> {
+    let at = src.find(anchor)?;
+    let rest = &src[at..];
+    let needle = format!("\"{key}\":");
+    let k = rest.find(&needle)?;
+    let tail = rest[k + needle.len()..].trim_start();
+    let end =
+        tail.find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit()).unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_preserves_strings() {
+        assert_eq!(compact_json("{ \"a b\": [1, 2] }"), "{\"a b\":[1,2]}");
+        assert_eq!(compact_json("\"esc \\\" quote \""), "\"esc \\\" quote \"");
+    }
+
+    #[test]
+    fn extracts_balanced_values() {
+        let src = "{\"latest\": {\"x\": [1, {\"y\": 2}]}, \"history\": [ {\"a\":1}, {\"b\":2} ]}";
+        assert_eq!(extract_value(src, "latest"), Some("{\"x\": [1, {\"y\": 2}]}"));
+        let items = array_items(extract_value(src, "history").unwrap());
+        assert_eq!(items, vec!["{\"a\":1}", "{\"b\":2}"]);
+        assert_eq!(extract_value(src, "missing"), None);
+    }
+
+    #[test]
+    fn number_after_reads_anchored_keys() {
+        let src = "{\"a\": {\"n\": 1.5}, \"b\": {\"n\": -2}}";
+        assert_eq!(number_after(src, "\"a\"", "n"), Some(1.5));
+        assert_eq!(number_after(src, "\"b\"", "n"), Some(-2.0));
+        assert_eq!(number_after(src, "\"c\"", "n"), None);
+    }
+
+    #[test]
+    fn civil_date_is_plausible() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert!(d[..4].parse::<u32>().unwrap() >= 2026);
+    }
+}

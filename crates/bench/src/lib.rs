@@ -6,6 +6,8 @@
 //! tuned configurations — and the paper-vs-measured reporting helpers
 //! that EXPERIMENTS.md quotes.
 
+pub mod json;
+
 use dlmodels::{deeplab_paper, GpuModel, ModelGraph};
 use horovod::HorovodConfig;
 use mpi_profiles::Backend;

@@ -91,6 +91,32 @@ pub fn simulate(
     placement: &[GpuId],
     cost: &dyn CostModel,
 ) -> ExecReport {
+    simulate_with_payload(schedule, machine, placement, cost, &|len| len as u64 * ELEM_BYTES)
+}
+
+/// [`simulate`] with a gradient codec on the wire: every message
+/// carries `codec.encoded_len(seg_elems)` bytes instead of raw fp32
+/// (exact per the codec's wire format, scale headers included), while
+/// local reductions still run over the decoded fp32 elements. This is
+/// the payload-size hook the compression studies use to ask where
+/// int8/top-k beats fusion tuning at scale.
+pub fn simulate_compressed(
+    schedule: &Schedule,
+    machine: &Machine,
+    placement: &[GpuId],
+    cost: &dyn CostModel,
+    codec: crate::compression::CodecKind,
+) -> ExecReport {
+    simulate_with_payload(schedule, machine, placement, cost, &|len| codec.encoded_len(len) as u64)
+}
+
+fn simulate_with_payload(
+    schedule: &Schedule,
+    machine: &Machine,
+    placement: &[GpuId],
+    cost: &dyn CostModel,
+    wire: &dyn Fn(usize) -> u64,
+) -> ExecReport {
     assert_eq!(placement.len(), schedule.n_ranks, "one GPU per rank");
     debug_assert_eq!(schedule.validate(), Ok(()));
     let mut programs = vec![Program::new(); schedule.n_ranks];
@@ -110,7 +136,7 @@ pub fn simulate(
                 touched.push(a.seg());
                 match *a {
                     Action::Send { peer, seg } => {
-                        let bytes = seg.len as u64 * ELEM_BYTES;
+                        let bytes = wire(seg.len);
                         let p = cost.msg(machine, placement[rank], placement[peer], bytes);
                         ops.push(Op::Send {
                             peer,
@@ -182,6 +208,35 @@ mod tests {
         let small = simulate_dense(&ring::allreduce(12, 1 << 18), &m, &cost);
         let large = simulate_dense(&ring::allreduce(12, 1 << 22), &m, &cost);
         assert!(large.makespan > small.makespan);
+    }
+
+    #[test]
+    fn compressed_none_matches_uncompressed_exactly() {
+        let m = machine_for(12);
+        let cost = UniformCost::default();
+        let s = ring::allreduce(12, 1 << 18);
+        let placement: Vec<GpuId> = (0..12).map(GpuId).collect();
+        let plain = simulate(&s, &m, &placement, &cost);
+        let none = simulate_compressed(&s, &m, &placement, &cost, crate::CodecKind::None);
+        assert_eq!(plain.makespan, none.makespan);
+    }
+
+    #[test]
+    fn codec_wire_shrink_orders_bandwidth_bound_makespans() {
+        // 16 MiB of f32 over a ring is bandwidth-bound, so makespan
+        // follows wire bytes: int4 < int8 <= topk < fp16 < fp32.
+        use crate::CodecKind;
+        let m = machine_for(12);
+        let cost = UniformCost::default();
+        let s = ring::allreduce(12, 4 << 20);
+        let placement: Vec<GpuId> = (0..12).map(GpuId).collect();
+        let t = |k: CodecKind| simulate_compressed(&s, &m, &placement, &cost, k).makespan;
+        let (fp32, fp16) = (t(CodecKind::None), t(CodecKind::Fp16));
+        let (i8t, i4t, topk) = (t(CodecKind::Int8), t(CodecKind::Int4), t(CodecKind::TopK));
+        assert!(fp16 < fp32, "fp16 {fp16} vs fp32 {fp32}");
+        assert!(i8t < fp16, "int8 {i8t} vs fp16 {fp16}");
+        assert!(i4t < i8t, "int4 {i4t} vs int8 {i8t}");
+        assert!(topk <= i8t, "topk {topk} vs int8 {i8t}");
     }
 
     #[test]

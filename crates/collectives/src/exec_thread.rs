@@ -29,13 +29,14 @@
 //! gradients travel through.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use trace::Lane;
 
+use crate::compression::{codec_for, Codec, CodecKind, EncodeScratch};
 use crate::exec_trace::ExecTrace;
 use crate::reduce::{combine, finalize, ReduceOp};
 use crate::sched::{Action, Schedule, Violation};
@@ -43,6 +44,9 @@ use crate::sched::{Action, Schedule, Violation};
 /// A message: `(round, offset, payload)` — enough to assert the receiver
 /// got what the schedule says it should.
 type Msg = (usize, usize, Vec<f32>);
+
+/// A compressed message: same header, codec-encoded payload bytes.
+type MsgEnc = (usize, usize, Vec<u8>);
 
 /// Structured executor failure. The old behavior — asserting on
 /// buffer/rank mismatches and panicking on verification failure — is
@@ -99,13 +103,25 @@ impl std::error::Error for ExecError {}
 #[derive(Debug, Default)]
 pub struct PayloadPool {
     free: Mutex<Vec<Vec<f32>>>,
+    /// Encoded-payload byte buffers for the compressed wire path.
+    free_bytes: Mutex<Vec<Vec<u8>>>,
+    /// Codec scratch sets: one checked out per rank thread for the
+    /// duration of a compressed run, parked here between runs.
+    scratch: Mutex<Vec<EncodeScratch>>,
     /// High-water capacity hint: fresh and undersized buffers are sized
     /// to this up front (the executor sets it to `schedule.n_elems`, an
     /// upper bound on any segment), so capacity growth happens at most
     /// once per buffer rather than once per size class encountered.
     hint: AtomicUsize,
+    /// Same, for encoded byte buffers (`codec.encoded_len(n_elems)`).
+    byte_hint: AtomicUsize,
     fresh: AtomicUsize,
     grown: AtomicUsize,
+    /// Cumulative encoded payload bytes pushed by compressed runs, and
+    /// the raw f32 bytes they stand in for — the wire-byte ledger the
+    /// trace metrics and benches read.
+    wire_sent: AtomicU64,
+    raw_sent: AtomicU64,
 }
 
 /// A frozen copy of a pool's allocator counters — the anchor for
@@ -155,6 +171,81 @@ impl PayloadPool {
         self.free.lock().push(buf);
     }
 
+    /// Raise the encoded-byte capacity hint (never lowers it).
+    pub(crate) fn reserve_byte_hint(&self, len: usize) {
+        self.byte_hint.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// An empty byte buffer for a codec encode, recycled when possible.
+    /// Counts against the same fresh/grown ledger as the f32 buffers.
+    pub(crate) fn acquire_bytes(&self) -> Vec<u8> {
+        let want = self.byte_hint.load(Ordering::Relaxed);
+        let mut buf = match self.free_bytes.lock().pop() {
+            Some(b) => b,
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(want)
+            }
+        };
+        buf.clear();
+        if buf.capacity() < want {
+            self.grown.fetch_add(1, Ordering::Relaxed);
+            buf.reserve(want);
+        }
+        buf
+    }
+
+    pub(crate) fn release_bytes(&self, buf: Vec<u8>) {
+        self.free_bytes.lock().push(buf);
+    }
+
+    /// A zero-filled f32 buffer of exactly `len` elements (the decode
+    /// destination), recycled when possible.
+    pub(crate) fn acquire_f32_len(&self, len: usize) -> Vec<f32> {
+        let want = self.hint.load(Ordering::Relaxed).max(len);
+        let mut buf = match self.free.lock().pop() {
+            Some(b) => b,
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(want)
+            }
+        };
+        buf.clear();
+        if buf.capacity() < want {
+            self.grown.fetch_add(1, Ordering::Relaxed);
+            buf.reserve(want);
+        }
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// A codec scratch set (fresh sets cost nothing until first use;
+    /// their internal buffers warm to the high-water size and recycle).
+    pub(crate) fn acquire_scratch(&self) -> EncodeScratch {
+        self.scratch.lock().pop().unwrap_or_default()
+    }
+
+    pub(crate) fn release_scratch(&self, s: EncodeScratch) {
+        self.scratch.lock().push(s);
+    }
+
+    /// Record one compressed payload: `wire` encoded bytes standing in
+    /// for `raw` f32 bytes.
+    pub(crate) fn count_wire(&self, wire: usize, raw: usize) {
+        self.wire_sent.fetch_add(wire as u64, Ordering::Relaxed);
+        self.raw_sent.fetch_add(raw as u64, Ordering::Relaxed);
+    }
+
+    /// Cumulative encoded bytes pushed by compressed runs.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_sent.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative raw f32 bytes those encoded payloads stand in for.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_sent.load(Ordering::Relaxed)
+    }
+
     /// Total allocator events so far: fresh buffers plus capacity
     /// growths. Flat across calls ⇔ the steady state allocates nothing.
     pub fn allocations(&self) -> usize {
@@ -185,6 +276,11 @@ impl PayloadPool {
         let mut donated = std::mem::take(&mut *other.free.lock());
         self.reserve_hint(other.hint.load(Ordering::Relaxed));
         self.free.lock().append(&mut donated);
+        let mut donated_bytes = std::mem::take(&mut *other.free_bytes.lock());
+        self.reserve_byte_hint(other.byte_hint.load(Ordering::Relaxed));
+        self.free_bytes.lock().append(&mut donated_bytes);
+        let mut donated_scratch = std::mem::take(&mut *other.scratch.lock());
+        self.scratch.lock().append(&mut donated_scratch);
     }
 
     /// Buffers currently parked in the pool.
@@ -403,6 +499,103 @@ impl ExecContext {
         Ok(())
     }
 
+    /// Threaded allreduce with codec-compressed payloads: every hop
+    /// encodes its segment through `codec` before the channel push and
+    /// decodes on receipt, so the bytes that cross rank boundaries are
+    /// the codec's wire format. Lossy codecs make this an *approximate*
+    /// allreduce (quantization error compounds per hop) — it is still
+    /// bit-deterministic across runs, because the codecs are
+    /// CPU-independent and every rank's combine order is fixed by the
+    /// schedule. `CodecKind::None` degrades to the identity wire format
+    /// and matches [`ExecContext::allreduce`] bit-for-bit.
+    ///
+    /// Encoded buffers, decode destinations, and codec scratch all come
+    /// from the payload pool: the steady state allocates nothing, the
+    /// same property the raw path proves.
+    pub fn allreduce_compressed(
+        &self,
+        schedule: &Schedule,
+        buffers: &mut [Vec<f32>],
+        op: ReduceOp,
+        codec: CodecKind,
+    ) -> Result<(), ExecError> {
+        self.allreduce_compressed_traced(schedule, buffers, op, codec, None)
+    }
+
+    /// [`ExecContext::allreduce_compressed`] with per-rank trace lanes.
+    /// SEND spans record the *encoded* byte count, so a trace of a
+    /// compressed run shows the actual wire traffic.
+    pub fn allreduce_compressed_traced(
+        &self,
+        schedule: &Schedule,
+        buffers: &mut [Vec<f32>],
+        op: ReduceOp,
+        codec: CodecKind,
+        trace: Option<&ExecTrace>,
+    ) -> Result<(), ExecError> {
+        self.run_compressed_traced(schedule, buffers, op, codec, trace)?;
+        for b in buffers.iter_mut() {
+            finalize(op, b, schedule.n_ranks);
+        }
+        Ok(())
+    }
+
+    fn run_compressed_traced(
+        &self,
+        schedule: &Schedule,
+        buffers: &mut [Vec<f32>],
+        op: ReduceOp,
+        codec: CodecKind,
+        trace: Option<&ExecTrace>,
+    ) -> Result<(), ExecError> {
+        self.preflight(schedule, buffers)?;
+        let n = schedule.n_ranks;
+        if n == 1 || schedule.rounds.is_empty() {
+            return Ok(());
+        }
+        self.pool.reserve_hint(schedule.n_elems);
+        self.pool.reserve_byte_hint(codec.encoded_len(schedule.n_elems));
+        let codec: &'static dyn Codec = codec_for(codec);
+
+        let mut tx: Vec<Vec<Option<Sender<MsgEnc>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut rx: Vec<Vec<Option<Receiver<MsgEnc>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    let (t, r) = unbounded();
+                    tx[s][d] = Some(t);
+                    rx[d][s] = Some(r);
+                }
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for (rank, buf) in buffers.iter_mut().enumerate() {
+                let tx_row = std::mem::take(&mut tx[rank]);
+                let rx_row = std::mem::take(&mut rx[rank]);
+                let sched = &*schedule;
+                let pool = &self.pool;
+                let lane = trace.and_then(|t| t.lane(rank));
+                scope.spawn(move || {
+                    rank_main_compressed(rank, buf, sched, op, codec, tx_row, rx_row, pool, lane);
+                });
+            }
+        });
+        Ok(())
+    }
+
+    /// Cumulative encoded bytes this context's compressed runs pushed.
+    pub fn wire_bytes(&self) -> u64 {
+        self.pool.wire_bytes()
+    }
+
+    /// Cumulative raw f32 bytes those encoded payloads replaced.
+    pub fn raw_bytes(&self) -> u64 {
+        self.pool.raw_bytes()
+    }
+
     /// Payload-buffer allocator events so far (see
     /// [`PayloadPool::allocations`]).
     pub fn payload_allocations(&self) -> usize {
@@ -457,7 +650,17 @@ fn rank_main(
                     .send((round_idx, seg.offset, payload))
                     .expect("receiver thread hung up"); // lint: allow(unwrap): scoped threads outlive the round
                 if let (Some(l), Some(t0)) = (lane, t0) {
-                    l.record_args("SEND", "send", t0, l.now_us() - t0, peer as u64, seg.len as u64);
+                    // a1 is wire bytes, same convention as the
+                    // compressed path — the critical-path analyzer's
+                    // wire ledger sums it.
+                    l.record_args(
+                        "SEND",
+                        "send",
+                        t0,
+                        l.now_us() - t0,
+                        peer as u64,
+                        4 * seg.len as u64,
+                    );
                 }
             }
         }
@@ -492,13 +695,101 @@ fn rank_main(
                             t0,
                             l.now_us() - t0,
                             peer as u64,
-                            seg.len as u64,
+                            4 * seg.len as u64,
                         );
                     }
                 }
             }
         }
     }
+}
+
+// Compressed twin of `rank_main`: encode before every channel push,
+// decode into a pooled f32 buffer before every reduce. Same phase
+// structure, same span cats — only the payload representation differs.
+// The codec scratch is checked out once per thread, so the per-action
+// cost is the encode/decode kernels plus two pool pops.
+// lint: hot-path
+#[allow(clippy::too_many_arguments)]
+fn rank_main_compressed(
+    rank: usize,
+    buf: &mut [f32],
+    schedule: &Schedule,
+    op: ReduceOp,
+    codec: &dyn Codec,
+    tx: Vec<Option<Sender<MsgEnc>>>,
+    rx: Vec<Option<Receiver<MsgEnc>>>,
+    pool: &PayloadPool,
+    lane: Option<&Lane>,
+) {
+    let mut scratch = pool.acquire_scratch();
+    for (round_idx, round) in schedule.rounds.iter().enumerate() {
+        let actions = &round.per_rank[rank];
+        // Phase A: encode and push all outgoing payloads (pre-round
+        // snapshot semantics, same as the raw path).
+        for a in actions {
+            if let Action::Send { peer, seg } = *a {
+                let t0 = lane.map(Lane::now_us);
+                let mut payload = pool.acquire_bytes();
+                codec.encode(&buf[seg.offset..seg.end()], &mut payload, &mut scratch);
+                let wire = payload.len();
+                pool.count_wire(wire, 4 * seg.len);
+                tx[peer]
+                    .as_ref()
+                    .expect("send to self is rejected by the verifier") // lint: allow(unwrap): SelfMessage rule proven before spawn
+                    .send((round_idx, seg.offset, payload))
+                    .expect("receiver thread hung up"); // lint: allow(unwrap): scoped threads outlive the round
+                if let (Some(l), Some(t0)) = (lane, t0) {
+                    l.record_args("SEND", "send", t0, l.now_us() - t0, peer as u64, wire as u64);
+                }
+            }
+        }
+        // Phase B: block on receives in action order.
+        for a in actions {
+            match *a {
+                Action::Send { .. } => {}
+                Action::RecvReduce { peer, seg } | Action::RecvReplace { peer, seg } => {
+                    let t0 = lane.map(Lane::now_us);
+                    let (r, off, payload) = rx[peer]
+                        .as_ref()
+                        .expect("recv from self is rejected by the verifier") // lint: allow(unwrap): SelfMessage rule proven before spawn
+                        .recv()
+                        .expect("sender thread hung up"); // lint: allow(unwrap): UnmatchedRecv + DeadlockCycle rules proven before spawn
+                    assert_eq!(r, round_idx, "rank {rank}: out-of-round message from {peer}");
+                    assert_eq!(off, seg.offset, "rank {rank}: segment mismatch from {peer}");
+                    assert_eq!(
+                        payload.len(),
+                        codec.encoded_len(seg.len),
+                        "rank {rank}: wire length mismatch from {peer}"
+                    );
+                    let mut dec = pool.acquire_f32_len(seg.len);
+                    codec.decode(&payload, &mut dec, &mut scratch);
+                    match a {
+                        Action::RecvReduce { .. } => {
+                            combine(op, &mut buf[seg.offset..seg.end()], &dec)
+                        }
+                        Action::RecvReplace { .. } => {
+                            buf[seg.offset..seg.end()].copy_from_slice(&dec)
+                        }
+                        Action::Send { .. } => unreachable!(),
+                    }
+                    pool.release(dec);
+                    pool.release_bytes(payload);
+                    if let (Some(l), Some(t0)) = (lane, t0) {
+                        l.record_args(
+                            "RECV",
+                            "recv",
+                            t0,
+                            l.now_us() - t0,
+                            peer as u64,
+                            codec.encoded_len(seg.len) as u64,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    pool.release_scratch(scratch);
 }
 
 /// Execute `schedule` with a throwaway [`ExecContext`] (buffers still
@@ -864,6 +1155,149 @@ mod tests {
             ctx.allreduce_traced(&s, &mut bufs, ReduceOp::Sum, Some(&t)).unwrap();
         }
         assert_eq!(ctx.payload_allocations_since(snap), 0, "tracing must not cost payload buffers");
+    }
+
+    #[test]
+    fn compressed_none_matches_uncompressed_bitwise() {
+        let (n, e) = (5usize, 513usize);
+        let s = ring::allreduce(n, e);
+        let ins = inputs(n, e);
+        let mut raw = ins.clone();
+        allreduce(&s, &mut raw, ReduceOp::Sum).unwrap();
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        let mut comp = ins.clone();
+        ctx.allreduce_compressed(&s, &mut comp, ReduceOp::Sum, CodecKind::None).unwrap();
+        assert_eq!(raw, comp, "identity codec must not change a single bit");
+    }
+
+    #[test]
+    fn compressed_allreduce_tracks_reference_within_codec_tolerance() {
+        // Hop-wise lossy compression compounds per round; each codec's
+        // tolerance is its per-hop half-step bound times the hop count,
+        // against input sums bounded by |x| <= 4.5 per rank.
+        let (n, e) = (4usize, 1000usize);
+        let s = ring::allreduce(n, e);
+        let ins = inputs(n, e);
+        let want = expected_allreduce(&ins, ReduceOp::Sum);
+        for (codec, tol) in
+            [(CodecKind::Fp16, 0.05f32), (CodecKind::Int8, 0.75), (CodecKind::Int4, 12.0)]
+        {
+            let ctx = ExecContext::for_schedule(&s).unwrap();
+            let mut bufs = ins.clone();
+            ctx.allreduce_compressed(&s, &mut bufs, ReduceOp::Sum, codec).unwrap();
+            for b in &bufs {
+                for (i, (g, w)) in b.iter().zip(&want).enumerate() {
+                    assert!((g - w).abs() <= tol, "{codec} elem {i}: got {g} want {w} tol {tol}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_allreduce_is_bit_deterministic_across_runs() {
+        let (n, e) = (6usize, 777usize);
+        let s = rabenseifner::allreduce(n, e);
+        for codec in CodecKind::ALL {
+            let ins = inputs(n, e);
+            let mut a = ins.clone();
+            let mut b = ins.clone();
+            let ctx = ExecContext::for_schedule(&s).unwrap();
+            ctx.allreduce_compressed(&s, &mut a, ReduceOp::Sum, codec).unwrap();
+            ctx.allreduce_compressed(&s, &mut b, ReduceOp::Sum, codec).unwrap();
+            let bits = |v: &[Vec<f32>]| {
+                v.iter().flat_map(|b| b.iter().map(|x| x.to_bits())).collect::<Vec<_>>()
+            };
+            assert_eq!(bits(&a), bits(&b), "{codec}: compressed allreduce must be deterministic");
+        }
+    }
+
+    #[test]
+    fn compressed_steady_state_allocates_no_pool_buffers() {
+        let (n, e) = (4usize, 1024usize);
+        let s = ring::allreduce(n, e);
+        // Absolute worst case: with unbounded channels every payload in
+        // the schedule could be in flight at once, so one buffer per
+        // send (per pool) bounds peak demand regardless of interleaving.
+        let sends = s
+            .rounds
+            .iter()
+            .flat_map(|r| r.per_rank.iter())
+            .flatten()
+            .filter(|a| a.is_send())
+            .count();
+        for codec in [CodecKind::Fp16, CodecKind::Int8, CodecKind::TopK] {
+            let ctx = ExecContext::for_schedule(&s).unwrap();
+            for _ in 0..sends {
+                ctx.pool.release(Vec::with_capacity(e));
+                ctx.pool.release_bytes(Vec::with_capacity(codec.encoded_len(e)));
+            }
+            let snap = ctx.counter_snapshot();
+            for _ in 0..5 {
+                let mut bufs = inputs(n, e);
+                ctx.allreduce_compressed(&s, &mut bufs, ReduceOp::Sum, codec).unwrap();
+            }
+            assert_eq!(
+                ctx.payload_allocations_since(snap),
+                0,
+                "{codec}: compressed allreduce allocated despite a worst-case-sized pool"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_byte_ledger_matches_encoded_len_exactly() {
+        let (n, e) = (4usize, 1000usize);
+        let s = ring::allreduce(n, e);
+        let expected_raw: u64 = s
+            .rounds
+            .iter()
+            .flat_map(|r| r.per_rank.iter())
+            .flatten()
+            .filter_map(|a| match a {
+                Action::Send { seg, .. } => Some(4 * seg.len as u64),
+                _ => None,
+            })
+            .sum();
+        let expected_wire: u64 = s
+            .rounds
+            .iter()
+            .flat_map(|r| r.per_rank.iter())
+            .flatten()
+            .filter_map(|a| match a {
+                Action::Send { seg, .. } => Some(CodecKind::Int8.encoded_len(seg.len) as u64),
+                _ => None,
+            })
+            .sum();
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        let mut bufs = inputs(n, e);
+        ctx.allreduce_compressed(&s, &mut bufs, ReduceOp::Sum, CodecKind::Int8).unwrap();
+        assert_eq!(ctx.wire_bytes(), expected_wire, "wire ledger must bill encoded_len exactly");
+        assert_eq!(ctx.raw_bytes(), expected_raw, "raw ledger must bill 4 bytes per element");
+        assert!(
+            ctx.raw_bytes() as f64 / ctx.wire_bytes() as f64 >= 3.5,
+            "int8 must cut wire bytes at least 3.5x"
+        );
+    }
+
+    #[test]
+    fn compressed_traced_records_wire_bytes_in_send_spans() {
+        let (n, e) = (4usize, 512usize);
+        let s = ring::allreduce(n, e);
+        let rec = trace::TraceRecorder::new();
+        let t = ExecTrace::comm(&rec, &(0..n).collect::<Vec<_>>());
+        let ctx = ExecContext::for_schedule(&s).unwrap();
+        let mut bufs = inputs(n, e);
+        ctx.allreduce_compressed_traced(&s, &mut bufs, ReduceOp::Sum, CodecKind::Fp16, Some(&t))
+            .unwrap();
+        let snap = rec.snapshot();
+        let send_bytes: u64 = snap
+            .lanes
+            .iter()
+            .flat_map(|l| l.spans.iter())
+            .filter(|sp| sp.cat == "SEND")
+            .map(|sp| sp.a1)
+            .sum();
+        assert_eq!(send_bytes, ctx.wire_bytes(), "SEND spans must carry encoded byte counts");
     }
 
     #[test]

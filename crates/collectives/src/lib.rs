@@ -36,6 +36,7 @@
 
 pub mod algo;
 pub mod analytic;
+pub mod compression;
 pub mod elastic;
 pub mod exec_fault;
 pub mod exec_sim;
@@ -53,9 +54,12 @@ pub mod tree;
 
 pub use algo::Algorithm;
 pub use analytic::{allreduce_cost, crossover, AlphaBeta};
+pub use compression::{codec_for, Codec, CodecKind, EncodeScratch, ErrorFeedback};
 pub use elastic::{ElasticAllreduce, ElasticError, ElasticReport};
 pub use exec_fault::FaultSession;
-pub use exec_sim::{simulate, simulate_dense, CostModel, MsgParams, UniformCost, ELEM_BYTES};
+pub use exec_sim::{
+    simulate, simulate_compressed, simulate_dense, CostModel, MsgParams, UniformCost, ELEM_BYTES,
+};
 pub use exec_thread::{ExecContext, ExecError, PoolCounters};
 pub use exec_trace::ExecTrace;
 pub use hierarchical::{LeaderAlgo, NodeGroups};

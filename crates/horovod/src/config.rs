@@ -4,23 +4,67 @@
 //! `HOROVOD_FUSION_THRESHOLD` defaulted to 64 MB and
 //! `HOROVOD_CYCLE_TIME` to 5 ms.
 
+use collectives::CodecKind;
+
 /// Gradient compression applied before allreduce
 /// (`HOROVOD_COMPRESSION`). Fp16 halves the wire bytes at the cost of a
-/// compress/decompress pass and reduced mantissa (the accuracy side is
-/// exercised for real in `trainer::real`).
+/// compress/decompress pass and reduced mantissa; the quantizing and
+/// sparsifying codecs shrink the wire further (the accuracy side of all
+/// of them is exercised for real in `trainer::real` via
+/// [`collectives::compression`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Compression {
     #[default]
     None,
     Fp16,
+    /// Per-chunk-scale 8-bit quantization (~3.94x).
+    Int8,
+    /// Per-chunk-scale 4-bit quantization (~7.76x).
+    Int4,
+    /// Top-k sparsification, k = n/8 index+value pairs (4x).
+    TopK,
 }
 
 impl Compression {
-    /// Wire bytes for a payload of `bytes` fp32 gradient bytes.
+    /// Every variant, in sweep order.
+    pub const ALL: [Compression; 5] = [
+        Compression::None,
+        Compression::Fp16,
+        Compression::Int8,
+        Compression::Int4,
+        Compression::TopK,
+    ];
+
+    /// The real codec whose wire format this simulated knob models.
+    pub fn codec(self) -> CodecKind {
+        match self {
+            Compression::None => CodecKind::None,
+            Compression::Fp16 => CodecKind::Fp16,
+            Compression::Int8 => CodecKind::Int8,
+            Compression::Int4 => CodecKind::Int4,
+            Compression::TopK => CodecKind::TopK,
+        }
+    }
+
+    /// Wire bytes for a payload of `bytes` fp32 gradient bytes — exact
+    /// per the codec's wire format (scale headers and index overhead
+    /// included), not a nominal ratio.
     pub fn wire_bytes(self, bytes: u64) -> u64 {
         match self {
             Compression::None => bytes,
             Compression::Fp16 => bytes / 2,
+            _ => self.codec().encoded_len((bytes / 4) as usize) as u64,
+        }
+    }
+
+    /// The `HOROVOD_COMPRESSION` value string.
+    pub fn env_name(self) -> &'static str {
+        match self {
+            Compression::None => "none",
+            Compression::Fp16 => "fp16",
+            Compression::Int8 => "int8",
+            Compression::Int4 => "int4",
+            Compression::TopK => "topk",
         }
     }
 }
@@ -101,10 +145,7 @@ impl HorovodConfig {
             self.cycle_time * 1e3,
             if self.response_cache { 1024 } else { 0 },
             u8::from(self.hierarchical_allreduce),
-            match self.compression {
-                Compression::None => "none",
-                Compression::Fp16 => "fp16",
-            },
+            self.compression.env_name(),
         )
     }
 }
@@ -149,6 +190,30 @@ mod tests {
         assert_eq!(Compression::Fp16.wire_bytes(100), 50);
         let c = HorovodConfig::default().with_compression(Compression::Fp16);
         assert!(c.render_env().contains("HOROVOD_COMPRESSION=fp16"));
+    }
+
+    #[test]
+    fn quantized_wire_bytes_match_real_codec_formats() {
+        // 1 MiB of fp32 gradients = 262144 elements.
+        let bytes = 1u64 << 20;
+        let n = (bytes / 4) as usize;
+        for c in Compression::ALL {
+            assert_eq!(c.codec().name(), c.env_name());
+            let wire = c.wire_bytes(bytes);
+            assert_eq!(wire, c.codec().encoded_len(n) as u64, "{}", c.env_name());
+        }
+        // Int8: 1 scale f32 per 256-elem chunk -> ratio just under 4x.
+        let r = bytes as f64 / Compression::Int8.wire_bytes(bytes) as f64;
+        assert!(r > 3.9 && r < 4.0, "int8 ratio {r}");
+        // Int4: two elements per byte + headers -> just under 8x.
+        let r = bytes as f64 / Compression::Int4.wire_bytes(bytes) as f64;
+        assert!(r > 7.7 && r < 8.0, "int4 ratio {r}");
+        // TopK keeps n/8 (index,value) pairs -> exactly 4x on multiples of 8.
+        assert_eq!(Compression::TopK.wire_bytes(bytes), bytes / 4);
+        assert!(HorovodConfig::default()
+            .with_compression(Compression::Int4)
+            .render_env()
+            .contains("HOROVOD_COMPRESSION=int4"));
     }
 
     #[test]

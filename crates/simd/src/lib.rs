@@ -18,6 +18,9 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+pub mod fp16;
+pub mod quant;
+
 /// Cached detection state: 0 = unknown, 1 = absent, 2 = present.
 struct Cached(AtomicU8);
 

@@ -1,0 +1,285 @@
+//! Integer quantization kernels for the gradient compression codecs.
+//!
+//! The int8/int4 codecs in `collectives::compression` quantize each
+//! chunk of gradients to `round(x / scale)` with a per-chunk scale
+//! derived from the chunk's absolute maximum. The three inner loops —
+//! absolute max, quantize, dequantize — live here as scalar/AVX2 twins
+//! dispatched through [`crate::have_avx2_fma`].
+//!
+//! Bit-exactness contract: the scalar twins use
+//! [`f32::round_ties_even`], the exact rounding mode of the hardware
+//! `VCVTPS2DQ` conversion, and both twins clamp to ±127 *before*
+//! rounding — so scalar and AVX2 produce identical bytes on every
+//! non-NaN input and the compressed wire format does not depend on the
+//! host CPU.
+
+/// Largest magnitude the int8 quantizer emits (symmetric, so that the
+/// negated range never saturates to -128 asymmetrically).
+pub const Q8_MAX: f32 = 127.0;
+
+/// Serial absolute maximum, scalar twin of [`abs_max_avx2`].
+/// Returns 0.0 for an empty slice. NaN inputs are unspecified.
+// lint: hot-path
+// lint: no-f64
+fn abs_max_scalar(xs: &[f32]) -> f32 {
+    let mut m = 0.0f32;
+    for x in xs {
+        m = m.max(x.abs());
+    }
+    m
+}
+
+/// AVX2 twin of [`abs_max_scalar`].
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA is available (dispatch through
+/// [`crate::have_avx2_fma`]).
+// lint: hot-path
+// lint: no-f64
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn abs_max_avx2(xs: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let p = xs.as_ptr();
+    let n = xs.len();
+    let sign = _mm256_set1_ps(-0.0);
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_andnot_ps(sign, _mm256_loadu_ps(p.add(i)));
+        acc = _mm256_max_ps(acc, v);
+        i += 8;
+    }
+    let hi = _mm256_extractf128_ps::<1>(acc);
+    let m4 = _mm_max_ps(_mm256_castps256_ps128(acc), hi);
+    let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    let m1 = _mm_max_ss(m2, _mm_shuffle_ps::<0b01>(m2, m2));
+    let mut m = _mm_cvtss_f32(m1);
+    while i < n {
+        m = m.max((*p.add(i)).abs());
+        i += 1;
+    }
+    m
+}
+
+/// Absolute maximum of a slice, dispatching over the twins.
+// lint: hot-path
+// lint: no-f64
+pub fn abs_max(xs: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::have_avx2_fma() {
+        // SAFETY: the dispatch predicate just confirmed AVX2+FMA.
+        return unsafe { abs_max_avx2(xs) };
+    }
+    abs_max_scalar(xs)
+}
+
+/// Serial quantize: `out[i] = round_ties_even(clamp(src[i]·inv_scale))`,
+/// scalar twin of [`quant8_avx2`].
+// lint: hot-path
+// lint: no-f64
+fn quant8_scalar(src: &[f32], inv_scale: f32, out: &mut [i8]) {
+    for (o, s) in out.iter_mut().zip(src) {
+        *o = (s * inv_scale).clamp(-Q8_MAX, Q8_MAX).round_ties_even() as i32 as i8;
+    }
+}
+
+/// AVX2 twin of [`quant8_scalar`]: multiply, clamp, `VCVTPS2DQ`
+/// (round-to-nearest-even, matching the scalar `round_ties_even`),
+/// saturating pack to bytes, lane-order fixup.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA is available (dispatch through
+/// [`crate::have_avx2_fma`]).
+// lint: hot-path
+// lint: no-f64
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn quant8_avx2(src: &[f32], inv_scale: f32, out: &mut [i8]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(src.len(), out.len());
+    let sp = src.as_ptr();
+    let op = out.as_mut_ptr();
+    let n = src.len();
+    let sv = _mm256_set1_ps(inv_scale);
+    let lo = _mm256_set1_ps(-Q8_MAX);
+    let hi = _mm256_set1_ps(Q8_MAX);
+    // After packs_epi32 + packs_epi16 the four 8-lane groups sit in
+    // dword order [a0 b0 c0 d0 | a1 b1 c1 d1]; this permutation
+    // restores [a0 a1 b0 b1 c0 c1 d0 d1] = source order.
+    let fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    let mut i = 0;
+    while i + 32 <= n {
+        let q = |off: usize| {
+            let v = _mm256_mul_ps(_mm256_loadu_ps(sp.add(off)), sv);
+            _mm256_cvtps_epi32(_mm256_max_ps(lo, _mm256_min_ps(hi, v)))
+        };
+        let a = q(i);
+        let b = q(i + 8);
+        let c = q(i + 16);
+        let d = q(i + 24);
+        let ab = _mm256_packs_epi32(a, b);
+        let cd = _mm256_packs_epi32(c, d);
+        let abcd = _mm256_packs_epi16(ab, cd);
+        let ordered = _mm256_permutevar8x32_epi32(abcd, fix);
+        _mm256_storeu_si256(op.add(i) as *mut __m256i, ordered);
+        i += 32;
+    }
+    while i < n {
+        *op.add(i) = (*sp.add(i) * inv_scale).clamp(-Q8_MAX, Q8_MAX).round_ties_even() as i32 as i8;
+        i += 1;
+    }
+}
+
+/// Quantize a slice to i8 with a precomputed inverse scale, dispatching
+/// over the twins. The result is bit-identical across the twins for
+/// every non-NaN input.
+// lint: hot-path
+// lint: no-f64
+pub fn quant8(src: &[f32], inv_scale: f32, out: &mut [i8]) {
+    assert_eq!(src.len(), out.len(), "quantize length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::have_avx2_fma() {
+        // SAFETY: the dispatch predicate just confirmed AVX2+FMA.
+        unsafe { quant8_avx2(src, inv_scale, out) };
+        return;
+    }
+    quant8_scalar(src, inv_scale, out);
+}
+
+/// Serial dequantize: `dst[i] = src[i]·scale`, scalar twin of
+/// [`dequant8_avx2`]. Exact: i8→f32 is lossless and the product is a
+/// single rounding in both twins.
+// lint: hot-path
+// lint: no-f64
+fn dequant8_scalar(src: &[i8], scale: f32, dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = *s as f32 * scale;
+    }
+}
+
+/// AVX2 twin of [`dequant8_scalar`].
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA is available (dispatch through
+/// [`crate::have_avx2_fma`]).
+// lint: hot-path
+// lint: no-f64
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dequant8_avx2(src: &[i8], scale: f32, dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(src.len(), dst.len());
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let n = src.len();
+    let sv = _mm256_set1_ps(scale);
+    let mut i = 0;
+    while i + 8 <= n {
+        let bytes = _mm_loadl_epi64(sp.add(i) as *const __m128i);
+        let ints = _mm256_cvtepi8_epi32(bytes);
+        let v = _mm256_mul_ps(_mm256_cvtepi32_ps(ints), sv);
+        _mm256_storeu_ps(dp.add(i), v);
+        i += 8;
+    }
+    while i < n {
+        *dp.add(i) = *sp.add(i) as f32 * scale;
+        i += 1;
+    }
+}
+
+/// Dequantize i8 values with a scale, dispatching over the twins.
+// lint: hot-path
+// lint: no-f64
+pub fn dequant8(src: &[i8], scale: f32, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "dequantize length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::have_avx2_fma() {
+        // SAFETY: the dispatch predicate just confirmed AVX2+FMA.
+        unsafe { dequant8_avx2(src, scale, dst) };
+        return;
+    }
+    dequant8_scalar(src, scale, dst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic non-NaN stress values spanning sign, magnitude,
+    /// exact-half ties, and zeros.
+    fn stress(i: usize) -> f32 {
+        match i % 7 {
+            0 => (i as f32 * 0.37).sin() * 3.0,
+            1 => -(i as f32) * 0.001,
+            2 => (i as f32) * 250.0, // far outside the clamp range
+            3 => 0.5 + i as f32,     // exact .5 ties after unit scaling
+            4 => -(0.5 + i as f32),
+            5 => 0.0,
+            _ => f32::from_bits((i as u32).wrapping_mul(0x9e37_79b9) & 0x3fff_ffff),
+        }
+    }
+
+    #[test]
+    fn abs_max_matches_fold() {
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 100, 257] {
+            let xs: Vec<f32> = (0..n).map(stress).collect();
+            let want = xs.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+            assert_eq!(abs_max(&xs), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn quant8_round_ties_even_and_clamps() {
+        let src = [0.5f32, 1.5, 2.5, -0.5, -1.5, 126.5, 127.49, 128.0, 5000.0, -5000.0];
+        let mut out = [0i8; 10];
+        quant8(&src, 1.0, &mut out);
+        assert_eq!(out, [0, 2, 2, 0, -2, 126, 127, 127, 127, -127]);
+    }
+
+    #[test]
+    fn dequant_inverts_within_half_step() {
+        let xs: Vec<f32> = (0..200).map(stress).collect();
+        let m = abs_max(&xs);
+        let scale = m / Q8_MAX;
+        let mut q = vec![0i8; xs.len()];
+        quant8(&xs, 1.0 / scale, &mut q);
+        let mut back = vec![0f32; xs.len()];
+        dequant8(&q, scale, &mut back);
+        for (i, (x, b)) in xs.iter().zip(&back).enumerate() {
+            assert!((x - b).abs() <= 0.5001 * scale + 1e-6, "elem {i}: {x} -> {b}, step {scale}");
+        }
+    }
+
+    /// The AVX2 twins must match the scalar twins bit-for-bit at every
+    /// length (full 32-wide body, 8-wide dequant body, tails, empty).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_twins_match_scalar_bitwise() {
+        if !crate::have_avx2_fma() {
+            return; // nothing to differentiate on this host
+        }
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 33, 63, 64, 65, 257] {
+            let xs: Vec<f32> = (0..n).map(stress).collect();
+            // SAFETY: guarded by the dispatch predicate above.
+            let vm = unsafe { abs_max_avx2(&xs) };
+            assert_eq!(vm.to_bits(), abs_max_scalar(&xs).to_bits(), "abs_max at n={n}");
+
+            let inv = 0.73f32;
+            let mut qs = vec![0i8; n];
+            let mut qv = vec![0i8; n];
+            quant8_scalar(&xs, inv, &mut qs);
+            // SAFETY: guarded by the dispatch predicate above.
+            unsafe { quant8_avx2(&xs, inv, &mut qv) };
+            assert_eq!(qs, qv, "quant8 twins diverge at n={n}");
+
+            let mut ds = vec![0f32; n];
+            let mut dv = vec![0f32; n];
+            dequant8_scalar(&qs, 1.37, &mut ds);
+            // SAFETY: guarded by the dispatch predicate above.
+            unsafe { dequant8_avx2(&qs, 1.37, &mut dv) };
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&ds), bits(&dv), "dequant8 twins diverge at n={n}");
+        }
+    }
+}

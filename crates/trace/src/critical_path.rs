@@ -123,6 +123,10 @@ pub struct Breakdown {
     /// Wall-clock time when comm and compute ran concurrently — the
     /// overlap Horovod's background cycle exists to create.
     pub overlap_us: f64,
+    /// Bytes that actually crossed the wire: sum of the `a1` argument
+    /// over `SEND` spans (both executors record the *encoded* payload
+    /// size there, so a gradient codec shows up here directly).
+    pub wire_bytes: u64,
     /// The rank with the largest lateness, when there is a spread.
     pub straggler: Option<u32>,
 }
@@ -146,6 +150,16 @@ impl Breakdown {
     /// some rank sat in `MPI_ALLREDUCE`.
     pub fn allreduce_fraction(&self) -> f64 {
         self.phase_fraction("MPI_ALLREDUCE")
+    }
+
+    /// Effective wire bandwidth: encoded bytes sent per second of
+    /// comm-busy wall clock (0 when nothing was sent or timed).
+    pub fn wire_bw_bytes_per_s(&self) -> f64 {
+        if self.comm_busy_us > 0.0 {
+            self.wire_bytes as f64 / (self.comm_busy_us * 1e-6)
+        } else {
+            0.0
+        }
     }
 
     /// The human-readable breakdown table the experiment binary
@@ -176,6 +190,14 @@ impl Breakdown {
             self.compute_busy_us / 1e3,
             self.overlap_us / 1e3,
         );
+        if self.wire_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "wire {} B sent | {:.1} MB/s effective",
+                self.wire_bytes,
+                self.wire_bw_bytes_per_s() / 1e6,
+            );
+        }
         for r in &self.ranks {
             let _ = writeln!(
                 out,
@@ -204,6 +226,7 @@ pub fn analyze(events: &[ChromeEvent]) -> Breakdown {
             comm_busy_us: 0.0,
             compute_busy_us: 0.0,
             overlap_us: 0.0,
+            wire_bytes: 0,
             straggler: None,
         };
     }
@@ -286,6 +309,12 @@ pub fn analyze(events: &[ChromeEvent]) -> Breakdown {
         .filter(|r| r.lateness_us > 0.0)
         .map(|r| r.pid);
 
+    let wire_bytes = spans
+        .iter()
+        .filter(|e| e.cat == "SEND")
+        .flat_map(|e| e.args.iter().filter(|(k, _)| *k == "a1").map(|&(_, v)| v))
+        .sum();
+
     Breakdown {
         wall_us: t_end - t0,
         phases,
@@ -293,6 +322,7 @@ pub fn analyze(events: &[ChromeEvent]) -> Breakdown {
         comm_busy_us: union_len(&all_comm),
         compute_busy_us: union_len(&all_compute),
         overlap_us,
+        wire_bytes,
         straggler,
     }
 }
@@ -349,6 +379,27 @@ mod tests {
         assert_eq!(other.phases.iter().find(|p| p.cat == "CHECKPOINT").expect("p").overlap_us, 0.0);
         // The table shows the new column.
         assert!(b.table().contains("% overlap"), "{}", b.table());
+    }
+
+    #[test]
+    fn wire_ledger_sums_send_span_bytes() {
+        let mut a = span("SEND", 0.0, 5.0, 0);
+        a.args = vec![("a0", 1), ("a1", 4096)];
+        let mut b = span("SEND", 5.0, 5.0, 1);
+        b.args = vec![("a0", 0), ("a1", 1024)];
+        // RECV args and arg-less SENDs do not count.
+        let mut c = span("RECV", 0.0, 5.0, 1);
+        c.args = vec![("a0", 0), ("a1", 9999)];
+        let d = span("SEND", 10.0, 5.0, 0);
+        let brk = analyze(&[a, b, c, d]);
+        assert_eq!(brk.wire_bytes, 5120);
+        // 15 µs of comm busy time → effective bandwidth.
+        assert!((brk.wire_bw_bytes_per_s() - 5120.0 / 15e-6).abs() < 1.0);
+        assert!(brk.table().contains("5120 B sent"), "{}", brk.table());
+        // No sends → no wire line in the table.
+        let none = analyze(&[span("FORWARD", 0.0, 5.0, 0)]);
+        assert_eq!(none.wire_bytes, 0);
+        assert!(!none.table().contains("B sent"));
     }
 
     #[test]

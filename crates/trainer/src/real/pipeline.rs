@@ -26,10 +26,17 @@
 //!   sequence. Scheduling therefore never changes the floating-point
 //!   combination order: results are bit-identical run to run, and
 //!   independent of the worker count (the chunk count is fixed).
-//! - With fp16 gradient compression on, the per-replica scale (batch
-//!   mean) and the half-precision pack/unpack are one fused SIMD pass
-//!   ([`fp16::scale_roundtrip`]) over the tile — no separate compress
-//!   sweep, no intermediate buffer.
+//! - Gradient compression plugs in at the tile reduction: each
+//!   replica's local-mean tile takes a [`collectives::compression`]
+//!   codec roundtrip (optionally error-feedback compensated against a
+//!   persistent per-replica fp32 residual) before the cross-replica
+//!   sum. Fp16 without error feedback keeps the fused one-pass kernel
+//!   ([`fp16::scale_roundtrip`]): batch-mean scale + pack + unpack, no
+//!   separate sweep. Codec scratch is per-tile and the residual slices
+//!   are per-(replica, tile), so the overlapped reductions never
+//!   contend — and since the codecs are CPU-independent and the fold
+//!   order fixed, compressed steps stay bit-deterministic across runs
+//!   and worker counts.
 //!
 //! Safety: the step shares mutable state (gradient slots, workspaces,
 //! the reduced buffer) across pool workers through raw pointers. The
@@ -45,6 +52,7 @@ use std::slice;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+use collectives::compression::{self, CodecKind, EncodeScratch};
 use collectives::reduce::{combine_sum, finalize, ReduceOp};
 use trace::{Lane, TraceRecorder};
 
@@ -84,6 +92,14 @@ pub struct PipelineExecutor {
     losses: Vec<f64>,
     /// The cross-replica averaged gradient of the last step.
     reduced: Vec<f32>,
+    /// Per-tile codec scratch — one reduction per tile per step, so the
+    /// tile index alone picks an uncontended scratch set. Owned storage
+    /// reached only through `scratch_ptr_tab`.
+    #[allow(dead_code)]
+    scratch: Vec<EncodeScratch>,
+    /// Per-replica fp32 error-feedback residuals (tile-sliced by the
+    /// reductions; persistent across steps).
+    ef: Vec<Vec<f32>>,
     queues: Vec<RangeQueue>,
     counters: [AtomicUsize; N_TILES],
     /// Nanoseconds spent in tile reductions last step.
@@ -95,6 +111,8 @@ pub struct PipelineExecutor {
     // the steady-state step never allocates.
     grad_ptr_tab: Vec<*mut f32>,
     ws_ptr_tab: Vec<(*mut Workspace, usize)>,
+    scratch_ptr_tab: Vec<*mut EncodeScratch>,
+    ef_ptr_tab: Vec<*mut f32>,
     net_ptrs: Vec<*mut SegNet>,
     opt_ptrs: Vec<*mut MomentumSgd>,
     shard_ptrs: Vec<(*const Sample, usize)>,
@@ -121,7 +139,12 @@ struct StepCtx<'a> {
     accumulation: usize,
     /// `1 / (batch × accumulation)` — the per-replica mean scale.
     inv_local: f32,
-    fp16: bool,
+    codec: CodecKind,
+    error_feedback: bool,
+    /// One scratch set per tile (see `PipelineExecutor::scratch`).
+    scratch: &'a [*mut EncodeScratch],
+    /// One fp32 residual buffer (`n_params`) per replica.
+    ef: &'a [*mut f32],
     step_index: u64,
 }
 
@@ -161,6 +184,10 @@ impl PipelineExecutor {
         }
         let grad_ptr_tab = grads.iter_mut().map(|g| g.as_mut_ptr()).collect();
         let ws_ptr_tab = slot_ws.iter_mut().map(|w| (w.as_mut_ptr(), w.len())).collect();
+        let mut scratch: Vec<EncodeScratch> = (0..N_TILES).map(|_| EncodeScratch::new()).collect();
+        let mut ef: Vec<Vec<f32>> = (0..replicas).map(|_| vec![0.0f32; n_params]).collect();
+        let scratch_ptr_tab = scratch.iter_mut().map(|s| s as *mut EncodeScratch).collect();
+        let ef_ptr_tab = ef.iter_mut().map(|e| e.as_mut_ptr()).collect();
         PipelineExecutor {
             pool: CorePool::new(workers),
             chunks,
@@ -175,12 +202,16 @@ impl PipelineExecutor {
             slot_loss: vec![0.0; replicas * chunks],
             losses: vec![0.0; replicas],
             reduced: vec![0.0f32; n_params],
+            scratch,
+            ef,
             queues: (0..workers).map(|_| RangeQueue::empty()).collect(),
             counters: [AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)],
             reduce_ns: AtomicU64::new(0),
             lanes: None,
             grad_ptr_tab,
             ws_ptr_tab,
+            scratch_ptr_tab,
+            ef_ptr_tab,
             net_ptrs: Vec::with_capacity(replicas),
             opt_ptrs: Vec::with_capacity(replicas),
             shard_ptrs: Vec::with_capacity(replicas),
@@ -213,6 +244,20 @@ impl PipelineExecutor {
         &self.reduced
     }
 
+    /// Replica `r`'s persistent error-feedback residual (zero until a
+    /// step runs with `error_feedback` on and a lossy codec).
+    pub fn error_residual(&self, r: usize) -> &[f32] {
+        &self.ef[r]
+    }
+
+    /// Zero every error-feedback residual (only sound alongside an
+    /// optimizer-state reset).
+    pub fn reset_error_feedback(&mut self) {
+        for e in &mut self.ef {
+            e.fill(0.0);
+        }
+    }
+
     /// Seconds spent inside tile reductions during the last step.
     pub fn last_reduce_seconds(&self) -> f64 {
         self.reduce_ns.load(Ordering::Relaxed) as f64 * 1e-9
@@ -223,15 +268,18 @@ impl PipelineExecutor {
     /// `replicas` yields each replica's network and optimizer (in rank
     /// order); `shards[r]` is replica `r`'s local batch, micro-batch
     /// major, of length `batch × accumulation`. Computes gradients on
-    /// the pool with per-tile overlapped reduction, then applies the
-    /// shared averaged gradient to every replica. Returns the mean loss
-    /// across replicas.
+    /// the pool with per-tile overlapped reduction — each replica's
+    /// local-mean tile roundtrips through `codec` (error-feedback
+    /// compensated when `error_feedback` is set) before the
+    /// cross-replica sum — then applies the shared averaged gradient to
+    /// every replica. Returns the mean loss across replicas.
     // lint: hot-path
     pub fn step<'a>(
         &mut self,
         replicas: impl Iterator<Item = (&'a mut SegNet, &'a mut MomentumSgd)>,
         shards: &[Vec<Sample>],
-        fp16: bool,
+        codec: CodecKind,
+        error_feedback: bool,
     ) -> f64 {
         self.net_ptrs.clear();
         self.opt_ptrs.clear();
@@ -282,7 +330,10 @@ impl PipelineExecutor {
             batch: self.batch,
             accumulation: self.accumulation,
             inv_local: 1.0 / (self.batch * self.accumulation) as f32,
-            fp16,
+            codec,
+            error_feedback,
+            scratch: &self.scratch_ptr_tab,
+            ef: &self.ef_ptr_tab,
             step_index,
         };
         self.pool.run(&|w| worker(&ctx, w));
@@ -439,15 +490,19 @@ fn backward_phase(
 
 /// Cross-replica reduction of one parameter tile: fold the chunk slots
 /// into each replica's slot 0 (fixed chunk order), scale to the local
-/// batch mean (fused with the fp16 pack/unpack when compression is on),
-/// sum across replicas in rank order, and average. Runs on whichever
-/// worker finished the tile last, concurrently with the remaining
-/// backprop phases of the other tiles.
+/// batch mean, apply the codec's wire loss (fused with the scale for
+/// plain fp16; error-feedback compensated when enabled), sum across
+/// replicas in rank order, and average. Runs on whichever worker
+/// finished the tile last, concurrently with the remaining backprop
+/// phases of the other tiles.
 // lint: hot-path
 fn reduce_tile(ctx: &StepCtx<'_>, tile: usize, w: usize) {
     let span = (ctx.tiles[tile].0, ctx.tiles[tile].1);
     let wall = Instant::now();
     let t0 = ctx.lanes.map(|l| l[w].now_us());
+    // SAFETY: exactly one reduction runs per tile per step, so scratch
+    // set `tile` has no other user for the duration of this call.
+    let scratch = unsafe { &mut *ctx.scratch[tile] };
     for r in 0..ctx.replicas {
         // SAFETY: every task finished writing this tile (counter proof),
         // and concurrent tasks only touch *other* tiles' ranges of
@@ -457,11 +512,23 @@ fn reduce_tile(ctx: &StepCtx<'_>, tile: usize, w: usize) {
             let src = unsafe { tile_slice(ctx.grad_ptrs[r * ctx.chunks + c], span) };
             combine_sum(dst, src);
         }
-        if ctx.fp16 {
-            // Fused: batch-mean scale + f16 pack + unpack, one pass.
-            fp16::scale_roundtrip(dst, ctx.inv_local);
-        } else {
-            finalize(ReduceOp::Average, dst, ctx.batch * ctx.accumulation);
+        match (ctx.codec, ctx.error_feedback) {
+            (CodecKind::None, _) => finalize(ReduceOp::Average, dst, ctx.batch * ctx.accumulation),
+            (CodecKind::Fp16, false) => {
+                // Fused: batch-mean scale + f16 pack + unpack, one pass.
+                fp16::scale_roundtrip(dst, ctx.inv_local);
+            }
+            (codec, ef) => {
+                finalize(ReduceOp::Average, dst, ctx.batch * ctx.accumulation);
+                if ef {
+                    // SAFETY: concurrent reductions touch other tiles'
+                    // disjoint `span` ranges of the residual buffers.
+                    let res = unsafe { tile_slice_mut(ctx.ef[r], span) };
+                    compression::ef_roundtrip(codec, dst, res, scratch);
+                } else {
+                    compression::roundtrip(codec, dst, scratch);
+                }
+            }
         }
     }
     // SAFETY: only this reduction writes the `span` range of `reduced`
@@ -551,7 +618,7 @@ mod tests {
         };
 
         let mut exec = PipelineExecutor::new(&cfg, 3, 4, 1, 2);
-        let mean = exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, false);
+        let mean = exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, CodecKind::None, false);
         assert!((mean - reference.1).abs() < 1e-6, "loss {mean} vs {}", reference.1);
         for (i, (got, want)) in nets[0].params().iter().zip(&reference.0).enumerate() {
             assert!(
@@ -578,7 +645,8 @@ mod tests {
             let mut exec = PipelineExecutor::new(&cfg, 2, 5, 2, workers);
             let doubled: Vec<Vec<Sample>> =
                 shards.iter().map(|s| [s.clone(), s.clone()].concat()).collect();
-            let loss = exec.step(nets.iter_mut().zip(opts.iter_mut()), &doubled, false);
+            let loss =
+                exec.step(nets.iter_mut().zip(opts.iter_mut()), &doubled, CodecKind::None, false);
             outcomes.push((loss, nets[0].params().to_vec()));
         }
         for o in &outcomes[1..] {
@@ -600,7 +668,7 @@ mod tests {
             let (mut nets, mut opts) = build(&cfg, 2, 5);
             let mut exec = PipelineExecutor::new(&cfg, 2, 6, 1, 3);
             for _ in 0..2 {
-                exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, false);
+                exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, CodecKind::None, false);
             }
             match &first {
                 None => first = Some(nets[0].params().to_vec()),
@@ -640,7 +708,7 @@ mod tests {
 
         let (mut nets, mut opts) = build(&cfg, 2, 13);
         let mut exec = PipelineExecutor::new(&cfg, 2, 3, 1, 2);
-        exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, true);
+        exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, CodecKind::Fp16, false);
         for (i, (got, want)) in exec.reduced().iter().zip(&reference).enumerate() {
             assert!(
                 (got - want).abs() <= 1e-3 * (1.0 + want.abs()),

@@ -7,7 +7,7 @@
 //! (drops/corruptions) must leave training bit-identical to a
 //! fault-free run. `CHAOS_SEED` varies the sampled plans in CI.
 
-use collectives::Algorithm;
+use collectives::{Algorithm, CodecKind};
 use faults::{FaultKind, FaultPlan, FaultSpec, Injection};
 use trainer::real::{train, DataConfig, FaultToleranceConfig, NetConfig, TrainConfig};
 
@@ -34,6 +34,8 @@ fn tiny(workers: usize, steps: usize) -> TrainConfig {
         algo: Algorithm::Ring,
         pipeline: false,
         fp16_gradients: false,
+        codec: CodecKind::None,
+        error_feedback: false,
         augment: false,
         eval_every: 0,
         eval_samples: 16,

@@ -3,6 +3,8 @@
 
 use std::path::PathBuf;
 
+use collectives::CodecKind;
+
 use trainer::real::{train, Checkpoint, CheckpointConfig, DataConfig, NetConfig, TrainConfig};
 
 fn tiny(workers: usize, steps: usize) -> TrainConfig {
@@ -24,6 +26,8 @@ fn tiny(workers: usize, steps: usize) -> TrainConfig {
         algo: collectives::Algorithm::Ring,
         pipeline: false,
         fp16_gradients: false,
+        codec: CodecKind::None,
+        error_feedback: false,
         augment: false,
         eval_every: 0,
         eval_samples: 16,

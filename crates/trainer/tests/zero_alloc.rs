@@ -8,6 +8,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use collectives::CodecKind;
 use trainer::real::net::{BatchWorkspace, NetConfig, SegNet, Workspace};
 use trainer::real::pipeline::PipelineExecutor;
 use trainer::real::segdata::{generate_batch, DataConfig};
@@ -107,11 +108,12 @@ fn hot_gradient_path_is_allocation_free() {
     // count_allocs runs the region three times; every pass must land.
     assert_eq!(steps.get(), 3 * batch.len() as u64);
 
-    // --- pipelined executor, fp16 compression on --------------------
+    // --- pipelined executor, every gradient codec -------------------
     // The whole pipelined step — work-stealing dispatch, per-layer tile
-    // reductions, the fused fp16 scale+pack+unpack, and the optimizer
-    // updates — must stay allocation-free once the executor exists.
-    // Helper threads share the global counting allocator, so an
+    // reductions, the codec encode/decode (fused fp16 and the pooled
+    // int8/int4/top-k paths, with and without error feedback), and the
+    // optimizer updates — must stay allocation-free once the executor
+    // exists. Helper threads share the global counting allocator, so an
     // allocation on *any* pool lane would fail the assertion.
     {
         let replicas = 2;
@@ -128,16 +130,27 @@ fn hot_gradient_path_is_allocation_free() {
             (0..replicas).map(|_| MomentumSgd::new(lr, 0.9, net.n_params())).collect();
         let shards: Vec<Vec<_>> =
             (0..replicas).map(|r| generate_batch(&data, 42, (r * 4) as u64, 4)).collect();
-        // Warm-up: first step may touch lazily-created thread state.
-        let _ = exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, true);
-        let mut sum = 0.0f64;
-        let n = count_allocs(|| {
-            for _ in 0..4 {
-                sum += exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, true);
-            }
-        });
-        assert!(sum.is_finite());
-        assert_eq!(n, 0, "pipelined fp16 step allocated {n} times over 4 steps");
+        for (codec, ef) in [
+            (CodecKind::None, false),
+            (CodecKind::Fp16, false),
+            (CodecKind::Fp16, true),
+            (CodecKind::Int8, true),
+            (CodecKind::Int4, true),
+            (CodecKind::TopK, true),
+        ] {
+            // Warm-up: the first step with a codec may touch
+            // lazily-created thread state and grows the per-tile
+            // EncodeScratch to its steady-state capacity.
+            let _ = exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, codec, ef);
+            let mut sum = 0.0f64;
+            let n = count_allocs(|| {
+                for _ in 0..4 {
+                    sum += exec.step(nets.iter_mut().zip(opts.iter_mut()), &shards, codec, ef);
+                }
+            });
+            assert!(sum.is_finite());
+            assert_eq!(n, 0, "pipelined {codec} (ef={ef}) step allocated {n} times over 4 steps");
+        }
     }
 
     // --- batch path -------------------------------------------------

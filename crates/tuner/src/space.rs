@@ -43,10 +43,11 @@ impl KnobSpace {
         }
     }
 
-    /// The paper space plus fp16 gradient compression (used by the
-    /// compression and search-strategy studies).
+    /// The paper space plus the full gradient-codec axis — fp16 and the
+    /// quantizing/sparsifying codecs from `collectives::compression`
+    /// (used by the compression and search-strategy studies).
     pub fn extended() -> Self {
-        KnobSpace { compression: vec![Compression::None, Compression::Fp16], ..Self::paper() }
+        KnobSpace { compression: Compression::ALL.to_vec(), ..Self::paper() }
     }
 
     /// A reduced space for fast tests.
@@ -134,7 +135,8 @@ impl Candidate {
             u8::from(self.config.hierarchical_allreduce),
         );
         if self.config.compression != Compression::None {
-            s.push_str(" fp16");
+            s.push(' ');
+            s.push_str(self.config.compression.env_name());
         }
         s
     }
@@ -149,7 +151,7 @@ mod tests {
         let s = KnobSpace::paper();
         s.validate();
         assert_eq!(s.size(), 3 * 8 * 6 * 2 * 2);
-        assert_eq!(KnobSpace::extended().size(), 2 * s.size());
+        assert_eq!(KnobSpace::extended().size(), Compression::ALL.len() * s.size());
         assert_eq!(s.candidates().len(), s.size());
     }
 

@@ -3,7 +3,7 @@
 //! end to end through data generation, the conv net, the optimizer and
 //! the threaded collectives.
 
-use summit_dlv3_repro::collectives::Algorithm;
+use summit_dlv3_repro::collectives::{Algorithm, CodecKind};
 use summit_dlv3_repro::trainer::real::{train, DataConfig, NetConfig, TrainConfig};
 
 fn cfg(workers: usize, batch_per_worker: usize, steps: usize) -> TrainConfig {
@@ -24,6 +24,8 @@ fn cfg(workers: usize, batch_per_worker: usize, steps: usize) -> TrainConfig {
         accumulation_steps: 1,
         algo: Algorithm::Ring,
         fp16_gradients: false,
+        codec: CodecKind::None,
+        error_feedback: false,
         augment: false,
         eval_every: 0,
         eval_samples: 24,
