@@ -132,11 +132,11 @@ impl FaultSession {
 
     /// Set the training step the next collectives belong to.
     pub fn begin_step(&self, step: usize) {
-        self.step.store(step, Ordering::Relaxed);
+        self.step.store(step, Ordering::Relaxed); // lint: allow(relaxed): step tag on trace rows only; ordered by the caller's step loop
     }
 
     pub fn step(&self) -> usize {
-        self.step.load(Ordering::Relaxed)
+        self.step.load(Ordering::Relaxed) // lint: allow(relaxed): step tag on trace rows only; ordered by the caller's step loop
     }
 
     pub fn plan(&self) -> &FaultPlan {

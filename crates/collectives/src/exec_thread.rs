@@ -145,22 +145,22 @@ impl PoolCounters {
 impl PayloadPool {
     /// Raise the capacity hint (never lowers it).
     pub(crate) fn reserve_hint(&self, len: usize) {
-        self.hint.fetch_max(len, Ordering::Relaxed);
+        self.hint.fetch_max(len, Ordering::Relaxed); // lint: allow(relaxed): monotonic capacity hint; a stale read only costs one realloc
     }
 
     /// A payload holding a copy of `src`, recycled when possible.
     pub(crate) fn acquire_copy(&self, src: &[f32]) -> Vec<f32> {
-        let want = self.hint.load(Ordering::Relaxed).max(src.len());
+        let want = self.hint.load(Ordering::Relaxed).max(src.len()); // lint: allow(relaxed): monotonic capacity hint; a stale read only costs one realloc
         let mut buf = match self.free.lock().pop() {
             Some(b) => b,
             None => {
-                self.fresh.fetch_add(1, Ordering::Relaxed);
+                self.fresh.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): allocator statistic; buffers themselves hand off through the free-list mutex
                 Vec::with_capacity(want)
             }
         };
         buf.clear();
         if buf.capacity() < want {
-            self.grown.fetch_add(1, Ordering::Relaxed);
+            self.grown.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): allocator statistic; buffers themselves hand off through the free-list mutex
             buf.reserve(want);
         }
         buf.extend_from_slice(src);
@@ -173,23 +173,23 @@ impl PayloadPool {
 
     /// Raise the encoded-byte capacity hint (never lowers it).
     pub(crate) fn reserve_byte_hint(&self, len: usize) {
-        self.byte_hint.fetch_max(len, Ordering::Relaxed);
+        self.byte_hint.fetch_max(len, Ordering::Relaxed); // lint: allow(relaxed): monotonic capacity hint; a stale read only costs one realloc
     }
 
     /// An empty byte buffer for a codec encode, recycled when possible.
     /// Counts against the same fresh/grown ledger as the f32 buffers.
     pub(crate) fn acquire_bytes(&self) -> Vec<u8> {
-        let want = self.byte_hint.load(Ordering::Relaxed);
+        let want = self.byte_hint.load(Ordering::Relaxed); // lint: allow(relaxed): monotonic capacity hint; a stale read only costs one realloc
         let mut buf = match self.free_bytes.lock().pop() {
             Some(b) => b,
             None => {
-                self.fresh.fetch_add(1, Ordering::Relaxed);
+                self.fresh.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): allocator statistic; buffers themselves hand off through the free-list mutex
                 Vec::with_capacity(want)
             }
         };
         buf.clear();
         if buf.capacity() < want {
-            self.grown.fetch_add(1, Ordering::Relaxed);
+            self.grown.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): allocator statistic; buffers themselves hand off through the free-list mutex
             buf.reserve(want);
         }
         buf
@@ -202,17 +202,17 @@ impl PayloadPool {
     /// A zero-filled f32 buffer of exactly `len` elements (the decode
     /// destination), recycled when possible.
     pub(crate) fn acquire_f32_len(&self, len: usize) -> Vec<f32> {
-        let want = self.hint.load(Ordering::Relaxed).max(len);
+        let want = self.hint.load(Ordering::Relaxed).max(len); // lint: allow(relaxed): monotonic capacity hint; a stale read only costs one realloc
         let mut buf = match self.free.lock().pop() {
             Some(b) => b,
             None => {
-                self.fresh.fetch_add(1, Ordering::Relaxed);
+                self.fresh.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): allocator statistic; buffers themselves hand off through the free-list mutex
                 Vec::with_capacity(want)
             }
         };
         buf.clear();
         if buf.capacity() < want {
-            self.grown.fetch_add(1, Ordering::Relaxed);
+            self.grown.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): allocator statistic; buffers themselves hand off through the free-list mutex
             buf.reserve(want);
         }
         buf.resize(len, 0.0);
@@ -232,31 +232,31 @@ impl PayloadPool {
     /// Record one compressed payload: `wire` encoded bytes standing in
     /// for `raw` f32 bytes.
     pub(crate) fn count_wire(&self, wire: usize, raw: usize) {
-        self.wire_sent.fetch_add(wire as u64, Ordering::Relaxed);
-        self.raw_sent.fetch_add(raw as u64, Ordering::Relaxed);
+        self.wire_sent.fetch_add(wire as u64, Ordering::Relaxed); // lint: allow(relaxed): wire-byte ledger; read after the run joins, no payload data rides on it
+        self.raw_sent.fetch_add(raw as u64, Ordering::Relaxed); // lint: allow(relaxed): wire-byte ledger; read after the run joins, no payload data rides on it
     }
 
     /// Cumulative encoded bytes pushed by compressed runs.
     pub fn wire_bytes(&self) -> u64 {
-        self.wire_sent.load(Ordering::Relaxed)
+        self.wire_sent.load(Ordering::Relaxed) // lint: allow(relaxed): wire-byte ledger; read after the run joins, no payload data rides on it
     }
 
     /// Cumulative raw f32 bytes those encoded payloads stand in for.
     pub fn raw_bytes(&self) -> u64 {
-        self.raw_sent.load(Ordering::Relaxed)
+        self.raw_sent.load(Ordering::Relaxed) // lint: allow(relaxed): wire-byte ledger; read after the run joins, no payload data rides on it
     }
 
     /// Total allocator events so far: fresh buffers plus capacity
     /// growths. Flat across calls ⇔ the steady state allocates nothing.
     pub fn allocations(&self) -> usize {
-        self.fresh.load(Ordering::Relaxed) + self.grown.load(Ordering::Relaxed)
+        self.fresh.load(Ordering::Relaxed) + self.grown.load(Ordering::Relaxed) // lint: allow(relaxed): allocator statistic read after the run joins
     }
 
     /// A frozen copy of the allocator counters (for per-run deltas).
     pub fn counters(&self) -> PoolCounters {
         PoolCounters {
-            fresh: self.fresh.load(Ordering::Relaxed),
-            grown: self.grown.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed), // lint: allow(relaxed): allocator statistic read after the run joins
+            grown: self.grown.load(Ordering::Relaxed), // lint: allow(relaxed): allocator statistic read after the run joins
         }
     }
 
@@ -265,8 +265,8 @@ impl PayloadPool {
     /// rebuilt around an inherited pool so the new context's
     /// zero-allocation accounting starts clean.
     pub fn reset_counters(&self) {
-        self.fresh.store(0, Ordering::Relaxed);
-        self.grown.store(0, Ordering::Relaxed);
+        self.fresh.store(0, Ordering::Relaxed); // lint: allow(relaxed): counter reset happens between runs, single-threaded
+        self.grown.store(0, Ordering::Relaxed); // lint: allow(relaxed): counter reset happens between runs, single-threaded
     }
 
     /// Move every parked buffer out of `other` into this pool, adopting
@@ -274,10 +274,10 @@ impl PayloadPool {
     /// adopting pool's counters do not change.
     pub(crate) fn absorb_free_from(&self, other: &PayloadPool) {
         let mut donated = std::mem::take(&mut *other.free.lock());
-        self.reserve_hint(other.hint.load(Ordering::Relaxed));
+        self.reserve_hint(other.hint.load(Ordering::Relaxed)); // lint: allow(relaxed): monotonic capacity hint; a stale read only costs one realloc
         self.free.lock().append(&mut donated);
         let mut donated_bytes = std::mem::take(&mut *other.free_bytes.lock());
-        self.reserve_byte_hint(other.byte_hint.load(Ordering::Relaxed));
+        self.reserve_byte_hint(other.byte_hint.load(Ordering::Relaxed)); // lint: allow(relaxed): monotonic capacity hint; a stale read only costs one realloc
         self.free_bytes.lock().append(&mut donated_bytes);
         let mut donated_scratch = std::mem::take(&mut *other.scratch.lock());
         self.scratch.lock().append(&mut donated_scratch);

@@ -8,7 +8,10 @@
 //! seed. `CHAOS_SEED` (CI sweeps 8 of them) varies the sampled plans.
 
 use collectives::reference::apply_allreduce;
-use collectives::{Algorithm, ElasticAllreduce, FaultSession, ReduceOp};
+use collectives::{
+    Action, Algorithm, CodecKind, ElasticAllreduce, EncodeScratch, ErrorFeedback, FaultSession,
+    ReduceOp,
+};
 use faults::{FaultEvent, FaultKind, FaultPlan, FaultSpec, Injection};
 
 fn chaos_seed() -> u64 {
@@ -129,6 +132,93 @@ fn chaos_runs_replay_identically_from_the_same_seed() {
     assert_eq!(a.1, b.1, "survivor set replays identically");
     assert_eq!(a.2, b.2, "deterministic event core replays identically");
     assert_eq!(a.3, b.3, "deterministic counters replay identically");
+}
+
+/// The compressed training configuration under chaos: every rank runs
+/// Int8 + error-feedback compression in front of the elastic allreduce
+/// (the same compose order the trainer uses — compensate, quantize,
+/// then reduce the dequantized values), and a rank dies mid-collective.
+/// The degraded run must still produce the bit-exact rescaled survivor
+/// average of the *compressed* inputs, and a compressed run over the
+/// rebuilt schedule must bill the wire ledger exactly per `encoded_len`.
+#[test]
+fn compressed_elastic_run_survives_rank_death_with_exact_wire_accounting() {
+    let seed = chaos_seed();
+    let (n, e) = (4usize, 720usize);
+    let victim = ((seed >> 8) % n as u64) as usize;
+
+    let mut ela = ElasticAllreduce::new(Algorithm::Ring, n, e).unwrap();
+    let mut efs: Vec<ErrorFeedback> = (0..n).map(|_| ErrorFeedback::new(e)).collect();
+    let mut scratch = EncodeScratch::new();
+    let plan = FaultPlan::explicit(
+        seed,
+        vec![Injection { step: 1, rank: victim, round: 1, kind: FaultKind::Crash }],
+    );
+    let session = FaultSession::new(plan);
+
+    // Step 0, clean: warms every rank's residual so the crash step runs
+    // with live error-feedback state, not a zeroed one.
+    let mut step0 = inputs(n, e, seed);
+    for (r, buf) in step0.iter_mut().enumerate() {
+        efs[r].roundtrip(CodecKind::Int8, buf, &mut scratch);
+    }
+    let r0 = ela.allreduce(&mut step0, ReduceOp::Average, Some(&session)).unwrap();
+    assert!(!r0.degraded(), "no injection fires at step 0");
+    assert!(
+        efs.iter().any(|ef| ef.residual().iter().any(|x| *x != 0.0)),
+        "int8 quantization must have dropped something into the residuals"
+    );
+
+    // Step 1: compensate + quantize per rank, then the crash fires
+    // mid-collective. The snapshot/restore inside ElasticAllreduce must
+    // retry from exactly these compressed inputs.
+    session.begin_step(1);
+    let mut step1 = inputs(n, e, seed ^ 0x5EED);
+    for (r, buf) in step1.iter_mut().enumerate() {
+        efs[r].roundtrip(CodecKind::Int8, buf, &mut scratch);
+    }
+    let compressed = step1.clone();
+    let report = ela.allreduce(&mut step1, ReduceOp::Average, Some(&session)).unwrap();
+    assert_eq!(report.dead, vec![victim]);
+    assert_eq!(report.world, n - 1);
+    assert_eq!(ela.schedule().n_ranks, n - 1);
+    assert_eq!(ela.schedule().verify_allreduce(), Ok(()));
+
+    // Survivors' average of the compressed inputs, rescaled to the new
+    // world size, bit-exact against the rebuilt schedule's reference.
+    let mut survivors: Vec<Vec<f32>> =
+        (0..n).filter(|r| *r != victim).map(|r| compressed[r].clone()).collect();
+    apply_allreduce(ela.schedule(), &mut survivors, ReduceOp::Average);
+    assert_eq!(step1, survivors, "compressed survivor average must be bit-exact");
+
+    // Wire accounting over the REBUILT schedule: a compressed run
+    // through the inherited executor must bill encoded bytes per send
+    // exactly (the ledger starts at zero — the fault path is uncoded).
+    assert_eq!(ela.ctx().wire_bytes(), 0);
+    let sends = |f: &dyn Fn(usize) -> u64| -> u64 {
+        ela.schedule()
+            .rounds
+            .iter()
+            .flat_map(|r| r.per_rank.iter())
+            .flatten()
+            .filter_map(|a| match a {
+                Action::Send { seg, .. } => Some(f(seg.len)),
+                _ => None,
+            })
+            .sum()
+    };
+    let expected_wire = sends(&|len| CodecKind::Int8.encoded_len(len) as u64);
+    let expected_raw = sends(&|len| 4 * len as u64);
+    let mut again = survivors.clone();
+    ela.ctx()
+        .allreduce_compressed(ela.schedule(), &mut again, ReduceOp::Sum, CodecKind::Int8)
+        .unwrap();
+    assert_eq!(ela.ctx().wire_bytes(), expected_wire, "wire ledger must bill encoded_len");
+    assert_eq!(ela.ctx().raw_bytes(), expected_raw, "raw ledger must bill 4 B/element");
+    assert!(
+        ela.ctx().raw_bytes() as f64 / ela.ctx().wire_bytes() as f64 >= 3.5,
+        "int8 must keep its compression ratio on the degraded topology"
+    );
 }
 
 #[test]

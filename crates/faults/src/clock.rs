@@ -54,7 +54,7 @@ impl FaultClock {
 
     /// Apply an *injected* (plan-driven) delay.
     pub fn inject(&self, d: Duration) {
-        self.injected_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.injected_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed); // lint: allow(relaxed): time-accounting accumulator; read for reporting, carries no data
         if self.mode == Mode::Real {
             std::thread::sleep(d); // lint: allow(sleep): the FaultClock is the one sanctioned delay doorway
         }
@@ -63,17 +63,17 @@ impl FaultClock {
     /// Account a *protocol* wait (a poll tick while blocked). Never
     /// sleeps — the caller's blocking receive already waited for real.
     pub fn note_wait(&self, d: Duration) {
-        self.waited_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.waited_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed); // lint: allow(relaxed): time-accounting accumulator; read for reporting, carries no data
     }
 
     /// Total plan-driven delay injected so far, across all threads.
     pub fn injected(&self) -> Duration {
-        Duration::from_nanos(self.injected_ns.load(Ordering::Relaxed))
+        Duration::from_nanos(self.injected_ns.load(Ordering::Relaxed)) // lint: allow(relaxed): time-accounting accumulator; read for reporting, carries no data
     }
 
     /// Total protocol waiting accounted so far, across all threads.
     pub fn waited(&self) -> Duration {
-        Duration::from_nanos(self.waited_ns.load(Ordering::Relaxed))
+        Duration::from_nanos(self.waited_ns.load(Ordering::Relaxed)) // lint: allow(relaxed): time-accounting accumulator; read for reporting, carries no data
     }
 
     /// True when [`FaultClock::inject`] really sleeps.

@@ -136,13 +136,28 @@ impl EventLog {
     /// The deterministic core, stripped of timestamps — the part a
     /// replay from the same seed must reproduce exactly. Sorted into a
     /// canonical order so concurrent arrival order doesn't matter.
+    ///
+    /// `PeerDead` needs one normalization: *which* rank declares *which*
+    /// peer dead at *which step* replays exactly (the abort cascade is
+    /// schedule-driven), but the `round` a survivor happens to be in
+    /// when it notices a cascading hang-up depends on how many of the
+    /// aborting peer's in-flight messages drained first — real thread
+    /// timing. The core zeroes that field; the raw [`snapshot`] keeps
+    /// the observed round for diagnostics.
+    ///
+    /// [`snapshot`]: EventLog::snapshot
     pub fn deterministic_core(&self) -> Vec<FaultEvent> {
         let mut core: Vec<FaultEvent> = self
             .events
             .lock()
             .iter()
             .filter(|s| s.event.is_deterministic())
-            .map(|s| s.event.clone())
+            .map(|s| match &s.event {
+                FaultEvent::PeerDead { step, rank, peer, .. } => {
+                    FaultEvent::PeerDead { step: *step, rank: *rank, peer: *peer, round: 0 }
+                }
+                other => other.clone(),
+            })
             .collect();
         core.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
         core
@@ -188,6 +203,21 @@ mod tests {
         let core = log.deterministic_core();
         assert_eq!(core.len(), 2);
         assert!(core.iter().all(|e| e.is_deterministic()));
+    }
+
+    #[test]
+    fn peer_dead_round_is_normalized_out_of_the_core() {
+        // The round a survivor notices a cascading hang-up in is real
+        // thread timing; two runs of the same seed may differ there.
+        let a = EventLog::new();
+        a.push(FaultEvent::PeerDead { step: 0, rank: 2, peer: 1, round: 3 });
+        let b = EventLog::new();
+        b.push(FaultEvent::PeerDead { step: 0, rank: 2, peer: 1, round: 4 });
+        assert_eq!(a.deterministic_core(), b.deterministic_core());
+        assert_eq!(
+            a.deterministic_core(),
+            vec![FaultEvent::PeerDead { step: 0, rank: 2, peer: 1, round: 0 }]
+        );
     }
 
     #[test]

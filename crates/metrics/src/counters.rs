@@ -53,11 +53,11 @@ impl FaultCounters {
     /// Bump a counter by one. All loads/stores are relaxed: counters
     /// are statistics, not synchronization.
     pub fn bump(c: &AtomicU64) {
-        c.fetch_add(1, Ordering::Relaxed);
+        c.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): fault statistics; snapshots tolerate torn cross-counter views
     }
 
     pub fn snapshot(&self) -> FaultCounterSnapshot {
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed); // lint: allow(relaxed): fault statistics; snapshots tolerate torn cross-counter views
         FaultCounterSnapshot {
             injected_straggles: get(&self.injected_straggles),
             injected_drops: get(&self.injected_drops),

@@ -31,12 +31,13 @@ impl Cached {
 
     #[inline]
     fn get(&self, detect: impl FnOnce() -> bool) -> bool {
-        match self.0.load(Ordering::Relaxed) {
+        let state = self.0.load(Ordering::Relaxed); // lint: allow(relaxed): idempotent cpuid cache
+        match state {
             2 => true,
             1 => false,
             _ => {
                 let present = detect();
-                self.0.store(if present { 2 } else { 1 }, Ordering::Relaxed);
+                self.0.store(if present { 2 } else { 1 }, Ordering::Relaxed); // lint: allow(relaxed): cpuid cache; detect() is pure so duplicate fills agree
                 present
             }
         }
@@ -85,8 +86,8 @@ pub fn have_f16c() -> bool {
 /// design (the caches never re-detect), so call it only from test
 /// binaries.
 pub fn force_scalar_for_testing() {
-    AVX2_FMA.0.store(1, Ordering::Relaxed);
-    F16C.0.store(1, Ordering::Relaxed);
+    AVX2_FMA.0.store(1, Ordering::Relaxed); // lint: allow(relaxed): cpuid cache; detect() is pure so duplicate fills agree
+    F16C.0.store(1, Ordering::Relaxed); // lint: allow(relaxed): cpuid cache; detect() is pure so duplicate fills agree
 }
 
 #[cfg(test)]

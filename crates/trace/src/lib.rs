@@ -30,11 +30,13 @@
 pub mod chrome;
 pub mod critical_path;
 pub mod metrics;
+pub mod race;
 pub mod span;
 
 pub use chrome::{parse_trace, write_trace, ChromeEvent, ParseError};
 pub use critical_path::{analyze, Breakdown, PhaseStat, RankStat, COMM_CATS, COMPUTE_CATS};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use race::{RaceDetector, RaceReport, SyncKind};
 pub use span::{Lane, LaneSnapshot, SpanRec, TraceRecorder, TraceSnapshot};
 
 /// A recorder + registry bundle: everything one traced run shares.

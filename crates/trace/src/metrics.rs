@@ -35,16 +35,16 @@ pub struct Counter {
 impl Counter {
     // lint: hot-path
     pub fn inc(&self) {
-        self.value.fetch_add(1, Ordering::Relaxed);
+        self.value.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): monotonic statistic; snapshot tolerates races with writers
     }
 
     // lint: hot-path
     pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
+        self.value.fetch_add(n, Ordering::Relaxed); // lint: allow(relaxed): monotonic statistic; snapshot tolerates races with writers
     }
 
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // lint: allow(relaxed): monotonic statistic; snapshot tolerates races with writers
     }
 }
 
@@ -57,15 +57,21 @@ pub struct Gauge {
 impl Gauge {
     // lint: hot-path
     pub fn set(&self, v: f64) {
-        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.bits.store(v.to_bits(), Ordering::Relaxed); // lint: allow(relaxed): gauge bits; last-writer-wins is the gauge contract
     }
 
     // lint: hot-path
     pub fn add(&self, delta: f64) {
-        let mut cur = self.bits.load(Ordering::Relaxed);
+        let mut cur = self.bits.load(Ordering::Relaxed); // lint: allow(relaxed): gauge bits; last-writer-wins is the gauge contract
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
-            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            let swap = self.bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed, // lint: allow(relaxed): gauge bits; last-writer-wins contract
+                Ordering::Relaxed, // lint: allow(relaxed): gauge bits; last-writer-wins contract
+            );
+            match swap {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
             }
@@ -73,7 +79,7 @@ impl Gauge {
     }
 
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.bits.load(Ordering::Relaxed))
+        f64::from_bits(self.bits.load(Ordering::Relaxed)) // lint: allow(relaxed): gauge bits; last-writer-wins is the gauge contract
     }
 }
 
@@ -151,16 +157,16 @@ pub fn bucket_le(i: usize) -> f64 {
 impl Histogram {
     // lint: hot-path
     pub fn observe(&self, v: f64) {
-        self.buckets[bucket_for(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        self.buckets[bucket_for(v)].fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): histogram cell; per-cell totals are exact, cross-cell skew is fine
+        self.count.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): histogram cell; per-cell totals are exact, cross-cell skew is fine
+        let mut cur = self.sum_bits.load(Ordering::Relaxed); // lint: allow(relaxed): histogram cell; per-cell totals are exact, cross-cell skew is fine
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
             match self.sum_bits.compare_exchange_weak(
                 cur,
                 next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // lint: allow(relaxed): histogram cell; per-cell totals are exact, cross-cell skew is fine
+                Ordering::Relaxed, // lint: allow(relaxed): histogram cell; per-cell totals are exact, cross-cell skew is fine
             ) {
                 Ok(_) => return,
                 Err(seen) => cur = seen,
@@ -169,17 +175,17 @@ impl Histogram {
     }
 
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // lint: allow(relaxed): histogram cell; per-cell totals are exact, cross-cell skew is fine
     }
 
     pub fn sum(&self) -> f64 {
-        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed)) // lint: allow(relaxed): histogram cell; per-cell totals are exact, cross-cell skew is fine
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; BUCKETS];
         for (slot, b) in buckets.iter_mut().zip(self.buckets.iter()) {
-            *slot = b.load(Ordering::Relaxed);
+            *slot = b.load(Ordering::Relaxed); // lint: allow(relaxed): histogram cell; per-cell totals are exact, cross-cell skew is fine
         }
         HistogramSnapshot { buckets, count: self.count(), sum: self.sum() }
     }

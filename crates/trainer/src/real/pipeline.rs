@@ -67,6 +67,57 @@ use super::sgd::MomentumSgd;
 /// whose gradient completes, so reductions fire in 2 → 1 → 0 order.
 pub const N_TILES: usize = 3;
 
+/// Happens-before instrumentation for `trace::race`, compiled only
+/// under `--features race-detect` so the hot path stays untouched.
+///
+/// Identity follows the span recorder's convention: pid 0 (one rank in
+/// this process), tid = pool worker index — the submitting thread *is*
+/// worker 0 (`CorePool::run` participates). The mapping of the real
+/// synchronization onto [`trace::race::SyncKind`] events:
+///
+/// * the pool publish/drain barrier → `POOL_SUBMIT` (submitter
+///   releases before `pool.run`, every worker acquires at job entry)
+///   and `POOL_DONE` (workers release at job exit, submitter acquires
+///   after `pool.run` returns);
+/// * a successful `RangeQueue` claim CAS → AcqRel on `queue_obj(q)`;
+/// * a tile counter `fetch_sub(AcqRel)` → a release on
+///   `counter_obj(tile)` *before* the real decrement and an acquire
+///   after a winning one, so the hook order observed by the detector
+///   can never invert the real decrement order (a combined AcqRel hook
+///   after the decrement could, and would report false races).
+///
+/// Tracked data: per-(slot, tile) gradient regions and the per-tile
+/// regions of the `reduced` buffer — the raw-pointer accesses whose
+/// disjointness argument the module doc lays out.
+#[cfg(feature = "race-detect")]
+pub mod race_keys {
+    pub const POOL_SUBMIT: u64 = 1;
+    pub const POOL_DONE: u64 = 2;
+
+    pub fn queue_obj(q: usize) -> u64 {
+        0x100 + q as u64
+    }
+
+    pub fn counter_obj(tile: usize) -> u64 {
+        0x1000 + tile as u64
+    }
+
+    /// The `tile` region of gradient slot `slot`.
+    pub fn slot_tile(slot: usize, tile: usize) -> u64 {
+        0x1_0000_0000 | ((slot as u64) << 16) | tile as u64
+    }
+
+    /// The `tile` region of the shared `reduced` buffer.
+    pub fn reduced_tile(tile: usize) -> u64 {
+        0x2_0000_0000 | tile as u64
+    }
+}
+
+#[cfg(feature = "race-detect")]
+fn rd() -> Option<&'static trace::RaceDetector> {
+    trace::race::global()
+}
+
 /// Per-step executor state: the pool, the per-task gradient slots and
 /// sample workspaces, and the pointer tables the job shares with the
 /// workers. Construct once, call [`PipelineExecutor::step`] every step;
@@ -260,7 +311,7 @@ impl PipelineExecutor {
 
     /// Seconds spent inside tile reductions during the last step.
     pub fn last_reduce_seconds(&self) -> f64 {
-        self.reduce_ns.load(Ordering::Relaxed) as f64 * 1e-9
+        self.reduce_ns.load(Ordering::Relaxed) as f64 * 1e-9 // lint: allow(relaxed): reduce_ns is a stats cell read after the pool barrier
     }
 
     /// Run one pipelined training step.
@@ -301,7 +352,7 @@ impl PipelineExecutor {
         for c in &self.counters {
             c.store(n_tasks, Ordering::Release);
         }
-        self.reduce_ns.store(0, Ordering::Relaxed);
+        self.reduce_ns.store(0, Ordering::Relaxed); // lint: allow(relaxed): reduce_ns is a stats cell read after the pool barrier
         let workers = self.pool.workers();
         for (w, q) in self.queues.iter().enumerate() {
             let r = chunk_range(n_tasks, workers, w);
@@ -336,7 +387,18 @@ impl PipelineExecutor {
             ef: &self.ef_ptr_tab,
             step_index,
         };
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = rd() {
+            d.sync_event(0, 0, race_keys::POOL_SUBMIT, trace::SyncKind::Release);
+        }
         self.pool.run(&|w| worker(&ctx, w));
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = rd() {
+            d.sync_event(0, 0, race_keys::POOL_DONE, trace::SyncKind::Acquire);
+            for tile in 0..N_TILES {
+                d.on_read(0, 0, race_keys::reduced_tile(tile));
+            }
+        }
 
         // Post-barrier: every tile of `reduced` holds the averaged
         // global gradient. Apply it to each replica — identical inputs,
@@ -366,14 +428,32 @@ impl PipelineExecutor {
 /// One pool worker: drain the own queue, then steal from the others.
 // lint: hot-path
 fn worker(ctx: &StepCtx<'_>, w: usize) {
+    #[cfg(feature = "race-detect")]
+    if let Some(d) = rd() {
+        d.sync_event(0, w as u32, race_keys::POOL_SUBMIT, trace::SyncKind::Acquire);
+    }
     loop {
-        let task = ctx.queues[w].pop_front().or_else(|| {
-            (1..ctx.queues.len()).find_map(|d| ctx.queues[(w + d) % ctx.queues.len()].steal_back())
-        });
+        let task = match ctx.queues[w].pop_front() {
+            Some(t) => Some((w, t)),
+            None => (1..ctx.queues.len()).find_map(|d| {
+                let q = (w + d) % ctx.queues.len();
+                ctx.queues[q].steal_back().map(|t| (q, t))
+            }),
+        };
         match task {
-            Some(t) => run_task(ctx, t, w),
-            None => return,
+            Some((_q, t)) => {
+                #[cfg(feature = "race-detect")]
+                if let Some(d) = rd() {
+                    d.sync_event(0, w as u32, race_keys::queue_obj(_q), trace::SyncKind::AcqRel);
+                }
+                run_task(ctx, t, w)
+            }
+            None => break,
         }
+    }
+    #[cfg(feature = "race-detect")]
+    if let Some(d) = rd() {
+        d.sync_event(0, w as u32, race_keys::POOL_DONE, trace::SyncKind::Release);
     }
 }
 
@@ -409,6 +489,12 @@ fn run_task(ctx: &StepCtx<'_>, t: usize, w: usize) {
     // SAFETY: slot `t` belongs exclusively to this task until its phase
     // counters are bumped; no reduction reads it before that.
     unsafe { slice::from_raw_parts_mut(g, ctx.n_params) }.fill(0.0);
+    #[cfg(feature = "race-detect")]
+    if let Some(d) = rd() {
+        for tile in 0..N_TILES {
+            d.on_write(0, w as u32, race_keys::slot_tile(t, tile));
+        }
+    }
 
     // Phase 1: forward + softmax backward for every sample.
     let t0 = ctx.lanes.map(|l| l[w].now_us());
@@ -483,7 +569,19 @@ fn backward_phase(
     }
     // AcqRel: the final decrement acquires every task's writes to this
     // tile, so the reduction below reads fully-published slot data.
+    #[cfg(feature = "race-detect")]
+    if let Some(d) = rd() {
+        // The release half is hooked *before* the real decrement (and
+        // the acquire half after a winning one) so the detector sees
+        // the two halves in real decrement order — see `race_keys`.
+        d.on_write(0, w as u32, race_keys::slot_tile(t, tile));
+        d.sync_event(0, w as u32, race_keys::counter_obj(tile), trace::SyncKind::Release);
+    }
     if ctx.counters[tile].fetch_sub(1, Ordering::AcqRel) == 1 {
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = rd() {
+            d.sync_event(0, w as u32, race_keys::counter_obj(tile), trace::SyncKind::Acquire);
+        }
         reduce_tile(ctx, tile, w);
     }
 }
@@ -503,6 +601,18 @@ fn reduce_tile(ctx: &StepCtx<'_>, tile: usize, w: usize) {
     // SAFETY: exactly one reduction runs per tile per step, so scratch
     // set `tile` has no other user for the duration of this call.
     let scratch = unsafe { &mut *ctx.scratch[tile] };
+    #[cfg(feature = "race-detect")]
+    if let Some(d) = rd() {
+        for r in 0..ctx.replicas {
+            // The fold reads every chunk slot and accumulates into the
+            // replica's slot 0.
+            for c in 1..ctx.chunks {
+                d.on_read(0, w as u32, race_keys::slot_tile(r * ctx.chunks + c, tile));
+            }
+            d.on_write(0, w as u32, race_keys::slot_tile(r * ctx.chunks, tile));
+        }
+        d.on_write(0, w as u32, race_keys::reduced_tile(tile));
+    }
     for r in 0..ctx.replicas {
         // SAFETY: every task finished writing this tile (counter proof),
         // and concurrent tasks only touch *other* tiles' ranges of
@@ -541,7 +651,7 @@ fn reduce_tile(ctx: &StepCtx<'_>, tile: usize, w: usize) {
         combine_sum(red, src);
     }
     finalize(ReduceOp::Average, red, ctx.replicas);
-    ctx.reduce_ns.fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    ctx.reduce_ns.fetch_add(wall.elapsed().as_nanos() as u64, Ordering::Relaxed); // lint: allow(relaxed): reduce_ns is a stats cell read after the pool barrier
     if let (Some(lanes), Some(t0)) = (ctx.lanes, t0) {
         let now = lanes[w].now_us();
         lanes[w].record_args(

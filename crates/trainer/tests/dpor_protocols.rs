@@ -1,0 +1,867 @@
+//! DPOR model checking of the pipelined executor's three lock-free
+//! protocols (`trainer::real::{pool, pipeline}`), via the vendored
+//! `interleave` checker's relaxed-memory machine.
+//!
+//! Each protocol is modeled over [`interleave::Mem`] with the *exact*
+//! orderings the real code uses, so the unmutated checks certify those
+//! orderings are sufficient, and seeded mutants (dropped fence,
+//! Relaxed-ified CAS/RMW, off-by-one counter, torn CAS, lost unpark,
+//! panic-mid-phase) must each be refuted with a replayable trace:
+//!
+//! 1. [`QueueModel`] — `RangeQueue` (`pool.rs`): owner `pop_front` vs
+//!    two thieves `steal_back` racing CAS on the packed
+//!    `head:32 | end:32` word, with independent per-chunk work after
+//!    each claim. This is also the DPOR-vs-BFS benchmark model: the
+//!    post-claim work is what plain BFS state-space multiplies over and
+//!    DPOR collapses.
+//! 2. [`PoolModel`] — the `CorePool` park/unpark generation handshake
+//!    (`run` / `helper_loop`), including the submit-while-parking
+//!    window (a worker observes a stale generation and heads to park
+//!    while the submitter publishes) and the panic-mid-phase window (a
+//!    worker panics after reading the job; the real code still
+//!    decrements `remaining`).
+//! 3. [`TileModel`] — the pipelined `reduce_tile` completion-counter
+//!    drain (`pipeline.rs`): workers publish partials with plain writes
+//!    ordered only by the counter's `fetch_sub(AcqRel)` chain; the
+//!    final decrementer reduces and runs the PR 7 codec path
+//!    (encode-to-scratch, publish reduced) — with a compression step
+//!    active, a stale partial read corrupts the wire payload, which is
+//!    why the drain's ordering is load-bearing.
+//!
+//! Modeling conventions: park/unpark happens-before uses
+//! [`Mem::transfer`] at token-consume time (std guarantees
+//! release/acquire for `unpark`→`park`); `compare_exchange_weak`
+//! spurious failures are not modeled (a spurious failure only retries
+//! with the freshly returned value, adding no new visible behavior).
+
+use interleave::{
+    check_dpor, check_nd, replay_nd, DporOptions, Loc, Mem, MemOrd, NdModel, NdVerdict, Op, Steps,
+};
+
+fn pack(head: u32, end: u32) -> u64 {
+    (u64::from(head) << 32) | u64::from(end)
+}
+
+fn unpack(w: u64) -> (u32, u32) {
+    ((w >> 32) as u32, w as u32)
+}
+
+// ---------------------------------------------------------------------
+// 1. RangeQueue: pop_front vs steal_back
+// ---------------------------------------------------------------------
+
+const WORD: Loc = 0;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum QueueBug {
+    None,
+    /// CAS replaced by load-then-store: the claim is no longer atomic.
+    TornCas,
+    /// `steal_back` claims index `end` instead of `end - 1`.
+    StealOffByOne,
+}
+
+/// Owner (thread 0) pops from the front, thieves steal from the back,
+/// exactly as `RangeQueue::{pop_front, steal_back}`: Acquire load, then
+/// a `compare_exchange(AcqRel, Acquire)` retry loop fed by the returned
+/// current value. Each claimed chunk is followed by `work_steps` of
+/// thread-local work plus one write to the chunk's own slot — the
+/// independent part DPOR is expected to collapse.
+struct QueueModel {
+    threads: usize,
+    chunks: u32,
+    work_steps: u8,
+    /// `Some(n)`: each thread retires after `n` successful claims —
+    /// the steady-state configuration (every worker owns one chunk and
+    /// crunches it) used by the DPOR-vs-BFS benchmark, where the work
+    /// phases overlap maximally. `None`: threads loop until the queue
+    /// drains (the exhaustive and mutant checks).
+    claims_per_thread: Option<u8>,
+    bug: QueueBug,
+}
+
+#[derive(Clone, Hash, PartialEq, Eq, Debug)]
+enum QueuePc {
+    Load,
+    Cas { cur: u64 },
+    Work { idx: u32, stage: u8 },
+    Finished,
+}
+
+#[derive(Clone, Hash, PartialEq, Eq, Debug)]
+struct QueueState {
+    mem: Mem,
+    pc: Vec<QueuePc>,
+    /// Model-level truth: how many times each chunk was claimed.
+    claims: Vec<u8>,
+    /// Successful claims per thread (for `claims_per_thread`).
+    mine: Vec<u8>,
+    /// A claim landed outside `0..chunks`.
+    out_of_range: bool,
+}
+
+impl QueueModel {
+    fn slot(idx: u32) -> Loc {
+        1 + idx as Loc
+    }
+}
+
+impl NdModel for QueueModel {
+    type State = QueueState;
+
+    fn initial(&self) -> QueueState {
+        // Slot locations exist for every index a buggy claim can touch.
+        let mut init = vec![0u64; 2 + self.chunks as usize];
+        init[WORD as usize] = pack(0, self.chunks);
+        QueueState {
+            mem: Mem::new(self.threads, &init),
+            pc: vec![QueuePc::Load; self.threads],
+            claims: vec![0; self.chunks as usize],
+            mine: vec![0; self.threads],
+            out_of_range: false,
+        }
+    }
+
+    fn n_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn steps(&self, s: &QueueState, tid: usize) -> Steps<QueueState> {
+        let owner = tid == 0;
+        match s.pc[tid].clone() {
+            // The initial load reads the newest word (SeqCst): a stale
+            // Acquire read is observationally equivalent to a CasFail —
+            // the retry loop re-reads — so modeling stale branches here
+            // only multiplies trace classes without adding behavior.
+            // The CAS itself keeps the real AcqRel/Acquire orderings,
+            // which is where the claim-atomicity bugs live.
+            QueuePc::Load => Steps::Ready(
+                s.mem
+                    .load(tid, WORD, MemOrd::SeqCst)
+                    .into_iter()
+                    .map(|(v, mem)| {
+                        let mut st = s.clone();
+                        st.mem = mem;
+                        let (head, end) = unpack(v);
+                        st.pc[tid] =
+                            if head >= end { QueuePc::Finished } else { QueuePc::Cas { cur: v } };
+                        (Op::Read(WORD), st)
+                    })
+                    .collect(),
+            ),
+            QueuePc::Cas { cur } => {
+                let (head, end) = unpack(cur);
+                if head >= end {
+                    // The retry observed a drained queue.
+                    let mut st = s.clone();
+                    st.pc[tid] = QueuePc::Finished;
+                    return Steps::Ready(vec![(Op::Local, st)]);
+                }
+                let (new, idx) = if owner {
+                    (pack(head + 1, end), head)
+                } else {
+                    match self.bug {
+                        QueueBug::StealOffByOne => (pack(head, end - 1), end),
+                        _ => (pack(head, end - 1), end - 1),
+                    }
+                };
+                if self.bug == QueueBug::TornCas {
+                    // Mutant: plain store of the precomputed word — two
+                    // stale readers both "claim" the same index.
+                    let mut st = s.clone();
+                    st.mem = s.mem.store(tid, WORD, new, MemOrd::Release);
+                    claim(&mut st, tid, self.chunks, idx);
+                    st.pc[tid] = QueuePc::Work { idx, stage: 0 };
+                    return Steps::Ready(vec![(Op::Write(WORD), st)]);
+                }
+                let (r, mem) = s.mem.cas(tid, WORD, cur, new, MemOrd::AcqRel, MemOrd::Acquire);
+                let mut st = s.clone();
+                st.mem = mem;
+                match r {
+                    Ok(_) => {
+                        claim(&mut st, tid, self.chunks, idx);
+                        st.pc[tid] = QueuePc::Work { idx, stage: 0 };
+                        Steps::Ready(vec![(Op::CasOk(WORD), st)])
+                    }
+                    Err(now) => {
+                        st.pc[tid] = QueuePc::Cas { cur: now };
+                        Steps::Ready(vec![(Op::CasFail(WORD), st)])
+                    }
+                }
+            }
+            QueuePc::Work { idx, stage } => {
+                let mut st = s.clone();
+                if stage < self.work_steps {
+                    // Thread-local compute on the claimed chunk.
+                    st.pc[tid] = QueuePc::Work { idx, stage: stage + 1 };
+                    Steps::Ready(vec![(Op::Local, st)])
+                } else {
+                    // Publish into the chunk's own slot: independent of
+                    // every other chunk's slot.
+                    let loc = QueueModel::slot(idx.min(self.chunks));
+                    st.mem = s.mem.store(tid, loc, tid as u64 + 1, MemOrd::Relaxed);
+                    let retired = self.claims_per_thread.is_some_and(|n| s.mine[tid] >= n);
+                    st.pc[tid] = if retired { QueuePc::Finished } else { QueuePc::Load };
+                    Steps::Ready(vec![(Op::Write(loc), st)])
+                }
+            }
+            QueuePc::Finished => Steps::Done,
+        }
+    }
+
+    fn invariant(&self, s: &QueueState) -> Result<(), String> {
+        if s.out_of_range {
+            return Err("a chunk index outside the queue range was claimed".into());
+        }
+        if let Some((i, &n)) = s.claims.iter().enumerate().find(|&(_, &n)| n > 1) {
+            return Err(format!("chunk {i} claimed {n} times"));
+        }
+        if s.pc.iter().all(|pc| *pc == QueuePc::Finished) {
+            if let Some((i, _)) = s.claims.iter().enumerate().find(|&(_, &n)| n == 0) {
+                return Err(format!("all workers finished but chunk {i} was never claimed"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn claim(st: &mut QueueState, tid: usize, chunks: u32, idx: u32) {
+    st.mine[tid] += 1;
+    if idx >= chunks {
+        st.out_of_range = true;
+    } else {
+        st.claims[idx as usize] += 1;
+    }
+}
+
+#[test]
+fn range_queue_three_threads_exhaustive_under_dpor() {
+    let m = QueueModel {
+        threads: 3,
+        chunks: 3,
+        work_steps: 2,
+        claims_per_thread: None,
+        bug: QueueBug::None,
+    };
+    let r = check_dpor(&m, DporOptions::default())
+        .unwrap_or_else(|v| panic!("RangeQueue protocol refuted: {v}"));
+    assert!(r.complete, "no preemption bound: the pass is exhaustive ({r:?})");
+    assert!(r.traces > 1, "contended CAS must fork the exploration ({r:?})");
+}
+
+#[test]
+fn range_queue_dpor_needs_under_one_percent_of_bfs_states() {
+    // The acceptance benchmark: same 3-thread model, both engines.
+    let m = QueueModel {
+        threads: 3,
+        chunks: 3,
+        work_steps: 48,
+        claims_per_thread: Some(1),
+        bug: QueueBug::None,
+    };
+    let bfs = check_nd(&m, 10_000_000).unwrap_or_else(|v| panic!("BFS refuted the queue: {v}"));
+    let dpor = check_dpor(&m, DporOptions::default())
+        .unwrap_or_else(|v| panic!("DPOR refuted the queue: {v}"));
+    println!(
+        "RangeQueue 3-thread model: BFS visited {} states ({} transitions); \
+         DPOR explored {} nodes across {} traces",
+        bfs.states, bfs.transitions, dpor.nodes, dpor.traces
+    );
+    assert!(
+        dpor.nodes * 100 <= bfs.states,
+        "DPOR must need <=1% of BFS states: {} vs {}",
+        dpor.nodes,
+        bfs.states
+    );
+}
+
+#[test]
+fn range_queue_torn_cas_mutant_refuted() {
+    let m = QueueModel {
+        threads: 3,
+        chunks: 3,
+        work_steps: 0,
+        claims_per_thread: None,
+        bug: QueueBug::TornCas,
+    };
+    let v = check_dpor(&m, DporOptions::default()).expect_err("torn CAS must double-claim");
+    println!("torn-CAS counterexample: {v}");
+    match &v {
+        NdVerdict::InvariantViolated { trace, state, reason, .. } => {
+            assert!(reason.contains("claimed"), "{reason}");
+            let states = replay_nd(&m, trace);
+            assert_eq!(states.last(), Some(state), "trace must replay to the violation");
+        }
+        other => panic!("expected an invariant violation, got {other}"),
+    }
+}
+
+#[test]
+fn range_queue_steal_off_by_one_mutant_refuted() {
+    let m = QueueModel {
+        threads: 3,
+        chunks: 3,
+        work_steps: 0,
+        claims_per_thread: None,
+        bug: QueueBug::StealOffByOne,
+    };
+    let v = check_dpor(&m, DporOptions::default()).expect_err("off-by-one steal must misclaim");
+    println!("steal-off-by-one counterexample: {v}");
+    match &v {
+        NdVerdict::InvariantViolated { trace, state, reason, .. } => {
+            assert!(
+                reason.contains("outside the queue range") || reason.contains("claimed"),
+                "{reason}"
+            );
+            let states = replay_nd(&m, trace);
+            assert_eq!(states.last(), Some(state));
+        }
+        other => panic!("expected an invariant violation, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. CorePool: park/unpark generation handshake
+// ---------------------------------------------------------------------
+
+const JOB: Loc = 0;
+const REM: Loc = 1;
+const GEN: Loc = 2;
+/// Parking-lot ids (not memory locations).
+const SUB_LOT: Loc = 100;
+const JOB_VAL: u64 = 42;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PoolBug {
+    None,
+    /// `generation.fetch_add(Release)` demoted to Relaxed — the dropped
+    /// fence: a spinning helper can see the new generation but a stale
+    /// job pointer.
+    DroppedGenFence,
+    /// The submitter only unparks helpers it observes as parked — the
+    /// submit-while-parking window loses the wakeup.
+    LostUnpark,
+    /// A panicking worker skips the `remaining` decrement (the real
+    /// code decrements after `catch_unwind`).
+    PanicSkipsDecrement,
+}
+
+/// `CorePool::run` + `helper_loop` for one job: submitter (thread 0)
+/// publishes job/remaining/generation with Release stores, unparks both
+/// helpers, and waits for `remaining == 0` (Acquire) parking in
+/// between; helpers (threads 1..=2) spin-or-park on the generation,
+/// read the job, and decrement `remaining` with AcqRel, unparking the
+/// submitter on the final decrement.
+struct PoolModel {
+    bug: PoolBug,
+    /// Worker index (0-based) that panics mid-job, if any.
+    panic_in: Option<usize>,
+}
+
+const N_WORKERS: usize = 2;
+
+#[derive(Clone, Hash, PartialEq, Eq, Debug)]
+struct PoolState {
+    mem: Mem,
+    /// 0 store job, 1 store rem, 2 bump gen, 3..4 unpark helpers,
+    /// 5 load rem, 6 park, 7 done.
+    sub_pc: u8,
+    /// 0 load gen, 1 park, 2 load job, 3 run, 4 decrement, 5 unpark
+    /// submitter, 6 done.
+    w_pc: [u8; N_WORKERS],
+    seen_job: [u64; N_WORKERS],
+    /// Park tokens (std's `unpark` token semantics).
+    token: [bool; N_WORKERS],
+    sub_token: bool,
+    /// Which worker issued the submitter's token (for the HB transfer).
+    sub_token_from: usize,
+    panicked: bool,
+    underflow: bool,
+}
+
+impl PoolModel {
+    fn wtid(w: usize) -> usize {
+        w + 1
+    }
+
+    fn lot(w: usize) -> Loc {
+        101 + w as Loc
+    }
+}
+
+impl NdModel for PoolModel {
+    type State = PoolState;
+
+    fn initial(&self) -> PoolState {
+        PoolState {
+            mem: Mem::new(1 + N_WORKERS, &[0, 0, 0]),
+            sub_pc: 0,
+            w_pc: [0; N_WORKERS],
+            seen_job: [0; N_WORKERS],
+            token: [false; N_WORKERS],
+            sub_token: false,
+            sub_token_from: 0,
+            panicked: false,
+            underflow: false,
+        }
+    }
+
+    fn n_threads(&self) -> usize {
+        1 + N_WORKERS
+    }
+
+    fn steps(&self, s: &PoolState, tid: usize) -> Steps<PoolState> {
+        if tid == 0 {
+            return self.submitter_steps(s);
+        }
+        self.worker_steps(s, tid - 1)
+    }
+
+    fn invariant(&self, s: &PoolState) -> Result<(), String> {
+        if s.underflow {
+            return Err("remaining underflowed below zero".into());
+        }
+        for w in 0..N_WORKERS {
+            if s.w_pc[w] >= 3 && s.seen_job[w] != JOB_VAL {
+                return Err(format!(
+                    "worker {w} ran with a stale job pointer ({} != {JOB_VAL})",
+                    s.seen_job[w]
+                ));
+            }
+        }
+        if s.sub_pc == 7 && s.w_pc.iter().all(|&pc| pc == 6) && s.mem.peek(REM) != 0 {
+            return Err(format!("handshake completed with remaining = {}", s.mem.peek(REM)));
+        }
+        Ok(())
+    }
+}
+
+impl PoolModel {
+    fn submitter_steps(&self, s: &PoolState) -> Steps<PoolState> {
+        let tid = 0;
+        match s.sub_pc {
+            0 => {
+                let mut st = s.clone();
+                st.mem = s.mem.store(tid, JOB, JOB_VAL, MemOrd::Release);
+                st.sub_pc = 1;
+                Steps::Ready(vec![(Op::Write(JOB), st)])
+            }
+            1 => {
+                let mut st = s.clone();
+                st.mem = s.mem.store(tid, REM, N_WORKERS as u64, MemOrd::Release);
+                st.sub_pc = 2;
+                Steps::Ready(vec![(Op::Write(REM), st)])
+            }
+            2 => {
+                let ord = if self.bug == PoolBug::DroppedGenFence {
+                    MemOrd::Relaxed
+                } else {
+                    MemOrd::Release
+                };
+                let (_, mem) = s.mem.rmw(tid, GEN, ord, |v| v + 1);
+                let mut st = s.clone();
+                st.mem = mem;
+                st.sub_pc = 3;
+                Steps::Ready(vec![(Op::CasOk(GEN), st)])
+            }
+            pc @ (3 | 4) => {
+                let w = pc as usize - 3;
+                let mut st = s.clone();
+                // The real code unparks every helper unconditionally;
+                // the LostUnpark mutant "optimizes" by only unparking
+                // helpers it observes as already parked.
+                let skip = self.bug == PoolBug::LostUnpark && s.w_pc[w] != 1;
+                if !skip {
+                    st.token[w] = true;
+                }
+                st.sub_pc = pc + 1;
+                Steps::Ready(vec![(Op::Unpark(PoolModel::lot(w)), st)])
+            }
+            5 => Steps::Ready(
+                s.mem
+                    .load(tid, REM, MemOrd::Acquire)
+                    .into_iter()
+                    .map(|(v, mem)| {
+                        let mut st = s.clone();
+                        st.mem = mem;
+                        st.sub_pc = if v == 0 { 7 } else { 6 };
+                        (Op::Read(REM), st)
+                    })
+                    .collect(),
+            ),
+            6 => {
+                if !s.sub_token {
+                    return Steps::Blocked;
+                }
+                let mut st = s.clone();
+                st.sub_token = false;
+                // park() returned because of unpark(): join the
+                // unparker's view (std guarantees this edge).
+                st.mem = s.mem.transfer(PoolModel::wtid(s.sub_token_from), 0);
+                st.sub_pc = 5;
+                Steps::Ready(vec![(Op::Park(SUB_LOT), st)])
+            }
+            _ => Steps::Done,
+        }
+    }
+
+    fn worker_steps(&self, s: &PoolState, w: usize) -> Steps<PoolState> {
+        let tid = PoolModel::wtid(w);
+        match s.w_pc[w] {
+            0 => Steps::Ready(
+                s.mem
+                    .load(tid, GEN, MemOrd::Acquire)
+                    .into_iter()
+                    .map(|(v, mem)| {
+                        let mut st = s.clone();
+                        st.mem = mem;
+                        // gen == seen (0): nothing published yet from
+                        // this helper's point of view — head to park.
+                        st.w_pc[w] = if v == 0 { 1 } else { 2 };
+                        (Op::Read(GEN), st)
+                    })
+                    .collect(),
+            ),
+            1 => {
+                if !s.token[w] {
+                    return Steps::Blocked;
+                }
+                let mut st = s.clone();
+                st.token[w] = false;
+                st.mem = s.mem.transfer(0, tid);
+                st.w_pc[w] = 0;
+                Steps::Ready(vec![(Op::Park(PoolModel::lot(w)), st)])
+            }
+            2 => Steps::Ready(
+                s.mem
+                    .load(tid, JOB, MemOrd::Acquire)
+                    .into_iter()
+                    .map(|(v, mem)| {
+                        let mut st = s.clone();
+                        st.mem = mem;
+                        st.seen_job[w] = v;
+                        st.w_pc[w] = 3;
+                        (Op::Read(JOB), st)
+                    })
+                    .collect(),
+            ),
+            3 => {
+                let mut st = s.clone();
+                if self.panic_in == Some(w) {
+                    st.panicked = true;
+                    // The mutant forgets that a panicking job must
+                    // still decrement `remaining`.
+                    st.w_pc[w] = if self.bug == PoolBug::PanicSkipsDecrement { 6 } else { 4 };
+                } else {
+                    st.w_pc[w] = 4;
+                }
+                Steps::Ready(vec![(Op::Local, st)])
+            }
+            4 => {
+                let (old, mem) = s.mem.rmw(tid, REM, MemOrd::AcqRel, |v| v.wrapping_sub(1));
+                let mut st = s.clone();
+                st.mem = mem;
+                if old == 0 {
+                    st.underflow = true;
+                }
+                st.w_pc[w] = if old == 1 { 5 } else { 6 };
+                Steps::Ready(vec![(Op::CasOk(REM), st)])
+            }
+            5 => {
+                let mut st = s.clone();
+                st.sub_token = true;
+                st.sub_token_from = w;
+                st.w_pc[w] = 6;
+                Steps::Ready(vec![(Op::Unpark(SUB_LOT), st)])
+            }
+            _ => Steps::Done,
+        }
+    }
+}
+
+#[test]
+fn core_pool_handshake_exhaustive_under_dpor() {
+    let r = check_dpor(&PoolModel { bug: PoolBug::None, panic_in: None }, DporOptions::default())
+        .unwrap_or_else(|v| panic!("CorePool handshake refuted: {v}"));
+    assert!(r.complete);
+    assert!(r.traces > 1, "park vs spin windows must both be explored ({r:?})");
+}
+
+#[test]
+fn core_pool_panic_mid_phase_window_still_drains() {
+    // A worker panicking after reading the job: the real code
+    // decrements anyway, so the handshake must still complete.
+    let r =
+        check_dpor(&PoolModel { bug: PoolBug::None, panic_in: Some(1) }, DporOptions::default())
+            .unwrap_or_else(|v| panic!("panic-mid-phase handling refuted: {v}"));
+    assert!(r.complete);
+}
+
+#[test]
+fn core_pool_dropped_gen_fence_mutant_refuted() {
+    let m = PoolModel { bug: PoolBug::DroppedGenFence, panic_in: None };
+    let v = check_dpor(&m, DporOptions::default()).expect_err("relaxed gen bump must leak");
+    println!("dropped-fence counterexample: {v}");
+    match &v {
+        NdVerdict::InvariantViolated { trace, state, reason, .. } => {
+            assert!(reason.contains("stale job"), "{reason}");
+            let states = replay_nd(&m, trace);
+            assert_eq!(states.last(), Some(state));
+        }
+        other => panic!("expected a stale-job violation, got {other}"),
+    }
+}
+
+#[test]
+fn core_pool_lost_unpark_mutant_deadlocks() {
+    let m = PoolModel { bug: PoolBug::LostUnpark, panic_in: None };
+    let v = check_dpor(&m, DporOptions::default()).expect_err("lost wakeup must wedge the pool");
+    println!("lost-unpark counterexample: {v}");
+    assert!(
+        matches!(v, NdVerdict::Deadlock { .. }),
+        "submit-while-parking without a token must deadlock, got {v}"
+    );
+}
+
+#[test]
+fn core_pool_panic_skips_decrement_mutant_deadlocks() {
+    let m = PoolModel { bug: PoolBug::PanicSkipsDecrement, panic_in: Some(0) };
+    let v = check_dpor(&m, DporOptions::default()).expect_err("skipped decrement must wedge");
+    println!("panic-skips-decrement counterexample: {v}");
+    assert!(matches!(v, NdVerdict::Deadlock { .. }), "got {v}");
+}
+
+// ---------------------------------------------------------------------
+// 3. reduce_tile completion-counter drain (codec active)
+// ---------------------------------------------------------------------
+
+const N_RED: usize = 3;
+const CTR: Loc = N_RED as Loc;
+const ENC: Loc = N_RED as Loc + 1;
+const RED: Loc = N_RED as Loc + 2;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TileBug {
+    None,
+    /// `counters[tile].fetch_sub(AcqRel)` demoted to Relaxed — the
+    /// Relaxed-ified RMW: the final decrement no longer acquires the
+    /// other workers' partial writes.
+    RelaxedFetchSub,
+    /// Counter seeded with `n_tasks - 1`.
+    OffByOneInit,
+}
+
+/// Worker `w` writes its gradient partial (a plain store, ordered only
+/// by the counter chain), then decrements the tile counter; whoever
+/// sees the counter hit zero drains the tile: reads every partial,
+/// quantizes the sum into the encode scratch (the PR 7 codec path), and
+/// publishes the reduced value.
+struct TileModel {
+    bug: TileBug,
+}
+
+fn partial_of(w: usize) -> u64 {
+    (w as u64 + 1) * 3
+}
+
+fn quantize(sum: u64) -> u64 {
+    sum * 2 + 1
+}
+
+fn dequantize(enc: u64) -> u64 {
+    (enc - 1) / 2
+}
+
+#[derive(Clone, Hash, PartialEq, Eq, Debug)]
+struct TileState {
+    mem: Mem,
+    /// 0 compute, 1 store partial, 2 decrement, 3 reduce-read,
+    /// 4 encode, 5 publish, 6 done.
+    pc: [u8; N_RED],
+    /// Reducer bookkeeping (at most one thread enters the drain).
+    ridx: u8,
+    sum: u64,
+    stale_read: Option<(usize, u64)>,
+    underflow: bool,
+    published: bool,
+}
+
+impl NdModel for TileModel {
+    type State = TileState;
+
+    fn initial(&self) -> TileState {
+        let mut init = vec![0u64; N_RED + 3];
+        init[CTR as usize] = match self.bug {
+            TileBug::OffByOneInit => N_RED as u64 - 1,
+            _ => N_RED as u64,
+        };
+        TileState {
+            mem: Mem::new(N_RED, &init),
+            pc: [0; N_RED],
+            ridx: 0,
+            sum: 0,
+            stale_read: None,
+            underflow: false,
+            published: false,
+        }
+    }
+
+    fn n_threads(&self) -> usize {
+        N_RED
+    }
+
+    fn steps(&self, s: &TileState, tid: usize) -> Steps<TileState> {
+        match s.pc[tid] {
+            0 => {
+                let mut st = s.clone();
+                st.pc[tid] = 1;
+                Steps::Ready(vec![(Op::Local, st)])
+            }
+            1 => {
+                let mut st = s.clone();
+                st.mem = s.mem.store(tid, tid as Loc, partial_of(tid), MemOrd::Relaxed);
+                st.pc[tid] = 2;
+                Steps::Ready(vec![(Op::Write(tid as Loc), st)])
+            }
+            2 => {
+                let ord = if self.bug == TileBug::RelaxedFetchSub {
+                    MemOrd::Relaxed
+                } else {
+                    MemOrd::AcqRel
+                };
+                let (old, mem) = s.mem.rmw(tid, CTR, ord, |v| v.wrapping_sub(1));
+                let mut st = s.clone();
+                st.mem = mem;
+                if old == 0 {
+                    st.underflow = true;
+                }
+                st.pc[tid] = if old == 1 { 3 } else { 6 };
+                Steps::Ready(vec![(Op::CasOk(CTR), st)])
+            }
+            3 => {
+                let r = s.ridx as usize;
+                Steps::Ready(
+                    s.mem
+                        .load(tid, r as Loc, MemOrd::Relaxed)
+                        .into_iter()
+                        .map(|(v, mem)| {
+                            let mut st = s.clone();
+                            st.mem = mem;
+                            if v != partial_of(r) {
+                                st.stale_read = Some((r, v));
+                            }
+                            st.sum = st.sum.wrapping_add(v);
+                            st.ridx += 1;
+                            if st.ridx as usize == N_RED {
+                                st.pc[tid] = 4;
+                            }
+                            (Op::Read(r as Loc), st)
+                        })
+                        .collect(),
+                )
+            }
+            4 => {
+                let mut st = s.clone();
+                st.mem = s.mem.store(tid, ENC, quantize(s.sum), MemOrd::Relaxed);
+                st.pc[tid] = 5;
+                Steps::Ready(vec![(Op::Write(ENC), st)])
+            }
+            5 => {
+                let mut st = s.clone();
+                st.mem = s.mem.store(tid, RED, dequantize(s.mem.peek(ENC)), MemOrd::Release);
+                st.published = true;
+                st.pc[tid] = 6;
+                Steps::Ready(vec![(Op::Write(RED), st)])
+            }
+            _ => Steps::Done,
+        }
+    }
+
+    fn invariant(&self, s: &TileState) -> Result<(), String> {
+        if s.underflow {
+            return Err("tile counter underflowed: the drain fired twice".into());
+        }
+        if let Some((w, v)) = s.stale_read {
+            return Err(format!(
+                "reduce_tile read a stale partial from worker {w}: {v} != {}",
+                partial_of(w)
+            ));
+        }
+        if s.pc.iter().all(|&pc| pc == 6) {
+            if !s.published {
+                return Err("every worker finished but the tile was never reduced".into());
+            }
+            let want: u64 = (0..N_RED).map(partial_of).sum();
+            if s.mem.peek(RED) != want {
+                return Err(format!(
+                    "reduced tile holds {} but the partial sum is {want}",
+                    s.mem.peek(RED)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn tile_drain_exhaustive_under_dpor() {
+    let r = check_dpor(&TileModel { bug: TileBug::None }, DporOptions::default())
+        .unwrap_or_else(|v| panic!("reduce_tile drain refuted: {v}"));
+    assert!(r.complete);
+    assert!(r.traces > 1, "decrement orders must fork the exploration ({r:?})");
+}
+
+#[test]
+fn tile_relaxed_fetch_sub_mutant_refuted() {
+    let m = TileModel { bug: TileBug::RelaxedFetchSub };
+    let v = check_dpor(&m, DporOptions::default()).expect_err("relaxed drain must read stale");
+    println!("relaxed-fetch_sub counterexample: {v}");
+    match &v {
+        NdVerdict::InvariantViolated { trace, state, reason, .. } => {
+            assert!(reason.contains("stale partial"), "{reason}");
+            let states = replay_nd(&m, trace);
+            assert_eq!(states.last(), Some(state));
+        }
+        other => panic!("expected a stale-partial violation, got {other}"),
+    }
+}
+
+#[test]
+fn tile_off_by_one_counter_mutant_refuted() {
+    let m = TileModel { bug: TileBug::OffByOneInit };
+    let v = check_dpor(&m, DporOptions::default()).expect_err("short counter must fire early");
+    println!("off-by-one-counter counterexample: {v}");
+    match &v {
+        NdVerdict::InvariantViolated { trace, state, reason, .. } => {
+            assert!(reason.contains("stale partial") || reason.contains("underflow"), "{reason}");
+            let states = replay_nd(&m, trace);
+            assert_eq!(states.last(), Some(state));
+        }
+        other => panic!("expected a violation, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Budgeted runs (the CI model-check job's explicit state budget)
+// ---------------------------------------------------------------------
+
+#[test]
+fn preemption_bounded_fallback_still_refutes_every_mutant() {
+    // Under a 2-preemption budget the search is not exhaustive, but
+    // every seeded bug still needs at most two preemptions to surface —
+    // the fallback mode CI can afford on bigger models.
+    let opts = DporOptions { preemption_bound: Some(2), ..Default::default() };
+    assert!(check_dpor(
+        &QueueModel {
+            threads: 3,
+            chunks: 3,
+            work_steps: 0,
+            claims_per_thread: None,
+            bug: QueueBug::TornCas
+        },
+        opts
+    )
+    .is_err());
+    assert!(check_dpor(&PoolModel { bug: PoolBug::DroppedGenFence, panic_in: None }, opts).is_err());
+    assert!(check_dpor(&TileModel { bug: TileBug::RelaxedFetchSub }, opts).is_err());
+}

@@ -37,6 +37,16 @@
 //!    called somewhere in the file. This keeps the crate loadable on
 //!    machines without the extension and keeps the differential tests
 //!    honest — an uncalled twin proves nothing.
+//! 7. **atomic-ordering** — every `Ordering::Relaxed` in library code
+//!    must carry a same-line `// lint: allow(relaxed): <invariant>`
+//!    waiver naming the invariant that makes the relaxation sound (an
+//!    empty reason is itself a violation), and every `compare_exchange`
+//!    / `compare_exchange_weak` call must name both the success and
+//!    failure orderings explicitly (two `Ordering::` mentions within
+//!    the call). The DPOR models in `trainer/tests/dpor_protocols.rs`
+//!    prove exactly which orderings the executor protocols need; this
+//!    rule keeps a future "harmless" demotion from slipping past review
+//!    unjustified.
 //!
 //! The pass is deliberately token-based (comment- and string-stripped
 //! lines, brace counting) rather than AST-based: it has zero
@@ -202,6 +212,7 @@ const BANNED_MACROS: &[&str] = &["dbg!(", "todo!(", "unimplemented!("];
 
 fn lint_file(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) {
     let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    let all_lines: Vec<&str> = text.lines().collect();
     let mut depth: i64 = 0;
     // Skip state for `#[cfg(test)]`-gated items (mod blocks, fns).
     let mut pending_cfg_test = false;
@@ -364,7 +375,74 @@ fn lint_file(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) 
                 }),
             }
         }
+        if code.contains("Ordering::Relaxed") {
+            match waiver_reason_for(raw, "relaxed") {
+                Some(reason) if !reason.is_empty() => {}
+                Some(_) => findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "atomic-ordering",
+                    detail: "waiver comment present but the invariant is empty".to_string(),
+                }),
+                None => findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "atomic-ordering",
+                    detail: "`Ordering::Relaxed` in library code — name the invariant that \
+                             makes it sound (`// lint: allow(relaxed): <invariant>`)"
+                        .to_string(),
+                }),
+            }
+        }
+        if code.contains("compare_exchange") && !orderings_explicit(&all_lines, idx) {
+            findings.push(Finding {
+                path: rel.clone(),
+                line: line_no,
+                rule: "atomic-ordering",
+                detail: "`compare_exchange*` must name both the success and failure \
+                         orderings explicitly (two `Ordering::` mentions)"
+                    .to_string(),
+            });
+        }
     }
+}
+
+/// True when the `compare_exchange*` call starting on `all_lines[idx]`
+/// names two `Ordering::` values within the call's argument list. The
+/// call may wrap: stripped lines are joined from the call site until
+/// its parentheses balance (bounded lookahead — a call that hasn't
+/// closed within 8 lines is judged on what was seen).
+fn orderings_explicit(all_lines: &[&str], idx: usize) -> bool {
+    let mut mentions = 0usize;
+    let mut paren_depth = 0i64;
+    let mut seen_open = false;
+    for (k, raw) in all_lines.iter().enumerate().skip(idx).take(8) {
+        let code = strip_comments_and_strings(raw);
+        let scan = if k == idx {
+            // Start at the call itself, not earlier text on the line.
+            match code.find("compare_exchange") {
+                Some(at) => code[at..].to_string(),
+                None => code,
+            }
+        } else {
+            code
+        };
+        mentions += scan.matches("Ordering::").count();
+        for c in scan.chars() {
+            match c {
+                '(' => {
+                    paren_depth += 1;
+                    seen_open = true;
+                }
+                ')' => paren_depth -= 1,
+                _ => {}
+            }
+        }
+        if seen_open && paren_depth <= 0 {
+            break;
+        }
+    }
+    mentions >= 2
 }
 
 /// The fn name declared on `line`, if any.
@@ -546,6 +624,60 @@ mod tests {
         let mut out = Vec::new();
         lint_file(Path::new("x.rs"), src, Path::new("."), &mut out);
         out.into_iter().map(|f| (f.rule.to_string(), f.line)).collect()
+    }
+
+    #[test]
+    fn relaxed_ordering_needs_a_waiver_with_an_invariant() {
+        let src = "\
+fn f(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::Relaxed); // lint: allow(relaxed):
+    c.store(0, Ordering::Relaxed); // lint: allow(relaxed): monotonic counter, read under lock
+}
+";
+        assert_eq!(
+            findings_for(src),
+            vec![("atomic-ordering".to_string(), 2), ("atomic-ordering".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn relaxed_in_cfg_test_code_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn f(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+";
+        assert!(findings_for(src).is_empty());
+    }
+
+    #[test]
+    fn compare_exchange_must_name_both_orderings() {
+        let src = "\
+fn f(w: &AtomicU64) {
+    let _ = w.compare_exchange_weak(a, b, Ordering::AcqRel, Ordering::Acquire);
+    let _ = w.compare_exchange(a, b, Ordering::SeqCst);
+}
+";
+        assert_eq!(findings_for(src), vec![("atomic-ordering".to_string(), 3)]);
+    }
+
+    #[test]
+    fn wrapped_compare_exchange_calls_are_scanned_to_the_closing_paren() {
+        let src = "\
+fn f(w: &AtomicU64) {
+    let _ = w.compare_exchange_weak(
+        cur,
+        new,
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    );
+}
+";
+        assert!(findings_for(src).is_empty());
     }
 
     #[test]

@@ -1,32 +1,105 @@
-//! Bounded interleaving model checker (vendored, offline).
+//! Stateless model checking for small concurrent protocols (vendored,
+//! offline).
 //!
-//! The same niche as `loom` — prove that a small concurrent protocol is
-//! correct under *every* thread interleaving, not just the ones a test
-//! run happens to hit — but built as an explicit-state checker rather
-//! than an instrumented runtime, consistent with this workspace's
-//! no-external-dependencies constraint:
+//! The same niche as `loom` — prove that a concurrent protocol is
+//! correct under *every* interleaving that matters, not just the ones a
+//! test run happens to hit — built as an explicit checker rather than
+//! an instrumented runtime, consistent with this workspace's
+//! no-external-dependencies constraint. Two engines over two model
+//! traits:
 //!
-//! * A protocol is modeled as a [`Model`]: an explicit `State` plus a
-//!   per-thread transition function where each [`Model::step`] is one
-//!   atomic action (one atomic RMW, one lock acquisition, one channel
-//!   push). Anything that is *two* steps in the real code — a load
-//!   followed by a store — must be two steps in the model; that is
-//!   exactly where races live.
-//! * [`check`] runs breadth-first search over reachable states with a
-//!   visited set, so exploration is exhaustive over interleavings while
-//!   visiting each distinct state once. Safety invariants are checked
-//!   at every reachable state; a state where no thread can step and not
-//!   every thread is done is reported as a deadlock.
-//! * Counterexamples come back as the shortest thread schedule (BFS
-//!   order) reaching the bad state, replayable with [`replay`].
+//! * [`Model`] + [`check`] — the original deterministic-step API: BFS
+//!   over reachable states with a visited set. Exploration order is
+//!   **deterministic by construction** (successors expanded in
+//!   ascending thread id, FIFO frontier), so every verdict — including
+//!   the schedule reported when [`Options::max_states`] trips — is
+//!   stable across runs and machines.
+//! * [`NdModel`] + [`check_dpor`] — the scalable engine: depth-first
+//!   stateless search with **dynamic partial-order reduction**
+//!   (persistent/backtrack sets in the Flanagan–Godefroid style, plus
+//!   sleep sets), keyed on the [`Op`] dependence relation. Models may
+//!   branch nondeterministically per thread step — that is how the
+//!   [`mem`] module's relaxed-memory loads surface every visible write.
+//!   A bounded-preemption budget ([`DporOptions::preemption_bound`]) is
+//!   available as a fallback when a model is too big to finish
+//!   exhaustively. Counterexamples are replayable ([`replay_nd`]) and
+//!   shortened by a bounded BFS pass so the printed trace is minimal.
 //!
-//! Exhaustiveness is bounded only by [`Options::max_states`]; hitting
-//! the bound is reported as an explicit error ([`Verdict::StateLimit`])
-//! rather than a silent pass.
+//! Every [`Model`] is automatically an [`NdModel`] (each step is a
+//! single branch whose op is [`Model::op`], conservatively "touches
+//! everything" by default), so legacy models can run under DPOR
+//! unchanged — they just see no reduction until they classify their
+//! steps.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt::Debug;
 use std::hash::Hash;
+
+mod dpor;
+pub mod mem;
+
+pub use dpor::{check_dpor, check_nd, replay_nd, Choice, DporOptions, DporReport, NdVerdict};
+pub use mem::{Mem, MemOrd};
+
+/// A modeled memory location (or parking lot) identifier.
+pub type Loc = u16;
+
+/// Wildcard location: dependent with every location. The default
+/// [`Model::op`] uses it so unclassified models stay sound under DPOR.
+pub const LOC_ANY: Loc = Loc::MAX;
+
+/// The kind of atomic action a thread's next transition performs, used
+/// by DPOR to decide which transitions commute.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Atomic load of a location.
+    Read(Loc),
+    /// Atomic store to a location.
+    Write(Loc),
+    /// Successful compare-exchange (read + write) of a location.
+    CasOk(Loc),
+    /// Failed compare-exchange (a read) of a location.
+    CasFail(Loc),
+    /// Thread parks on lot `Loc`.
+    Park(Loc),
+    /// Thread unparks whoever waits on lot `Loc`.
+    Unpark(Loc),
+    /// Thread-local computation: independent of everything.
+    Local,
+}
+
+impl Op {
+    fn loc(self) -> Option<Loc> {
+        match self {
+            Op::Read(l) | Op::Write(l) | Op::CasOk(l) | Op::CasFail(l) => Some(l),
+            Op::Park(_) | Op::Unpark(_) | Op::Local => None,
+        }
+    }
+
+    fn writes(self) -> bool {
+        matches!(self, Op::Write(_) | Op::CasOk(_))
+    }
+
+    /// The DPOR dependence relation: may the order of two adjacent
+    /// steps by different threads affect the outcome?
+    pub fn dependent(self, other: Op) -> bool {
+        match (self, other) {
+            (Op::Local, _) | (_, Op::Local) => false,
+            (Op::Park(a), Op::Unpark(b)) | (Op::Unpark(a), Op::Park(b)) => {
+                a == b || a == LOC_ANY || b == LOC_ANY
+            }
+            // Two parks (different threads) or two unparks commute, and
+            // park/unpark commute with memory ops.
+            (Op::Park(_) | Op::Unpark(_), _) | (_, Op::Park(_) | Op::Unpark(_)) => false,
+            (a, b) => match (a.loc(), b.loc()) {
+                (Some(la), Some(lb)) => {
+                    (la == lb || la == LOC_ANY || lb == LOC_ANY) && (a.writes() || b.writes())
+                }
+                _ => false,
+            },
+        }
+    }
+}
 
 /// The result of offering one atomic step to a thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +113,7 @@ pub enum Step<S> {
     Done,
 }
 
-/// A concurrent protocol under test.
+/// A concurrent protocol under test with deterministic per-thread steps.
 pub trait Model {
     /// Global state: shared memory plus every thread's local state and
     /// program counter. Must be hashable so visited states dedup.
@@ -56,9 +129,66 @@ pub trait Model {
     /// Safety invariant, checked at every reachable state (including
     /// the initial one). Return `Err(reason)` to fail the check.
     fn invariant(&self, s: &Self::State) -> Result<(), String>;
+
+    /// Classify the next step of `tid` from `s` for DPOR dependence.
+    /// The default — a write to the wildcard location — is dependent
+    /// with everything, which is always sound and never reduces.
+    fn op(&self, _s: &Self::State, _tid: usize) -> Op {
+        Op::Write(LOC_ANY)
+    }
 }
 
-/// Exploration bounds.
+/// The result of offering one step to a thread of an [`NdModel`]:
+/// possibly many branches (e.g. a relaxed load observing any of several
+/// visible writes), each labeled with its [`Op`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Steps<S> {
+    /// The enabled branches. Must be non-empty, in deterministic order.
+    Ready(Vec<(Op, S)>),
+    Blocked,
+    Done,
+}
+
+/// A protocol whose threads may branch nondeterministically per step —
+/// the input language of [`check_dpor`] and [`check_nd`].
+pub trait NdModel {
+    type State: Clone + Hash + Eq + Debug;
+
+    fn initial(&self) -> Self::State;
+
+    fn n_threads(&self) -> usize;
+
+    /// All branches of one atomic step of `tid` from `s`.
+    fn steps(&self, s: &Self::State, tid: usize) -> Steps<Self::State>;
+
+    fn invariant(&self, s: &Self::State) -> Result<(), String>;
+}
+
+impl<M: Model> NdModel for M {
+    type State = M::State;
+
+    fn initial(&self) -> Self::State {
+        Model::initial(self)
+    }
+
+    fn n_threads(&self) -> usize {
+        Model::n_threads(self)
+    }
+
+    fn steps(&self, s: &Self::State, tid: usize) -> Steps<Self::State> {
+        match self.step(s, tid) {
+            Step::Ready(next) => Steps::Ready(vec![(self.op(s, tid), next)]),
+            Step::Blocked => Steps::Blocked,
+            Step::Done => Steps::Done,
+        }
+    }
+
+    fn invariant(&self, s: &Self::State) -> Result<(), String> {
+        Model::invariant(self, s)
+    }
+}
+
+/// Exploration bounds for the BFS engine.
 #[derive(Debug, Clone, Copy)]
 pub struct Options {
     /// Abort (as [`Verdict::StateLimit`]) after visiting this many
@@ -95,8 +225,11 @@ pub enum Verdict<S> {
     },
     /// A reachable state where no thread can step but not all are done.
     Deadlock { schedule: Vec<usize>, state: S },
-    /// `max_states` was reached before the space was exhausted.
-    StateLimit { visited: usize },
+    /// `max_states` was reached before the space was exhausted. The
+    /// schedule of the state that tripped the limit is reported — and
+    /// because exploration order is deterministic (ascending thread id,
+    /// FIFO frontier), it is the *same* schedule on every run.
+    StateLimit { visited: usize, schedule: Vec<usize> },
 }
 
 impl<S: Debug> std::fmt::Display for Verdict<S> {
@@ -109,14 +242,18 @@ impl<S: Debug> std::fmt::Display for Verdict<S> {
             Verdict::Deadlock { schedule, state } => {
                 write!(f, "deadlock after schedule {schedule:?} (state {state:?})")
             }
-            Verdict::StateLimit { visited } => {
-                write!(f, "state limit hit after {visited} states")
+            Verdict::StateLimit { visited, schedule } => {
+                write!(f, "state limit hit after {visited} states (frontier at {schedule:?})")
             }
         }
     }
 }
 
-/// Exhaustively explore every interleaving of `model`'s threads.
+/// Exhaustively explore every interleaving of `model`'s threads by BFS.
+///
+/// Deterministic: states are expanded in FIFO order and successors in
+/// ascending thread id, so the reported counterexample — always a
+/// shortest schedule — is identical across runs.
 pub fn check<M: Model>(model: &M, opts: Options) -> Result<Report, Verdict<M::State>> {
     let initial = model.initial();
     if let Err(reason) = model.invariant(&initial) {
@@ -153,7 +290,9 @@ pub fn check<M: Model>(model: &M, opts: Options) -> Result<Report, Verdict<M::St
                     visited.insert(next.clone());
                     parent.insert(next.clone(), (state.clone(), tid));
                     if visited.len() > opts.max_states {
-                        return Err(Verdict::StateLimit { visited: visited.len() });
+                        let mut schedule = trace(&parent, &state);
+                        schedule.push(tid);
+                        return Err(Verdict::StateLimit { visited: visited.len(), schedule });
                     }
                     queue.push_back((next, d + 1));
                 }
@@ -182,7 +321,7 @@ fn trace<S: Clone + Hash + Eq>(parent: &HashMap<S, (S, usize)>, end: &S) -> Vec<
 /// every intermediate state (for debugging a failed check). Stops early
 /// if a scheduled thread cannot step.
 pub fn replay<M: Model>(model: &M, schedule: &[usize]) -> Vec<M::State> {
-    let mut states = vec![model.initial()];
+    let mut states = vec![Model::initial(model)];
     for &tid in schedule {
         let next = match model.step(&states[states.len() - 1], tid) {
             Step::Ready(next) => next,
@@ -345,5 +484,57 @@ mod tests {
     fn state_limit_is_an_explicit_error() {
         let err = check(&Counter { atomic: false }, Options { max_states: 2 }).unwrap_err();
         assert!(matches!(err, Verdict::StateLimit { .. }));
+    }
+
+    #[test]
+    fn state_limit_schedule_is_deterministic_across_runs() {
+        // Regression for the counterexample-determinism fix: the
+        // schedule reported on a StateLimit (and every other verdict)
+        // must be identical run over run — no hash-order dependence.
+        let runs: Vec<_> = (0..3)
+            .map(|_| check(&Counter { atomic: false }, Options { max_states: 4 }).unwrap_err())
+            .collect();
+        match &runs[0] {
+            Verdict::StateLimit { visited, schedule } => {
+                assert!(!schedule.is_empty(), "limit verdict must carry a schedule");
+                assert_eq!(*visited, 5);
+            }
+            other => panic!("expected state limit, got {other}"),
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    fn violation_schedules_are_deterministic_across_runs() {
+        let runs: Vec<_> = (0..3)
+            .map(|_| check(&Counter { atomic: false }, Options::default()).unwrap_err())
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    fn op_dependence_relation() {
+        use Op::*;
+        // Same-location write pairs conflict; reads commute.
+        assert!(Write(3).dependent(Read(3)));
+        assert!(Write(3).dependent(Write(3)));
+        assert!(!Read(3).dependent(Read(3)));
+        assert!(!Write(3).dependent(Write(4)));
+        // CAS: success is a write, failure is a read.
+        assert!(CasOk(1).dependent(CasFail(1)));
+        assert!(!CasFail(1).dependent(CasFail(1)));
+        assert!(CasOk(1).dependent(CasOk(1)));
+        // Park/unpark conflict on the same lot only.
+        assert!(Park(0).dependent(Unpark(0)));
+        assert!(!Park(0).dependent(Unpark(1)));
+        assert!(!Park(0).dependent(Park(0)));
+        assert!(!Park(0).dependent(Write(0)));
+        // Local is independent of everything; LOC_ANY of everything
+        // write-like.
+        assert!(!Local.dependent(Write(LOC_ANY)));
+        assert!(Write(LOC_ANY).dependent(Read(7)));
+        assert!(!Read(LOC_ANY).dependent(Read(7)));
     }
 }

@@ -1,0 +1,391 @@
+//! Modeled atomic memory with explicit C11-style ordering semantics.
+//!
+//! A [`Mem`] is a small operational release/acquire machine, the piece
+//! that lets protocol models distinguish `Relaxed` from
+//! `Acquire`/`Release`/`SeqCst` instead of pretending every atomic op is
+//! sequentially consistent (which would make "dropped fence" mutants
+//! unfalsifiable):
+//!
+//! * Every write to a location appends a timestamped **message**. A
+//!   *releasing* write snapshots the writer's whole view into the
+//!   message; a *relaxed* write carries only its own `(loc, ts)`.
+//! * Every thread carries a **view**: per location, the timestamp of
+//!   the newest write it is aware of. A load may observe *any* message
+//!   at or after the thread's view front — that nondeterminism is what
+//!   the checker branches on. An *acquiring* load joins the message's
+//!   view into the reader's, which is exactly how `Release`→`Acquire`
+//!   message passing forces the reader to see everything the writer did
+//!   before the release.
+//! * RMWs ([`Mem::rmw`], [`Mem::cas`]) read the newest message
+//!   (modification-order maximum), giving CAS its atomicity.
+//!
+//! Two documented strengthenings relative to C11 (both on the side of
+//! *fewer* modeled behaviors, so a bug the machine finds is real, while
+//! correct-under-this-machine still certifies the orderings the
+//! workspace actually uses):
+//!
+//! * `SeqCst` is modeled as Acquire/Release plus "reads observe the
+//!   newest message" — per-location sequential consistency. None of the
+//!   modeled protocols rely on multi-location SC (no IRIW shapes).
+//! * Standalone fences are not modeled; orderings ride on the accesses,
+//!   which is how the real `pool`/`pipeline` code is written.
+//! * Relaxed RMWs do not extend release sequences (the correct
+//!   protocols here use `AcqRel` RMWs, which carry their full view).
+//!
+//! Timestamps are renormalized after every operation
+//! ([`Mem::normalize`]): messages older than every thread's front are
+//! garbage-collected and timestamps are rebased to zero, so states that
+//! differ only by dead history hash equal and explicit-state dedup
+//! stays effective.
+
+use crate::Loc;
+
+/// Memory ordering for modeled atomic operations; mirrors
+/// `std::sync::atomic::Ordering` (minus `Consume`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemOrd {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl MemOrd {
+    fn acquires(self) -> bool {
+        matches!(self, MemOrd::Acquire | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, MemOrd::Release | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+}
+
+/// One write message: a value at a per-location timestamp, plus the
+/// view an acquiring reader inherits.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Msg {
+    ts: u32,
+    val: u64,
+    view: Vec<u32>,
+}
+
+/// Modeled shared memory: per-location message lists plus per-thread
+/// views. `Clone + Hash + Eq` so it embeds directly in model states.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Mem {
+    /// `writes[loc]`: retained messages, ascending timestamp, never empty.
+    writes: Vec<Vec<Msg>>,
+    /// `views[tid][loc]`: front — the newest timestamp thread `tid` is
+    /// bound to observe at `loc`.
+    views: Vec<Vec<u32>>,
+}
+
+fn join(dst: &mut [u32], src: &[u32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+impl Mem {
+    /// Fresh memory: one initial message per location, all views at 0.
+    pub fn new(n_threads: usize, init: &[u64]) -> Self {
+        let n_locs = init.len();
+        Mem {
+            writes: init
+                .iter()
+                .map(|&v| vec![Msg { ts: 0, val: v, view: vec![0; n_locs] }])
+                .collect(),
+            views: vec![vec![0; n_locs]; n_threads],
+        }
+    }
+
+    pub fn n_locs(&self) -> usize {
+        self.writes.len()
+    }
+
+    fn newest(&self, loc: Loc) -> &Msg {
+        let msgs = &self.writes[loc as usize];
+        &msgs[msgs.len() - 1]
+    }
+
+    /// The newest value at `loc` — for invariants and tests only; does
+    /// not move any view.
+    pub fn peek(&self, loc: Loc) -> u64 {
+        self.newest(loc).val
+    }
+
+    /// Every value a `load(ord)` by `tid` may observe, with the
+    /// resulting memory. Deterministic order (ascending timestamp);
+    /// branches whose observable outcome coincides are deduplicated.
+    pub fn load(&self, tid: usize, loc: Loc, ord: MemOrd) -> Vec<(u64, Mem)> {
+        let l = loc as usize;
+        let front = self.views[tid][l];
+        let newest_ts = self.newest(loc).ts;
+        let mut out: Vec<(u64, Mem)> = Vec::new();
+        for msg in &self.writes[l] {
+            if msg.ts < front {
+                continue;
+            }
+            // SeqCst loads observe the newest message only.
+            if ord == MemOrd::SeqCst && msg.ts != newest_ts {
+                continue;
+            }
+            let mut m = self.clone();
+            m.views[tid][l] = msg.ts;
+            if ord.acquires() {
+                let view = msg.view.clone();
+                join(&mut m.views[tid], &view);
+            }
+            m.normalize();
+            let branch = (msg.val, m);
+            if !out.contains(&branch) {
+                out.push(branch);
+            }
+        }
+        out
+    }
+
+    /// Append a write of `val` to `loc` with ordering `ord`.
+    pub fn store(&self, tid: usize, loc: Loc, val: u64, ord: MemOrd) -> Mem {
+        let mut m = self.clone();
+        m.store_in_place(tid, loc, val, ord);
+        m.normalize();
+        m
+    }
+
+    fn store_in_place(&mut self, tid: usize, loc: Loc, val: u64, ord: MemOrd) {
+        let l = loc as usize;
+        let ts = self.newest(loc).ts + 1;
+        self.views[tid][l] = ts;
+        let view = if ord.releases() {
+            self.views[tid].clone()
+        } else {
+            let mut thin = vec![0; self.n_locs()];
+            thin[l] = ts;
+            thin
+        };
+        self.writes[l].push(Msg { ts, val, view });
+    }
+
+    /// Atomic read-modify-write: reads the newest message (that is the
+    /// atomicity guarantee), applies `f`, writes the result. Returns
+    /// the old value. `ord` covers both halves (`AcqRel` behaves like
+    /// the real `fetch_*(AcqRel)`).
+    pub fn rmw(&self, tid: usize, loc: Loc, ord: MemOrd, f: impl FnOnce(u64) -> u64) -> (u64, Mem) {
+        let l = loc as usize;
+        let (old_val, old_view, old_ts) = {
+            let msg = self.newest(loc);
+            (msg.val, msg.view.clone(), msg.ts)
+        };
+        let mut m = self.clone();
+        m.views[tid][l] = old_ts;
+        if ord.acquires() {
+            join(&mut m.views[tid], &old_view);
+        }
+        m.store_in_place(tid, loc, f(old_val), ord);
+        m.normalize();
+        (old_val, m)
+    }
+
+    /// `compare_exchange` with explicit success and failure orderings.
+    /// Returns `Ok(old)` on success (old == `expect`) or `Err(found)`.
+    pub fn cas(
+        &self,
+        tid: usize,
+        loc: Loc,
+        expect: u64,
+        new: u64,
+        ok: MemOrd,
+        fail: MemOrd,
+    ) -> (Result<u64, u64>, Mem) {
+        let l = loc as usize;
+        let (cur_val, cur_view, cur_ts) = {
+            let msg = self.newest(loc);
+            (msg.val, msg.view.clone(), msg.ts)
+        };
+        if cur_val == expect {
+            let (old, m) = self.rmw(tid, loc, ok, |_| new);
+            (Ok(old), m)
+        } else {
+            // Failure is a load of the newest value with `fail` ordering.
+            let mut m = self.clone();
+            m.views[tid][l] = cur_ts;
+            if fail.acquires() {
+                join(&mut m.views[tid], &cur_view);
+            }
+            m.normalize();
+            (Err(cur_val), m)
+        }
+    }
+
+    /// Join thread `to`'s view with thread `from`'s: the
+    /// happens-before edge of a non-memory synchronization primitive
+    /// (`std::thread::unpark` → `park` return, which the standard
+    /// library guarantees is release/acquire).
+    pub fn transfer(&self, from: usize, to: usize) -> Mem {
+        let mut m = self.clone();
+        let src = m.views[from].clone();
+        join(&mut m.views[to], &src);
+        m.normalize();
+        m
+    }
+
+    /// Garbage-collect messages no thread can observe any more and
+    /// rebase timestamps to zero, canonicalizing the state.
+    fn normalize(&mut self) {
+        let n_locs = self.n_locs();
+        let mut mins = vec![0u32; n_locs];
+        for (l, min) in mins.iter_mut().enumerate() {
+            *min = self.views.iter().map(|v| v[l]).min().unwrap_or(0);
+        }
+        for (l, &m) in mins.iter().enumerate() {
+            if m == 0 {
+                continue;
+            }
+            self.writes[l].retain(|msg| msg.ts >= m);
+            for v in &mut self.views {
+                v[l] -= m;
+            }
+        }
+        for msgs in &mut self.writes {
+            for msg in msgs {
+                for (l, &m) in mins.iter().enumerate() {
+                    if m != 0 {
+                        // A message view below the GC floor is
+                        // observationally equivalent to the floor.
+                        msg.view[l] = msg.view[l].max(m) - m;
+                    }
+                }
+            }
+        }
+        for (l, &m) in mins.iter().enumerate() {
+            if m != 0 {
+                for msg in &mut self.writes[l] {
+                    msg.ts -= m;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: Loc = 0;
+    const FLAG: Loc = 1;
+
+    /// Writer: data = 7 (Relaxed), flag = 1 (`w_ord`). Reader: sees
+    /// flag == 1 (`r_ord`), then loads data (Relaxed). Returns every
+    /// data value the reader can observe after seeing the flag.
+    fn message_passing(w_ord: MemOrd, r_ord: MemOrd) -> Vec<u64> {
+        let m0 = Mem::new(2, &[0, 0]);
+        let m1 = m0.store(0, DATA, 7, MemOrd::Relaxed);
+        let m2 = m1.store(0, FLAG, 1, w_ord);
+        let mut seen = Vec::new();
+        for (flag, m3) in m2.load(1, FLAG, r_ord) {
+            if flag != 1 {
+                continue;
+            }
+            for (data, _) in m3.load(1, DATA, MemOrd::Relaxed) {
+                if !seen.contains(&data) {
+                    seen.push(data);
+                }
+            }
+        }
+        seen.sort_unstable();
+        seen
+    }
+
+    #[test]
+    fn release_acquire_forbids_stale_data() {
+        assert_eq!(message_passing(MemOrd::Release, MemOrd::Acquire), vec![7]);
+    }
+
+    #[test]
+    fn relaxed_flag_write_permits_stale_data() {
+        // The dropped-release mutant: the reader can see flag=1 yet
+        // stale data=0.
+        assert_eq!(message_passing(MemOrd::Relaxed, MemOrd::Acquire), vec![0, 7]);
+    }
+
+    #[test]
+    fn relaxed_flag_read_permits_stale_data() {
+        assert_eq!(message_passing(MemOrd::Release, MemOrd::Relaxed), vec![0, 7]);
+    }
+
+    #[test]
+    fn seqcst_load_reads_only_the_newest() {
+        let m = Mem::new(2, &[0]);
+        let m = m.store(0, 0, 1, MemOrd::SeqCst);
+        let m = m.store(0, 0, 2, MemOrd::SeqCst);
+        let reads = m.load(1, 0, MemOrd::SeqCst);
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].0, 2);
+        // A relaxed load may still see every retained message.
+        assert_eq!(m.load(1, 0, MemOrd::Relaxed).len(), 3);
+    }
+
+    #[test]
+    fn cas_reads_the_newest_message() {
+        let m = Mem::new(2, &[5]);
+        let m = m.store(0, 0, 6, MemOrd::Relaxed);
+        // Thread 1 never read loc 0, but CAS must still see 6.
+        let (r, m) = m.cas(1, 0, 5, 9, MemOrd::AcqRel, MemOrd::Acquire);
+        assert_eq!(r, Err(6));
+        let (r, m) = m.cas(1, 0, 6, 9, MemOrd::AcqRel, MemOrd::Acquire);
+        assert_eq!(r, Ok(6));
+        assert_eq!(m.peek(0), 9);
+    }
+
+    #[test]
+    fn acqrel_rmw_publishes_prior_writes() {
+        // Thread 0: data = 7 relaxed, then fetch_add(flag, AcqRel).
+        // Thread 1: fetch_add(flag, AcqRel) (joins t0's view through the
+        // RMW chain), then a relaxed data load must see 7.
+        let m = Mem::new(2, &[0, 0]);
+        let m = m.store(0, DATA, 7, MemOrd::Relaxed);
+        let (_, m) = m.rmw(0, FLAG, MemOrd::AcqRel, |v| v + 1);
+        let (_, m) = m.rmw(1, FLAG, MemOrd::AcqRel, |v| v + 1);
+        let reads = m.load(1, DATA, MemOrd::Relaxed);
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].0, 7);
+    }
+
+    #[test]
+    fn transfer_carries_the_unparker_view() {
+        // Writer stores data relaxed, then "unparks" the reader: the
+        // park/unpark happens-before edge must make the data visible
+        // without any memory-side release.
+        let m = Mem::new(2, &[0]);
+        let m = m.store(0, DATA, 7, MemOrd::Relaxed);
+        let stale = m.load(1, DATA, MemOrd::Relaxed);
+        assert_eq!(stale.len(), 2, "no sync yet: both values visible");
+        let m = m.transfer(0, 1);
+        let fresh = m.load(1, DATA, MemOrd::Relaxed);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].0, 7);
+    }
+
+    #[test]
+    fn normalization_collapses_dead_history() {
+        // After every thread has acquired the newest message the old
+        // ones are unreachable; states must hash equal regardless of
+        // how much history was churned through.
+        let mut a = Mem::new(2, &[0]);
+        for i in 1..=10 {
+            a = a.store(0, 0, i, MemOrd::SeqCst);
+            let branches = a.load(1, 0, MemOrd::SeqCst);
+            assert_eq!(branches.len(), 1);
+            a = branches.into_iter().next().map(|(_, m)| m).expect("one branch");
+        }
+        let b = {
+            let m = Mem::new(2, &[0]);
+            let m = m.store(0, 0, 10, MemOrd::SeqCst);
+            let branches = m.load(1, 0, MemOrd::SeqCst);
+            branches.into_iter().next().map(|(_, m)| m).expect("one branch")
+        };
+        assert_eq!(a, b);
+    }
+}
