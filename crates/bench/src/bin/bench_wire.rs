@@ -91,6 +91,25 @@ fn tail_loss(losses: &[f64]) -> f64 {
     losses[losses.len() - k..].iter().sum::<f64>() / k as f64
 }
 
+/// The comm backend the measured run exercised. This bench drives the
+/// in-process threaded trainer; entries measured over the socket
+/// transport (a future `--backend socket` mode) must be distinguishable
+/// in the tracker, so the schema carries the field from day one.
+const BACKEND: &str = "thread";
+
+/// Normalize one history entry to the current schema: entries written
+/// before the `backend` field existed were all measured on the threaded
+/// backend, so inject that explicitly (same idiom as `bench_step`'s
+/// date/cores injection); returns whether the entry needed fixing.
+fn normalize_history_entry(entry: &str) -> (String, bool) {
+    let mut e = entry.trim().to_string();
+    if !e.starts_with('{') || e.contains("\"backend\"") {
+        return (e, false);
+    }
+    e.insert_str(1, "\"backend\":\"thread\",");
+    (e, true)
+}
+
 fn run_codec(steps: usize, eval_samples: usize, codec: CodecKind, ef: bool) -> CodecRun {
     let mut cfg = config(steps, eval_samples);
     cfg.codec = codec;
@@ -177,14 +196,34 @@ fn main() {
     );
 
     // --- fold history and write the tracker -------------------------
+    // Every entry is normalized to the current schema on the way in:
+    // pre-`backend` entries were all measured on the threaded backend.
     let mut history: Vec<String> = Vec::new();
+    let mut normalized = 0usize;
     if let Some(prev) = &previous {
         if let Some(h) = extract_value(prev, "history") {
-            history.extend(array_items(h).iter().map(|s| s.to_string()));
+            for item in array_items(h) {
+                let (fixed, did) = normalize_history_entry(item);
+                history.push(fixed);
+                if did {
+                    normalized += 1;
+                }
+            }
         }
         if let Some(latest) = extract_value(prev, "latest") {
-            history.push(compact_json(latest));
+            let (fixed, did) = normalize_history_entry(&compact_json(latest));
+            history.push(fixed);
+            if did {
+                normalized += 1;
+            }
         }
+    }
+    if normalized > 0 {
+        eprintln!(
+            "  warning: normalized {normalized} pre-schema history entr{} (injected \
+             backend=\"thread\" stub)",
+            if normalized == 1 { "y" } else { "ies" }
+        );
     }
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let codecs_json: Vec<String> = runs
@@ -206,8 +245,8 @@ fn main() {
         })
         .collect();
     let latest = format!(
-        "{{\n    \"date\": \"{}\",\n    \"cores\": {cores},\n    \"workers\": 4,\n    \
-         \"steps\": {steps},\n    \"codecs\": [\n{}\n    ]\n  }}",
+        "{{\n    \"date\": \"{}\",\n    \"backend\": \"{BACKEND}\",\n    \"cores\": {cores},\n    \
+         \"workers\": 4,\n    \"steps\": {steps},\n    \"codecs\": [\n{}\n    ]\n  }}",
         today_utc(),
         codecs_json.join(",\n"),
     );
@@ -280,5 +319,18 @@ mod tests {
     fn baseline_ratio_is_readable_back() {
         let src = "{\"latest\": {\"codecs\": [{\"codec\": \"int8\", \"ratio\": 3.9385}]}}";
         assert_eq!(number_after(src, "\"int8\"", "ratio"), Some(3.9385));
+    }
+
+    #[test]
+    fn legacy_history_entries_get_a_thread_backend_stub() {
+        let legacy = "{\"date\":\"2026-08-01\",\"cores\":8,\"codecs\":[]}";
+        let (fixed, did) = normalize_history_entry(legacy);
+        assert!(did);
+        assert!(fixed.starts_with("{\"backend\":\"thread\","), "{fixed}");
+
+        // Already-normalized entries pass through untouched.
+        let (again, did2) = normalize_history_entry(&fixed);
+        assert!(!did2);
+        assert_eq!(again, fixed);
     }
 }

@@ -45,9 +45,16 @@ fn traced_step(cand: Candidate, machine: &Machine, label: &str) -> (Breakdown, S
         merged.merge(tl);
     }
     let events = merged.to_chrome_events();
-    let path = format!("o16_trace_{label}.json");
+    let path = artifact_path(&format!("o16_trace_{label}.json"));
     std::fs::write(&path, write_trace(&events)).expect("write trace");
     (analyze(&events), path)
+}
+
+/// All report binaries drop their JSON into the gitignored
+/// `artifacts/` directory instead of littering the repo root.
+fn artifact_path(name: &str) -> String {
+    std::fs::create_dir_all("artifacts").expect("create artifacts dir");
+    format!("artifacts/{name}")
 }
 
 fn main() {
@@ -93,11 +100,12 @@ fn main() {
     cfg.trace = Some(session.clone());
     let result = train(&cfg);
     let events = session.recorder.to_chrome_events();
-    std::fs::write("o16_trace_real.json", write_trace(&events)).expect("write trace");
+    let real_path = artifact_path("o16_trace_real.json");
+    std::fs::write(&real_path, write_trace(&events)).expect("write trace");
     println!("--- real 4-worker training ({} steps, measured) ---", cfg.steps);
     println!("{}", analyze(&events).table());
     println!("final mIoU after {} steps: {:.3}", cfg.steps, result.final_miou);
-    println!("wrote o16_trace_real.json\n");
+    println!("wrote {real_path}\n");
 
     // The layer-pipelined executor, same workload: its per-layer tile
     // reductions should land *inside* other workers' backprop, which the
@@ -109,7 +117,8 @@ fn main() {
     pipe_cfg.trace = Some(pipe_session.clone());
     let pipe_result = train(&pipe_cfg);
     let pipe_events = pipe_session.recorder.to_chrome_events();
-    std::fs::write("o16_trace_pipelined.json", write_trace(&pipe_events)).expect("write trace");
+    let pipe_path = artifact_path("o16_trace_pipelined.json");
+    std::fs::write(&pipe_path, write_trace(&pipe_events)).expect("write trace");
     let pipe_bd = analyze(&pipe_events);
     println!("--- pipelined 4-worker training ({} steps, measured) ---", pipe_cfg.steps);
     println!("{}", pipe_bd.table());
@@ -132,7 +141,7 @@ fn main() {
     } else {
         println!("(single-lane pool: overlap assertion skipped)");
     }
-    println!("wrote o16_trace_pipelined.json\n");
+    println!("wrote {pipe_path}\n");
 
     println!("--- metrics exposition ---");
     print!("{}", session.registry.snapshot().to_prometheus_text());

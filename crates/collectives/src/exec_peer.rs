@@ -1,0 +1,806 @@
+//! Single-rank schedule execution over a [`transport::Wire`]: the §5d
+//! resend protocol ([`exec_fault`](crate::exec_fault)) lifted out of
+//! the shared-memory thread world and onto framed byte streams, so the
+//! same verified [`Schedule`] runs between separate OS processes.
+//!
+//! # What moved, what stayed
+//!
+//! [`exec_fault`](crate::exec_fault) owns *all* ranks: it spawns one
+//! thread per buffer and aggregates their outcomes. Here each process
+//! owns exactly one rank, so [`PeerExecutor`] is the body of a single
+//! `rank_main` — Phase A snapshot-and-send, Phase B validated in-order
+//! receive-and-apply — with the identical reliability discipline:
+//! per-peer sequence numbers, a clean-copy resend buffer cleared by
+//! acks, nacks on deadline expiry with exponential backoff
+//! ([`RetryPolicy`]), CRC-rejected frames surfacing as loss (the wire
+//! drops them at decode), and a [`DedupWindow`] that discards
+//! duplicates idempotently and re-orders early arrivals. Because the
+//! applied payloads and the per-rank combine order are exactly those of
+//! the schedule, the result is bit-identical to the in-process
+//! executors — that is the parity the multi-process integration tests
+//! assert.
+//!
+//! # Streams multiplex data and control
+//!
+//! Thread-world acks ride a dedicated reverse channel; a socket gives
+//! us one full-duplex stream per peer, so data, acks, and nacks
+//! interleave on it. Every receive demultiplexes: acks clear the
+//! resend buffer, nacks answer with the clean copy, data goes through
+//! the era filter and the dedup window, and in-order deliveries queue
+//! per peer until the schedule asks for them (a frame from peer Q can
+//! land while Phase B is blocked on peer P).
+//!
+//! # Eras
+//!
+//! Elastic degradation renumbers the world; the frame `era` field keeps
+//! pre- and post-degrade traffic apart. Frames below the current era
+//! are stale and dropped; frames above it are stashed and replayed once
+//! [`PeerExecutor::bump_era`] resets the sequence space (a survivor
+//! that processed the degrade first may already be sending in the new
+//! era). Within an era, sequence numbers run continuously across
+//! steps — they reset *only* on era bumps.
+//!
+//! # Death
+//!
+//! Two signals, both mapped to [`PeerExecError::PeerDead`]: the wire
+//! reports [`WireError::PeerGone`] (EOF after draining — the kernel
+//! closes a SIGKILLed process's sockets), or the peer's
+//! [`Wire::silence`] exceeds [`RetryPolicy::death_threshold`] while we
+//! starve (wedged-but-open). The caller — the elastic layer in the
+//! worker loop — restores its snapshot, rebuilds the schedule over the
+//! survivors, re-verifies it, bumps the era, and retries.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use faults::{FaultClock, RetryPolicy};
+use transport::{DedupWindow, Frame, FrameKind, Offer, Wire, WireError};
+
+use crate::reduce::{combine, finalize, ReduceOp};
+use crate::sched::{Action, Schedule};
+
+/// What the control-plane poll (checked once per timeout tick while
+/// blocked) tells the executor to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlSignal {
+    /// Keep waiting.
+    Continue,
+    /// Abort the collective now (a degrade was announced out-of-band);
+    /// the run returns [`PeerExecError::Aborted`] with partial buffers.
+    Abort,
+}
+
+/// Why a peer-executed collective stopped short.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerExecError {
+    /// Peers died (stream EOF or heartbeat silence past the death
+    /// threshold). Reported as **original** rank ids — the wire's
+    /// addressing — unlike `ExecError::RanksDead`'s local indices.
+    PeerDead { dead: Vec<usize> },
+    /// The retry budget ran out on a peer that still looks alive.
+    RetriesExhausted { peer: usize, round: usize },
+    /// The control poll demanded an abort mid-collective.
+    Aborted,
+}
+
+impl std::fmt::Display for PeerExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeerExecError::PeerDead { dead } => write!(f, "peers dead: {dead:?}"),
+            PeerExecError::RetriesExhausted { peer, round } => {
+                write!(f, "retries exhausted on live peer {peer} in round {round}")
+            }
+            PeerExecError::Aborted => write!(f, "aborted by control signal"),
+        }
+    }
+}
+
+impl std::error::Error for PeerExecError {}
+
+/// One un-acked send: the clean payload bytes plus the header needed to
+/// reconstruct the exact frame on a nack.
+struct PendingOut {
+    seq: u64,
+    step: u32,
+    round: u32,
+    offset: u32,
+    clean: Vec<u8>,
+}
+
+/// See the module docs. One instance per process, living across
+/// training steps (sequence numbers, dedup windows, and ready queues
+/// persist; only era bumps reset them) — all state vectors are indexed
+/// by **original** rank id.
+pub struct PeerExecutor<'w> {
+    wire: &'w dyn Wire,
+    policy: RetryPolicy,
+    clock: FaultClock,
+    era: u32,
+    step: u32,
+    /// Next outbound sequence number, per destination.
+    next_seq: Vec<u64>,
+    /// Un-acked sends per destination, oldest first.
+    pending: Vec<VecDeque<PendingOut>>,
+    /// Inbound sequencing per source.
+    window: Vec<DedupWindow>,
+    /// First not-yet-acked inbound seq per source (acks trail the
+    /// window's delivery edge).
+    acked: Vec<u64>,
+    /// Delivered-but-not-yet-applied frames per source, in seq order.
+    ready: Vec<VecDeque<Frame>>,
+    /// Frames from a future era per source, replayed after `bump_era`.
+    future: Vec<VecDeque<Frame>>,
+    /// Recycled payload-byte buffers for outbound clean copies.
+    byte_pool: Vec<Vec<u8>>,
+    /// Reusable decode target: payload bytes → f32s before combine.
+    f32_scratch: Vec<f32>,
+}
+
+impl<'w> PeerExecutor<'w> {
+    /// An executor over `wire` pacing every wait from `policy`. Uses a
+    /// real clock — socket peers really do time out.
+    pub fn new(wire: &'w dyn Wire, policy: RetryPolicy) -> Self {
+        let slots = wire.world_ids().iter().copied().max().unwrap_or(0) + 1;
+        PeerExecutor {
+            wire,
+            policy,
+            clock: FaultClock::real(),
+            era: 0,
+            step: 0,
+            next_seq: vec![0; slots],
+            pending: (0..slots).map(|_| VecDeque::new()).collect(),
+            window: (0..slots).map(|_| DedupWindow::new()).collect(),
+            acked: vec![0; slots],
+            ready: (0..slots).map(|_| VecDeque::new()).collect(),
+            future: (0..slots).map(|_| VecDeque::new()).collect(),
+            byte_pool: Vec::new(),
+            f32_scratch: Vec::new(),
+        }
+    }
+
+    /// Substitute a [`FaultClock`] (tests use a virtual clock so waits
+    /// are accounted, not slept).
+    pub fn with_clock(mut self, clock: FaultClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    pub fn era(&self) -> u32 {
+        self.era
+    }
+
+    /// Tag subsequent frames with the training step they belong to.
+    pub fn begin_step(&mut self, step: usize) {
+        self.step = step as u32;
+    }
+
+    /// Enter the next era after a degrade: sequence spaces restart at
+    /// zero, stale state is scrapped, and frames that arrived early
+    /// from survivors already in the new era are replayed.
+    pub fn bump_era(&mut self) {
+        self.era += 1;
+        for p in 0..self.window.len() {
+            self.window[p].reset();
+            self.next_seq[p] = 0;
+            self.acked[p] = 0;
+            while let Some(entry) = self.pending[p].pop_front() {
+                self.byte_pool.push(entry.clean);
+            }
+            while let Some(f) = self.ready[p].pop_front() {
+                self.wire.release(f.payload);
+            }
+            let parked = std::mem::take(&mut self.future[p]);
+            for f in parked {
+                if f.era == self.era {
+                    self.ingest_data(p, f);
+                } else if f.era > self.era {
+                    self.future[p].push_back(f);
+                } else {
+                    self.wire.release(f.payload);
+                }
+            }
+        }
+    }
+
+    /// Run `schedule` against this rank's `buf` and apply the op's
+    /// finalization — the peer analogue of `ExecContext::allreduce`.
+    /// `rank_ids[local]` maps the schedule's local rank indices to
+    /// original wire ids (the elastic live-set).
+    pub fn allreduce(
+        &mut self,
+        schedule: &Schedule,
+        buf: &mut [f32],
+        op: ReduceOp,
+        rank_ids: &[usize],
+        poll: &mut dyn FnMut() -> CtlSignal,
+    ) -> Result<(), PeerExecError> {
+        self.run(schedule, buf, op, rank_ids, poll)?;
+        finalize(op, buf, schedule.n_ranks);
+        Ok(())
+    }
+
+    /// Execute the schedule without finalization. On any `Err` the
+    /// buffer is in an unspecified partial state — the caller restores
+    /// its snapshot exactly as the elastic layer does.
+    pub fn run(
+        &mut self,
+        schedule: &Schedule,
+        buf: &mut [f32],
+        op: ReduceOp,
+        rank_ids: &[usize],
+        poll: &mut dyn FnMut() -> CtlSignal,
+    ) -> Result<(), PeerExecError> {
+        assert_eq!(rank_ids.len(), schedule.n_ranks, "one original id per schedule rank");
+        assert_eq!(buf.len(), schedule.n_elems, "buffer length disagrees with schedule");
+        let my = self.wire.rank();
+        let me_local = rank_ids
+            .iter()
+            .position(|&id| id == my)
+            .expect("own rank id missing from the live set"); // lint: allow(unwrap): caller contract — the live set always contains the executing rank
+        if schedule.n_ranks == 1 || schedule.rounds.is_empty() {
+            return Ok(());
+        }
+        for (round_idx, round) in schedule.rounds.iter().enumerate() {
+            let actions = &round.per_rank[me_local];
+            // Phase A: snapshot-and-send every outgoing segment before
+            // touching any incoming one — pre-round values, exactly
+            // like the threaded executors.
+            for a in actions {
+                if let Action::Send { peer, seg } = *a {
+                    self.send_data(
+                        rank_ids[peer],
+                        round_idx,
+                        seg.offset,
+                        &buf[seg.offset..seg.end()],
+                    )?;
+                }
+            }
+            self.service(rank_ids)?;
+            // Phase B: blocking, validated receives in action order.
+            for a in actions {
+                let (peer, seg) = match *a {
+                    Action::Send { .. } => continue,
+                    Action::RecvReduce { peer, seg } | Action::RecvReplace { peer, seg } => {
+                        (rank_ids[peer], seg)
+                    }
+                };
+                let frame = self.next_data(peer, round_idx, rank_ids, poll)?;
+                assert_eq!(frame.step, self.step, "rank {my}: out-of-step frame from {peer}");
+                assert_eq!(
+                    frame.round as usize, round_idx,
+                    "rank {my}: out-of-round frame from {peer}"
+                );
+                assert_eq!(
+                    frame.offset as usize, seg.offset,
+                    "rank {my}: segment mismatch from {peer}"
+                );
+                assert_eq!(
+                    frame.payload.len(),
+                    seg.len * 4,
+                    "rank {my}: length mismatch from {peer}"
+                );
+                bytes_to_f32s(&frame.payload, &mut self.f32_scratch);
+                match a {
+                    Action::RecvReduce { .. } => {
+                        combine(op, &mut buf[seg.offset..seg.end()], &self.f32_scratch)
+                    }
+                    Action::RecvReplace { .. } => {
+                        buf[seg.offset..seg.end()].copy_from_slice(&self.f32_scratch)
+                    }
+                    Action::Send { .. } => unreachable!(),
+                }
+                self.wire.release(frame.payload);
+            }
+        }
+        self.flush(rank_ids)
+    }
+
+    /// Stay responsive after the schedule completes until every send is
+    /// acked (bounded by one death threshold per peer): the last frame
+    /// of a schedule has no later receive to piggyback its nack
+    /// servicing on, so a lossy wire needs this window to repair it.
+    fn flush(&mut self, rank_ids: &[usize]) -> Result<(), PeerExecError> {
+        let my = self.wire.rank();
+        for &peer in rank_ids.iter().filter(|&&id| id != my) {
+            let mut waited = Duration::ZERO;
+            let budget = self.policy.death_threshold();
+            while !self.pending[peer].is_empty() && waited < budget {
+                match self.wire.recv_timeout(peer, self.policy.tick) {
+                    Ok(frame) => self.ingest(peer, frame)?,
+                    Err(WireError::Timeout) => {
+                        self.clock.note_wait(self.policy.tick);
+                        waited += self.policy.tick;
+                    }
+                    Err(WireError::PeerGone) => break,
+                    Err(WireError::NoSuchPeer(p)) => unreachable!("flush addressed rank {p}"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Send one data frame and park its clean copy in the resend
+    /// buffer. A dead stream surfaces immediately as `PeerDead`.
+    fn send_data(
+        &mut self,
+        peer: usize,
+        round: usize,
+        offset: usize,
+        src: &[f32],
+    ) -> Result<(), PeerExecError> {
+        let mut clean = self.byte_pool.pop().unwrap_or_default();
+        f32s_to_bytes(src, &mut clean);
+        let seq = self.next_seq[peer];
+        self.next_seq[peer] += 1;
+        let frame = Frame {
+            kind: FrameKind::Data,
+            from: self.wire.rank() as u16,
+            era: self.era,
+            seq,
+            step: self.step,
+            round: round as u32,
+            offset: offset as u32,
+            payload: clean,
+        };
+        let sent = self.wire.send(peer, &frame);
+        self.pending[peer].push_back(PendingOut {
+            seq,
+            step: self.step,
+            round: round as u32,
+            offset: offset as u32,
+            clean: frame.payload,
+        });
+        match sent {
+            Ok(()) => Ok(()),
+            Err(WireError::PeerGone) => Err(PeerExecError::PeerDead { dead: vec![peer] }),
+            Err(e) => unreachable!("send to schedule peer {peer}: {e}"),
+        }
+    }
+
+    /// Drain whatever every live peer has queued, without blocking.
+    /// This is `exec_fault`'s `service_ctl` generalized to multiplexed
+    /// streams: a rank blocked on peer P must still clear acks, answer
+    /// nacks, and bank early data arriving from Q — the cross-peer
+    /// dependency chains of a schedule deadlock otherwise.
+    fn service(&mut self, live: &[usize]) -> Result<(), PeerExecError> {
+        let my = self.wire.rank();
+        for &p in live.iter().filter(|&&id| id != my) {
+            loop {
+                match self.wire.recv_timeout(p, Duration::ZERO) {
+                    Ok(frame) => self.ingest(p, frame)?,
+                    Err(WireError::Timeout) => break,
+                    // Death is surfaced by whoever awaits this peer's
+                    // data; servicing just stops early.
+                    Err(WireError::PeerGone) => break,
+                    Err(WireError::NoSuchPeer(_)) => break,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Next applicable data frame from `peer`: the delivered queue if
+    /// one is waiting, otherwise the demultiplexing receive loop with
+    /// nack-on-deadline and the two death signals.
+    fn next_data(
+        &mut self,
+        peer: usize,
+        round: usize,
+        live: &[usize],
+        poll: &mut dyn FnMut() -> CtlSignal,
+    ) -> Result<Frame, PeerExecError> {
+        if let Some(f) = self.ready[peer].pop_front() {
+            return Ok(f);
+        }
+        let mut attempt: u32 = 0;
+        let mut deadline = self.policy.base;
+        let mut waited = Duration::ZERO;
+        loop {
+            match self.wire.recv_timeout(peer, self.policy.tick) {
+                Ok(frame) => {
+                    self.ingest(peer, frame)?;
+                    if let Some(f) = self.ready[peer].pop_front() {
+                        return Ok(f);
+                    }
+                }
+                Err(WireError::Timeout) => {
+                    self.clock.note_wait(self.policy.tick);
+                    waited += self.policy.tick;
+                    if poll() == CtlSignal::Abort {
+                        return Err(PeerExecError::Aborted);
+                    }
+                    self.service(live)?;
+                    if let Some(f) = self.ready[peer].pop_front() {
+                        return Ok(f);
+                    }
+                    if self.wire.silence(peer) > self.policy.death_threshold() {
+                        return Err(PeerExecError::PeerDead { dead: vec![peer] });
+                    }
+                    if waited >= deadline {
+                        attempt += 1;
+                        if attempt >= self.policy.max_attempts {
+                            return Err(PeerExecError::RetriesExhausted { peer, round });
+                        }
+                        self.control(peer, FrameKind::Nack, self.window[peer].expected())?;
+                        deadline = deadline.saturating_mul(self.policy.factor);
+                        waited = Duration::ZERO;
+                    }
+                }
+                Err(WireError::PeerGone) => {
+                    return Err(PeerExecError::PeerDead { dead: vec![peer] })
+                }
+                Err(WireError::NoSuchPeer(p)) => unreachable!("recv addressed rank {p}"),
+            }
+        }
+    }
+
+    /// Demultiplex one received frame: ack/nack bookkeeping or the
+    /// data path (era filter, then dedup window, then ready queue).
+    fn ingest(&mut self, peer: usize, frame: Frame) -> Result<(), PeerExecError> {
+        match frame.kind {
+            FrameKind::Ack => {
+                if let Some(pos) = self.pending[peer].iter().position(|p| p.seq == frame.seq) {
+                    let entry = self.pending[peer].remove(pos).expect("position just found"); // lint: allow(unwrap): position just found by iter().position
+                    self.byte_pool.push(entry.clean);
+                }
+                self.wire.release(frame.payload);
+                Ok(())
+            }
+            FrameKind::Nack => {
+                self.resend(peer, frame.seq)?;
+                self.wire.release(frame.payload);
+                Ok(())
+            }
+            FrameKind::Data => {
+                if frame.era < self.era {
+                    // Stale era: the degrade already invalidated it.
+                    self.wire.release(frame.payload);
+                    return Ok(());
+                }
+                if frame.era > self.era {
+                    // The sender degraded first; replay after our bump.
+                    self.future[peer].push_back(frame);
+                    return Ok(());
+                }
+                let seq = frame.seq;
+                if !self.ingest_data(peer, frame) {
+                    // Duplicate of an applied frame (a nack raced the
+                    // original): re-ack so the sender clears it.
+                    self.control(peer, FrameKind::Ack, seq)?;
+                }
+                // Ack every seq the window has newly committed to
+                // delivery order.
+                while self.acked[peer] < self.window[peer].expected() {
+                    let next = self.acked[peer];
+                    self.control(peer, FrameKind::Ack, next)?;
+                    self.acked[peer] = next + 1;
+                }
+                Ok(())
+            }
+            // Heartbeats die in the socket reader; other kinds are
+            // control-plane traffic that never shares a data stream.
+            other => unreachable!("unexpected {other:?} frame on a data wire"),
+        }
+    }
+
+    /// Run `frame` through the dedup window, queueing it (and anything
+    /// it unblocks from the stash) for application. False ⇔ duplicate.
+    fn ingest_data(&mut self, peer: usize, frame: Frame) -> bool {
+        match self.window[peer].offer(frame) {
+            Offer::Deliver(f) => {
+                self.ready[peer].push_back(f);
+                while let Some(g) = self.window[peer].pop_ready() {
+                    self.ready[peer].push_back(g);
+                }
+                true
+            }
+            Offer::Stashed => true,
+            Offer::Duplicate => false,
+        }
+    }
+
+    /// Answer a nack with the clean buffered copy, if still held.
+    fn resend(&mut self, peer: usize, seq: u64) -> Result<(), PeerExecError> {
+        // Already acked or not yet assigned: a benign race.
+        let Some(pos) = self.pending[peer].iter().position(|p| p.seq == seq) else {
+            return Ok(());
+        };
+        // The clean bytes ride the frame only for the send, then go
+        // straight back into the buffer.
+        let (step, round, offset, clean) = {
+            let e = &mut self.pending[peer][pos];
+            (e.step, e.round, e.offset, std::mem::take(&mut e.clean))
+        };
+        let frame = Frame {
+            kind: FrameKind::Data,
+            from: self.wire.rank() as u16,
+            era: self.era,
+            seq,
+            step,
+            round,
+            offset,
+            payload: clean,
+        };
+        let sent = self.wire.send(peer, &frame);
+        self.pending[peer][pos].clean = frame.payload;
+        match sent {
+            Ok(()) => Ok(()),
+            Err(WireError::PeerGone) => Err(PeerExecError::PeerDead { dead: vec![peer] }),
+            Err(e) => unreachable!("resend to schedule peer {peer}: {e}"),
+        }
+    }
+
+    /// Send one payload-less protocol frame carrying `seq`.
+    fn control(&mut self, peer: usize, kind: FrameKind, seq: u64) -> Result<(), PeerExecError> {
+        let mut f = Frame::control(kind, self.wire.rank() as u16, self.era, self.step);
+        f.seq = seq;
+        match self.wire.send(peer, &f) {
+            Ok(()) => Ok(()),
+            Err(WireError::PeerGone) => Err(PeerExecError::PeerDead { dead: vec![peer] }),
+            Err(e) => unreachable!("control to schedule peer {peer}: {e}"),
+        }
+    }
+}
+
+/// Encode f32s little-endian into a reused byte buffer.
+fn f32s_to_bytes(src: &[f32], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(src.len() * 4);
+    for &x in src {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Decode little-endian bytes into a reused f32 buffer.
+fn bytes_to_f32s(bytes: &[u8], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(bytes.len() / 4);
+    for c in bytes.chunks_exact(4) {
+        out.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::apply_allreduce;
+    use crate::{rd, ring};
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+    use transport::ChannelWire;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(5),
+            factor: 2,
+            max_attempts: 5,
+            tick: Duration::from_millis(1),
+        }
+    }
+
+    fn inputs(n_ranks: usize, n_elems: usize) -> Vec<Vec<f32>> {
+        (0..n_ranks)
+            .map(|r| (0..n_elems).map(|i| ((r * 31 + i * 7) % 19) as f32 * 0.25 - 2.0).collect())
+            .collect()
+    }
+
+    /// Run one allreduce per rank-thread over the given wires and
+    /// return the per-rank buffers.
+    fn run_mesh(
+        wires: Vec<impl Wire>,
+        schedule: &Schedule,
+        mut bufs: Vec<Vec<f32>>,
+        op: ReduceOp,
+        step: usize,
+    ) -> Vec<Vec<f32>> {
+        let ids: Vec<usize> = (0..wires.len()).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = wires
+                .iter()
+                .zip(bufs.iter_mut())
+                .map(|(wire, buf)| {
+                    let ids = &ids;
+                    scope.spawn(move || {
+                        let mut ex = PeerExecutor::new(wire, policy());
+                        ex.begin_step(step);
+                        ex.allreduce(schedule, buf, op, ids, &mut || CtlSignal::Continue)
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("rank thread").expect("allreduce");
+            }
+        });
+        bufs
+    }
+
+    #[test]
+    fn parity_with_reference_over_channel_mesh() {
+        for (n, e) in [(4usize, 96usize), (3, 31)] {
+            for schedule in [ring::allreduce(n, e), rd::allreduce(n, e)] {
+                let ins = inputs(n, e);
+                let mut by_ref = ins.clone();
+                apply_allreduce(&schedule, &mut by_ref, ReduceOp::Sum);
+                let got = run_mesh(ChannelWire::mesh(n), &schedule, ins.clone(), ReduceOp::Sum, 0);
+                assert_eq!(by_ref, got, "n={n} e={e}");
+            }
+        }
+    }
+
+    /// Sequence numbers run continuously across steps; an era bump
+    /// resets them and the next collective still lands bit-exactly.
+    #[test]
+    fn steps_share_an_era_and_survive_a_bump() {
+        let (n, e) = (4usize, 40usize);
+        let schedule = ring::allreduce(n, e);
+        let ids: Vec<usize> = (0..n).collect();
+        let wires = ChannelWire::mesh(n);
+        let mut bufs = inputs(n, e);
+        let mut expect = bufs.clone();
+        for _ in 0..3 {
+            apply_allreduce(&schedule, &mut expect, ReduceOp::Average);
+        }
+        std::thread::scope(|scope| {
+            for (wire, buf) in wires.iter().zip(bufs.iter_mut()) {
+                let ids = &ids;
+                let schedule = &schedule;
+                scope.spawn(move || {
+                    let mut ex = PeerExecutor::new(wire, policy());
+                    for step in 0..3 {
+                        ex.begin_step(step);
+                        ex.allreduce(schedule, buf, ReduceOp::Average, ids, &mut || {
+                            CtlSignal::Continue
+                        })
+                        .expect("allreduce");
+                        if step == 1 {
+                            ex.bump_era();
+                            assert_eq!(ex.era(), 1);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(expect, bufs);
+    }
+
+    /// A wire that eats the first transmission of chosen data frames —
+    /// loss the deadline/nack/resend machinery must repair exactly.
+    struct LossyWire {
+        inner: ChannelWire,
+        /// (peer, seq) pairs already seen once (resends pass through).
+        seen: Mutex<HashSet<(usize, u64)>>,
+        /// Drop the first transmission of seqs where `seq % 3 == 0`.
+        drop_thirds: bool,
+        /// Send every data frame twice.
+        duplicate: bool,
+    }
+
+    impl Wire for LossyWire {
+        fn rank(&self) -> usize {
+            self.inner.rank()
+        }
+        fn world_ids(&self) -> &[usize] {
+            self.inner.world_ids()
+        }
+        fn send(&self, peer: usize, frame: &Frame) -> Result<(), WireError> {
+            if frame.kind == FrameKind::Data {
+                if self.drop_thirds
+                    && frame.seq.is_multiple_of(3)
+                    && self.seen.lock().insert((peer, frame.seq))
+                {
+                    return Ok(()); // swallowed: the wire "lost" it
+                }
+                if self.duplicate {
+                    self.inner.send(peer, frame)?;
+                }
+            }
+            self.inner.send(peer, frame)
+        }
+        fn recv_timeout(&self, peer: usize, timeout: Duration) -> Result<Frame, WireError> {
+            self.inner.recv_timeout(peer, timeout)
+        }
+        fn silence(&self, peer: usize) -> Duration {
+            self.inner.silence(peer)
+        }
+        fn release(&self, payload: Vec<u8>) {
+            self.inner.release(payload);
+        }
+    }
+
+    #[test]
+    fn dropped_transmissions_are_repaired_exactly() {
+        let (n, e) = (4usize, 48usize);
+        let schedule = ring::allreduce(n, e);
+        let ins = inputs(n, e);
+        let mut by_ref = ins.clone();
+        apply_allreduce(&schedule, &mut by_ref, ReduceOp::Sum);
+        let wires: Vec<LossyWire> = ChannelWire::mesh(n)
+            .into_iter()
+            .map(|inner| LossyWire {
+                inner,
+                seen: Mutex::new(HashSet::new()),
+                drop_thirds: true,
+                duplicate: false,
+            })
+            .collect();
+        let got = run_mesh(wires, &schedule, ins, ReduceOp::Sum, 0);
+        assert_eq!(by_ref, got);
+    }
+
+    #[test]
+    fn duplicated_frames_are_deduped_exactly() {
+        let (n, e) = (4usize, 48usize);
+        let schedule = rd::allreduce(n, e);
+        let ins = inputs(n, e);
+        let mut by_ref = ins.clone();
+        apply_allreduce(&schedule, &mut by_ref, ReduceOp::Sum);
+        let wires: Vec<LossyWire> = ChannelWire::mesh(n)
+            .into_iter()
+            .map(|inner| LossyWire {
+                inner,
+                seen: Mutex::new(HashSet::new()),
+                drop_thirds: false,
+                duplicate: true,
+            })
+            .collect();
+        let got = run_mesh(wires, &schedule, ins, ReduceOp::Sum, 0);
+        assert_eq!(by_ref, got);
+    }
+
+    #[test]
+    fn a_dropped_wire_surfaces_peer_dead() {
+        let n = 3usize;
+        let e = 24usize;
+        let schedule = ring::allreduce(n, e);
+        let ids: Vec<usize> = (0..n).collect();
+        let mut wires = ChannelWire::mesh(n);
+        let dead_wire = wires.pop().expect("rank 2's wire"); // lint: allow(unwrap): mesh(3) yields three wires
+        drop(dead_wire); // rank 2 "dies" before the collective
+        let mut bufs = inputs(n, e);
+        bufs.pop();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = wires
+                .iter()
+                .zip(bufs.iter_mut())
+                .map(|(wire, buf)| {
+                    let ids = &ids;
+                    let schedule = &schedule;
+                    scope.spawn(move || {
+                        let mut ex = PeerExecutor::new(wire, policy());
+                        ex.run(schedule, buf, ReduceOp::Sum, ids, &mut || CtlSignal::Continue)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let err = h.join().expect("rank thread").expect_err("peer 2 is gone");
+                assert_eq!(err, PeerExecError::PeerDead { dead: vec![2] });
+            }
+        });
+    }
+
+    #[test]
+    fn abort_poll_stops_a_starved_receive() {
+        let n = 2usize;
+        let e = 8usize;
+        let schedule = ring::allreduce(n, e);
+        let ids: Vec<usize> = (0..n).collect();
+        let wires = ChannelWire::mesh(n);
+        // Rank 1 never shows up, but its wire stays open — only the
+        // control-plane abort can unblock rank 0.
+        let mut buf = vec![1.0f32; e];
+        let mut polls = 0u32;
+        let mut ex = PeerExecutor::new(&wires[0], policy());
+        let err = ex
+            .run(&schedule, &mut buf, ReduceOp::Sum, &ids, &mut || {
+                polls += 1;
+                if polls > 3 {
+                    CtlSignal::Abort
+                } else {
+                    CtlSignal::Continue
+                }
+            })
+            .expect_err("no peer, must abort");
+        assert_eq!(err, PeerExecError::Aborted);
+        assert!(polls > 3);
+    }
+}

@@ -39,6 +39,7 @@ pub mod analytic;
 pub mod compression;
 pub mod elastic;
 pub mod exec_fault;
+pub mod exec_peer;
 pub mod exec_sim;
 pub mod exec_thread;
 pub mod exec_trace;
@@ -57,6 +58,7 @@ pub use analytic::{allreduce_cost, crossover, AlphaBeta};
 pub use compression::{codec_for, Codec, CodecKind, EncodeScratch, ErrorFeedback};
 pub use elastic::{ElasticAllreduce, ElasticError, ElasticReport};
 pub use exec_fault::FaultSession;
+pub use exec_peer::{CtlSignal, PeerExecError, PeerExecutor};
 pub use exec_sim::{
     simulate, simulate_compressed, simulate_dense, CostModel, MsgParams, UniformCost, ELEM_BYTES,
 };

@@ -127,6 +127,28 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// Receive deadline for 0-based `attempt`: `base * factor^attempt`
+    /// (exponent clamped so a pathological policy cannot overflow).
+    pub fn deadline(&self, attempt: u32) -> Duration {
+        self.base.saturating_mul(self.factor.saturating_pow(attempt.min(16)))
+    }
+
+    /// How often a transport link beacons liveness when otherwise idle:
+    /// half the first receive deadline, so a healthy-but-slow peer lands
+    /// a heartbeat inside every deadline window.
+    pub fn heartbeat_interval(&self) -> Duration {
+        self.base / 2
+    }
+
+    /// Total peer silence after which the transport declares it dead:
+    /// the sum of every backoff deadline the retry ladder would wait
+    /// through before giving up.
+    pub fn death_threshold(&self) -> Duration {
+        (0..self.max_attempts).fold(Duration::ZERO, |acc, k| acc.saturating_add(self.deadline(k)))
+    }
+}
+
 /// A seeded, replayable set of fault injections.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {

@@ -1,0 +1,512 @@
+//! Multi-process data-parallel training over Unix-domain sockets.
+//!
+//! Two personalities in one binary:
+//!
+//! * `dist_train launch --dir D --workers N ...` — binds the
+//!   rendezvous socket, spawns N copies of itself as `worker`
+//!   subprocesses, assigns ranks, runs the Ready→Start barrier, and
+//!   then arbitrates the commit protocol (see
+//!   `trainer::real::worker`): collect `StepDone` votes, broadcast
+//!   `Commit`, and on a worker death broadcast `Degrade` with a bumped
+//!   era. With `--kill-rank R --kill-step S` it SIGKILLs rank R's
+//!   process when the first vote for step S arrives — the chaos hook
+//!   the kill-a-worker suite drives.
+//! * `dist_train worker --dir D --tag T ...` — joins the rendezvous,
+//!   builds the socket mesh, trains its rank, writes
+//!   `result_r<rank>.json` + `params_r<rank>.bin` into the dir, and
+//!   reports `Finished`.
+//!
+//! Every file this binary writes lands inside `--dir`; the launcher
+//! writes a final `summary.json` naming the dead and the degrade
+//! steps so tests can replay the exact fault threaded.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use faults::{FaultClock, RetryPolicy};
+use trace::chrome::{parse_trace, write_trace};
+use trace::TraceSession;
+use trainer::real::worker::{preset, run_worker, WorkerOutcome};
+use transport::{join, Frame, FrameKind, PeerConn, Rendezvous, WireError};
+
+/// The coordinator's pseudo-rank in frame `from` fields (workers are
+/// `0..N`, so `N` can never collide — but any value would do; nothing
+/// routes on it).
+fn coord_id(workers: usize) -> u16 {
+    workers as u16
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    let code = match mode {
+        Some("launch") => launch(&args[1..]),
+        Some("worker") => worker(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dist_train launch --dir D [--workers N] [--steps S] [--seed X] \
+                 [--preset tiny|quick] [--kill-rank R --kill-step S]\n\
+                 \x20      dist_train worker --dir D --tag T --workers N --steps S --seed X --preset P"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn arg(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn arg_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    arg(args, key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Commit-protocol pacing. `base` also derives the heartbeat interval
+/// and the death threshold (see `RetryPolicy`), so one knob scales the
+/// whole failure-detection stack.
+fn policy(args: &[String]) -> RetryPolicy {
+    RetryPolicy {
+        base: Duration::from_millis(arg_or(args, "--base-ms", 25)),
+        factor: 2,
+        max_attempts: 6,
+        tick: Duration::from_millis(2),
+    }
+}
+
+// ---------------------------------------------------------------- launch
+
+struct WorkerSlot {
+    conn: PeerConn,
+    pid: u32,
+    dead: bool,
+    finished: bool,
+    vote: Option<u32>,
+}
+
+fn launch(args: &[String]) -> i32 {
+    let Some(dir) = arg(args, "--dir").map(PathBuf::from) else {
+        eprintln!("launch: --dir is required");
+        return 2;
+    };
+    let workers: usize = arg_or(args, "--workers", 4);
+    let steps: usize = arg_or(args, "--steps", 8);
+    let seed: u64 = arg_or(args, "--seed", 42);
+    let preset_name = arg(args, "--preset").unwrap_or_else(|| "tiny".into());
+    let traced = args.iter().any(|a| a == "--trace");
+    let kill: Option<(usize, usize)> = match (arg(args, "--kill-rank"), arg(args, "--kill-step")) {
+        (Some(r), Some(s)) => match (r.parse(), s.parse()) {
+            (Ok(r), Ok(s)) => Some((r, s)),
+            _ => {
+                eprintln!("launch: --kill-rank/--kill-step must be integers");
+                return 2;
+            }
+        },
+        (None, None) => None,
+        _ => {
+            eprintln!("launch: --kill-rank and --kill-step go together");
+            return 2;
+        }
+    };
+    if let Some((r, s)) = kill {
+        if r >= workers || s >= steps {
+            eprintln!("launch: kill target rank {r} step {s} outside the run");
+            return 2;
+        }
+    }
+    let pol = policy(args);
+
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("launch: cannot create {}: {e}", dir.display());
+        return 1;
+    }
+    let rdzv = match Rendezvous::bind(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("launch: cannot bind rendezvous socket: {e}");
+            return 1;
+        }
+    };
+
+    // Spawn the workers as copies of this binary.
+    let exe = std::env::current_exe().expect("own executable path"); // lint: allow(unwrap): no portable fallback exists for self-spawning
+    let mut children: Vec<Child> = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("worker")
+            .args(["--dir", &dir.to_string_lossy()])
+            .args(["--tag", &i.to_string()])
+            .args(["--workers", &workers.to_string()])
+            .args(["--steps", &steps.to_string()])
+            .args(["--seed", &seed.to_string()])
+            .args(["--preset", &preset_name])
+            .args(["--base-ms", &pol.base.as_millis().to_string()])
+            .stdin(Stdio::null());
+        if traced {
+            cmd.arg("--trace");
+        }
+        let child = cmd.spawn();
+        match child {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                eprintln!("launch: spawning worker {i} failed: {e}");
+                for mut c in children {
+                    let _ = c.kill();
+                }
+                return 1;
+            }
+        }
+    }
+
+    let result = coordinate(&rdzv, &dir, workers, kill, &pol, &mut children);
+
+    if traced && result.is_ok() {
+        match merge_traces(&dir, workers) {
+            Ok(n) => println!("launch: merged {n} worker trace lanes into trace_merged.json"),
+            Err(e) => eprintln!("launch: trace merge failed: {e}"),
+        }
+    }
+
+    // Reap everything; a SIGKILLed child's status is expected to be
+    // signal-terminated, anyone else must have exited cleanly.
+    let mut exit = match &result {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("launch: {e}");
+            for c in children.iter_mut() {
+                let _ = c.kill();
+            }
+            1
+        }
+    };
+    let dead_pids = result.unwrap_or_default();
+    for (i, c) in children.iter_mut().enumerate() {
+        let was_killed = dead_pids.contains(&c.id());
+        match c.wait() {
+            Ok(status) if !status.success() => {
+                if !was_killed && exit == 0 {
+                    eprintln!("launch: worker process {i} exited with {status}");
+                    exit = 1;
+                }
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("launch: waiting on worker {i}: {e}");
+                exit = 1;
+            }
+        }
+    }
+    exit
+}
+
+/// Rendezvous, barrier, and the commit/degrade event loop. Returns the
+/// pids of the ranks that died (their signal exits are expected when
+/// reaping). `children[i]` is the worker spawned with tag `i`; ranks
+/// are assigned by arrival, so kill targets resolve through the hello
+/// pids.
+fn coordinate(
+    rdzv: &Rendezvous,
+    dir: &Path,
+    workers: usize,
+    kill: Option<(usize, usize)>,
+    pol: &RetryPolicy,
+    children: &mut [Child],
+) -> Result<Vec<u32>, String> {
+    let me = coord_id(workers);
+    let joined = rdzv.assemble(workers).map_err(|e| format!("rendezvous failed: {e}"))?;
+    let mut slots: Vec<WorkerSlot> = Vec::with_capacity(workers);
+    for (rank, (hello, stream)) in joined.into_iter().enumerate() {
+        let conn = PeerConn::solo(rank, me as usize, stream, Some(*pol))
+            .map_err(|e| format!("control conn for rank {rank}: {e}"))?;
+        if !children.iter().any(|c| c.id() == hello.pid) {
+            return Err(format!("rank {rank} announced unknown pid {}", hello.pid));
+        }
+        slots.push(WorkerSlot { conn, pid: hello.pid, dead: false, finished: false, vote: None });
+    }
+
+    // Ready → Start barrier: every worker has a full mesh before any
+    // schedule traffic flows.
+    for (rank, slot) in slots.iter().enumerate() {
+        match slot.conn.recv_timeout(pol.death_threshold()) {
+            Ok(f) if f.kind == FrameKind::Ready => {}
+            Ok(f) => return Err(format!("rank {rank} sent {:?} before Ready", f.kind)),
+            Err(e) => return Err(format!("rank {rank} never became ready: {e}")),
+        }
+    }
+    for slot in slots.iter() {
+        slot.conn
+            .send(&Frame::control(FrameKind::Start, me, 0, 0))
+            .map_err(|e| format!("start broadcast: {e}"))?;
+    }
+
+    let mut era: u32 = 0;
+    let mut current_step: u32 = 0;
+    let mut killed = false;
+    let mut degrades: Vec<(u32, Vec<usize>)> = Vec::new();
+
+    let all_done = |slots: &[WorkerSlot]| slots.iter().all(|s| s.finished || s.dead);
+    while !all_done(&slots) {
+        for r in 0..workers {
+            if slots[r].dead || slots[r].finished {
+                continue;
+            }
+            match slots[r].conn.recv_timeout(pol.tick) {
+                Ok(f) => match f.kind {
+                    FrameKind::StepDone => {
+                        if f.era != era {
+                            continue; // stale vote from before a degrade
+                        }
+                        slots[r].vote = Some(f.step);
+                        // Chaos hook: the first current-era vote for the
+                        // kill step pulls the trigger — the target may be
+                        // computing, mid-exchange, or already voted.
+                        if let Some((kr, ks)) = kill {
+                            if !killed && f.step as usize == ks && !slots[kr].dead {
+                                killed = true;
+                                sigkill(children, slots[kr].pid);
+                                degrade(&mut slots, kr, &mut era, current_step, &mut degrades, me)?;
+                                continue;
+                            }
+                        }
+                        try_commit(&mut slots, era, &mut current_step, me)?;
+                    }
+                    FrameKind::Finished => slots[r].finished = true,
+                    _ => {}
+                },
+                Err(WireError::Timeout) => {
+                    // Heartbeats flow even while a worker computes, so
+                    // sustained silence means a wedged process.
+                    if slots[r].conn.silence() > pol.death_threshold() {
+                        degrade(&mut slots, r, &mut era, current_step, &mut degrades, me)?;
+                    }
+                }
+                Err(WireError::PeerGone) => {
+                    degrade(&mut slots, r, &mut era, current_step, &mut degrades, me)?;
+                }
+                Err(WireError::NoSuchPeer(_)) => unreachable!("control conns are per-slot"),
+            }
+        }
+    }
+
+    let survivors: Vec<usize> = (0..workers).filter(|&r| !slots[r].dead).collect();
+    if survivors.is_empty() {
+        return Err("every worker died".into());
+    }
+    write_summary(dir, workers, &survivors, &degrades)
+        .map_err(|e| format!("writing summary: {e}"))?;
+    Ok((0..workers).filter(|&r| slots[r].dead).map(|r| slots[r].pid).collect())
+}
+
+fn sigkill(children: &mut [Child], pid: u32) {
+    if let Some(c) = children.iter_mut().find(|c| c.id() == pid) {
+        let _ = c.kill();
+    }
+}
+
+/// Declare `r` dead: bump the era, void the round's votes, record the
+/// degrade, and announce it to every survivor.
+fn degrade(
+    slots: &mut [WorkerSlot],
+    r: usize,
+    era: &mut u32,
+    current_step: u32,
+    degrades: &mut Vec<(u32, Vec<usize>)>,
+    me: u16,
+) -> Result<(), String> {
+    slots[r].dead = true;
+    *era += 1;
+    for s in slots.iter_mut() {
+        s.vote = None;
+    }
+    degrades.push((current_step, vec![r]));
+    let mut f = Frame::control(FrameKind::Degrade, me, *era, current_step);
+    f.payload = r.to_string().into_bytes();
+    for (other, slot) in slots.iter().enumerate() {
+        if slot.dead || slot.finished || other == r {
+            continue;
+        }
+        // A send failing here means that worker is dying too; its own
+        // EOF will degrade it on a later sweep.
+        let _ = slot.conn.send(&f);
+    }
+    Ok(())
+}
+
+/// Broadcast `Commit` once every live worker has voted this era.
+fn try_commit(
+    slots: &mut [WorkerSlot],
+    era: u32,
+    current_step: &mut u32,
+    me: u16,
+) -> Result<(), String> {
+    let live: Vec<usize> =
+        (0..slots.len()).filter(|&r| !slots[r].dead && !slots[r].finished).collect();
+    if live.is_empty() || live.iter().any(|&r| slots[r].vote.is_none()) {
+        return Ok(());
+    }
+    let step = slots[live[0]].vote.expect("checked above"); // lint: allow(unwrap): vote presence checked for every live slot above
+    for &r in &live {
+        if slots[r].vote != Some(step) {
+            return Err(format!(
+                "split vote: rank {r} at step {:?}, rank {} at step {step}",
+                slots[r].vote, live[0]
+            ));
+        }
+    }
+    let f = Frame::control(FrameKind::Commit, me, era, step);
+    for &r in &live {
+        slots[r].conn.send(&f).map_err(|e| format!("commit broadcast to rank {r}: {e}"))?;
+    }
+    *current_step = step + 1;
+    for s in slots.iter_mut() {
+        s.vote = None;
+    }
+    Ok(())
+}
+
+/// Fold every worker's per-process Chrome trace into one timeline.
+/// Each worker recorded under pid = its rank, so the merged file
+/// renders one row group per worker; a killed rank simply has no file.
+fn merge_traces(dir: &Path, workers: usize) -> std::io::Result<usize> {
+    let mut events = Vec::new();
+    let mut lanes = 0usize;
+    for r in 0..workers {
+        let path = dir.join(format!("trace_r{r}.json"));
+        let json = match std::fs::read_to_string(&path) {
+            Ok(j) => j,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        let parsed = parse_trace(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        events.extend(parsed);
+        lanes += 1;
+    }
+    std::fs::write(dir.join("trace_merged.json"), write_trace(&events))?;
+    Ok(lanes)
+}
+
+fn write_summary(
+    dir: &Path,
+    workers: usize,
+    survivors: &[usize],
+    degrades: &[(u32, Vec<usize>)],
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!(
+        "  \"survivors\": [{}],\n",
+        survivors.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    ));
+    out.push_str("  \"degrades\": [");
+    let items: Vec<String> = degrades
+        .iter()
+        .map(|(step, dead)| {
+            format!(
+                "{{\"step\": {step}, \"dead\": [{}]}}",
+                dead.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            )
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str("]\n}\n");
+    let tmp = dir.join("summary.json.tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(tmp, dir.join("summary.json"))
+}
+
+// ---------------------------------------------------------------- worker
+
+fn worker(args: &[String]) -> i32 {
+    match worker_inner(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("worker: {e}");
+            1
+        }
+    }
+}
+
+fn worker_inner(args: &[String]) -> Result<(), String> {
+    let dir = arg(args, "--dir").map(PathBuf::from).ok_or("--dir is required")?;
+    let tag = arg(args, "--tag").ok_or("--tag is required")?;
+    let workers: usize = arg_or(args, "--workers", 4);
+    let steps: usize = arg_or(args, "--steps", 8);
+    let seed: u64 = arg_or(args, "--seed", 42);
+    let preset_name = arg(args, "--preset").unwrap_or_else(|| "tiny".into());
+    let pol = policy(args);
+    let clock = FaultClock::real();
+
+    let joined = join(&dir, &tag, &pol, &clock).map_err(|e| format!("rendezvous join: {e}"))?;
+    let rank = joined.rank;
+    let (mesh, ctl_stream) =
+        joined.build_mesh(pol, &clock).map_err(|e| format!("mesh build: {e}"))?;
+    let ctl = PeerConn::solo(workers, rank, ctl_stream, Some(pol))
+        .map_err(|e| format!("control conn: {e}"))?;
+
+    ctl.send(&Frame::control(FrameKind::Ready, rank as u16, 0, 0))
+        .map_err(|e| format!("ready: {e}"))?;
+    loop {
+        match ctl.recv_timeout(pol.death_threshold()) {
+            Ok(f) if f.kind == FrameKind::Start => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("waiting for start: {e}")),
+        }
+    }
+
+    let mut cfg = preset(&preset_name, workers, steps, seed);
+    let session = if args.iter().any(|a| a == "--trace") {
+        Some(std::sync::Arc::new(TraceSession::new()))
+    } else {
+        None
+    };
+    cfg.trace = session.clone();
+    let outcome = run_worker(&cfg, &mesh, &ctl, pol).map_err(|e| e.to_string())?;
+    write_results(&dir, &outcome).map_err(|e| format!("writing results: {e}"))?;
+    if let Some(s) = &session {
+        std::fs::write(dir.join(format!("trace_r{rank}.json")), s.recorder.to_chrome_json())
+            .map_err(|e| format!("writing trace: {e}"))?;
+    }
+    ctl.send(&Frame::control(FrameKind::Finished, rank as u16, 0, steps as u32))
+        .map_err(|e| format!("finished: {e}"))?;
+    Ok(())
+}
+
+fn write_results(dir: &Path, out: &WorkerOutcome) -> std::io::Result<()> {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"rank\": {},\n", out.rank));
+    json.push_str(&format!(
+        "  \"survivors\": [{}],\n",
+        out.survivors.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str("  \"degrades\": [");
+    let items: Vec<String> = out
+        .degradations
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"step\": {}, \"dead\": [{}], \"era\": {}}}",
+                d.step,
+                d.dead.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "),
+                d.era
+            )
+        })
+        .collect();
+    json.push_str(&items.join(", "));
+    json.push_str("],\n");
+    json.push_str(&format!(
+        "  \"losses\": [{}]\n",
+        out.step_losses.iter().map(|l| format!("{l:.17e}")).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str("}\n");
+    std::fs::write(dir.join(format!("result_r{}.json", out.rank)), json)?;
+
+    let mut bytes = Vec::with_capacity(out.final_params.len() * 4);
+    for &p in &out.final_params {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    let mut f = std::fs::File::create(dir.join(format!("params_r{}.bin", out.rank)))?;
+    f.write_all(&bytes)
+}

@@ -11,6 +11,7 @@ pub mod pool;
 pub mod segdata;
 pub mod sgd;
 pub mod train;
+pub mod worker;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use fp16::{compress_gradients, roundtrip};
@@ -22,3 +23,4 @@ pub use train::{
     evaluate, train, try_train, CheckpointConfig, EvalPoint, FaultToleranceConfig, TrainConfig,
     TrainError, TrainResult,
 };
+pub use worker::{preset, run_worker, DegradeRecord, WorkerError, WorkerOutcome};

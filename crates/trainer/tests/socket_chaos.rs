@@ -1,0 +1,114 @@
+//! Kill-a-worker chaos: SIGKILL a real OS worker process mid-step and
+//! prove the survivors converge to the *bit-exact* rescaled result the
+//! threaded fault path produces for the same crash.
+//!
+//! The launcher's `--kill-rank R --kill-step S` hook pulls the trigger
+//! when the first `StepDone` vote for step S arrives, so the victim
+//! dies somewhere inside step S — computing, mid-exchange, or already
+//! voted. Wherever the bullet lands, the commit protocol guarantees
+//! step S was never applied, so the survivors' retry over the shrunken
+//! world must equal the threaded replay of a crash at `(S, round 0)`.
+//!
+//! `DIST_CHAOS_SEEDS` (comma-separated) widens the sweep; CI runs four
+//! seeds, the default local run one.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use faults::{FaultKind, FaultPlan, Injection};
+use trainer::real::worker::preset;
+use trainer::real::{try_train, FaultToleranceConfig};
+
+const WORKERS: usize = 4;
+const STEPS: usize = 6;
+const KILL_RANK: usize = 2;
+const KILL_STEP: usize = 3;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seg_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read_params(dir: &Path, rank: usize) -> Vec<u32> {
+    let bytes = std::fs::read(dir.join(format!("params_r{rank}.bin")))
+        .unwrap_or_else(|e| panic!("params_r{rank}.bin: {e}"));
+    bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+}
+
+/// Pull the degrade step out of summary.json without a JSON parser:
+/// the launcher writes `{"step": N, "dead": [R]}` entries.
+fn degrade_step(summary: &str) -> usize {
+    let at = summary.find("\"step\": ").expect("summary records a degrade");
+    summary[at + 8..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("degrade step parses")
+}
+
+fn run_chaos(seed: u64) {
+    let dir = scratch_dir(&format!("s{seed}"));
+    let out = Command::new(env!("CARGO_BIN_EXE_dist_train"))
+        .arg("launch")
+        .args(["--dir", &dir.to_string_lossy()])
+        .args(["--workers", &WORKERS.to_string()])
+        .args(["--steps", &STEPS.to_string()])
+        .args(["--seed", &seed.to_string()])
+        .args(["--preset", "tiny"])
+        .args(["--kill-rank", &KILL_RANK.to_string()])
+        .args(["--kill-step", &KILL_STEP.to_string()])
+        .output()
+        .expect("launching dist_train");
+    assert!(
+        out.status.success(),
+        "seed {seed}: launcher failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let summary = std::fs::read_to_string(dir.join("summary.json")).expect("summary.json");
+    assert!(
+        summary.contains(&format!("\"dead\": [{KILL_RANK}]")),
+        "seed {seed}: summary does not record the kill: {summary}"
+    );
+    let d = degrade_step(&summary);
+    assert_eq!(d, KILL_STEP, "seed {seed}: kill landed on the wrong step");
+
+    // The victim died before writing results.
+    assert!(
+        !dir.join(format!("params_r{KILL_RANK}.bin")).exists(),
+        "seed {seed}: the killed rank wrote params"
+    );
+
+    // Survivors agree bit-for-bit among themselves...
+    let survivors: Vec<usize> = (0..WORKERS).filter(|&r| r != KILL_RANK).collect();
+    let first = read_params(&dir, survivors[0]);
+    for &r in &survivors[1..] {
+        assert_eq!(read_params(&dir, r), first, "seed {seed}: rank {r} diverges");
+    }
+
+    // ...and with the threaded fault path replaying the same crash.
+    let mut cfg = preset("tiny", WORKERS, STEPS, seed);
+    cfg.faults = Some(FaultToleranceConfig::with_plan(FaultPlan::explicit(
+        seed,
+        vec![Injection { step: d, rank: KILL_RANK, round: 0, kind: FaultKind::Crash }],
+    )));
+    let reference = try_train(&cfg).expect("threaded crash replay");
+    assert_eq!(reference.survivors, survivors, "seed {seed}: survivor sets differ");
+    assert_eq!(
+        first,
+        reference.final_params.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+        "seed {seed}: socket survivors diverge from the threaded crash replay"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_mid_step_converges_to_threaded_crash_replay() {
+    let seeds = std::env::var("DIST_CHAOS_SEEDS").unwrap_or_else(|_| "42".into());
+    for seed in seeds.split(',') {
+        run_chaos(seed.trim().parse().expect("DIST_CHAOS_SEEDS entries are u64"));
+    }
+}

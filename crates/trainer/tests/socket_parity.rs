@@ -1,0 +1,87 @@
+//! The tentpole parity claim: the same verified schedule executed over
+//! real Unix-domain sockets between separate OS processes produces
+//! bit-identical parameters to the in-process threaded trainer.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use trainer::real::worker::preset;
+use trainer::real::{try_train, TrainResult};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seg_dist_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read_params(dir: &Path, rank: usize) -> Vec<f32> {
+    let bytes = std::fs::read(dir.join(format!("params_r{rank}.bin")))
+        .unwrap_or_else(|e| panic!("params_r{rank}.bin: {e}"));
+    assert_eq!(bytes.len() % 4, 0, "params file is whole f32s");
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+}
+
+fn launch(dir: &Path, workers: usize, steps: usize, seed: u64, extra: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dist_train"))
+        .arg("launch")
+        .args(["--dir", &dir.to_string_lossy()])
+        .args(["--workers", &workers.to_string()])
+        .args(["--steps", &steps.to_string()])
+        .args(["--seed", &seed.to_string()])
+        .args(["--preset", "tiny"])
+        .args(extra)
+        .output()
+        .expect("launching dist_train");
+    assert!(
+        out.status.success(),
+        "launcher failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn threaded(workers: usize, steps: usize, seed: u64) -> TrainResult {
+    try_train(&preset("tiny", workers, steps, seed)).expect("threaded reference run")
+}
+
+#[test]
+fn four_process_socket_run_matches_threaded_bit_exactly() {
+    let workers = 4;
+    let steps = 6;
+    let seed = 42;
+    let dir = scratch_dir("parity");
+    launch(&dir, workers, steps, seed, &[]);
+
+    let reference = threaded(workers, steps, seed);
+    let rank0 = read_params(&dir, 0);
+    assert_eq!(rank0.len(), reference.final_params.len());
+    for (i, (&sock, &thr)) in rank0.iter().zip(&reference.final_params).enumerate() {
+        assert_eq!(
+            sock.to_bits(),
+            thr.to_bits(),
+            "param {i} diverges: socket {sock} vs threaded {thr}"
+        );
+    }
+    for rank in 1..workers {
+        assert_eq!(read_params(&dir, rank), rank0, "rank {rank} diverges from rank 0");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_process_socket_run_matches_threaded_bit_exactly() {
+    let workers = 2;
+    let steps = 4;
+    let seed = 7;
+    let dir = scratch_dir("parity2");
+    launch(&dir, workers, steps, seed, &[]);
+
+    let reference = threaded(workers, steps, seed);
+    let rank0 = read_params(&dir, 0);
+    assert_eq!(
+        rank0.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+        reference.final_params.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+    );
+    assert_eq!(read_params(&dir, 1), rank0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,483 @@
+//! The wire frame format: length-prefixed, sequence-numbered,
+//! CRC32-tailed.
+//!
+//! Every byte that crosses a socket in the multi-process runtime is one
+//! frame:
+//!
+//! ```text
+//! u32  len      body length in bytes (header + payload + crc tail)
+//! u8   kind     FrameKind discriminant
+//! u8   version  wire-format version (currently 1)
+//! u16  from     sender's original (world) rank id
+//! u32  era      topology epoch; bumped on every degradation
+//! u64  seq      per-(sender, receiver, era) sequence number
+//! u32  step     training step the frame belongs to
+//! u32  round    schedule round (data frames; 0 otherwise)
+//! u32  offset   segment offset into the reduce buffer (data frames)
+//! ...  payload  payload_len = len - HEADER_LEN - 4 bytes
+//! u32  crc      CRC32 (IEEE) over header-after-len + payload
+//! ```
+//!
+//! The CRC tail covers everything after the length prefix, so a
+//! bit-flip anywhere in the header or payload is detected; the length
+//! prefix itself is sanity-bounded ([`MAX_FRAME_LEN`]) so a corrupted
+//! length cannot make the decoder allocate unboundedly or stall forever
+//! mid-frame. Decoding never panics on adversarial bytes — every
+//! malformed input is a typed [`FrameError`] (proven by the adversarial
+//! proptests in `tests/frame_proptests.rs`, differentially against
+//! [`reference_decode`]).
+
+use faults::crc32_bytes;
+
+/// Header bytes after the u32 length prefix.
+pub const HEADER_LEN: usize = 1 + 1 + 2 + 4 + 8 + 4 + 4 + 4;
+
+/// Hard upper bound on the body length a decoder will accept. Large
+/// enough for any gradient segment this repo ships (64 MiB), small
+/// enough that a corrupted length prefix cannot drive allocation wild.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Wire-format version stamped into every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// What a frame is. Discriminants are the on-wire byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A schedule payload segment (f32 little-endian bytes).
+    Data = 1,
+    /// Receiver acknowledges every data seq up to and including `seq`.
+    Ack = 2,
+    /// Receiver rejected `seq` (CRC mismatch) and requests a resend.
+    Nack = 3,
+    /// Liveness beacon; carries no payload.
+    Heartbeat = 4,
+    /// Rendezvous: worker -> coordinator registration (payload: listener
+    /// path), and peer -> peer identification (no payload).
+    Hello = 5,
+    /// Rendezvous: coordinator -> worker rank assignment (payload: rank,
+    /// world, peer listener paths).
+    Welcome = 6,
+    /// Worker -> coordinator: mesh fully connected, ready to train.
+    Ready = 7,
+    /// Coordinator -> workers: all ranks ready, start the run.
+    Start = 8,
+    /// Worker -> coordinator: exchange for `step` completed under `era`.
+    StepDone = 9,
+    /// Coordinator -> workers: every live rank finished `step`; apply it.
+    Commit = 10,
+    /// Coordinator -> workers: ranks died; payload lists the dead
+    /// original ids (u16 each). Rebuild over the survivors under `era`.
+    Degrade = 11,
+    /// Worker -> coordinator: run complete, results written.
+    Finished = 12,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Result<Self, FrameError> {
+        Ok(match b {
+            1 => FrameKind::Data,
+            2 => FrameKind::Ack,
+            3 => FrameKind::Nack,
+            4 => FrameKind::Heartbeat,
+            5 => FrameKind::Hello,
+            6 => FrameKind::Welcome,
+            7 => FrameKind::Ready,
+            8 => FrameKind::Start,
+            9 => FrameKind::StepDone,
+            10 => FrameKind::Commit,
+            11 => FrameKind::Degrade,
+            12 => FrameKind::Finished,
+            other => return Err(FrameError::BadKind(other)),
+        })
+    }
+}
+
+/// One decoded frame. `payload` buffers are plain `Vec<u8>` so callers
+/// can pool and recycle them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    pub from: u16,
+    pub era: u32,
+    pub seq: u64,
+    pub step: u32,
+    pub round: u32,
+    pub offset: u32,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A payload-less control frame.
+    pub fn control(kind: FrameKind, from: u16, era: u32, step: u32) -> Self {
+        Frame { kind, from, era, seq: 0, step, round: 0, offset: 0, payload: Vec::new() }
+    }
+}
+
+/// Why a byte sequence failed to decode as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Body length exceeds [`MAX_FRAME_LEN`] or is shorter than the
+    /// fixed header + crc tail.
+    BadLength(usize),
+    /// Unknown [`FrameKind`] discriminant.
+    BadKind(u8),
+    /// Unsupported wire-format version.
+    BadVersion(u8),
+    /// CRC tail does not match the received bytes.
+    BadCrc { want: u32, got: u32 },
+    /// The input ended mid-frame (stream truncation).
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadLength(n) => write!(f, "frame body length {n} out of bounds"),
+            FrameError::BadKind(b) => write!(f, "unknown frame kind {b}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::BadCrc { want, got } => {
+                write!(f, "crc mismatch: frame says {want:#010x}, bytes hash to {got:#010x}")
+            }
+            FrameError::Truncated => write!(f, "input ended mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode `frame` into `out` (cleared first). The buffer can be pooled
+/// and reused; steady-state encoding allocates nothing once `out` has
+/// grown to the largest frame size.
+pub fn encode_into(frame: &Frame, out: &mut Vec<u8>) {
+    out.clear();
+    let body_len = HEADER_LEN + frame.payload.len() + 4;
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(frame.kind as u8);
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&frame.from.to_le_bytes());
+    out.extend_from_slice(&frame.era.to_le_bytes());
+    out.extend_from_slice(&frame.seq.to_le_bytes());
+    out.extend_from_slice(&frame.step.to_le_bytes());
+    out.extend_from_slice(&frame.round.to_le_bytes());
+    out.extend_from_slice(&frame.offset.to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+    let crc = crc32_bytes(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Encode `frame` into a fresh buffer (test/rendezvous convenience; the
+/// hot path uses [`encode_into`] with a pooled buffer).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + HEADER_LEN + frame.payload.len() + 4);
+    encode_into(frame, &mut out);
+    out
+}
+
+fn read_u16(b: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([b[at], b[at + 1]])
+}
+
+fn read_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+fn read_u64(b: &[u8], at: usize) -> u64 {
+    let mut x = [0u8; 8];
+    x.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(x)
+}
+
+/// Parse one frame *body* (the bytes after the u32 length prefix; the
+/// caller has already read exactly `body.len()` bytes off the stream).
+/// The payload is copied into `payload_buf` (cleared first) so callers
+/// can recycle pooled buffers; the returned frame takes ownership of it.
+pub fn parse_body(body: &[u8], mut payload_buf: Vec<u8>) -> Result<Frame, FrameError> {
+    if body.len() < HEADER_LEN + 4 || body.len() > MAX_FRAME_LEN {
+        return Err(FrameError::BadLength(body.len()));
+    }
+    let crc_at = body.len() - 4;
+    let want = read_u32(body, crc_at);
+    let got = crc32_bytes(&body[..crc_at]);
+    if want != got {
+        return Err(FrameError::BadCrc { want, got });
+    }
+    let kind = FrameKind::from_byte(body[0])?;
+    if body[1] != WIRE_VERSION {
+        return Err(FrameError::BadVersion(body[1]));
+    }
+    payload_buf.clear();
+    payload_buf.extend_from_slice(&body[HEADER_LEN..crc_at]);
+    Ok(Frame {
+        kind,
+        from: read_u16(body, 2),
+        era: read_u32(body, 4),
+        seq: read_u64(body, 8),
+        step: read_u32(body, 16),
+        round: read_u32(body, 20),
+        offset: read_u32(body, 24),
+        payload: payload_buf,
+    })
+}
+
+/// Incremental decoder: feed arbitrary byte chunks, pop complete
+/// frames. Framing errors are sticky per frame but not per stream — a
+/// frame that fails its CRC is reported once and skipped (the caller's
+/// reliability layer NACKs it), and decoding continues at the next
+/// length boundary. A length prefix outside bounds poisons the stream
+/// (byte alignment is lost for good).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    at: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append raw stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily so the buffer does not grow without bound.
+        if self.at > 0 && self.at == self.buf.len() {
+            self.buf.clear();
+            self.at = 0;
+        } else if self.at > (1 << 16) {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True once a malformed length prefix destroyed stream alignment.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Bytes fed but not yet consumed by [`FrameDecoder::next_frame`].
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Pop the next complete frame, a per-frame error, or `None` when
+    /// more bytes are needed.
+    pub fn next_frame(&mut self) -> Option<Result<Frame, FrameError>> {
+        if self.poisoned {
+            return Some(Err(FrameError::Truncated));
+        }
+        let avail = self.buf.len() - self.at;
+        if avail < 4 {
+            return None;
+        }
+        let body_len = read_u32(&self.buf, self.at) as usize;
+        if !(HEADER_LEN + 4..=MAX_FRAME_LEN).contains(&body_len) {
+            self.poisoned = true;
+            return Some(Err(FrameError::BadLength(body_len)));
+        }
+        if avail < 4 + body_len {
+            return None;
+        }
+        let body = &self.buf[self.at + 4..self.at + 4 + body_len];
+        let result = parse_body(body, Vec::new());
+        self.at += 4 + body_len;
+        Some(result)
+    }
+}
+
+/// Reference decoder: the naive, obviously-correct full-buffer decode
+/// the incremental [`FrameDecoder`] is differentially tested against.
+/// Returns the frames (or per-frame errors) up to the first point where
+/// the input is truncated or unframeable.
+pub fn reference_decode(mut bytes: &[u8]) -> Vec<Result<Frame, FrameError>> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        if bytes.len() < 4 {
+            out.push(Err(FrameError::Truncated));
+            return out;
+        }
+        let body_len = read_u32(bytes, 0) as usize;
+        if !(HEADER_LEN + 4..=MAX_FRAME_LEN).contains(&body_len) {
+            out.push(Err(FrameError::BadLength(body_len)));
+            return out;
+        }
+        if bytes.len() < 4 + body_len {
+            out.push(Err(FrameError::Truncated));
+            return out;
+        }
+        out.push(parse_body(&bytes[4..4 + body_len], Vec::new()));
+        bytes = &bytes[4 + body_len..];
+    }
+    out
+}
+
+/// Receive-side sequence tracking: in-order delivery with idempotent
+/// duplicate drop and a bounded stash for early arrivals — the §5d
+/// dedup discipline lifted onto frames. One window per (peer, era);
+/// counters reset on every era bump.
+#[derive(Debug, Default)]
+pub struct DedupWindow {
+    /// Next sequence number to deliver.
+    expected: u64,
+    /// Early frames keyed by seq (BTreeMap: drained in seq order).
+    stash: std::collections::BTreeMap<u64, Frame>,
+}
+
+/// What [`DedupWindow::offer`] decided about a frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// The frame is the next in sequence: deliver it now.
+    Deliver(Frame),
+    /// Already delivered (duplicate) — dropped idempotently.
+    Duplicate,
+    /// Ahead of sequence — stashed until the gap fills.
+    Stashed,
+}
+
+impl DedupWindow {
+    pub fn new() -> Self {
+        DedupWindow::default()
+    }
+
+    /// Reset for a new era: sequence numbers restart at zero and any
+    /// stashed frames from the old era are discarded.
+    pub fn reset(&mut self) {
+        self.expected = 0;
+        self.stash.clear();
+    }
+
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Classify `frame` against the window (see [`Offer`]).
+    pub fn offer(&mut self, frame: Frame) -> Offer {
+        if frame.seq < self.expected {
+            return Offer::Duplicate;
+        }
+        if frame.seq > self.expected {
+            // Re-stashing an already-stashed seq is also a duplicate.
+            if self.stash.contains_key(&frame.seq) {
+                return Offer::Duplicate;
+            }
+            self.stash.insert(frame.seq, frame);
+            return Offer::Stashed;
+        }
+        self.expected += 1;
+        Offer::Deliver(frame)
+    }
+
+    /// Pop the next in-sequence stashed frame, if the gap has filled.
+    pub fn pop_ready(&mut self) -> Option<Frame> {
+        if let Some(f) = self.stash.remove(&self.expected) {
+            self.expected += 1;
+            return Some(f);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_frame(seq: u64, payload: &[u8]) -> Frame {
+        Frame {
+            kind: FrameKind::Data,
+            from: 3,
+            era: 2,
+            seq,
+            step: 7,
+            round: 1,
+            offset: 128,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let f = data_frame(42, &[1, 2, 3, 4, 5]);
+        let bytes = encode(&f);
+        let got = parse_body(&bytes[4..], Vec::new()).unwrap();
+        assert_eq!(got, f);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let f = Frame::control(FrameKind::Heartbeat, 1, 0, 9);
+        let bytes = encode(&f);
+        assert_eq!(bytes.len(), 4 + HEADER_LEN + 4);
+        assert_eq!(parse_body(&bytes[4..], Vec::new()).unwrap(), f);
+    }
+
+    #[test]
+    fn bit_flip_is_rejected_by_crc() {
+        let bytes = encode(&data_frame(0, &[9; 32]));
+        for at in 4..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x10;
+            match parse_body(&bad[4..], Vec::new()) {
+                Err(FrameError::BadCrc { .. }) => {}
+                other => panic!("flip at {at} not caught by crc: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_handles_byte_at_a_time() {
+        let frames = [data_frame(0, &[1; 10]), data_frame(1, &[2; 3]), data_frame(2, &[])];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(r) = dec.next_frame() {
+                got.push(r.unwrap());
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_length_poisons_the_stream() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&u32::MAX.to_le_bytes());
+        assert!(matches!(dec.next_frame(), Some(Err(FrameError::BadLength(_)))));
+        assert!(dec.is_poisoned());
+    }
+
+    #[test]
+    fn corrupt_frame_skipped_stream_continues() {
+        let a = encode(&data_frame(0, &[7; 8]));
+        let b = encode(&data_frame(1, &[8; 8]));
+        let mut stream = a.clone();
+        let flip_at = stream.len() - 6; // inside a's payload
+        stream[flip_at] ^= 0xff;
+        stream.extend_from_slice(&b);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        assert!(matches!(dec.next_frame(), Some(Err(FrameError::BadCrc { .. }))));
+        assert_eq!(dec.next_frame().unwrap().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn dedup_window_orders_dedups_and_resets() {
+        let mut w = DedupWindow::new();
+        assert!(matches!(w.offer(data_frame(1, &[])), Offer::Stashed));
+        assert!(matches!(w.offer(data_frame(1, &[])), Offer::Duplicate));
+        match w.offer(data_frame(0, &[])) {
+            Offer::Deliver(f) => assert_eq!(f.seq, 0),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(w.pop_ready().map(|f| f.seq), Some(1));
+        assert_eq!(w.pop_ready(), None);
+        assert!(matches!(w.offer(data_frame(0, &[])), Offer::Duplicate));
+        w.reset();
+        assert!(matches!(w.offer(data_frame(0, &[])), Offer::Deliver(_)));
+    }
+}

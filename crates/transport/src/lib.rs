@@ -1,0 +1,103 @@
+//! Byte-stream transport for the collective schedules.
+//!
+//! The threaded executor ([`collectives::exec_thread`]) moves payloads
+//! between rank *threads* over channels; this crate is the same idea
+//! over real byte streams between rank *processes*. One abstraction —
+//! [`Wire`] — with two backends:
+//!
+//! * [`channel::ChannelWire`] — in-process, frames pass by value over
+//!   crossbeam channels. Zero serialization; used by protocol unit
+//!   tests and as the degenerate single-process backend.
+//! * [`mesh::SocketMesh`] — Unix-domain sockets, one full-duplex stream
+//!   per peer pair, every message a length-prefixed CRC32-tailed
+//!   [`frame::Frame`]. A reader thread per connection decodes frames
+//!   into a pre-allocated ring; a heartbeat thread beacons liveness so
+//!   silence is distinguishable from death; payload buffers are pooled
+//!   so steady-state exchange allocates nothing.
+//!
+//! Death detection is two-signal: a SIGKILLed peer's socket returns EOF
+//! (fast path), and a wedged-but-open peer trips the
+//! [`faults::RetryPolicy::death_threshold`] silence bound (slow path).
+//! Every timeout in the crate derives from [`faults::RetryPolicy`] and
+//! sleeps route through [`faults::FaultClock`] — `xtask lint` bans bare
+//! `thread::sleep` and hard-coded `Duration` literals here (rule 8).
+//!
+//! The crate knows nothing about schedules or reduction: it moves
+//! frames. The §5d reliability protocol (seq/ack/nack/resend/dedup)
+//! executes above it, in `collectives::exec_peer`, identically over
+//! both backends.
+
+pub mod channel;
+pub mod conn;
+pub mod frame;
+pub mod mesh;
+pub mod rendezvous;
+
+use std::time::Duration;
+
+pub use channel::ChannelWire;
+pub use conn::{connect_with_backoff, read_frame_blocking, write_frame_blocking, PeerConn};
+pub use frame::{
+    encode, encode_into, parse_body, reference_decode, DedupWindow, Frame, FrameDecoder,
+    FrameError, FrameKind, Offer, HEADER_LEN, MAX_FRAME_LEN,
+};
+pub use mesh::SocketMesh;
+pub use rendezvous::{join, Joined, Rendezvous, Welcome, WorkerHello, COORD_SOCK};
+
+/// Why a wire operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// No frame arrived within the timeout (the peer may be slow, dead,
+    /// or the frame lost — the caller's retry policy decides).
+    Timeout,
+    /// The peer's stream is gone: every queued frame has been drained
+    /// and the connection reported EOF or a write error.
+    PeerGone,
+    /// The target is not a peer of this wire (unknown original id, or
+    /// a send to self).
+    NoSuchPeer(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Timeout => write!(f, "receive timed out"),
+            WireError::PeerGone => write!(f, "peer connection closed"),
+            WireError::NoSuchPeer(id) => write!(f, "no connection to rank {id}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A full mesh of reliable, ordered frame links between this rank and
+/// its peers. Peers are addressed by **original (world) rank id** —
+/// the addressing survives elastic renumbering after deaths, exactly
+/// like the trainer's data sharding does.
+pub trait Wire: Send + Sync {
+    /// This rank's original id.
+    fn rank(&self) -> usize;
+
+    /// Original ids of every rank in the initial world (including self
+    /// and any peers that have since died), ascending.
+    fn world_ids(&self) -> &[usize];
+
+    /// Queue `frame` to `peer`. Ordered and reliable while the peer
+    /// lives; [`WireError::PeerGone`] once its stream is closed.
+    fn send(&self, peer: usize, frame: &Frame) -> Result<(), WireError>;
+
+    /// Next frame from `peer`, waiting up to `timeout`. Queued frames
+    /// are always drained before [`WireError::PeerGone`] is reported,
+    /// so a peer's parting sends are never lost to its death.
+    fn recv_timeout(&self, peer: usize, timeout: Duration) -> Result<Frame, WireError>;
+
+    /// How long since *any* frame (heartbeats included) arrived from
+    /// `peer`. The heartbeat death bound compares this against
+    /// [`faults::RetryPolicy::death_threshold`].
+    fn silence(&self, peer: usize) -> Duration;
+
+    /// Return a frame payload buffer to the backend's pool. Callers
+    /// that recycle every received payload keep the steady state
+    /// allocation-free on the socket backend.
+    fn release(&self, payload: Vec<u8>);
+}

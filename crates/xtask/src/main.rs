@@ -47,6 +47,14 @@
 //!    prove exactly which orderings the executor protocols need; this
 //!    rule keeps a future "harmless" demotion from slipping past review
 //!    unjustified.
+//! 8. **transport-timeout** — no hard-coded `Duration::from_*` in
+//!    `crates/transport/src`: socket deadlines, heartbeat pacing, and
+//!    backoff must derive from `faults::RetryPolicy` / `FaultClock` so
+//!    every wait in the byte-stream path obeys one tunable policy and
+//!    stays replayable. A non-timeout use (e.g. unit conversion of a
+//!    timestamp) may be waived with a same-line
+//!    `// lint: allow(duration): <reason>`; an empty reason is itself
+//!    a violation. Test code is exempt as for every rule.
 //!
 //! The pass is deliberately token-based (comment- and string-stripped
 //! lines, brace counting) rather than AST-based: it has zero
@@ -212,6 +220,7 @@ const BANNED_MACROS: &[&str] = &["dbg!(", "todo!(", "unimplemented!("];
 
 fn lint_file(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) {
     let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    let in_transport = rel.starts_with("crates/transport/src");
     let all_lines: Vec<&str> = text.lines().collect();
     let mut depth: i64 = 0;
     // Skip state for `#[cfg(test)]`-gated items (mod blocks, fns).
@@ -390,6 +399,26 @@ fn lint_file(path: &Path, text: &str, root: &Path, findings: &mut Vec<Finding>) 
                     rule: "atomic-ordering",
                     detail: "`Ordering::Relaxed` in library code — name the invariant that \
                              makes it sound (`// lint: allow(relaxed): <invariant>`)"
+                        .to_string(),
+                }),
+            }
+        }
+        if in_transport && code.contains("Duration::from_") {
+            match waiver_reason_for(raw, "duration") {
+                Some(reason) if !reason.is_empty() => {}
+                Some(_) => findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "transport-timeout",
+                    detail: "waiver comment present but the reason is empty".to_string(),
+                }),
+                None => findings.push(Finding {
+                    path: rel.clone(),
+                    line: line_no,
+                    rule: "transport-timeout",
+                    detail: "hard-coded `Duration::from_*` in the transport layer — derive \
+                             waits from `faults::RetryPolicy`/`FaultClock` (waive a \
+                             non-timeout use with `// lint: allow(duration): <reason>`)"
                         .to_string(),
                 }),
             }
@@ -624,6 +653,43 @@ mod tests {
         let mut out = Vec::new();
         lint_file(Path::new("x.rs"), src, Path::new("."), &mut out);
         out.into_iter().map(|f| (f.rule.to_string(), f.line)).collect()
+    }
+
+    fn transport_findings_for(src: &str) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        lint_file(Path::new("crates/transport/src/x.rs"), src, Path::new("."), &mut out);
+        out.into_iter().map(|f| (f.rule.to_string(), f.line)).collect()
+    }
+
+    #[test]
+    fn transport_duration_literals_need_a_waiver() {
+        let src = "\
+fn f(policy: &RetryPolicy) {
+    let t = Duration::from_millis(250);
+    let u = Duration::from_millis(ms); // lint: allow(duration):
+    let v = Duration::from_millis(ms); // lint: allow(duration): unit conversion, not a timeout
+    let w = policy.deadline(0);
+}
+";
+        assert_eq!(
+            transport_findings_for(src),
+            vec![("transport-timeout".to_string(), 2), ("transport-timeout".to_string(), 3)]
+        );
+        // The same source outside crates/transport/src is untouched.
+        assert_eq!(findings_for(src), vec![]);
+    }
+
+    #[test]
+    fn transport_duration_in_test_code_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn f() {
+        let t = Duration::from_secs(2);
+    }
+}
+";
+        assert_eq!(transport_findings_for(src), vec![]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Horovod-timeline tracing: simulate one training step at 48 GPUs and
 //! dump the per-phase trace (like `HOROVOD_TIMELINE=trace.json`), both
-//! as text and as Chrome-trace JSON written to `horovod_timeline.json`.
+//! as text and as Chrome-trace JSON written to `artifacts/horovod_timeline.json`.
 //!
 //! ```text
 //! cargo run --example timeline_trace --release
@@ -49,6 +49,10 @@ fn main() {
     );
 
     let json = timeline.to_chrome_json();
-    std::fs::write("horovod_timeline.json", &json).expect("write trace");
-    println!("\nwrote horovod_timeline.json ({} bytes) — load it in chrome://tracing", json.len());
+    std::fs::create_dir_all("artifacts").expect("create artifacts dir");
+    std::fs::write("artifacts/horovod_timeline.json", &json).expect("write trace");
+    println!(
+        "\nwrote artifacts/horovod_timeline.json ({} bytes) — load it in chrome://tracing",
+        json.len()
+    );
 }
