@@ -97,6 +97,21 @@ impl std::fmt::Display for PeerExecError {
 
 impl std::error::Error for PeerExecError {}
 
+/// Cumulative reliability-layer statistics for one executor: what the
+/// telemetry plane ships to the coordinator every heartbeat (§5j).
+/// All counters are totals since construction; eras do not reset them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WireStats {
+    /// Data frames first-sent (resends not included).
+    pub data_frames: u64,
+    /// Payload bytes put on the wire, resends included.
+    pub data_bytes: u64,
+    /// Nacks this executor sent (receive deadlines that fired).
+    pub nacks_sent: u64,
+    /// Resends this executor answered.
+    pub resends: u64,
+}
+
 /// One un-acked send: the clean payload bytes plus the header needed to
 /// reconstruct the exact frame on a nack.
 struct PendingOut {
@@ -134,6 +149,8 @@ pub struct PeerExecutor<'w> {
     byte_pool: Vec<Vec<u8>>,
     /// Reusable decode target: payload bytes → f32s before combine.
     f32_scratch: Vec<f32>,
+    /// Cumulative wire statistics (telemetry reads these).
+    stats: WireStats,
 }
 
 impl<'w> PeerExecutor<'w> {
@@ -155,6 +172,7 @@ impl<'w> PeerExecutor<'w> {
             future: (0..slots).map(|_| VecDeque::new()).collect(),
             byte_pool: Vec::new(),
             f32_scratch: Vec::new(),
+            stats: WireStats::default(),
         }
     }
 
@@ -167,6 +185,17 @@ impl<'w> PeerExecutor<'w> {
 
     pub fn era(&self) -> u32 {
         self.era
+    }
+
+    /// Cumulative wire statistics since construction.
+    pub fn stats(&self) -> WireStats {
+        self.stats
+    }
+
+    /// Data sends currently awaiting an ack, across all peers — the
+    /// "in-flight sends" a crashed rank's post-mortem reports.
+    pub fn pending_sends(&self) -> usize {
+        self.pending.iter().map(VecDeque::len).sum()
     }
 
     /// Tag subsequent frames with the training step they belong to.
@@ -343,6 +372,8 @@ impl<'w> PeerExecutor<'w> {
             payload: clean,
         };
         let sent = self.wire.send(peer, &frame);
+        self.stats.data_frames += 1;
+        self.stats.data_bytes += frame.payload.len() as u64;
         self.pending[peer].push_back(PendingOut {
             seq,
             step: self.step,
@@ -422,6 +453,7 @@ impl<'w> PeerExecutor<'w> {
                             return Err(PeerExecError::RetriesExhausted { peer, round });
                         }
                         self.control(peer, FrameKind::Nack, self.window[peer].expected())?;
+                        self.stats.nacks_sent += 1;
                         deadline = deadline.saturating_mul(self.policy.factor);
                         waited = Duration::ZERO;
                     }
@@ -522,6 +554,8 @@ impl<'w> PeerExecutor<'w> {
             payload: clean,
         };
         let sent = self.wire.send(peer, &frame);
+        self.stats.resends += 1;
+        self.stats.data_bytes += frame.payload.len() as u64;
         self.pending[peer][pos].clean = frame.payload;
         match sent {
             Ok(()) => Ok(()),

@@ -58,7 +58,7 @@ pub use analytic::{allreduce_cost, crossover, AlphaBeta};
 pub use compression::{codec_for, Codec, CodecKind, EncodeScratch, ErrorFeedback};
 pub use elastic::{ElasticAllreduce, ElasticError, ElasticReport};
 pub use exec_fault::FaultSession;
-pub use exec_peer::{CtlSignal, PeerExecError, PeerExecutor};
+pub use exec_peer::{CtlSignal, PeerExecError, PeerExecutor, WireStats};
 pub use exec_sim::{
     simulate, simulate_compressed, simulate_dense, CostModel, MsgParams, UniformCost, ELEM_BYTES,
 };

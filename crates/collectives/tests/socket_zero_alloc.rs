@@ -134,3 +134,68 @@ fn steady_state_socket_allreduce_is_allocation_free() {
         assert_eq!(mine.to_bits(), want.to_bits(), "elem {i} has the wrong sum");
     }
 }
+
+/// The telemetry plane makes the same promise as the gradient path: a
+/// warmed worker records its per-step metrics and flight spans, encodes
+/// the snapshot, frames it, and ships it down a real socket without a
+/// single allocation. Mirrors the exact sequence `run_worker` +
+/// `heartbeat_main` perform each step: record → `encode_into` →
+/// payload swap → frame encode → `write_all`.
+#[test]
+fn steady_state_telemetry_encode_and_ship_is_allocation_free() {
+    use std::io::{Read, Write};
+    use trace::telemetry::{metric, WorkerTelemetry};
+    use transport::frame::{encode_into, Frame, FrameKind};
+
+    let (mut tx, mut rx) = UnixStream::pair().expect("socketpair");
+    let sink = std::thread::spawn(move || {
+        let mut buf = [0u8; 4096];
+        let mut total = 0usize;
+        loop {
+            match rx.read(&mut buf) {
+                Ok(0) | Err(_) => return total,
+                Ok(n) => total += n,
+            }
+        }
+    });
+
+    let tel = WorkerTelemetry::new(0);
+    let mut payload: Vec<u8> = Vec::new();
+    let mut wire: Vec<u8> = Vec::new();
+    let mut frame = Frame::control(FrameKind::Telemetry, 0, 0, 0);
+    let mut step = 0u32;
+    let mut one_step = || {
+        tel.begin_step(step);
+        tel.add(metric::STEPS_BEGUN, 1);
+        tel.add(metric::WIRE_BYTES, 4096);
+        tel.set(metric::STEP_LATENCY_US, 1234);
+        tel.flight("STEP", "begin", step, 0, 0);
+        tel.flight("COMPUTE", "grad_compute", step, 500, 0);
+        tel.flight("MPI_ALLREDUCE", "exchange", step, 900, 0);
+        frame.seq = tel.encode_into(&mut payload);
+        frame.step = step;
+        std::mem::swap(&mut frame.payload, &mut payload);
+        encode_into(&frame, &mut wire);
+        tx.write_all(&wire).expect("ship telemetry");
+        std::mem::swap(&mut frame.payload, &mut payload);
+        step += 1;
+    };
+
+    // Warm until the flight ring has wrapped (capacity 32, 3 spans per
+    // step): once it is saturated the payload size is steady, so the
+    // encode buffers stop growing.
+    for _ in 0..16 {
+        one_step();
+    }
+
+    let n = count_allocs(&mut one_step);
+    assert_eq!(
+        n, 0,
+        "steady-state telemetry encode+ship allocated {n} times; snapshots must reuse \
+         the payload and wire buffers after warmup"
+    );
+
+    drop(tx);
+    let total = sink.join().expect("sink thread");
+    assert!(total > 0, "the sink must have received the telemetry bytes");
+}

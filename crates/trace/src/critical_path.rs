@@ -44,6 +44,21 @@ fn union_len(merged: &[(f64, f64)]) -> f64 {
     merged.iter().map(|&(s, e)| e - s).sum()
 }
 
+/// The per-rank lateness model: each value minus the minimum (the
+/// fastest rank defines zero; everyone else's excess is what the
+/// straggler hunt ranks by). Shared between this offline analyzer
+/// (values = per-rank finish times) and the live cluster view in
+/// [`crate::cluster`] (values = per-rank step-latency EWMAs). Empty
+/// input yields empty output; non-finite values yield lateness 0 for
+/// themselves without poisoning the minimum.
+pub fn lateness_from(values: &[f64]) -> Vec<f64> {
+    let min = values.iter().copied().filter(|v| v.is_finite()).fold(f64::INFINITY, f64::min);
+    values
+        .iter()
+        .map(|&v| if v.is_finite() && min.is_finite() { (v - min).max(0.0) } else { 0.0 })
+        .collect()
+}
+
 /// Total overlap between two merged interval lists.
 fn intersection_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
     let (mut i, mut j, mut total) = (0usize, 0usize, 0.0f64);
@@ -289,7 +304,7 @@ pub fn analyze(events: &[ChromeEvent]) -> Breakdown {
             .then(a.cat.cmp(&b.cat))
     });
 
-    let min_finish = rank_finish.iter().copied().fold(f64::INFINITY, f64::min);
+    let lateness = lateness_from(&rank_finish);
     let ranks: Vec<RankStat> = rank_ids
         .iter()
         .enumerate()
@@ -298,7 +313,7 @@ pub fn analyze(events: &[ChromeEvent]) -> Breakdown {
             compute_busy_us: union_len(&merged(rank_compute[i].clone())),
             comm_busy_us: union_len(&merged(rank_comm[i].clone())),
             finish_us: rank_finish[i],
-            lateness_us: rank_finish[i] - min_finish,
+            lateness_us: lateness[i],
         })
         .collect();
     let straggler = ranks

@@ -28,16 +28,24 @@
 //! `to_chrome_json` is a thin shim over it.
 
 pub mod chrome;
+pub mod cluster;
 pub mod critical_path;
 pub mod metrics;
 pub mod race;
 pub mod span;
+pub mod telemetry;
 
 pub use chrome::{parse_trace, write_trace, ChromeEvent, ParseError};
-pub use critical_path::{analyze, Breakdown, PhaseStat, RankStat, COMM_CATS, COMPUTE_CATS};
+pub use cluster::{ClusterView, StragglerAlert, StragglerPolicy};
+pub use critical_path::{
+    analyze, lateness_from, Breakdown, PhaseStat, RankStat, COMM_CATS, COMPUTE_CATS,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use race::{RaceDetector, RaceReport, SyncKind};
 pub use span::{Lane, LaneSnapshot, SpanRec, TraceRecorder, TraceSnapshot};
+pub use telemetry::{
+    FlightEvent, TelemetryError, TelemetrySnapshot, WorkerTelemetry, TELEMETRY_VERSION,
+};
 
 /// A recorder + registry bundle: everything one traced run shares.
 /// Cheap to share via `Arc` between the driver and the instrumented

@@ -1,0 +1,549 @@
+//! The worker side of the distributed telemetry plane (§5j).
+//!
+//! Each worker process keeps one [`WorkerTelemetry`]: a fixed table of
+//! atomic metric cells keyed by a compact **u16 metric id** (names are
+//! schema, not wire data — see [`metric`]), the step currently being
+//! trained, and a bounded **flight recorder** ring of the most recent
+//! spans/events. [`WorkerTelemetry::encode_into`] serializes all of it
+//! into a reused byte buffer — the payload of one
+//! `FrameKind::Telemetry` frame — without allocating once the buffer
+//! is warm, so snapshots can ride the heartbeat cadence from inside
+//! the hot training loop (the counting-allocator proof in
+//! `collectives/tests/socket_zero_alloc.rs` pins this).
+//!
+//! The coordinator decodes payloads with [`decode`], which is **total**
+//! over arbitrary bytes: truncations, bit flips, and version skew come
+//! back as a typed [`TelemetryError`], never a panic (the adversarial
+//! proptests in `tests/telemetry_proptests.rs` pin this, mirroring the
+//! frame codec's suite). Decoded [`TelemetrySnapshot`]s feed the
+//! cluster aggregation in [`crate::cluster`].
+//!
+//! # Wire payload format (`TELEMETRY_VERSION` 1)
+//!
+//! ```text
+//! u8   version            u8   flags (reserved, 0)
+//! u16  rank               u32  current_step
+//! u64  seq (monotonic per worker; receivers keep the max)
+//! u16  metric_count       metric_count × { u16 id, u64 value }
+//! u64  flight_dropped     u16  flight_count
+//! flight_count × { u8 cat_len, cat bytes (≤ 16),
+//!                  u8 name_len, name bytes (≤ 16),
+//!                  u32 step, u64 ts_us, u32 dur_us, u64 a0 }
+//! ```
+//!
+//! All integers little-endian. Unknown metric ids are carried through
+//! (forward compatibility: an old coordinator exposes them as
+//! `telemetry_metric_<id>`); an unknown *version* is a hard
+//! [`TelemetryError::BadVersion`], because field layout may differ.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Version byte leading every telemetry payload.
+pub const TELEMETRY_VERSION: u8 = 1;
+
+/// Flight-recorder ring capacity: enough to reconstruct the last few
+/// steps of a worker's life without bloating the heartbeat frames.
+pub const FLIGHT_CAPACITY: usize = 32;
+
+/// Decode-side sanity bound on `metric_count` / `flight_count` — far
+/// above anything a real worker sends, low enough that a bit-flipped
+/// count cannot make the decoder reserve gigabytes.
+pub const MAX_COUNT: usize = 1024;
+
+// Wide enough for the longest trace-lane category ("MPI_ALLREDUCE"),
+// so flight-recorder spans carry the same labels the critical-path
+// analyzer keys on offline.
+const MAX_CAT_LEN: usize = 16;
+const MAX_NAME_LEN: usize = 16;
+
+/// The fixed metric-id schema. Ids are wire format: **never renumber**
+/// — append new ids and bump nothing (unknown ids pass through
+/// decoders). Names match the single-process `Registry` metrics where
+/// an equivalent exists.
+pub mod metric {
+    /// Steps whose gradient compute began (counter).
+    pub const STEPS_BEGUN: u16 = 0;
+    /// Steps committed by the coordinator and applied (counter).
+    pub const STEPS_COMMITTED: u16 = 1;
+    /// Degrades observed (counter).
+    pub const DEGRADES: u16 = 2;
+    /// Gradient payload bytes put on the wire, resends included (counter).
+    pub const WIRE_BYTES: u16 = 3;
+    /// Nacks this worker sent (receive deadlines that fired) (counter).
+    pub const NACKS: u16 = 4;
+    /// Resends this worker answered (counter).
+    pub const RESENDS: u16 = 5;
+    /// Wall time of the last committed step, µs (gauge).
+    pub const STEP_LATENCY_US: u16 = 6;
+    /// Un-acked data sends at the last snapshot (gauge).
+    pub const INFLIGHT_SENDS: u16 = 7;
+    /// Wall time from last vote to its verdict, µs (gauge).
+    pub const COMMIT_WAIT_US: u16 = 8;
+
+    /// Number of ids in the schema (cells in [`super::WorkerTelemetry`]).
+    pub const COUNT: usize = 9;
+
+    /// The exposition name for `id`, if the schema knows it.
+    pub fn name(id: u16) -> Option<&'static str> {
+        Some(match id {
+            STEPS_BEGUN => "train_steps_begun_total",
+            STEPS_COMMITTED => "train_steps_committed_total",
+            DEGRADES => "train_degrades_total",
+            WIRE_BYTES => "train_wire_bytes_total",
+            NACKS => "train_nacks_total",
+            RESENDS => "train_resends_total",
+            STEP_LATENCY_US => "train_step_latency_us",
+            INFLIGHT_SENDS => "train_inflight_sends",
+            COMMIT_WAIT_US => "train_commit_wait_us",
+            _ => return None,
+        })
+    }
+
+    /// Counter vs gauge, for `# TYPE` lines. Unknown ids expose as
+    /// gauges (no monotonicity promise can be made for them).
+    pub fn is_counter(id: u16) -> bool {
+        matches!(id, STEPS_BEGUN | STEPS_COMMITTED | DEGRADES | WIRE_BYTES | NACKS | RESENDS)
+    }
+}
+
+/// One flight-recorder record: a span/event with its labels inlined
+/// into fixed arrays so recording is `Copy` and allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightRec {
+    cat: [u8; MAX_CAT_LEN],
+    cat_len: u8,
+    name: [u8; MAX_NAME_LEN],
+    name_len: u8,
+    /// Training step the record belongs to.
+    pub step: u32,
+    /// Microseconds since the worker's telemetry epoch.
+    pub ts_us: u64,
+    /// Span duration in µs (0 for instant events).
+    pub dur_us: u32,
+    /// One free argument (dead rank id, byte count, …).
+    pub a0: u64,
+}
+
+impl FlightRec {
+    pub fn cat(&self) -> &str {
+        // Only ever built from &str truncated on a char boundary check;
+        // lossy is belt-and-braces for decoded records.
+        std::str::from_utf8(&self.cat[..self.cat_len as usize]).unwrap_or("?") // lint: allow(unwrap): unwrap_or, not unwrap — total
+    }
+
+    pub fn name(&self) -> &str {
+        std::str::from_utf8(&self.name[..self.name_len as usize]).unwrap_or("?")
+        // lint: allow(unwrap): unwrap_or, not unwrap — total
+    }
+}
+
+/// Copy `s` into a fixed label array, truncating on a UTF-8 boundary.
+fn fixed_label<const N: usize>(s: &str) -> ([u8; N], u8) {
+    let mut out = [0u8; N];
+    let mut len = s.len().min(N);
+    while len > 0 && !s.is_char_boundary(len) {
+        len -= 1;
+    }
+    out[..len].copy_from_slice(&s.as_bytes()[..len]);
+    (out, len as u8)
+}
+
+/// The bounded ring of recent [`FlightRec`]s. Oldest records are
+/// overwritten; `dropped` counts the overwrites so a post-mortem says
+/// how much history it is missing.
+#[derive(Debug)]
+struct FlightRing {
+    recs: Box<[FlightRec]>,
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl FlightRing {
+    fn new() -> Self {
+        let zero = FlightRec {
+            cat: [0; MAX_CAT_LEN],
+            cat_len: 0,
+            name: [0; MAX_NAME_LEN],
+            name_len: 0,
+            step: 0,
+            ts_us: 0,
+            dur_us: 0,
+            a0: 0,
+        };
+        FlightRing {
+            recs: vec![zero; FLIGHT_CAPACITY].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, rec: FlightRec) {
+        if self.len < self.recs.len() {
+            self.recs[(self.head + self.len) % self.recs.len()] = rec;
+            self.len += 1;
+        } else {
+            self.recs[self.head] = rec;
+            self.head = (self.head + 1) % self.recs.len();
+            self.dropped += 1;
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Per-worker telemetry state: metric cells, current step, and the
+/// flight recorder. All recording methods are lock-cheap and
+/// allocation-free; `encode_into` snapshots everything into a reused
+/// buffer. Shared by `Arc` between the training loop (writes) and the
+/// heartbeat thread's `TelemetrySource` (encodes).
+#[derive(Debug)]
+pub struct WorkerTelemetry {
+    rank: u16,
+    epoch: Instant,
+    cells: [AtomicU64; metric::COUNT],
+    current_step: AtomicU64,
+    seq: AtomicU64,
+    flight: Mutex<FlightRing>,
+}
+
+impl WorkerTelemetry {
+    pub fn new(rank: u16) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        WorkerTelemetry {
+            rank,
+            epoch: Instant::now(),
+            cells: [ZERO; metric::COUNT],
+            current_step: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            flight: Mutex::new(FlightRing::new()),
+        }
+    }
+
+    pub fn rank(&self) -> u16 {
+        self.rank
+    }
+
+    /// Microseconds since this worker's telemetry epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Add `n` to a counter cell. Out-of-schema ids are ignored.
+    pub fn add(&self, id: u16, n: u64) {
+        if let Some(cell) = self.cells.get(id as usize) {
+            cell.fetch_add(n, Ordering::Relaxed); // lint: allow(relaxed): monotonic statistic; snapshot tolerates races with writers
+        }
+    }
+
+    /// Overwrite a gauge cell. Out-of-schema ids are ignored.
+    pub fn set(&self, id: u16, v: u64) {
+        if let Some(cell) = self.cells.get(id as usize) {
+            cell.store(v, Ordering::Relaxed); // lint: allow(relaxed): gauge cell; last-writer-wins is the gauge contract
+        }
+    }
+
+    pub fn get(&self, id: u16) -> u64 {
+        self.cells.get(id as usize).map_or(0, |c| c.load(Ordering::Relaxed)) // lint: allow(relaxed): statistic read; snapshot tolerates races with writers
+    }
+
+    /// Mark `step` as the step currently in progress.
+    pub fn begin_step(&self, step: u32) {
+        self.current_step.store(step as u64, Ordering::Relaxed); // lint: allow(relaxed): independent statistic; the snapshot needs no cross-cell ordering
+    }
+
+    pub fn current_step(&self) -> u32 {
+        self.current_step.load(Ordering::Relaxed) as u32 // lint: allow(relaxed): independent statistic; the snapshot needs no cross-cell ordering
+    }
+
+    /// Record one flight-recorder event, stamped with [`Self::now_us`].
+    /// Labels longer than the fixed fields truncate (16/16 bytes).
+    pub fn flight(&self, cat: &str, name: &str, step: u32, dur_us: u32, a0: u64) {
+        let (cat, cat_len) = fixed_label::<MAX_CAT_LEN>(cat);
+        let (name, name_len) = fixed_label::<MAX_NAME_LEN>(name);
+        let rec =
+            FlightRec { cat, cat_len, name, name_len, step, ts_us: self.now_us(), dur_us, a0 };
+        lock(&self.flight).push(rec);
+    }
+
+    /// Serialize the current state into `out` (cleared first) as one
+    /// telemetry payload, assigning and returning the snapshot's seq.
+    /// Allocation-free once `out` has warmed to the payload size.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed): seq uniqueness only needs atomicity, not ordering
+        out.clear();
+        out.push(TELEMETRY_VERSION);
+        out.push(0); // flags
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.current_step().to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&(metric::COUNT as u16).to_le_bytes());
+        for (id, cell) in self.cells.iter().enumerate() {
+            out.extend_from_slice(&(id as u16).to_le_bytes());
+            out.extend_from_slice(&cell.load(Ordering::Relaxed).to_le_bytes()); // lint: allow(relaxed): statistic read; snapshot tolerates races with writers
+        }
+        let ring = lock(&self.flight);
+        out.extend_from_slice(&ring.dropped.to_le_bytes());
+        out.extend_from_slice(&(ring.len as u16).to_le_bytes());
+        for i in 0..ring.len {
+            let rec = &ring.recs[(ring.head + i) % ring.recs.len()];
+            out.push(rec.cat_len);
+            out.extend_from_slice(&rec.cat[..rec.cat_len as usize]);
+            out.push(rec.name_len);
+            out.extend_from_slice(&rec.name[..rec.name_len as usize]);
+            out.extend_from_slice(&rec.step.to_le_bytes());
+            out.extend_from_slice(&rec.ts_us.to_le_bytes());
+            out.extend_from_slice(&rec.dur_us.to_le_bytes());
+            out.extend_from_slice(&rec.a0.to_le_bytes());
+        }
+        seq
+    }
+}
+
+/// Why a telemetry payload failed to decode. Total over arbitrary
+/// bytes — corruption is an `Err`, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// The payload ended before a declared field.
+    Truncated,
+    /// Leading version byte is not [`TELEMETRY_VERSION`].
+    BadVersion(u8),
+    /// A count field exceeds [`MAX_COUNT`] (or a label its bound).
+    BadCount(usize),
+    /// A label is not valid UTF-8.
+    BadLabel,
+    /// Bytes remain after the declared content — framing is suspect.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::Truncated => write!(f, "telemetry payload truncated"),
+            TelemetryError::BadVersion(v) => write!(f, "unknown telemetry version {v}"),
+            TelemetryError::BadCount(n) => write!(f, "telemetry count {n} out of bounds"),
+            TelemetryError::BadLabel => write!(f, "telemetry label is not utf-8"),
+            TelemetryError::TrailingBytes(n) => write!(f, "{n} trailing bytes after telemetry"),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+/// One decoded flight-recorder event (owned labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    pub cat: String,
+    pub name: String,
+    pub step: u32,
+    pub ts_us: u64,
+    pub dur_us: u32,
+    pub a0: u64,
+}
+
+/// One decoded telemetry payload: a worker's state as of `seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    pub rank: u16,
+    pub current_step: u32,
+    pub seq: u64,
+    /// `(id, value)` pairs in wire order. Unknown ids are preserved.
+    pub metrics: Vec<(u16, u64)>,
+    /// Flight records overwritten before this snapshot (lost history).
+    pub flight_dropped: u64,
+    /// The flight-recorder tail, oldest first.
+    pub flight: Vec<FlightEvent>,
+}
+
+impl TelemetrySnapshot {
+    /// The value of metric `id`, if this snapshot carried it.
+    pub fn metric(&self, id: u16) -> Option<u64> {
+        self.metrics.iter().find(|&&(i, _)| i == id).map(|&(_, v)| v)
+    }
+}
+
+/// Bounds-checked little-endian cursor over a payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TelemetryError> {
+        let end = self.at.checked_add(n).ok_or(TelemetryError::Truncated)?;
+        let s = self.bytes.get(self.at..end).ok_or(TelemetryError::Truncated)?;
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, TelemetryError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, TelemetryError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, TelemetryError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, TelemetryError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn label(&mut self, max: usize) -> Result<String, TelemetryError> {
+        let len = self.u8()? as usize;
+        if len > max {
+            return Err(TelemetryError::BadCount(len));
+        }
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| TelemetryError::BadLabel)
+    }
+}
+
+/// Decode one telemetry payload. Total: arbitrary input yields
+/// `Ok(snapshot)` or a typed error, never a panic and never an
+/// unbounded allocation (counts are sanity-capped at [`MAX_COUNT`]).
+pub fn decode(payload: &[u8]) -> Result<TelemetrySnapshot, TelemetryError> {
+    let mut c = Cursor { bytes: payload, at: 0 };
+    let version = c.u8()?;
+    if version != TELEMETRY_VERSION {
+        return Err(TelemetryError::BadVersion(version));
+    }
+    let _flags = c.u8()?;
+    let rank = c.u16()?;
+    let current_step = c.u32()?;
+    let seq = c.u64()?;
+    let metric_count = c.u16()? as usize;
+    if metric_count > MAX_COUNT {
+        return Err(TelemetryError::BadCount(metric_count));
+    }
+    let mut metrics = Vec::with_capacity(metric_count);
+    for _ in 0..metric_count {
+        let id = c.u16()?;
+        let value = c.u64()?;
+        metrics.push((id, value));
+    }
+    let flight_dropped = c.u64()?;
+    let flight_count = c.u16()? as usize;
+    if flight_count > MAX_COUNT {
+        return Err(TelemetryError::BadCount(flight_count));
+    }
+    let mut flight = Vec::with_capacity(flight_count);
+    for _ in 0..flight_count {
+        let cat = c.label(MAX_CAT_LEN)?;
+        let name = c.label(MAX_NAME_LEN)?;
+        let step = c.u32()?;
+        let ts_us = c.u64()?;
+        let dur_us = c.u32()?;
+        let a0 = c.u64()?;
+        flight.push(FlightEvent { cat, name, step, ts_us, dur_us, a0 });
+    }
+    if c.at != payload.len() {
+        return Err(TelemetryError::TrailingBytes(payload.len() - c.at));
+    }
+    Ok(TelemetrySnapshot { rank, current_step, seq, metrics, flight_dropped, flight })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrips_state() {
+        let tel = WorkerTelemetry::new(3);
+        tel.begin_step(7);
+        tel.add(metric::STEPS_BEGUN, 8);
+        tel.add(metric::STEPS_COMMITTED, 7);
+        tel.set(metric::STEP_LATENCY_US, 1234);
+        tel.flight("STEP", "begin", 7, 0, 0);
+        tel.flight("MPI_ALLREDUCE", "exchange", 7, 900, 42);
+
+        let mut buf = Vec::new();
+        let seq = tel.encode_into(&mut buf);
+        let snap = decode(&buf).expect("own encoding decodes");
+        assert_eq!(snap.rank, 3);
+        assert_eq!(snap.current_step, 7);
+        assert_eq!(snap.seq, seq);
+        assert_eq!(snap.metric(metric::STEPS_BEGUN), Some(8));
+        assert_eq!(snap.metric(metric::STEP_LATENCY_US), Some(1234));
+        assert_eq!(snap.flight.len(), 2);
+        assert_eq!(snap.flight[0].name, "begin");
+        // The longest trace-lane category fits the 16-byte field whole.
+        assert_eq!(snap.flight[1].cat, "MPI_ALLREDUCE");
+        assert_eq!(snap.flight[1].a0, 42);
+
+        // Seqs are monotonic across encodes.
+        let seq2 = tel.encode_into(&mut buf);
+        assert_eq!(seq2, seq + 1);
+    }
+
+    #[test]
+    fn flight_ring_bounds_history_and_counts_drops() {
+        let tel = WorkerTelemetry::new(0);
+        for i in 0..(FLIGHT_CAPACITY as u64 + 5) {
+            tel.flight("STEP", "begin", i as u32, 0, 0);
+        }
+        let mut buf = Vec::new();
+        tel.encode_into(&mut buf);
+        let snap = decode(&buf).expect("decodes");
+        assert_eq!(snap.flight.len(), FLIGHT_CAPACITY);
+        assert_eq!(snap.flight_dropped, 5);
+        // Oldest-first: the first surviving record is step 5.
+        assert_eq!(snap.flight[0].step, 5);
+        assert_eq!(snap.flight[FLIGHT_CAPACITY - 1].step, FLIGHT_CAPACITY as u32 + 4);
+    }
+
+    #[test]
+    fn version_skew_is_a_clean_error() {
+        let tel = WorkerTelemetry::new(1);
+        let mut buf = Vec::new();
+        tel.encode_into(&mut buf);
+        buf[0] = TELEMETRY_VERSION + 1;
+        assert_eq!(decode(&buf), Err(TelemetryError::BadVersion(TELEMETRY_VERSION + 1)));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_clean_errors() {
+        let tel = WorkerTelemetry::new(1);
+        tel.flight("FAULT", "degrade", 3, 0, 2);
+        let mut buf = Vec::new();
+        tel.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode(&buf[..cut]).is_err(), "cut at {cut} must not decode");
+        }
+        buf.push(0);
+        assert_eq!(decode(&buf), Err(TelemetryError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn out_of_schema_ids_are_ignored_not_panics() {
+        let tel = WorkerTelemetry::new(0);
+        tel.add(999, 5);
+        tel.set(999, 5);
+        assert_eq!(tel.get(999), 0);
+    }
+
+    #[test]
+    fn schema_names_are_unique_and_typed() {
+        let mut names = std::collections::BTreeSet::new();
+        for id in 0..metric::COUNT as u16 {
+            let name = metric::name(id).expect("schema id has a name");
+            assert!(names.insert(name), "duplicate metric name {name}");
+            if metric::is_counter(id) {
+                assert!(name.ends_with("_total"), "{name} counter naming");
+            }
+        }
+        assert_eq!(metric::name(metric::COUNT as u16), None);
+    }
+}

@@ -2,7 +2,9 @@
 //! golden snapshot of both exposition formats — the contract dashboards
 //! and diffing scripts depend on.
 
+use trace::cluster::{ClusterView, StragglerPolicy};
 use trace::metrics::{bucket_for, bucket_le, BUCKETS, MAX_EXP, MIN_EXP};
+use trace::telemetry::{metric, FlightEvent, TelemetrySnapshot};
 use trace::Registry;
 
 #[test]
@@ -101,4 +103,114 @@ step_seconds_count 2
 \"histograms\":{\"step_seconds\":{\"count\":2,\"sum\":0.0000000002,\
 \"buckets\":[[\"0e0\",1],[\"9.313225746154785e-10\",2],[\"+Inf\",2]]}}}";
     assert_eq!(snap.to_json(), golden_json);
+}
+
+// ----------------------------------------------- cluster exposition
+
+fn snapshot(rank: u16, step: u32, seq: u64, metrics: Vec<(u16, u64)>) -> TelemetrySnapshot {
+    TelemetrySnapshot { rank, current_step: step, seq, metrics, flight_dropped: 0, flight: vec![] }
+}
+
+/// The aggregated scrape: two ranks with different step latencies
+/// (rank 1 is 2000us behind) plus one out-of-schema id must serialize
+/// to exactly these bytes. Rank labels, series order, TYPE lines, and
+/// float rendering are all pinned — dashboards parse this.
+#[test]
+fn cluster_prometheus_text_matches_golden_snapshot() {
+    let mut view = ClusterView::new(StragglerPolicy::default());
+    view.ingest(snapshot(
+        0,
+        5,
+        9,
+        vec![(metric::STEPS_COMMITTED, 4), (metric::STEP_LATENCY_US, 1000), (42, 7)],
+    ));
+    view.ingest(snapshot(
+        1,
+        5,
+        3,
+        vec![(metric::STEPS_COMMITTED, 4), (metric::STEP_LATENCY_US, 3000)],
+    ));
+
+    let golden = "\
+# TYPE train_steps_committed_total counter
+train_steps_committed_total{rank=\"0\"} 4
+train_steps_committed_total{rank=\"1\"} 4
+# TYPE train_step_latency_us gauge
+train_step_latency_us{rank=\"0\"} 1000
+train_step_latency_us{rank=\"1\"} 3000
+# TYPE telemetry_metric_42 gauge
+telemetry_metric_42{rank=\"0\"} 7
+# TYPE train_current_step gauge
+train_current_step{rank=\"0\"} 5
+train_current_step{rank=\"1\"} 5
+# TYPE train_straggler_lateness_us gauge
+train_straggler_lateness_us{rank=\"0\"} 0
+train_straggler_lateness_us{rank=\"1\"} 2000
+# TYPE cluster_ranks_total gauge
+cluster_ranks_total 2
+# TYPE cluster_ranks_alive gauge
+cluster_ranks_alive 2
+";
+    assert_eq!(view.to_prometheus_text(), golden);
+}
+
+/// The JSON twin of the scrape, same fixture.
+#[test]
+fn cluster_json_matches_golden_snapshot() {
+    let mut view = ClusterView::new(StragglerPolicy::default());
+    view.ingest(snapshot(
+        0,
+        5,
+        9,
+        vec![(metric::STEPS_COMMITTED, 4), (metric::STEP_LATENCY_US, 1000), (42, 7)],
+    ));
+    view.ingest(snapshot(
+        1,
+        5,
+        3,
+        vec![(metric::STEPS_COMMITTED, 4), (metric::STEP_LATENCY_US, 3000)],
+    ));
+
+    let golden = "{\"ranks\":{\
+\"0\":{\"alive\":true,\"current_step\":5,\"seq\":9,\"ewma_step_us\":1000,\"lateness_us\":0,\"flight_dropped\":0,\
+\"metrics\":{\"train_steps_committed_total\":4,\"train_step_latency_us\":1000,\"telemetry_metric_42\":7}},\
+\"1\":{\"alive\":true,\"current_step\":5,\"seq\":3,\"ewma_step_us\":3000,\"lateness_us\":2000,\"flight_dropped\":0,\
+\"metrics\":{\"train_steps_committed_total\":4,\"train_step_latency_us\":3000}}},\
+\"cluster\":{\"ranks_total\":2,\"ranks_alive\":2}}";
+    assert_eq!(view.to_json(), golden);
+}
+
+/// The crash flight record for a dead rank: alive flips to false, the
+/// last step and flight tail are preserved, labels are escaped.
+#[test]
+fn flight_json_matches_golden_snapshot() {
+    let mut view = ClusterView::new(StragglerPolicy::default());
+    let mut snap = snapshot(2, 7, 11, vec![(metric::STEPS_COMMITTED, 7)]);
+    snap.flight.push(FlightEvent {
+        cat: "MPI_ALLREDUCE".into(),
+        name: "exchange".into(),
+        step: 7,
+        ts_us: 123,
+        dur_us: 45,
+        a0: 0,
+    });
+    view.ingest(snap);
+    view.mark_dead(2);
+
+    let golden = "{
+  \"rank\": 2,
+  \"alive\": false,
+  \"last_step\": 7,
+  \"seq\": 11,
+  \"flight_dropped\": 0,
+  \"metrics\": {
+    \"train_steps_committed_total\": 7
+  },
+  \"flight\": [
+    {\"cat\": \"MPI_ALLREDUCE\", \"name\": \"exchange\", \"step\": 7, \"ts_us\": 123, \"dur_us\": 45, \"a0\": 0}
+  ]
+}
+";
+    assert_eq!(view.flight_json(2).as_deref(), Some(golden));
+    assert_eq!(view.flight_json(3), None, "never-heard-from ranks have no post-mortem");
 }

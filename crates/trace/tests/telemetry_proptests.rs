@@ -1,0 +1,133 @@
+//! Adversarial property tests for the telemetry snapshot codec:
+//! arbitrary worker state must roundtrip exactly, and arbitrary
+//! garbage, truncations, bit flips, and version skew must come back as
+//! clean `TelemetryError`s — never a panic, never a bogus snapshot
+//! that claims to be well-formed. Mirrors the wire-frame suite in
+//! `transport/tests/frame_proptests.rs`.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use trace::telemetry::{decode, metric, TelemetryError, WorkerTelemetry, TELEMETRY_VERSION};
+
+/// Labels from arbitrary bytes (lossily decoded, so multi-byte
+/// replacement chars exercise the UTF-8-boundary truncation).
+fn label_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..=255, 0..24).prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+/// `(cat, name, step, dur_us, a0)` — one flight span's worth of input.
+type Span = (String, String, u32, u32, u64);
+
+fn span_strategy() -> impl Strategy<Value = Span> {
+    (label_strategy(), label_strategy(), 0u32..=u32::MAX, 0u32..=u32::MAX, 0u64..=u64::MAX)
+}
+
+/// Arbitrary worker telemetry state: rank, step, one value per metric
+/// slot, and a pile of flight spans (more than the ring holds).
+fn state_strategy() -> impl Strategy<Value = (u16, u32, Vec<u64>, Vec<Span>)> {
+    (
+        0u16..=u16::MAX,
+        0u32..=u32::MAX,
+        prop::collection::vec(0u64..=u64::MAX, metric::COUNT),
+        prop::collection::vec(span_strategy(), 0..48),
+    )
+}
+
+fn build(rank: u16, step: u32, values: &[u64], spans: &[Span]) -> WorkerTelemetry {
+    let tel = WorkerTelemetry::new(rank);
+    tel.begin_step(step);
+    for (id, &v) in values.iter().enumerate() {
+        tel.set(id as u16, v);
+    }
+    for (cat, name, s, dur, a0) in spans {
+        tel.flight(cat, name, *s, *dur, *a0);
+    }
+    tel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever state a worker accumulates, its own encoding decodes
+    /// back to exactly that state (modulo the bounded flight ring).
+    #[test]
+    fn roundtrip_is_identity((rank, step, values, spans) in state_strategy()) {
+        let tel = build(rank, step, &values, &spans);
+        let mut buf = Vec::new();
+        let seq = tel.encode_into(&mut buf);
+        let snap = decode(&buf).expect("own encoding must decode");
+        prop_assert_eq!(snap.rank, rank);
+        prop_assert_eq!(snap.current_step, step);
+        prop_assert_eq!(snap.seq, seq);
+        for (id, &v) in values.iter().enumerate() {
+            prop_assert_eq!(snap.metric(id as u16), Some(v));
+        }
+        // The ring keeps the most recent spans; what survived must
+        // match the tail of what went in, field for field.
+        let kept = snap.flight.len();
+        prop_assert!(kept <= spans.len());
+        for (ev, (_, _, s, dur, a0)) in snap.flight.iter().zip(&spans[spans.len() - kept..]) {
+            prop_assert_eq!(ev.step, *s);
+            prop_assert_eq!(ev.dur_us, *dur);
+            prop_assert_eq!(ev.a0, *a0);
+        }
+        prop_assert_eq!(snap.flight_dropped as usize, spans.len() - kept);
+    }
+
+    /// Every proper prefix of a valid encoding is rejected cleanly —
+    /// a snapshot is all-or-nothing.
+    #[test]
+    fn truncation_never_decodes((rank, step, values, spans) in state_strategy(), cut in 0usize..1 << 20) {
+        let tel = build(rank, step, &values, &spans);
+        let mut buf = Vec::new();
+        tel.encode_into(&mut buf);
+        let at = cut % buf.len(); // always a proper prefix
+        prop_assert!(decode(&buf[..at]).is_err(), "prefix of {} bytes decoded", at);
+    }
+
+    /// A single flipped bit must never panic the decoder. (It may
+    /// still decode — telemetry rides CRC-tailed frames, so corruption
+    /// is caught a layer below — but the codec itself stays total.)
+    #[test]
+    fn bit_flips_never_panic(
+        (rank, step, values, spans) in state_strategy(),
+        pos in 0usize..1 << 20,
+        bit in 0u8..8,
+    ) {
+        let tel = build(rank, step, &values, &spans);
+        let mut buf = Vec::new();
+        tel.encode_into(&mut buf);
+        let at = pos % buf.len();
+        buf[at] ^= 1 << bit;
+        let _ = decode(&buf);
+    }
+
+    /// A snapshot from a future (or garbage) version is refused by
+    /// version, before any field is trusted.
+    #[test]
+    fn version_skew_is_refused(
+        (rank, step, values, spans) in state_strategy(),
+        skew in 0u8..=255,
+    ) {
+        prop_assume!(skew != TELEMETRY_VERSION);
+        let tel = build(rank, step, &values, &spans);
+        let mut buf = Vec::new();
+        tel.encode_into(&mut buf);
+        buf[0] = skew;
+        prop_assert_eq!(decode(&buf), Err(TelemetryError::BadVersion(skew)));
+    }
+
+    /// Decoding arbitrary bytes is total: an error or a snapshot,
+    /// never a panic, and trailing garbage is never silently eaten.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let _ = decode(&bytes);
+        // Appending a byte to anything that decoded must trip the
+        // exact-consumption check.
+        if decode(&bytes).is_ok() {
+            let mut longer = bytes.clone();
+            longer.push(0);
+            prop_assert_eq!(decode(&longer), Err(TelemetryError::TrailingBytes(1)));
+        }
+    }
+}

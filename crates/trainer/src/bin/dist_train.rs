@@ -20,16 +20,21 @@
 //! writes a final `summary.json` naming the dead and the degrade
 //! steps so tests can replay the exact fault threaded.
 
-use std::io::Write;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use faults::{FaultClock, RetryPolicy};
-use trace::chrome::{parse_trace, write_trace};
+use trace::chrome::{parse_trace, write_trace, ChromeEvent};
+use trace::cluster::{ClusterView, StragglerPolicy};
+use trace::telemetry::{decode as decode_telemetry, WorkerTelemetry};
 use trace::TraceSession;
 use trainer::real::worker::{preset, run_worker, WorkerOutcome};
-use transport::{join, Frame, FrameKind, PeerConn, Rendezvous, WireError};
+use transport::{join, Frame, FrameKind, PeerConn, Rendezvous, TelemetrySource, WireError};
 
 /// The coordinator's pseudo-rank in frame `from` fields (workers are
 /// `0..N`, so `N` can never collide — but any value would do; nothing
@@ -47,7 +52,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: dist_train launch --dir D [--workers N] [--steps S] [--seed X] \
-                 [--preset tiny|quick] [--kill-rank R --kill-step S]\n\
+                 [--preset tiny|quick] [--kill-rank R --kill-step S] \
+                 [--telemetry] [--metrics-addr HOST:PORT] [--summary-every K]\n\
                  \x20      dist_train worker --dir D --tag T --workers N --steps S --seed X --preset P"
             );
             2
@@ -96,6 +102,11 @@ fn launch(args: &[String]) -> i32 {
     let seed: u64 = arg_or(args, "--seed", 42);
     let preset_name = arg(args, "--preset").unwrap_or_else(|| "tiny".into());
     let traced = args.iter().any(|a| a == "--trace");
+    let metrics_addr = arg(args, "--metrics-addr");
+    // A scrape endpoint is useless without the plane feeding it, so
+    // --metrics-addr implies --telemetry.
+    let telemetry_on = args.iter().any(|a| a == "--telemetry") || metrics_addr.is_some();
+    let summary_every: u64 = arg_or(args, "--summary-every", 1);
     let kill: Option<(usize, usize)> = match (arg(args, "--kill-rank"), arg(args, "--kill-step")) {
         (Some(r), Some(s)) => match (r.parse(), s.parse()) {
             (Ok(r), Ok(s)) => Some((r, s)),
@@ -147,6 +158,9 @@ fn launch(args: &[String]) -> i32 {
         if traced {
             cmd.arg("--trace");
         }
+        if telemetry_on {
+            cmd.arg("--telemetry");
+        }
         let child = cmd.spawn();
         match child {
             Ok(c) => children.push(c),
@@ -160,7 +174,31 @@ fn launch(args: &[String]) -> i32 {
         }
     }
 
-    let result = coordinate(&rdzv, &dir, workers, kill, &pol, &mut children);
+    let telem = telemetry_on.then(|| TelemetryPlane::new(summary_every));
+    let server = match (&metrics_addr, &telem) {
+        (Some(addr), Some(t)) => match serve_metrics(addr, &dir, Arc::clone(&t.view)) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("launch: metrics endpoint: {e}");
+                for mut c in children {
+                    let _ = c.kill();
+                }
+                return 1;
+            }
+        },
+        _ => None,
+    };
+
+    let result = coordinate(&rdzv, &dir, workers, kill, &pol, &mut children, telem.as_ref());
+
+    // One last window flush so post-mortems see the final cluster
+    // state even when the run (or its summary cadence) ended badly.
+    if let Some(t) = &telem {
+        t.write_summary(&dir);
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
 
     if traced && result.is_ok() {
         match merge_traces(&dir, workers) {
@@ -213,6 +251,7 @@ fn coordinate(
     kill: Option<(usize, usize)>,
     pol: &RetryPolicy,
     children: &mut [Child],
+    telem: Option<&TelemetryPlane>,
 ) -> Result<Vec<u32>, String> {
     let me = coord_id(workers);
     let joined = rdzv.assemble(workers).map_err(|e| format!("rendezvous failed: {e}"))?;
@@ -227,12 +266,21 @@ fn coordinate(
     }
 
     // Ready → Start barrier: every worker has a full mesh before any
-    // schedule traffic flows.
+    // schedule traffic flows. Telemetry piggybacks the heartbeat pump,
+    // which starts at conn creation — so telemetry frames can race the
+    // Ready and must be absorbed here, not treated as protocol errors.
     for (rank, slot) in slots.iter().enumerate() {
-        match slot.conn.recv_timeout(pol.death_threshold()) {
-            Ok(f) if f.kind == FrameKind::Ready => {}
-            Ok(f) => return Err(format!("rank {rank} sent {:?} before Ready", f.kind)),
-            Err(e) => return Err(format!("rank {rank} never became ready: {e}")),
+        loop {
+            match slot.conn.recv_timeout(pol.death_threshold()) {
+                Ok(f) if f.kind == FrameKind::Ready => break,
+                Ok(f) if f.kind == FrameKind::Telemetry => {
+                    if let Some(t) = telem {
+                        t.ingest(&f);
+                    }
+                }
+                Ok(f) => return Err(format!("rank {rank} sent {:?} before Ready", f.kind)),
+                Err(e) => return Err(format!("rank {rank} never became ready: {e}")),
+            }
         }
     }
     for slot in slots.iter() {
@@ -265,25 +313,58 @@ fn coordinate(
                         if let Some((kr, ks)) = kill {
                             if !killed && f.step as usize == ks && !slots[kr].dead {
                                 killed = true;
+                                // Any vote for step ks means every rank —
+                                // the victim included — already entered the
+                                // step-ks exchange, and the victim's
+                                // begin-of-step snapshot was sent before its
+                                // first mesh send. Drain the victim's ring
+                                // so the flight recorder pins the kill step
+                                // before the process goes away.
+                                if let Some(t) = telem {
+                                    drain_victim(&slots[kr], t, kr, ks, pol);
+                                }
                                 sigkill(children, slots[kr].pid);
-                                degrade(&mut slots, kr, &mut era, current_step, &mut degrades, me)?;
+                                degrade(
+                                    &mut slots,
+                                    kr,
+                                    &mut era,
+                                    current_step,
+                                    &mut degrades,
+                                    me,
+                                    telem,
+                                    dir,
+                                )?;
                                 continue;
                             }
                         }
-                        try_commit(&mut slots, era, &mut current_step, me)?;
+                        try_commit(&mut slots, era, &mut current_step, me, telem, dir)?;
                     }
                     FrameKind::Finished => slots[r].finished = true,
+                    FrameKind::Telemetry => {
+                        if let Some(t) = telem {
+                            t.ingest(&f);
+                        }
+                    }
                     _ => {}
                 },
                 Err(WireError::Timeout) => {
                     // Heartbeats flow even while a worker computes, so
                     // sustained silence means a wedged process.
                     if slots[r].conn.silence() > pol.death_threshold() {
-                        degrade(&mut slots, r, &mut era, current_step, &mut degrades, me)?;
+                        degrade(
+                            &mut slots,
+                            r,
+                            &mut era,
+                            current_step,
+                            &mut degrades,
+                            me,
+                            telem,
+                            dir,
+                        )?;
                     }
                 }
                 Err(WireError::PeerGone) => {
-                    degrade(&mut slots, r, &mut era, current_step, &mut degrades, me)?;
+                    degrade(&mut slots, r, &mut era, current_step, &mut degrades, me, telem, dir)?;
                 }
                 Err(WireError::NoSuchPeer(_)) => unreachable!("control conns are per-slot"),
             }
@@ -305,8 +386,37 @@ fn sigkill(children: &mut [Child], pid: u32) {
     }
 }
 
+/// Pull whatever the doomed rank already shipped out of its control
+/// ring before SIGKILL lands. The victim's begin-of-step snapshot for
+/// `ks` was written into our socket buffer before any step-`ks` mesh
+/// traffic (see `run_worker`), so this loop terminates as soon as the
+/// reader thread has moved those bytes — the deadline only guards
+/// against a pathological scheduler stall.
+fn drain_victim(
+    slot: &WorkerSlot,
+    telem: &TelemetryPlane,
+    kr: usize,
+    ks: usize,
+    pol: &RetryPolicy,
+) {
+    let deadline = Instant::now() + pol.death_threshold();
+    loop {
+        match slot.conn.recv_timeout(pol.tick) {
+            Ok(f) if f.kind == FrameKind::Telemetry => telem.ingest(&f),
+            Ok(_) => {} // in-flight votes for this round get voided by the degrade anyway
+            Err(_) => {
+                let seen = telem.last_step_of(kr as u16);
+                if seen.is_some_and(|s| s as usize >= ks) || Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
+    }
+}
+
 /// Declare `r` dead: bump the era, void the round's votes, record the
 /// degrade, and announce it to every survivor.
+#[allow(clippy::too_many_arguments)]
 fn degrade(
     slots: &mut [WorkerSlot],
     r: usize,
@@ -314,7 +424,12 @@ fn degrade(
     current_step: u32,
     degrades: &mut Vec<(u32, Vec<usize>)>,
     me: u16,
+    telem: Option<&TelemetryPlane>,
+    dir: &Path,
 ) -> Result<(), String> {
+    if let Some(t) = telem {
+        t.flight_dump(dir, r);
+    }
     slots[r].dead = true;
     *era += 1;
     for s in slots.iter_mut() {
@@ -340,6 +455,8 @@ fn try_commit(
     era: u32,
     current_step: &mut u32,
     me: u16,
+    telem: Option<&TelemetryPlane>,
+    dir: &Path,
 ) -> Result<(), String> {
     let live: Vec<usize> =
         (0..slots.len()).filter(|&r| !slots[r].dead && !slots[r].finished).collect();
@@ -363,12 +480,173 @@ fn try_commit(
     for s in slots.iter_mut() {
         s.vote = None;
     }
+    if let Some(t) = telem {
+        t.on_commit(dir);
+    }
     Ok(())
+}
+
+// ------------------------------------------------------------- telemetry
+
+/// Coordinator-side half of the telemetry plane: the shared
+/// [`ClusterView`] every scrape reads, plus the step-window summary
+/// cadence. Ingest happens on the coordinator thread; the HTTP thread
+/// only ever takes the lock to render.
+struct TelemetryPlane {
+    view: Arc<Mutex<ClusterView>>,
+    summary_every: u64,
+    commits: std::cell::Cell<u64>,
+}
+
+impl TelemetryPlane {
+    fn new(summary_every: u64) -> Self {
+        TelemetryPlane {
+            view: Arc::new(Mutex::new(ClusterView::new(StragglerPolicy::default()))),
+            summary_every,
+            commits: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Lock the view, riding out poison: a panicked scrape thread must
+    /// not take the training run down with it.
+    fn lock(&self) -> MutexGuard<'_, ClusterView> {
+        self.view.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Decode and fold one wire snapshot; a straggler edge-crossing
+    /// gets one log line, not one per scrape.
+    fn ingest(&self, f: &Frame) {
+        match decode_telemetry(&f.payload) {
+            Ok(snap) => {
+                if let Some(a) = self.lock().ingest(snap) {
+                    eprintln!(
+                        "launch: straggler: rank {} is {:.0}us late (ewma {:.0}us vs best {:.0}us) at step {}",
+                        a.rank, a.lateness_us, a.ewma_us, a.best_us, a.step
+                    );
+                }
+            }
+            Err(e) => eprintln!("launch: undecodable telemetry from rank {}: {e}", f.from),
+        }
+    }
+
+    fn last_step_of(&self, rank: u16) -> Option<u32> {
+        self.lock().latest(rank).map(|s| s.current_step)
+    }
+
+    /// Mark `rank` dead and emit its crash flight record — the
+    /// last-known spans, step, and counters that rode telemetry frames
+    /// before the process vanished.
+    fn flight_dump(&self, dir: &Path, rank: usize) {
+        let mut view = self.lock();
+        view.mark_dead(rank as u16);
+        if let Some(doc) = view.flight_json(rank as u16) {
+            if let Err(e) = write_atomic(dir, &format!("flight_{rank}.json"), &doc) {
+                eprintln!("launch: writing flight_{rank}.json: {e}");
+            }
+        }
+    }
+
+    fn on_commit(&self, dir: &Path) {
+        let n = self.commits.get() + 1;
+        self.commits.set(n);
+        if self.summary_every > 0 && n.is_multiple_of(self.summary_every) {
+            self.write_summary(dir);
+        }
+    }
+
+    fn write_summary(&self, dir: &Path) {
+        let doc = self.lock().summary_json();
+        if let Err(e) = write_atomic(dir, "cluster_summary.json", &doc) {
+            eprintln!("launch: writing cluster_summary.json: {e}");
+        }
+    }
+}
+
+/// tmp + rename so scrapers polling the dir never see a torn file.
+fn write_atomic(dir: &Path, name: &str, body: &str) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(tmp, dir.join(name))
+}
+
+/// Hand-rolled HTTP/1.1 scrape endpoint. One accept loop, one request
+/// per connection, `Connection: close` — everything a Prometheus
+/// scraper or a curl needs and nothing more.
+struct MetricsServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl MetricsServer {
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.handle.join();
+    }
+}
+
+fn serve_metrics(
+    addr: &str,
+    dir: &Path,
+    view: Arc<Mutex<ClusterView>>,
+) -> Result<MetricsServer, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    // Publish the bound address — port 0 resolves here, and tests/CI
+    // read this file instead of guessing.
+    write_atomic(dir, "metrics_addr.txt", &bound.to_string())
+        .map_err(|e| format!("writing metrics_addr.txt: {e}"))?;
+    println!("launch: serving metrics on http://{bound}/metrics");
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("metrics-http".into())
+        .spawn(move || scrape_loop(listener, view, thread_stop))
+        .map_err(|e| format!("spawning scrape thread: {e}"))?;
+    Ok(MetricsServer { addr: bound, stop, handle })
+}
+
+fn scrape_loop(listener: TcpListener, view: Arc<Mutex<ClusterView>>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = serve_one(&mut stream, &view);
+    }
+}
+
+fn serve_one(stream: &mut TcpStream, view: &Arc<Mutex<ClusterView>>) -> std::io::Result<()> {
+    // A stuck client must not wedge the accept loop.
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let path = head.split_whitespace().nth(1).unwrap_or("/");
+    let locked = view.lock().unwrap_or_else(|e| e.into_inner());
+    let (status, ctype, body) = match path {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", locked.to_prometheus_text()),
+        "/metrics.json" | "/json" => ("200 OK", "application/json", locked.to_json()),
+        _ => ("404 Not Found", "text/plain", "not found; try /metrics or /metrics.json\n".into()),
+    };
+    drop(locked);
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())
 }
 
 /// Fold every worker's per-process Chrome trace into one timeline.
 /// Each worker recorded under pid = its rank, so the merged file
-/// renders one row group per worker; a killed rank simply has no file.
+/// renders one row group per worker. A killed rank has no file and a
+/// rank that died mid-write leaves a truncated one; both get a
+/// zero-width `trace_gap` marker in their lane instead of sinking the
+/// whole merge.
 fn merge_traces(dir: &Path, workers: usize) -> std::io::Result<usize> {
     let mut events = Vec::new();
     let mut lanes = 0usize;
@@ -376,16 +654,29 @@ fn merge_traces(dir: &Path, workers: usize) -> std::io::Result<usize> {
         let path = dir.join(format!("trace_r{r}.json"));
         let json = match std::fs::read_to_string(&path) {
             Ok(j) => j,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                events.push(gap_event("trace_gap: no trace file (rank killed?)", r));
+                continue;
+            }
             Err(e) => return Err(e),
         };
-        let parsed = parse_trace(&json)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        events.extend(parsed);
-        lanes += 1;
+        match parse_trace(&json) {
+            Ok(parsed) => {
+                events.extend(parsed);
+                lanes += 1;
+            }
+            Err(e) => {
+                eprintln!("launch: trace for rank {r} unreadable ({e}); noting the gap");
+                events.push(gap_event(&format!("trace_gap: unreadable ({e})"), r));
+            }
+        }
     }
     std::fs::write(dir.join("trace_merged.json"), write_trace(&events))?;
     Ok(lanes)
+}
+
+fn gap_event(name: &str, rank: usize) -> ChromeEvent {
+    ChromeEvent::complete(name, "FAULT", 0.0, 0.0, rank as u32, 0)
 }
 
 fn write_summary(
@@ -419,6 +710,18 @@ fn write_summary(
 
 // ---------------------------------------------------------------- worker
 
+/// Adapter hanging the worker's [`WorkerTelemetry`] off the control
+/// conn's heartbeat thread: every beacon interval becomes a fresh
+/// snapshot frame instead of an empty beacon.
+struct TelemetryFeed(Arc<WorkerTelemetry>);
+
+impl TelemetrySource for TelemetryFeed {
+    fn fill(&self, out: &mut Vec<u8>) -> bool {
+        self.0.encode_into(out);
+        true
+    }
+}
+
 fn worker(args: &[String]) -> i32 {
     match worker_inner(args) {
         Ok(()) => 0,
@@ -443,8 +746,23 @@ fn worker_inner(args: &[String]) -> Result<(), String> {
     let rank = joined.rank;
     let (mesh, ctl_stream) =
         joined.build_mesh(pol, &clock).map_err(|e| format!("mesh build: {e}"))?;
-    let ctl = PeerConn::solo(workers, rank, ctl_stream, Some(pol))
-        .map_err(|e| format!("control conn: {e}"))?;
+    // Telemetry rides the control conn only — data wires stay
+    // byte-identical with or without the plane.
+    let tel: Option<Arc<WorkerTelemetry>> = args
+        .iter()
+        .any(|a| a == "--telemetry")
+        .then(|| Arc::new(WorkerTelemetry::new(rank as u16)));
+    let ctl = match &tel {
+        Some(t) => PeerConn::solo_with_telemetry(
+            workers,
+            rank,
+            ctl_stream,
+            pol,
+            Arc::new(TelemetryFeed(Arc::clone(t))),
+        ),
+        None => PeerConn::solo(workers, rank, ctl_stream, Some(pol)),
+    }
+    .map_err(|e| format!("control conn: {e}"))?;
 
     ctl.send(&Frame::control(FrameKind::Ready, rank as u16, 0, 0))
         .map_err(|e| format!("ready: {e}"))?;
@@ -463,7 +781,7 @@ fn worker_inner(args: &[String]) -> Result<(), String> {
         None
     };
     cfg.trace = session.clone();
-    let outcome = run_worker(&cfg, &mesh, &ctl, pol).map_err(|e| e.to_string())?;
+    let outcome = run_worker(&cfg, &mesh, &ctl, pol, tel.as_deref()).map_err(|e| e.to_string())?;
     write_results(&dir, &outcome).map_err(|e| format!("writing results: {e}"))?;
     if let Some(s) = &session {
         std::fs::write(dir.join(format!("trace_r{rank}.json")), s.recorder.to_chrome_json())

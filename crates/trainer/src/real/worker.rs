@@ -47,6 +47,7 @@ use collectives::compression::{self, CodecKind, EncodeScratch, ErrorFeedback};
 use collectives::{CtlSignal, PeerExecError, PeerExecutor, ReduceOp, Schedule, Violation};
 use faults::RetryPolicy;
 use summit_metrics::rng::derive_seed;
+use trace::telemetry::{metric, WorkerTelemetry};
 use transport::{Frame, FrameKind, PeerConn, Wire, WireError};
 
 use super::net::{BatchWorkspace, SegNet};
@@ -143,11 +144,19 @@ enum Verdict {
 /// Run this process's rank of `cfg` over `wire`, arbitrated by the
 /// coordinator on `ctl`. Applies exactly the classic-path math of
 /// `try_train` for `wire.rank()`.
+///
+/// With `telemetry` set, the worker folds step counters, wire stats,
+/// and flight-recorder events into the shared [`WorkerTelemetry`] and
+/// pushes one synchronous snapshot over `ctl` at every step begin (the
+/// heartbeat thread pushes the rest at beacon cadence — see
+/// `PeerConn::solo_with_telemetry`). Telemetry never touches the
+/// training math: a telemetry run is bit-identical to a plain one.
 pub fn run_worker(
     cfg: &TrainConfig,
     wire: &dyn Wire,
     ctl: &PeerConn,
     policy: RetryPolicy,
+    telemetry: Option<&WorkerTelemetry>,
 ) -> Result<WorkerOutcome, WorkerError> {
     let rank = wire.rank();
     let n_params = cfg.net.n_params();
@@ -185,13 +194,30 @@ pub fn run_worker(
 
     let mut step_losses = Vec::with_capacity(cfg.steps);
     let mut degradations: Vec<DegradeRecord> = Vec::new();
+    // Reused telemetry payload buffer: synchronous snapshot sends
+    // allocate nothing once it is warm.
+    let mut tel_buf: Vec<u8> = Vec::new();
 
     for step in 0..cfg.steps {
+        let step_t0 = std::time::Instant::now();
+        if let Some(tel) = telemetry {
+            // Announce the step *before* any mesh traffic: no rank can
+            // complete step S's exchange without this rank's sends, so
+            // by the time a StepDone{S} vote reaches the coordinator,
+            // this frame (ordered ahead on the control stream) is
+            // already queued there — the post-mortem for a rank killed
+            // at S always shows last_step == S.
+            tel.begin_step(step as u32);
+            tel.add(metric::STEPS_BEGUN, 1);
+            tel.flight("STEP", "begin", step as u32, 0, 0);
+            send_telemetry(ctl, tel, &mut tel_buf);
+        }
         // Gradient computation — identical addressing to try_train's
         // classic path: the shard layout keys off the ORIGINAL world
         // (`cfg.workers`, `rank`), so each survivor keeps its slice of
         // the data stream no matter who else has died.
         let compute_t0 = lane.as_ref().map(|l| l.now_us());
+        let compute_t0i = std::time::Instant::now();
         let start = (step * cfg.global_batch()) as u64;
         let micro = cfg.workers * cfg.batch_per_worker;
         let mut loss_sum = 0.0f64;
@@ -226,11 +252,21 @@ pub fn run_worker(
         if let (Some(l), Some(t0)) = (&lane, compute_t0) {
             l.record("COMPUTE", "grad_compute", t0, l.now_us() - t0);
         }
+        if let Some(tel) = telemetry {
+            tel.flight(
+                "COMPUTE",
+                "grad_compute",
+                step as u32,
+                compute_t0i.elapsed().as_micros() as u32,
+                0,
+            );
+        }
 
         // The exchange + commit loop: re-entered once per degrade.
         snapshot.copy_from_slice(&grad);
         loop {
             let exchange_t0 = lane.as_ref().map(|l| l.now_us());
+            let exchange_t0i = std::time::Instant::now();
             exec.begin_step(step);
             let mut announced: Option<Frame> = None;
             let result = {
@@ -250,13 +286,28 @@ pub fn run_worker(
             }
             let verdict = match result {
                 Ok(()) => {
+                    if let Some(tel) = telemetry {
+                        tel.flight(
+                            "MPI_ALLREDUCE",
+                            "exchange",
+                            step as u32,
+                            exchange_t0i.elapsed().as_micros() as u32,
+                            0,
+                        );
+                        tel.flight("CTL", "vote", step as u32, 0, exec.era() as u64);
+                    }
                     let mut vote =
                         Frame::control(FrameKind::StepDone, rank as u16, exec.era(), step as u32);
                     vote.seq = step as u64;
                     ctl.send(&vote).map_err(|e| {
                         WorkerError::Coordinator(format!("vote for step {step} failed: {e}"))
                     })?;
-                    await_verdict(ctl, &policy, step)?
+                    let vote_t0 = std::time::Instant::now();
+                    let v = await_verdict(ctl, &policy, step)?;
+                    if let Some(tel) = telemetry {
+                        tel.set(metric::COMMIT_WAIT_US, vote_t0.elapsed().as_micros() as u64);
+                    }
+                    v
                 }
                 Err(PeerExecError::Aborted) => {
                     let f = announced.take().ok_or_else(|| {
@@ -283,11 +334,26 @@ pub fn run_worker(
             match verdict {
                 Verdict::Commit => {
                     opt.apply(net.params_mut(), &grad);
+                    if let Some(tel) = telemetry {
+                        tel.add(metric::STEPS_COMMITTED, 1);
+                        tel.set(metric::STEP_LATENCY_US, step_t0.elapsed().as_micros() as u64);
+                        let stats = exec.stats();
+                        tel.set(metric::WIRE_BYTES, stats.data_bytes);
+                        tel.set(metric::NACKS, stats.nacks_sent);
+                        tel.set(metric::RESENDS, stats.resends);
+                        tel.set(metric::INFLIGHT_SENDS, exec.pending_sends() as u64);
+                        tel.flight("CTL", "commit", step as u32, 0, 0);
+                    }
                     break;
                 }
                 Verdict::Degrade(record) => {
                     if let Some(l) = &lane {
                         l.instant("FAULT", "degrade", l.now_us());
+                    }
+                    if let Some(tel) = telemetry {
+                        tel.add(metric::DEGRADES, 1);
+                        let dead0 = record.dead.first().copied().unwrap_or(0) as u64;
+                        tel.flight("FAULT", "degrade", step as u32, 0, dead0);
                     }
                     // Restore the pre-exchange gradient, shrink the
                     // world, rebuild + RE-VERIFY the schedule, and step
@@ -303,6 +369,13 @@ pub fn run_worker(
             }
         }
         step_losses.push(loss);
+    }
+
+    if let Some(tel) = telemetry {
+        // One final synchronous snapshot so the coordinator's last view
+        // of this rank carries the full committed count.
+        tel.flight("STEP", "finished", cfg.steps as u32, 0, 0);
+        send_telemetry(ctl, tel, &mut tel_buf);
     }
 
     Ok(WorkerOutcome {
@@ -368,6 +441,21 @@ fn await_verdict(
             }
         }
     }
+}
+
+/// Push one synchronous telemetry snapshot over the control stream.
+/// Best-effort: a failed send means the coordinator is gone, which the
+/// commit protocol surfaces on its own — telemetry never aborts a
+/// step. The payload buffer is reused across calls (the frame borrows
+/// it via `mem::take` and hands it back), so the steady state
+/// allocates nothing.
+fn send_telemetry(ctl: &PeerConn, tel: &WorkerTelemetry, buf: &mut Vec<u8>) {
+    let seq = tel.encode_into(buf);
+    let mut f = Frame::control(FrameKind::Telemetry, tel.rank(), 0, tel.current_step());
+    f.seq = seq;
+    f.payload = std::mem::take(buf);
+    let _ = ctl.send(&f);
+    *buf = f.payload;
 }
 
 /// Decode a `Degrade` frame: era in the header, dead original ids as a

@@ -25,7 +25,7 @@ use faults::{FaultClock, RetryPolicy};
 use parking_lot::Mutex;
 
 use crate::frame::{parse_body, Frame, FrameKind, HEADER_LEN, MAX_FRAME_LEN};
-use crate::WireError;
+use crate::{TelemetrySource, WireError};
 
 /// Frames queued per connection before the ring grows (it still grows
 /// under pathological backlog rather than dropping — growth is rare
@@ -159,6 +159,7 @@ impl PeerConn {
         stream: UnixStream,
         pool: Arc<BufPool>,
         heartbeat: Option<RetryPolicy>,
+        telemetry: Option<Arc<dyn TelemetrySource>>,
     ) -> std::io::Result<Self> {
         let ring = Arc::new(FrameRing::new());
         let epoch = Instant::now();
@@ -180,7 +181,7 @@ impl PeerConn {
             let alive = Arc::clone(&alive);
             std::thread::Builder::new()
                 .name(format!("hb-{self_rank}-{peer}"))
-                .spawn(move || heartbeat_main(hb_stream, self_rank, policy, alive))?;
+                .spawn(move || heartbeat_main(hb_stream, self_rank, policy, alive, telemetry))?;
         }
         Ok(PeerConn {
             peer,
@@ -204,7 +205,22 @@ impl PeerConn {
         stream: UnixStream,
         heartbeat: Option<RetryPolicy>,
     ) -> std::io::Result<Self> {
-        PeerConn::spawn(peer, self_rank, stream, BufPool::new(), heartbeat)
+        PeerConn::spawn(peer, self_rank, stream, BufPool::new(), heartbeat, None)
+    }
+
+    /// [`PeerConn::solo`] with a [`TelemetrySource`] piggybacking the
+    /// heartbeat cadence: each beacon interval the source fills a
+    /// reused payload buffer and a `Telemetry` frame ships in place of
+    /// the plain beacon. Requires `heartbeat` (the beacon thread is the
+    /// telemetry pump).
+    pub fn solo_with_telemetry(
+        peer: usize,
+        self_rank: usize,
+        stream: UnixStream,
+        heartbeat: RetryPolicy,
+        telemetry: Arc<dyn TelemetrySource>,
+    ) -> std::io::Result<Self> {
+        PeerConn::spawn(peer, self_rank, stream, BufPool::new(), Some(heartbeat), Some(telemetry))
     }
 
     pub fn peer(&self) -> usize {
@@ -305,15 +321,32 @@ fn heartbeat_main(
     self_rank: usize,
     policy: RetryPolicy,
     alive: Arc<AtomicBool>,
+    telemetry: Option<Arc<dyn TelemetrySource>>,
 ) {
     let beacon =
         crate::frame::encode(&Frame::control(FrameKind::Heartbeat, self_rank as u16, 0, 0));
     let interval = policy.heartbeat_interval();
+    // Telemetry reuses one frame (its payload buffer included) and one
+    // encode scratch across intervals, so the pump allocates nothing
+    // once the buffers are warm.
+    let mut tel_frame = Frame::control(FrameKind::Telemetry, self_rank as u16, 0, 0);
+    let mut wire_buf: Vec<u8> = Vec::new();
     while alive.load(Ordering::Acquire) {
         // The beacon must track wall time even under a virtual
         // FaultClock — a real socket peer really times out.
         std::thread::sleep(interval); // lint: allow(sleep): heartbeat pacing, interval from RetryPolicy::heartbeat_interval
-        if stream.write_all(&beacon).is_err() {
+        let mut sent_telemetry = false;
+        if let Some(src) = &telemetry {
+            if src.fill(&mut tel_frame.payload) {
+                crate::frame::encode_into(&tel_frame, &mut wire_buf);
+                if stream.write_all(&wire_buf).is_err() {
+                    break;
+                }
+                tel_frame.seq += 1;
+                sent_telemetry = true;
+            }
+        }
+        if !sent_telemetry && stream.write_all(&beacon).is_err() {
             break;
         }
     }
@@ -386,8 +419,8 @@ mod tests {
     fn frames_cross_a_socketpair() {
         let (a, b) = pair();
         let pool = BufPool::new();
-        let left = PeerConn::spawn(1, 0, a, Arc::clone(&pool), None).unwrap();
-        let right = PeerConn::spawn(0, 1, b, pool, None).unwrap();
+        let left = PeerConn::spawn(1, 0, a, Arc::clone(&pool), None, None).unwrap();
+        let right = PeerConn::spawn(0, 1, b, pool, None, None).unwrap();
         let mut f = Frame::control(FrameKind::Data, 0, 0, 3);
         f.seq = 5;
         f.payload = vec![1, 2, 3];
@@ -401,8 +434,8 @@ mod tests {
     fn eof_drains_queued_frames_then_reports_gone() {
         let (a, b) = pair();
         let pool = BufPool::new();
-        let left = PeerConn::spawn(1, 0, a, Arc::clone(&pool), None).unwrap();
-        let right = PeerConn::spawn(0, 1, b, pool, None).unwrap();
+        let left = PeerConn::spawn(1, 0, a, Arc::clone(&pool), None, None).unwrap();
+        let right = PeerConn::spawn(0, 1, b, pool, None, None).unwrap();
         let mut f = Frame::control(FrameKind::Data, 0, 0, 0);
         f.payload = vec![9; 4];
         left.send(&f).unwrap();
@@ -419,8 +452,8 @@ mod tests {
     fn heartbeats_keep_silence_low_and_never_surface() {
         let (a, b) = pair();
         let pool = BufPool::new();
-        let _left = PeerConn::spawn(1, 0, a, Arc::clone(&pool), Some(policy_fast())).unwrap();
-        let right = PeerConn::spawn(0, 1, b, pool, None).unwrap();
+        let _left = PeerConn::spawn(1, 0, a, Arc::clone(&pool), Some(policy_fast()), None).unwrap();
+        let right = PeerConn::spawn(0, 1, b, pool, None, None).unwrap();
         // No data frames at all: receives time out...
         assert_eq!(right.recv_timeout(Duration::from_millis(60)), Err(WireError::Timeout));
         // ...but the beacon keeps the peer visibly alive.

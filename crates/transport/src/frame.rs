@@ -71,6 +71,11 @@ pub enum FrameKind {
     Degrade = 11,
     /// Worker -> coordinator: run complete, results written.
     Finished = 12,
+    /// Worker -> coordinator: a versioned telemetry snapshot (metric
+    /// cells, current step, flight-recorder tail). Rides the heartbeat
+    /// cadence on control streams; never crosses a data wire. Payload
+    /// format: `trace::telemetry`.
+    Telemetry = 13,
 }
 
 impl FrameKind {
@@ -88,6 +93,7 @@ impl FrameKind {
             10 => FrameKind::Commit,
             11 => FrameKind::Degrade,
             12 => FrameKind::Finished,
+            13 => FrameKind::Telemetry,
             other => return Err(FrameError::BadKind(other)),
         })
     }

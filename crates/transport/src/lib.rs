@@ -70,6 +70,27 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// A producer of telemetry payloads that piggyback the heartbeat
+/// cadence (see [`PeerConn::solo_with_telemetry`]). Every heartbeat
+/// interval the beacon thread calls `fill`; when it returns `true` the
+/// bytes left in `out` ship as one [`FrameKind::Telemetry`] frame in
+/// place of the plain beacon (a telemetry frame refreshes the peer's
+/// last-heard-from clock just like a heartbeat would, so liveness is
+/// preserved).
+///
+/// `fill` runs on the beacon thread at heartbeat cadence with a
+/// *reused* buffer — implementations that only write into `out` keep
+/// the steady state allocation-free (the counting-allocator proof in
+/// `collectives/tests/socket_zero_alloc.rs` covers the trainer's
+/// implementation). The transport does not interpret the payload; the
+/// format contract lives with the producer/consumer pair (the
+/// trainer's is `trace::telemetry`).
+pub trait TelemetrySource: Send + Sync {
+    /// Overwrite `out` with the next snapshot payload. Return `false`
+    /// to skip this interval (a plain heartbeat is sent instead).
+    fn fill(&self, out: &mut Vec<u8>) -> bool;
+}
+
 /// A full mesh of reliable, ordered frame links between this rank and
 /// its peers. Peers are addressed by **original (world) rank id** —
 /// the addressing survives elastic renumbering after deaths, exactly

@@ -25,6 +25,7 @@ fn kind_strategy() -> impl Strategy<Value = FrameKind> {
         FrameKind::Commit,
         FrameKind::Degrade,
         FrameKind::Finished,
+        FrameKind::Telemetry,
     ])
 }
 
