@@ -269,9 +269,17 @@ fn coordinate(
     // schedule traffic flows. Telemetry piggybacks the heartbeat pump,
     // which starts at conn creation — so telemetry frames can race the
     // Ready and must be absorbed here, not treated as protocol errors.
+    // The wait is bounded by one overall deadline per rank: telemetry
+    // keeps arriving at beacon cadence even from a worker wedged before
+    // its Ready, so per-receive timeouts alone would never expire.
     for (rank, slot) in slots.iter().enumerate() {
+        let deadline = Instant::now() + pol.death_threshold();
         loop {
-            match slot.conn.recv_timeout(pol.death_threshold()) {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(format!("rank {rank} never became ready: {}", WireError::Timeout));
+            }
+            match slot.conn.recv_timeout(deadline - now) {
                 Ok(f) if f.kind == FrameKind::Ready => break,
                 Ok(f) if f.kind == FrameKind::Telemetry => {
                     if let Some(t) = telem {
@@ -400,16 +408,19 @@ fn drain_victim(
     pol: &RetryPolicy,
 ) {
     let deadline = Instant::now() + pol.death_threshold();
+    // Exit conditions head the loop: a steady stream of Ok frames
+    // (beacon-cadence telemetry below step ks, votes) must not be able
+    // to hold the SIGKILL past the deadline.
     loop {
+        let seen = telem.last_step_of(kr as u16);
+        if seen.is_some_and(|s| s as usize >= ks) || Instant::now() >= deadline {
+            break;
+        }
         match slot.conn.recv_timeout(pol.tick) {
             Ok(f) if f.kind == FrameKind::Telemetry => telem.ingest(&f),
             Ok(_) => {} // in-flight votes for this round get voided by the degrade anyway
-            Err(_) => {
-                let seen = telem.last_step_of(kr as u16);
-                if seen.is_some_and(|s| s as usize >= ks) || Instant::now() >= deadline {
-                    break;
-                }
-            }
+            Err(WireError::PeerGone) => break, // nothing more will ever arrive
+            Err(_) => {}
         }
     }
 }
@@ -622,10 +633,21 @@ fn serve_one(stream: &mut TcpStream, view: &Arc<Mutex<ClusterView>>) -> std::io:
     // A stuck client must not wedge the accept loop.
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf)?;
-    let head = String::from_utf8_lossy(&buf[..n]);
-    let path = head.split_whitespace().nth(1).unwrap_or("/");
+    // A request can arrive split across TCP segments; keep reading
+    // until the request line is complete (bounded by the read timeout
+    // and a size cap) so a slow-trickling scraper isn't 404'd on a
+    // truncated path.
+    let mut head: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    while !head.windows(2).any(|w| w == b"\r\n") && head.len() < 8192 {
+        match stream.read(&mut chunk)? {
+            0 => break,
+            n => head.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let line = head.split("\r\n").next().unwrap_or("");
+    let path = line.split_whitespace().nth(1).unwrap_or("/");
     let locked = view.lock().unwrap_or_else(|e| e.into_inner());
     let (status, ctype, body) = match path {
         "/metrics" => ("200 OK", "text/plain; version=0.0.4", locked.to_prometheus_text()),

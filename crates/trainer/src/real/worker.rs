@@ -210,6 +210,7 @@ pub fn run_worker(
             tel.begin_step(step as u32);
             tel.add(metric::STEPS_BEGUN, 1);
             tel.flight("STEP", "begin", step as u32, 0, 0);
+            fold_wire_stats(tel, &exec);
             send_telemetry(ctl, tel, &mut tel_buf);
         }
         // Gradient computation — identical addressing to try_train's
@@ -295,6 +296,12 @@ pub fn run_worker(
                             0,
                         );
                         tel.flight("CTL", "vote", step as u32, 0, exec.era() as u64);
+                        // Refresh the wire gauges before voting: if this
+                        // rank dies or degrades between vote and commit,
+                        // the heartbeat-shipped snapshots (and the
+                        // post-mortem) must show the exchange it just
+                        // ran, not the stats of its last committed step.
+                        fold_wire_stats(tel, &exec);
                     }
                     let mut vote =
                         Frame::control(FrameKind::StepDone, rank as u16, exec.era(), step as u32);
@@ -337,11 +344,7 @@ pub fn run_worker(
                     if let Some(tel) = telemetry {
                         tel.add(metric::STEPS_COMMITTED, 1);
                         tel.set(metric::STEP_LATENCY_US, step_t0.elapsed().as_micros() as u64);
-                        let stats = exec.stats();
-                        tel.set(metric::WIRE_BYTES, stats.data_bytes);
-                        tel.set(metric::NACKS, stats.nacks_sent);
-                        tel.set(metric::RESENDS, stats.resends);
-                        tel.set(metric::INFLIGHT_SENDS, exec.pending_sends() as u64);
+                        fold_wire_stats(tel, &exec);
                         tel.flight("CTL", "commit", step as u32, 0, 0);
                     }
                     break;
@@ -354,6 +357,7 @@ pub fn run_worker(
                         tel.add(metric::DEGRADES, 1);
                         let dead0 = record.dead.first().copied().unwrap_or(0) as u64;
                         tel.flight("FAULT", "degrade", step as u32, 0, dead0);
+                        fold_wire_stats(tel, &exec);
                     }
                     // Restore the pre-exchange gradient, shrink the
                     // world, rebuild + RE-VERIFY the schedule, and step
@@ -441,6 +445,17 @@ fn await_verdict(
             }
         }
     }
+}
+
+/// Fold the executor's wire counters into the telemetry gauges, so the
+/// next shipped snapshot — synchronous or heartbeat-cadence — carries
+/// the transport state of the step being run, not of the last commit.
+fn fold_wire_stats(tel: &WorkerTelemetry, exec: &PeerExecutor<'_>) {
+    let stats = exec.stats();
+    tel.set(metric::WIRE_BYTES, stats.data_bytes);
+    tel.set(metric::NACKS, stats.nacks_sent);
+    tel.set(metric::RESENDS, stats.resends);
+    tel.set(metric::INFLIGHT_SENDS, exec.pending_sends() as u64);
 }
 
 /// Push one synchronous telemetry snapshot over the control stream.

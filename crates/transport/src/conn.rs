@@ -129,6 +129,10 @@ impl FrameRing {
 
 /// Write half: the stream plus a reusable encode scratch, serialized
 /// under one lock so concurrent senders cannot interleave frame bytes.
+/// *Every* frame write — consumer sends and the heartbeat/telemetry
+/// pump alike — goes through this lock; a partially completed
+/// `write_all` under send-buffer backpressure would otherwise splice
+/// two frames together and the peer's reader would see framing loss.
 #[derive(Debug)]
 struct WriteHalf {
     stream: UnixStream,
@@ -136,17 +140,37 @@ struct WriteHalf {
     broken: bool,
 }
 
+impl WriteHalf {
+    /// Write pre-encoded frame bytes; a failure marks the half broken
+    /// and the connection dead.
+    fn write_encoded(&mut self, bytes: &[u8], alive: &AtomicBool) -> bool {
+        if self.broken {
+            return false;
+        }
+        if self.stream.write_all(bytes).is_err() {
+            self.broken = true;
+            alive.store(false, Ordering::Release);
+            return false;
+        }
+        true
+    }
+}
+
 /// See the module docs.
 #[derive(Debug)]
 pub struct PeerConn {
     peer: usize,
-    writer: Mutex<WriteHalf>,
+    writer: Arc<Mutex<WriteHalf>>,
     ring: Arc<FrameRing>,
     pool: Arc<BufPool>,
     /// Milliseconds since `epoch` when the last frame arrived.
     last_rx_ms: Arc<AtomicU64>,
     epoch: Instant,
     alive: Arc<AtomicBool>,
+    /// Clone of the stream used only by `Drop`: shutdown must not wait
+    /// on the writer lock, which a heartbeat blocked mid-write under
+    /// backpressure could hold indefinitely.
+    shutdown_handle: UnixStream,
 }
 
 impl PeerConn {
@@ -167,6 +191,9 @@ impl PeerConn {
         let alive = Arc::new(AtomicBool::new(true));
 
         let read_stream = stream.try_clone()?;
+        let shutdown_handle = stream.try_clone()?;
+        let writer =
+            Arc::new(Mutex::new(WriteHalf { stream, scratch: Vec::new(), broken: false }));
         {
             let ring = Arc::clone(&ring);
             let pool = Arc::clone(&pool);
@@ -177,21 +204,13 @@ impl PeerConn {
                 .spawn(move || reader_main(read_stream, ring, pool, last, alive, epoch))?;
         }
         if let Some(policy) = heartbeat {
-            let hb_stream = stream.try_clone()?;
+            let writer = Arc::clone(&writer);
             let alive = Arc::clone(&alive);
             std::thread::Builder::new()
                 .name(format!("hb-{self_rank}-{peer}"))
-                .spawn(move || heartbeat_main(hb_stream, self_rank, policy, alive, telemetry))?;
+                .spawn(move || heartbeat_main(writer, self_rank, policy, alive, telemetry))?;
         }
-        Ok(PeerConn {
-            peer,
-            writer: Mutex::new(WriteHalf { stream, scratch: Vec::new(), broken: false }),
-            ring,
-            pool,
-            last_rx_ms,
-            epoch,
-            alive,
-        })
+        Ok(PeerConn { peer, writer, ring, pool, last_rx_ms, epoch, alive, shutdown_handle })
     }
 
     /// A standalone connection with its own private buffer pool —
@@ -237,14 +256,13 @@ impl PeerConn {
         }
         let mut scratch = std::mem::take(&mut w.scratch);
         crate::frame::encode_into(frame, &mut scratch);
-        let result = w.stream.write_all(&scratch);
+        let ok = w.write_encoded(&scratch, &self.alive);
         w.scratch = scratch;
-        if result.is_err() {
-            w.broken = true;
-            self.alive.store(false, Ordering::Release);
-            return Err(WireError::PeerGone);
+        if ok {
+            Ok(())
+        } else {
+            Err(WireError::PeerGone)
         }
-        Ok(())
     }
 
     /// Next decoded frame, waiting up to `timeout`.
@@ -274,9 +292,10 @@ impl Drop for PeerConn {
     fn drop(&mut self) {
         self.alive.store(false, Ordering::Release);
         // Shut the socket down so the reader/heartbeat threads unblock
-        // and exit instead of leaking.
-        let w = self.writer.lock();
-        let _ = w.stream.shutdown(std::net::Shutdown::Both);
+        // and exit instead of leaking. Deliberately does NOT take the
+        // writer lock: a heartbeat wedged in `write_all` holds it, and
+        // this shutdown is exactly what unwedges that write.
+        let _ = self.shutdown_handle.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -317,7 +336,7 @@ fn reader_main(
 }
 
 fn heartbeat_main(
-    mut stream: UnixStream,
+    writer: Arc<Mutex<WriteHalf>>,
     self_rank: usize,
     policy: RetryPolicy,
     alive: Arc<AtomicBool>,
@@ -328,7 +347,9 @@ fn heartbeat_main(
     let interval = policy.heartbeat_interval();
     // Telemetry reuses one frame (its payload buffer included) and one
     // encode scratch across intervals, so the pump allocates nothing
-    // once the buffers are warm.
+    // once the buffers are warm. Encoding happens outside the writer
+    // lock; only the actual write serializes with the consumer's sends
+    // (interleaving frame bytes would be framing loss to the peer).
     let mut tel_frame = Frame::control(FrameKind::Telemetry, self_rank as u16, 0, 0);
     let mut wire_buf: Vec<u8> = Vec::new();
     while alive.load(Ordering::Acquire) {
@@ -339,14 +360,14 @@ fn heartbeat_main(
         if let Some(src) = &telemetry {
             if src.fill(&mut tel_frame.payload) {
                 crate::frame::encode_into(&tel_frame, &mut wire_buf);
-                if stream.write_all(&wire_buf).is_err() {
+                if !writer.lock().write_encoded(&wire_buf, &alive) {
                     break;
                 }
                 tel_frame.seq += 1;
                 sent_telemetry = true;
             }
         }
-        if !sent_telemetry && stream.write_all(&beacon).is_err() {
+        if !sent_telemetry && !writer.lock().write_encoded(&beacon, &alive) {
             break;
         }
     }
